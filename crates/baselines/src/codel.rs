@@ -1,0 +1,407 @@
+//! CoDel (Nichols & Jacobson, CACM 2012) — the state-of-the-art
+//! sojourn-time AQM for the Internet, and TCN's closest intellectual
+//! rival (§4.3).
+//!
+//! This implementation closely tracks the Linux `codel` qdisc, as the
+//! paper's prototype did ("our CoDel implementation closely tracks the
+//! Linux source code", §5):
+//!
+//! * a queue is "bad" once its sojourn time has stayed above `target`
+//!   for one `interval`;
+//! * in the dropping (marking) state, packets are dropped/marked at
+//!   `drop_next` instants that accelerate as `interval / sqrt(count)`;
+//! * leaving and quickly re-entering the dropping state resumes from the
+//!   previous `count` (the "sqrt cache" behaviour) so persistent bad
+//!   queues keep getting pressure.
+//!
+//! The four per-queue state variables (`first_above_time`, `drop_next`,
+//! `count`, `dropping`) and the square root in the control law are
+//! exactly the hardware-cost argument the paper makes against CoDel
+//! (§4.2). Compare with `tcn_core::Tcn`: zero state, one comparison.
+//!
+//! [`CoDelMode::Mark`] (used throughout the paper's evaluation, §6
+//! "we configure CoDel to only mark packets") marks instead of dropping;
+//! [`CoDelMode::Drop`] is the classic Internet behaviour.
+
+use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+use tcn_core::Packet;
+use tcn_sim::Time;
+
+/// What CoDel does to a packet it decides against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoDelMode {
+    /// CE-mark and forward (the paper's evaluation mode).
+    Mark,
+    /// Drop at dequeue (classic CoDel; costs output-link bubbles in
+    /// hardware, §4.2).
+    Drop,
+}
+
+/// Per-queue CoDel state (the paper counts these four variables as the
+/// hardware cost).
+#[derive(Debug, Clone, Copy, Default)]
+struct QueueState {
+    first_above_time: Option<Time>,
+    drop_next: Time,
+    count: u64,
+    lastcount: u64,
+    dropping: bool,
+}
+
+/// Counters for instrumentation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CoDelStats {
+    /// Packets examined at dequeue.
+    pub dequeued: u64,
+    /// Packets CE-marked.
+    pub marked: u64,
+    /// Packets dropped (Drop mode only).
+    pub dropped: u64,
+}
+
+/// The CoDel AQM.
+#[derive(Debug, Clone)]
+pub struct CoDel {
+    target: Time,
+    interval: Time,
+    mode: CoDelMode,
+    mtu: u32,
+    queues: Vec<QueueState>,
+    stats: CoDelStats,
+}
+
+impl CoDel {
+    /// CoDel with the given `target` sojourn and `interval` window, in
+    /// marking mode. The Internet defaults are 5 ms / 100 ms; the paper's
+    /// testbed tuning is 51.2 µs / 1024 µs (§6.1).
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(target: Time, interval: Time) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        CoDel {
+            target,
+            interval,
+            mode: CoDelMode::Mark,
+            mtu: 1500,
+            queues: Vec::new(),
+            stats: CoDelStats::default(),
+        }
+    }
+
+    /// The paper's testbed configuration: target 51.2 µs, interval
+    /// 1024 µs (§6.1 "we experimentally determine its best setting").
+    pub fn paper_testbed() -> Self {
+        CoDel::new(Time::from_ns(51_200), Time::from_us(1024))
+    }
+
+    /// Switch to classic dropping mode.
+    pub fn dropping(mut self) -> Self {
+        self.mode = CoDelMode::Drop;
+        self
+    }
+
+    /// Override the MTU used for the "queue too short to bother" escape
+    /// hatch (Linux: don't stay in dropping state when under one MTU).
+    pub fn with_mtu(mut self, mtu: u32) -> Self {
+        assert!(mtu > 0);
+        self.mtu = mtu;
+        self
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CoDelStats {
+        self.stats
+    }
+
+    fn ensure_queues(&mut self, n: usize) {
+        if self.queues.len() < n {
+            self.queues.resize_with(n, QueueState::default);
+        }
+    }
+
+    /// `t + interval / sqrt(count)` — the control law whose square root
+    /// Sivaraman et al. found unimplementable on their switch targets
+    /// (§4.3).
+    fn control_law(&self, t: Time, count: u64) -> Time {
+        let step = self.interval.as_ps() as f64 / (count.max(1) as f64).sqrt();
+        t.saturating_add(Time::from_ps(step.round() as u64))
+    }
+
+    /// The Linux `codel_should_drop` condition: sojourn above target for
+    /// a full interval, with the small-queue escape.
+    fn should_act(&mut self, q: usize, sojourn: Time, backlog_bytes: u64, now: Time) -> bool {
+        let st = &mut self.queues[q];
+        if sojourn < self.target || backlog_bytes <= u64::from(self.mtu) {
+            st.first_above_time = None;
+            return false;
+        }
+        match st.first_above_time {
+            None => {
+                st.first_above_time = Some(now.saturating_add(self.interval));
+                false
+            }
+            Some(fat) => now >= fat,
+        }
+    }
+
+    fn act(&mut self, pkt: &mut Packet) -> DequeueVerdict {
+        match self.mode {
+            CoDelMode::Mark => {
+                if pkt.try_mark_ce() {
+                    self.stats.marked += 1;
+                    DequeueVerdict::Forward
+                } else {
+                    self.stats.dropped += 1;
+                    DequeueVerdict::Drop
+                }
+            }
+            CoDelMode::Drop => {
+                self.stats.dropped += 1;
+                DequeueVerdict::Drop
+            }
+        }
+    }
+}
+
+impl Aqm for CoDel {
+    fn on_enqueue(
+        &mut self,
+        _view: &dyn PortView,
+        _q: usize,
+        _pkt: &mut Packet,
+        _now: Time,
+    ) -> EnqueueVerdict {
+        // Sojourn timestamping is done by the port; nothing to do.
+        EnqueueVerdict::Admit
+    }
+
+    fn on_dequeue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        now: Time,
+    ) -> DequeueVerdict {
+        self.ensure_queues(view.num_queues());
+        self.stats.dequeued += 1;
+        let sojourn = pkt.sojourn(now);
+        let backlog = view.queue_bytes(q);
+        let ok_to_act = self.should_act(q, sojourn, backlog, now);
+
+        let st = self.queues[q];
+        if st.dropping {
+            if !ok_to_act {
+                self.queues[q].dropping = false;
+                return DequeueVerdict::Forward;
+            }
+            if now >= st.drop_next {
+                let verdict = self.act(pkt);
+                self.queues[q].count += 1;
+                let (dn, cnt) = (self.queues[q].drop_next, self.queues[q].count);
+                self.queues[q].drop_next = self.control_law(dn, cnt);
+                return verdict;
+            }
+            DequeueVerdict::Forward
+        } else if ok_to_act {
+            // Enter the dropping state and act on this packet.
+            let verdict = self.act(pkt);
+            let interval16 = self.interval.saturating_mul(16);
+            let st = &mut self.queues[q];
+            st.dropping = true;
+            // Resume from the previous rate if we were dropping recently
+            // (Linux: within 16 intervals of the last drop_next).
+            let recent = now.saturating_sub(st.drop_next) < interval16;
+            let delta = st.count.saturating_sub(st.lastcount);
+            st.count = if recent && delta > 1 { delta } else { 1 };
+            st.lastcount = st.count;
+            let cnt = st.count;
+            self.queues[q].drop_next = self.control_law(now, cnt);
+            verdict
+        } else {
+            DequeueVerdict::Forward
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            CoDelMode::Mark => "CoDel",
+            CoDelMode::Drop => "CoDel-drop",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcn_core::aqm::StaticPortView;
+    use tcn_core::FlowId;
+    use tcn_sim::Rate;
+
+    fn pkt_enqueued_at(t: Time) -> Packet {
+        let mut p = Packet::data(FlowId(1), 0, 1, 0, 1460, 40);
+        p.enq_ts = t;
+        p
+    }
+
+    fn busy_view() -> StaticPortView {
+        let mut v = StaticPortView::new(1, Rate::from_gbps(1));
+        v.queue_bytes = vec![100_000];
+        v.queue_pkts = vec![67];
+        v
+    }
+
+    /// Drive CoDel with a stream of packets all experiencing `sojourn`,
+    /// spaced `gap` apart, returning (marked, dropped).
+    fn drive(codel: &mut CoDel, sojourn: Time, gap: Time, n: usize) -> (u64, u64) {
+        let v = busy_view();
+        let mut now = Time::from_ms(1);
+        for _ in 0..n {
+            let mut p = pkt_enqueued_at(now.saturating_sub(sojourn));
+            codel.on_dequeue(&v, 0, &mut p, now);
+            now += gap;
+        }
+        (codel.stats().marked, codel.stats().dropped)
+    }
+
+    #[test]
+    fn no_action_below_target() {
+        let mut codel = CoDel::new(Time::from_ms(5), Time::from_ms(100));
+        let (marked, dropped) = drive(&mut codel, Time::from_ms(1), Time::from_us(100), 1000);
+        assert_eq!(marked + dropped, 0);
+    }
+
+    #[test]
+    fn waits_a_full_interval_before_first_mark() {
+        // Sojourn above target but for less than one interval: no action.
+        // This is exactly why CoDel reacts slowly to bursts (§4.3).
+        let mut codel = CoDel::new(Time::from_us(50), Time::from_ms(1));
+        let v = busy_view();
+        let mut marked = 0;
+        // 500 us of continuously bad sojourns, gap 50 us: < 1 interval.
+        let mut now = Time::from_ms(1);
+        for _ in 0..10 {
+            let mut p = pkt_enqueued_at(now - Time::from_us(200));
+            codel.on_dequeue(&v, 0, &mut p, now);
+            if p.ecn.is_ce() {
+                marked += 1;
+            }
+            now += Time::from_us(50);
+        }
+        assert_eq!(marked, 0, "must not act before one full interval");
+    }
+
+    #[test]
+    fn marks_after_persistent_excess() {
+        let mut codel = CoDel::new(Time::from_us(50), Time::from_ms(1));
+        let (marked, _) = drive(&mut codel, Time::from_us(200), Time::from_us(50), 100);
+        assert!(marked >= 1, "persistently bad queue must get marked");
+    }
+
+    #[test]
+    fn marking_rate_accelerates() {
+        // With count growing, drop_next gaps shrink as interval/sqrt(n):
+        // over a long bad period the marks-per-window increases.
+        let mut codel = CoDel::new(Time::from_us(50), Time::from_ms(1));
+        let v = busy_view();
+        let gap = Time::from_us(20);
+        let mut now = Time::from_ms(1);
+        let mut marks_at = Vec::new();
+        for i in 0..2000 {
+            let mut p = pkt_enqueued_at(now - Time::from_us(500));
+            let before = codel.stats().marked;
+            codel.on_dequeue(&v, 0, &mut p, now);
+            if codel.stats().marked > before {
+                marks_at.push(i);
+            }
+            now += gap;
+        }
+        assert!(marks_at.len() >= 4, "need several marks, got {marks_at:?}");
+        let first_gap = marks_at[1] - marks_at[0];
+        let last_gap = marks_at[marks_at.len() - 1] - marks_at[marks_at.len() - 2];
+        assert!(
+            last_gap < first_gap,
+            "marking must accelerate: first {first_gap}, last {last_gap}"
+        );
+    }
+
+    #[test]
+    fn exits_dropping_when_sojourn_recovers() {
+        let mut codel = CoDel::new(Time::from_us(50), Time::from_ms(1));
+        drive(&mut codel, Time::from_us(500), Time::from_us(50), 100);
+        let marked_before = codel.stats().marked;
+        assert!(marked_before > 0);
+        // Sojourns recover: no further marks.
+        drive(&mut codel, Time::from_us(10), Time::from_us(50), 100);
+        assert_eq!(codel.stats().marked, marked_before);
+    }
+
+    #[test]
+    fn small_backlog_escape_hatch() {
+        // Even with bad sojourn, a sub-MTU backlog never triggers
+        // (the Linux behaviour preventing lockout on tiny queues).
+        let mut codel = CoDel::new(Time::from_us(50), Time::from_us(100));
+        let mut v = StaticPortView::new(1, Rate::from_gbps(1));
+        v.queue_bytes = vec![500]; // below one MTU
+        let mut now = Time::from_ms(10);
+        for _ in 0..100 {
+            let mut p = pkt_enqueued_at(now - Time::from_ms(5));
+            codel.on_dequeue(&v, 0, &mut p, now);
+            assert!(!p.ecn.is_ce());
+            now += Time::from_us(50);
+        }
+    }
+
+    #[test]
+    fn drop_mode_drops() {
+        let mut codel = CoDel::new(Time::from_us(50), Time::from_ms(1)).dropping();
+        let v = busy_view();
+        let mut now = Time::from_ms(1);
+        let mut dropped = 0;
+        for _ in 0..200 {
+            let mut p = pkt_enqueued_at(now - Time::from_us(500));
+            if codel.on_dequeue(&v, 0, &mut p, now) == DequeueVerdict::Drop {
+                dropped += 1;
+                assert!(!p.ecn.is_ce(), "drop mode must not also mark");
+            }
+            now += Time::from_us(50);
+        }
+        assert!(dropped >= 1);
+        assert_eq!(codel.stats().dropped, dropped);
+    }
+
+    #[test]
+    fn per_queue_state_is_independent() {
+        let mut codel = CoDel::new(Time::from_us(50), Time::from_ms(1));
+        let mut v = StaticPortView::new(2, Rate::from_gbps(1));
+        v.queue_bytes = vec![100_000, 100_000];
+        let mut now = Time::from_ms(1);
+        // Queue 0 persistently bad; queue 1 always good.
+        for _ in 0..200 {
+            let mut bad = pkt_enqueued_at(now - Time::from_us(500));
+            codel.on_dequeue(&v, 0, &mut bad, now);
+            let mut good = pkt_enqueued_at(now - Time::from_us(10));
+            codel.on_dequeue(&v, 1, &mut good, now);
+            assert!(!good.ecn.is_ce(), "queue 1 must never be punished");
+            now += Time::from_us(50);
+        }
+        assert!(codel.stats().marked > 0);
+    }
+
+    #[test]
+    fn paper_testbed_settings() {
+        let codel = CoDel::paper_testbed();
+        assert_eq!(codel.target, Time::from_ns(51_200));
+        assert_eq!(codel.interval, Time::from_us(1024));
+        assert_eq!(codel.mode, CoDelMode::Mark);
+    }
+
+    #[test]
+    fn control_law_sqrt() {
+        let codel = CoDel::new(Time::from_us(50), Time::from_ms(1));
+        let t = Time::from_ms(10);
+        assert_eq!(codel.control_law(t, 1), t + Time::from_ms(1));
+        assert_eq!(codel.control_law(t, 4), t + Time::from_us(500));
+        assert_eq!(codel.control_law(t, 100), t + Time::from_us(100));
+    }
+}

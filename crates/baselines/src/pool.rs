@@ -1,0 +1,185 @@
+//! Per-service-pool ECN/RED (paper §3.2.2).
+//!
+//! A *service pool* is a shared buffer region spanning several ports;
+//! pool-scoped ECN/RED compares the **pool's** total occupancy against
+//! one static threshold. The paper notes this is even worse than
+//! per-port marking: "queues from different ports can interfere with
+//! each other".
+//!
+//! Implementation: each port's [`PoolRed`] instance tracks the bytes its
+//! own port holds (increment on admitted enqueue, decrement on dequeue)
+//! and adds them to a pool counter shared by all member ports via
+//! `Rc<Cell<u64>>` — the simulation is single-threaded by design.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+use tcn_core::Packet;
+use tcn_sim::Time;
+
+/// A shared buffer pool: total resident bytes across member ports.
+#[derive(Debug, Clone, Default)]
+pub struct ServicePool {
+    bytes: Rc<Cell<u64>>,
+}
+
+impl ServicePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current pool occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    fn add(&self, n: u64) {
+        self.bytes.set(self.bytes.get() + n);
+    }
+
+    fn sub(&self, n: u64) {
+        debug_assert!(self.bytes.get() >= n, "pool accounting underflow");
+        self.bytes.set(self.bytes.get().saturating_sub(n));
+    }
+}
+
+/// Pool-scoped ECN/RED: marks any packet entering a member port while
+/// the pool occupancy (including the arrival) exceeds `threshold`.
+#[derive(Debug, Clone)]
+pub struct PoolRed {
+    pool: ServicePool,
+    threshold: u64,
+    marked: u64,
+}
+
+impl PoolRed {
+    /// A member AQM of `pool` with the shared threshold in bytes. Create
+    /// one per port, cloning the same [`ServicePool`] handle into each.
+    pub fn new(pool: ServicePool, threshold: u64) -> Self {
+        PoolRed {
+            pool,
+            threshold,
+            marked: 0,
+        }
+    }
+
+    /// Packets marked by this member.
+    pub fn marked(&self) -> u64 {
+        self.marked
+    }
+}
+
+impl Aqm for PoolRed {
+    fn on_enqueue(
+        &mut self,
+        _view: &dyn PortView,
+        _q: usize,
+        pkt: &mut Packet,
+        _now: Time,
+    ) -> EnqueueVerdict {
+        let size = u64::from(pkt.size);
+        if self.pool.bytes() + size > self.threshold {
+            if pkt.try_mark_ce() {
+                self.marked += 1;
+            } else {
+                return EnqueueVerdict::Drop;
+            }
+        }
+        // Count only packets that actually enter a queue.
+        self.pool.add(size);
+        EnqueueVerdict::Admit
+    }
+
+    fn on_dequeue(
+        &mut self,
+        _view: &dyn PortView,
+        _q: usize,
+        pkt: &mut Packet,
+        _now: Time,
+    ) -> DequeueVerdict {
+        self.pool.sub(u64::from(pkt.size));
+        DequeueVerdict::Forward
+    }
+
+    fn name(&self) -> &'static str {
+        "RED/pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcn_core::aqm::StaticPortView;
+    use tcn_core::{EcnCodepoint, FlowId};
+    use tcn_sim::Rate;
+
+    fn pkt() -> Packet {
+        Packet::data(FlowId(1), 0, 1, 0, 1460, 40)
+    }
+
+    #[test]
+    fn pool_tracks_resident_bytes_across_members() {
+        let pool = ServicePool::new();
+        let mut a = PoolRed::new(pool.clone(), 1 << 30);
+        let mut b = PoolRed::new(pool.clone(), 1 << 30);
+        let v = StaticPortView::new(1, Rate::from_gbps(1));
+        let mut p1 = pkt();
+        a.on_enqueue(&v, 0, &mut p1, Time::ZERO);
+        let mut p2 = pkt();
+        b.on_enqueue(&v, 0, &mut p2, Time::ZERO);
+        assert_eq!(pool.bytes(), 3000);
+        a.on_dequeue(&v, 0, &mut p1, Time::from_us(1));
+        assert_eq!(pool.bytes(), 1500);
+        b.on_dequeue(&v, 0, &mut p2, Time::from_us(2));
+        assert_eq!(pool.bytes(), 0);
+    }
+
+    #[test]
+    fn cross_port_interference_marks_innocent_traffic() {
+        // The §3.2.2 pathology: port A's backlog pushes the pool over K,
+        // so a packet on otherwise-idle port B gets marked.
+        let pool = ServicePool::new();
+        let mut a = PoolRed::new(pool.clone(), 30_000);
+        let mut b = PoolRed::new(pool.clone(), 30_000);
+        let v = StaticPortView::new(1, Rate::from_gbps(1));
+        for _ in 0..25 {
+            let mut p = pkt();
+            a.on_enqueue(&v, 0, &mut p, Time::ZERO);
+        }
+        assert!(pool.bytes() > 30_000);
+        let mut innocent = pkt();
+        b.on_enqueue(&v, 0, &mut innocent, Time::ZERO);
+        assert!(innocent.ecn.is_ce(), "pool pressure must leak across ports");
+        assert_eq!(b.marked(), 1);
+    }
+
+    #[test]
+    fn below_threshold_never_marks() {
+        let pool = ServicePool::new();
+        let mut a = PoolRed::new(pool.clone(), 1 << 20);
+        let v = StaticPortView::new(1, Rate::from_gbps(1));
+        for _ in 0..10 {
+            let mut p = pkt();
+            let verdict = a.on_enqueue(&v, 0, &mut p, Time::ZERO);
+            assert_eq!(verdict, EnqueueVerdict::Admit);
+            assert!(!p.ecn.is_ce());
+        }
+    }
+
+    #[test]
+    fn non_ect_dropped_and_not_counted() {
+        let pool = ServicePool::new();
+        let mut a = PoolRed::new(pool.clone(), 1_000);
+        let v = StaticPortView::new(1, Rate::from_gbps(1));
+        let mut admit = pkt();
+        a.on_enqueue(&v, 0, &mut admit, Time::ZERO);
+        let mut nonect = pkt();
+        nonect.ecn = EcnCodepoint::NotEct;
+        let verdict = a.on_enqueue(&v, 0, &mut nonect, Time::ZERO);
+        assert_eq!(verdict, EnqueueVerdict::Drop);
+        // The dropped packet never entered a queue: pool unchanged.
+        assert_eq!(pool.bytes(), 1500);
+    }
+}

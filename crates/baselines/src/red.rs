@@ -1,0 +1,530 @@
+//! Queue-length ECN/RED in all the flavors the paper discusses.
+//!
+//! [`RedEcn`] is the *simplified* ECN/RED production datacenters actually
+//! run (§2.1): instantaneous occupancy compared against a single static
+//! threshold `K`, marking ECT packets and dropping non-ECT ones. It is
+//! parameterized on:
+//!
+//! * [`Scope`] — whose occupancy forms the signal: the packet's own queue
+//!   (per-queue ECN/RED, §3.2.1) or the whole port (per-port ECN/RED,
+//!   §3.2.2 — the scheme Fig. 1 shows violating scheduling policies);
+//! * [`MarkPoint`] — where the comparison happens: at enqueue (the
+//!   classic scheme) or at dequeue (Wu et al. \[35\], compared against TCN
+//!   in §4.3/Fig. 3).
+//!
+//! [`ClassicRed`] is the original averaged RED of Floyd & Jacobson with
+//! `K_min`/`K_max`/`P_max` and the geometric inter-mark correction —
+//! provided for background completeness and the probabilistic-marking
+//! ablation.
+//!
+//! [`OracleRed`] is the paper's "ideal ECN/RED" *with a-priori knowledge
+//! of queue capacities* (Fig. 5(b)): per-queue static thresholds
+//! `K_i = C_i·RTT·λ` configured from known capacities.
+
+use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+use tcn_core::Packet;
+use tcn_sim::{Ewma, Rng, Time};
+
+/// Whose buffer occupancy drives the marking decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// The packet's own queue — ideal isolation, wrong threshold when
+    /// many queues share the port (Remark 1).
+    PerQueue,
+    /// All queues of the egress port — right aggregate threshold, wrong
+    /// attribution: queues mark each other's packets (Remark 2).
+    PerPort,
+}
+
+/// Where the occupancy is compared against the threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkPoint {
+    /// On admission (classic RED).
+    Enqueue,
+    /// On departure (Wu et al. \[35\]) — reacts to *future* packets'
+    /// congestion, hence the lower occupancy peak in Fig. 3.
+    Dequeue,
+}
+
+/// Marking counters shared by the RED family.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RedStats {
+    /// Packets CE-marked.
+    pub marked: u64,
+    /// Non-ECT packets dropped by the AQM (not buffer overflows).
+    pub dropped: u64,
+}
+
+/// Simplified instantaneous ECN/RED with a static threshold.
+#[derive(Debug, Clone)]
+pub struct RedEcn {
+    threshold: u64,
+    scope: Scope,
+    point: MarkPoint,
+    stats: RedStats,
+}
+
+impl RedEcn {
+    /// Per-queue, enqueue-marking ECN/RED — the paper's "current
+    /// practice" baseline with the standard threshold.
+    pub fn per_queue(threshold_bytes: u64) -> Self {
+        RedEcn {
+            threshold: threshold_bytes,
+            scope: Scope::PerQueue,
+            point: MarkPoint::Enqueue,
+            stats: RedStats::default(),
+        }
+    }
+
+    /// Per-port, enqueue-marking ECN/RED — the Fig. 1 configuration.
+    pub fn per_port(threshold_bytes: u64) -> Self {
+        RedEcn {
+            threshold: threshold_bytes,
+            scope: Scope::PerPort,
+            point: MarkPoint::Enqueue,
+            stats: RedStats::default(),
+        }
+    }
+
+    /// Switch the marking point to dequeue (Wu et al. \[35\]).
+    pub fn at_dequeue(mut self) -> Self {
+        self.point = MarkPoint::Dequeue;
+        self
+    }
+
+    /// Configured threshold in bytes.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Marking/drop counters.
+    pub fn stats(&self) -> RedStats {
+        self.stats
+    }
+
+    fn occupancy(&self, view: &dyn PortView, q: usize) -> u64 {
+        match self.scope {
+            Scope::PerQueue => view.queue_bytes(q),
+            Scope::PerPort => view.port_bytes(),
+        }
+    }
+}
+
+impl Aqm for RedEcn {
+    fn on_enqueue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        _now: Time,
+    ) -> EnqueueVerdict {
+        if self.point != MarkPoint::Enqueue {
+            return EnqueueVerdict::Admit;
+        }
+        // The arriving packet is already counted in the occupancy; the
+        // switch compares the occupancy *including* the arrival, so the
+        // first byte over K marks.
+        if self.occupancy(view, q) > self.threshold {
+            if pkt.try_mark_ce() {
+                self.stats.marked += 1;
+            } else {
+                self.stats.dropped += 1;
+                return EnqueueVerdict::Drop;
+            }
+        }
+        EnqueueVerdict::Admit
+    }
+
+    fn on_dequeue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        _now: Time,
+    ) -> DequeueVerdict {
+        if self.point != MarkPoint::Dequeue {
+            return DequeueVerdict::Forward;
+        }
+        // Dequeue marking reads the occupancy left *behind* the departing
+        // packet — the congestion future packets will see (§4.3).
+        if self.occupancy(view, q) > self.threshold && pkt.try_mark_ce() {
+            self.stats.marked += 1;
+        }
+        DequeueVerdict::Forward
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.scope, self.point) {
+            (Scope::PerQueue, MarkPoint::Enqueue) => "RED/queue",
+            (Scope::PerQueue, MarkPoint::Dequeue) => "RED/queue-deq",
+            (Scope::PerPort, MarkPoint::Enqueue) => "RED/port",
+            (Scope::PerPort, MarkPoint::Dequeue) => "RED/port-deq",
+        }
+    }
+}
+
+/// Original averaged RED (Floyd & Jacobson) on a per-queue basis.
+///
+/// Kept faithful to the 1993 design: EWMA-averaged occupancy, linear
+/// probability ramp from `k_min` to `k_max` capped at `p_max`, and the
+/// `count`-based geometric correction that spaces marks evenly.
+#[derive(Debug, Clone)]
+pub struct ClassicRed {
+    k_min: u64,
+    k_max: u64,
+    p_max: f64,
+    avg: Vec<Ewma>,
+    /// Packets since the last mark, per queue (−1 semantics folded into
+    /// `Option`).
+    count: Vec<u64>,
+    rng: Rng,
+    stats: RedStats,
+    ewma_weight: f64,
+}
+
+impl ClassicRed {
+    /// Classic RED with thresholds in bytes and EWMA weight on history
+    /// (RED's `1 - w_q`; 0.998 ≈ the traditional `w_q = 0.002`).
+    ///
+    /// # Panics
+    /// Panics if `k_min > k_max` or `p_max ∉ (0, 1]`.
+    pub fn new(k_min: u64, k_max: u64, p_max: f64, seed: u64) -> Self {
+        assert!(k_min <= k_max, "k_min must not exceed k_max");
+        assert!(p_max > 0.0 && p_max <= 1.0, "p_max must be in (0,1]");
+        ClassicRed {
+            k_min,
+            k_max,
+            p_max,
+            avg: Vec::new(),
+            count: Vec::new(),
+            rng: Rng::new(seed),
+            stats: RedStats::default(),
+            ewma_weight: 0.998,
+        }
+    }
+
+    /// Override the averaging weight (weight on the *old* average).
+    pub fn with_ewma_weight(mut self, weight: f64) -> Self {
+        assert!((0.0..1.0).contains(&weight));
+        self.ewma_weight = weight;
+        self
+    }
+
+    /// Marking/drop counters.
+    pub fn stats(&self) -> RedStats {
+        self.stats
+    }
+
+    fn ensure_queues(&mut self, n: usize) {
+        while self.avg.len() < n {
+            self.avg.push(Ewma::new(self.ewma_weight));
+            self.count.push(0);
+        }
+    }
+
+    /// Marking probability for an averaged occupancy (before the count
+    /// correction). Exposed for tests.
+    pub fn base_probability(&self, avg_bytes: f64) -> f64 {
+        if avg_bytes < self.k_min as f64 {
+            0.0
+        } else if avg_bytes >= self.k_max as f64 || self.k_max == self.k_min {
+            1.0
+        } else {
+            self.p_max * (avg_bytes - self.k_min as f64) / (self.k_max - self.k_min) as f64
+        }
+    }
+}
+
+impl Aqm for ClassicRed {
+    fn on_enqueue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        _now: Time,
+    ) -> EnqueueVerdict {
+        self.ensure_queues(view.num_queues());
+        let avg = self.avg[q].update(view.queue_bytes(q) as f64);
+        let p_base = self.base_probability(avg);
+        if p_base <= 0.0 {
+            self.count[q] = 0;
+            return EnqueueVerdict::Admit;
+        }
+        let mark = if p_base >= 1.0 {
+            true
+        } else {
+            // Geometric correction: p / (1 - count·p), clamped.
+            let denom = 1.0 - self.count[q] as f64 * p_base;
+            let p = if denom <= 0.0 { 1.0 } else { p_base / denom };
+            self.rng.chance(p)
+        };
+        if mark {
+            self.count[q] = 0;
+            if pkt.try_mark_ce() {
+                self.stats.marked += 1;
+            } else {
+                self.stats.dropped += 1;
+                return EnqueueVerdict::Drop;
+            }
+        } else {
+            self.count[q] += 1;
+        }
+        EnqueueVerdict::Admit
+    }
+
+    fn on_dequeue(
+        &mut self,
+        _view: &dyn PortView,
+        _q: usize,
+        _pkt: &mut Packet,
+        _now: Time,
+    ) -> DequeueVerdict {
+        DequeueVerdict::Forward
+    }
+
+    fn name(&self) -> &'static str {
+        "ClassicRED"
+    }
+}
+
+/// The "ideal ECN/RED" with **a-priori known** queue capacities: static
+/// per-queue thresholds `K_i = C_i × RTT × λ` (paper Eq. 2, evaluated in
+/// Fig. 5(b) where the capacities are known by construction).
+#[derive(Debug, Clone)]
+pub struct OracleRed {
+    thresholds: Vec<u64>,
+    stats: RedStats,
+}
+
+impl OracleRed {
+    /// Oracle RED with per-queue thresholds in bytes.
+    ///
+    /// # Panics
+    /// Panics if `thresholds` is empty.
+    pub fn new(thresholds: Vec<u64>) -> Self {
+        assert!(!thresholds.is_empty());
+        OracleRed {
+            thresholds,
+            stats: RedStats::default(),
+        }
+    }
+
+    /// Marking/drop counters.
+    pub fn stats(&self) -> RedStats {
+        self.stats
+    }
+}
+
+impl Aqm for OracleRed {
+    fn on_enqueue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        _now: Time,
+    ) -> EnqueueVerdict {
+        let k = self
+            .thresholds
+            .get(q)
+            .copied()
+            .unwrap_or_else(|| *self.thresholds.last().expect("nonempty"));
+        if view.queue_bytes(q) > k {
+            if pkt.try_mark_ce() {
+                self.stats.marked += 1;
+            } else {
+                self.stats.dropped += 1;
+                return EnqueueVerdict::Drop;
+            }
+        }
+        EnqueueVerdict::Admit
+    }
+
+    fn on_dequeue(
+        &mut self,
+        _view: &dyn PortView,
+        _q: usize,
+        _pkt: &mut Packet,
+        _now: Time,
+    ) -> DequeueVerdict {
+        DequeueVerdict::Forward
+    }
+
+    fn name(&self) -> &'static str {
+        "OracleRED"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcn_core::aqm::StaticPortView;
+    use tcn_core::{EcnCodepoint, FlowId};
+    use tcn_sim::Rate;
+
+    fn pkt() -> Packet {
+        Packet::data(FlowId(1), 0, 1, 0, 1460, 40)
+    }
+
+    fn view(queue_bytes: Vec<u64>) -> StaticPortView {
+        let n = queue_bytes.len();
+        let mut v = StaticPortView::new(n, Rate::from_gbps(1));
+        v.queue_bytes = queue_bytes;
+        v
+    }
+
+    #[test]
+    fn per_queue_marks_on_own_queue_only() {
+        let mut red = RedEcn::per_queue(30_000);
+        // Queue 0 over threshold, queue 1 under.
+        let v = view(vec![40_000, 1_000]);
+        let mut p0 = pkt();
+        red.on_enqueue(&v, 0, &mut p0, Time::ZERO);
+        assert!(p0.ecn.is_ce());
+        let mut p1 = pkt();
+        red.on_enqueue(&v, 1, &mut p1, Time::ZERO);
+        assert!(!p1.ecn.is_ce(), "other queue's occupancy must not leak");
+    }
+
+    #[test]
+    fn per_port_marks_across_queues() {
+        // Remark 2: a packet of an idle queue gets marked because the
+        // *port* is congested — the scheduling-policy violation of Fig. 1.
+        let mut red = RedEcn::per_port(30_000);
+        let v = view(vec![40_000, 100]);
+        let mut p1 = pkt();
+        red.on_enqueue(&v, 1, &mut p1, Time::ZERO);
+        assert!(p1.ecn.is_ce());
+    }
+
+    #[test]
+    fn enqueue_scheme_ignores_dequeue() {
+        let mut red = RedEcn::per_queue(1);
+        let v = view(vec![1_000_000]);
+        let mut p = pkt();
+        assert_eq!(
+            red.on_dequeue(&v, 0, &mut p, Time::ZERO),
+            DequeueVerdict::Forward
+        );
+        assert!(!p.ecn.is_ce());
+    }
+
+    #[test]
+    fn dequeue_variant_marks_at_dequeue_only() {
+        let mut red = RedEcn::per_queue(30_000).at_dequeue();
+        let v = view(vec![40_000]);
+        let mut p = pkt();
+        assert_eq!(
+            red.on_enqueue(&v, 0, &mut p, Time::ZERO),
+            EnqueueVerdict::Admit
+        );
+        assert!(!p.ecn.is_ce());
+        red.on_dequeue(&v, 0, &mut p, Time::ZERO);
+        assert!(p.ecn.is_ce());
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        let mut red = RedEcn::per_queue(30_000);
+        let v = view(vec![30_000]);
+        let mut p = pkt();
+        red.on_enqueue(&v, 0, &mut p, Time::ZERO);
+        assert!(!p.ecn.is_ce(), "at exactly K no mark");
+    }
+
+    #[test]
+    fn non_ect_dropped_over_threshold() {
+        let mut red = RedEcn::per_queue(30_000);
+        let v = view(vec![40_000]);
+        let mut p = pkt();
+        p.ecn = EcnCodepoint::NotEct;
+        assert_eq!(
+            red.on_enqueue(&v, 0, &mut p, Time::ZERO),
+            EnqueueVerdict::Drop
+        );
+        assert_eq!(red.stats().dropped, 1);
+    }
+
+    #[test]
+    fn stats_count_marks() {
+        let mut red = RedEcn::per_queue(10_000);
+        let hot = view(vec![20_000]);
+        let cold = view(vec![5_000]);
+        for _ in 0..3 {
+            let mut p = pkt();
+            red.on_enqueue(&hot, 0, &mut p, Time::ZERO);
+        }
+        let mut p = pkt();
+        red.on_enqueue(&cold, 0, &mut p, Time::ZERO);
+        assert_eq!(red.stats().marked, 3);
+    }
+
+    #[test]
+    fn classic_red_ramp() {
+        let red = ClassicRed::new(10_000, 30_000, 0.5, 1);
+        assert_eq!(red.base_probability(5_000.0), 0.0);
+        assert!((red.base_probability(20_000.0) - 0.25).abs() < 1e-12);
+        assert_eq!(red.base_probability(30_000.0), 1.0);
+    }
+
+    #[test]
+    fn classic_red_average_lags_instantaneous() {
+        // A single burst above k_max must not instantly mark, because the
+        // EWMA average lags — precisely why datacenters switched to
+        // instantaneous marking (§2.1).
+        let mut red = ClassicRed::new(10_000, 30_000, 0.5, 2);
+        let v = view(vec![100_000]);
+        let mut p = pkt();
+        red.on_enqueue(&v, 0, &mut p, Time::ZERO);
+        // First sample primes the EWMA at 100_000 → marks. Use a fresh
+        // instance to show the lag from a quiet history instead.
+        let mut red2 = ClassicRed::new(10_000, 30_000, 0.5, 3);
+        let quiet = view(vec![0]);
+        for _ in 0..50 {
+            let mut p = pkt();
+            red2.on_enqueue(&quiet, 0, &mut p, Time::ZERO);
+        }
+        let mut p2 = pkt();
+        red2.on_enqueue(&v, 0, &mut p2, Time::ZERO);
+        assert!(
+            !p2.ecn.is_ce(),
+            "averaged RED must lag a sudden burst (weight 0.998)"
+        );
+    }
+
+    #[test]
+    fn classic_red_marks_under_sustained_load() {
+        let mut red = ClassicRed::new(10_000, 30_000, 1.0, 4).with_ewma_weight(0.5);
+        let v = view(vec![50_000]);
+        let mut marked = 0;
+        for _ in 0..50 {
+            let mut p = pkt();
+            red.on_enqueue(&v, 0, &mut p, Time::ZERO);
+            if p.ecn.is_ce() {
+                marked += 1;
+            }
+        }
+        assert!(marked >= 45, "sustained overload must mark, got {marked}");
+    }
+
+    #[test]
+    fn oracle_uses_per_queue_thresholds() {
+        // Fig. 5(b): port K = 32 KB, two 250 Mbps queues → K_i = 8 KB.
+        let mut oracle = OracleRed::new(vec![32_000, 8_000, 8_000]);
+        let v = view(vec![10_000, 10_000, 5_000]);
+        let mut p0 = pkt();
+        oracle.on_enqueue(&v, 0, &mut p0, Time::ZERO);
+        assert!(!p0.ecn.is_ce(), "10 KB < 32 KB on queue 0");
+        let mut p1 = pkt();
+        oracle.on_enqueue(&v, 1, &mut p1, Time::ZERO);
+        assert!(p1.ecn.is_ce(), "10 KB > 8 KB on queue 1");
+        let mut p2 = pkt();
+        oracle.on_enqueue(&v, 2, &mut p2, Time::ZERO);
+        assert!(!p2.ecn.is_ce());
+    }
+
+    #[test]
+    #[should_panic(expected = "k_min must not exceed k_max")]
+    fn classic_red_rejects_inverted() {
+        ClassicRed::new(2, 1, 0.5, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **TCN threshold sweep** — throughput/latency trade around
+//!   `T = RTT × λ` (the paper's Eq. 3 choice);
+//! * **`dq_thresh` sweep** — the Remark-3 tuning burden of Algorithm 1;
+//! * **queue-count sweep** — §6.2.2 robustness to 2→32 queues;
+//! * **marking point** — enqueue vs dequeue RED vs TCN (Fig. 3's axis).
+//!
+//! Each bench body also asserts the qualitative property so a regression
+//! in behaviour (not just speed) fails the bench run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcn_bench::heavy;
+use tcn_core::Tcn;
+use tcn_net::{single_switch, PortSetup, TaggingPolicy};
+use tcn_sched::Dwrr;
+use tcn_sim::{Rate, Rng, Time};
+use tcn_stats::FctBreakdown;
+use tcn_transport::TcpConfig;
+use tcn_workloads::{gen_many_to_one, Workload};
+
+/// One small isolation run with a given TCN threshold and queue count;
+/// returns the FCT breakdown.
+fn run_tcn(nqueues: usize, threshold: Time, flows: usize, seed: u64) -> FctBreakdown {
+    let mut sim = single_switch(
+        9,
+        Rate::from_gbps(1),
+        Time::from_us(62),
+        TcpConfig::testbed_dctcp(),
+        TaggingPolicy::Fixed,
+        move || PortSetup {
+            nqueues,
+            buffer: Some(96_000),
+            tx_rate: None,
+            make_sched: Box::new(move || Box::new(Dwrr::equal(nqueues, 1_500))),
+            make_aqm: Box::new(move || Box::new(Tcn::new(threshold))),
+        },
+    );
+    let mut rng = Rng::new(seed);
+    let senders: Vec<u32> = (0..8).collect();
+    let services: Vec<u8> = (0..nqueues as u8).collect();
+    for spec in gen_many_to_one(
+        &mut rng,
+        flows,
+        &senders,
+        8,
+        &Workload::WebSearch.cdf(),
+        0.7,
+        Rate::from_gbps(1),
+        &services,
+        Time::ZERO,
+    ) {
+        sim.add_flow(spec);
+    }
+    assert!(sim.run_to_completion(Time::from_secs(1_000)));
+    FctBreakdown::from_records(&sim.fct_records())
+}
+
+fn tcn_threshold_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tcn_threshold");
+    for t_us in [64u64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(t_us), &t_us, |b, &t_us| {
+            b.iter(|| run_tcn(4, Time::from_us(t_us), 150, 1))
+        });
+    }
+    g.finish();
+    // Behavioural assertion: a grossly oversized threshold hurts small
+    // flows (more queueing), an undersized one hurts large flows
+    // (throughput loss); the paper's T is the balance point.
+    let tight = run_tcn(4, Time::from_us(64), 400, 2);
+    let paper = run_tcn(4, Time::from_us(256), 400, 2);
+    let loose = run_tcn(4, Time::from_us(2048), 400, 2);
+    assert!(
+        loose.small_avg_us > paper.small_avg_us,
+        "oversized T should inflate small-flow FCT: {} vs {}",
+        loose.small_avg_us,
+        paper.small_avg_us
+    );
+    assert!(
+        tight.large_avg_us >= paper.large_avg_us * 0.95,
+        "undersized T must not beat the paper threshold on throughput: {} vs {}",
+        tight.large_avg_us,
+        paper.large_avg_us
+    );
+}
+
+fn queue_count_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_queue_count");
+    for nq in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(nq), &nq, |b, &nq| {
+            b.iter(|| run_tcn(nq, Time::from_us(256), 150, 3))
+        });
+    }
+    g.finish();
+}
+
+fn dq_thresh_sweep(c: &mut Criterion) {
+    use tcn_baselines::DqRateMeter;
+    // Synthetic DWRR departure pattern (quantum 18 KB, two active
+    // queues at 10 Gbps): measures estimator quality per dq_thresh.
+    let drive = |dq: u64| {
+        let mut m = DqRateMeter::new(dq, 0.875);
+        let mut now = Time::ZERO;
+        for _round in 0..500 {
+            for _ in 0..12 {
+                m.on_departure(100_000, 1_500, now);
+                now += Time::from_ns(1_200);
+            }
+            now += Time::from_ns(1_200 * 12);
+        }
+        m
+    };
+    let mut g = c.benchmark_group("ablation_dq_thresh");
+    for dq in [10_000u64, 18_000, 40_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(dq), &dq, |b, &dq| {
+            b.iter(|| drive(dq).avg_rate())
+        });
+    }
+    g.finish();
+    // Behavioural assertion (Remark 3): sub-quantum dq_thresh biases the
+    // estimate high; the supra-quantum settings land near 5 Gbps.
+    let small = drive(10_000).avg_rate().unwrap().as_gbps_f64();
+    let large = drive(40_000).avg_rate().unwrap().as_gbps_f64();
+    assert!(small > 5.4, "10 KB estimate should be biased: {small}");
+    assert!((large - 5.0).abs() < 0.4, "40 KB estimate off: {large}");
+}
+
+fn marking_point(c: &mut Criterion) {
+    use tcn_experiments::fig3;
+    c.bench_function("ablation_marking_point_fig3", |b| {
+        b.iter(|| {
+            let res = fig3::run(Time::from_ms(4), Time::from_ms(2));
+            // Dequeue marking must keep its lower slow-start peak.
+            let deq = res.rows.iter().find(|r| r.scheme == "RED-queue-deq").unwrap();
+            let enq = res.rows.iter().find(|r| r.scheme == "RED-queue(std)").unwrap();
+            assert!(deq.peak_bytes < enq.peak_bytes);
+            res.rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = heavy();
+    targets = tcn_threshold_sweep, queue_count_sweep, dq_thresh_sweep, marking_point
+}
+criterion_main!(benches);

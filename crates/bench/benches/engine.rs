@@ -1,0 +1,86 @@
+//! Microbenchmarks of the simulator substrate: event queue throughput,
+//! RNG draws, port enqueue/dequeue, and end-to-end events/second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_core::{FlowId, Packet, Tcn};
+use tcn_net::{single_switch, FlowSpec, Port, PortSetup, TaggingPolicy};
+use tcn_sched::Dwrr;
+use tcn_sim::{EventQueue, Rate, Rng, Time};
+use tcn_transport::TcpConfig;
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("engine_event_queue_1k_churn", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule_at(Time::from_ns(i * 7 % 997), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.event);
+            }
+            acc
+        })
+    });
+}
+
+fn rng(c: &mut Criterion) {
+    let mut r = Rng::new(1);
+    c.bench_function("engine_rng_exp", |b| b.iter(|| r.exp(1.0)));
+}
+
+fn port(c: &mut Criterion) {
+    let setup = PortSetup {
+        nqueues: 8,
+        buffer: Some(300_000),
+        tx_rate: None,
+        make_sched: Box::new(|| Box::new(Dwrr::equal(8, 1_500))),
+        make_aqm: Box::new(|| Box::new(Tcn::new(Time::from_us(78)))),
+    };
+    let mut port = Port::new(&setup, Rate::from_gbps(10));
+    let mut now = Time::ZERO;
+    let mut dscp = 0u8;
+    c.bench_function("engine_port_enq_deq", |b| {
+        b.iter(|| {
+            let mut p = Packet::data(FlowId(1), 0, 1, 0, 1460, 40);
+            p.dscp = dscp;
+            dscp = (dscp + 1) % 8;
+            now += Time::from_ns(100);
+            port.enqueue(p, now);
+            port.dequeue(now)
+        })
+    });
+}
+
+fn end_to_end(c: &mut Criterion) {
+    c.bench_function("engine_sim_1MB_flow", |b| {
+        b.iter(|| {
+            let mut sim = single_switch(
+                3,
+                Rate::from_gbps(10),
+                Time::from_us(25),
+                TcpConfig::sim_dctcp(),
+                TaggingPolicy::Fixed,
+                || PortSetup {
+                    nqueues: 2,
+                    buffer: Some(300_000),
+                    tx_rate: None,
+                    make_sched: Box::new(|| Box::new(Dwrr::equal(2, 1_500))),
+                    make_aqm: Box::new(|| Box::new(Tcn::new(Time::from_us(78)))),
+                },
+            );
+            sim.add_flow(FlowSpec {
+                src: 0,
+                dst: 2,
+                size: 1_000_000,
+                start: Time::ZERO,
+                service: 0,
+            });
+            assert!(sim.run_to_completion(Time::from_secs(5)));
+            sim.events_processed()
+        })
+    });
+}
+
+criterion_group!(benches, event_queue, rng, port, end_to_end);
+criterion_main!(benches);

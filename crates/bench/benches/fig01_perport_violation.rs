@@ -1,0 +1,19 @@
+//! Bench: regenerate paper Fig. 1 (per-port RED policy violation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::heavy;
+use tcn_experiments::fig1;
+use tcn_sim::Time;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig01_perport_violation", |b| {
+        b.iter(|| {
+            let res = fig1::run(&[8], Time::from_ms(100));
+            assert_eq!(res.cells.len(), 2);
+            res
+        })
+    });
+}
+
+criterion_group! { name = benches; config = heavy(); targets = bench }
+criterion_main!(benches);

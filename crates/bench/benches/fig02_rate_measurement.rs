@@ -1,0 +1,19 @@
+//! Bench: regenerate paper Fig. 2 (Algorithm-1 vs MQ-ECN estimation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::heavy;
+use tcn_experiments::fig2;
+use tcn_sim::Time;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig02_rate_measurement", |b| {
+        b.iter(|| {
+            let (r, _) = fig2::run(Time::from_ms(5), Time::from_ms(12));
+            assert!(r.mq_final_gbps > 0.0);
+            r
+        })
+    });
+}
+
+criterion_group! { name = benches; config = heavy(); targets = bench }
+criterion_main!(benches);

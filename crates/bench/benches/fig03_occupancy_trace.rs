@@ -1,0 +1,19 @@
+//! Bench: regenerate paper Fig. 3 (occupancy traces of three markers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::heavy;
+use tcn_experiments::fig3;
+use tcn_sim::Time;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig03_occupancy_trace", |b| {
+        b.iter(|| {
+            let res = fig3::run(Time::from_ms(5), Time::from_ms(3));
+            assert_eq!(res.rows.len(), 3);
+            res.rows
+        })
+    });
+}
+
+criterion_group! { name = benches; config = heavy(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Bench: regenerate paper Fig. 4 (workload CDFs) + sampling throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_experiments::fig4;
+use tcn_sim::Rng;
+use tcn_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig04_workload_cdfs", |b| b.iter(fig4::run));
+    let cdf = Workload::WebSearch.cdf();
+    let mut rng = Rng::new(1);
+    c.bench_function("fig04_sample_web_search", |b| b.iter(|| cdf.sample(&mut rng)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench: regenerate paper Fig. 5 (SP/WFQ static flows + RTT probes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::heavy;
+use tcn_experiments::fig5;
+use tcn_sim::Time;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig05_static_flows", |b| {
+        b.iter(|| {
+            let res = fig5::run(Time::from_ms(120));
+            assert_eq!(res.rtts.len(), 4);
+            res
+        })
+    });
+}
+
+criterion_group! { name = benches; config = heavy(); targets = bench }
+criterion_main!(benches);

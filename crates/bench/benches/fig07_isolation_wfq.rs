@@ -1,0 +1,19 @@
+//! Bench: regenerate paper Fig. 7 (inter-service isolation, WFQ) at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::{bench_scale, heavy};
+use tcn_experiments::fct_sweep::{self, SweepConfig};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig07_isolation_wfq", |b| {
+        b.iter(|| {
+            let res = fct_sweep::run(&SweepConfig::fig7(), &scale);
+            assert!(!res.cells.is_empty());
+            res
+        })
+    });
+}
+
+criterion_group! { name = benches; config = heavy(); targets = bench }
+criterion_main!(benches);

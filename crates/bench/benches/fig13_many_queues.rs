@@ -1,0 +1,20 @@
+//! Bench: regenerate paper Fig. 13 (leaf-spine 32 queues, ECN*) at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::{bench_scale, heavy};
+use tcn_experiments::fct_sweep::{self, SweepConfig};
+use tcn_net::LeafSpineConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig13_many_queues", |b| {
+        b.iter(|| {
+            let res = fct_sweep::run(&SweepConfig::fig13(LeafSpineConfig::small()), &scale);
+            assert!(!res.cells.is_empty());
+            res
+        })
+    });
+}
+
+criterion_group! { name = benches; config = heavy(); targets = bench }
+criterion_main!(benches);

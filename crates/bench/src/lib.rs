@@ -1,0 +1,37 @@
+//! `tcn-bench` — shared scaffolding for the Criterion benchmarks.
+//!
+//! Each `benches/figNN_*.rs` target regenerates one paper figure at a
+//! bench-friendly scale and reports the wall time of the regeneration;
+//! `benches/engine.rs` micro-benchmarks the simulator substrate, and
+//! `benches/ablations.rs` sweeps the design knobs DESIGN.md calls out
+//! (TCN threshold, Algorithm-1 `dq_thresh`, queue count, marking point).
+//!
+//! The printed figures themselves come from the `tcn-experiments`
+//! binaries; benches exist so `cargo bench` exercises every experiment
+//! path end to end and tracks simulator performance over time.
+
+use tcn_experiments::common::Scale;
+
+/// The flow count used by FCT-sweep bench cells (kept small: a bench
+/// iteration should be ~hundreds of milliseconds).
+pub const BENCH_FLOWS: usize = 250;
+
+/// One mid-range load for bench cells.
+pub const BENCH_LOADS: &[f64] = &[0.7];
+
+/// The bench scale for FCT sweeps.
+pub fn bench_scale() -> Scale {
+    Scale {
+        flows: BENCH_FLOWS,
+        loads: BENCH_LOADS,
+        seed: 1,
+    }
+}
+
+/// Criterion settings shared by the heavy (whole-simulation) benches.
+pub fn heavy() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}

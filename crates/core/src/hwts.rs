@@ -1,0 +1,144 @@
+//! Model of the 2-byte hardware enqueue timestamp (paper §4.2).
+//!
+//! The paper argues TCN is cheap in silicon because the enqueue timestamp
+//! can be a **16-bit** counter at 4 or 8 ns resolution: `4 ns × 2^16 ≈
+//! 262 µs`, `8 ns × 2^16 ≈ 524 µs` — both comfortably above datacenter
+//! sojourn times — and the dequeue-side subtraction handles counter wrap
+//! with plain unsigned arithmetic.
+//!
+//! This module reproduces that arithmetic exactly so the claim is
+//! executable: [`HwClock`] quantizes the picosecond simulation clock to a
+//! 16-bit tick counter, and [`HwClock::sojourn`] recovers the true sojourn
+//! via wrapping subtraction, as long as the true sojourn is below the wrap
+//! period. A dedicated test demonstrates the wrap case the paper mentions
+//! ("an unsigned subtraction with two 17b or 18b operands").
+
+use tcn_sim::Time;
+
+/// A 16-bit hardware timestamp clock with a configurable tick resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct HwClock {
+    /// Picoseconds per tick (4 ns → 4000, 8 ns → 8000).
+    tick_ps: u64,
+}
+
+impl HwClock {
+    /// A clock with 4 ns resolution — the paper's 40 Gbps sizing
+    /// (wrap period ≈ 262 µs).
+    pub const RES_4NS: HwClock = HwClock { tick_ps: 4_000 };
+    /// A clock with 8 ns resolution — the paper's 100 Gbps sizing
+    /// (wrap period ≈ 524 µs).
+    pub const RES_8NS: HwClock = HwClock { tick_ps: 8_000 };
+
+    /// A clock with arbitrary tick resolution.
+    ///
+    /// # Panics
+    /// Panics on a zero tick.
+    pub fn with_resolution(tick: Time) -> Self {
+        assert!(!tick.is_zero(), "tick must be positive");
+        HwClock {
+            tick_ps: tick.as_ps(),
+        }
+    }
+
+    /// The period after which the 16-bit counter wraps.
+    pub fn wrap_period(&self) -> Time {
+        Time::from_ps(self.tick_ps * (1 << 16))
+    }
+
+    /// The 16-bit timestamp the chip would stamp at simulated time `now`.
+    pub fn stamp(&self, now: Time) -> u16 {
+        ((now.as_ps() / self.tick_ps) & 0xFFFF) as u16
+    }
+
+    /// Sojourn time recovered at dequeue from two 16-bit stamps using
+    /// wrapping unsigned subtraction, quantized to the tick. Correct for
+    /// any true sojourn shorter than [`Self::wrap_period`].
+    pub fn sojourn(&self, enq_stamp: u16, deq_stamp: u16) -> Time {
+        let ticks = deq_stamp.wrapping_sub(enq_stamp);
+        Time::from_ps(u64::from(ticks) * self.tick_ps)
+    }
+
+    /// End-to-end helper: the sojourn TCN-in-hardware would compute for a
+    /// packet enqueued at `enq` and dequeued at `deq`.
+    pub fn measure(&self, enq: Time, deq: Time) -> Time {
+        self.sojourn(self.stamp(enq), self.stamp(deq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_wrap_periods() {
+        // 4 ns × 2^16 ≈ 262 us; 8 ns × 2^16 ≈ 524 us (§4.2).
+        assert_eq!(HwClock::RES_4NS.wrap_period(), Time::from_us(262) + Time::from_ps(144_000));
+        assert_eq!(HwClock::RES_4NS.wrap_period().as_us(), 262);
+        assert_eq!(HwClock::RES_8NS.wrap_period().as_us(), 524);
+    }
+
+    #[test]
+    fn sojourn_without_wrap() {
+        let clk = HwClock::RES_4NS;
+        let enq = Time::from_us(10);
+        let deq = Time::from_us(110);
+        // True sojourn 100 us, quantized to 4 ns ticks → exact here.
+        assert_eq!(clk.measure(enq, deq), Time::from_us(100));
+    }
+
+    #[test]
+    fn sojourn_across_wrap() {
+        // Enqueue shortly before the counter wraps, dequeue after:
+        // the unsigned subtraction must still be correct (§4.2).
+        let clk = HwClock::RES_4NS;
+        let wrap = clk.wrap_period();
+        let enq = wrap - Time::from_us(30); // 30 us before wrap
+        let deq = wrap + Time::from_us(70); // 70 us after wrap
+        assert!(clk.stamp(deq) < clk.stamp(enq), "stamps must have wrapped");
+        assert_eq!(clk.measure(enq, deq), Time::from_us(100));
+    }
+
+    #[test]
+    fn sojourn_quantizes_down() {
+        let clk = HwClock::RES_8NS;
+        let enq = Time::from_ns(0);
+        let deq = Time::from_ns(19); // 2 full ticks of 8 ns
+        assert_eq!(clk.measure(enq, deq), Time::from_ns(16));
+    }
+
+    #[test]
+    fn resolution_suffices_for_datacenter_rtts() {
+        // The design claim: typical marking thresholds (≤ a few hundred
+        // us) stay below the wrap period, so a 2-byte stamp suffices.
+        for clk in [HwClock::RES_4NS, HwClock::RES_8NS] {
+            assert!(clk.wrap_period() > Time::from_us(250));
+        }
+    }
+
+    #[test]
+    fn ambiguity_beyond_wrap_is_modular() {
+        // Document the limitation: sojourns >= wrap period alias. This is
+        // exactly the behaviour of the hardware scheme, not a bug.
+        let clk = HwClock::RES_4NS;
+        let wrap = clk.wrap_period();
+        let aliased = clk.measure(Time::ZERO, wrap + Time::from_us(5));
+        assert_eq!(aliased, Time::from_us(5));
+    }
+
+    #[test]
+    fn custom_resolution() {
+        let clk = HwClock::with_resolution(Time::from_ns(1));
+        assert_eq!(clk.wrap_period(), Time::from_ns(65536));
+        assert_eq!(
+            clk.measure(Time::from_ns(3), Time::from_ns(103)),
+            Time::from_ns(100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn zero_tick_rejected() {
+        HwClock::with_resolution(Time::ZERO);
+    }
+}

@@ -1,0 +1,45 @@
+//! `tcn-core` — the paper's contribution, and the interfaces everything
+//! else plugs into.
+//!
+//! This crate implements **TCN (Time-based Congestion Notification)** from
+//! *Enabling ECN over Generic Packet Scheduling* (Bai et al., CoNEXT 2016):
+//! an active queue management scheme that ECN-marks a packet **at dequeue**
+//! when its **sojourn time** — the time the packet spent waiting in its
+//! switch queue — exceeds a static threshold
+//!
+//! ```text
+//! T = RTT × λ                                  (paper Eq. 3)
+//! ```
+//!
+//! Because sojourn time already *is* `queue length ÷ queue drain rate`, the
+//! threshold does not depend on the (constantly changing) per-queue
+//! capacity, so one static `T` is valid under **any** packet scheduler —
+//! the property queue-length-based ECN/RED fundamentally lacks (paper §3).
+//!
+//! The crate also defines the plumbing shared by every AQM and scheduler in
+//! the workspace:
+//!
+//! * [`Packet`] — the simulated packet with its ECN codepoint, DSCP class
+//!   and the per-hop enqueue timestamp TCN relies on;
+//! * [`PacketQueue`] — a FIFO with byte/packet accounting;
+//! * [`Aqm`] — the enqueue/dequeue hook trait (TCN, CoDel, every RED
+//!   flavor and MQ-ECN all fit it);
+//! * [`PortView`] — what an AQM may observe about its port (occupancies,
+//!   link rate, scheduler round time);
+//! * [`threshold`] — the standard marking thresholds `K = C·RTT·λ` and
+//!   `T = RTT·λ` (paper Eqs. 1–3);
+//! * [`hwts`] — a model of the 2-byte wrapping hardware timestamp argued
+//!   sufficient in paper §4.2.
+
+pub mod aqm;
+pub mod hwts;
+pub mod packet;
+pub mod queue;
+pub mod tcn;
+pub mod threshold;
+
+pub use aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+pub use packet::{EcnCodepoint, FlowId, Packet, PacketKind};
+pub use queue::PacketQueue;
+pub use tcn::{ProbabilisticTcn, Tcn};
+pub use threshold::{standard_queue_threshold, standard_sojourn_threshold};

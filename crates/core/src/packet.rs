@@ -1,0 +1,243 @@
+//! The simulated packet.
+//!
+//! Packets are plain structs moved by value through the simulator — no
+//! byte-level headers are serialized (see DESIGN.md "omitted"). Header
+//! overhead is modelled as a byte count so goodput < throughput exactly as
+//! on the wire.
+
+use tcn_sim::Time;
+
+/// Identifier of a flow (a single application message, in the paper's
+/// terminology — one TCP connection may carry several flows over time).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// IP ECN codepoint (RFC 3168).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EcnCodepoint {
+    /// Not ECN-Capable Transport. RED-family AQMs must *drop* such packets
+    /// instead of marking.
+    NotEct,
+    /// ECN-Capable Transport (0). Default for all datacenter transports
+    /// modelled here.
+    #[default]
+    Ect0,
+    /// ECN-Capable Transport (1).
+    Ect1,
+    /// Congestion Experienced — the mark.
+    Ce,
+}
+
+impl EcnCodepoint {
+    /// True if the packet may be ECN-marked (is ECT or already CE).
+    #[inline]
+    pub fn is_ect(self) -> bool {
+        !matches!(self, EcnCodepoint::NotEct)
+    }
+
+    /// True if the congestion-experienced mark is set.
+    #[inline]
+    pub fn is_ce(self) -> bool {
+        matches!(self, EcnCodepoint::Ce)
+    }
+}
+
+/// Transport-level role of a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data segment: `seq` is the byte offset of the first payload byte
+    /// within its flow, `payload` the number of payload bytes carried.
+    Data {
+        /// Byte offset of the segment within the flow.
+        seq: u64,
+        /// Payload bytes carried.
+        payload: u32,
+    },
+    /// A (pure) cumulative acknowledgement.
+    Ack {
+        /// Next byte expected by the receiver.
+        cum_ack: u64,
+        /// ECN-Echo: the receiver is reflecting a CE mark back to the
+        /// sender (per the transport's echo state machine).
+        ece: bool,
+    },
+    /// A latency probe (models the `ping` measurements of paper §6.1.1).
+    /// `reply == false` is the request, `true` the echo.
+    Probe {
+        /// Matches replies to requests.
+        probe_id: u64,
+        /// Whether this is the echoed reply.
+        reply: bool,
+    },
+}
+
+/// A packet in flight or queued.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Source host index.
+    pub src: u32,
+    /// Destination host index.
+    pub dst: u32,
+    /// Total wire size in bytes (headers + payload). This is what queues,
+    /// rate limiters and thresholds account in.
+    pub size: u32,
+    /// Differentiated Services Code Point — the switch classifier maps it
+    /// to an egress queue (paper §5 "Packet Classifier").
+    pub dscp: u8,
+    /// ECN codepoint.
+    pub ecn: EcnCodepoint,
+    /// Transport role.
+    pub kind: PacketKind,
+    /// Time this packet was enqueued at the *current* hop. Stamped by the
+    /// port on admission; TCN and CoDel read `now - enq_ts` at dequeue
+    /// (the sojourn time, §4.1). Re-stamped at every hop.
+    pub enq_ts: Time,
+    /// Time the transport put the packet on the wire at the source
+    /// (end-to-end latency measurements).
+    pub birth_ts: Time,
+}
+
+impl Packet {
+    /// Convenience constructor for a data segment.
+    pub fn data(flow: FlowId, src: u32, dst: u32, seq: u64, payload: u32, header: u32) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            size: payload + header,
+            dscp: 0,
+            ecn: EcnCodepoint::Ect0,
+            kind: PacketKind::Data { seq, payload },
+            enq_ts: Time::ZERO,
+            birth_ts: Time::ZERO,
+        }
+    }
+
+    /// Convenience constructor for a pure ACK of `size` wire bytes.
+    pub fn ack(flow: FlowId, src: u32, dst: u32, cum_ack: u64, ece: bool, size: u32) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            size,
+            dscp: 0,
+            ecn: EcnCodepoint::Ect0,
+            kind: PacketKind::Ack { cum_ack, ece },
+            enq_ts: Time::ZERO,
+            birth_ts: Time::ZERO,
+        }
+    }
+
+    /// Convenience constructor for a latency probe.
+    pub fn probe(flow: FlowId, src: u32, dst: u32, probe_id: u64, reply: bool, size: u32) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            size,
+            dscp: 0,
+            ecn: EcnCodepoint::Ect0,
+            kind: PacketKind::Probe { probe_id, reply },
+            enq_ts: Time::ZERO,
+            birth_ts: Time::ZERO,
+        }
+    }
+
+    /// Set the CE mark if the packet is ECN-capable. Returns `true` if the
+    /// mark was applied (or already present); `false` for non-ECT packets,
+    /// which RED-family AQMs then drop instead.
+    #[inline]
+    pub fn try_mark_ce(&mut self) -> bool {
+        if self.ecn.is_ect() {
+            self.ecn = EcnCodepoint::Ce;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sojourn time at the current hop given the current clock.
+    #[inline]
+    pub fn sojourn(&self, now: Time) -> Time {
+        now.saturating_sub(self.enq_ts)
+    }
+
+    /// Payload bytes carried (0 for ACKs and probes).
+    #[inline]
+    pub fn payload_len(&self) -> u32 {
+        match self.kind {
+            PacketKind::Data { payload, .. } => payload,
+            _ => 0,
+        }
+    }
+
+    /// True for data segments.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecn_codepoint_predicates() {
+        assert!(!EcnCodepoint::NotEct.is_ect());
+        assert!(EcnCodepoint::Ect0.is_ect());
+        assert!(EcnCodepoint::Ect1.is_ect());
+        assert!(EcnCodepoint::Ce.is_ect());
+        assert!(EcnCodepoint::Ce.is_ce());
+        assert!(!EcnCodepoint::Ect0.is_ce());
+    }
+
+    #[test]
+    fn mark_ce_on_ect_packet() {
+        let mut p = Packet::data(FlowId(1), 0, 1, 0, 1000, 40);
+        assert!(p.try_mark_ce());
+        assert!(p.ecn.is_ce());
+    }
+
+    #[test]
+    fn mark_ce_refused_for_non_ect() {
+        let mut p = Packet::data(FlowId(1), 0, 1, 0, 1000, 40);
+        p.ecn = EcnCodepoint::NotEct;
+        assert!(!p.try_mark_ce());
+        assert!(!p.ecn.is_ce());
+    }
+
+    #[test]
+    fn wire_size_includes_header() {
+        let p = Packet::data(FlowId(1), 0, 1, 0, 1460, 40);
+        assert_eq!(p.size, 1500);
+        assert_eq!(p.payload_len(), 1460);
+    }
+
+    #[test]
+    fn sojourn_is_saturating() {
+        let mut p = Packet::data(FlowId(1), 0, 1, 0, 100, 40);
+        p.enq_ts = Time::from_us(10);
+        assert_eq!(p.sojourn(Time::from_us(25)), Time::from_us(15));
+        // A packet can never have negative sojourn even if clocks race.
+        assert_eq!(p.sojourn(Time::from_us(5)), Time::ZERO);
+    }
+
+    #[test]
+    fn ack_and_probe_have_no_payload() {
+        let a = Packet::ack(FlowId(1), 1, 0, 4096, true, 40);
+        assert_eq!(a.payload_len(), 0);
+        assert!(!a.is_data());
+        let p = Packet::probe(FlowId(2), 0, 1, 7, false, 64);
+        assert_eq!(p.payload_len(), 0);
+        assert!(matches!(
+            p.kind,
+            PacketKind::Probe {
+                probe_id: 7,
+                reply: false
+            }
+        ));
+    }
+}

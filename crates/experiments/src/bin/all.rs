@@ -1,0 +1,22 @@
+//! Runs every figure back to back at the selected scale.
+//!
+//! Usage: `all [--quick|--medium|--full] [--json]`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for fig in [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "incast", "fairness", "pifo_demo",
+    ] {
+        println!("\n################ {fig} ################");
+        let status = Command::new(dir.join(fig))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {fig}: {e}"));
+        assert!(status.success(), "{fig} failed");
+    }
+}

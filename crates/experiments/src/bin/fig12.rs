@@ -1,0 +1,50 @@
+//! Regenerates paper Fig. 12: leaf-spine prioritization under ECN*.
+//!
+//! Usage: `fig12 [--quick|--medium|--full] [--flows N] [--seed N] [--json]`.
+
+use tcn_experiments::common::{maybe_write_json, maybe_write_svg, print_table, sweep_charts, Scale};
+use tcn_experiments::fct_sweep::{self, SweepConfig};
+use tcn_net::LeafSpineConfig;
+
+fn topo() -> LeafSpineConfig {
+    if std::env::args().any(|a| a == "--full") {
+        LeafSpineConfig::paper()
+    } else {
+        LeafSpineConfig::small()
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args(false);
+    let cfg = SweepConfig::fig12(topo());
+    let res = fct_sweep::run(&cfg, &scale);
+    let rows: Vec<Vec<String>> = res
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scheme.clone(),
+                format!("{:.1}", c.load),
+                format!("{}/{}", c.completed, c.flows),
+                format!("{:.0}", c.overall_avg_us),
+                format!("{:.0}", c.small_avg_us),
+                format!("{:.0}", c.small_p99_us),
+                format!("{:.0}", c.large_avg_us),
+                c.small_timeouts.to_string(),
+                c.drops.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 12 — FCT, leaf-spine, SP(1)+DWRR(7), PIAS, ECN*, 4 workloads",
+        &[
+            "scheme", "load", "done", "avg us", "small avg", "small p99", "large avg",
+            "small TOs", "drops",
+        ],
+        &rows,
+    );
+    for (metric, svg) in sweep_charts("Fig. 12", &res.cells) {
+        maybe_write_svg(&format!("fig12_{metric}"), &svg);
+    }
+    maybe_write_json("fig12", &res);
+}

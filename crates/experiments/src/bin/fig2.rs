@@ -1,0 +1,79 @@
+//! Regenerates paper Fig. 2: departure-rate (queue-capacity) estimation.
+//!
+//! Usage: `fig2 [--json] [--trace]` — `--trace` dumps the full estimate
+//! time series as CSV on stdout.
+
+use tcn_experiments::common::{maybe_write_json, maybe_write_svg, print_table};
+use tcn_plot::{LineChart, Series};
+use tcn_experiments::fig2;
+use tcn_sim::Time;
+
+fn main() {
+    let change = Time::from_ms(10);
+    let (r, trace) = fig2::run(change, Time::from_ms(30));
+    print_table(
+        "Fig. 2 — queue-0 capacity estimates after the 10→5 Gbps change",
+        &["estimator", "samples/2ms", "final Gbps", "converge us"],
+        &[
+            vec![
+                "Alg.1 dq=40KB".into(),
+                r.dq40_samples_2ms.to_string(),
+                format!("{:.2}", r.dq40_final_gbps),
+                r.dq40_converge_us
+                    .map_or("never".into(), |c| format!("{c:.0}")),
+            ],
+            vec![
+                "Alg.1 dq=10KB".into(),
+                r.dq10_samples_2ms.to_string(),
+                format!("{:.2}", r.dq10_final_gbps),
+                "biased".into(),
+            ],
+            vec![
+                "MQ-ECN".into(),
+                "per-round".into(),
+                format!("{:.2}", r.mq_final_gbps),
+                r.mq_converge_us
+                    .map_or("never".into(), |c| format!("{c:.0}")),
+            ],
+        ],
+    );
+    println!(
+        "\n10KB raw sample oscillation: {:.2}–{:.2} Gbps (paper: 3.7–10)",
+        r.dq10_raw_min_gbps, r.dq10_raw_max_gbps
+    );
+    if std::env::args().any(|a| a == "--trace") {
+        let tr = trace.borrow();
+        println!("estimator,t_us,gbps");
+        for (name, series) in [
+            ("dq40", &tr.dq40.smoothed),
+            ("dq10", &tr.dq10.smoothed),
+            ("mq", &tr.mq.smoothed),
+        ] {
+            for &(t, v) in series.points() {
+                println!("{name},{:.1},{v:.3}", t.as_us_f64());
+            }
+        }
+    }
+    {
+        let tr = trace.borrow();
+        let mut ch = LineChart::new(
+            "Fig. 2 — smoothed capacity estimate of queue 0",
+            "time (us)",
+            "Gbps",
+        );
+        for (name, series) in [
+            ("Alg.1 dq=40KB", &tr.dq40.smoothed),
+            ("Alg.1 dq=10KB", &tr.dq10.smoothed),
+            ("MQ-ECN", &tr.mq.smoothed),
+        ] {
+            let pts: Vec<(f64, f64)> = series
+                .points()
+                .iter()
+                .map(|&(t, v)| (t.as_us_f64(), v))
+                .collect();
+            ch.push(Series::new(name, pts));
+        }
+        maybe_write_svg("fig2_estimates", &ch.render());
+    }
+    maybe_write_json("fig2", &r);
+}

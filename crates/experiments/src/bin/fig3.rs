@@ -1,0 +1,59 @@
+//! Regenerates paper Fig. 3: buffer occupancy under enqueue ECN/RED,
+//! dequeue ECN/RED and TCN.
+//!
+//! Usage: `fig3 [--json] [--trace]`.
+
+use tcn_experiments::common::{maybe_write_json, maybe_write_svg, print_table};
+use tcn_plot::{LineChart, Series};
+use tcn_experiments::fig3;
+use tcn_sim::Time;
+
+fn main() {
+    let res = fig3::run(Time::from_ms(10), Time::from_ms(4));
+    let rows: Vec<Vec<String>> = res
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.0}", r.peak_bytes as f64 / 1000.0),
+                format!("{:.0}", r.steady_max_bytes as f64 / 1000.0),
+                format!("{:.1}", r.steady_mean_bytes / 1000.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 — switch buffer occupancy (K = 125 KB / T = 100 us)",
+        &["scheme", "peak KB", "steady max KB", "steady mean KB"],
+        &rows,
+    );
+    println!(
+        "\nShape check: dequeue RED peaks lowest (reacts to future packets);\n\
+         TCN ≈ enqueue RED (~3x BDP); afterwards all oscillate below ~K."
+    );
+    if std::env::args().any(|a| a == "--trace") {
+        println!("scheme,t_us,bytes");
+        for (row, ts) in res.rows.iter().zip(&res.traces) {
+            for &(t, v) in ts.points() {
+                println!("{},{:.1},{v:.0}", row.scheme, t.as_us_f64());
+            }
+        }
+    }
+    {
+        let mut ch = LineChart::new(
+            "Fig. 3 — buffer occupancy (8 ECN* flows, 10 Gbps)",
+            "time (us)",
+            "bytes",
+        );
+        for (row, ts) in res.rows.iter().zip(&res.traces) {
+            let pts: Vec<(f64, f64)> = ts
+                .points()
+                .iter()
+                .map(|&(t, v)| (t.as_us_f64(), v))
+                .collect();
+            ch.push(Series::new(row.scheme.clone(), pts));
+        }
+        maybe_write_svg("fig3_occupancy", &ch.render());
+    }
+    maybe_write_json("fig3", &res.rows);
+}

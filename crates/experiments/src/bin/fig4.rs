@@ -1,0 +1,61 @@
+//! Regenerates paper Fig. 4: the four workload flow-size distributions.
+//!
+//! Usage: `fig4 [--json] [--cdf]` — `--cdf` dumps the CDF points.
+
+use tcn_experiments::common::{maybe_write_json, maybe_write_svg, print_table};
+use tcn_plot::{LineChart, Series};
+use tcn_experiments::fig4;
+
+fn main() {
+    let res = fig4::run();
+    let rows: Vec<Vec<String>> = res
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.0}", r.mean_bytes / 1000.0),
+                format!("{:.1}", r.median_bytes as f64 / 1000.0),
+                format!("{:.0}", r.p99_bytes as f64 / 1000.0),
+                format!("{:.2}", r.bytes_below_100k),
+                format!("{:.2}", r.bytes_below_10m),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 4 — workload size distributions",
+        &[
+            "workload",
+            "mean KB",
+            "median KB",
+            "p99 KB",
+            "bytes<=100KB",
+            "bytes<=10MB",
+        ],
+        &rows,
+    );
+    if std::env::args().any(|a| a == "--cdf") {
+        println!("workload,size_bytes,cdf");
+        for (w, s, p) in &res.cdf_points {
+            println!("{w},{s},{p}");
+        }
+    }
+    {
+        let mut ch = LineChart::new(
+            "Fig. 4 — flow size distributions",
+            "log10(size bytes)",
+            "CDF",
+        );
+        for wl in ["web-search", "data-mining", "hadoop", "cache"] {
+            let pts: Vec<(f64, f64)> = res
+                .cdf_points
+                .iter()
+                .filter(|(n, _, _)| n == wl)
+                .map(|&(_, s, p)| (s.max(1.0).log10(), p))
+                .collect();
+            ch.push(Series::new(wl, pts));
+        }
+        maybe_write_svg("fig4_cdfs", &ch.render());
+    }
+    maybe_write_json("fig4", &res);
+}

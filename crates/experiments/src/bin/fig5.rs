@@ -1,0 +1,57 @@
+//! Regenerates paper Fig. 5: SP/WFQ static flows — policy conformance
+//! and probe RTT distributions.
+//!
+//! Usage: `fig5 [--full] [--json]`.
+
+use tcn_experiments::common::{maybe_write_json, print_table};
+use tcn_experiments::fig5;
+use tcn_sim::Time;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let phase = if full {
+        Time::from_secs(2)
+    } else {
+        Time::from_ms(250)
+    };
+    let res = fig5::run(phase);
+    let rows: Vec<Vec<String>> = res
+        .goodputs
+        .iter()
+        .map(|g| {
+            vec![
+                g.scheme.clone(),
+                format!("{:.0}", g.q1_mbps),
+                format!("{:.0}", g.q2_mbps),
+                format!("{:.0}", g.q3_mbps),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5(a) — per-queue goodput in the 3-queue SP/WFQ phase",
+        &["scheme", "q1 Mbps (SP)", "q2 Mbps", "q3 Mbps"],
+        &rows,
+    );
+    let rows: Vec<Vec<String>> = res
+        .rtts
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.0}", r.avg_us),
+                format!("{:.0}", r.p99_us),
+                r.samples.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5(b) — probe RTT through queue 3 (base RTT 250 us)",
+        &["scheme", "avg us", "p99 us", "probes"],
+        &rows,
+    );
+    println!(
+        "\nShape check: TCN RTT ≈ oracle/CoDel, far below per-queue RED\n\
+         with the standard threshold (paper: 415 vs 1084 us average)."
+    );
+    maybe_write_json("fig5", &res);
+}

@@ -1,0 +1,41 @@
+//! Regenerates paper Fig. 8: traffic prioritization, SP/DWRR + PIAS + DCTCP (testbed).
+//!
+//! Usage: `fig8 [--quick|--medium|--full] [--flows N] [--seed N] [--json]`.
+
+use tcn_experiments::common::{maybe_write_json, maybe_write_svg, print_table, sweep_charts, Scale};
+use tcn_experiments::fct_sweep::{self, SweepConfig};
+
+fn main() {
+    let scale = Scale::from_args(true);
+    let cfg = SweepConfig::fig8();
+    let res = fct_sweep::run(&cfg, &scale);
+    let rows: Vec<Vec<String>> = res
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scheme.clone(),
+                format!("{:.1}", c.load),
+                format!("{}/{}", c.completed, c.flows),
+                format!("{:.0}", c.overall_avg_us),
+                format!("{:.0}", c.small_avg_us),
+                format!("{:.0}", c.small_p99_us),
+                format!("{:.0}", c.large_avg_us),
+                c.small_timeouts.to_string(),
+                c.drops.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8 — FCT, SP(1)+DWRR(4), PIAS, DCTCP, web search",
+        &[
+            "scheme", "load", "done", "avg us", "small avg", "small p99", "large avg",
+            "small TOs", "drops",
+        ],
+        &rows,
+    );
+    for (metric, svg) in sweep_charts("Fig. 8", &res.cells) {
+        maybe_write_svg(&format!("fig8_{metric}"), &svg);
+    }
+    maybe_write_json("fig8", &res);
+}

@@ -1,0 +1,641 @@
+//! Declarative experiment configuration for the `tcnsim` binary: a JSON
+//! document describing topology, port policy (scheduler + AQM),
+//! transport, tagging and workload, turned into a run and an FCT report.
+//!
+//! This is the "bring your own scenario" entry point for downstream
+//! users — everything the figure binaries hard-code is expressible here.
+//!
+//! ```json
+//! {
+//!   "topology": { "kind": "single_switch", "hosts": 9, "rate_gbps": 1, "delay_us": 62 },
+//!   "port": {
+//!     "queues": 4, "buffer_bytes": 96000,
+//!     "scheduler": { "kind": "dwrr", "quantum": 1500 },
+//!     "aqm": { "kind": "tcn", "threshold_us": 256 }
+//!   },
+//!   "transport": "testbed_dctcp",
+//!   "tagging": { "kind": "fixed" },
+//!   "workload": { "kind": "many_to_one", "flows": 1000, "load": 0.6,
+//!                 "cdf": "web_search", "receiver": 8, "services": [0,1,2,3] },
+//!   "seed": 1
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use tcn_net::{
+    fat_tree, leaf_spine, single_switch, LeafSpineConfig, NetworkSim, PortSetup, TaggingPolicy,
+    TransportChoice,
+};
+use tcn_sim::{Rate, Rng, Time};
+use tcn_stats::FctBreakdown;
+use tcn_workloads::{gen_all_to_all, gen_incast, gen_many_to_one, Workload};
+
+use crate::common::{Scheme, SchedKind};
+
+/// Topology description.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TopologyCfg {
+    /// Star around one switch.
+    SingleSwitch {
+        /// Number of hosts.
+        hosts: usize,
+        /// Link rate in Gb/s.
+        rate_gbps: u64,
+        /// Per-link propagation in µs (base RTT = 4×).
+        delay_us: u64,
+    },
+    /// Leaf-spine fabric.
+    LeafSpine {
+        /// Leaf switches.
+        leaves: usize,
+        /// Spine switches.
+        spines: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+        /// Link rate in Gb/s.
+        rate_gbps: u64,
+    },
+    /// k-ary fat-tree.
+    FatTree {
+        /// Arity (even).
+        k: usize,
+        /// Link rate in Gb/s.
+        rate_gbps: u64,
+    },
+}
+
+impl TopologyCfg {
+    /// Number of hosts this topology exposes.
+    pub fn hosts(&self) -> usize {
+        match *self {
+            TopologyCfg::SingleSwitch { hosts, .. } => hosts,
+            TopologyCfg::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+            TopologyCfg::FatTree { k, .. } => k * k * k / 4,
+        }
+    }
+
+    /// The reference link rate (for load computations).
+    pub fn rate(&self) -> Rate {
+        let gbps = match *self {
+            TopologyCfg::SingleSwitch { rate_gbps, .. } => rate_gbps,
+            TopologyCfg::LeafSpine { rate_gbps, .. } => rate_gbps,
+            TopologyCfg::FatTree { rate_gbps, .. } => rate_gbps,
+        };
+        Rate::from_gbps(gbps)
+    }
+}
+
+/// Scheduler description.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SchedulerCfg {
+    /// Single FIFO.
+    Fifo,
+    /// Strict priority.
+    Sp,
+    /// Equal-weight WRR.
+    Wrr,
+    /// Equal-quantum DWRR.
+    Dwrr {
+        /// Quantum in bytes.
+        quantum: u64,
+    },
+    /// Equal-weight WFQ.
+    Wfq,
+    /// 1 strict queue + DWRR below.
+    SpDwrr {
+        /// Quantum in bytes.
+        quantum: u64,
+    },
+    /// 1 strict queue + WFQ below.
+    SpWfq,
+    /// PIFO with equal-weight STFQ ranks.
+    PifoStfq,
+}
+
+impl SchedulerCfg {
+    fn kind(&self) -> SchedKind {
+        match *self {
+            SchedulerCfg::Fifo => SchedKind::Fifo,
+            SchedulerCfg::Sp => SchedKind::Sp,
+            SchedulerCfg::Wrr => SchedKind::Wrr,
+            SchedulerCfg::Dwrr { quantum } => SchedKind::Dwrr { quantum },
+            SchedulerCfg::Wfq => SchedKind::Wfq,
+            SchedulerCfg::SpDwrr { quantum } => SchedKind::SpDwrr { quantum },
+            SchedulerCfg::SpWfq => SchedKind::SpWfq,
+            SchedulerCfg::PifoStfq => SchedKind::PifoStfq,
+        }
+    }
+}
+
+/// AQM description.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum AqmCfg {
+    /// TCN at the given sojourn threshold.
+    Tcn {
+        /// `T` in µs.
+        threshold_us: u64,
+    },
+    /// Probabilistic TCN.
+    TcnProb {
+        /// Lower threshold (µs).
+        t_min_us: u64,
+        /// Upper threshold (µs).
+        t_max_us: u64,
+        /// Max marking probability.
+        p_max: f64,
+    },
+    /// CoDel (marking mode).
+    Codel {
+        /// Target (µs).
+        target_us: u64,
+        /// Interval (µs).
+        interval_us: u64,
+    },
+    /// MQ-ECN.
+    MqEcn {
+        /// `RTT × λ` (µs).
+        rtt_lambda_us: u64,
+    },
+    /// Per-queue static RED.
+    RedQueue {
+        /// K in bytes.
+        threshold_bytes: u64,
+    },
+    /// Per-port static RED.
+    RedPort {
+        /// K in bytes.
+        threshold_bytes: u64,
+    },
+    /// No AQM (drop-tail).
+    DropTail,
+}
+
+impl AqmCfg {
+    fn scheme(&self) -> Scheme {
+        match *self {
+            AqmCfg::Tcn { threshold_us } => Scheme::Tcn {
+                threshold: Time::from_us(threshold_us),
+            },
+            AqmCfg::TcnProb {
+                t_min_us,
+                t_max_us,
+                p_max,
+            } => Scheme::TcnProb {
+                t_min: Time::from_us(t_min_us),
+                t_max: Time::from_us(t_max_us),
+                p_max,
+            },
+            AqmCfg::Codel {
+                target_us,
+                interval_us,
+            } => Scheme::CoDel {
+                target: Time::from_us(target_us),
+                interval: Time::from_us(interval_us),
+            },
+            AqmCfg::MqEcn { rtt_lambda_us } => Scheme::MqEcn {
+                rtt_lambda: Time::from_us(rtt_lambda_us),
+            },
+            AqmCfg::RedQueue { threshold_bytes } => Scheme::RedQueue {
+                threshold: threshold_bytes,
+            },
+            AqmCfg::RedPort { threshold_bytes } => Scheme::RedPort {
+                threshold: threshold_bytes,
+            },
+            AqmCfg::DropTail => Scheme::DropTail,
+        }
+    }
+}
+
+/// Port policy.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+pub struct PortCfg {
+    /// Queues per port.
+    pub queues: usize,
+    /// Shared buffer per port in bytes.
+    pub buffer_bytes: u64,
+    /// Scheduler.
+    pub scheduler: SchedulerCfg,
+    /// AQM.
+    pub aqm: AqmCfg,
+}
+
+/// Transport choice (mirrors [`TransportChoice`]).
+#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TransportCfg {
+    /// DCTCP, simulation parameters.
+    SimDctcp,
+    /// ECN*, simulation parameters.
+    SimEcnStar,
+    /// DCTCP, testbed parameters.
+    TestbedDctcp,
+}
+
+/// DSCP tagging.
+#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TaggingCfg {
+    /// dscp = service.
+    Fixed,
+    /// PIAS two-priority.
+    Pias {
+        /// Demotion threshold in bytes.
+        threshold: u64,
+    },
+}
+
+/// Workload description.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadCfg {
+    /// Poisson many-to-one toward `receiver`.
+    ManyToOne {
+        /// Number of flows.
+        flows: usize,
+        /// Offered load of the receiver link.
+        load: f64,
+        /// Flow-size distribution.
+        cdf: WorkloadName,
+        /// Receiving host (all others send).
+        receiver: u32,
+        /// Service classes to draw from.
+        services: Vec<u8>,
+    },
+    /// Poisson all-to-all over `services` service classes (all four
+    /// paper CDFs, service s → cdf s mod 4).
+    AllToAll {
+        /// Number of flows.
+        flows: usize,
+        /// Offered per-host load.
+        load: f64,
+        /// Number of services (DSCPs 1..=services).
+        services: u8,
+    },
+    /// Synchronized incast waves into host `receiver`.
+    Incast {
+        /// Senders per wave.
+        fanout: usize,
+        /// Bytes per sender per wave.
+        size: u64,
+        /// Number of waves (2 ms apart).
+        waves: usize,
+        /// Receiving host.
+        receiver: u32,
+    },
+}
+
+/// Named workload CDF.
+#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WorkloadName {
+    /// DCTCP web search.
+    WebSearch,
+    /// VL2 data mining.
+    DataMining,
+    /// Facebook Hadoop.
+    Hadoop,
+    /// Facebook cache.
+    Cache,
+}
+
+impl WorkloadName {
+    fn workload(self) -> Workload {
+        match self {
+            WorkloadName::WebSearch => Workload::WebSearch,
+            WorkloadName::DataMining => Workload::DataMining,
+            WorkloadName::Hadoop => Workload::Hadoop,
+            WorkloadName::Cache => Workload::Cache,
+        }
+    }
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+pub struct ExperimentCfg {
+    /// Topology.
+    pub topology: TopologyCfg,
+    /// Per-switch-port policy.
+    pub port: PortCfg,
+    /// Transport.
+    pub transport: TransportCfg,
+    /// DSCP tagging.
+    pub tagging: TaggingCfg,
+    /// Workload.
+    pub workload: WorkloadCfg,
+    /// Random seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+}
+
+fn default_seed() -> u64 {
+    1
+}
+
+/// The report `tcnsim` prints/serializes.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Flows completed / registered.
+    pub completed: usize,
+    /// Registered flows.
+    pub flows: usize,
+    /// Overall average FCT (µs).
+    pub overall_avg_us: f64,
+    /// Small-flow average (µs).
+    pub small_avg_us: f64,
+    /// Small-flow p99 (µs).
+    pub small_p99_us: f64,
+    /// Large-flow average (µs).
+    pub large_avg_us: f64,
+    /// Total RTO expiries.
+    pub timeouts: u64,
+    /// Total drops across ports.
+    pub drops: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl ExperimentCfg {
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Build the simulation and register the workload.
+    pub fn build(&self) -> NetworkSim {
+        let tcp = match self.transport {
+            TransportCfg::SimDctcp => TransportChoice::SimDctcp,
+            TransportCfg::SimEcnStar => TransportChoice::SimEcnStar,
+            TransportCfg::TestbedDctcp => TransportChoice::TestbedDctcp,
+        }
+        .config();
+        let tagging = match self.tagging {
+            TaggingCfg::Fixed => TaggingPolicy::Fixed,
+            TaggingCfg::Pias { threshold } => TaggingPolicy::Pias { threshold },
+        };
+        let rate = self.topology.rate();
+        let port = self.port.clone();
+        let seed = self.seed;
+        let sched = port.scheduler.kind();
+        let scheme = port.aqm.scheme();
+        let mk = move || PortSetup {
+            nqueues: port.queues,
+            buffer: Some(port.buffer_bytes),
+            tx_rate: None,
+            make_sched: {
+                let nq = port.queues;
+                Box::new(move || sched.make(nq))
+            },
+            make_aqm: Box::new(move || scheme.make_aqm(rate, 1500, seed)),
+        };
+        let mut sim = match self.topology {
+            TopologyCfg::SingleSwitch {
+                hosts, delay_us, ..
+            } => single_switch(hosts, rate, Time::from_us(delay_us), tcp, tagging, mk),
+            TopologyCfg::LeafSpine {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                ..
+            } => leaf_spine(
+                LeafSpineConfig {
+                    leaves,
+                    spines,
+                    hosts_per_leaf,
+                    rate,
+                    host_delay: Time::from_us(20),
+                    fabric_delay: Time::from_ns(1300),
+                },
+                tcp,
+                tagging,
+                mk,
+            ),
+            TopologyCfg::FatTree { k, .. } => fat_tree(
+                k,
+                rate,
+                Time::from_us(20),
+                Time::from_ns(1300),
+                tcp,
+                tagging,
+                mk,
+            ),
+        };
+
+        let mut rng = Rng::new(self.seed);
+        let hosts = self.topology.hosts() as u32;
+        let specs = match &self.workload {
+            WorkloadCfg::ManyToOne {
+                flows,
+                load,
+                cdf,
+                receiver,
+                services,
+            } => {
+                let senders: Vec<u32> = (0..hosts).filter(|h| h != receiver).collect();
+                gen_many_to_one(
+                    &mut rng,
+                    *flows,
+                    &senders,
+                    *receiver,
+                    &cdf.workload().cdf(),
+                    *load,
+                    rate,
+                    services,
+                    Time::ZERO,
+                )
+            }
+            WorkloadCfg::AllToAll {
+                flows,
+                load,
+                services,
+            } => {
+                let cdfs: Vec<_> = Workload::ALL.iter().map(|w| w.cdf()).collect();
+                gen_all_to_all(
+                    &mut rng, *flows, hosts, &cdfs, *load, rate, *services, Time::ZERO,
+                )
+            }
+            WorkloadCfg::Incast {
+                fanout,
+                size,
+                waves,
+                receiver,
+            } => {
+                let senders: Vec<u32> = (0..hosts)
+                    .filter(|h| h != receiver)
+                    .take(*fanout)
+                    .collect();
+                let mut all = Vec::new();
+                for w in 0..*waves {
+                    all.extend(gen_incast(
+                        &mut rng,
+                        &senders,
+                        *receiver,
+                        *size,
+                        Time::from_ms(1 + 2 * w as u64),
+                        Time::from_us(5),
+                        0,
+                    ));
+                }
+                all
+            }
+        };
+        for spec in specs {
+            sim.add_flow(spec);
+        }
+        sim
+    }
+
+    /// Build, run to completion, and report.
+    pub fn run(&self) -> RunReport {
+        let mut sim = self.build();
+        let done = sim.run_to_completion(Time::from_secs(10_000));
+        let b = FctBreakdown::from_records(&sim.fct_records());
+        let report = RunReport {
+            completed: sim.completed_flows(),
+            flows: sim.num_flows(),
+            overall_avg_us: b.overall_avg_us,
+            small_avg_us: b.small_avg_us,
+            small_p99_us: b.small_p99_us,
+            large_avg_us: b.large_avg_us,
+            timeouts: sim.total_timeouts(),
+            drops: sim.total_drops(),
+            events: sim.events_processed(),
+        };
+        debug_assert!(done || report.completed < report.flows);
+        report
+    }
+}
+
+/// A ready-to-edit example configuration (printed by `tcnsim --example`).
+pub fn example_json() -> String {
+    let cfg = ExperimentCfg {
+        topology: TopologyCfg::SingleSwitch {
+            hosts: 9,
+            rate_gbps: 1,
+            delay_us: 62,
+        },
+        port: PortCfg {
+            queues: 4,
+            buffer_bytes: 96_000,
+            scheduler: SchedulerCfg::Dwrr { quantum: 1_500 },
+            aqm: AqmCfg::Tcn { threshold_us: 256 },
+        },
+        transport: TransportCfg::TestbedDctcp,
+        tagging: TaggingCfg::Fixed,
+        workload: WorkloadCfg::ManyToOne {
+            flows: 1_000,
+            load: 0.6,
+            cdf: WorkloadName::WebSearch,
+            receiver: 8,
+            services: vec![0, 1, 2, 3],
+        },
+        seed: 1,
+    };
+    serde_json::to_string_pretty(&cfg).expect("serialize example")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_roundtrips_and_runs() {
+        let json = example_json();
+        let mut cfg = ExperimentCfg::from_json(&json).expect("parse example");
+        // Shrink for test speed.
+        if let WorkloadCfg::ManyToOne { flows, .. } = &mut cfg.workload {
+            *flows = 120;
+        }
+        let report = cfg.run();
+        assert_eq!(report.completed, 120);
+        assert!(report.overall_avg_us > 0.0);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(ExperimentCfg::from_json("{").is_err());
+        assert!(ExperimentCfg::from_json("{\"topology\":{\"kind\":\"ring\"}}").is_err());
+    }
+
+    #[test]
+    fn fat_tree_incast_config_runs() {
+        let cfg = ExperimentCfg {
+            topology: TopologyCfg::FatTree { k: 4, rate_gbps: 10 },
+            port: PortCfg {
+                queues: 2,
+                buffer_bytes: 300_000,
+                scheduler: SchedulerCfg::Wfq,
+                aqm: AqmCfg::Tcn { threshold_us: 78 },
+            },
+            transport: TransportCfg::SimDctcp,
+            tagging: TaggingCfg::Fixed,
+            workload: WorkloadCfg::Incast {
+                fanout: 8,
+                size: 32_000,
+                waves: 2,
+                receiver: 0,
+            },
+            seed: 7,
+        };
+        let report = cfg.run();
+        assert_eq!(report.completed, 16);
+    }
+
+    #[test]
+    fn all_to_all_pias_leaf_spine_runs() {
+        let cfg = ExperimentCfg {
+            topology: TopologyCfg::LeafSpine {
+                leaves: 3,
+                spines: 3,
+                hosts_per_leaf: 3,
+                rate_gbps: 10,
+            },
+            port: PortCfg {
+                queues: 8,
+                buffer_bytes: 300_000,
+                scheduler: SchedulerCfg::SpDwrr { quantum: 1_500 },
+                aqm: AqmCfg::Codel {
+                    target_us: 16,
+                    interval_us: 340,
+                },
+            },
+            transport: TransportCfg::SimEcnStar,
+            tagging: TaggingCfg::Pias { threshold: 100_000 },
+            workload: WorkloadCfg::AllToAll {
+                flows: 200,
+                load: 0.5,
+                services: 7,
+            },
+            seed: 2,
+        };
+        let report = cfg.run();
+        assert_eq!(report.completed, 200);
+    }
+
+    #[test]
+    fn seed_changes_results() {
+        let json = example_json();
+        let mut a = ExperimentCfg::from_json(&json).unwrap();
+        if let WorkloadCfg::ManyToOne { flows, .. } = &mut a.workload {
+            *flows = 80;
+        }
+        let mut b = a.clone();
+        b.seed = 99;
+        let (ra, rb) = (a.run(), b.run());
+        assert_ne!(
+            (ra.overall_avg_us, ra.events),
+            (rb.overall_avg_us, rb.events)
+        );
+        // And equal seeds replay identically.
+        let ra2 = a.run();
+        assert_eq!(ra.overall_avg_us, ra2.overall_avg_us);
+        assert_eq!(ra.events, ra2.events);
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 1 — per-port ECN/RED violates scheduling policies.
+//!
+//! Paper setup (§3.2.2): 3 servers on a 1 GbE switch, DWRR with 2
+//! equal-quantum queues, per-port ECN/RED with K = 30 KB, DCTCP.
+//! Service 1 keeps one long-lived flow; service 2 runs 2–16 flows. Under
+//! per-port marking, service 2's aggregate goodput grows with its flow
+//! count (670 Mbps at 8 flows, 782 Mbps at 16 in the paper) even though
+//! DWRR should enforce a 50/50 split.
+//!
+//! We run the same grid and additionally run TCN in place of per-port
+//! RED to show the violation disappears.
+
+use serde::Serialize;
+use tcn_net::{single_switch, FlowSpec, TaggingPolicy, TransportChoice};
+use tcn_sim::Time;
+
+use crate::common::{params::testbed, switch_port, Scheme, SchedKind};
+
+/// One grid cell result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Cell {
+    /// Scheme name.
+    pub scheme: String,
+    /// Number of service-2 flows.
+    pub svc2_flows: usize,
+    /// Service 1 aggregate goodput (Mbps).
+    pub svc1_mbps: f64,
+    /// Service 2 aggregate goodput (Mbps).
+    pub svc2_mbps: f64,
+}
+
+/// Full Fig. 1 results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Result {
+    /// All cells, per scheme and flow count.
+    pub cells: Vec<Fig1Cell>,
+}
+
+fn goodput_cell(scheme: Scheme, svc2_flows: usize, measure: Time) -> Fig1Cell {
+    // Hosts: 0 = service-1 sender, 1 = service-2 sender, 2 = receiver.
+    let mut sim = single_switch(
+        3,
+        testbed::RATE,
+        testbed::LINK_DELAY,
+        TransportChoice::TestbedDctcp.config(),
+        TaggingPolicy::Fixed,
+        || {
+            switch_port(
+                2,
+                Some(testbed::BUFFER),
+                None,
+                SchedKind::Dwrr {
+                    quantum: testbed::QUANTUM,
+                },
+                scheme,
+                testbed::RATE,
+                testbed::MTU,
+                7,
+            )
+        },
+    );
+    let mut flows = Vec::new();
+    flows.push(sim.add_flow(FlowSpec {
+        src: 0,
+        dst: 2,
+        size: 1 << 42,
+        start: Time::ZERO,
+        service: 0,
+    }));
+    for i in 0..svc2_flows {
+        flows.push(sim.add_flow(FlowSpec {
+            src: 1,
+            dst: 2,
+            size: 1 << 42,
+            start: Time::from_us(i as u64), // tiny stagger
+            service: 1,
+        }));
+    }
+    // Warm up, then measure goodput over the window.
+    let warmup = Time::from_ms(200);
+    sim.run_until(warmup);
+    let before: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
+    sim.run_until(warmup + measure);
+    let after: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
+    let mbps = |b0: u64, b1: u64| (b1 - b0) as f64 * 8.0 / measure.as_secs_f64() / 1e6;
+    let svc1 = mbps(before[0], after[0]);
+    let svc2: f64 = (1..flows.len()).map(|i| mbps(before[i], after[i])).sum();
+    Fig1Cell {
+        scheme: scheme.name().to_string(),
+        svc2_flows,
+        svc1_mbps: svc1,
+        svc2_mbps: svc2,
+    }
+}
+
+/// Run Fig. 1: per-port RED (the paper's violator) and TCN (the fix)
+/// across service-2 flow counts.
+pub fn run(flow_counts: &[usize], measure: Time) -> Fig1Result {
+    let schemes = [
+        Scheme::RedPort { threshold: 30_000 },
+        Scheme::Tcn {
+            threshold: testbed::TCN_T,
+        },
+    ];
+    let mut cells = Vec::new();
+    for scheme in schemes {
+        for &n in flow_counts {
+            cells.push(goodput_cell(scheme, n, measure));
+        }
+    }
+    Fig1Result { cells }
+}
+
+/// The paper's flow counts.
+pub const PAPER_FLOW_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perport_violates_and_tcn_preserves() {
+        // Small measurement window keeps the test fast; the shape is
+        // already unambiguous.
+        let res = run(&[8], Time::from_ms(300));
+        let red = res
+            .cells
+            .iter()
+            .find(|c| c.scheme == "RED-port")
+            .expect("red cell");
+        let tcn = res.cells.iter().find(|c| c.scheme == "TCN").expect("tcn");
+        // Fig. 1 shape: per-port RED lets service 2 (8 flows) take well
+        // over its fair 500 Mbps share...
+        assert!(
+            red.svc2_mbps > 600.0,
+            "per-port RED should violate: svc2 {} Mbps",
+            red.svc2_mbps
+        );
+        // ...while TCN holds both services near the fair share.
+        assert!(
+            (tcn.svc1_mbps - tcn.svc2_mbps).abs() < 120.0,
+            "TCN should be fair: {} vs {}",
+            tcn.svc1_mbps,
+            tcn.svc2_mbps
+        );
+        // Link stays utilized in both cases.
+        assert!(red.svc1_mbps + red.svc2_mbps > 850.0);
+        assert!(tcn.svc1_mbps + tcn.svc2_mbps > 850.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Figure 2 — measuring a queue's capacity is fundamentally hard.
+//!
+//! Paper setup (§3.3): 10 Gbps star, 11 servers, DWRR with two 18 KB
+//! quanta, ECN\* transport. Eight flows into queue 0 from t = 0; two
+//! more flows into queue 1 at t = 10 ms, which drops queue 0's true
+//! capacity from 10 Gbps to 5 Gbps. Three estimators watch queue 0:
+//!
+//! * Algorithm 1 with `dq_thresh` = 40 KB — samples too rarely (the
+//!   paper counts 29 samples in 2 ms) and converges slowly;
+//! * Algorithm 1 with `dq_thresh` = 10 KB — samples *inside* a DWRR
+//!   round (quantum 18 KB > 10 KB), so raw samples oscillate between
+//!   ~line rate and the cross-round rate and the smoothed estimate is
+//!   biased high;
+//! * MQ-ECN's `quantum / T_round` — converges quickly to 5 Gbps, but
+//!   only exists because DWRR has a round.
+//!
+//! All three estimators run passively in one simulation (marking is the
+//! standard per-queue RED in every case, so each estimator sees the
+//! identical packet trace — a strictly fairer comparison than three
+//! separate runs).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::Serialize;
+use tcn_baselines::{DqRateMeter, RedEcn};
+use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+use tcn_core::Packet;
+use tcn_net::{single_switch, FlowSpec, PortSetup, TaggingPolicy, TransportChoice};
+use tcn_sim::{Ewma, Time};
+use tcn_stats::TimeSeries;
+
+use crate::common::SchedKind;
+
+/// Recorded estimate series for one estimator.
+#[derive(Debug, Default)]
+pub struct EstimatorTrace {
+    /// Raw samples `(t, Gbps)`.
+    pub raw: Vec<(Time, f64)>,
+    /// Smoothed estimate over time.
+    pub smoothed: TimeSeries,
+}
+
+/// Shared recording sink.
+#[derive(Debug, Default)]
+pub struct Fig2Trace {
+    /// Algorithm 1, `dq_thresh` = 40 KB.
+    pub dq40: EstimatorTrace,
+    /// Algorithm 1, `dq_thresh` = 10 KB.
+    pub dq10: EstimatorTrace,
+    /// MQ-ECN `quantum / T_round`.
+    pub mq: EstimatorTrace,
+}
+
+/// Scalar summary for tables and JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Result {
+    /// Samples each estimator collected in the 2 ms after the rate
+    /// change (paper: 29 for 40 KB).
+    pub dq40_samples_2ms: usize,
+    /// Same for 10 KB.
+    pub dq10_samples_2ms: usize,
+    /// Smoothed estimate (Gbps) at the end, per estimator.
+    pub dq40_final_gbps: f64,
+    /// 10 KB final estimate.
+    pub dq10_final_gbps: f64,
+    /// MQ-ECN final estimate.
+    pub mq_final_gbps: f64,
+    /// Raw-sample min after the change (the oscillation floor, 10 KB).
+    pub dq10_raw_min_gbps: f64,
+    /// Raw-sample max after the change (the oscillation ceiling).
+    pub dq10_raw_max_gbps: f64,
+    /// Time (µs after the change) for MQ-ECN to converge within 10 % of
+    /// 5 Gbps.
+    pub mq_converge_us: Option<f64>,
+    /// Same for Algorithm 1 at 40 KB.
+    pub dq40_converge_us: Option<f64>,
+}
+
+/// The AQM wrapper: standard per-queue RED marking plus passive meters
+/// on queue 0.
+struct RecordingAqm {
+    marking: RedEcn,
+    meter40: DqRateMeter,
+    meter10: DqRateMeter,
+    mq_avg: Ewma,
+    last_round_seq: Option<u64>,
+    sink: Rc<RefCell<Fig2Trace>>,
+    active: bool,
+}
+
+impl Aqm for RecordingAqm {
+    fn on_enqueue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        now: Time,
+    ) -> EnqueueVerdict {
+        self.marking.on_enqueue(view, q, pkt, now)
+    }
+
+    fn on_dequeue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        now: Time,
+    ) -> DequeueVerdict {
+        if self.active && q == 0 {
+            let qlen = view.queue_bytes(0) + u64::from(pkt.size);
+            let mut sink = self.sink.borrow_mut();
+            if let Some(s) = self.meter40.on_departure(qlen, u64::from(pkt.size), now) {
+                sink.dq40.raw.push((now, s.as_gbps_f64()));
+                let avg = self.meter40.avg_rate().expect("just sampled");
+                sink.dq40.smoothed.push(now, avg.as_gbps_f64());
+            }
+            if let Some(s) = self.meter10.on_departure(qlen, u64::from(pkt.size), now) {
+                sink.dq10.raw.push((now, s.as_gbps_f64()));
+                let avg = self.meter10.avg_rate().expect("just sampled");
+                sink.dq10.smoothed.push(now, avg.as_gbps_f64());
+            }
+            if let (Some(round), Some(quantum)) = (view.round_time(), view.quantum(0)) {
+                let seq = view.round_seq();
+                if self.last_round_seq != Some(seq) && !round.is_zero() {
+                    self.last_round_seq = Some(seq);
+                    let gbps = quantum as f64 * 8.0 / round.as_secs_f64() / 1e9;
+                    let gbps = gbps.min(view.link_rate().as_gbps_f64());
+                    sink.mq.raw.push((now, gbps));
+                    let sm = self.mq_avg.update(gbps);
+                    sink.mq.smoothed.push(now, sm);
+                }
+            }
+        }
+        self.marking.on_dequeue(view, q, pkt, now)
+    }
+
+    fn name(&self) -> &'static str {
+        "fig2-recorder"
+    }
+}
+
+/// Run Fig. 2. `horizon` is total simulated time; the queue-1 flows
+/// start at `change_at`. Returns the scalar summary plus the full
+/// traces.
+pub fn run(change_at: Time, horizon: Time) -> (Fig2Result, Rc<RefCell<Fig2Trace>>) {
+    let rate = tcn_sim::Rate::from_gbps(10);
+    let sink: Rc<RefCell<Fig2Trace>> = Rc::default();
+    // Only the receiver's downlink port (the 11th switch port built)
+    // must record; the factory counts instantiations.
+    let created = Rc::new(RefCell::new(0usize));
+    let n_hosts = 11;
+    let receiver: u32 = 10;
+    let mk_port = {
+        let sink = sink.clone();
+        let created = created.clone();
+        move || -> PortSetup {
+            let sink = sink.clone();
+            let created = created.clone();
+            PortSetup {
+                nqueues: 2,
+                buffer: Some(1_000_000),
+                tx_rate: None,
+                make_sched: Box::new(|| SchedKind::Dwrr { quantum: 18_000 }.make(2)),
+                make_aqm: Box::new(move || {
+                    let mut c = created.borrow_mut();
+                    *c += 1;
+                    Box::new(RecordingAqm {
+                        // Standard threshold: 10 Gbps × 100 us = 125 KB.
+                        marking: RedEcn::per_queue(125_000),
+                        meter40: DqRateMeter::new(40_000, 0.875),
+                        meter10: DqRateMeter::new(10_000, 0.875),
+                        mq_avg: Ewma::new(0.875),
+                        last_round_seq: None,
+                        sink: sink.clone(),
+                        active: *c == receiver as usize + 1,
+                    })
+                }),
+            }
+        }
+    };
+    // Base RTT 100 us → 25 us per link traversal.
+    let mut sim = single_switch(
+        n_hosts,
+        rate,
+        Time::from_us(25),
+        TransportChoice::SimEcnStar.config(),
+        TaggingPolicy::Fixed,
+        mk_port,
+    );
+    // 8 flows into queue 0 from t = 0.
+    for s in 0..8u32 {
+        sim.add_flow(FlowSpec {
+            src: s,
+            dst: receiver,
+            size: 1 << 42,
+            start: Time::from_us(u64::from(s)),
+            service: 0,
+        });
+    }
+    // 2 flows into queue 1 at `change_at`.
+    for s in 8..10u32 {
+        sim.add_flow(FlowSpec {
+            src: s,
+            dst: receiver,
+            size: 1 << 42,
+            start: change_at + Time::from_us(u64::from(s)),
+            service: 1,
+        });
+    }
+    sim.run_until(horizon);
+
+    let summary = {
+        let tr = sink.borrow();
+        let in_2ms = |raw: &[(Time, f64)]| {
+            raw.iter()
+                .filter(|&&(t, _)| t >= change_at && t < change_at + Time::from_ms(2))
+                .count()
+        };
+        let final_of = |s: &TimeSeries| s.points().last().map_or(0.0, |&(_, v)| v);
+        let raw_after: Vec<f64> = tr
+            .dq10
+            .raw
+            .iter()
+            .filter(|&&(t, _)| t >= change_at + Time::from_ms(1))
+            .map(|&(_, v)| v)
+            .collect();
+        let converge = |s: &TimeSeries| {
+            // First sustained entry into ±10 % of 5 Gbps after the
+            // change.
+            let mut cand: Option<Time> = None;
+            for &(t, v) in s.points().iter().filter(|&&(t, _)| t >= change_at) {
+                if (v - 5.0).abs() <= 0.5 {
+                    cand.get_or_insert(t);
+                } else {
+                    cand = None;
+                }
+            }
+            cand.map(|t| (t - change_at).as_us_f64())
+        };
+        Fig2Result {
+            dq40_samples_2ms: in_2ms(&tr.dq40.raw),
+            dq10_samples_2ms: in_2ms(&tr.dq10.raw),
+            dq40_final_gbps: final_of(&tr.dq40.smoothed),
+            dq10_final_gbps: final_of(&tr.dq10.smoothed),
+            mq_final_gbps: final_of(&tr.mq.smoothed),
+            dq10_raw_min_gbps: raw_after.iter().cloned().fold(f64::MAX, f64::min),
+            dq10_raw_max_gbps: raw_after.iter().cloned().fold(0.0, f64::max),
+            mq_converge_us: converge(&tr.mq.smoothed),
+            dq40_converge_us: converge(&tr.dq40.smoothed),
+        }
+    };
+    (summary, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shapes() {
+        let (r, _trace) = run(Time::from_ms(10), Time::from_ms(30));
+
+        // Fig. 2(c): MQ-ECN converges to 5 Gbps, quickly.
+        assert!(
+            (r.mq_final_gbps - 5.0).abs() < 0.5,
+            "MQ-ECN final {} Gbps",
+            r.mq_final_gbps
+        );
+        let mq_conv = r.mq_converge_us.expect("MQ-ECN must converge");
+        assert!(mq_conv < 2_000.0, "MQ-ECN converged in {mq_conv} us");
+
+        // Fig. 2(a): dq_thresh 40 KB samples rarely (paper: 29 in 2 ms)
+        // and converges more slowly than MQ-ECN (if at all).
+        assert!(
+            r.dq40_samples_2ms < 60,
+            "40 KB sampled {} times in 2 ms",
+            r.dq40_samples_2ms
+        );
+        if let Some(c) = r.dq40_converge_us {
+            assert!(c > mq_conv, "40 KB ({c} us) must lag MQ-ECN ({mq_conv} us)");
+        }
+
+        // Fig. 2(b): dq_thresh 10 KB oscillates between ~line rate and
+        // the cross-round rate, and the smoothed estimate is biased
+        // above the true 5 Gbps.
+        assert!(
+            r.dq10_raw_max_gbps > 8.0,
+            "10 KB raw max {}",
+            r.dq10_raw_max_gbps
+        );
+        assert!(
+            r.dq10_raw_min_gbps < 6.0,
+            "10 KB raw min {}",
+            r.dq10_raw_min_gbps
+        );
+        assert!(
+            r.dq10_final_gbps > 5.4,
+            "10 KB estimate should be biased high, got {}",
+            r.dq10_final_gbps
+        );
+    }
+}

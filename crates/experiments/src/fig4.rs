@@ -1,0 +1,85 @@
+//! Figure 4 — the four benchmark traffic distributions.
+//!
+//! An *input* figure: we regenerate its data (the CDFs) and validate
+//! the characterizations the paper derives from it (§6 "Benchmark
+//! traffic": all heavy-tailed; web search least skewed with ~60 % of
+//! bytes from flows < 10 MB).
+
+use serde::Serialize;
+use tcn_workloads::Workload;
+
+/// Summary of one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// Workload name.
+    pub workload: String,
+    /// Analytic mean flow size (bytes).
+    pub mean_bytes: f64,
+    /// Median flow size (bytes).
+    pub median_bytes: u64,
+    /// 99th-percentile flow size (bytes).
+    pub p99_bytes: u64,
+    /// Fraction of bytes from flows ≤ 100 KB.
+    pub bytes_below_100k: f64,
+    /// Fraction of bytes from flows ≤ 10 MB (the paper's web-search
+    /// statistic).
+    pub bytes_below_10m: f64,
+}
+
+/// Full result: per-workload summaries plus CDF points for plotting.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Result {
+    /// One row per workload.
+    pub rows: Vec<Fig4Row>,
+    /// `(workload, size, cumulative_probability)` plot points.
+    pub cdf_points: Vec<(String, f64, f64)>,
+}
+
+/// Regenerate Fig. 4.
+pub fn run() -> Fig4Result {
+    let mut rows = Vec::new();
+    let mut cdf_points = Vec::new();
+    for wl in Workload::ALL {
+        let cdf = wl.cdf();
+        rows.push(Fig4Row {
+            workload: wl.name().to_string(),
+            mean_bytes: cdf.mean(),
+            median_bytes: cdf.quantile(0.5),
+            p99_bytes: cdf.quantile(0.99),
+            bytes_below_100k: cdf.byte_fraction_below(100_000.0),
+            bytes_below_10m: cdf.byte_fraction_below(10_000_000.0),
+        });
+        for &(s, p) in cdf.points() {
+            cdf_points.push((wl.name().to_string(), s, p));
+        }
+    }
+    Fig4Result { rows, cdf_points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_characterizations() {
+        let res = run();
+        assert_eq!(res.rows.len(), 4);
+        let ws = res.rows.iter().find(|r| r.workload == "web-search").unwrap();
+        // The paper's statistic: ~60 % of web-search bytes below 10 MB.
+        assert!((0.5..0.75).contains(&ws.bytes_below_10m));
+        // Every workload heavy-tailed: p99 ≫ median.
+        for r in &res.rows {
+            assert!(
+                r.p99_bytes > 20 * r.median_bytes,
+                "{} p99 {} vs median {}",
+                r.workload,
+                r.p99_bytes,
+                r.median_bytes
+            );
+        }
+        // CDF points exported for all four workloads.
+        for wl in Workload::ALL {
+            assert!(res.cdf_points.iter().any(|(n, _, _)| n == wl.name()));
+        }
+    }
+}

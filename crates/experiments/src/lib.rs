@@ -1,0 +1,33 @@
+//! `tcn-experiments` — one runner per table/figure of *Enabling ECN over
+//! Generic Packet Scheduling* (CoNEXT 2016).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — per-port ECN/RED violates DWRR fair shares |
+//! | [`fig2`] | Fig. 2 — Algorithm-1 rate estimation vs MQ-ECN |
+//! | [`fig3`] | Fig. 3 — occupancy traces: enqueue RED / dequeue RED / TCN |
+//! | [`fig4`] | Fig. 4 — the four workload CDFs |
+//! | [`fig5`] | Fig. 5 — SP/WFQ static flows: goodput + probe RTT dists |
+//! | [`fct_sweep`] | Figs. 6–13 — the FCT-vs-load studies (testbed star and leaf-spine), parameterized by scheduler, transport, queue count and PIAS |
+//! | [`incast`] | §4.3 burst-tolerance claim (extension experiment) |
+//! | [`fairness`] | §4.3 probabilistic TCN: short-window fairness (extension) |
+//! | [`pifo_demo`] | §2.2: TCN over a programmable PIFO scheduler (extension) |
+//!
+//! Every runner takes a [`common::Scale`] so the same code runs at CI
+//! scale (seconds) and at paper scale (`--full`). Binaries under
+//! `src/bin/` print the tables and, with `--json`, emit raw results for
+//! EXPERIMENTS.md provenance.
+
+pub mod common;
+pub mod config;
+pub mod fairness;
+pub mod fct_sweep;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod incast;
+pub mod pifo_demo;
+
+pub use common::{Scale, SchedKind, Scheme};

@@ -1,0 +1,39 @@
+//! `tcn-net` — the packet-level datacenter network model.
+//!
+//! This is the substrate standing in for the paper's two experimental
+//! platforms: the 9-server testbed with its Linux-qdisc software switch
+//! (§5–6.1) and the ns-2 simulator (§6.2). See DESIGN.md for the full
+//! substitution argument.
+//!
+//! Layered bottom-up:
+//!
+//! * [`port`] — the egress port: multiple FIFO queues sharing one buffer
+//!   on a first-in-first-serve basis, a pluggable [`tcn_sched::Scheduler`]
+//!   and a pluggable [`tcn_core::Aqm`], plus full mark/drop accounting;
+//! * [`token_bucket`] — the shaper the software prototype used to keep
+//!   buffering inside the qdisc (§5, "Rate Limiter");
+//! * [`routing`] — BFS shortest paths with ECMP next-hop sets and a
+//!   deterministic per-(flow, switch) hash, as in the paper's leaf-spine
+//!   simulations;
+//! * [`network`] — the event loop tying links, ports, transports, flow
+//!   bookkeeping and latency probes together;
+//! * [`topology`] — canned builders for the paper's three topologies:
+//!   single-switch star (testbed), dumbbell (Fig. 1), and the 144-host
+//!   leaf-spine fabric (§6.2).
+
+pub mod network;
+pub mod port;
+pub mod routing;
+pub mod token_bucket;
+pub mod topology;
+
+pub use network::{
+    FctRecord, FlowSpec, LinkSpec, NetworkSim, NodeId, ProbeConfig, TaggingPolicy,
+    TransportChoice,
+};
+pub use port::{Port, PortSetup, PortStats};
+pub use routing::{compute_routes, ecmp_pick};
+pub use token_bucket::TokenBucket;
+pub use topology::{
+    dumbbell, fat_tree, leaf_spine, single_switch, single_switch_downlink, LeafSpineConfig,
+};

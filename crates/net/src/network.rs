@@ -1,0 +1,536 @@
+//! The network simulation: links, ports, transports, flows and probes
+//! under one deterministic event loop.
+//!
+//! Event kinds mirror what ns-2 would schedule: flow starts, packet
+//! arrivals after serialization + propagation, transmit-complete
+//! notifications, retransmission timers, and probe ticks. Same-time
+//! events fire in schedule order (see `tcn_sim::EventQueue`), so whole
+//! runs are bit-for-bit reproducible.
+
+use tcn_core::{FlowId, Packet, PacketKind};
+use tcn_sim::{EventQueue, Rate, Time};
+use tcn_transport::{SenderOutput, TcpConfig, TcpReceiver, TcpSender};
+
+use crate::port::{Port, PortSetup};
+use crate::routing::{compute_routes, ecmp_pick, RouteTable, TopoView};
+
+/// Node index (hosts and switches share one id space).
+pub type NodeId = u32;
+
+/// Flow ids at or above this are latency probes, not TCP flows.
+const PROBE_FLOW_BASE: u64 = 1 << 40;
+
+/// Preset transport configurations used across the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// DCTCP with the paper's simulation parameters (§6.2).
+    SimDctcp,
+    /// ECN\* with the paper's simulation parameters (§6.2.2).
+    SimEcnStar,
+    /// DCTCP with the paper's testbed parameters (§6.1).
+    TestbedDctcp,
+}
+
+impl TransportChoice {
+    /// The corresponding transport configuration.
+    pub fn config(self) -> TcpConfig {
+        match self {
+            TransportChoice::SimDctcp => TcpConfig::sim_dctcp(),
+            TransportChoice::SimEcnStar => TcpConfig::sim_ecn_star(),
+            TransportChoice::TestbedDctcp => TcpConfig::testbed_dctcp(),
+        }
+    }
+}
+
+/// How hosts stamp DSCP values onto outgoing data packets.
+#[derive(Debug, Clone, Copy)]
+pub enum TaggingPolicy {
+    /// `dscp = service` for every packet (inter-service isolation,
+    /// §6.1.2).
+    Fixed,
+    /// PIAS two-priority tagging (§6.1.3): the first `threshold` bytes of
+    /// each flow carry DSCP 0 (the strict high-priority queue); the rest
+    /// carry the flow's service DSCP. Services must therefore use
+    /// DSCPs ≥ 1.
+    Pias {
+        /// Bytes sent at high priority before demotion (paper: 100 KB).
+        threshold: u64,
+    },
+}
+
+impl TaggingPolicy {
+    /// DSCP for a data segment of `service` starting at byte `seq`.
+    pub fn dscp_for(&self, service: u8, seq: u64) -> u8 {
+        match *self {
+            TaggingPolicy::Fixed => service,
+            TaggingPolicy::Pias { threshold } => {
+                if seq < threshold {
+                    0
+                } else {
+                    service
+                }
+            }
+        }
+    }
+}
+
+/// A flow to simulate.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Source host index.
+    pub src: u32,
+    /// Destination host index.
+    pub dst: u32,
+    /// Bytes to transfer.
+    pub size: u64,
+    /// Arrival time.
+    pub start: Time,
+    /// Service class (drives DSCP via the tagging policy).
+    pub service: u8,
+}
+
+/// A completed flow's record.
+#[derive(Debug, Clone, Copy)]
+pub struct FctRecord {
+    /// Flow id.
+    pub flow: FlowId,
+    /// The spec it ran under.
+    pub spec: FlowSpec,
+    /// Completion time (all bytes at the receiver).
+    pub finish: Time,
+    /// Flow completion time (`finish - spec.start`).
+    pub fct: Time,
+    /// RTO expiries the sender suffered (the paper counts these, §6.2.1).
+    pub timeouts: u64,
+}
+
+/// A periodic latency prober (models the paper's `ping` runs, §6.1.1).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeConfig {
+    /// Probing host.
+    pub src: u32,
+    /// Echoing host.
+    pub dst: u32,
+    /// DSCP the probe rides (selects the switch queue under test).
+    pub dscp: u8,
+    /// Inter-probe gap.
+    pub interval: Time,
+    /// First probe time.
+    pub start: Time,
+    /// Probe wire size in bytes.
+    pub size: u32,
+}
+
+struct Prober {
+    cfg: ProbeConfig,
+    next_id: u64,
+    rtts: Vec<(Time, Time)>,
+}
+
+/// A directed link to build.
+pub struct LinkSpec {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Line rate.
+    pub rate: Rate,
+    /// Propagation delay.
+    pub delay: Time,
+    /// Egress port configuration at `from`.
+    pub setup: PortSetup,
+}
+
+struct LinkState {
+    to: NodeId,
+    delay: Time,
+    port: Port,
+}
+
+struct FlowState {
+    spec: FlowSpec,
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    finish: Option<Time>,
+    /// Earliest pending Timer event for this flow, to keep at most one
+    /// outstanding timer in the event queue.
+    next_timer: Option<Time>,
+}
+
+enum Event {
+    FlowStart(u32),
+    Arrive { link: u32, pkt: Packet },
+    TxDone { link: u32 },
+    Timer { flow: u32 },
+    ProbeTick { prober: u32 },
+}
+
+/// The simulation.
+pub struct NetworkSim {
+    events: EventQueue<Event>,
+    links: Vec<LinkState>,
+    routes: Vec<RouteTable>,
+    host_nodes: Vec<NodeId>,
+    /// node id → host index (None for switches).
+    node_hosts: Vec<Option<u32>>,
+    flows: Vec<FlowState>,
+    tcp: TcpConfig,
+    tagging: TaggingPolicy,
+    probers: Vec<Prober>,
+    completed: usize,
+}
+
+impl NetworkSim {
+    /// Build a simulation over `num_nodes` nodes, of which `host_nodes`
+    /// are hosts (index in this vector = host index used by flows), with
+    /// the given directed links.
+    ///
+    /// # Panics
+    /// Panics on malformed topologies (unreachable hosts, out-of-range
+    /// node ids).
+    pub fn new(
+        num_nodes: usize,
+        host_nodes: Vec<NodeId>,
+        link_specs: Vec<LinkSpec>,
+        tcp: TcpConfig,
+        tagging: TaggingPolicy,
+    ) -> Self {
+        let endpoints: Vec<(u32, u32)> = link_specs
+            .iter()
+            .map(|l| {
+                assert!((l.from as usize) < num_nodes && (l.to as usize) < num_nodes);
+                (l.from, l.to)
+            })
+            .collect();
+        let routes = compute_routes(&TopoView {
+            links: &endpoints,
+            num_nodes,
+            host_nodes: &host_nodes,
+        });
+        let mut node_hosts = vec![None; num_nodes];
+        for (h, &n) in host_nodes.iter().enumerate() {
+            node_hosts[n as usize] = Some(h as u32);
+        }
+        let links = link_specs
+            .into_iter()
+            .map(|l| LinkState {
+                to: l.to,
+                delay: l.delay,
+                port: Port::new(&l.setup, l.rate),
+            })
+            .collect();
+        NetworkSim {
+            events: EventQueue::new(),
+            links,
+            routes,
+            host_nodes,
+            node_hosts,
+            flows: Vec::new(),
+            tcp,
+            tagging,
+            probers: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    /// Register a flow; its `FlowStart` event is scheduled at
+    /// `spec.start`.
+    ///
+    /// # Panics
+    /// Panics if src == dst or host indices are out of range.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(spec.src != spec.dst, "self-flow");
+        assert!((spec.src as usize) < self.host_nodes.len());
+        assert!((spec.dst as usize) < self.host_nodes.len());
+        let id = FlowId(self.flows.len() as u64);
+        assert!(id.0 < PROBE_FLOW_BASE, "too many flows");
+        let sender = TcpSender::new(self.tcp, id, spec.src, spec.dst, spec.size);
+        let receiver = TcpReceiver::new(id, spec.dst, spec.src, spec.size);
+        self.flows.push(FlowState {
+            spec,
+            sender,
+            receiver,
+            finish: None,
+            next_timer: None,
+        });
+        self.events
+            .schedule_at(spec.start, Event::FlowStart(id.0 as u32));
+        id
+    }
+
+    /// Register a periodic latency prober. Probes start at `cfg.start`
+    /// and repeat every `cfg.interval` for as long as the simulation
+    /// runs.
+    pub fn add_prober(&mut self, cfg: ProbeConfig) -> usize {
+        let idx = self.probers.len();
+        self.events
+            .schedule_at(cfg.start, Event::ProbeTick { prober: idx as u32 });
+        self.probers.push(Prober {
+            cfg,
+            next_id: 0,
+            rtts: Vec::new(),
+        });
+        idx
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.events.now()
+    }
+
+    /// Number of flows that have completed.
+    pub fn completed_flows(&self) -> usize {
+        self.completed
+    }
+
+    /// Number of registered flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Events processed so far (progress/perf reporting).
+    pub fn events_processed(&self) -> u64 {
+        self.events.processed()
+    }
+
+    /// Run until the clock passes `t` (or events run dry).
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(at) = self.events.peek_time() {
+            if at > t {
+                break;
+            }
+            let entry = self.events.pop().expect("peeked");
+            self.dispatch(entry.event, entry.at);
+        }
+    }
+
+    /// Run until `t`, invoking `sample` every `every` of simulated time
+    /// (at t = start+every, start+2·every, …). The callback sees the
+    /// simulation quiesced at the sample instant — the idiom behind the
+    /// occupancy traces of Fig. 3 and the goodput curves of Figs. 1/5.
+    pub fn run_sampled(&mut self, until: Time, every: Time, mut sample: impl FnMut(&NetworkSim)) {
+        assert!(!every.is_zero(), "zero sampling interval");
+        let mut t = self.now().saturating_add(every);
+        while t <= until {
+            self.run_until(t);
+            sample(self);
+            t = t.saturating_add(every);
+        }
+        self.run_until(until);
+    }
+
+    /// Run until every registered flow has completed, or `deadline`
+    /// passes, or events run dry. Returns `true` if all flows finished.
+    pub fn run_to_completion(&mut self, deadline: Time) -> bool {
+        while self.completed < self.flows.len() {
+            match self.events.peek_time() {
+                Some(at) if at <= deadline => {
+                    let entry = self.events.pop().expect("peeked");
+                    self.dispatch(entry.event, entry.at);
+                }
+                _ => break,
+            }
+        }
+        self.completed == self.flows.len()
+    }
+
+    /// Completed-flow records.
+    pub fn fct_records(&self) -> Vec<FctRecord> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                f.finish.map(|finish| FctRecord {
+                    flow: FlowId(i as u64),
+                    spec: f.spec,
+                    finish,
+                    fct: finish - f.spec.start,
+                    timeouts: f.sender.timeouts(),
+                })
+            })
+            .collect()
+    }
+
+    /// Bytes delivered (application-level, unique) for one flow.
+    pub fn delivered_bytes(&self, flow: FlowId) -> u64 {
+        self.flows[flow.0 as usize].receiver.bytes_received()
+    }
+
+    /// Sum of sender RTO expiries over all flows.
+    pub fn total_timeouts(&self) -> u64 {
+        self.flows.iter().map(|f| f.sender.timeouts()).sum()
+    }
+
+    /// The spec a flow was registered with.
+    pub fn flow_spec(&self, flow: FlowId) -> FlowSpec {
+        self.flows[flow.0 as usize].spec
+    }
+
+    /// RTT samples collected by a prober: `(send_time, rtt)` pairs.
+    pub fn probe_rtts(&self, prober: usize) -> &[(Time, Time)] {
+        &self.probers[prober].rtts
+    }
+
+    /// Access a link's egress port (indexes follow the order links were
+    /// passed to [`NetworkSim::new`]).
+    pub fn port(&self, link: usize) -> &Port {
+        &self.links[link].port
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Aggregate drops across every port.
+    pub fn total_drops(&self) -> u64 {
+        self.links.iter().map(|l| l.port.stats().total_drops()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event, now: Time) {
+        match ev {
+            Event::FlowStart(f) => {
+                let out = self.flows[f as usize].sender.start(now);
+                self.after_sender(f, out, now);
+            }
+            Event::Timer { flow } => {
+                self.flows[flow as usize].next_timer = None;
+                let out = self.flows[flow as usize].sender.on_timer(now);
+                self.after_sender(flow, out, now);
+            }
+            Event::TxDone { link } => {
+                self.links[link as usize].port.busy = false;
+                self.kick(link, now);
+            }
+            Event::Arrive { link, pkt } => {
+                let node = self.links[link as usize].to;
+                match self.node_hosts[node as usize] {
+                    Some(host) => self.deliver(host, pkt, now),
+                    None => self.forward(node, pkt, now),
+                }
+            }
+            Event::ProbeTick { prober } => self.probe_tick(prober, now),
+        }
+    }
+
+    /// Route and enqueue a packet at `node` toward `pkt.dst`.
+    fn forward(&mut self, node: NodeId, pkt: Packet, now: Time) {
+        let cands = &self.routes[node as usize][pkt.dst as usize];
+        let link = ecmp_pick(cands, pkt.flow, node);
+        self.enqueue_on(link, pkt, now);
+    }
+
+    fn enqueue_on(&mut self, link: u32, pkt: Packet, now: Time) {
+        if self.links[link as usize].port.enqueue(pkt, now) {
+            self.kick(link, now);
+        }
+    }
+
+    /// Start serializing the next packet on `link` if the port is idle.
+    fn kick(&mut self, link: u32, now: Time) {
+        let l = &mut self.links[link as usize];
+        if l.port.busy {
+            return;
+        }
+        if let Some(pkt) = l.port.dequeue(now) {
+            l.port.busy = true;
+            let txt = l.port.tx_time(&pkt);
+            let delay = l.delay;
+            self.events.schedule_at(now + txt, Event::TxDone { link });
+            self.events
+                .schedule_at(now + txt + delay, Event::Arrive { link, pkt });
+        }
+    }
+
+    /// A packet reached a host NIC.
+    fn deliver(&mut self, host: u32, pkt: Packet, now: Time) {
+        assert_eq!(pkt.dst, host, "misrouted packet (routing bug)");
+        match pkt.kind {
+            PacketKind::Data { .. } => {
+                let f = pkt.flow.0 as usize;
+                let ack = self.flows[f].receiver.on_data(&pkt, now);
+                if self.flows[f].finish.is_none() && self.flows[f].receiver.is_complete() {
+                    self.flows[f].finish = Some(now);
+                    self.completed += 1;
+                }
+                self.emit_from_host(host, ack, now);
+            }
+            PacketKind::Ack { cum_ack, ece } => {
+                let f = pkt.flow.0 as u32;
+                let out = self.flows[f as usize].sender.on_ack(cum_ack, ece, now);
+                self.after_sender(f, out, now);
+            }
+            PacketKind::Probe { probe_id, reply } => {
+                if reply {
+                    let idx = (pkt.flow.0 - PROBE_FLOW_BASE) as usize;
+                    let rtt = now.saturating_sub(pkt.birth_ts);
+                    self.probers[idx].rtts.push((pkt.birth_ts, rtt));
+                } else {
+                    // Echo back, preserving class and birth timestamp.
+                    let mut echo =
+                        Packet::probe(pkt.flow, host, pkt.src, probe_id, true, pkt.size);
+                    echo.dscp = pkt.dscp;
+                    echo.birth_ts = pkt.birth_ts;
+                    self.emit_from_host(host, echo, now);
+                }
+            }
+        }
+    }
+
+    /// Process a sender's output: DSCP-tag data, emit, and maintain the
+    /// single outstanding RTO timer.
+    fn after_sender(&mut self, flow: u32, mut out: SenderOutput, now: Time) {
+        let spec = self.flows[flow as usize].spec;
+        for pkt in &mut out.packets {
+            if let PacketKind::Data { seq, .. } = pkt.kind {
+                pkt.dscp = self.tagging.dscp_for(spec.service, seq);
+            }
+        }
+        for pkt in out.packets {
+            self.emit_from_host(spec.src, pkt, now);
+        }
+        if let Some(deadline) = out.timer {
+            let fs = &mut self.flows[flow as usize];
+            let need = match fs.next_timer {
+                None => true,
+                Some(t) => deadline < t,
+            };
+            if need {
+                fs.next_timer = Some(deadline.max(now));
+                self.events
+                    .schedule_at(deadline.max(now), Event::Timer { flow });
+            }
+        }
+    }
+
+    fn emit_from_host(&mut self, host: u32, pkt: Packet, now: Time) {
+        let node = self.host_nodes[host as usize];
+        self.forward(node, pkt, now);
+    }
+
+    fn probe_tick(&mut self, prober: u32, now: Time) {
+        let idx = prober as usize;
+        let cfg = self.probers[idx].cfg;
+        let id = self.probers[idx].next_id;
+        self.probers[idx].next_id += 1;
+        let mut pkt = Packet::probe(
+            FlowId(PROBE_FLOW_BASE + idx as u64),
+            cfg.src,
+            cfg.dst,
+            id,
+            false,
+            cfg.size,
+        );
+        pkt.dscp = cfg.dscp;
+        pkt.birth_ts = now;
+        self.emit_from_host(cfg.src, pkt, now);
+        self.events.schedule_at(
+            now + cfg.interval,
+            Event::ProbeTick { prober },
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Shortest-path routing with ECMP, as in the paper's leaf-spine
+//! simulations ("We employ ECMP for load balancing", §6.2).
+//!
+//! Routes are computed once at build time: for every node and every
+//! destination *host*, the set of outgoing links lying on some shortest
+//! path. Forwarding picks one member per flow with a deterministic hash
+//! of (flow id, node id) — per-flow ECMP, no packet reordering.
+
+use std::collections::VecDeque;
+
+use tcn_core::FlowId;
+
+/// A link index into the simulation's link table.
+pub type LinkIdx = u32;
+
+/// For one node: `routes[host]` = ECMP candidate out-links toward that
+/// host (empty for the host's own node).
+pub type RouteTable = Vec<Vec<LinkIdx>>;
+
+/// Directed adjacency needed by the route computation.
+pub struct TopoView<'a> {
+    /// `links[l] = (from_node, to_node)`.
+    pub links: &'a [(u32, u32)],
+    /// Node count.
+    pub num_nodes: usize,
+    /// `host_nodes[h]` = node id of host `h`.
+    pub host_nodes: &'a [u32],
+}
+
+/// Compute per-node ECMP route tables by BFS from each destination host
+/// over reversed links.
+///
+/// # Panics
+/// Panics if some host is unreachable from some node (a mis-built
+/// topology should fail loudly at construction, not mid-simulation).
+pub fn compute_routes(topo: &TopoView<'_>) -> Vec<RouteTable> {
+    let n = topo.num_nodes;
+    // Outgoing links per node.
+    let mut out: Vec<Vec<LinkIdx>> = vec![Vec::new(); n];
+    // Incoming links per node (for reverse BFS).
+    let mut inc: Vec<Vec<LinkIdx>> = vec![Vec::new(); n];
+    for (l, &(from, to)) in topo.links.iter().enumerate() {
+        out[from as usize].push(l as LinkIdx);
+        inc[to as usize].push(l as LinkIdx);
+    }
+
+    let mut tables: Vec<RouteTable> = vec![vec![Vec::new(); topo.host_nodes.len()]; n];
+
+    for (h, &hnode) in topo.host_nodes.iter().enumerate() {
+        // BFS distances to hnode over reversed edges.
+        let mut dist = vec![u32::MAX; n];
+        dist[hnode as usize] = 0;
+        let mut bfs = VecDeque::from([hnode]);
+        while let Some(v) = bfs.pop_front() {
+            for &l in &inc[v as usize] {
+                let u = topo.links[l as usize].0;
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    bfs.push_back(u);
+                }
+            }
+        }
+        for v in 0..n {
+            if v == hnode as usize {
+                continue;
+            }
+            assert!(
+                dist[v] != u32::MAX,
+                "host {h} unreachable from node {v}: broken topology"
+            );
+            for &l in &out[v] {
+                let to = topo.links[l as usize].1;
+                if dist[to as usize] + 1 == dist[v] {
+                    tables[v][h].push(l);
+                }
+            }
+            debug_assert!(!tables[v][h].is_empty());
+        }
+    }
+    tables
+}
+
+/// Deterministic per-flow ECMP pick among `candidates` at `node`.
+///
+/// The hash mixes the flow id and the node id (splitmix64 finalizer) so
+/// one flow takes a consistent path, while different switches spread
+/// differently — matching hardware ECMP behaviour.
+///
+/// # Panics
+/// Panics on an empty candidate set.
+pub fn ecmp_pick(candidates: &[LinkIdx], flow: FlowId, node: u32) -> LinkIdx {
+    assert!(!candidates.is_empty(), "no route");
+    if candidates.len() == 1 {
+        return candidates[0];
+    }
+    let mut z = flow
+        .0
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(node).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    candidates[(z % candidates.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star: node 0..3 hosts, node 4 switch; links host<->switch.
+    fn star() -> (Vec<(u32, u32)>, Vec<u32>) {
+        let mut links = Vec::new();
+        for h in 0..4u32 {
+            links.push((h, 4)); // host up
+            links.push((4, h)); // switch down
+        }
+        (links, (0..4).collect())
+    }
+
+    #[test]
+    fn star_routes_direct() {
+        let (links, hosts) = star();
+        let topo = TopoView {
+            links: &links,
+            num_nodes: 5,
+            host_nodes: &hosts,
+        };
+        let tables = compute_routes(&topo);
+        // From host 0 toward host 2: its only uplink (link 0).
+        assert_eq!(tables[0][2], vec![0]);
+        // From the switch toward host 2: the downlink (4,2) = link 5.
+        assert_eq!(tables[4][2], vec![5]);
+        // No route to self.
+        assert!(tables[2][2].is_empty());
+    }
+
+    /// 2 hosts, 2 leaves, 2 spines: host0-leaf0, host1-leaf1, full
+    /// leaf-spine mesh.
+    fn mini_leaf_spine() -> (Vec<(u32, u32)>, Vec<u32>) {
+        // Nodes: 0,1 hosts; 2,3 leaves; 4,5 spines.
+        let mut links = Vec::new();
+        let mut both = |a: u32, b: u32| {
+            links.push((a, b));
+            links.push((b, a));
+        };
+        both(0, 2);
+        both(1, 3);
+        both(2, 4);
+        both(2, 5);
+        both(3, 4);
+        both(3, 5);
+        (links, vec![0, 1])
+    }
+
+    #[test]
+    fn leaf_spine_ecmp_set_has_both_spines() {
+        let (links, hosts) = mini_leaf_spine();
+        let topo = TopoView {
+            links: &links,
+            num_nodes: 6,
+            host_nodes: &hosts,
+        };
+        let tables = compute_routes(&topo);
+        // From leaf0 (node 2) toward host 1: two uplinks (to spine 4 and
+        // spine 5).
+        let ups = &tables[2][1];
+        assert_eq!(ups.len(), 2);
+        let dests: Vec<u32> = ups.iter().map(|&l| links[l as usize].1).collect();
+        assert!(dests.contains(&4) && dests.contains(&5));
+        // From spine 4 toward host 1: single downlink to leaf1.
+        assert_eq!(tables[4][1].len(), 1);
+        assert_eq!(links[tables[4][1][0] as usize].1, 3);
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_flow() {
+        let cands = vec![3, 7, 11, 15];
+        let a = ecmp_pick(&cands, FlowId(42), 9);
+        for _ in 0..10 {
+            assert_eq!(ecmp_pick(&cands, FlowId(42), 9), a);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_across_flows() {
+        let cands = vec![0, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for f in 0..4000u64 {
+            let l = ecmp_pick(&cands, FlowId(f), 2);
+            counts[l as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..1200).contains(&c),
+                "uneven ECMP spread: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ecmp_varies_by_node() {
+        // The same flow should not deterministically pick index 0 at
+        // every switch (would defeat multi-stage ECMP).
+        let cands = vec![0, 1, 2, 3];
+        let picks: Vec<LinkIdx> = (0..32).map(|n| ecmp_pick(&cands, FlowId(7), n)).collect();
+        assert!(picks.iter().any(|&p| p != picks[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn disconnected_topology_rejected() {
+        // Host 1 (node 1) has no links at all.
+        let links = vec![(0u32, 2u32), (2, 0)];
+        let topo = TopoView {
+            links: &links,
+            num_nodes: 3,
+            host_nodes: &[0, 1],
+        };
+        compute_routes(&topo);
+    }
+}

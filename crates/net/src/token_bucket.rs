@@ -1,0 +1,146 @@
+//! The token-bucket shaper of the software prototype (paper §5,
+//! "Rate Limiter"): the qdisc shapes egress to 99.5 % of NIC capacity
+//! with a ~1.67-MTU (2.5 KB) bucket so buffering stays inside the qdisc
+//! where the AQM can see it.
+//!
+//! The network model applies shaping as a reduced serialization rate on
+//! the port (exact for back-to-back traffic, and the 2.5 KB bucket adds
+//! at most ~1 MTU of burst); this standalone implementation exists so the
+//! component itself is tested and available to users building their own
+//! ports.
+
+use tcn_sim::{Rate, Time};
+
+/// A classic token bucket: `capacity` bytes of burst, refilled at
+/// `rate`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: Rate,
+    capacity: u64,
+    /// Tokens available at `updated`.
+    tokens: f64,
+    updated: Time,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `capacity` bytes, refilled at `rate`,
+    /// starting full.
+    ///
+    /// # Panics
+    /// Panics on a zero rate or zero capacity.
+    pub fn new(rate: Rate, capacity: u64) -> Self {
+        assert!(rate.as_bps() > 0, "zero rate");
+        assert!(capacity > 0, "zero capacity");
+        TokenBucket {
+            rate,
+            capacity,
+            tokens: capacity as f64,
+            updated: Time::ZERO,
+        }
+    }
+
+    /// The paper's prototype configuration for a 1 Gbps NIC: 995 Mbps,
+    /// 2.5 KB bucket.
+    pub fn paper_prototype() -> Self {
+        TokenBucket::new(Rate::from_mbps(995), 2_500)
+    }
+
+    fn refill(&mut self, now: Time) {
+        debug_assert!(now >= self.updated, "time went backwards");
+        let dt = now.saturating_sub(self.updated);
+        self.tokens = (self.tokens + self.rate.bytes_in(dt) as f64).min(self.capacity as f64);
+        self.updated = now;
+    }
+
+    /// Try to send `bytes` at `now`. On success the tokens are consumed
+    /// and `None` is returned; otherwise returns the earliest time at
+    /// which the send would be admissible.
+    pub fn try_consume(&mut self, bytes: u64, now: Time) -> Option<Time> {
+        self.refill(now);
+        let need = bytes as f64;
+        if need <= self.tokens {
+            self.tokens -= need;
+            return None;
+        }
+        let deficit = need - self.tokens;
+        let wait = self.rate.tx_time(deficit.ceil() as u64);
+        Some(now.saturating_add(wait))
+    }
+
+    /// Tokens currently available (after refill to `now`).
+    pub fn available(&mut self, now: Time) -> u64 {
+        self.refill(now);
+        self.tokens as u64
+    }
+
+    /// Sustained rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_up_to_capacity() {
+        let mut tb = TokenBucket::new(Rate::from_mbps(995), 2_500);
+        // Full bucket: a 1500 B packet passes immediately...
+        assert_eq!(tb.try_consume(1500, Time::ZERO), None);
+        // ...and 1000 more...
+        assert_eq!(tb.try_consume(1000, Time::ZERO), None);
+        // ...but the bucket is now empty.
+        let wait = tb.try_consume(1500, Time::ZERO);
+        assert!(wait.is_some());
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut tb = TokenBucket::new(Rate::from_mbps(1000), 2_500);
+        tb.try_consume(2500, Time::ZERO); // drain
+        // After 12 us at 1 Gbps: 1500 bytes of tokens.
+        assert_eq!(tb.available(Time::from_us(12)), 1500);
+    }
+
+    #[test]
+    fn wait_time_is_exact() {
+        let mut tb = TokenBucket::new(Rate::from_mbps(1000), 2_500);
+        tb.try_consume(2500, Time::ZERO);
+        let eligible = tb.try_consume(1500, Time::ZERO).unwrap();
+        // Needs 1500 fresh bytes at 1 Gbps = 12 us.
+        assert_eq!(eligible, Time::from_us(12));
+        // At that instant the send succeeds.
+        assert_eq!(tb.try_consume(1500, eligible), None);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut tb = TokenBucket::new(Rate::from_gbps(10), 3_000);
+        assert_eq!(tb.available(Time::from_secs(10)), 3_000);
+    }
+
+    #[test]
+    fn sustained_throughput_matches_rate() {
+        // Send as fast as permitted for 1 ms; total bytes ≈ rate × time.
+        let mut tb = TokenBucket::new(Rate::from_mbps(995), 2_500);
+        let mut now = Time::ZERO;
+        let mut sent = 0u64;
+        while now < Time::from_ms(1) {
+            match tb.try_consume(1500, now) {
+                None => sent += 1500,
+                Some(t) => now = t,
+            }
+        }
+        let expect = Rate::from_mbps(995).bytes_in(Time::from_ms(1));
+        let err = (sent as f64 - expect as f64).abs() / expect as f64;
+        assert!(err < 0.05, "sent {sent}, expected ~{expect}");
+    }
+
+    #[test]
+    fn paper_prototype_values() {
+        let tb = TokenBucket::paper_prototype();
+        assert_eq!(tb.rate(), Rate::from_mbps(995));
+        assert_eq!(tb.capacity, 2_500);
+    }
+}

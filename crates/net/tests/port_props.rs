@@ -1,0 +1,122 @@
+//! Property tests for the egress port: conservation of packets and
+//! bytes under arbitrary traffic, for every (scheduler, AQM) pairing.
+
+use proptest::prelude::*;
+use tcn_baselines::{CoDel, MqEcn, RedEcn};
+use tcn_core::{FlowId, Packet, Tcn};
+use tcn_net::{Port, PortSetup};
+use tcn_sched::{Dwrr, SpHybrid, StrictPriority, Wfq};
+use tcn_sim::{Rate, Time};
+
+fn mk_port(which_sched: u8, which_aqm: u8, nqueues: usize, buffer: u64) -> Port {
+    let setup = PortSetup {
+        nqueues,
+        buffer: Some(buffer),
+        tx_rate: None,
+        make_sched: Box::new(move || match which_sched % 4 {
+            0 => Box::new(Wfq::equal(nqueues)),
+            1 => Box::new(Dwrr::equal(nqueues, 1_500)),
+            2 => Box::new(StrictPriority::new(nqueues)),
+            _ => {
+                if nqueues >= 2 {
+                    Box::new(SpHybrid::new(1, Dwrr::equal(nqueues - 1, 1_500)))
+                } else {
+                    Box::new(Wfq::equal(nqueues))
+                }
+            }
+        }),
+        make_aqm: Box::new(move || match which_aqm % 4 {
+            0 => Box::new(Tcn::new(Time::from_us(100))),
+            1 => Box::new(RedEcn::per_queue(30_000)),
+            2 => Box::new(CoDel::new(Time::from_us(50), Time::from_us(500))),
+            _ => Box::new(MqEcn::new(Time::from_us(100), 0.75, Time::from_us(12))),
+        }),
+    };
+    Port::new(&setup, Rate::from_gbps(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every offered packet is exactly one of: transmitted, dropped, or
+    /// still buffered — and byte occupancy equals the sum of queues.
+    #[test]
+    fn packet_and_byte_conservation(
+        which_sched in 0u8..4,
+        which_aqm in 0u8..4,
+        nqueues in 1usize..8,
+        buffer in 5_000u64..200_000,
+        ops in prop::collection::vec((any::<bool>(), 0u8..8, 41u32..3_000), 1..300),
+    ) {
+        let mut port = mk_port(which_sched, which_aqm, nqueues, buffer);
+        let mut now = Time::ZERO;
+        let mut offered = 0u64;
+        let mut admitted = 0u64;
+        let mut transmitted = 0u64;
+        for (is_enq, dscp, payload) in ops {
+            now += Time::from_us(3);
+            if is_enq {
+                let mut p = Packet::data(FlowId(1), 0, 1, 0, payload, 40);
+                p.dscp = dscp;
+                offered += 1;
+                if port.enqueue(p, now) {
+                    admitted += 1;
+                }
+            } else if port.dequeue(now).is_some() {
+                transmitted += 1;
+            }
+            // Occupancy equals the per-queue sum at every step.
+            let sum: u64 = (0..port.num_queues()).map(|q| port.queue_bytes(q)).sum();
+            prop_assert_eq!(port.occupancy(), sum);
+            if let Some(cap) = Some(buffer) {
+                prop_assert!(port.occupancy() <= cap, "buffer overrun");
+            }
+        }
+        let s = port.stats();
+        // Admission accounting.
+        prop_assert_eq!(offered, admitted + s.buffer_drops + s.enqueue_aqm_drops);
+        prop_assert_eq!(transmitted, s.tx_packets);
+        // Drain everything; every admitted packet must leave as either a
+        // transmission or a dequeue-side AQM drop.
+        while port.dequeue(Time::from_secs(10)).is_some() {}
+        let s = port.stats();
+        prop_assert_eq!(
+            admitted,
+            s.tx_packets + s.dequeue_aqm_drops,
+            "admitted packets must all leave as tx or dequeue drops"
+        );
+        prop_assert!(port.is_empty());
+    }
+
+    /// Marks never appear on a port whose AQM is NoAqm, and occupancy
+    /// returns to zero after a full drain for any scheduler.
+    #[test]
+    fn droptail_never_marks(
+        which_sched in 0u8..4,
+        ops in prop::collection::vec((0u8..4, 41u32..3_000), 1..200),
+    ) {
+        let setup = PortSetup {
+            nqueues: 4,
+            buffer: Some(1 << 30),
+            tx_rate: None,
+            make_sched: Box::new(move || match which_sched % 2 {
+                0 => Box::new(Wfq::equal(4)),
+                _ => Box::new(Dwrr::equal(4, 1_500)),
+            }),
+            make_aqm: Box::new(|| Box::new(tcn_core::aqm::NoAqm)),
+        };
+        let mut port = Port::new(&setup, Rate::from_gbps(1));
+        let mut now = Time::ZERO;
+        for (dscp, payload) in ops {
+            now += Time::from_us(1);
+            let mut p = Packet::data(FlowId(1), 0, 1, 0, payload, 40);
+            p.dscp = dscp;
+            prop_assert!(port.enqueue(p, now));
+        }
+        while let Some(p) = port.dequeue(now) {
+            prop_assert!(!p.ecn.is_ce(), "NoAqm must not mark");
+        }
+        prop_assert_eq!(port.stats().total_marks(), 0);
+        prop_assert_eq!(port.occupancy(), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The two chart shapes the paper's figures need: multi-series line
+//! charts (traces, CDFs, FCT-vs-load) and grouped bar charts
+//! (per-scheme comparisons).
+
+use crate::scale::{fmt_tick, LinearScale};
+use crate::svg::{SvgCanvas, PALETTE};
+
+const W: u32 = 640;
+const H: u32 = 420;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+/// One named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+fn axes(
+    c: &mut SvgCanvas,
+    xs: &LinearScale,
+    ys: &LinearScale,
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+) {
+    let (w, h) = (f64::from(W), f64::from(H));
+    // Frame.
+    c.line(ML, MT, ML, h - MB, "#444", 1.0);
+    c.line(ML, h - MB, w - MR, h - MB, "#444", 1.0);
+    // Ticks + grid.
+    for t in xs.ticks(6) {
+        let x = xs.map(t);
+        c.line(x, h - MB, x, h - MB + 4.0, "#444", 1.0);
+        c.line(x, MT, x, h - MB, "#eee", 0.5);
+        c.text(x, h - MB + 18.0, &fmt_tick(t), 11.0, "middle");
+    }
+    for t in ys.ticks(6) {
+        let y = ys.map(t);
+        c.line(ML - 4.0, y, ML, y, "#444", 1.0);
+        c.line(ML, y, w - MR, y, "#eee", 0.5);
+        c.text(ML - 8.0, y + 4.0, &fmt_tick(t), 11.0, "end");
+    }
+    c.text(w / 2.0, 22.0, title, 14.0, "middle");
+    c.text(w / 2.0, h - 12.0, xlabel, 12.0, "middle");
+    // Y label drawn horizontally at the top-left (no rotation support).
+    c.text(8.0, MT - 10.0, ylabel, 12.0, "start");
+}
+
+fn legend(c: &mut SvgCanvas, labels: &[&str]) {
+    let mut x = ML + 10.0;
+    let y = MT + 14.0;
+    for (i, label) in labels.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        c.rect(x, y - 8.0, 14.0, 4.0, color);
+        c.text(x + 18.0, y, label, 11.0, "start");
+        x += 18.0 + 7.0 * label.len() as f64 + 16.0;
+    }
+}
+
+/// A multi-series line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X axis label.
+    pub xlabel: String,
+    /// Y axis label.
+    pub ylabel: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Force the y axis to include zero (default true).
+    pub y_from_zero: bool,
+}
+
+impl LineChart {
+    /// A chart with the given labels.
+    pub fn new(
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+            y_from_zero: true,
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Render to an SVG document.
+    ///
+    /// # Panics
+    /// Panics if no series contains any point.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!pts.is_empty(), "empty chart");
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 <= x0 {
+            x1 = x0 + 1.0;
+        }
+        if y1 <= y0 {
+            y1 = y0 + 1.0;
+        }
+        let (w, h) = (f64::from(W), f64::from(H));
+        let xs = LinearScale::new(x0, x1, ML, w - MR);
+        let ys = if self.y_from_zero {
+            LinearScale::with_zero(y0, y1 * 1.05, h - MB, MT)
+        } else {
+            LinearScale::new(y0, y1, h - MB, MT)
+        };
+        let mut c = SvgCanvas::new(W, H);
+        axes(&mut c, &xs, &ys, &self.title, &self.xlabel, &self.ylabel);
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mapped: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|&(x, y)| (xs.map(x), ys.map(y)))
+                .collect();
+            c.polyline(&mapped, color, 1.8);
+        }
+        let labels: Vec<&str> = self.series.iter().map(|s| s.label.as_str()).collect();
+        legend(&mut c, &labels);
+        c.render()
+    }
+}
+
+/// A grouped bar chart: `groups` along x, one bar per series in each
+/// group.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y axis label.
+    pub ylabel: String,
+    /// Group labels along x.
+    pub groups: Vec<String>,
+    /// `(series label, per-group values)`; values length must equal
+    /// `groups` length.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl BarChart {
+    /// A chart with the given labels.
+    pub fn new(title: impl Into<String>, ylabel: impl Into<String>, groups: Vec<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            ylabel: ylabel.into(),
+            groups,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add one series of per-group values.
+    ///
+    /// # Panics
+    /// Panics if the value count mismatches the group count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.groups.len(), "group count mismatch");
+        self.series.push((label.into(), values));
+        self
+    }
+
+    /// Render to an SVG document.
+    ///
+    /// # Panics
+    /// Panics with no series or no groups.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty() && !self.groups.is_empty());
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let (w, h) = (f64::from(W), f64::from(H));
+        let ys = LinearScale::with_zero(0.0, max * 1.1, h - MB, MT);
+        let xs = LinearScale::new(0.0, self.groups.len() as f64, ML, w - MR);
+        let mut c = SvgCanvas::new(W, H);
+        axes(&mut c, &xs, &ys, &self.title, "", &self.ylabel);
+        let nbars = self.series.len() as f64;
+        let slot = xs.map(1.0) - xs.map(0.0);
+        let bar_w = slot * 0.8 / nbars;
+        for (g, label) in self.groups.iter().enumerate() {
+            let gx = xs.map(g as f64 + 0.5);
+            c.text(gx, h - MB + 32.0, label, 11.0, "middle");
+            for (si, (_, vals)) in self.series.iter().enumerate() {
+                let v = vals[g];
+                let x = gx - slot * 0.4 + bar_w * si as f64;
+                let y = ys.map(v);
+                let base = ys.map(0.0);
+                c.rect(x, y, bar_w * 0.92, base - y, PALETTE[si % PALETTE.len()]);
+            }
+        }
+        let labels: Vec<&str> = self.series.iter().map(|(l, _)| l.as_str()).collect();
+        legend(&mut c, &labels);
+        c.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let mut ch = LineChart::new("t", "x", "y");
+        ch.push(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]));
+        ch.push(Series::new("b", vec![(0.0, 2.0), (1.0, 1.0)]));
+        let svg = ch.render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn line_chart_scales_points_inside_plot_area() {
+        let mut ch = LineChart::new("t", "x", "y");
+        ch.push(Series::new("a", vec![(0.0, 0.0), (10.0, 100.0)]));
+        let svg = ch.render();
+        // All polyline coordinates must be within the canvas.
+        let poly = svg
+            .lines()
+            .find(|l| l.contains("<polyline"))
+            .unwrap()
+            .to_string();
+        let nums: Vec<f64> = poly
+            .split(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        for &n in &nums {
+            assert!((-1.0..=640.0).contains(&n), "coordinate {n} out of canvas");
+        }
+    }
+
+    #[test]
+    fn bar_chart_draws_groups_times_series_bars() {
+        let mut ch = BarChart::new("t", "y", vec!["g1".into(), "g2".into(), "g3".into()]);
+        ch.push("s1", vec![1.0, 2.0, 3.0]);
+        ch.push("s2", vec![3.0, 2.0, 1.0]);
+        let svg = ch.render();
+        // Background rect + legend swatches (2) + bars (6).
+        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chart")]
+    fn empty_line_chart_rejected() {
+        LineChart::new("t", "x", "y").render();
+    }
+
+    #[test]
+    #[should_panic(expected = "group count mismatch")]
+    fn bar_chart_validates_lengths() {
+        let mut ch = BarChart::new("t", "y", vec!["g1".into()]);
+        ch.push("s1", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let mut ch = LineChart::new("t", "x", "y");
+        ch.push(Series::new("flat", vec![(0.0, 5.0), (1.0, 5.0)]));
+        let svg = ch.render();
+        assert!(svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,20 @@
+//! `tcn-plot` — a small, dependency-free SVG chart renderer for the
+//! experiment figures.
+//!
+//! The paper's figures are line charts (rate/occupancy/goodput vs time,
+//! FCT vs load), grouped bar charts (normalized FCT per scheme) and CDFs
+//! (RTT distributions). This crate renders exactly those three shapes to
+//! standalone SVG files so `figN --svg` can emit something you can open
+//! next to the paper.
+//!
+//! Deliberately minimal: no styling system, no interactivity, no text
+//! measurement (labels use a fixed-width estimate). The goal is honest,
+//! readable plots — not a plotting framework.
+
+pub mod chart;
+pub mod scale;
+pub mod svg;
+
+pub use chart::{BarChart, LineChart, Series};
+pub use scale::LinearScale;
+pub use svg::SvgCanvas;

@@ -1,0 +1,162 @@
+//! Linear data-to-pixel scaling with "nice" tick generation.
+
+/// Maps a data interval onto a pixel interval.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScale {
+    d0: f64,
+    d1: f64,
+    p0: f64,
+    p1: f64,
+}
+
+impl LinearScale {
+    /// A scale from data range `[d0, d1]` to pixel range `[p0, p1]`
+    /// (pixel range may be inverted for y axes).
+    ///
+    /// # Panics
+    /// Panics on a degenerate or non-finite data range.
+    pub fn new(d0: f64, d1: f64, p0: f64, p1: f64) -> Self {
+        assert!(d0.is_finite() && d1.is_finite(), "non-finite domain");
+        assert!(d1 > d0, "degenerate domain {d0}..{d1}");
+        LinearScale { d0, d1, p0, p1 }
+    }
+
+    /// A scale whose domain is padded to include zero when the data is
+    /// all-positive (bar charts and occupancy traces read better from a
+    /// zero baseline).
+    pub fn with_zero(min: f64, max: f64, p0: f64, p1: f64) -> Self {
+        let lo = min.min(0.0);
+        let hi = if max > lo { max } else { lo + 1.0 };
+        LinearScale::new(lo, hi, p0, p1)
+    }
+
+    /// Map a data value to pixels (extrapolates outside the domain).
+    pub fn map(&self, v: f64) -> f64 {
+        self.p0 + (v - self.d0) / (self.d1 - self.d0) * (self.p1 - self.p0)
+    }
+
+    /// Data domain `(lo, hi)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.d0, self.d1)
+    }
+
+    /// Roughly `n` "nice" tick positions (1/2/5 × 10^k steps) covering
+    /// the domain.
+    pub fn ticks(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 2);
+        let span = self.d1 - self.d0;
+        let raw_step = span / (n as f64 - 1.0);
+        let mag = 10f64.powf(raw_step.log10().floor());
+        let norm = raw_step / mag;
+        let nice = if norm <= 1.0 {
+            1.0
+        } else if norm <= 2.0 {
+            2.0
+        } else if norm <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+        let step = nice * mag;
+        let first = (self.d0 / step).ceil() * step;
+        let mut ticks = Vec::new();
+        let mut t = first;
+        // Tolerate fp fuzz at the upper edge.
+        while t <= self.d1 + step * 1e-9 {
+            // Snap near-zero fp noise to zero.
+            ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+            t += step;
+        }
+        ticks
+    }
+}
+
+/// Format a tick value compactly (1500000 → "1.5M").
+pub fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    let (scaled, suffix, digits) = if a >= 1e9 {
+        (v / 1e9, "G", 3)
+    } else if a >= 1e6 {
+        (v / 1e6, "M", 3)
+    } else if a >= 1e3 {
+        (v / 1e3, "k", 3)
+    } else if a >= 1.0 {
+        (v, "", 2)
+    } else {
+        (v, "", 3)
+    };
+    let mantissa = format!("{scaled:.digits$}");
+    let mantissa = mantissa.trim_end_matches('0').trim_end_matches('.');
+    format!("{mantissa}{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_endpoints() {
+        let s = LinearScale::new(0.0, 10.0, 100.0, 200.0);
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+    }
+
+    #[test]
+    fn inverted_pixel_range_for_y_axis() {
+        let s = LinearScale::new(0.0, 1.0, 300.0, 0.0);
+        assert_eq!(s.map(0.0), 300.0);
+        assert_eq!(s.map(1.0), 0.0);
+    }
+
+    #[test]
+    fn ticks_are_nice_and_cover() {
+        let s = LinearScale::new(0.0, 103.0, 0.0, 1.0);
+        let ticks = s.ticks(6);
+        assert!(ticks.len() >= 3, "{ticks:?}");
+        assert!(ticks.windows(2).all(|w| w[1] > w[0]));
+        assert!(ticks[0] >= 0.0);
+        assert!(*ticks.last().unwrap() <= 103.0);
+        // 1/2/5 structure: raw step 20.6 rounds up to 50.
+        assert_eq!(ticks[1] - ticks[0], 50.0);
+        // A friendlier domain lands on the finer step.
+        let s = LinearScale::new(0.0, 100.0, 0.0, 1.0);
+        let ticks = s.ticks(6);
+        assert_eq!(ticks[1] - ticks[0], 20.0);
+    }
+
+    #[test]
+    fn ticks_handle_small_ranges() {
+        let s = LinearScale::new(0.3, 0.9, 0.0, 1.0);
+        let ticks = s.ticks(5);
+        assert!(!ticks.is_empty());
+        for t in &ticks {
+            assert!((0.3..=0.9001).contains(t), "{ticks:?}");
+        }
+    }
+
+    #[test]
+    fn with_zero_pads_domain() {
+        let s = LinearScale::with_zero(5.0, 10.0, 0.0, 1.0);
+        assert_eq!(s.domain().0, 0.0);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(1500.0), "1.5k");
+        assert_eq!(fmt_tick(2_000_000.0), "2M");
+        assert_eq!(fmt_tick(5e9), "5G");
+        assert_eq!(fmt_tick(0.5), "0.5");
+        assert_eq!(fmt_tick(42.0), "42");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate domain")]
+    fn rejects_empty_domain() {
+        LinearScale::new(1.0, 1.0, 0.0, 1.0);
+    }
+}

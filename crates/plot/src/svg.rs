@@ -1,0 +1,140 @@
+//! A minimal SVG writer: shapes in, one standalone document out.
+
+use std::fmt::Write as _;
+
+/// Escape text content for XML.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// A blank canvas with a white background.
+    pub fn new(width: u32, height: u32) -> Self {
+        let mut c = SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        };
+        let _ = writeln!(
+            c.body,
+            r##"<rect x="0" y="0" width="{width}" height="{height}" fill="#ffffff"/>"##
+        );
+        c
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// A polyline through `pts`.
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64) {
+        if pts.len() < 2 {
+            return;
+        }
+        let mut d = String::new();
+        for (x, y) in pts {
+            let _ = write!(d, "{x:.2},{y:.2} ");
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            d.trim_end()
+        );
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Text. `anchor` is `start`, `middle` or `end`.
+    pub fn text(&mut self, x: f64, y: f64, s: &str, size: f64, anchor: &str) {
+        let _ = writeln!(
+            self.body,
+            r##"<text x="{x:.2}" y="{y:.2}" font-family="sans-serif" font-size="{size}" text-anchor="{anchor}" fill="#222">{}</text>"##,
+            esc(s)
+        );
+    }
+
+    /// Finish the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Canvas size.
+    pub fn size(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+}
+
+/// A categorical palette (colorblind-safe Okabe–Ito).
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#F0E442", "#56B4E9", "#E69F00", "#000000",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_wellformed_document() {
+        let mut c = SvgCanvas::new(400, 300);
+        c.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0);
+        c.polyline(&[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)], "#f00", 2.0);
+        c.rect(1.0, 2.0, 3.0, 4.0, "#0f0");
+        c.text(5.0, 5.0, "hello", 12.0, "middle");
+        let doc = c.render();
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert_eq!(doc.matches("<line").count(), 1);
+        assert_eq!(doc.matches("<polyline").count(), 1);
+        // Background + explicit rect.
+        assert_eq!(doc.matches("<rect").count(), 2);
+    }
+
+    #[test]
+    fn escapes_text() {
+        let mut c = SvgCanvas::new(10, 10);
+        c.text(0.0, 0.0, "a<b & \"c\"", 10.0, "start");
+        let doc = c.render();
+        assert!(doc.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!doc.contains("a<b"));
+    }
+
+    #[test]
+    fn short_polyline_skipped() {
+        let mut c = SvgCanvas::new(10, 10);
+        c.polyline(&[(1.0, 1.0)], "#000", 1.0);
+        assert!(!c.render().contains("<polyline"));
+    }
+
+    #[test]
+    fn palette_has_unique_colors() {
+        let mut p = PALETTE.to_vec();
+        p.sort_unstable();
+        p.dedup();
+        assert_eq!(p.len(), PALETTE.len());
+    }
+}

@@ -1,0 +1,293 @@
+//! Deficit Weighted Round Robin (Shreedhar & Varghese), exactly as the
+//! paper's prototype describes (§5): an active list of backlogged queues;
+//! the head queue is served while its deficit covers its head packet;
+//! deficits accumulate by one quantum per visit and reset when a queue
+//! drains.
+//!
+//! DWRR is the scheduler with a *round*, so it additionally measures the
+//! round time `T_round` (the time between consecutive service turns of the
+//! same continuously-backlogged queue) — the quantity MQ-ECN builds its
+//! dynamic threshold from (§3.3).
+
+use std::collections::VecDeque;
+
+use tcn_core::{Packet, PacketQueue};
+use tcn_sim::Time;
+
+use crate::Scheduler;
+
+/// Deficit Weighted Round Robin scheduler.
+#[derive(Debug, Clone)]
+pub struct Dwrr {
+    quanta: Vec<u64>,
+    deficit: Vec<u64>,
+    /// Queues awaiting a service turn (excludes `current`).
+    active: VecDeque<usize>,
+    /// Whether a queue is anywhere in the DWRR system (active list or
+    /// current).
+    in_system: Vec<bool>,
+    /// Queue currently holding the service turn.
+    current: Option<usize>,
+    /// When each queue last began a turn while continuously backlogged.
+    turn_start: Vec<Option<Time>>,
+    /// Latest measured round duration.
+    last_round: Option<Time>,
+    /// Counter of round samples taken.
+    round_seq: u64,
+}
+
+impl Dwrr {
+    /// DWRR with the given per-queue byte quanta.
+    ///
+    /// # Panics
+    /// Panics if `quanta` is empty or any quantum is zero (a zero quantum
+    /// would never accumulate enough deficit and the scheduler would
+    /// spin).
+    pub fn new(quanta: Vec<u64>) -> Self {
+        assert!(!quanta.is_empty(), "need at least one queue");
+        assert!(quanta.iter().all(|&q| q > 0), "quanta must be positive");
+        let n = quanta.len();
+        Dwrr {
+            quanta,
+            deficit: vec![0; n],
+            active: VecDeque::new(),
+            in_system: vec![false; n],
+            current: None,
+            turn_start: vec![None; n],
+            last_round: None,
+            round_seq: 0,
+        }
+    }
+
+    /// Equal-quantum DWRR over `n` queues (the common experiment config).
+    pub fn equal(n: usize, quantum: u64) -> Self {
+        Dwrr::new(vec![quantum; n])
+    }
+
+    /// Current deficit of queue `q` (for tests/diagnostics).
+    pub fn deficit(&self, q: usize) -> u64 {
+        self.deficit[q]
+    }
+
+    fn deactivate(&mut self, q: usize) {
+        self.in_system[q] = false;
+        self.deficit[q] = 0;
+        self.turn_start[q] = None;
+        if self.current == Some(q) {
+            self.current = None;
+        }
+    }
+}
+
+impl Scheduler for Dwrr {
+    fn on_enqueue(&mut self, queues: &[PacketQueue], q: usize, _pkt: &Packet, _now: Time) {
+        debug_assert!(!queues[q].is_empty());
+        if !self.in_system[q] {
+            self.in_system[q] = true;
+            self.deficit[q] = 0;
+            self.active.push_back(q);
+        }
+    }
+
+    fn select(&mut self, queues: &[PacketQueue], now: Time) -> Option<usize> {
+        loop {
+            if let Some(c) = self.current {
+                match queues[c].front_size() {
+                    Some(head) if self.deficit[c] >= u64::from(head) => return Some(c),
+                    Some(_) => {
+                        // Turn over: head does not fit; carry the deficit
+                        // and requeue at the tail (classic DWRR).
+                        self.active.push_back(c);
+                        self.current = None;
+                    }
+                    None => {
+                        // Queue drained outside on_dequeue bookkeeping;
+                        // defensive — deactivate and move on.
+                        self.deactivate(c);
+                    }
+                }
+            }
+            let c = self.active.pop_front()?;
+            if queues[c].is_empty() {
+                self.deactivate(c);
+                continue;
+            }
+            // A new turn begins: sample the round time if this queue has
+            // been continuously backlogged since its previous turn.
+            if let Some(start) = self.turn_start[c] {
+                let round = now.saturating_sub(start);
+                if !round.is_zero() {
+                    self.last_round = Some(round);
+                    self.round_seq += 1;
+                }
+            }
+            self.turn_start[c] = Some(now);
+            self.deficit[c] = self.deficit[c].saturating_add(self.quanta[c]);
+            self.current = Some(c);
+        }
+    }
+
+    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, _now: Time) {
+        debug_assert_eq!(self.current, Some(q), "dequeue outside service turn");
+        self.deficit[q] = self.deficit[q].saturating_sub(u64::from(pkt.size));
+        if queues[q].is_empty() {
+            self.deactivate(q);
+        }
+    }
+
+    fn round_time(&self) -> Option<Time> {
+        self.last_round
+    }
+
+    fn quantum(&self, q: usize) -> Option<u64> {
+        self.quanta.get(q).copied()
+    }
+
+    fn round_seq(&self) -> u64 {
+        self.round_seq
+    }
+
+    fn name(&self) -> &'static str {
+        "DWRR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::Harness;
+    use tcn_sim::Rate;
+
+    #[test]
+    fn equal_quanta_equal_shares() {
+        let mut h = Harness::new(Dwrr::equal(2, 1500), 2);
+        h.backlog(0, 1500, 200);
+        h.backlog(1, 1500, 200);
+        h.serve(200);
+        assert!((h.share(0) - 0.5).abs() < 0.01, "share {}", h.share(0));
+    }
+
+    #[test]
+    fn weighted_shares_follow_quanta() {
+        // 2:1 quanta → 2:1 byte shares.
+        let mut h = Harness::new(Dwrr::new(vec![3000, 1500]), 2);
+        h.backlog(0, 1500, 300);
+        h.backlog(1, 1500, 300);
+        h.serve(300);
+        assert!(
+            (h.share(0) - 2.0 / 3.0).abs() < 0.02,
+            "share {}",
+            h.share(0)
+        );
+    }
+
+    #[test]
+    fn fair_despite_unequal_packet_sizes() {
+        // DWRR's raison d'être: byte-fair even when queue 0 sends jumbo
+        // packets and queue 1 small ones.
+        let mut h = Harness::new(Dwrr::equal(2, 1500), 2);
+        h.backlog(0, 1500, 400);
+        h.backlog(1, 300, 2000);
+        h.serve(1500);
+        assert!((h.share(0) - 0.5).abs() < 0.02, "share {}", h.share(0));
+    }
+
+    #[test]
+    fn deficit_accumulates_for_large_packets() {
+        // Quantum 500 < packet 1500: queue needs 3 rounds of credit.
+        let mut h = Harness::new(Dwrr::new(vec![500, 500]), 2);
+        h.backlog(0, 1500, 10);
+        h.backlog(1, 500, 30);
+        h.serve(40);
+        // Still byte-fair in the long run.
+        assert!((h.share(0) - 0.5).abs() < 0.05, "share {}", h.share(0));
+    }
+
+    #[test]
+    fn deficit_resets_when_queue_drains() {
+        let mut h = Harness::new(Dwrr::equal(2, 3000), 2);
+        h.push(0, 100);
+        h.backlog(1, 1500, 2);
+        h.serve(3);
+        // Queue 0 drained: its deficit must be gone, not banked.
+        assert_eq!(h.sched.deficit(0), 0);
+    }
+
+    #[test]
+    fn idle_queue_consumes_nothing() {
+        let mut h = Harness::new(Dwrr::equal(3, 1500), 3);
+        h.backlog(0, 1500, 50);
+        h.backlog(2, 1500, 50);
+        h.serve(100);
+        assert_eq!(h.served[1], 0);
+        assert!((h.share(0) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn round_time_measured_for_backlogged_queues() {
+        let mut h = Harness::new(Dwrr::equal(2, 1500), 2);
+        h.rate = Rate::from_gbps(1);
+        h.backlog(0, 1500, 100);
+        h.backlog(1, 1500, 100);
+        h.serve(10);
+        // Round = both queues send one 1500 B packet = 2 × 12 us.
+        let round = h.sched.round_time().expect("round measured");
+        assert_eq!(round, Time::from_us(24));
+    }
+
+    #[test]
+    fn round_time_tracks_active_set() {
+        // With only one backlogged queue the round shrinks to one packet.
+        let mut h = Harness::new(Dwrr::equal(2, 1500), 2);
+        h.backlog(0, 1500, 100);
+        h.serve(10);
+        assert_eq!(h.sched.round_time(), Some(Time::from_us(12)));
+    }
+
+    #[test]
+    fn no_round_sample_after_idle_gap() {
+        // A queue that drained and re-activated must not contribute a
+        // bogus giant round sample spanning its idle time.
+        let mut h = Harness::new(Dwrr::equal(1, 1500), 1);
+        h.backlog(0, 1500, 2);
+        h.serve(2);
+        let before = h.sched.round_time();
+        // Long idle gap.
+        h.now += Time::from_ms(50);
+        h.backlog(0, 1500, 2);
+        h.serve(2);
+        let after = h.sched.round_time();
+        // Either still the old sample or a fresh small one — never ~50 ms.
+        if let Some(r) = after {
+            assert!(r < Time::from_ms(1), "stale round {r} leaked, before {before:?}");
+        }
+    }
+
+    #[test]
+    fn exposes_quanta() {
+        let d = Dwrr::new(vec![1500, 4500]);
+        assert_eq!(d.quantum(0), Some(1500));
+        assert_eq!(d.quantum(1), Some(4500));
+        assert_eq!(d.quantum(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quanta must be positive")]
+    fn zero_quantum_rejected() {
+        Dwrr::new(vec![1500, 0]);
+    }
+
+    #[test]
+    fn paper_fig2_round_time() {
+        // Fig. 2 setup: 10 Gbps, two queues, 18 KB quanta. With both
+        // backlogged the round is 36 KB / 10 Gbps = 28.8 us.
+        let mut h = Harness::new(Dwrr::equal(2, 18_000), 2);
+        h.rate = Rate::from_gbps(10);
+        h.backlog(0, 1500, 200);
+        h.backlog(1, 1500, 200);
+        h.serve(100);
+        let round = h.sched.round_time().unwrap();
+        let expect = Rate::from_gbps(10).tx_time(36_000);
+        assert_eq!(round, expect);
+    }
+}

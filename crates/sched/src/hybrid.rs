@@ -1,0 +1,177 @@
+//! SP/WFQ and SP/DWRR hybrids (paper §5): the first `n_high` queues are
+//! strict priorities (queue 0 highest); the remaining queues are served by
+//! an inner scheduler **only when every strict queue is empty**.
+//!
+//! This is the configuration of the paper's prioritization experiments
+//! (Figs. 5, 8–13): one strict queue for latency-critical traffic, the
+//! rest under DWRR/WFQ for inter-service isolation.
+
+use tcn_core::{Packet, PacketQueue};
+use tcn_sim::Time;
+
+use crate::Scheduler;
+
+/// Strict-priority queues stacked above an inner scheduler.
+#[derive(Debug, Clone)]
+pub struct SpHybrid<S> {
+    n_high: usize,
+    inner: S,
+}
+
+impl<S: Scheduler> SpHybrid<S> {
+    /// `n_high` strict queues above `inner`. `inner` must be configured
+    /// for exactly `total_queues - n_high` queues; its queue index 0 is
+    /// the hybrid's queue `n_high`.
+    ///
+    /// # Panics
+    /// Panics if `n_high == 0` (use the inner scheduler directly).
+    pub fn new(n_high: usize, inner: S) -> Self {
+        assert!(n_high > 0, "n_high must be at least 1");
+        SpHybrid { n_high, inner }
+    }
+
+    /// Number of strict-priority queues.
+    pub fn n_high(&self) -> usize {
+        self.n_high
+    }
+
+    /// Access the inner (low-priority) scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for SpHybrid<S> {
+    fn on_enqueue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+        if q >= self.n_high {
+            self.inner
+                .on_enqueue(&queues[self.n_high..], q - self.n_high, pkt, now);
+        }
+    }
+
+    fn select(&mut self, queues: &[PacketQueue], now: Time) -> Option<usize> {
+        // Strict queues first, in priority order.
+        if let Some(q) = queues[..self.n_high].iter().position(|q| !q.is_empty()) {
+            return Some(q);
+        }
+        self.inner
+            .select(&queues[self.n_high..], now)
+            .map(|q| q + self.n_high)
+    }
+
+    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+        if q >= self.n_high {
+            self.inner
+                .on_dequeue(&queues[self.n_high..], q - self.n_high, pkt, now);
+        }
+    }
+
+    /// Round time of the inner scheduler, if it has one. Note the round
+    /// is only meaningful while the strict queues are quiet — MQ-ECN over
+    /// SP hybrids is *not* supported by the paper either ("we exclude
+    /// MQ-ECN as it does not support SP in general", §6.1.3).
+    fn round_time(&self) -> Option<Time> {
+        self.inner.round_time()
+    }
+
+    fn quantum(&self, q: usize) -> Option<u64> {
+        if q >= self.n_high {
+            self.inner.quantum(q - self.n_high)
+        } else {
+            None
+        }
+    }
+
+    fn round_seq(&self) -> u64 {
+        self.inner.round_seq()
+    }
+
+    fn name(&self) -> &'static str {
+        "SP-hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::Harness;
+    use crate::{Dwrr, Wfq};
+
+    #[test]
+    fn strict_queue_always_first() {
+        let mut h = Harness::new(SpHybrid::new(1, Dwrr::equal(2, 1500)), 3);
+        h.backlog(1, 1500, 5);
+        h.backlog(2, 1500, 5);
+        h.serve_one();
+        // High-priority packet arrives: it jumps every DWRR queue.
+        h.push(0, 100);
+        assert_eq!(h.serve_one(), Some(0));
+    }
+
+    #[test]
+    fn inner_dwrr_fairness_below_sp() {
+        let mut h = Harness::new(SpHybrid::new(1, Dwrr::equal(2, 1500)), 3);
+        h.backlog(1, 1500, 200);
+        h.backlog(2, 1500, 200);
+        h.serve(200);
+        let low_total = h.served[1] + h.served[2];
+        assert!((h.served[1].abs_diff(h.served[2]) as f64) / (low_total as f64) < 0.02);
+    }
+
+    #[test]
+    fn inner_wfq_weights_respected() {
+        let mut h = Harness::new(SpHybrid::new(1, Wfq::new(vec![2.0, 1.0])), 3);
+        h.backlog(1, 1500, 300);
+        h.backlog(2, 1500, 300);
+        h.serve(300);
+        let low_total = (h.served[1] + h.served[2]) as f64;
+        assert!((h.served[1] as f64 / low_total - 2.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn multiple_strict_levels_ordered() {
+        let mut h = Harness::new(SpHybrid::new(2, Wfq::equal(2)), 4);
+        h.backlog(3, 1500, 2);
+        h.backlog(1, 1500, 2);
+        h.backlog(0, 1500, 2);
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            order.push(h.serve_one().unwrap());
+        }
+        assert_eq!(order, vec![0, 0, 1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn fig5_policy_sp_wfq() {
+        // Fig. 5 configuration: queue 0 strict, queues 1-2 equal WFQ.
+        // With all three saturated, queue 0 takes everything; once it is
+        // idle, 1 and 2 split evenly.
+        let mut h = Harness::new(SpHybrid::new(1, Wfq::equal(2)), 3);
+        h.backlog(0, 1500, 50);
+        h.backlog(1, 1500, 100);
+        h.backlog(2, 1500, 100);
+        h.serve(50);
+        assert_eq!(h.served[0], 50 * 1500);
+        assert_eq!(h.served[1] + h.served[2], 0);
+        h.serve(100);
+        assert!(h.served[1].abs_diff(h.served[2]) <= 1500);
+    }
+
+    #[test]
+    fn round_time_comes_from_inner() {
+        let mut h = Harness::new(SpHybrid::new(1, Dwrr::equal(2, 1500)), 3);
+        h.backlog(1, 1500, 50);
+        h.backlog(2, 1500, 50);
+        h.serve(10);
+        assert!(h.sched.round_time().is_some());
+        // Quantum indices are hybrid-global.
+        assert_eq!(h.sched.quantum(0), None);
+        assert_eq!(h.sched.quantum(1), Some(1500));
+    }
+
+    #[test]
+    #[should_panic(expected = "n_high must be at least 1")]
+    fn zero_high_rejected() {
+        SpHybrid::new(0, Wfq::equal(2));
+    }
+}

@@ -1,0 +1,274 @@
+//! PIFO — the programmable Push-In-First-Out scheduler (Sivaraman et al.,
+//! SIGCOMM 2016), the paper's §2.2 motivation for why future datacenters
+//! will run schedulers MQ-ECN cannot touch.
+//!
+//! Model: a *rank* is computed for each packet at enqueue by a pluggable
+//! [`RankFn`]; the scheduler always transmits the queued head packet with
+//! the smallest rank. Packets within one queue stay FIFO (the standard
+//! PIFO-with-per-flow-FIFOs model: rank functions are monotone within a
+//! flow), so the port's per-queue FIFO invariant holds and any AQM —
+//! including TCN — composes with any rank function.
+//!
+//! Two rank functions ship here:
+//! * [`StfqRank`] — Start-Time Fair Queueing, the canonical PIFO example
+//!   program (weighted fairness without rounds);
+//! * [`FixedSlackRank`] — Least-Slack-Time-First-style ranks
+//!   (`arrival + slack(queue)`), emulating the LSTF universal scheduler
+//!   of Mittal et al. (NSDI 2016) with per-class static slacks.
+
+use std::collections::VecDeque;
+
+use tcn_core::{Packet, PacketQueue};
+use tcn_sim::Time;
+
+use crate::Scheduler;
+
+/// A programmable rank computation: smaller ranks depart first.
+///
+/// Implementations may keep state (STFQ keeps per-queue virtual starts)
+/// but must produce non-decreasing ranks within a single queue so the
+/// per-queue FIFO order coincides with rank order.
+pub trait RankFn {
+    /// Rank for a packet entering queue `q` at time `now`.
+    fn rank(&mut self, q: usize, pkt: &Packet, now: Time) -> u64;
+    /// Informed after a packet of queue `q` with rank `rank` departs
+    /// (e.g. to advance virtual time).
+    fn on_dequeue(&mut self, q: usize, rank: u64, pkt: &Packet, now: Time) {
+        let _ = (q, rank, pkt, now);
+    }
+    /// Name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Start-Time Fair Queueing ranks: `rank = max(vtime, finish(q))`,
+/// `finish(q) += size / weight(q)` — the PIFO paper's flagship program.
+/// Ranks are in scaled "virtual bytes" (×256 fixed point) to stay
+/// integral.
+#[derive(Debug, Clone)]
+pub struct StfqRank {
+    weights: Vec<f64>,
+    vtime: u64,
+    finish: Vec<u64>,
+    /// Rank of the last dequeued packet, which becomes the virtual time.
+    backlog: usize,
+}
+
+impl StfqRank {
+    /// STFQ with the given positive weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or contains non-positive weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty());
+        assert!(weights.iter().all(|w| w.is_finite() && *w > 0.0));
+        let n = weights.len();
+        StfqRank {
+            weights,
+            vtime: 0,
+            finish: vec![0; n],
+            backlog: 0,
+        }
+    }
+}
+
+impl RankFn for StfqRank {
+    fn rank(&mut self, q: usize, pkt: &Packet, _now: Time) -> u64 {
+        let start = self.vtime.max(self.finish[q]);
+        let cost = (f64::from(pkt.size) * 256.0 / self.weights[q]).round() as u64;
+        self.finish[q] = start + cost;
+        self.backlog += 1;
+        start
+    }
+
+    fn on_dequeue(&mut self, _q: usize, rank: u64, _pkt: &Packet, _now: Time) {
+        // STFQ: virtual time advances to the start tag (= rank) of the
+        // packet now in service.
+        self.vtime = self.vtime.max(rank);
+        self.backlog -= 1;
+        if self.backlog == 0 {
+            self.vtime = 0;
+            self.finish.iter_mut().for_each(|f| *f = 0);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "STFQ"
+    }
+}
+
+/// LSTF-style ranks: `rank = arrival_time + slack(queue)` in picoseconds.
+/// A queue with zero slack behaves like strict priority over a queue with
+/// large slack; graded slacks yield earliest-deadline-first service.
+#[derive(Debug, Clone)]
+pub struct FixedSlackRank {
+    slacks: Vec<Time>,
+}
+
+impl FixedSlackRank {
+    /// Ranks with the given per-queue slacks.
+    pub fn new(slacks: Vec<Time>) -> Self {
+        assert!(!slacks.is_empty());
+        FixedSlackRank { slacks }
+    }
+}
+
+impl RankFn for FixedSlackRank {
+    fn rank(&mut self, q: usize, _pkt: &Packet, now: Time) -> u64 {
+        now.saturating_add(self.slacks[q]).as_ps()
+    }
+
+    fn name(&self) -> &'static str {
+        "LSTF"
+    }
+}
+
+/// The PIFO scheduler: per-queue FIFOs plus a pluggable rank function.
+#[derive(Debug, Clone)]
+pub struct Pifo<R> {
+    rank_fn: R,
+    /// Ranks of queued packets, parallel to each `PacketQueue`.
+    ranks: Vec<VecDeque<u64>>,
+    /// Tie-break sequence so equal ranks depart in arrival order.
+    seqs: Vec<VecDeque<u64>>,
+    next_seq: u64,
+}
+
+impl<R: RankFn> Pifo<R> {
+    /// A PIFO over `nqueues` queues with the given rank function.
+    pub fn new(nqueues: usize, rank_fn: R) -> Self {
+        assert!(nqueues > 0);
+        Pifo {
+            rank_fn,
+            ranks: vec![VecDeque::new(); nqueues],
+            seqs: vec![VecDeque::new(); nqueues],
+            next_seq: 0,
+        }
+    }
+
+    /// Access the rank function (diagnostics).
+    pub fn rank_fn(&self) -> &R {
+        &self.rank_fn
+    }
+}
+
+impl<R: RankFn> Scheduler for Pifo<R> {
+    fn on_enqueue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+        debug_assert!(!queues[q].is_empty());
+        let rank = self.rank_fn.rank(q, pkt, now);
+        if let Some(&prev) = self.ranks[q].back() {
+            debug_assert!(prev <= rank, "rank function not monotone within queue {q}");
+        }
+        self.ranks[q].push_back(rank);
+        self.seqs[q].push_back(self.next_seq);
+        self.next_seq += 1;
+    }
+
+    fn select(&mut self, queues: &[PacketQueue], _now: Time) -> Option<usize> {
+        let mut best: Option<(usize, u64, u64)> = None;
+        for (q, ranks) in self.ranks.iter().enumerate() {
+            debug_assert_eq!(ranks.len(), queues[q].len_pkts());
+            if let (Some(&rank), Some(&seq)) = (ranks.front(), self.seqs[q].front()) {
+                let better = match best {
+                    None => true,
+                    Some((_, brank, bseq)) => rank < brank || (rank == brank && seq < bseq),
+                };
+                if better {
+                    best = Some((q, rank, seq));
+                }
+            }
+        }
+        best.map(|(q, _, _)| q)
+    }
+
+    fn on_dequeue(&mut self, _queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+        let rank = self.ranks[q].pop_front().expect("dequeue without rank");
+        self.seqs[q].pop_front();
+        self.rank_fn.on_dequeue(q, rank, pkt, now);
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::Harness;
+
+    #[test]
+    fn stfq_equal_weights_fair() {
+        let mut h = Harness::new(Pifo::new(2, StfqRank::new(vec![1.0, 1.0])), 2);
+        h.backlog(0, 1500, 300);
+        h.backlog(1, 1500, 300);
+        h.serve(300);
+        assert!((h.share(0) - 0.5).abs() < 0.02, "share {}", h.share(0));
+    }
+
+    #[test]
+    fn stfq_weighted_fair() {
+        let mut h = Harness::new(Pifo::new(2, StfqRank::new(vec![3.0, 1.0])), 2);
+        h.backlog(0, 1500, 400);
+        h.backlog(1, 1500, 400);
+        h.serve(400);
+        assert!((h.share(0) - 0.75).abs() < 0.03, "share {}", h.share(0));
+    }
+
+    #[test]
+    fn stfq_fair_with_mixed_packet_sizes() {
+        let mut h = Harness::new(Pifo::new(2, StfqRank::new(vec![1.0, 1.0])), 2);
+        h.backlog(0, 1500, 400);
+        h.backlog(1, 300, 2000);
+        h.serve(1500);
+        assert!((h.share(0) - 0.5).abs() < 0.03, "share {}", h.share(0));
+    }
+
+    #[test]
+    fn slack_ranks_emulate_strict_priority() {
+        // Zero slack vs huge slack = SP between the classes.
+        let slacks = vec![Time::ZERO, Time::from_ms(100)];
+        let mut h = Harness::new(Pifo::new(2, FixedSlackRank::new(slacks)), 2);
+        h.backlog(1, 1500, 5);
+        h.backlog(0, 1500, 5);
+        let mut order = Vec::new();
+        for _ in 0..10 {
+            order.push(h.serve_one().unwrap());
+        }
+        assert_eq!(order, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn slack_ranks_interleave_by_deadline() {
+        // Equal slacks degrade to global FIFO by arrival time.
+        let slacks = vec![Time::from_us(10), Time::from_us(10)];
+        let mut h = Harness::new(Pifo::new(2, FixedSlackRank::new(slacks)), 2);
+        h.push(0, 1500);
+        h.push(1, 1500);
+        h.push(0, 1500);
+        assert_eq!(h.serve_one(), Some(0));
+        assert_eq!(h.serve_one(), Some(1));
+        assert_eq!(h.serve_one(), Some(0));
+    }
+
+    #[test]
+    fn pifo_has_no_round() {
+        // The motivating gap: programmable schedulers expose no round, so
+        // MQ-ECN has nothing to measure — TCN does not care.
+        let p = Pifo::new(4, StfqRank::new(vec![1.0; 4]));
+        assert_eq!(p.round_time(), None);
+        assert_eq!(p.quantum(0), None);
+    }
+
+    #[test]
+    fn equal_ranks_fifo_by_arrival() {
+        let slacks = vec![Time::ZERO, Time::ZERO, Time::ZERO];
+        let mut h = Harness::new(Pifo::new(3, FixedSlackRank::new(slacks)), 3);
+        // All at now = 0 → identical ranks; arrival order must win.
+        h.push(2, 1500);
+        h.push(0, 1500);
+        h.push(1, 1500);
+        assert_eq!(h.serve_one(), Some(2));
+        assert_eq!(h.serve_one(), Some(0));
+        assert_eq!(h.serve_one(), Some(1));
+    }
+}

@@ -1,0 +1,264 @@
+//! The future-event list at the heart of the discrete-event engine.
+//!
+//! [`EventQueue`] is deliberately small: it owns the clock and a binary
+//! heap of `(time, seq, event)` entries. The *dispatch* of events — who
+//! handles a packet arrival, a timer, a flow start — belongs to the domain
+//! layers (`tcn-net`, `tcn-transport`); keeping the engine generic lets
+//! each layer define its own event enum while sharing one battle-tested
+//! ordering discipline.
+//!
+//! Ordering guarantees:
+//!
+//! * events pop in non-decreasing time order;
+//! * two events scheduled for the same instant pop in the order they were
+//!   scheduled (FIFO tie-break via a monotonically increasing sequence
+//!   number), which is what makes whole-simulation runs reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A scheduled event: the payload plus its firing time and tie-break
+/// sequence number.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// Absolute firing time.
+    pub at: Time,
+    /// Insertion sequence number; the FIFO tie-break at equal times.
+    pub seq: u64,
+    /// Caller-defined payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
+    /// entry first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with a monotonic clock.
+///
+/// ```
+/// use tcn_sim::{EventQueue, Time};
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule_at(Time::from_us(5), "second");
+/// q.schedule_at(Time::from_us(1), "first");
+/// q.schedule_at(Time::from_us(5), "third"); // same time: FIFO order
+///
+/// assert_eq!(q.pop().unwrap().event, "first");
+/// assert_eq!(q.now(), Time::from_us(1));
+/// assert_eq!(q.pop().unwrap().event, "second");
+/// assert_eq!(q.pop().unwrap().event, "third");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    now: Time,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time: the firing time of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events popped so far (for progress reporting and the
+    /// engine microbenches).
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past is always
+    /// a simulation bug, and failing loudly beats silently reordering
+    /// history.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { at, seq, event });
+    }
+
+    /// Schedule `event` after a relative delay from `now()`.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, event);
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    /// Returns `None` when the simulation has run dry.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "clock went backwards");
+        self.now = entry.at;
+        self.processed += 1;
+        Some(entry)
+    }
+
+    /// Firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every pending event (used when an experiment reaches its flow
+    /// quota and wants to stop cleanly).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(30), 3);
+        q.schedule_at(Time::from_ns(10), 1);
+        q.schedule_at(Time::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_us(7);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(5), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_us(5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(10), "a");
+        q.pop();
+        q.schedule_in(Time::from_us(5), "b");
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, Time::from_us(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(10), ());
+        q.pop();
+        q.schedule_at(Time::from_us(9), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(3), ());
+        assert_eq!(q.peek_time(), Some(Time::from_us(3)));
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(3), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn processed_counts() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule_at(Time::from_ns(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.processed(), 10);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_order() {
+        // A mini "simulation": each event at t schedules another at t+2.
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(0), 0u64);
+        let mut fired = Vec::new();
+        while let Some(e) = q.pop() {
+            fired.push(e.at.as_ns());
+            if e.event < 5 {
+                q.schedule_in(Time::from_ns(2), e.event + 1);
+            }
+        }
+        assert_eq!(fired, vec![0, 2, 4, 6, 8, 10]);
+    }
+}

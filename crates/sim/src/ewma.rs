@@ -1,0 +1,147 @@
+//! Exponentially weighted moving average.
+//!
+//! Three places in the paper smooth a signal exactly this way:
+//!
+//! * Algorithm 1 smooths the sampled departure rate into `avg_rate`
+//!   (§3.3, "we use 0.875 as the averaging parameter");
+//! * MQ-ECN smooths its per-queue service-rate estimate with β = 0.75;
+//! * DCTCP maintains `α ← (1−g)·α + g·F` with g = 1/16.
+//!
+//! [`Ewma`] captures the shared shape: `avg ← w·avg + (1−w)·sample`, with
+//! the first sample adopted verbatim so the average never starts from a
+//! fictitious zero.
+
+/// An exponentially weighted moving average with "first sample wins"
+/// initialization.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    /// Weight on the *old* average, in `[0, 1)`. Larger = smoother.
+    weight: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA where the previous average keeps `weight` of its
+    /// mass on each update (e.g. `0.875` for Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ weight < 1`.
+    pub fn new(weight: f64) -> Self {
+        assert!((0.0..1.0).contains(&weight), "EWMA weight out of range");
+        Ewma {
+            weight,
+            value: None,
+        }
+    }
+
+    /// Feed one sample, returning the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            None => sample,
+            Some(prev) => self.weight * prev + (1.0 - self.weight) * sample,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current average, or `default` before the first sample.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// True once at least one sample has been absorbed.
+    pub fn is_primed(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Forget all history (used when a queue goes idle long enough that
+    /// stale rate estimates would mislead, cf. MQ-ECN's `T_idle`).
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+
+    /// Overwrite the average directly (used by meters that must restart
+    /// from a known rate, e.g. line rate on first activation).
+    pub fn prime(&mut self, value: f64) {
+        self.value = Some(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_adopted() {
+        let mut e = Ewma::new(0.875);
+        assert!(!e.is_primed());
+        assert_eq!(e.update(10.0), 10.0);
+        assert!(e.is_primed());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.875);
+        e.update(0.0);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            last = e.update(5.0);
+        }
+        assert!((last - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_formula_matches_paper() {
+        // avg' = w*avg + (1-w)*sample with w = 0.875.
+        let mut e = Ewma::new(0.875);
+        e.update(8.0);
+        let v = e.update(0.0);
+        assert!((v - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_tracks_sample() {
+        let mut e = Ewma::new(0.0);
+        e.update(3.0);
+        assert_eq!(e.update(9.0), 9.0);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut e = Ewma::new(0.5);
+        e.update(4.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(2.0), 2.0);
+    }
+
+    #[test]
+    fn prime_sets_value() {
+        let mut e = Ewma::new(0.5);
+        e.prime(10.0);
+        assert_eq!(e.value_or(0.0), 10.0);
+        assert_eq!(e.update(0.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight out of range")]
+    fn weight_one_rejected() {
+        Ewma::new(1.0);
+    }
+
+    #[test]
+    fn smoother_weight_moves_less() {
+        let mut fast = Ewma::new(0.5);
+        let mut slow = Ewma::new(0.95);
+        fast.update(0.0);
+        slow.update(0.0);
+        let f = fast.update(10.0);
+        let s = slow.update(10.0);
+        assert!(f > s);
+    }
+}

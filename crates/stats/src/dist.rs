@@ -1,0 +1,119 @@
+//! Empirical distributions for the latency figures (Fig. 5b plots RTT
+//! CDFs of four schemes).
+
+use crate::summary::{mean, percentile};
+
+/// An empirical distribution over f64 samples.
+#[derive(Debug, Default, Clone)]
+pub struct EmpiricalDist {
+    samples: Vec<f64>,
+}
+
+impl EmpiricalDist {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// From existing samples.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        EmpiricalDist { samples }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        mean(&self.samples)
+    }
+
+    /// Percentile (0–100).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile(&self.samples, p)
+    }
+
+    /// CDF evaluated at `x`: fraction of samples ≤ `x`.
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.iter().filter(|&&s| s <= x).count();
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// `n` evenly spaced CDF points `(value, cumulative fraction)` for
+    /// plotting (Fig. 5b style).
+    pub fn cdf_points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        (0..n)
+            .map(|i| {
+                let frac = i as f64 / (n - 1) as f64;
+                let idx = ((v.len() - 1) as f64 * frac).round() as usize;
+                (v[idx], (idx + 1) as f64 / v.len() as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_at_counts_fraction() {
+        let d = EmpiricalDist::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.cdf_at(0.5), 0.0);
+        assert_eq!(d.cdf_at(2.0), 0.5);
+        assert_eq!(d.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn stats_delegate() {
+        let mut d = EmpiricalDist::new();
+        for i in 1..=100 {
+            d.push(f64::from(i));
+        }
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.mean(), 50.5);
+        assert!((d.percentile(99.0) - 99.01).abs() < 0.01);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let d = EmpiricalDist::from_samples((0..1000).map(f64::from).collect());
+        let pts = d.cdf_points(11);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_dist_safe() {
+        let d = EmpiricalDist::new();
+        assert!(d.is_empty());
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.cdf_at(1.0), 0.0);
+        assert!(d.cdf_points(5).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Flow-completion-time breakdowns, bucketed exactly as the paper's
+//! evaluation: overall / small (0, 100 KB] / large (10 MB, ∞), with
+//! averages everywhere and the 99th percentile for small flows (§6
+//! "Performance metric"). Timeout counts per bucket back the paper's
+//! tail-latency explanations (§6.2.1).
+
+use tcn_net::FctRecord;
+use tcn_sim::Time;
+
+use crate::summary::{mean, percentile};
+
+/// The paper's flow-size classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// (0, 100 KB].
+    Small,
+    /// (100 KB, 10 MB].
+    Medium,
+    /// (10 MB, ∞).
+    Large,
+}
+
+impl SizeClass {
+    /// Classify a flow size in bytes.
+    pub fn of(size: u64) -> SizeClass {
+        if size <= 100_000 {
+            SizeClass::Small
+        } else if size <= 10_000_000 {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        }
+    }
+}
+
+/// FCT statistics for one scheme/load cell of a paper figure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FctBreakdown {
+    /// Completed flows.
+    pub count: usize,
+    /// Average FCT over all flows (µs).
+    pub overall_avg_us: f64,
+    /// Average FCT of small flows (µs).
+    pub small_avg_us: f64,
+    /// 99th-percentile FCT of small flows (µs).
+    pub small_p99_us: f64,
+    /// Average FCT of medium flows (µs).
+    pub medium_avg_us: f64,
+    /// Average FCT of large flows (µs).
+    pub large_avg_us: f64,
+    /// Small / medium / large flow counts.
+    pub small_count: usize,
+    /// Medium flow count.
+    pub medium_count: usize,
+    /// Large flow count.
+    pub large_count: usize,
+    /// RTO expiries suffered by small flows (the §6.2.1 explanation of
+    /// tail FCT).
+    pub small_timeouts: u64,
+    /// RTO expiries across all flows.
+    pub total_timeouts: u64,
+}
+
+impl FctBreakdown {
+    /// Compute the breakdown from completed-flow records.
+    pub fn from_records(records: &[FctRecord]) -> FctBreakdown {
+        let us = |t: Time| t.as_us_f64();
+        let all: Vec<f64> = records.iter().map(|r| us(r.fct)).collect();
+        let mut small = Vec::new();
+        let mut medium = Vec::new();
+        let mut large = Vec::new();
+        let mut small_timeouts = 0;
+        let mut total_timeouts = 0;
+        for r in records {
+            total_timeouts += r.timeouts;
+            match SizeClass::of(r.spec.size) {
+                SizeClass::Small => {
+                    small.push(us(r.fct));
+                    small_timeouts += r.timeouts;
+                }
+                SizeClass::Medium => medium.push(us(r.fct)),
+                SizeClass::Large => large.push(us(r.fct)),
+            }
+        }
+        FctBreakdown {
+            count: records.len(),
+            overall_avg_us: mean(&all),
+            small_avg_us: mean(&small),
+            small_p99_us: percentile(&small, 99.0),
+            medium_avg_us: mean(&medium),
+            large_avg_us: mean(&large),
+            small_count: small.len(),
+            medium_count: medium.len(),
+            large_count: large.len(),
+            small_timeouts,
+            total_timeouts,
+        }
+    }
+
+    /// Normalize each statistic against a baseline (the paper normalizes
+    /// every figure to TCN's values: "we normalize final FCT results to
+    /// the values achieved by TCN").
+    pub fn normalized_to(&self, base: &FctBreakdown) -> NormalizedFct {
+        let ratio = |x: f64, b: f64| if b > 0.0 { x / b } else { f64::NAN };
+        NormalizedFct {
+            overall_avg: ratio(self.overall_avg_us, base.overall_avg_us),
+            small_avg: ratio(self.small_avg_us, base.small_avg_us),
+            small_p99: ratio(self.small_p99_us, base.small_p99_us),
+            large_avg: ratio(self.large_avg_us, base.large_avg_us),
+        }
+    }
+}
+
+/// FCT statistics as ratios to a baseline scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizedFct {
+    /// Overall average ratio.
+    pub overall_avg: f64,
+    /// Small-flow average ratio.
+    pub small_avg: f64,
+    /// Small-flow p99 ratio.
+    pub small_p99: f64,
+    /// Large-flow average ratio.
+    pub large_avg: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcn_core::FlowId;
+    use tcn_net::FlowSpec;
+
+    fn rec(size: u64, fct_us: u64, timeouts: u64) -> FctRecord {
+        let spec = FlowSpec {
+            src: 0,
+            dst: 1,
+            size,
+            start: Time::ZERO,
+            service: 0,
+        };
+        FctRecord {
+            flow: FlowId(0),
+            spec,
+            finish: Time::from_us(fct_us),
+            fct: Time::from_us(fct_us),
+            timeouts,
+        }
+    }
+
+    #[test]
+    fn size_classes_match_paper() {
+        assert_eq!(SizeClass::of(1), SizeClass::Small);
+        assert_eq!(SizeClass::of(100_000), SizeClass::Small);
+        assert_eq!(SizeClass::of(100_001), SizeClass::Medium);
+        assert_eq!(SizeClass::of(10_000_000), SizeClass::Medium);
+        assert_eq!(SizeClass::of(10_000_001), SizeClass::Large);
+    }
+
+    #[test]
+    fn breakdown_buckets_and_averages() {
+        let recs = vec![
+            rec(50_000, 100, 1),      // small
+            rec(80_000, 300, 0),      // small
+            rec(1_000_000, 5_000, 0), // medium
+            rec(20_000_000, 80_000, 2), // large
+        ];
+        let b = FctBreakdown::from_records(&recs);
+        assert_eq!(b.count, 4);
+        assert_eq!(b.small_count, 2);
+        assert_eq!(b.medium_count, 1);
+        assert_eq!(b.large_count, 1);
+        assert_eq!(b.small_avg_us, 200.0);
+        assert_eq!(b.medium_avg_us, 5_000.0);
+        assert_eq!(b.large_avg_us, 80_000.0);
+        assert_eq!(b.small_timeouts, 1);
+        assert_eq!(b.total_timeouts, 3);
+        assert_eq!(b.overall_avg_us, (100.0 + 300.0 + 5_000.0 + 80_000.0) / 4.0);
+    }
+
+    #[test]
+    fn p99_reflects_tail() {
+        let mut recs: Vec<FctRecord> = (0..195).map(|_| rec(50_000, 100, 0)).collect();
+        recs.extend((0..5).map(|_| rec(50_000, 10_000, 1))); // 2.5 % stragglers
+        let b = FctBreakdown::from_records(&recs);
+        assert!(b.small_p99_us > 5_000.0, "p99 {}", b.small_p99_us);
+        assert!(b.small_avg_us < 400.0);
+        assert_eq!(b.small_timeouts, 5);
+    }
+
+    #[test]
+    fn normalization_to_baseline() {
+        let base = FctBreakdown::from_records(&[rec(50_000, 100, 0), rec(20_000_000, 1_000, 0)]);
+        let other = FctBreakdown::from_records(&[rec(50_000, 200, 0), rec(20_000_000, 1_000, 0)]);
+        let n = other.normalized_to(&base);
+        assert!((n.small_avg - 2.0).abs() < 1e-9);
+        assert!((n.large_avg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records() {
+        let b = FctBreakdown::from_records(&[]);
+        assert_eq!(b.count, 0);
+        assert_eq!(b.overall_avg_us, 0.0);
+    }
+}

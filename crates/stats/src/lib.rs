@@ -1,0 +1,20 @@
+//! `tcn-stats` — the measurements every figure of the paper reports.
+//!
+//! * [`percentile`] / [`summary`] — order statistics over samples;
+//! * [`fct`] — flow-completion-time breakdowns by flow size exactly as
+//!   the paper buckets them: *small* = (0, 100 KB], *large* =
+//!   (10 MB, ∞), with average and 99th-percentile statistics (§6
+//!   "Performance metric");
+//! * [`series`] — time series for occupancy traces (Fig. 3), rate
+//!   estimates (Fig. 2) and goodput-over-time (Figs. 1, 5a);
+//! * [`dist`] — empirical CDFs for RTT distributions (Fig. 5b).
+
+pub mod dist;
+pub mod fct;
+pub mod series;
+pub mod summary;
+
+pub use dist::EmpiricalDist;
+pub use fct::{FctBreakdown, SizeClass};
+pub use series::{GoodputTracker, TimeSeries};
+pub use summary::{jain_index, mean, percentile};

@@ -1,0 +1,207 @@
+//! Time series for the paper's trace figures: buffer occupancy vs time
+//! (Fig. 3), estimated rate vs time (Fig. 2), goodput vs time
+//! (Figs. 1, 5a).
+
+use tcn_sim::Time;
+
+/// A `(time, value)` series with helpers for the trace figures.
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeries {
+    points: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample. Times must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last sample.
+    pub fn push(&mut self, t: Time, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be monotonic");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maximum value (the Fig. 3 "peak buffer occupancy"); 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Mean value over samples in `[from, to)`; 0 if none.
+    pub fn mean_in(&self, from: Time, to: Time) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// First time the value reaches within `tol` (relative) of `target`
+    /// and stays there for every subsequent sample — the Fig. 2
+    /// "convergence time" metric.
+    pub fn converged_at(&self, target: f64, tol: f64) -> Option<Time> {
+        let ok = |v: f64| (v - target).abs() <= tol * target.abs();
+        let mut candidate = None;
+        for &(t, v) in &self.points {
+            if ok(v) {
+                candidate.get_or_insert(t);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+}
+
+/// Goodput over sliding windows from cumulative delivered-byte samples
+/// (Figs. 1 and 5a report per-service goodput versus time).
+#[derive(Debug, Default, Clone)]
+pub struct GoodputTracker {
+    samples: Vec<(Time, u64)>,
+}
+
+impl GoodputTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the cumulative bytes delivered as of `t`.
+    ///
+    /// # Panics
+    /// Panics if time or the byte counter goes backwards.
+    pub fn record(&mut self, t: Time, cumulative_bytes: u64) {
+        if let Some(&(lt, lb)) = self.samples.last() {
+            assert!(t >= lt, "time went backwards");
+            assert!(cumulative_bytes >= lb, "byte counter went backwards");
+        }
+        self.samples.push((t, cumulative_bytes));
+    }
+
+    /// Goodput in bits/s between consecutive samples, as a series
+    /// stamped at each window's end.
+    pub fn goodput_series(&self) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for w in self.samples.windows(2) {
+            let (t0, b0) = w[0];
+            let (t1, b1) = w[1];
+            let dt = (t1 - t0).as_secs_f64();
+            if dt > 0.0 {
+                ts.push(t1, (b1 - b0) as f64 * 8.0 / dt);
+            }
+        }
+        ts
+    }
+
+    /// Average goodput in bits/s over `[from, to]`, from the nearest
+    /// enclosing samples; 0 if the range is empty.
+    pub fn average_bps(&self, from: Time, to: Time) -> f64 {
+        let at = |t: Time| -> Option<u64> {
+            // Latest sample at or before t.
+            self.samples
+                .iter()
+                .rev()
+                .find(|&&(st, _)| st <= t)
+                .map(|&(_, b)| b)
+        };
+        match (at(from), at(to)) {
+            (Some(b0), Some(b1)) if to > from => {
+                (b1 - b0) as f64 * 8.0 / (to - from).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_push_and_max() {
+        let mut ts = TimeSeries::new();
+        ts.push(Time::from_us(1), 10.0);
+        ts.push(Time::from_us(2), 30.0);
+        ts.push(Time::from_us(3), 20.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.max(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn series_rejects_time_reversal() {
+        let mut ts = TimeSeries::new();
+        ts.push(Time::from_us(5), 1.0);
+        ts.push(Time::from_us(4), 1.0);
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10u64 {
+            ts.push(Time::from_us(i), i as f64);
+        }
+        // [2, 5): samples 2, 3, 4.
+        assert_eq!(ts.mean_in(Time::from_us(2), Time::from_us(5)), 3.0);
+        assert_eq!(ts.mean_in(Time::from_ms(1), Time::from_ms(2)), 0.0);
+    }
+
+    #[test]
+    fn convergence_detection() {
+        let mut ts = TimeSeries::new();
+        // Oscillates, then settles at 5 from t = 6.
+        for (i, v) in [10.0, 3.0, 8.0, 4.9, 9.0, 2.0, 5.05, 4.95, 5.0].iter().enumerate() {
+            ts.push(Time::from_us(i as u64), *v);
+        }
+        assert_eq!(ts.converged_at(5.0, 0.05), Some(Time::from_us(6)));
+        // Never converges to 100.
+        assert_eq!(ts.converged_at(100.0, 0.05), None);
+    }
+
+    #[test]
+    fn goodput_between_samples() {
+        let mut g = GoodputTracker::new();
+        g.record(Time::ZERO, 0);
+        g.record(Time::from_ms(1), 125_000); // 125 KB in 1 ms = 1 Gbps
+        g.record(Time::from_ms(2), 250_000);
+        let s = g.goodput_series();
+        assert_eq!(s.len(), 2);
+        assert!((s.points()[0].1 - 1e9).abs() < 1.0);
+        assert!((g.average_bps(Time::ZERO, Time::from_ms(2)) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn goodput_idle_period_is_zero() {
+        let mut g = GoodputTracker::new();
+        g.record(Time::ZERO, 1000);
+        g.record(Time::from_ms(1), 1000);
+        let s = g.goodput_series();
+        assert_eq!(s.points()[0].1, 0.0);
+    }
+}

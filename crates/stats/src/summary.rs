@@ -1,0 +1,102 @@
+//! Order statistics.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `p`-th percentile (`0 ≤ p ≤ 100`) with linear interpolation
+/// between closest ranks — the convention used by ns-2 analysis scripts
+/// in this literature. Returns 0 for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)` — 1.0 for perfectly equal
+/// allocations, `1/n` when one flow takes everything. Used by the
+/// probabilistic-TCN fairness extension (the paper motivates RED-like
+/// marking with DCQCN's "unfairness problem", §4.3).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        let skewed = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        let mid = jain_index(&[2.0, 1.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), 2.5);
+        assert_eq!(percentile(&xs, 99.0), 9.9);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    fn p99_of_many() {
+        let xs: Vec<f64> = (0..1000).map(f64::from).collect();
+        let p99 = percentile(&xs, 99.0);
+        assert!((p99 - 989.01).abs() < 0.01, "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_percentile_zero() {
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+}

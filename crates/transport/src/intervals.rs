@@ -1,0 +1,166 @@
+//! Received-byte interval tracking for the receiver's out-of-order
+//! buffer: a sorted set of disjoint `[start, end)` ranges with O(n)
+//! insertion (n = number of gaps, small in practice).
+
+/// A set of disjoint, sorted half-open byte ranges.
+#[derive(Debug, Default, Clone)]
+pub struct ByteIntervals {
+    /// Sorted, disjoint, non-adjacent `[start, end)` ranges.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl ByteIntervals {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `[start, end)`, merging with any overlapping or adjacent
+    /// ranges. Returns the number of newly covered bytes.
+    pub fn insert(&mut self, start: u64, end: u64) -> u64 {
+        assert!(start <= end, "inverted range");
+        if start == end {
+            return 0;
+        }
+        let before: u64 = self.covered();
+        // Find all ranges overlapping or adjacent to [start, end).
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        while i < self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if e < new_start || s > new_end {
+                i += 1;
+                continue;
+            }
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            self.ranges.remove(i);
+        }
+        let pos = self
+            .ranges
+            .partition_point(|&(s, _)| s < new_start);
+        self.ranges.insert(pos, (new_start, new_end));
+        self.covered() - before
+    }
+
+    /// The next byte expected in order (end of the range starting at 0,
+    /// or 0 if nothing contiguous from the origin has arrived).
+    pub fn next_expected(&self) -> u64 {
+        match self.ranges.first() {
+            Some(&(0, end)) => end,
+            _ => 0,
+        }
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// True if `[0, size)` is fully covered.
+    pub fn is_complete(&self, size: u64) -> bool {
+        self.next_expected() >= size
+    }
+
+    /// Number of disjoint ranges (1 = in order, >1 = gaps).
+    pub fn fragments(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_growth() {
+        let mut iv = ByteIntervals::new();
+        assert_eq!(iv.insert(0, 1000), 1000);
+        assert_eq!(iv.insert(1000, 2000), 1000);
+        assert_eq!(iv.next_expected(), 2000);
+        assert_eq!(iv.fragments(), 1);
+    }
+
+    #[test]
+    fn gap_then_fill() {
+        let mut iv = ByteIntervals::new();
+        iv.insert(0, 1000);
+        iv.insert(2000, 3000); // gap at [1000, 2000)
+        assert_eq!(iv.next_expected(), 1000);
+        assert_eq!(iv.fragments(), 2);
+        assert_eq!(iv.insert(1000, 2000), 1000);
+        assert_eq!(iv.next_expected(), 3000);
+        assert_eq!(iv.fragments(), 1);
+    }
+
+    #[test]
+    fn duplicate_covers_nothing() {
+        let mut iv = ByteIntervals::new();
+        iv.insert(0, 1000);
+        assert_eq!(iv.insert(0, 1000), 0);
+        assert_eq!(iv.insert(500, 800), 0);
+        assert_eq!(iv.covered(), 1000);
+    }
+
+    #[test]
+    fn partial_overlap_counts_new_bytes_only() {
+        let mut iv = ByteIntervals::new();
+        iv.insert(0, 1000);
+        assert_eq!(iv.insert(500, 1500), 500);
+        assert_eq!(iv.next_expected(), 1500);
+    }
+
+    #[test]
+    fn out_of_order_before_origin_packet() {
+        let mut iv = ByteIntervals::new();
+        iv.insert(3000, 4000);
+        assert_eq!(iv.next_expected(), 0);
+        iv.insert(0, 3000);
+        assert_eq!(iv.next_expected(), 4000);
+    }
+
+    #[test]
+    fn adjacent_merge() {
+        let mut iv = ByteIntervals::new();
+        iv.insert(0, 100);
+        iv.insert(200, 300);
+        iv.insert(100, 200);
+        assert_eq!(iv.fragments(), 1);
+        assert_eq!(iv.covered(), 300);
+    }
+
+    #[test]
+    fn completion() {
+        let mut iv = ByteIntervals::new();
+        iv.insert(0, 999);
+        assert!(!iv.is_complete(1000));
+        iv.insert(999, 1000);
+        assert!(iv.is_complete(1000));
+        // Over-coverage still complete.
+        assert!(iv.is_complete(500));
+    }
+
+    #[test]
+    fn many_gaps_fill_random_order() {
+        let mut iv = ByteIntervals::new();
+        // Insert even segments first, then odd.
+        for i in (0..100u64).step_by(2) {
+            iv.insert(i * 100, (i + 1) * 100);
+        }
+        assert_eq!(iv.fragments(), 50);
+        for i in (1..100u64).step_by(2) {
+            iv.insert(i * 100, (i + 1) * 100);
+        }
+        assert_eq!(iv.fragments(), 1);
+        assert_eq!(iv.covered(), 10_000);
+        assert_eq!(iv.next_expected(), 10_000);
+    }
+
+    #[test]
+    fn empty_insert_noop() {
+        let mut iv = ByteIntervals::new();
+        assert_eq!(iv.insert(5, 5), 0);
+        assert_eq!(iv.covered(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! `tcn-transport` — the ECN-capable datacenter transports the paper
+//! evaluates over.
+//!
+//! Two congestion-control variants are implemented as pure state
+//! machines (no I/O, fully unit-testable):
+//!
+//! * **ECN\*** ([`CcVariant::EcnStar`]) — regular ECN-enabled TCP that
+//!   "simply cuts the window by half in the presence of an ECN mark"
+//!   (paper §2.1 fn 2), at most once per window. λ = 1 in the threshold
+//!   formulas. The paper calls it the most challenging transport because
+//!   it has no smoothing (§6.2.2).
+//! * **DCTCP** ([`CcVariant::Dctcp`]) — Alizadeh et al., SIGCOMM 2010:
+//!   the receiver echoes CE per packet, the sender maintains the marked
+//!   fraction estimate `α ← (1−g)·α + g·F` per window and cuts
+//!   `cwnd ← cwnd·(1 − α/2)` at most once per window.
+//!
+//! Both share the same loss machinery: slow start, congestion avoidance,
+//! fast retransmit on three duplicate ACKs with a simplified Reno-style
+//! recovery, and an RTO with Jacobson/Karn estimation clamped at a
+//! configurable `RTO_min` (10 ms testbed / 5 ms simulation, per the
+//! paper's setups).
+//!
+//! Deliberate simplifications (documented per DESIGN.md): no SYN/FIN
+//! handshake (flows start with data, as in the ns-2 models this paper's
+//! simulations used), no delayed ACKs, no SACK, no receive-window flow
+//! control. These do not affect the congestion dynamics the paper
+//! studies.
+//!
+//! The state machines communicate with their host through values: every
+//! input (`start` / `on_ack` / `on_timer`) returns a [`SenderOutput`]
+//! with packets to transmit and the current retransmission deadline for
+//! the host to arm.
+
+pub mod intervals;
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+
+pub use intervals::ByteIntervals;
+pub use receiver::TcpReceiver;
+pub use rtt::RttEstimator;
+pub use sender::{CcVariant, SenderOutput, TcpConfig, TcpSender};

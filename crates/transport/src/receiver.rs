@@ -1,0 +1,221 @@
+//! The TCP receiver: cumulative ACK generation with per-packet ECN echo
+//! (the DCTCP receiver state machine with delayed-ACK factor m = 1) and
+//! flow-completion detection.
+
+use tcn_core::{FlowId, Packet, PacketKind};
+use tcn_sim::Time;
+
+use crate::intervals::ByteIntervals;
+
+/// A TCP receiver for one flow of `size` bytes.
+#[derive(Debug, Clone)]
+pub struct TcpReceiver {
+    flow: FlowId,
+    /// Receiver's host id (source of ACKs).
+    host: u32,
+    /// Sender's host id (destination of ACKs).
+    peer: u32,
+    size: u64,
+    received: ByteIntervals,
+    completed_at: Option<Time>,
+    /// Wire size of a pure ACK.
+    ack_size: u32,
+    /// Diagnostics: CE-marked data packets seen.
+    ce_seen: u64,
+    data_pkts: u64,
+}
+
+impl TcpReceiver {
+    /// A receiver expecting `size` bytes of flow `flow`, running on host
+    /// `host`, acking back to `peer`. ACKs are 40-byte header-only
+    /// packets.
+    pub fn new(flow: FlowId, host: u32, peer: u32, size: u64) -> Self {
+        assert!(size > 0, "zero-size flow");
+        TcpReceiver {
+            flow,
+            host,
+            peer,
+            size,
+            received: ByteIntervals::new(),
+            completed_at: None,
+            ack_size: 40,
+            ce_seen: 0,
+            data_pkts: 0,
+        }
+    }
+
+    /// Process a data packet, producing the cumulative ACK to send back.
+    /// Every data packet is acknowledged immediately (no delayed ACKs);
+    /// the ACK echoes the packet's own CE mark — the DCTCP receiver rule
+    /// with m = 1, which also serves ECN\* since its sender reacts at
+    /// most once per window anyway.
+    ///
+    /// # Panics
+    /// Panics if the packet is not a data segment of this flow.
+    pub fn on_data(&mut self, pkt: &Packet, now: Time) -> Packet {
+        assert_eq!(pkt.flow, self.flow, "foreign packet");
+        let (seq, payload) = match pkt.kind {
+            PacketKind::Data { seq, payload } => (seq, payload),
+            _ => panic!("receiver fed a non-data packet"),
+        };
+        self.data_pkts += 1;
+        if pkt.ecn.is_ce() {
+            self.ce_seen += 1;
+        }
+        self.received.insert(seq, seq + u64::from(payload));
+        if self.completed_at.is_none() && self.received.is_complete(self.size) {
+            self.completed_at = Some(now);
+        }
+        let mut ack = Packet::ack(
+            self.flow,
+            self.host,
+            self.peer,
+            self.received.next_expected(),
+            pkt.ecn.is_ce(),
+            self.ack_size,
+        );
+        ack.birth_ts = now;
+        // ACKs inherit the data packet's class so they ride the same
+        // service queue on the reverse path.
+        ack.dscp = pkt.dscp;
+        ack
+    }
+
+    /// True once all `size` bytes have arrived.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// When the last in-order byte arrived (the FCT endpoint).
+    pub fn completed_at(&self) -> Option<Time> {
+        self.completed_at
+    }
+
+    /// Bytes received so far (unique).
+    pub fn bytes_received(&self) -> u64 {
+        self.received.covered()
+    }
+
+    /// Fraction of data packets that carried CE (diagnostics).
+    pub fn ce_fraction(&self) -> f64 {
+        if self.data_pkts == 0 {
+            0.0
+        } else {
+            self.ce_seen as f64 / self.data_pkts as f64
+        }
+    }
+
+    /// Flow id.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcn_core::EcnCodepoint;
+
+    fn data(seq: u64, payload: u32) -> Packet {
+        Packet::data(FlowId(9), 3, 7, seq, payload, 40)
+    }
+
+    #[test]
+    fn acks_cumulative_in_order() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 4380);
+        let ack = r.on_data(&data(0, 1460), Time::from_us(1));
+        match ack.kind {
+            PacketKind::Ack { cum_ack, ece } => {
+                assert_eq!(cum_ack, 1460);
+                assert!(!ece);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(ack.src, 7);
+        assert_eq!(ack.dst, 3);
+    }
+
+    #[test]
+    fn out_of_order_generates_dup_acks() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 14_600);
+        r.on_data(&data(0, 1460), Time::from_us(1));
+        // Segment at 1460 lost; later segments repeat cum_ack 1460.
+        for seq in [2920u64, 4380, 5840] {
+            let ack = r.on_data(&data(seq, 1460), Time::from_us(2));
+            match ack.kind {
+                PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 1460),
+                _ => panic!(),
+            }
+        }
+        // Retransmission fills the hole → jump.
+        let ack = r.on_data(&data(1460, 1460), Time::from_us(3));
+        match ack.kind {
+            PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 7300),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn echoes_ce_per_packet() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 14_600);
+        let mut marked = data(0, 1460);
+        marked.ecn = EcnCodepoint::Ce;
+        let ack = r.on_data(&marked, Time::from_us(1));
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(ece),
+            _ => panic!(),
+        }
+        // Next unmarked packet: echo clears (m = 1 state machine).
+        let ack = r.on_data(&data(1460, 1460), Time::from_us(2));
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(!ece),
+            _ => panic!(),
+        }
+        assert!((r.ce_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_at_last_inorder_byte() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 2920);
+        r.on_data(&data(1460, 1460), Time::from_us(1));
+        assert!(!r.is_complete());
+        r.on_data(&data(0, 1460), Time::from_us(9));
+        assert!(r.is_complete());
+        assert_eq!(r.completed_at(), Some(Time::from_us(9)));
+    }
+
+    #[test]
+    fn duplicates_do_not_double_count() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 2920);
+        r.on_data(&data(0, 1460), Time::from_us(1));
+        r.on_data(&data(0, 1460), Time::from_us(2));
+        assert_eq!(r.bytes_received(), 1460);
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn ack_inherits_dscp() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 2920);
+        let mut p = data(0, 1460);
+        p.dscp = 5;
+        let ack = r.on_data(&p, Time::from_us(1));
+        assert_eq!(ack.dscp, 5);
+    }
+
+    #[test]
+    fn completion_time_not_overwritten() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 1460);
+        r.on_data(&data(0, 1460), Time::from_us(5));
+        // A duplicate after completion must not move the FCT endpoint.
+        r.on_data(&data(0, 1460), Time::from_us(50));
+        assert_eq!(r.completed_at(), Some(Time::from_us(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign packet")]
+    fn rejects_foreign_flow() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 1460);
+        let p = Packet::data(FlowId(8), 3, 7, 0, 1460, 40);
+        r.on_data(&p, Time::ZERO);
+    }
+}

@@ -1,0 +1,132 @@
+//! Jacobson/Karels round-trip estimation with Karn's rule, as in every
+//! real TCP: `SRTT ← 7/8·SRTT + 1/8·sample`,
+//! `RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − sample|`,
+//! `RTO = max(RTO_min, SRTT + 4·RTTVAR)`, doubled on each backoff.
+
+use tcn_sim::Time;
+
+/// RTT estimator and RTO calculator.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<Time>,
+    rttvar: Time,
+    rto_min: Time,
+    rto_init: Time,
+    /// Exponential backoff multiplier (1 after a fresh sample).
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Estimator with the given floor and pre-first-sample RTO.
+    pub fn new(rto_min: Time, rto_init: Time) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: Time::ZERO,
+            rto_min,
+            rto_init,
+            backoff: 0,
+        }
+    }
+
+    /// Fold in a fresh RTT sample (callers must respect Karn's rule and
+    /// never sample retransmitted segments). Resets any backoff.
+    pub fn sample(&mut self, rtt: Time) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> Time {
+        let base = match self.srtt {
+            None => self.rto_init,
+            Some(srtt) => srtt + self.rttvar * 4,
+        };
+        let backed_off = base.saturating_mul(1u64 << self.backoff.min(16));
+        backed_off.max(self.rto_min)
+    }
+
+    /// Double the RTO (after an expiry — Karn's backoff).
+    pub fn back_off(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// Smoothed RTT, if sampled.
+    pub fn srtt(&self) -> Option<Time> {
+        self.srtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_used_before_samples() {
+        let e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000));
+        assert_eq!(e.rto(), Time::from_ms(3000));
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt() {
+        let mut e = RttEstimator::new(Time::from_us(1), Time::from_ms(3000));
+        e.sample(Time::from_us(100));
+        assert_eq!(e.srtt(), Some(Time::from_us(100)));
+        // RTO = srtt + 4*rttvar = 100 + 4*50 = 300 us.
+        assert_eq!(e.rto(), Time::from_us(300));
+    }
+
+    #[test]
+    fn rto_floor_applies() {
+        let mut e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000));
+        e.sample(Time::from_us(100));
+        assert_eq!(e.rto(), Time::from_ms(10), "RTO_min dominates in DCs");
+    }
+
+    #[test]
+    fn srtt_converges_to_stable_rtt() {
+        let mut e = RttEstimator::new(Time::from_us(1), Time::from_ms(1));
+        for _ in 0..100 {
+            e.sample(Time::from_us(200));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_us_f64() - 200.0).abs() < 1.0);
+        // Variance collapses → RTO approaches SRTT.
+        assert!(e.rto() < Time::from_us(250));
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000));
+        e.sample(Time::from_ms(20)); // RTO = 20 + 4*10 = 60 ms
+        let base = e.rto();
+        e.back_off();
+        assert_eq!(e.rto(), base * 2);
+        e.back_off();
+        assert_eq!(e.rto(), base * 4);
+        e.sample(Time::from_ms(20));
+        // A fresh sample clears the backoff; the repeated equal sample
+        // also shrinks RTTVAR, so the RTO is at most the old base.
+        assert!(e.rto() <= base);
+        assert!(e.rto() >= Time::from_ms(20));
+    }
+
+    #[test]
+    fn backoff_saturates() {
+        let mut e = RttEstimator::new(Time::from_ms(5), Time::from_ms(100));
+        for _ in 0..100 {
+            e.back_off();
+        }
+        // Must not overflow.
+        assert!(e.rto() >= Time::from_ms(5));
+    }
+}

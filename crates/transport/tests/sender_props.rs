@@ -1,0 +1,148 @@
+//! Property tests for the TCP sender state machine: no input sequence —
+//! however adversarial — may violate the sequence-space invariants.
+
+use proptest::prelude::*;
+use tcn_core::PacketKind;
+use tcn_sim::Time;
+use tcn_transport::{CcVariant, TcpConfig, TcpSender};
+
+#[derive(Debug, Clone)]
+enum Input {
+    /// Cumulative ACK at an arbitrary (possibly bogus) sequence.
+    Ack { cum_ack: u64, ece: bool },
+    /// Fire the armed timer (if any).
+    Timer,
+    /// Let time pass.
+    Advance { us: u64 },
+}
+
+fn input_strategy(size: u64) -> impl Strategy<Value = Input> {
+    prop_oneof![
+        (0..=size + 5_000, any::<bool>())
+            .prop_map(|(cum_ack, ece)| Input::Ack { cum_ack, ece }),
+        Just(Input::Timer),
+        (1u64..20_000).prop_map(|us| Input::Advance { us }),
+    ]
+}
+
+fn check_outputs(
+    sender: &TcpSender,
+    packets: &[tcn_core::Packet],
+    size: u64,
+) -> Result<(), TestCaseError> {
+    for p in packets {
+        match p.kind {
+            PacketKind::Data { seq, payload } => {
+                prop_assert!(u64::from(payload) > 0, "empty segment");
+                prop_assert!(
+                    seq + u64::from(payload) <= size,
+                    "segment beyond flow end: {seq}+{payload} > {size}"
+                );
+            }
+            _ => prop_assert!(false, "sender emitted non-data"),
+        }
+    }
+    prop_assert!(sender.cwnd() >= 1.0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary ACK/timer/time sequences the sender never emits
+    /// bytes outside the flow, never panics, and reaches `is_done` only
+    /// when the whole flow is acked.
+    #[test]
+    fn sender_sequence_space_safe(
+        size in 1u64..2_000_000,
+        dctcp in any::<bool>(),
+        inputs in prop::collection::vec(input_strategy(2_000_000), 1..120),
+    ) {
+        let cfg = if dctcp {
+            TcpConfig::sim_dctcp()
+        } else {
+            TcpConfig::sim_ecn_star()
+        };
+        let mut s = TcpSender::new(cfg, tcn_core::FlowId(1), 0, 1, size);
+        let mut now = Time::from_us(1);
+        let out = s.start(now);
+        check_outputs(&s, &out.packets, size)?;
+        let mut highest_ack = 0u64;
+        for input in inputs {
+            match input {
+                Input::Ack { cum_ack, ece } => {
+                    // Receivers only ack data they hold; clamp into the
+                    // plausible range but allow duplicates/regressions.
+                    let cum_ack = cum_ack.min(size);
+                    highest_ack = highest_ack.max(cum_ack);
+                    let out = s.on_ack(cum_ack, ece, now);
+                    check_outputs(&s, &out.packets, size)?;
+                }
+                Input::Timer => {
+                    let out = s.on_timer(now);
+                    check_outputs(&s, &out.packets, size)?;
+                }
+                Input::Advance { us } => now += Time::from_us(us),
+            }
+            prop_assert!(
+                !s.is_done() || highest_ack >= size,
+                "done before all bytes acked (ack {highest_ack}, size {size})"
+            );
+        }
+    }
+
+    /// DCTCP's α always stays in [0, 1] no matter the echo pattern.
+    #[test]
+    fn dctcp_alpha_bounded(
+        acks in prop::collection::vec((1u64..50_000, any::<bool>()), 1..200),
+    ) {
+        let mut s = TcpSender::new(
+            TcpConfig {
+                variant: CcVariant::Dctcp { g: 1.0 / 16.0 },
+                ..TcpConfig::sim_dctcp()
+            },
+            tcn_core::FlowId(1),
+            0,
+            1,
+            1 << 30,
+        );
+        let mut now = Time::from_us(1);
+        s.start(now);
+        let mut cum = 0u64;
+        for (step, ece) in acks {
+            cum += step;
+            now += Time::from_us(50);
+            s.on_ack(cum, ece, now);
+            prop_assert!((0.0..=1.0).contains(&s.alpha()), "alpha {}", s.alpha());
+        }
+    }
+
+    /// A lossless in-order delivery always completes the flow, for any
+    /// flow size (pairing the sender with the real receiver).
+    #[test]
+    fn lossless_delivery_completes(size in 1u64..300_000) {
+        use tcn_transport::TcpReceiver;
+        let cfg = TcpConfig::sim_dctcp();
+        let mut s = TcpSender::new(cfg, tcn_core::FlowId(1), 0, 1, size);
+        let mut r = TcpReceiver::new(tcn_core::FlowId(1), 1, 0, size);
+        let mut now = Time::from_us(1);
+        let mut wire: std::collections::VecDeque<tcn_core::Packet> =
+            s.start(now).packets.into();
+        let mut steps = 0;
+        while !r.is_complete() {
+            steps += 1;
+            prop_assert!(steps < 100_000, "no progress");
+            let pkt = wire.pop_front().expect("stalled without loss");
+            now += Time::from_us(10);
+            let ack = r.on_data(&pkt, now);
+            if let PacketKind::Ack { cum_ack, ece } = ack.kind {
+                now += Time::from_us(10);
+                let out = s.on_ack(cum_ack, ece, now);
+                wire.extend(out.packets);
+            }
+        }
+        prop_assert_eq!(r.bytes_received(), size);
+        prop_assert!(s.is_done());
+        prop_assert_eq!(s.timeouts(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Open-loop Poisson flow arrivals sized to a target load.
+//!
+//! Load is defined as in the paper's experiments: the fraction of a
+//! reference link's capacity consumed by the *offered* traffic. For a
+//! mean flow size `E[S]` bytes and link rate `C`, the Poisson arrival
+//! rate is `λ = ρ·C / (8·E[S])` flows per second.
+
+use tcn_net::FlowSpec;
+use tcn_sim::{Rate, Rng, Time};
+
+use crate::cdf::SizeCdf;
+
+/// Poisson arrival rate (flows/s) for target load `rho` on a link of
+/// rate `capacity` with mean flow size `mean_size` bytes.
+///
+/// # Panics
+/// Panics unless `0 < rho` and `mean_size > 0`.
+pub fn poisson_rate_for_load(rho: f64, capacity: Rate, mean_size: f64) -> f64 {
+    assert!(rho > 0.0 && rho.is_finite(), "load must be positive");
+    assert!(mean_size > 0.0, "mean size must be positive");
+    rho * capacity.as_bps() as f64 / (8.0 * mean_size)
+}
+
+/// Generate `n_flows` many-to-one flows: random sender from `senders`,
+/// fixed `receiver`, sizes from `cdf`, Poisson arrivals at load `rho` of
+/// the receiver's link `capacity`, service classes drawn uniformly from
+/// `services` (the paper's testbed maps each flow "randomly … to one of
+/// the 4 service queues", §6.1.2).
+#[allow(clippy::too_many_arguments)] // experiment knobs, one call site each
+pub fn gen_many_to_one(
+    rng: &mut Rng,
+    n_flows: usize,
+    senders: &[u32],
+    receiver: u32,
+    cdf: &SizeCdf,
+    rho: f64,
+    capacity: Rate,
+    services: &[u8],
+    start: Time,
+) -> Vec<FlowSpec> {
+    assert!(!senders.is_empty() && !services.is_empty());
+    assert!(!senders.contains(&receiver), "receiver among senders");
+    let rate = poisson_rate_for_load(rho, capacity, cdf.mean());
+    let mean_gap = Time::from_secs_f64(1.0 / rate);
+    let mut t = start;
+    let mut flows = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        t = t.saturating_add(rng.exp_time(mean_gap));
+        let src = senders[rng.gen_range(senders.len() as u64) as usize];
+        let service = services[rng.gen_range(services.len() as u64) as usize];
+        flows.push(FlowSpec {
+            src,
+            dst: receiver,
+            size: cdf.sample(rng),
+            start: t,
+            service,
+        });
+    }
+    flows
+}
+
+/// Generate `n_flows` all-to-all flows over `n_hosts` hosts, as in the
+/// paper's leaf-spine simulations (§6.2): the communication pairs are
+/// "evenly classified into `n_services` services"; service `s` draws its
+/// sizes from `cdfs[s % cdfs.len()]`. Load `rho` is relative to one host
+/// link of rate `capacity`, scaled by the number of (receiving) hosts.
+///
+/// Returned services are `1 + (pair index mod n_services)` so service
+/// DSCPs stay clear of the PIAS high-priority queue 0.
+#[allow(clippy::too_many_arguments)] // experiment knobs, one call site each
+pub fn gen_all_to_all(
+    rng: &mut Rng,
+    n_flows: usize,
+    n_hosts: u32,
+    cdfs: &[SizeCdf],
+    rho: f64,
+    capacity: Rate,
+    n_services: u8,
+    start: Time,
+) -> Vec<FlowSpec> {
+    assert!(n_hosts >= 2);
+    assert!(!cdfs.is_empty() && n_services >= 1);
+    // Offered load must average rho per host link: aggregate arrival
+    // rate = rho × C × n_hosts / (8 × E[S_mix]).
+    let mean_mix: f64 = (0..n_services)
+        .map(|s| cdfs[s as usize % cdfs.len()].mean())
+        .sum::<f64>()
+        / f64::from(n_services);
+    let rate = poisson_rate_for_load(rho, capacity, mean_mix) * f64::from(n_hosts);
+    let mean_gap = Time::from_secs_f64(1.0 / rate);
+    let mut t = start;
+    let mut flows = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        t = t.saturating_add(rng.exp_time(mean_gap));
+        let src = rng.gen_range(u64::from(n_hosts)) as u32;
+        let dst = rng.pick_other(u64::from(n_hosts), u64::from(src)) as u32;
+        // Pair → service, evenly (paper: pairs evenly classified).
+        let pair = u64::from(src) * u64::from(n_hosts) + u64::from(dst);
+        let service = (pair % u64::from(n_services)) as u8;
+        let cdf = &cdfs[service as usize % cdfs.len()];
+        flows.push(FlowSpec {
+            src,
+            dst,
+            size: cdf.sample(rng),
+            start: t,
+            service: 1 + service,
+        });
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::Workload;
+
+    #[test]
+    fn rate_formula() {
+        // 50% of 1 Gbps with 1 MB flows: 62.5 flows/s.
+        let r = poisson_rate_for_load(0.5, Rate::from_gbps(1), 1_000_000.0);
+        assert!((r - 62.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_to_one_offered_load_matches() {
+        let mut rng = Rng::new(3);
+        let cdf = Workload::WebSearch.cdf();
+        let flows = gen_many_to_one(
+            &mut rng,
+            20_000,
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            8,
+            &cdf,
+            0.6,
+            Rate::from_gbps(1),
+            &[0, 1, 2, 3],
+            Time::ZERO,
+        );
+        let total_bytes: u64 = flows.iter().map(|f| f.size).sum();
+        let span = flows.last().unwrap().start.as_secs_f64();
+        let load = total_bytes as f64 * 8.0 / span / 1e9;
+        assert!(
+            (load - 0.6).abs() < 0.05,
+            "offered load {load} should be ≈ 0.6"
+        );
+    }
+
+    #[test]
+    fn many_to_one_uses_all_senders_and_services() {
+        let mut rng = Rng::new(5);
+        let cdf = Workload::Cache.cdf();
+        let senders = [0u32, 1, 2, 3];
+        let services = [0u8, 1, 2, 3];
+        let flows = gen_many_to_one(
+            &mut rng,
+            2000,
+            &senders,
+            9,
+            &cdf,
+            0.5,
+            Rate::from_gbps(1),
+            &services,
+            Time::ZERO,
+        );
+        for s in senders {
+            assert!(flows.iter().any(|f| f.src == s));
+        }
+        for sv in services {
+            assert!(flows.iter().any(|f| f.service == sv));
+        }
+        assert!(flows.iter().all(|f| f.dst == 9));
+        // Arrivals are sorted by construction.
+        assert!(flows.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn all_to_all_valid_pairs_and_services() {
+        let mut rng = Rng::new(7);
+        let cdfs: Vec<_> = Workload::ALL.iter().map(|w| w.cdf()).collect();
+        let flows = gen_all_to_all(
+            &mut rng,
+            5000,
+            16,
+            &cdfs,
+            0.5,
+            Rate::from_gbps(10),
+            7,
+            Time::ZERO,
+        );
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+            assert!(f.src < 16 && f.dst < 16);
+            assert!((1..=7).contains(&f.service), "service {}", f.service);
+        }
+        // All 7 services appear.
+        for s in 1..=7u8 {
+            assert!(flows.iter().any(|f| f.service == s), "service {s} unused");
+        }
+    }
+
+    #[test]
+    fn service_is_pair_deterministic() {
+        // The same (src,dst) pair always maps to the same service — the
+        // paper's "evenly classify these pairs into 7 services".
+        let mut rng = Rng::new(11);
+        let cdfs = vec![Workload::WebSearch.cdf()];
+        let flows = gen_all_to_all(
+            &mut rng,
+            5000,
+            8,
+            &cdfs,
+            0.5,
+            Rate::from_gbps(10),
+            7,
+            Time::ZERO,
+        );
+        use std::collections::HashMap;
+        let mut seen: HashMap<(u32, u32), u8> = HashMap::new();
+        for f in &flows {
+            let prev = seen.insert((f.src, f.dst), f.service);
+            if let Some(p) = prev {
+                assert_eq!(p, f.service, "pair service must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = |seed| {
+            let mut rng = Rng::new(seed);
+            let cdf = Workload::WebSearch.cdf();
+            gen_many_to_one(
+                &mut rng,
+                100,
+                &[0, 1],
+                2,
+                &cdf,
+                0.5,
+                Rate::from_gbps(1),
+                &[0],
+                Time::ZERO,
+            )
+            .iter()
+            .map(|f| (f.src, f.size, f.start.as_ps()))
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "receiver among senders")]
+    fn receiver_cannot_send_to_itself() {
+        let mut rng = Rng::new(1);
+        let cdf = Workload::Cache.cdf();
+        gen_many_to_one(
+            &mut rng,
+            10,
+            &[0, 1],
+            1,
+            &cdf,
+            0.5,
+            Rate::from_gbps(1),
+            &[0],
+            Time::ZERO,
+        );
+    }
+}

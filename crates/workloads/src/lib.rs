@@ -1,0 +1,21 @@
+//! `tcn-workloads` — realistic datacenter traffic generation (paper
+//! Fig. 4 and §6 benchmark traffic).
+//!
+//! * [`cdf`] — the four empirical flow-size distributions the paper
+//!   evaluates with: web search (DCTCP \[6\]), data mining (VL2 \[17\]), and
+//!   the Facebook Hadoop and cache workloads (Roy et al. \[27\]); plus
+//!   inverse-CDF sampling.
+//! * [`arrivals`] — open-loop Poisson flow arrival generation sized to a
+//!   target load, in the two patterns the paper uses: many-to-one (the
+//!   testbed's 8-senders-to-one-client pattern, §6.1.2) and all-to-all
+//!   pairs split into services (the leaf-spine simulations, §6.2).
+//! * [`incast`] — synchronized-burst generation for the burst-tolerance
+//!   ablation (§4.3 argues TCN reacts faster than CoDel to incast).
+
+pub mod arrivals;
+pub mod cdf;
+pub mod incast;
+
+pub use arrivals::{gen_all_to_all, gen_many_to_one, poisson_rate_for_load};
+pub use cdf::{SizeCdf, Workload};
+pub use incast::gen_incast;

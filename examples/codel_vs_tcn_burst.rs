@@ -1,0 +1,77 @@
+//! TCN vs CoDel under bursty incast (paper §4.3: "faster reaction to
+//! bursty traffic").
+//!
+//! Waves of synchronized senders slam one receiver. CoDel needs a full
+//! `interval` of persistently bad sojourn before its first mark, so each
+//! wave rides unmarked until the shared buffer overflows; TCN marks the
+//! first over-threshold packet it dequeues. The difference shows up as
+//! timeouts and tail FCT.
+//!
+//! Run: `cargo run --release --example codel_vs_tcn_burst [-- --fanout 48]`
+
+use tcn_repro::prelude::*;
+
+fn run_scheme(name: &str, fanout: usize, make_aqm: impl Fn() -> Box<dyn Aqm> + 'static) {
+    let make_aqm = std::rc::Rc::new(make_aqm);
+    let mut sim = single_switch(
+        fanout + 1,
+        Rate::from_gbps(10),
+        Time::from_us(20),
+        TcpConfig::sim_dctcp(),
+        TaggingPolicy::Fixed,
+        move || {
+            let make_aqm = make_aqm.clone();
+            PortSetup {
+                nqueues: 2,
+                buffer: Some(300_000),
+                tx_rate: None,
+                make_sched: Box::new(|| Box::new(Dwrr::equal(2, 1_500))),
+                make_aqm: Box::new(move || make_aqm()),
+            }
+        },
+    );
+    let senders: Vec<u32> = (0..fanout as u32).collect();
+    let mut rng = Rng::new(5);
+    for wave in 0..8u64 {
+        for spec in gen_incast(
+            &mut rng,
+            &senders,
+            fanout as u32,
+            64_000,
+            Time::from_ms(1 + 2 * wave),
+            Time::from_us(5),
+            0,
+        ) {
+            sim.add_flow(spec);
+        }
+    }
+    assert!(sim.run_to_completion(Time::from_secs(60)));
+    let fcts: Vec<f64> = sim
+        .fct_records()
+        .iter()
+        .map(|r| r.fct.as_us_f64())
+        .collect();
+    println!(
+        "{name:<8} avg {:>7.0} us   p99 {:>8.0} us   timeouts {:>4}   drops {:>5}",
+        tcn_stats::mean(&fcts),
+        tcn_stats::percentile(&fcts, 99.0),
+        sim.total_timeouts(),
+        sim.total_drops()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fanout = args
+        .iter()
+        .position(|a| a == "--fanout")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    println!("incast: 8 waves x {fanout} senders x 64 KB into one 10 Gbps port\n");
+    run_scheme("TCN", fanout, || Box::new(Tcn::new(Time::from_us(78))));
+    run_scheme("CoDel", fanout, || {
+        Box::new(CoDel::new(Time::from_us(16), Time::from_us(340)))
+    });
+    run_scheme("RED", fanout, || Box::new(RedEcn::per_queue(97_500)));
+}

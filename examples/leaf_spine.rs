@@ -1,0 +1,75 @@
+//! A multi-rack datacenter in a few lines: 4 leaves × 4 spines ×
+//! 4 hosts at 10 Gbps with ECMP, all four paper workloads mixed over 7
+//! services, PIAS tagging and TCN over SP/DWRR at every switch port —
+//! the shape of the paper's §6.2 simulations, scaled to run in seconds.
+//!
+//! Run: `cargo run --release --example leaf_spine [-- --paper]`
+//! (`--paper` builds the full 144-host, 12×12 fabric.)
+
+use tcn_repro::prelude::*;
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let topo = if paper_scale {
+        LeafSpineConfig::paper()
+    } else {
+        LeafSpineConfig::small()
+    };
+    let tcn_t = Time::from_us(78); // paper's DCTCP threshold at 10 Gbps
+    let mut sim = leaf_spine(
+        topo,
+        TcpConfig::sim_dctcp(),
+        TaggingPolicy::Pias { threshold: 100_000 },
+        move || PortSetup {
+            nqueues: 8,
+            buffer: Some(300_000),
+            tx_rate: None,
+            make_sched: Box::new(|| Box::new(SpHybrid::new(1, Dwrr::equal(7, 1_500)))),
+            make_aqm: Box::new(move || Box::new(Tcn::new(tcn_t))),
+        },
+    );
+
+    let n_flows = if paper_scale { 20_000 } else { 3_000 };
+    let cdfs: Vec<SizeCdf> = Workload::ALL.iter().map(|w| w.cdf()).collect();
+    let mut rng = Rng::new(99);
+    for spec in gen_all_to_all(
+        &mut rng,
+        n_flows,
+        topo.num_hosts() as u32,
+        &cdfs,
+        0.6,
+        Rate::from_gbps(10),
+        7,
+        Time::ZERO,
+    ) {
+        sim.add_flow(spec);
+    }
+
+    let t0 = std::time::Instant::now();
+    assert!(sim.run_to_completion(Time::from_secs(1_000)));
+    let wall = t0.elapsed();
+
+    let b = FctBreakdown::from_records(&sim.fct_records());
+    println!(
+        "{} hosts, {} flows, 4 workloads over 7 services @ 60% load",
+        topo.num_hosts(),
+        b.count
+    );
+    println!("  overall avg FCT : {:.0} us", b.overall_avg_us);
+    println!(
+        "  small flows     : avg {:.0} us, p99 {:.0} us ({} flows)",
+        b.small_avg_us, b.small_p99_us, b.small_count
+    );
+    println!(
+        "  large flows     : avg {:.1} ms ({} flows)",
+        b.large_avg_us / 1_000.0,
+        b.large_count
+    );
+    println!("  fabric drops    : {}", sim.total_drops());
+    println!(
+        "  simulated {} events in {:.1}s wall ({:.1}M events/s)",
+        sim.events_processed(),
+        wall.as_secs_f64(),
+        sim.events_processed() as f64 / wall.as_secs_f64() / 1e6
+    );
+}

@@ -1,0 +1,103 @@
+//! Whole-simulation reproducibility: equal seeds ⇒ bit-identical
+//! results, across topologies and schemes. This is what makes every
+//! number in EXPERIMENTS.md re-derivable.
+
+use tcn_repro::prelude::*;
+
+fn leaf_spine_fcts(seed: u64) -> Vec<u64> {
+    let topo = LeafSpineConfig {
+        leaves: 3,
+        spines: 3,
+        hosts_per_leaf: 3,
+        rate: Rate::from_gbps(10),
+        host_delay: Time::from_us(20),
+        fabric_delay: Time::from_ns(1300),
+    };
+    let mut sim = leaf_spine(
+        topo,
+        TcpConfig::sim_dctcp(),
+        TaggingPolicy::Pias { threshold: 100_000 },
+        || PortSetup {
+            nqueues: 4,
+            buffer: Some(300_000),
+            tx_rate: None,
+            make_sched: Box::new(|| Box::new(SpHybrid::new(1, Dwrr::equal(3, 1_500)))),
+            make_aqm: Box::new(|| Box::new(Tcn::new(Time::from_us(78)))),
+        },
+    );
+    let cdfs: Vec<SizeCdf> = vec![Workload::WebSearch.cdf(), Workload::Cache.cdf()];
+    let mut rng = Rng::new(seed);
+    for spec in gen_all_to_all(
+        &mut rng,
+        400,
+        topo.num_hosts() as u32,
+        &cdfs,
+        0.6,
+        Rate::from_gbps(10),
+        3,
+        Time::ZERO,
+    ) {
+        sim.add_flow(spec);
+    }
+    assert!(sim.run_to_completion(Time::from_secs(100)));
+    sim.fct_records().iter().map(|r| r.fct.as_ps()).collect()
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = leaf_spine_fcts(42);
+    let b = leaf_spine_fcts(42);
+    assert_eq!(a, b, "same seed must reproduce every FCT exactly");
+    assert_eq!(a.len(), 400);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = leaf_spine_fcts(42);
+    let b = leaf_spine_fcts(43);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn probabilistic_aqm_still_deterministic() {
+    // Randomized marking draws come from a seeded RNG inside the AQM, so
+    // even probabilistic schemes replay exactly.
+    let run = || {
+        let mut sim = single_switch(
+            3,
+            Rate::from_gbps(1),
+            Time::from_us(62),
+            TcpConfig::testbed_dctcp(),
+            TaggingPolicy::Fixed,
+            || PortSetup {
+                nqueues: 2,
+                buffer: Some(96_000),
+                tx_rate: None,
+                make_sched: Box::new(|| Box::new(Wfq::equal(2))),
+                make_aqm: Box::new(|| {
+                    Box::new(ProbabilisticTcn::new(
+                        Time::from_us(128),
+                        Time::from_us(512),
+                        0.7,
+                        1234,
+                    ))
+                }),
+            },
+        );
+        for i in 0..20u32 {
+            sim.add_flow(FlowSpec {
+                src: i % 2,
+                dst: 2,
+                size: 200_000 + u64::from(i) * 10_000,
+                start: Time::from_us(u64::from(i) * 50),
+                service: (i % 2) as u8,
+            });
+        }
+        assert!(sim.run_to_completion(Time::from_secs(100)));
+        sim.fct_records()
+            .iter()
+            .map(|r| r.fct.as_ps())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

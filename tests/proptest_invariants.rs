@@ -1,0 +1,222 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use tcn_repro::prelude::*;
+use tcn_repro::core::hwts::HwClock;
+use tcn_repro::core::PacketKind;
+use tcn_repro::sim::Rng as SimRng;
+
+fn data_packet(payload: u32) -> Packet {
+    Packet::data(FlowId(1), 0, 1, 0, payload, 40)
+}
+
+proptest! {
+    /// The event queue pops every batch of randomly-timed events in
+    /// non-decreasing time order, FIFO within equal times.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = tcn_repro::sim::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(Time::from_ns(t), i);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some(e) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(e.at >= lt);
+                if e.at == lt {
+                    prop_assert!(e.event > li, "FIFO tie-break violated");
+                }
+            }
+            last = Some((e.at, e.event));
+        }
+    }
+
+    /// Serialization time round-trips: bytes_in(tx_time(b)) == b for any
+    /// positive rate and byte count.
+    #[test]
+    fn rate_roundtrip(gbps in 1u64..400, bytes in 1u64..100_000_000) {
+        let r = Rate::from_gbps(gbps);
+        prop_assert_eq!(r.bytes_in(r.tx_time(bytes)), bytes);
+    }
+
+    /// tx_time is additive-monotone: more bytes never serialize faster.
+    #[test]
+    fn tx_time_monotone(bps in 1_000u64..10_000_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let r = Rate::from_bps(bps);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(r.tx_time(lo) <= r.tx_time(hi));
+    }
+
+    /// ByteIntervals agrees with a naive bit-set model.
+    #[test]
+    fn intervals_match_model(ranges in prop::collection::vec((0u64..500, 0u64..60), 1..40)) {
+        let mut iv = tcn_repro::transport::ByteIntervals::new();
+        let mut model = vec![false; 600];
+        for &(start, len) in &ranges {
+            let end = start + len;
+            let newly = iv.insert(start, end);
+            let mut fresh = 0;
+            for slot in model.iter_mut().take(end as usize).skip(start as usize) {
+                if !*slot {
+                    fresh += 1;
+                    *slot = true;
+                }
+            }
+            prop_assert_eq!(newly, fresh);
+        }
+        let covered = model.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(iv.covered(), covered);
+        let next = model.iter().position(|&b| !b).unwrap_or(model.len()) as u64;
+        prop_assert_eq!(iv.next_expected(), next);
+    }
+
+    /// PacketQueue byte accounting survives arbitrary push/pop mixes.
+    #[test]
+    fn packet_queue_accounting(ops in prop::collection::vec(prop::option::of(41u32..9_000), 1..200)) {
+        let mut q = PacketQueue::new();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(payload) => {
+                    q.push_back(data_packet(payload));
+                    model.push(u64::from(payload) + 40);
+                }
+                None => {
+                    let popped = q.pop_front().map(|p| u64::from(p.size));
+                    let expect = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    prop_assert_eq!(popped, expect);
+                }
+            }
+            prop_assert_eq!(q.len_bytes(), model.iter().sum::<u64>());
+            prop_assert_eq!(q.len_pkts(), model.len());
+        }
+    }
+
+    /// TCN marks exactly when sojourn exceeds the threshold — for any
+    /// (threshold, enqueue, dequeue) triple.
+    #[test]
+    fn tcn_marks_iff_over_threshold(t_us in 0u64..1_000, enq_us in 0u64..1_000, wait_us in 0u64..2_000) {
+        use tcn_repro::core::aqm::{Aqm, StaticPortView};
+        let mut tcn = Tcn::new(Time::from_us(t_us));
+        let view = StaticPortView::new(1, Rate::from_gbps(10));
+        let mut p = data_packet(1000);
+        p.enq_ts = Time::from_us(enq_us);
+        let now = Time::from_us(enq_us + wait_us);
+        tcn.on_dequeue(&view, 0, &mut p, now);
+        prop_assert_eq!(p.ecn.is_ce(), wait_us > t_us);
+    }
+
+    /// The 16-bit hardware timestamp recovers any sojourn below the wrap
+    /// period to within one tick, regardless of absolute enqueue time.
+    #[test]
+    fn hwts_recovers_sojourn(enq_ns in 0u64..10_000_000, sojourn_ns in 0u64..260_000) {
+        let clk = HwClock::RES_4NS;
+        let enq = Time::from_ns(enq_ns);
+        let deq = enq + Time::from_ns(sojourn_ns);
+        let measured = clk.measure(enq, deq);
+        let err = (measured.as_ns() as i64 - sojourn_ns as i64).abs();
+        prop_assert!(err <= 4, "error {err} ns for sojourn {sojourn_ns} ns");
+    }
+
+    /// Workload sampling stays within the CDF's support and the
+    /// quantile function is monotone.
+    #[test]
+    fn cdf_sample_and_quantile(seed in 0u64..1_000, p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        for wl in Workload::ALL {
+            let cdf = wl.cdf();
+            let mut rng = SimRng::new(seed);
+            let s = cdf.sample(&mut rng);
+            let max = cdf.points().last().unwrap().0 as u64;
+            prop_assert!(s >= 1 && s <= max);
+            let (lo, hi) = (p1.min(p2), p1.max(p2));
+            prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+        }
+    }
+
+    /// WFQ never selects an empty queue and is work conserving under
+    /// arbitrary enqueue patterns.
+    #[test]
+    fn wfq_work_conserving(pushes in prop::collection::vec((0usize..3, 41u32..3_000), 1..100)) {
+        let mut queues = vec![PacketQueue::new(); 3];
+        let mut sched = Wfq::equal(3);
+        let mut now = Time::ZERO;
+        let total = pushes.len();
+        for (q, payload) in pushes {
+            let p = data_packet(payload);
+            queues[q].push_back(p.clone());
+            sched.on_enqueue(&queues, q, &p, now);
+        }
+        let mut served = 0;
+        while let Some(q) = sched.select(&queues, now) {
+            prop_assert!(!queues[q].is_empty(), "selected empty queue");
+            let p = queues[q].pop_front().unwrap();
+            now += Rate::from_gbps(1).tx_time(u64::from(p.size));
+            sched.on_dequeue(&queues, q, &p, now);
+            served += 1;
+            prop_assert!(served <= total);
+        }
+        prop_assert_eq!(served, total, "idled with backlog");
+    }
+
+    /// DWRR, same property, with random quanta.
+    #[test]
+    fn dwrr_work_conserving(
+        quanta in prop::collection::vec(100u64..5_000, 2..5),
+        pushes in prop::collection::vec((0usize..4, 41u32..3_000), 1..100),
+    ) {
+        let nq = quanta.len();
+        let mut queues = vec![PacketQueue::new(); nq];
+        let mut sched = Dwrr::new(quanta);
+        let mut now = Time::ZERO;
+        let mut total = 0;
+        for (q, payload) in pushes {
+            let q = q % nq;
+            let p = data_packet(payload);
+            queues[q].push_back(p.clone());
+            sched.on_enqueue(&queues, q, &p, now);
+            total += 1;
+        }
+        let mut served = 0;
+        while let Some(q) = sched.select(&queues, now) {
+            prop_assert!(!queues[q].is_empty());
+            let p = queues[q].pop_front().unwrap();
+            now += Rate::from_gbps(1).tx_time(u64::from(p.size));
+            sched.on_dequeue(&queues, q, &p, now);
+            served += 1;
+            prop_assert!(served <= total);
+        }
+        prop_assert_eq!(served, total);
+    }
+
+    /// Percentile is bounded by min/max and monotone in p.
+    #[test]
+    fn percentile_bounds(xs in prop::collection::vec(0.0f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let v = tcn_stats::percentile(&xs, p);
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(v >= lo && v <= hi);
+        prop_assert!(tcn_stats::percentile(&xs, 0.0) <= tcn_stats::percentile(&xs, 100.0));
+    }
+
+    /// The deterministic RNG's gen_range respects its bound for any
+    /// seed and any bound.
+    #[test]
+    fn rng_range_bounds(seed: u64, n in 1u64..1_000_000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.gen_range(n) < n);
+        }
+    }
+}
+
+#[test]
+fn packet_kind_is_exhaustively_modeled() {
+    // A non-proptest sanity companion: the three packet kinds round-trip
+    // through construction helpers.
+    let d = Packet::data(FlowId(1), 0, 1, 100, 1000, 40);
+    assert!(matches!(d.kind, PacketKind::Data { seq: 100, .. }));
+    let a = Packet::ack(FlowId(1), 1, 0, 5, true, 40);
+    assert!(matches!(a.kind, PacketKind::Ack { cum_ack: 5, ece: true }));
+    let p = Packet::probe(FlowId(1), 0, 1, 9, false, 64);
+    assert!(matches!(p.kind, PacketKind::Probe { probe_id: 9, reply: false }));
+}
