@@ -1,0 +1,597 @@
+//! `tcn-audit` — runtime invariant auditing for the TCN simulator.
+//!
+//! TCN's correctness argument is algorithmic: marking depends only on
+//! sojourn time, so every reproduced figure stands or falls on the
+//! simulator honoring invariants the paper takes for granted. This crate
+//! checks them mechanically at run time:
+//!
+//! * **Clock discipline** ([`ClockAudit`]) — the event queue pops in
+//!   non-decreasing time order with a FIFO tie-break at equal instants,
+//!   and never schedules into the past (`crates/sim/src/engine.rs`'s
+//!   contract).
+//! * **Packet conservation** ([`Ledger`]) — every packet offered to a
+//!   port is exactly one of: rejected at admission, dropped by the AQM,
+//!   transmitted, or still resident; byte- and packet-exact.
+//! * **Shared-buffer accounting** ([`BufferAudit`]) — port occupancy
+//!   always equals the sum of per-queue lengths and never exceeds the
+//!   configured pool (96 KB/port in the paper's testbed, DESIGN §1).
+//! * **Work conservation** ([`WorkAudit`]) — a backlogged port never
+//!   idles, and a scheduler never selects an empty queue.
+//! * **AQM contract** ([`AqmContractAudit`]) — schemes that the paper
+//!   describes as mark-only (TCN §4.2: "Marking, as opposed to
+//!   dropping") never return a drop verdict at dequeue.
+//!
+//! # Cost model
+//!
+//! Every hook begins with `if !active() { return }` where [`active`] is
+//! a compile-time constant: `true` under `debug_assertions` or the
+//! `enabled` cargo feature (exposed as `audit` by the downstream
+//! crates), `false` otherwise. In a plain release build the hooks
+//! therefore compile to nothing and the checkers are inert fields.
+//!
+//! # Failure model
+//!
+//! Checkers are built in *strict* mode by default: the first violation
+//! panics with an `audit[<invariant>]:` message, because a simulation
+//! that has broken conservation cannot produce trustworthy numbers.
+//! Tests that want to observe violations instead of dying construct
+//! checkers with `recording()` and inspect [`Violation`]s afterwards.
+//!
+//! The crate is dependency-free (not even workspace path dependencies):
+//! all hook APIs speak primitive integers, which is what lets `tcn-sim`
+//! — the bottom of the crate graph — use it without a cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Whether the audit hooks are compiled in. `true` in debug builds and
+/// whenever the `enabled` feature (downstream: `audit`) is on.
+#[inline(always)]
+pub const fn active() -> bool {
+    cfg!(any(feature = "enabled", debug_assertions))
+}
+
+/// The invariant families the auditor distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Event-time monotonicity / FIFO tie-break (the engine contract).
+    Clock,
+    /// Packet/byte conservation through a port.
+    Conservation,
+    /// Shared-buffer occupancy accounting.
+    Buffer,
+    /// Work conservation of the scheduler.
+    WorkConservation,
+    /// The mark-only AQM dequeue contract.
+    AqmContract,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Invariant::Clock => "clock",
+            Invariant::Conservation => "conservation",
+            Invariant::Buffer => "buffer",
+            Invariant::WorkConservation => "work-conservation",
+            Invariant::AqmContract => "aqm-contract",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant family was violated.
+    pub invariant: Invariant,
+    /// Human-readable description with the offending values.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit[{}]: {}", self.invariant, self.message)
+    }
+}
+
+/// Violation collection shared by all checkers: strict (panic) or
+/// recording (accumulate for inspection).
+#[derive(Debug, Clone, Default)]
+struct Log {
+    recording: bool,
+    violations: Vec<Violation>,
+}
+
+impl Log {
+    fn fail(&mut self, invariant: Invariant, message: String) {
+        let v = Violation { invariant, message };
+        if self.recording {
+            self.violations.push(v);
+        } else {
+            panic!("{v}");
+        }
+    }
+}
+
+macro_rules! checker_common {
+    () => {
+        /// A strict checker: the first violation panics.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// A recording checker: violations accumulate in
+        /// [`violations`](Self::violations) instead of panicking.
+        pub fn recording() -> Self {
+            let mut c = Self::default();
+            c.log.recording = true;
+            c
+        }
+
+        /// Violations recorded so far (always empty in strict mode,
+        /// which panics instead).
+        pub fn violations(&self) -> &[Violation] {
+            &self.log.violations
+        }
+    };
+}
+
+/// Clock monotonicity and FIFO tie-break checker for the event queue.
+///
+/// Feed it every `(time, seq)` pop; it verifies that time never goes
+/// backwards and that equal-time events pop in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct ClockAudit {
+    last: Option<(u64, u64)>,
+    log: Log,
+}
+
+impl ClockAudit {
+    checker_common!();
+
+    /// Record an event pop at absolute time `at_ps` with insertion
+    /// sequence number `seq`.
+    #[inline]
+    pub fn on_pop(&mut self, at_ps: u64, seq: u64) {
+        if !active() {
+            return;
+        }
+        if let Some((lt, ls)) = self.last {
+            if at_ps < lt {
+                self.log.fail(
+                    Invariant::Clock,
+                    format!("event time went backwards: {at_ps} ps after {lt} ps"),
+                );
+            } else if at_ps == lt && seq <= ls {
+                self.log.fail(
+                    Invariant::Clock,
+                    format!(
+                        "FIFO tie-break violated at {at_ps} ps: seq {seq} popped after {ls}"
+                    ),
+                );
+            }
+        }
+        self.last = Some((at_ps, seq));
+    }
+
+    /// Record a schedule request issued at `now_ps` for time `at_ps`.
+    #[inline]
+    pub fn on_schedule(&mut self, at_ps: u64, now_ps: u64) {
+        if !active() {
+            return;
+        }
+        if at_ps < now_ps {
+            self.log.fail(
+                Invariant::Clock,
+                format!("scheduled into the past: {at_ps} ps < now {now_ps} ps"),
+            );
+        }
+    }
+}
+
+/// Packet-conservation ledger for one port.
+///
+/// The port reports every admission, drop and transmission; the ledger
+/// cross-checks that `admitted == transmitted + dequeue_drops +
+/// resident` in both packets and bytes every time the port hands it the
+/// current occupancy.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    offered_pkts: u64,
+    offered_bytes: u64,
+    admitted_pkts: u64,
+    admitted_bytes: u64,
+    tx_pkts: u64,
+    tx_bytes: u64,
+    buffer_drop_pkts: u64,
+    buffer_drop_bytes: u64,
+    enq_drop_pkts: u64,
+    enq_drop_bytes: u64,
+    deq_drop_pkts: u64,
+    deq_drop_bytes: u64,
+    log: Log,
+}
+
+impl Ledger {
+    checker_common!();
+
+    /// A packet of `bytes` wire bytes was offered to the port.
+    #[inline]
+    pub fn on_offered(&mut self, bytes: u64) {
+        if !active() {
+            return;
+        }
+        self.offered_pkts += 1;
+        self.offered_bytes += bytes;
+    }
+
+    /// The offered packet was admitted to a queue.
+    #[inline]
+    pub fn on_admitted(&mut self, bytes: u64) {
+        if !active() {
+            return;
+        }
+        self.admitted_pkts += 1;
+        self.admitted_bytes += bytes;
+    }
+
+    /// The offered packet was rejected by shared-buffer admission.
+    #[inline]
+    pub fn on_buffer_drop(&mut self, bytes: u64) {
+        if !active() {
+            return;
+        }
+        self.buffer_drop_pkts += 1;
+        self.buffer_drop_bytes += bytes;
+    }
+
+    /// The offered packet was dropped by the enqueue-side AQM hook.
+    #[inline]
+    pub fn on_enqueue_aqm_drop(&mut self, bytes: u64) {
+        if !active() {
+            return;
+        }
+        self.enq_drop_pkts += 1;
+        self.enq_drop_bytes += bytes;
+    }
+
+    /// An admitted packet left the port as a transmission.
+    #[inline]
+    pub fn on_tx(&mut self, bytes: u64) {
+        if !active() {
+            return;
+        }
+        self.tx_pkts += 1;
+        self.tx_bytes += bytes;
+    }
+
+    /// An admitted packet was dropped by the dequeue-side AQM hook.
+    #[inline]
+    pub fn on_dequeue_aqm_drop(&mut self, bytes: u64) {
+        if !active() {
+            return;
+        }
+        self.deq_drop_pkts += 1;
+        self.deq_drop_bytes += bytes;
+    }
+
+    /// Cross-check the ledger against the port's current occupancy
+    /// (`resident_pkts` packets, `resident_bytes` bytes across all
+    /// queues). Call after every enqueue/dequeue.
+    #[inline]
+    pub fn check_resident(&mut self, resident_pkts: u64, resident_bytes: u64) {
+        if !active() {
+            return;
+        }
+        // Offered packets split exactly into admitted + rejected.
+        let rejected = self.buffer_drop_pkts + self.enq_drop_pkts;
+        if self.admitted_pkts + rejected != self.offered_pkts {
+            let (a, r, o) = (self.admitted_pkts, rejected, self.offered_pkts);
+            self.log.fail(
+                Invariant::Conservation,
+                format!("admission split broken: admitted {a} + rejected {r} != offered {o}"),
+            );
+        }
+        // Admitted packets split exactly into departed + resident.
+        let departed_pkts = self.tx_pkts + self.deq_drop_pkts;
+        let expect_pkts = self.admitted_pkts.wrapping_sub(departed_pkts);
+        if expect_pkts != resident_pkts {
+            let (a, d) = (self.admitted_pkts, departed_pkts);
+            self.log.fail(
+                Invariant::Conservation,
+                format!(
+                    "packet leak: admitted {a} - departed {d} = {expect_pkts}, \
+                     but port holds {resident_pkts}"
+                ),
+            );
+        }
+        let departed_bytes = self.tx_bytes + self.deq_drop_bytes;
+        let expect_bytes = self.admitted_bytes.wrapping_sub(departed_bytes);
+        if expect_bytes != resident_bytes {
+            let (a, d) = (self.admitted_bytes, departed_bytes);
+            self.log.fail(
+                Invariant::Conservation,
+                format!(
+                    "byte leak: admitted {a} B - departed {d} B = {expect_bytes} B, \
+                     but port holds {resident_bytes} B"
+                ),
+            );
+        }
+    }
+}
+
+/// Shared-buffer accounting checker: occupancy equals the per-queue sum
+/// and never exceeds the pool.
+#[derive(Debug, Clone, Default)]
+pub struct BufferAudit {
+    log: Log,
+}
+
+impl BufferAudit {
+    checker_common!();
+
+    /// Check the port's byte accounting: `occupancy` is the port's own
+    /// running counter, `queue_sum` the sum of per-queue lengths, `cap`
+    /// the shared pool size if bounded.
+    #[inline]
+    pub fn check(&mut self, occupancy: u64, queue_sum: u64, cap: Option<u64>) {
+        if !active() {
+            return;
+        }
+        if occupancy != queue_sum {
+            self.log.fail(
+                Invariant::Buffer,
+                format!("occupancy counter {occupancy} B != per-queue sum {queue_sum} B"),
+            );
+        }
+        if let Some(cap) = cap {
+            if occupancy > cap {
+                self.log.fail(
+                    Invariant::Buffer,
+                    format!("shared buffer over-admitted: {occupancy} B > pool {cap} B"),
+                );
+            }
+        }
+    }
+}
+
+/// Work-conservation checker for the scheduler driving a port.
+#[derive(Debug, Clone, Default)]
+pub struct WorkAudit {
+    log: Log,
+}
+
+impl WorkAudit {
+    checker_common!();
+
+    /// The scheduler returned a queue index; `selected_pkts` is that
+    /// queue's packet count at selection time.
+    #[inline]
+    pub fn on_select(&mut self, queue: usize, selected_pkts: u64) {
+        if !active() {
+            return;
+        }
+        if selected_pkts == 0 {
+            self.log.fail(
+                Invariant::WorkConservation,
+                format!("scheduler selected empty queue {queue}"),
+            );
+        }
+    }
+
+    /// The scheduler declined to serve; `backlog_pkts` is the total
+    /// packet count across all queues at that moment.
+    #[inline]
+    pub fn on_idle(&mut self, backlog_pkts: u64) {
+        if !active() {
+            return;
+        }
+        if backlog_pkts > 0 {
+            self.log.fail(
+                Invariant::WorkConservation,
+                format!("scheduler idled with {backlog_pkts} packets backlogged"),
+            );
+        }
+    }
+}
+
+/// AQM dequeue-contract checker: mark-only schemes never drop.
+#[derive(Debug, Clone, Default)]
+pub struct AqmContractAudit {
+    log: Log,
+}
+
+impl AqmContractAudit {
+    checker_common!();
+
+    /// Record a dequeue verdict from the AQM named `name`.
+    /// `marks_only` is the scheme's declared contract
+    /// (`tcn_core::Aqm::marks_only`), `dropped` whether the verdict was
+    /// a drop.
+    #[inline]
+    pub fn on_dequeue_verdict(&mut self, name: &str, marks_only: bool, dropped: bool) {
+        if !active() {
+            return;
+        }
+        if marks_only && dropped {
+            self.log.fail(
+                Invariant::AqmContract,
+                format!("mark-only AQM {name} dropped a packet at dequeue"),
+            );
+        }
+    }
+}
+
+/// The bundle of per-port checkers `tcn-net::Port` owns.
+#[derive(Debug, Clone, Default)]
+pub struct PortAudit {
+    /// Packet-conservation ledger.
+    pub ledger: Ledger,
+    /// Shared-buffer accounting.
+    pub buffer: BufferAudit,
+    /// Work conservation.
+    pub work: WorkAudit,
+    /// AQM dequeue contract.
+    pub aqm: AqmContractAudit,
+}
+
+impl PortAudit {
+    /// A strict bundle (first violation panics).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recording bundle for tests.
+    pub fn recording() -> Self {
+        PortAudit {
+            ledger: Ledger::recording(),
+            buffer: BufferAudit::recording(),
+            work: WorkAudit::recording(),
+            aqm: AqmContractAudit::recording(),
+        }
+    }
+
+    /// All violations across the bundled checkers.
+    pub fn violations(&self) -> Vec<Violation> {
+        let mut all = Vec::new();
+        all.extend_from_slice(self.ledger.violations());
+        all.extend_from_slice(self.buffer.violations());
+        all.extend_from_slice(self.work.violations());
+        all.extend_from_slice(self.aqm.violations());
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests run under debug_assertions, so `active()` is true and
+    // the checkers are live.
+
+    #[test]
+    fn clock_accepts_monotone_pops() {
+        let mut c = ClockAudit::new();
+        c.on_pop(10, 0);
+        c.on_pop(10, 1); // equal time, FIFO order
+        c.on_pop(25, 2);
+        c.on_schedule(30, 25);
+    }
+
+    #[test]
+    fn clock_catches_time_regression() {
+        let mut c = ClockAudit::recording();
+        c.on_pop(100, 0);
+        c.on_pop(99, 1);
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, Invariant::Clock);
+    }
+
+    #[test]
+    fn clock_catches_tie_break_inversion() {
+        let mut c = ClockAudit::recording();
+        c.on_pop(100, 5);
+        c.on_pop(100, 3); // same instant, older seq popped later
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "audit[clock]")]
+    fn strict_clock_panics() {
+        let mut c = ClockAudit::new();
+        c.on_pop(100, 0);
+        c.on_pop(99, 1);
+    }
+
+    #[test]
+    fn ledger_balances_clean_sequence() {
+        let mut l = Ledger::new();
+        l.on_offered(1500);
+        l.on_admitted(1500);
+        l.check_resident(1, 1500);
+        l.on_offered(500);
+        l.on_buffer_drop(500);
+        l.check_resident(1, 1500);
+        l.on_tx(1500);
+        l.check_resident(0, 0);
+    }
+
+    #[test]
+    fn ledger_catches_double_dequeue() {
+        let mut l = Ledger::recording();
+        l.on_offered(1000);
+        l.on_admitted(1000);
+        l.on_tx(1000);
+        l.on_tx(1000); // double dequeue of the same packet
+        l.check_resident(0, 0);
+        assert!(
+            l.violations()
+                .iter()
+                .any(|v| v.invariant == Invariant::Conservation),
+            "double dequeue must break conservation"
+        );
+    }
+
+    #[test]
+    fn ledger_catches_skipped_occupancy_decrement() {
+        // Mutation: the port transmits but "forgets" to decrement its
+        // occupancy counter — resident stays high.
+        let mut l = Ledger::recording();
+        l.on_offered(1500);
+        l.on_admitted(1500);
+        l.on_tx(1500);
+        l.check_resident(1, 1500); // port claims the packet is still there
+        assert!(!l.violations().is_empty());
+    }
+
+    #[test]
+    fn buffer_catches_over_admission() {
+        let mut b = BufferAudit::recording();
+        b.check(96_001, 96_001, Some(96_000));
+        assert_eq!(b.violations().len(), 1);
+        assert_eq!(b.violations()[0].invariant, Invariant::Buffer);
+    }
+
+    #[test]
+    fn buffer_catches_sum_mismatch() {
+        let mut b = BufferAudit::recording();
+        b.check(3000, 1500, None);
+        assert_eq!(b.violations().len(), 1);
+    }
+
+    #[test]
+    fn work_catches_idle_with_backlog() {
+        let mut w = WorkAudit::recording();
+        w.on_idle(0); // fine: nothing queued
+        w.on_idle(7);
+        assert_eq!(w.violations().len(), 1);
+    }
+
+    #[test]
+    fn work_catches_empty_selection() {
+        let mut w = WorkAudit::recording();
+        w.on_select(2, 3); // fine
+        w.on_select(1, 0);
+        assert_eq!(w.violations().len(), 1);
+    }
+
+    #[test]
+    fn aqm_contract_catches_mark_only_drop() {
+        let mut a = AqmContractAudit::recording();
+        a.on_dequeue_verdict("TCN", true, false);
+        a.on_dequeue_verdict("CoDel-drop", false, true); // allowed
+        a.on_dequeue_verdict("TCN", true, true);
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].invariant, Invariant::AqmContract);
+    }
+
+    #[test]
+    fn port_audit_aggregates() {
+        let mut p = PortAudit::recording();
+        p.buffer.check(10, 20, None);
+        p.work.on_idle(1);
+        assert_eq!(p.violations().len(), 2);
+    }
+}

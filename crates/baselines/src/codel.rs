@@ -59,7 +59,9 @@ pub struct CoDelStats {
     pub dropped: u64,
 }
 
-/// The CoDel AQM.
+/// The CoDel AQM — the latency-based scheme the paper measures TCN
+/// against (§4.1), whose sqrt control law §4.3 argues is too expensive
+/// for switch dataplanes.
 #[derive(Debug, Clone)]
 pub struct CoDel {
     target: Time,
@@ -124,8 +126,8 @@ impl CoDel {
     /// Sivaraman et al. found unimplementable on their switch targets
     /// (§4.3).
     fn control_law(&self, t: Time, count: u64) -> Time {
-        let step = self.interval.as_ps() as f64 / (count.max(1) as f64).sqrt();
-        t.saturating_add(Time::from_ps(step.round() as u64))
+        let step_us = self.interval.as_us_f64() / (count.max(1) as f64).sqrt();
+        t.saturating_add(Time::from_secs_f64(step_us / 1e6))
     }
 
     /// The Linux `codel_should_drop` condition: sojourn above target for

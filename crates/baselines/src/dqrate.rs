@@ -131,7 +131,7 @@ impl DqRateMeter {
     }
 }
 
-/// The "ideal ECN/RED" AQM (paper Eq. 2 enforced via Algorithm 1):
+/// The "ideal ECN/RED" AQM (paper §3.2, Eq. 2 enforced via Algorithm 1):
 /// per-queue enqueue marking against `K_i = avg_rate_i × RTT × λ`.
 /// Until a queue produces its first rate sample, the line rate is used
 /// (equivalent to the standard threshold).

@@ -19,6 +19,9 @@
 //! the estimator directly, and because its `dq_thresh` trade-off is the
 //! paper's central argument for abandoning rate measurement altogether.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod codel;
 pub mod dqrate;
 pub mod mqecn;

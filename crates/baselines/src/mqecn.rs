@@ -27,7 +27,8 @@ use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
 use tcn_core::Packet;
 use tcn_sim::{Ewma, Time};
 
-/// The MQ-ECN AQM.
+/// The MQ-ECN AQM — the round-robin-only dynamic threshold scheme whose
+/// failure to generalize motivates TCN (paper §3.3).
 #[derive(Debug, Clone)]
 pub struct MqEcn {
     /// `RTT × λ` — the marking product.
@@ -143,6 +144,12 @@ impl Aqm for MqEcn {
 
     fn name(&self) -> &'static str {
         "MQ-ECN"
+    }
+
+    /// MQ-ECN acts (marks or drops) only at enqueue; its dequeue hook
+    /// just samples round state and always forwards.
+    fn marks_only(&self) -> bool {
+        true
     }
 }
 

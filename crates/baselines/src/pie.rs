@@ -28,7 +28,9 @@ struct QueueCtl {
     next_update: Time,
 }
 
-/// The PIE AQM (marking mode).
+/// The PIE AQM (marking mode) — the other latency-based AQM the paper
+/// groups with CoDel in §4.1, estimating queueing delay from a departure
+/// rate meter instead of per-packet sojourn timestamps.
 #[derive(Debug, Clone)]
 pub struct Pie {
     target: Time,

@@ -46,7 +46,8 @@ impl ServicePool {
 }
 
 /// Pool-scoped ECN/RED: marks any packet entering a member port while
-/// the pool occupancy (including the arrival) exceeds `threshold`.
+/// the pool occupancy (including the arrival) exceeds `threshold` —
+/// the shared-buffer "current practice" variant of the paper's §3.1.
 #[derive(Debug, Clone)]
 pub struct PoolRed {
     pool: ServicePool,

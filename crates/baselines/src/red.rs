@@ -55,7 +55,8 @@ pub struct RedStats {
     pub dropped: u64,
 }
 
-/// Simplified instantaneous ECN/RED with a static threshold.
+/// Simplified instantaneous ECN/RED with a static per-queue threshold —
+/// the paper's "current practice" baseline (§3.1).
 #[derive(Debug, Clone)]
 pub struct RedEcn {
     threshold: u64,
@@ -161,9 +162,16 @@ impl Aqm for RedEcn {
             (Scope::PerPort, MarkPoint::Dequeue) => "RED/port-deq",
         }
     }
+
+    /// ECN/RED drops only at enqueue (non-ECT over threshold); the
+    /// dequeue path marks in place and always forwards.
+    fn marks_only(&self) -> bool {
+        true
+    }
 }
 
-/// Original averaged RED (Floyd & Jacobson) on a per-queue basis.
+/// Original averaged RED (Floyd & Jacobson) on a per-queue basis — the
+/// classic ECN marking scheme of the paper's §2.1 background.
 ///
 /// Kept faithful to the 1993 design: EWMA-averaged occupancy, linear
 /// probability ramp from `k_min` to `k_max` capped at `p_max`, and the
@@ -288,8 +296,9 @@ impl Aqm for ClassicRed {
 }
 
 /// The "ideal ECN/RED" with **a-priori known** queue capacities: static
-/// per-queue thresholds `K_i = C_i × RTT × λ` (paper Eq. 2, evaluated in
-/// Fig. 5(b) where the capacities are known by construction).
+/// per-queue thresholds `K_i = C_i × RTT × λ` (paper §3.2, Eq. 2,
+/// evaluated in Fig. 5(b) where the capacities are known by
+/// construction).
 #[derive(Debug, Clone)]
 pub struct OracleRed {
     thresholds: Vec<u64>,
@@ -326,8 +335,9 @@ impl Aqm for OracleRed {
         let k = self
             .thresholds
             .get(q)
+            .or_else(|| self.thresholds.last())
             .copied()
-            .unwrap_or_else(|| *self.thresholds.last().expect("nonempty"));
+            .unwrap_or(u64::MAX);
         if view.queue_bytes(q) > k {
             if pkt.try_mark_ce() {
                 self.stats.marked += 1;

@@ -9,7 +9,7 @@
 //! Each bench body also asserts the qualitative property so a regression
 //! in behaviour (not just speed) fails the bench run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tcn_bench::heavy;
 use tcn_core::Tcn;
 use tcn_net::{single_switch, PortSetup, TaggingPolicy};

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the simulator substrate: event queue throughput,
 //! RNG draws, port enqueue/dequeue, and end-to-end events/second.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, Criterion};
 use tcn_core::{FlowId, Packet, Tcn};
 use tcn_net::{single_switch, FlowSpec, Port, PortSetup, TaggingPolicy};
 use tcn_sched::Dwrr;

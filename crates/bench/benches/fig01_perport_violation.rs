@@ -1,6 +1,6 @@
 //! Bench: regenerate paper Fig. 1 (per-port RED policy violation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, Criterion};
 use tcn_bench::heavy;
 use tcn_experiments::fig1;
 use tcn_sim::Time;

@@ -1,6 +1,6 @@
 //! Bench: regenerate paper Fig. 2 (Algorithm-1 vs MQ-ECN estimation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, Criterion};
 use tcn_bench::heavy;
 use tcn_experiments::fig2;
 use tcn_sim::Time;

@@ -1,6 +1,6 @@
 //! Bench: regenerate paper Fig. 3 (occupancy traces of three markers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, Criterion};
 use tcn_bench::heavy;
 use tcn_experiments::fig3;
 use tcn_sim::Time;

@@ -1,6 +1,6 @@
 //! Bench: regenerate paper Fig. 4 (workload CDFs) + sampling throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, Criterion};
 use tcn_experiments::fig4;
 use tcn_sim::Rng;
 use tcn_workloads::Workload;

@@ -1,6 +1,6 @@
 //! Bench: regenerate paper Fig. 5 (SP/WFQ static flows + RTT probes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, Criterion};
 use tcn_bench::heavy;
 use tcn_experiments::fig5;
 use tcn_sim::Time;

@@ -1,6 +1,6 @@
 //! Bench: regenerate paper Fig. 8 (prioritization, SP/DWRR + PIAS) at bench scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcn_bench::criterion::{criterion_group, criterion_main, Criterion};
 use tcn_bench::{bench_scale, heavy};
 use tcn_experiments::fct_sweep::{self, SweepConfig};
 

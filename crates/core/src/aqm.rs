@@ -106,10 +106,20 @@ pub trait Aqm {
 
     /// Short scheme name for experiment tables (e.g. `"TCN"`).
     fn name(&self) -> &'static str;
+
+    /// True if this scheme is contractually mark-only: it may CE-mark
+    /// packets but must never return [`DequeueVerdict::Drop`]. TCN is
+    /// the paper's flagship example (§4.2 — dequeue drops bubble the
+    /// output link on real silicon), and `tcn_audit::AqmContractAudit`
+    /// enforces the claim at runtime. Defaults to `false` (no claim).
+    fn marks_only(&self) -> bool {
+        false
+    }
 }
 
 /// A no-op AQM: never marks, never drops. Useful as a control and for
-/// pure-scheduling tests.
+/// pure-scheduling tests — the "no ECN" end of the paper's §2.1
+/// motivation, against which every marking scheme is compared.
 #[derive(Debug, Default, Clone)]
 pub struct NoAqm;
 
@@ -136,6 +146,11 @@ impl Aqm for NoAqm {
 
     fn name(&self) -> &'static str {
         "DropTail"
+    }
+
+    /// Trivially mark-only: never touches the dequeue verdict at all.
+    fn marks_only(&self) -> bool {
+        true
     }
 }
 

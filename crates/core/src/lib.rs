@@ -31,6 +31,9 @@
 //! * [`hwts`] — a model of the 2-byte wrapping hardware timestamp argued
 //!   sufficient in paper §4.2.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod aqm;
 pub mod hwts;
 pub mod packet;

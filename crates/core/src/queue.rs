@@ -25,6 +25,7 @@ impl PacketQueue {
     pub fn push_back(&mut self, pkt: Packet) {
         self.bytes += u64::from(pkt.size);
         self.fifo.push_back(pkt);
+        self.audit_accounting();
     }
 
     /// Remove and return the head packet.
@@ -32,6 +33,7 @@ impl PacketQueue {
         let pkt = self.fifo.pop_front()?;
         debug_assert!(self.bytes >= u64::from(pkt.size));
         self.bytes -= u64::from(pkt.size);
+        self.audit_accounting();
         Some(pkt)
     }
 
@@ -57,7 +59,24 @@ impl PacketQueue {
         let pkt = self.fifo.pop_back()?;
         debug_assert!(self.bytes >= u64::from(pkt.size));
         self.bytes -= u64::from(pkt.size);
+        self.audit_accounting();
         Some(pkt)
+    }
+
+    /// Cross-check the O(1) byte counter against a full recount of the
+    /// FIFO. A no-op (inlined away) unless auditing is active; O(n) per
+    /// mutation when it is.
+    #[inline]
+    fn audit_accounting(&self) {
+        if !tcn_audit::active() {
+            return;
+        }
+        let recount: u64 = self.fifo.iter().map(|p| u64::from(p.size)).sum();
+        assert_eq!(
+            self.bytes, recount,
+            "PacketQueue byte counter {} diverged from recount {}",
+            self.bytes, recount
+        );
     }
 
     /// Wire size of the head packet, if any. Schedulers (WFQ in

@@ -109,6 +109,11 @@ impl Aqm for Tcn {
     fn name(&self) -> &'static str {
         "TCN"
     }
+
+    /// TCN's §4.2 contract: marking, as opposed to dropping.
+    fn marks_only(&self) -> bool {
+        true
+    }
 }
 
 /// RED-like probabilistic TCN (paper §4.3).
@@ -155,8 +160,8 @@ impl ProbabilisticTcn {
             // Degenerate ramp: behaves like deterministic TCN at T.
             1.0
         } else {
-            let span = (self.t_max - self.t_min).as_ps() as f64;
-            let pos = (sojourn - self.t_min).as_ps() as f64;
+            let span = (self.t_max - self.t_min).as_us_f64();
+            let pos = (sojourn - self.t_min).as_us_f64();
             self.p_max * pos / span
         }
     }
@@ -195,6 +200,12 @@ impl Aqm for ProbabilisticTcn {
 
     fn name(&self) -> &'static str {
         "TCN-prob"
+    }
+
+    /// Inherits TCN's mark-only contract (§4.3 keeps the dequeue path
+    /// drop-free).
+    fn marks_only(&self) -> bool {
+        true
     }
 }
 

@@ -55,7 +55,7 @@ pub fn standard_sojourn_threshold(rtt: Time, lambda: f64) -> Time {
         lambda.is_finite() && lambda > 0.0,
         "lambda must be positive"
     );
-    Time::from_ps((rtt.as_ps() as f64 * lambda).round() as u64)
+    Time::from_secs_f64(rtt.as_secs_f64() * lambda)
 }
 
 /// Convert a queue-length threshold in bytes into the packet-count

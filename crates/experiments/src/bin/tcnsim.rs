@@ -6,6 +6,7 @@
 //!   tcnsim <config.json> --json   also print the report as JSON
 
 use tcn_experiments::config::{example_json, ExperimentCfg};
+use tcn_experiments::json::ToJson;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +41,6 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
     if args.iter().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+        println!("{}", report.to_json().pretty());
     }
 }

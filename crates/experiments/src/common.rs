@@ -366,7 +366,7 @@ pub mod params {
 /// Write a JSON result file under `results/` when `--json` was passed.
 /// Prints the path on success; failures are reported, not fatal (the
 /// table on stdout is the primary output).
-pub fn maybe_write_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn maybe_write_json<T: crate::json::ToJson>(name: &str, value: &T) {
     if !json_requested() {
         return;
     }
@@ -376,12 +376,9 @@ pub fn maybe_write_json<T: serde::Serialize>(name: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => match std::fs::write(&path, s) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("write {}: {e}", path.display()),
-        },
-        Err(e) => eprintln!("serialize {name}: {e}"),
+    match std::fs::write(&path, value.to_json().pretty()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("write {}: {e}", path.display()),
     }
 }
 

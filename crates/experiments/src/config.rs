@@ -21,7 +21,8 @@
 //! }
 //! ```
 
-use serde::{Deserialize, Serialize};
+use crate::impl_to_json;
+use crate::json::{Json, ToJson};
 use tcn_net::{
     fat_tree, leaf_spine, single_switch, LeafSpineConfig, NetworkSim, PortSetup, TaggingPolicy,
     TransportChoice,
@@ -33,8 +34,7 @@ use tcn_workloads::{gen_all_to_all, gen_incast, gen_many_to_one, Workload};
 use crate::common::{Scheme, SchedKind};
 
 /// Topology description.
-#[derive(Debug, Clone, Deserialize, Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum TopologyCfg {
     /// Star around one switch.
     SingleSwitch {
@@ -91,8 +91,7 @@ impl TopologyCfg {
 }
 
 /// Scheduler description.
-#[derive(Debug, Clone, Deserialize, Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum SchedulerCfg {
     /// Single FIFO.
     Fifo,
@@ -134,8 +133,7 @@ impl SchedulerCfg {
 }
 
 /// AQM description.
-#[derive(Debug, Clone, Deserialize, Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum AqmCfg {
     /// TCN at the given sojourn threshold.
     Tcn {
@@ -214,7 +212,7 @@ impl AqmCfg {
 }
 
 /// Port policy.
-#[derive(Debug, Clone, Deserialize, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PortCfg {
     /// Queues per port.
     pub queues: usize,
@@ -227,8 +225,7 @@ pub struct PortCfg {
 }
 
 /// Transport choice (mirrors [`TransportChoice`]).
-#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy)]
 pub enum TransportCfg {
     /// DCTCP, simulation parameters.
     SimDctcp,
@@ -239,8 +236,7 @@ pub enum TransportCfg {
 }
 
 /// DSCP tagging.
-#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy)]
 pub enum TaggingCfg {
     /// dscp = service.
     Fixed,
@@ -252,8 +248,7 @@ pub enum TaggingCfg {
 }
 
 /// Workload description.
-#[derive(Debug, Clone, Deserialize, Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum WorkloadCfg {
     /// Poisson many-to-one toward `receiver`.
     ManyToOne {
@@ -292,8 +287,7 @@ pub enum WorkloadCfg {
 }
 
 /// Named workload CDF.
-#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy)]
 pub enum WorkloadName {
     /// DCTCP web search.
     WebSearch,
@@ -317,7 +311,7 @@ impl WorkloadName {
 }
 
 /// The whole experiment.
-#[derive(Debug, Clone, Deserialize, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentCfg {
     /// Topology.
     pub topology: TopologyCfg,
@@ -329,17 +323,12 @@ pub struct ExperimentCfg {
     pub tagging: TaggingCfg,
     /// Workload.
     pub workload: WorkloadCfg,
-    /// Random seed.
-    #[serde(default = "default_seed")]
+    /// Random seed (defaults to 1 when absent from the JSON).
     pub seed: u64,
 }
 
-fn default_seed() -> u64 {
-    1
-}
-
 /// The report `tcnsim` prints/serializes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Flows completed / registered.
     pub completed: usize,
@@ -361,10 +350,433 @@ pub struct RunReport {
     pub events: u64,
 }
 
+impl_to_json!(RunReport {
+    completed,
+    flows,
+    overall_avg_us,
+    small_avg_us,
+    small_p99_us,
+    large_avg_us,
+    timeouts,
+    drops,
+    events,
+});
+
+// --- Hand-written JSON (de)serialization -------------------------------
+//
+// The workspace builds offline with zero external crates, so the config
+// format is read and written through `crate::json` instead of serde.
+// The wire format is unchanged: tagged objects (`"kind"`) with
+// snake_case tags and field names.
+
+fn unknown(what: &str, got: &str, expect: &[&str]) -> String {
+    format!("unknown {what} `{got}` (expected one of: {})", expect.join(", "))
+}
+
+impl TopologyCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.kind().map_err(|e| format!("topology: {e}"))? {
+            "single_switch" => Ok(TopologyCfg::SingleSwitch {
+                hosts: v.u64_field("hosts")? as usize,
+                rate_gbps: v.u64_field("rate_gbps")?,
+                delay_us: v.u64_field("delay_us")?,
+            }),
+            "leaf_spine" => Ok(TopologyCfg::LeafSpine {
+                leaves: v.u64_field("leaves")? as usize,
+                spines: v.u64_field("spines")? as usize,
+                hosts_per_leaf: v.u64_field("hosts_per_leaf")? as usize,
+                rate_gbps: v.u64_field("rate_gbps")?,
+            }),
+            "fat_tree" => Ok(TopologyCfg::FatTree {
+                k: v.u64_field("k")? as usize,
+                rate_gbps: v.u64_field("rate_gbps")?,
+            }),
+            other => Err(unknown(
+                "topology kind",
+                other,
+                &["single_switch", "leaf_spine", "fat_tree"],
+            )),
+        }
+    }
+}
+
+impl ToJson for TopologyCfg {
+    fn to_json(&self) -> Json {
+        match *self {
+            TopologyCfg::SingleSwitch {
+                hosts,
+                rate_gbps,
+                delay_us,
+            } => Json::obj(vec![
+                ("kind", "single_switch".to_json()),
+                ("hosts", hosts.to_json()),
+                ("rate_gbps", rate_gbps.to_json()),
+                ("delay_us", delay_us.to_json()),
+            ]),
+            TopologyCfg::LeafSpine {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                rate_gbps,
+            } => Json::obj(vec![
+                ("kind", "leaf_spine".to_json()),
+                ("leaves", leaves.to_json()),
+                ("spines", spines.to_json()),
+                ("hosts_per_leaf", hosts_per_leaf.to_json()),
+                ("rate_gbps", rate_gbps.to_json()),
+            ]),
+            TopologyCfg::FatTree { k, rate_gbps } => Json::obj(vec![
+                ("kind", "fat_tree".to_json()),
+                ("k", k.to_json()),
+                ("rate_gbps", rate_gbps.to_json()),
+            ]),
+        }
+    }
+}
+
+impl SchedulerCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.kind().map_err(|e| format!("scheduler: {e}"))? {
+            "fifo" => Ok(SchedulerCfg::Fifo),
+            "sp" => Ok(SchedulerCfg::Sp),
+            "wrr" => Ok(SchedulerCfg::Wrr),
+            "dwrr" => Ok(SchedulerCfg::Dwrr {
+                quantum: v.u64_field("quantum")?,
+            }),
+            "wfq" => Ok(SchedulerCfg::Wfq),
+            "sp_dwrr" => Ok(SchedulerCfg::SpDwrr {
+                quantum: v.u64_field("quantum")?,
+            }),
+            "sp_wfq" => Ok(SchedulerCfg::SpWfq),
+            "pifo_stfq" => Ok(SchedulerCfg::PifoStfq),
+            other => Err(unknown(
+                "scheduler kind",
+                other,
+                &["fifo", "sp", "wrr", "dwrr", "wfq", "sp_dwrr", "sp_wfq", "pifo_stfq"],
+            )),
+        }
+    }
+}
+
+impl ToJson for SchedulerCfg {
+    fn to_json(&self) -> Json {
+        match *self {
+            SchedulerCfg::Fifo => Json::obj(vec![("kind", "fifo".to_json())]),
+            SchedulerCfg::Sp => Json::obj(vec![("kind", "sp".to_json())]),
+            SchedulerCfg::Wrr => Json::obj(vec![("kind", "wrr".to_json())]),
+            SchedulerCfg::Dwrr { quantum } => Json::obj(vec![
+                ("kind", "dwrr".to_json()),
+                ("quantum", quantum.to_json()),
+            ]),
+            SchedulerCfg::Wfq => Json::obj(vec![("kind", "wfq".to_json())]),
+            SchedulerCfg::SpDwrr { quantum } => Json::obj(vec![
+                ("kind", "sp_dwrr".to_json()),
+                ("quantum", quantum.to_json()),
+            ]),
+            SchedulerCfg::SpWfq => Json::obj(vec![("kind", "sp_wfq".to_json())]),
+            SchedulerCfg::PifoStfq => Json::obj(vec![("kind", "pifo_stfq".to_json())]),
+        }
+    }
+}
+
+impl AqmCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.kind().map_err(|e| format!("aqm: {e}"))? {
+            "tcn" => Ok(AqmCfg::Tcn {
+                threshold_us: v.u64_field("threshold_us")?,
+            }),
+            "tcn_prob" => Ok(AqmCfg::TcnProb {
+                t_min_us: v.u64_field("t_min_us")?,
+                t_max_us: v.u64_field("t_max_us")?,
+                p_max: v.f64_field("p_max")?,
+            }),
+            "codel" => Ok(AqmCfg::Codel {
+                target_us: v.u64_field("target_us")?,
+                interval_us: v.u64_field("interval_us")?,
+            }),
+            "mq_ecn" => Ok(AqmCfg::MqEcn {
+                rtt_lambda_us: v.u64_field("rtt_lambda_us")?,
+            }),
+            "red_queue" => Ok(AqmCfg::RedQueue {
+                threshold_bytes: v.u64_field("threshold_bytes")?,
+            }),
+            "red_port" => Ok(AqmCfg::RedPort {
+                threshold_bytes: v.u64_field("threshold_bytes")?,
+            }),
+            "drop_tail" => Ok(AqmCfg::DropTail),
+            other => Err(unknown(
+                "aqm kind",
+                other,
+                &["tcn", "tcn_prob", "codel", "mq_ecn", "red_queue", "red_port", "drop_tail"],
+            )),
+        }
+    }
+}
+
+impl ToJson for AqmCfg {
+    fn to_json(&self) -> Json {
+        match *self {
+            AqmCfg::Tcn { threshold_us } => Json::obj(vec![
+                ("kind", "tcn".to_json()),
+                ("threshold_us", threshold_us.to_json()),
+            ]),
+            AqmCfg::TcnProb {
+                t_min_us,
+                t_max_us,
+                p_max,
+            } => Json::obj(vec![
+                ("kind", "tcn_prob".to_json()),
+                ("t_min_us", t_min_us.to_json()),
+                ("t_max_us", t_max_us.to_json()),
+                ("p_max", p_max.to_json()),
+            ]),
+            AqmCfg::Codel {
+                target_us,
+                interval_us,
+            } => Json::obj(vec![
+                ("kind", "codel".to_json()),
+                ("target_us", target_us.to_json()),
+                ("interval_us", interval_us.to_json()),
+            ]),
+            AqmCfg::MqEcn { rtt_lambda_us } => Json::obj(vec![
+                ("kind", "mq_ecn".to_json()),
+                ("rtt_lambda_us", rtt_lambda_us.to_json()),
+            ]),
+            AqmCfg::RedQueue { threshold_bytes } => Json::obj(vec![
+                ("kind", "red_queue".to_json()),
+                ("threshold_bytes", threshold_bytes.to_json()),
+            ]),
+            AqmCfg::RedPort { threshold_bytes } => Json::obj(vec![
+                ("kind", "red_port".to_json()),
+                ("threshold_bytes", threshold_bytes.to_json()),
+            ]),
+            AqmCfg::DropTail => Json::obj(vec![("kind", "drop_tail".to_json())]),
+        }
+    }
+}
+
+impl PortCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PortCfg {
+            queues: v.u64_field("queues")? as usize,
+            buffer_bytes: v.u64_field("buffer_bytes")?,
+            scheduler: SchedulerCfg::from_json(
+                v.get("scheduler").ok_or("port: missing field `scheduler`")?,
+            )?,
+            aqm: AqmCfg::from_json(v.get("aqm").ok_or("port: missing field `aqm`")?)?,
+        })
+    }
+}
+
+impl ToJson for PortCfg {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queues", self.queues.to_json()),
+            ("buffer_bytes", self.buffer_bytes.to_json()),
+            ("scheduler", self.scheduler.to_json()),
+            ("aqm", self.aqm.to_json()),
+        ])
+    }
+}
+
+impl TransportCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str().ok_or("transport must be a string")? {
+            "sim_dctcp" => Ok(TransportCfg::SimDctcp),
+            "sim_ecn_star" => Ok(TransportCfg::SimEcnStar),
+            "testbed_dctcp" => Ok(TransportCfg::TestbedDctcp),
+            other => Err(unknown(
+                "transport",
+                other,
+                &["sim_dctcp", "sim_ecn_star", "testbed_dctcp"],
+            )),
+        }
+    }
+}
+
+impl ToJson for TransportCfg {
+    fn to_json(&self) -> Json {
+        match self {
+            TransportCfg::SimDctcp => "sim_dctcp".to_json(),
+            TransportCfg::SimEcnStar => "sim_ecn_star".to_json(),
+            TransportCfg::TestbedDctcp => "testbed_dctcp".to_json(),
+        }
+    }
+}
+
+impl TaggingCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.kind().map_err(|e| format!("tagging: {e}"))? {
+            "fixed" => Ok(TaggingCfg::Fixed),
+            "pias" => Ok(TaggingCfg::Pias {
+                threshold: v.u64_field("threshold")?,
+            }),
+            other => Err(unknown("tagging kind", other, &["fixed", "pias"])),
+        }
+    }
+}
+
+impl ToJson for TaggingCfg {
+    fn to_json(&self) -> Json {
+        match *self {
+            TaggingCfg::Fixed => Json::obj(vec![("kind", "fixed".to_json())]),
+            TaggingCfg::Pias { threshold } => Json::obj(vec![
+                ("kind", "pias".to_json()),
+                ("threshold", threshold.to_json()),
+            ]),
+        }
+    }
+}
+
+impl WorkloadName {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str().ok_or("cdf must be a string")? {
+            "web_search" => Ok(WorkloadName::WebSearch),
+            "data_mining" => Ok(WorkloadName::DataMining),
+            "hadoop" => Ok(WorkloadName::Hadoop),
+            "cache" => Ok(WorkloadName::Cache),
+            other => Err(unknown(
+                "workload cdf",
+                other,
+                &["web_search", "data_mining", "hadoop", "cache"],
+            )),
+        }
+    }
+}
+
+impl ToJson for WorkloadName {
+    fn to_json(&self) -> Json {
+        match self {
+            WorkloadName::WebSearch => "web_search".to_json(),
+            WorkloadName::DataMining => "data_mining".to_json(),
+            WorkloadName::Hadoop => "hadoop".to_json(),
+            WorkloadName::Cache => "cache".to_json(),
+        }
+    }
+}
+
+impl WorkloadCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.kind().map_err(|e| format!("workload: {e}"))? {
+            "many_to_one" => {
+                let services = v
+                    .get("services")
+                    .ok_or("workload: missing field `services`")?
+                    .as_arr()
+                    .ok_or("workload: `services` must be an array")?
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .filter(|&x| x <= u64::from(u8::MAX))
+                            .map(|x| x as u8)
+                            .ok_or_else(|| "workload: `services` entries must be 0-255".to_string())
+                    })
+                    .collect::<Result<Vec<u8>, String>>()?;
+                Ok(WorkloadCfg::ManyToOne {
+                    flows: v.u64_field("flows")? as usize,
+                    load: v.f64_field("load")?,
+                    cdf: WorkloadName::from_json(v.get("cdf").ok_or("workload: missing field `cdf`")?)?,
+                    receiver: v.u64_field("receiver")? as u32,
+                    services,
+                })
+            }
+            "all_to_all" => Ok(WorkloadCfg::AllToAll {
+                flows: v.u64_field("flows")? as usize,
+                load: v.f64_field("load")?,
+                services: v.u64_field("services")? as u8,
+            }),
+            "incast" => Ok(WorkloadCfg::Incast {
+                fanout: v.u64_field("fanout")? as usize,
+                size: v.u64_field("size")?,
+                waves: v.u64_field("waves")? as usize,
+                receiver: v.u64_field("receiver")? as u32,
+            }),
+            other => Err(unknown(
+                "workload kind",
+                other,
+                &["many_to_one", "all_to_all", "incast"],
+            )),
+        }
+    }
+}
+
+impl ToJson for WorkloadCfg {
+    fn to_json(&self) -> Json {
+        match self {
+            WorkloadCfg::ManyToOne {
+                flows,
+                load,
+                cdf,
+                receiver,
+                services,
+            } => Json::obj(vec![
+                ("kind", "many_to_one".to_json()),
+                ("flows", flows.to_json()),
+                ("load", load.to_json()),
+                ("cdf", cdf.to_json()),
+                ("receiver", receiver.to_json()),
+                ("services", services.to_json()),
+            ]),
+            WorkloadCfg::AllToAll {
+                flows,
+                load,
+                services,
+            } => Json::obj(vec![
+                ("kind", "all_to_all".to_json()),
+                ("flows", flows.to_json()),
+                ("load", load.to_json()),
+                ("services", services.to_json()),
+            ]),
+            WorkloadCfg::Incast {
+                fanout,
+                size,
+                waves,
+                receiver,
+            } => Json::obj(vec![
+                ("kind", "incast".to_json()),
+                ("fanout", fanout.to_json()),
+                ("size", size.to_json()),
+                ("waves", waves.to_json()),
+                ("receiver", receiver.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for ExperimentCfg {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("topology", self.topology.to_json()),
+            ("port", self.port.to_json()),
+            ("transport", self.transport.to_json()),
+            ("tagging", self.tagging.to_json()),
+            ("workload", self.workload.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
 impl ExperimentCfg {
     /// Parse from JSON.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = Json::parse(s)?;
+        Ok(ExperimentCfg {
+            topology: TopologyCfg::from_json(
+                v.get("topology").ok_or("missing field `topology`")?,
+            )?,
+            port: PortCfg::from_json(v.get("port").ok_or("missing field `port`")?)?,
+            transport: TransportCfg::from_json(
+                v.get("transport").ok_or("missing field `transport`")?,
+            )?,
+            tagging: TaggingCfg::from_json(v.get("tagging").ok_or("missing field `tagging`")?)?,
+            workload: WorkloadCfg::from_json(
+                v.get("workload").ok_or("missing field `workload`")?,
+            )?,
+            seed: match v.get("seed") {
+                Some(s) => s.as_u64().ok_or("field `seed` must be a non-negative integer")?,
+                None => 1,
+            },
+        })
     }
 
     /// Build the simulation and register the workload.
@@ -537,7 +949,7 @@ pub fn example_json() -> String {
         },
         seed: 1,
     };
-    serde_json::to_string_pretty(&cfg).expect("serialize example")
+    cfg.to_json().pretty()
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! over consecutive short windows, and report Jain's index and the
 //! per-window goodput spread.
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_net::{single_switch, FlowSpec, TaggingPolicy, TransportChoice};
 use tcn_sim::{Rate, Time};
 use tcn_stats::jain_index;
@@ -21,7 +21,7 @@ use tcn_stats::jain_index;
 use crate::common::{switch_port, SchedKind, Scheme};
 
 /// Result row for one marking scheme.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FairnessRow {
     /// Scheme name.
     pub scheme: String,
@@ -33,6 +33,7 @@ pub struct FairnessRow {
     /// Aggregate goodput (Gbps).
     pub total_gbps: f64,
 }
+impl_to_json!(FairnessRow { scheme, jain_overall, jain_windowed, total_gbps });
 
 /// Run `n_flows` synchronized long-lived ECN\* flows through one queue
 /// under each marking scheme.

@@ -7,7 +7,7 @@
 //! (overall avg, small avg, small p99, large avg) plus timeout and drop
 //! counts.
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_net::{leaf_spine, single_switch, NetworkSim, TaggingPolicy, TransportChoice};
 use tcn_net::{FlowSpec, LeafSpineConfig};
 use tcn_sim::{Rate, Rng, Time};
@@ -185,7 +185,7 @@ impl SweepConfig {
 }
 
 /// One (scheme, load) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepCell {
     /// Scheme name.
     pub scheme: String,
@@ -208,13 +208,15 @@ pub struct SweepCell {
     /// Packet drops across the fabric.
     pub drops: u64,
 }
+impl_to_json!(SweepCell { scheme, load, completed, flows, overall_avg_us, small_avg_us, small_p99_us, large_avg_us, small_timeouts, drops });
 
 /// A whole figure's data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// All cells, scheme-major.
     pub cells: Vec<SweepCell>,
 }
+impl_to_json!(SweepResult { cells });
 
 impl SweepResult {
     /// Find a cell.

@@ -10,14 +10,14 @@
 //! We run the same grid and additionally run TCN in place of per-port
 //! RED to show the violation disappears.
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_net::{single_switch, FlowSpec, TaggingPolicy, TransportChoice};
 use tcn_sim::Time;
 
 use crate::common::{params::testbed, switch_port, Scheme, SchedKind};
 
 /// One grid cell result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Cell {
     /// Scheme name.
     pub scheme: String,
@@ -28,13 +28,15 @@ pub struct Fig1Cell {
     /// Service 2 aggregate goodput (Mbps).
     pub svc2_mbps: f64,
 }
+impl_to_json!(Fig1Cell { scheme, svc2_flows, svc1_mbps, svc2_mbps });
 
 /// Full Fig. 1 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Result {
     /// All cells, per scheme and flow count.
     pub cells: Vec<Fig1Cell>,
 }
+impl_to_json!(Fig1Result { cells });
 
 fn goodput_cell(scheme: Scheme, svc2_flows: usize, measure: Time) -> Fig1Cell {
     // Hosts: 0 = service-1 sender, 1 = service-2 sender, 2 = receiver.

@@ -22,7 +22,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_baselines::{DqRateMeter, RedEcn};
 use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
 use tcn_core::Packet;
@@ -53,7 +53,7 @@ pub struct Fig2Trace {
 }
 
 /// Scalar summary for tables and JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Result {
     /// Samples each estimator collected in the 2 ms after the rate
     /// change (paper: 29 for 40 KB).
@@ -76,6 +76,7 @@ pub struct Fig2Result {
     /// Same for Algorithm 1 at 40 KB.
     pub dq40_converge_us: Option<f64>,
 }
+impl_to_json!(Fig2Result { dq40_samples_2ms, dq10_samples_2ms, dq40_final_gbps, dq10_final_gbps, mq_final_gbps, dq10_raw_min_gbps, dq10_raw_max_gbps, mq_converge_us, dq40_converge_us });
 
 /// The AQM wrapper: standard per-queue RED marking plus passive meters
 /// on queue 0.

@@ -9,7 +9,7 @@
 //! for dequeue RED, which reacts to the congestion *future* packets
 //! will see; afterwards all three oscillate in (0, 125 KB].
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_net::{single_switch, single_switch_downlink, FlowSpec, TaggingPolicy, TransportChoice};
 use tcn_sim::{Rate, Time};
 use tcn_stats::TimeSeries;
@@ -17,7 +17,7 @@ use tcn_stats::TimeSeries;
 use crate::common::{switch_port, SchedKind, Scheme};
 
 /// One scheme's occupancy trace and summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Row {
     /// Scheme name.
     pub scheme: String,
@@ -28,6 +28,7 @@ pub struct Fig3Row {
     /// Mean occupancy after the transient (bytes).
     pub steady_mean_bytes: f64,
 }
+impl_to_json!(Fig3Row { scheme, peak_bytes, steady_max_bytes, steady_mean_bytes });
 
 /// Full result: rows plus the raw traces (same order).
 pub struct Fig3Result {

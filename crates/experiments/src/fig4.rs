@@ -5,11 +5,11 @@
 //! traffic": all heavy-tailed; web search least skewed with ~60 % of
 //! bytes from flows < 10 MB).
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_workloads::Workload;
 
 /// Summary of one workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Workload name.
     pub workload: String,
@@ -25,15 +25,17 @@ pub struct Fig4Row {
     /// statistic).
     pub bytes_below_10m: f64,
 }
+impl_to_json!(Fig4Row { workload, mean_bytes, median_bytes, p99_bytes, bytes_below_100k, bytes_below_10m });
 
 /// Full result: per-workload summaries plus CDF points for plotting.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Result {
     /// One row per workload.
     pub rows: Vec<Fig4Row>,
     /// `(workload, size, cumulative_probability)` plot points.
     pub cdf_points: Vec<(String, f64, f64)>,
 }
+impl_to_json!(Fig4Result { rows, cdf_points });
 
 /// Regenerate Fig. 4.
 pub fn run() -> Fig4Result {

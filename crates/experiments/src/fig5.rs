@@ -15,7 +15,7 @@
 //! 4× less queueing delay once the 250 µs base RTT is excluded — while
 //! matching the oracle and CoDel.
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_net::{
     FlowSpec, LinkSpec, NetworkSim, PortSetup, ProbeConfig, TaggingPolicy, TransportChoice,
 };
@@ -25,7 +25,7 @@ use crate::common::params::testbed;
 use crate::common::{switch_port, SchedKind, Scheme};
 
 /// Goodput checkpoints for one scheme (Fig. 5a).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Goodput {
     /// Scheme name.
     pub scheme: String,
@@ -36,9 +36,10 @@ pub struct Fig5Goodput {
     /// Queue 3 goodput in the final phase, Mbps.
     pub q3_mbps: f64,
 }
+impl_to_json!(Fig5Goodput { scheme, q1_mbps, q2_mbps, q3_mbps });
 
 /// RTT distribution summary for one scheme (Fig. 5b).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Rtt {
     /// Scheme name.
     pub scheme: String,
@@ -49,15 +50,17 @@ pub struct Fig5Rtt {
     /// Probe count.
     pub samples: usize,
 }
+impl_to_json!(Fig5Rtt { scheme, avg_us, p99_us, samples });
 
 /// Full Fig. 5 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Result {
     /// Policy-conformance goodputs (TCN row is the paper's 5a).
     pub goodputs: Vec<Fig5Goodput>,
     /// RTT distributions for the four schemes (5b).
     pub rtts: Vec<Fig5Rtt>,
 }
+impl_to_json!(Fig5Result { goodputs, rtts });
 
 /// The Fig. 5 schemes (5b compares all four; 5a is shown for TCN).
 fn schemes() -> Vec<Scheme> {

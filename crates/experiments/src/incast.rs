@@ -7,7 +7,7 @@
 //! grow until the shared buffer tail-drops; TCN marks the very first
 //! over-threshold packet.
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_net::{single_switch, TaggingPolicy, TransportChoice};
 use tcn_sim::{Rate, Rng, Time};
 use tcn_stats::FctBreakdown;
@@ -16,7 +16,7 @@ use tcn_workloads::gen_incast;
 use crate::common::{params, switch_port, SchedKind, Scheme};
 
 /// One scheme's incast outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IncastRow {
     /// Scheme name.
     pub scheme: String,
@@ -31,6 +31,7 @@ pub struct IncastRow {
     /// Packet drops.
     pub drops: u64,
 }
+impl_to_json!(IncastRow { scheme, fanout, avg_fct_us, p99_fct_us, timeouts, drops });
 
 /// Run repeated incast waves under TCN, CoDel and per-queue RED.
 pub fn run(fanout: usize, waves: usize, flow_bytes: u64) -> Vec<IncastRow> {

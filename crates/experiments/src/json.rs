@@ -1,0 +1,559 @@
+//! A minimal, dependency-free JSON layer for experiment results and
+//! configs.
+//!
+//! The workspace must build and test fully offline (no registry), so
+//! `serde`/`serde_json` are off the table. Experiments only need two
+//! things from JSON: *writing* flat result records (`--json` output) and
+//! *reading* the declarative `tcnsim` configuration format. Both fit in
+//! a small value tree with a hand-rolled parser and pretty-printer.
+//!
+//! * [`Json`] — the value tree (objects keep insertion order so output
+//!   is stable across runs);
+//! * [`Json::parse`] — a strict RFC-8259-subset parser with
+//!   line/column error messages;
+//! * [`ToJson`] — the serialization trait; [`impl_to_json!`] derives it
+//!   for flat structs;
+//! * accessor helpers (`get`, `str_field`, `u64_field`, …) used by the
+//!   hand-written config deserializers.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are `f64` (every value the experiments emit or
+/// parse fits: integers up to 2^53 and measurement floats).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Required string field of an object, with a path-tagged error.
+    pub fn str_field(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))?
+            .as_str()
+            .ok_or_else(|| format!("field `{key}` must be a string"))
+    }
+
+    /// Required integer field of an object.
+    pub fn u64_field(&self, key: &str) -> Result<u64, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))?
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+    }
+
+    /// Required number field of an object.
+    pub fn f64_field(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))?
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` must be a number"))
+    }
+
+    /// The `"kind"` tag of a tagged-enum object.
+    pub fn kind(&self) -> Result<&str, String> {
+        self.str_field("kind")
+    }
+
+    /// Pretty-print with 2-space indentation (stable field order).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Errors carry `line:column` positions.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            rest: src.as_bytes().iter().copied().collect(),
+            line: 1,
+            col: 1,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if let Some(&c) = p.rest.front() {
+            return Err(p.err(&format!("trailing content starting with {:?}", c as char)));
+        }
+        Ok(v)
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser {
+    rest: VecDeque<u8>,
+    line: u32,
+    col: u32,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at {}:{}: {msg}", self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.rest.pop_front()?;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.rest.front(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.err(&format!("expected {:?}, found {:?}", want as char, c as char))),
+            None => Err(self.err(&format!("expected {:?}, found end of input", want as char))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Json) -> Result<Json, String> {
+        for &b in kw.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.rest.front() {
+            None => Err(self.err("expected a value, found end of input")),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(&c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.rest.front() == Some(&b'}') {
+            self.bump();
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                Some(c) => {
+                    return Err(self.err(&format!("expected ',' or '}}', found {:?}", c as char)))
+                }
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.rest.front() == Some(&b']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                Some(c) => {
+                    return Err(self.err(&format!("expected ',' or ']', found {:?}", c as char)))
+                }
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => bytes.push(b'"'),
+                    Some(b'\\') => bytes.push(b'\\'),
+                    Some(b'/') => bytes.push(b'/'),
+                    Some(b'n') => bytes.push(b'\n'),
+                    Some(b't') => bytes.push(b'\t'),
+                    Some(b'r') => bytes.push(b'\r'),
+                    Some(b'b') => bytes.push(0x08),
+                    Some(b'f') => bytes.push(0x0c),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .ok_or_else(|| self.err("unterminated \\u escape"))?;
+                            let d = (d as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Basic-plane only; surrogate pairs are not needed
+                        // by any config this repo reads or writes.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| self.err("invalid \\u code point"))?;
+                        let mut buf = [0u8; 4];
+                        bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    Some(c) => {
+                        return Err(self.err(&format!("invalid escape \\{}", c as char)));
+                    }
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) => bytes.push(c),
+            }
+        }
+        String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut text = String::new();
+        if self.rest.front() == Some(&b'-') {
+            text.push('-');
+            self.bump();
+        }
+        while let Some(&c) = self.rest.front() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                text.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))?;
+        Ok(Json::Num(n))
+    }
+}
+
+/// Serialization into the [`Json`] tree (the crate's replacement for
+/// `serde::Serialize`).
+pub trait ToJson {
+    /// Convert `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+macro_rules! to_json_int {
+    ($($ty:ty),*) => {
+        $(impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        })*
+    };
+}
+to_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// Derive [`ToJson`] for a flat struct: every listed field must itself
+/// implement `ToJson`. Field order in the output follows the list.
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::obj(vec![
+                    $((stringify!($field), $crate::json::ToJson::to_json(&self.$field))),*
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_example() {
+        let src = r#"{"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5e3}}"#;
+        let v = Json::parse(src).expect("parse");
+        assert_eq!(v.u64_field("a").unwrap(), 1);
+        assert_eq!(v.get("c").unwrap().f64_field("d").unwrap(), -2500.0);
+        let pretty = v.pretty();
+        let v2 = Json::parse(&pretty).expect("reparse");
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = Json::parse("{\n  \"a\": ?\n}").unwrap_err();
+        assert!(err.contains("2:"), "error should carry a line: {err}");
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(3.0).pretty(), "3");
+        assert_eq!(Json::Num(0.5).pretty(), "0.5");
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        let p = v.pretty();
+        assert_eq!(Json::parse(&p).unwrap(), v);
+    }
+
+    struct Row {
+        name: &'static str,
+        value: u64,
+        frac: f64,
+    }
+    impl_to_json!(Row { name, value, frac });
+
+    #[test]
+    fn derive_macro_serializes_structs() {
+        let r = Row {
+            name: "tcn",
+            value: 42,
+            frac: 0.25,
+        };
+        let j = r.to_json();
+        assert_eq!(j.str_field("name").unwrap(), "tcn");
+        assert_eq!(j.u64_field("value").unwrap(), 42);
+        assert_eq!(j.f64_field("frac").unwrap(), 0.25);
+    }
+}

@@ -18,8 +18,12 @@
 //! `src/bin/` print the tables and, with `--json`, emit raw results for
 //! EXPERIMENTS.md provenance.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod common;
 pub mod config;
+pub mod json;
 pub mod fairness;
 pub mod fct_sweep;
 pub mod fig1;

@@ -10,14 +10,14 @@
 //! probe RTT through the lightest-weight queue beats the queue-length
 //! schemes'.
 
-use serde::Serialize;
+use crate::impl_to_json;
 use tcn_net::{single_switch, FlowSpec, ProbeConfig, TaggingPolicy, TransportChoice};
 use tcn_sim::{Rate, Time};
 
 use crate::common::{switch_port, SchedKind, Scheme};
 
 /// Result row for one scheme on the PIFO.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PifoRow {
     /// Scheme name.
     pub scheme: String,
@@ -28,6 +28,7 @@ pub struct PifoRow {
     /// p99 probe RTT (µs).
     pub rtt_p99_us: f64,
 }
+impl_to_json!(PifoRow { scheme, shares, rtt_avg_us, rtt_p99_us });
 
 /// Run the PIFO-STFQ demo for TCN, MQ-ECN (degenerate) and per-queue
 /// RED with the standard threshold.

@@ -21,6 +21,9 @@
 //!   single-switch star (testbed), dumbbell (Fig. 1), and the 144-host
 //!   leaf-spine fabric (§6.2).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod network;
 pub mod port;
 pub mod routing;

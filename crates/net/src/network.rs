@@ -299,7 +299,9 @@ impl NetworkSim {
             if at > t {
                 break;
             }
-            let entry = self.events.pop().expect("peeked");
+            let Some(entry) = self.events.pop() else {
+                break;
+            };
             self.dispatch(entry.event, entry.at);
         }
     }
@@ -325,7 +327,9 @@ impl NetworkSim {
         while self.completed < self.flows.len() {
             match self.events.peek_time() {
                 Some(at) if at <= deadline => {
-                    let entry = self.events.pop().expect("peeked");
+                    let Some(entry) = self.events.pop() else {
+                        break;
+                    };
                     self.dispatch(entry.event, entry.at);
                 }
                 _ => break,

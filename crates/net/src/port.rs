@@ -180,6 +180,11 @@ pub struct Port {
     /// Whether a packet is currently being serialized.
     pub busy: bool,
     stats: PortStats,
+    /// Runtime invariant checkers (conservation ledger, shared-buffer
+    /// accounting, work conservation, AQM contract). All hooks are
+    /// no-ops unless auditing is active. Standalone scheduler audits
+    /// are also available as [`tcn_sched::Audited`].
+    audit: tcn_audit::PortAudit,
 }
 
 impl Port {
@@ -187,8 +192,20 @@ impl Port {
     ///
     /// # Panics
     /// Panics if the setup requests zero queues or a shaped rate above
-    /// the line rate.
+    /// the line rate. With auditing active, any invariant violation
+    /// during operation also panics (strict mode).
     pub fn new(setup: &PortSetup, link_rate: Rate) -> Self {
+        Self::build(setup, link_rate, false)
+    }
+
+    /// Like [`Port::new`], but invariant violations are recorded for
+    /// [`Port::audit_violations`] instead of panicking. Test
+    /// instrumentation for the audit layer itself.
+    pub fn new_recording(setup: &PortSetup, link_rate: Rate) -> Self {
+        Self::build(setup, link_rate, true)
+    }
+
+    fn build(setup: &PortSetup, link_rate: Rate, recording: bool) -> Self {
         assert!(setup.nqueues > 0, "port needs at least one queue");
         let tx_rate = setup.tx_rate.unwrap_or(link_rate);
         assert!(
@@ -207,7 +224,34 @@ impl Port {
             tx_rate,
             busy: false,
             stats: PortStats::default(),
+            audit: if recording {
+                tcn_audit::PortAudit::recording()
+            } else {
+                tcn_audit::PortAudit::new()
+            },
         }
+    }
+
+    /// Invariant violations recorded so far (only a recording port ever
+    /// returns a non-empty list; a strict port panics at the violation).
+    pub fn audit_violations(&self) -> Vec<tcn_audit::Violation> {
+        self.audit.violations()
+    }
+
+    /// Whole-port consistency checks run after every mutation when
+    /// auditing is active: shared-buffer accounting (occupancy equals
+    /// the per-queue sum and respects the pool cap) and the
+    /// conservation ledger's resident-packet balance.
+    fn audit_state(&mut self) {
+        if !tcn_audit::active() {
+            return;
+        }
+        let queue_sum: u64 = self.core.queues.iter().map(|q| q.len_bytes()).sum();
+        self.audit
+            .buffer
+            .check(self.core.occupancy, queue_sum, self.core.buffer);
+        let resident_pkts: u64 = self.core.queues.iter().map(|q| q.len_pkts() as u64).sum();
+        self.audit.ledger.check_resident(resident_pkts, queue_sum);
     }
 
     /// The DSCP-to-queue classifier (§5): identity, clamped to the last
@@ -220,10 +264,13 @@ impl Port {
     /// have been CE-marked), `false` if dropped (accounted in stats).
     pub fn enqueue(&mut self, mut pkt: Packet, now: Time) -> bool {
         let q = self.classify(pkt.dscp);
+        self.audit.ledger.on_offered(u64::from(pkt.size));
         // Shared-buffer FIFS admission.
         if let Some(cap) = self.core.buffer {
             if self.core.occupancy + u64::from(pkt.size) > cap {
                 self.stats.buffer_drops += 1;
+                self.audit.ledger.on_buffer_drop(u64::from(pkt.size));
+                self.audit_state();
                 return false;
             }
         }
@@ -243,26 +290,28 @@ impl Port {
             };
             self.aqm.on_enqueue(&view, q, &mut pkt, now)
         };
-        match verdict {
+        let admitted = match verdict {
             EnqueueVerdict::Admit => {
                 if !was_ce && pkt.ecn.is_ce() {
                     self.stats.enqueue_marks += 1;
                 }
+                self.audit.ledger.on_admitted(size);
                 self.core.queues[q].push_back(pkt);
                 self.core.occupancy += size;
-                self.sched.on_enqueue(
-                    &self.core.queues,
-                    q,
-                    self.core.queues[q].back().expect("just pushed"),
-                    now,
-                );
+                match self.core.queues[q].back() {
+                    Some(tail) => self.sched.on_enqueue(&self.core.queues, q, tail, now),
+                    None => unreachable!("queue empty immediately after push_back"),
+                }
                 true
             }
             EnqueueVerdict::Drop => {
                 self.stats.enqueue_aqm_drops += 1;
+                self.audit.ledger.on_enqueue_aqm_drop(size);
                 false
             }
-        }
+        };
+        self.audit_state();
+        admitted
     }
 
     /// Pull the next packet to serialize, applying the dequeue AQM hook.
@@ -270,10 +319,25 @@ impl Port {
     /// pulled immediately — no link bubble, cf. §4.2).
     pub fn dequeue(&mut self, now: Time) -> Option<Packet> {
         loop {
-            let q = self.sched.select(&self.core.queues, now)?;
-            let mut pkt = self.core.queues[q]
-                .pop_front()
-                .expect("scheduler selected an empty queue");
+            let q = match self.sched.select(&self.core.queues, now) {
+                Some(q) => {
+                    self.audit
+                        .work
+                        .on_select(q, self.core.queues[q].len_pkts() as u64);
+                    q
+                }
+                None => {
+                    let backlog: u64 =
+                        self.core.queues.iter().map(|qu| qu.len_pkts() as u64).sum();
+                    self.audit.work.on_idle(backlog);
+                    return None;
+                }
+            };
+            let Some(mut pkt) = self.core.queues[q].pop_front() else {
+                // The Audited wrapper reports this contract breach with
+                // context before we bail; keep the hard stop either way.
+                panic!("scheduler selected an empty queue ({})", self.sched.name());
+            };
             self.core.occupancy -= u64::from(pkt.size);
             self.sched.on_dequeue(&self.core.queues, q, &pkt, now);
             let was_ce = pkt.ecn.is_ce();
@@ -284,6 +348,11 @@ impl Port {
                 };
                 self.aqm.on_dequeue(&view, q, &mut pkt, now)
             };
+            self.audit.aqm.on_dequeue_verdict(
+                self.aqm.name(),
+                self.aqm.marks_only(),
+                verdict == DequeueVerdict::Drop,
+            );
             match verdict {
                 DequeueVerdict::Forward => {
                     if !was_ce && pkt.ecn.is_ce() {
@@ -291,10 +360,14 @@ impl Port {
                     }
                     self.stats.tx_packets += 1;
                     self.stats.tx_bytes += u64::from(pkt.size);
+                    self.audit.ledger.on_tx(u64::from(pkt.size));
+                    self.audit_state();
                     return Some(pkt);
                 }
                 DequeueVerdict::Drop => {
                     self.stats.dequeue_aqm_drops += 1;
+                    self.audit.ledger.on_dequeue_aqm_drop(u64::from(pkt.size));
+                    self.audit_state();
                     continue;
                 }
             }
@@ -504,5 +577,156 @@ mod tests {
             ..setup_red_dwrr(None, 1 << 40)
         };
         Port::new(&setup, Rate::from_gbps(1));
+    }
+
+    // --- audit-layer tests: each checker must fire on a corrupted run
+    // and stay silent on a clean one. Tests compile under
+    // `debug_assertions`, so `tcn_audit::active()` is true here. ---
+
+    #[test]
+    fn audit_silent_on_clean_run() {
+        // A strict port panics on any violation, so surviving a busy
+        // mixed workload IS the assertion.
+        let mut port = Port::new(&setup_tcn_sp(Time::from_us(10)), Rate::from_gbps(1));
+        let mut t = Time::ZERO;
+        for i in 0..500u32 {
+            t += Time::from_us(1);
+            port.enqueue(pkt((i % 2) as u8, 100 + i % 1400), t);
+            if i % 3 == 0 {
+                port.dequeue(t);
+            }
+        }
+        while port.dequeue(t).is_some() {}
+        assert!(port.audit_violations().is_empty());
+        assert!(port.is_empty());
+    }
+
+    #[test]
+    fn audit_catches_skipped_occupancy_decrement() {
+        // Mutation: a buggy dequeue path that forgets to decrement the
+        // shared-buffer occupancy. The buffer checker must see the
+        // occupancy diverge from the per-queue sum, and the
+        // conservation ledger must see a resident packet vanish.
+        let mut port = Port::new_recording(&setup_tcn_sp(Time::from_ms(1)), Rate::from_gbps(1));
+        port.enqueue(pkt(0, 1460), Time::ZERO);
+        port.enqueue(pkt(0, 1460), Time::ZERO);
+        // Simulate the bug by reaching into the core directly.
+        port.core.queues[0].pop_front();
+        port.audit_state();
+        let found: Vec<_> = port
+            .audit_violations()
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(
+            found.contains(&tcn_audit::Invariant::Buffer),
+            "buffer checker must flag occupancy != queue sum: {found:?}"
+        );
+        assert!(
+            found.contains(&tcn_audit::Invariant::Conservation),
+            "ledger must flag the vanished resident packet: {found:?}"
+        );
+    }
+
+    #[test]
+    fn audit_catches_buffer_overadmission() {
+        // Mutation: occupancy inflated past the configured pool cap.
+        let mut port = Port::new_recording(&setup_tcn_sp(Time::from_ms(1)), Rate::from_gbps(1));
+        port.enqueue(pkt(0, 1460), Time::ZERO);
+        port.core.occupancy = 97_000; // cap is 96_000
+        let queue_sum: u64 = port.core.queues.iter().map(|q| q.len_bytes()).sum();
+        port.audit
+            .buffer
+            .check(port.core.occupancy, queue_sum, port.core.buffer);
+        assert!(
+            port.audit_violations()
+                .iter()
+                .any(|v| v.invariant == tcn_audit::Invariant::Buffer),
+            "buffer checker must flag occupancy over the pool cap"
+        );
+    }
+
+    /// An AQM that claims the mark-only contract but drops at dequeue.
+    struct LyingAqm;
+
+    impl Aqm for LyingAqm {
+        fn on_enqueue(
+            &mut self,
+            _view: &dyn tcn_core::aqm::PortView,
+            _q: usize,
+            _pkt: &mut Packet,
+            _now: Time,
+        ) -> EnqueueVerdict {
+            EnqueueVerdict::Admit
+        }
+        fn on_dequeue(
+            &mut self,
+            _view: &dyn tcn_core::aqm::PortView,
+            _q: usize,
+            _pkt: &mut Packet,
+            _now: Time,
+        ) -> DequeueVerdict {
+            DequeueVerdict::Drop
+        }
+        fn name(&self) -> &'static str {
+            "Liar"
+        }
+        fn marks_only(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn audit_catches_marks_only_aqm_dropping() {
+        let setup = PortSetup {
+            nqueues: 1,
+            buffer: None,
+            tx_rate: None,
+            make_sched: Box::new(|| Box::new(tcn_sched::Fifo::new())),
+            make_aqm: Box::new(|| Box::new(LyingAqm)),
+        };
+        let mut port = Port::new_recording(&setup, Rate::from_gbps(1));
+        port.enqueue(pkt(0, 1460), Time::ZERO);
+        assert!(port.dequeue(Time::from_us(1)).is_none());
+        assert!(
+            port.audit_violations()
+                .iter()
+                .any(|v| v.invariant == tcn_audit::Invariant::AqmContract),
+            "contract checker must flag a mark-only AQM that dropped"
+        );
+    }
+
+    /// A scheduler that goes idle while queue 0 is backlogged.
+    struct LazyScheduler;
+
+    impl tcn_sched::Scheduler for LazyScheduler {
+        fn on_enqueue(&mut self, _q: &[PacketQueue], _i: usize, _p: &Packet, _now: Time) {}
+        fn select(&mut self, _q: &[PacketQueue], _now: Time) -> Option<usize> {
+            None
+        }
+        fn on_dequeue(&mut self, _q: &[PacketQueue], _i: usize, _p: &Packet, _now: Time) {}
+        fn name(&self) -> &'static str {
+            "Lazy"
+        }
+    }
+
+    #[test]
+    fn audit_catches_non_work_conserving_scheduler() {
+        let setup = PortSetup {
+            nqueues: 1,
+            buffer: None,
+            tx_rate: None,
+            make_sched: Box::new(|| Box::new(LazyScheduler)),
+            make_aqm: Box::new(|| Box::new(tcn_core::aqm::NoAqm)),
+        };
+        let mut port = Port::new_recording(&setup, Rate::from_gbps(1));
+        port.enqueue(pkt(0, 1460), Time::ZERO);
+        assert!(port.dequeue(Time::from_us(1)).is_none());
+        assert!(
+            port.audit_violations()
+                .iter()
+                .any(|v| v.invariant == tcn_audit::Invariant::WorkConservation),
+            "work checker must flag an idle verdict with backlog"
+        );
     }
 }

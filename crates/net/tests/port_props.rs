@@ -1,12 +1,14 @@
-//! Property tests for the egress port: conservation of packets and
+//! Randomized tests for the egress port: conservation of packets and
 //! bytes under arbitrary traffic, for every (scheduler, AQM) pairing.
+//! Deterministic seed sweep via `tcn_sim::Rng` (formerly proptest).
 
-use proptest::prelude::*;
 use tcn_baselines::{CoDel, MqEcn, RedEcn};
 use tcn_core::{FlowId, Packet, Tcn};
 use tcn_net::{Port, PortSetup};
 use tcn_sched::{Dwrr, SpHybrid, StrictPriority, Wfq};
-use tcn_sim::{Rate, Time};
+use tcn_sim::{Rate, Rng, Time};
+
+const CASES: u64 = 64;
 
 fn mk_port(which_sched: u8, which_aqm: u8, nqueues: usize, buffer: u64) -> Port {
     let setup = PortSetup {
@@ -35,29 +37,28 @@ fn mk_port(which_sched: u8, which_aqm: u8, nqueues: usize, buffer: u64) -> Port 
     Port::new(&setup, Rate::from_gbps(1))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every offered packet is exactly one of: transmitted, dropped, or
-    /// still buffered — and byte occupancy equals the sum of queues.
-    #[test]
-    fn packet_and_byte_conservation(
-        which_sched in 0u8..4,
-        which_aqm in 0u8..4,
-        nqueues in 1usize..8,
-        buffer in 5_000u64..200_000,
-        ops in prop::collection::vec((any::<bool>(), 0u8..8, 41u32..3_000), 1..300),
-    ) {
+/// Every offered packet is exactly one of: transmitted, dropped, or
+/// still buffered — and byte occupancy equals the sum of queues.
+#[test]
+fn packet_and_byte_conservation() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xC095 + case);
+        let which_sched = rng.gen_range(4) as u8;
+        let which_aqm = rng.gen_range(4) as u8;
+        let nqueues = (1 + rng.gen_range(7)) as usize;
+        let buffer = 5_000 + rng.gen_range(195_000);
+        let nops = (1 + rng.gen_range(299)) as usize;
         let mut port = mk_port(which_sched, which_aqm, nqueues, buffer);
         let mut now = Time::ZERO;
         let mut offered = 0u64;
         let mut admitted = 0u64;
         let mut transmitted = 0u64;
-        for (is_enq, dscp, payload) in ops {
+        for _ in 0..nops {
             now += Time::from_us(3);
-            if is_enq {
+            if rng.chance(0.5) {
+                let payload = (41 + rng.gen_range(2_959)) as u32;
                 let mut p = Packet::data(FlowId(1), 0, 1, 0, payload, 40);
-                p.dscp = dscp;
+                p.dscp = rng.gen_range(8) as u8;
                 offered += 1;
                 if port.enqueue(p, now) {
                     admitted += 1;
@@ -67,34 +68,38 @@ proptest! {
             }
             // Occupancy equals the per-queue sum at every step.
             let sum: u64 = (0..port.num_queues()).map(|q| port.queue_bytes(q)).sum();
-            prop_assert_eq!(port.occupancy(), sum);
-            if let Some(cap) = Some(buffer) {
-                prop_assert!(port.occupancy() <= cap, "buffer overrun");
-            }
+            assert_eq!(port.occupancy(), sum, "case {case}");
+            assert!(port.occupancy() <= buffer, "case {case}: buffer overrun");
         }
         let s = port.stats();
         // Admission accounting.
-        prop_assert_eq!(offered, admitted + s.buffer_drops + s.enqueue_aqm_drops);
-        prop_assert_eq!(transmitted, s.tx_packets);
+        assert_eq!(
+            offered,
+            admitted + s.buffer_drops + s.enqueue_aqm_drops,
+            "case {case}"
+        );
+        assert_eq!(transmitted, s.tx_packets, "case {case}");
         // Drain everything; every admitted packet must leave as either a
         // transmission or a dequeue-side AQM drop.
         while port.dequeue(Time::from_secs(10)).is_some() {}
         let s = port.stats();
-        prop_assert_eq!(
+        assert_eq!(
             admitted,
             s.tx_packets + s.dequeue_aqm_drops,
-            "admitted packets must all leave as tx or dequeue drops"
+            "case {case}: admitted packets must all leave as tx or dequeue drops"
         );
-        prop_assert!(port.is_empty());
+        assert!(port.is_empty(), "case {case}");
     }
+}
 
-    /// Marks never appear on a port whose AQM is NoAqm, and occupancy
-    /// returns to zero after a full drain for any scheduler.
-    #[test]
-    fn droptail_never_marks(
-        which_sched in 0u8..4,
-        ops in prop::collection::vec((0u8..4, 41u32..3_000), 1..200),
-    ) {
+/// Marks never appear on a port whose AQM is NoAqm, and occupancy
+/// returns to zero after a full drain for any scheduler.
+#[test]
+fn droptail_never_marks() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xD307 + case);
+        let which_sched = rng.gen_range(4) as u8;
+        let nops = (1 + rng.gen_range(199)) as usize;
         let setup = PortSetup {
             nqueues: 4,
             buffer: Some(1 << 30),
@@ -107,16 +112,17 @@ proptest! {
         };
         let mut port = Port::new(&setup, Rate::from_gbps(1));
         let mut now = Time::ZERO;
-        for (dscp, payload) in ops {
+        for _ in 0..nops {
             now += Time::from_us(1);
+            let payload = (41 + rng.gen_range(2_959)) as u32;
             let mut p = Packet::data(FlowId(1), 0, 1, 0, payload, 40);
-            p.dscp = dscp;
-            prop_assert!(port.enqueue(p, now));
+            p.dscp = rng.gen_range(4) as u8;
+            assert!(port.enqueue(p, now), "case {case}: huge buffer rejected");
         }
         while let Some(p) = port.dequeue(now) {
-            prop_assert!(!p.ecn.is_ce(), "NoAqm must not mark");
+            assert!(!p.ecn.is_ce(), "case {case}: NoAqm must not mark");
         }
-        prop_assert_eq!(port.stats().total_marks(), 0);
-        prop_assert_eq!(port.occupancy(), 0);
+        assert_eq!(port.stats().total_marks(), 0, "case {case}");
+        assert_eq!(port.occupancy(), 0, "case {case}");
     }
 }

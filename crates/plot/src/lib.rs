@@ -11,6 +11,9 @@
 //! measurement (labels use a fixed-width estimate). The goal is honest,
 //! readable plots — not a plotting framework.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod chart;
 pub mod scale;
 pub mod svg;

@@ -181,7 +181,9 @@ impl<R: RankFn> Scheduler for Pifo<R> {
     }
 
     fn on_dequeue(&mut self, _queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
-        let rank = self.ranks[q].pop_front().expect("dequeue without rank");
+        let Some(rank) = self.ranks[q].pop_front() else {
+            panic!("PIFO on_dequeue({q}) without a recorded rank: port/scheduler contract broken");
+        };
         self.seqs[q].pop_front();
         self.rank_fn.on_dequeue(q, rank, pkt, now);
     }

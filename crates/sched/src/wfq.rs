@@ -94,7 +94,9 @@ impl Scheduler for Wfq {
     }
 
     fn on_dequeue(&mut self, _queues: &[PacketQueue], q: usize, _pkt: &Packet, _now: Time) {
-        let tag = self.tags[q].pop_front().expect("dequeue without tag");
+        let Some(tag) = self.tags[q].pop_front() else {
+            panic!("WFQ on_dequeue({q}) without a recorded tag: port/scheduler contract broken");
+        };
         // Self-clock: virtual time jumps to the departing packet's tag.
         self.vtime = tag;
         self.backlog -= 1;

@@ -77,6 +77,11 @@ pub struct EventQueue<E> {
     now: Time,
     next_seq: u64,
     processed: u64,
+    /// Invariant checker (no-op unless auditing is active): every pop is
+    /// replayed through `tcn_audit::ClockAudit`, which independently
+    /// re-verifies monotonicity and the FIFO tie-break rather than
+    /// trusting the heap's `Ord` impl.
+    clock_audit: tcn_audit::ClockAudit,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -93,6 +98,7 @@ impl<E> EventQueue<E> {
             now: Time::ZERO,
             next_seq: 0,
             processed: 0,
+            clock_audit: tcn_audit::ClockAudit::new(),
         }
     }
 
@@ -121,6 +127,7 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {at} < now {}",
             self.now
         );
+        self.clock_audit.on_schedule(at.as_ps(), self.now.as_ps());
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(EventEntry { at, seq, event });
@@ -137,6 +144,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now, "clock went backwards");
+        self.clock_audit.on_pop(entry.at.as_ps(), entry.seq);
         self.now = entry.at;
         self.processed += 1;
         Some(entry)

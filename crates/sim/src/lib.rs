@@ -22,6 +22,9 @@
 //! CPU-bound state machines, and a deterministic serial event loop is both
 //! faster and easier to validate than a parallel one.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod ewma;
 pub mod rng;

@@ -168,7 +168,7 @@ impl Add for Time {
     type Output = Time;
     #[inline]
     fn add(self, rhs: Time) -> Time {
-        Time(self.0.checked_add(rhs.0).expect("Time overflow"))
+        Time(self.0.checked_add(rhs.0).expect("Time overflow")) // lint:allow(no-unwrap): clock overflow must abort; silent wraparound would corrupt event ordering
     }
 }
 
@@ -183,7 +183,7 @@ impl Sub for Time {
     type Output = Time;
     #[inline]
     fn sub(self, rhs: Time) -> Time {
-        Time(self.0.checked_sub(rhs.0).expect("Time underflow"))
+        Time(self.0.checked_sub(rhs.0).expect("Time underflow")) // lint:allow(no-unwrap): negative time is unrepresentable; underflow must abort
     }
 }
 
@@ -198,7 +198,7 @@ impl Mul<u64> for Time {
     type Output = Time;
     #[inline]
     fn mul(self, k: u64) -> Time {
-        Time(self.0.checked_mul(k).expect("Time overflow"))
+        Time(self.0.checked_mul(k).expect("Time overflow")) // lint:allow(no-unwrap): clock overflow must abort; silent wraparound would corrupt event ordering
     }
 }
 
@@ -306,14 +306,14 @@ impl Rate {
         assert!(self.0 > 0, "tx_time at zero rate");
         let bits = bytes as u128 * 8;
         let ps = (bits * PS_PER_SEC as u128).div_ceil(self.0 as u128);
-        Time(u64::try_from(ps).expect("tx_time overflow"))
+        Time(u64::try_from(ps).expect("tx_time overflow")) // lint:allow(no-unwrap): a tx time beyond u64 picoseconds is a config error; abort loudly
     }
 
     /// Bytes fully serialized in `dur` at this rate (truncating).
     #[inline]
     pub fn bytes_in(self, dur: Time) -> u64 {
         let bits = self.0 as u128 * dur.0 as u128 / PS_PER_SEC as u128;
-        u64::try_from(bits / 8).expect("bytes_in overflow")
+        u64::try_from(bits / 8).expect("bytes_in overflow") // lint:allow(no-unwrap): byte count beyond u64 is a config error; abort loudly
     }
 
     /// Scale the rate by a rational factor `num/den` (used by weighted

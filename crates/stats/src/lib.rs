@@ -9,6 +9,9 @@
 //!   estimates (Fig. 2) and goodput-over-time (Figs. 1, 5a);
 //! * [`dist`] — empirical CDFs for RTT distributions (Fig. 5b).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod dist;
 pub mod fct;
 pub mod series;

@@ -31,6 +31,9 @@
 //! with packets to transmit and the current retransmission deadline for
 //! the host to arm.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod intervals;
 pub mod receiver;
 pub mod rtt;

@@ -1,10 +1,12 @@
-//! Property tests for the TCP sender state machine: no input sequence —
-//! however adversarial — may violate the sequence-space invariants.
+//! Randomized tests for the TCP sender state machine: no input sequence
+//! — however adversarial — may violate the sequence-space invariants.
+//! Deterministic seed sweep via `tcn_sim::Rng` (formerly proptest).
 
-use proptest::prelude::*;
 use tcn_core::PacketKind;
-use tcn_sim::Time;
+use tcn_sim::{Rng, Time};
 use tcn_transport::{CcVariant, TcpConfig, TcpSender};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum Input {
@@ -16,48 +18,45 @@ enum Input {
     Advance { us: u64 },
 }
 
-fn input_strategy(size: u64) -> impl Strategy<Value = Input> {
-    prop_oneof![
-        (0..=size + 5_000, any::<bool>())
-            .prop_map(|(cum_ack, ece)| Input::Ack { cum_ack, ece }),
-        Just(Input::Timer),
-        (1u64..20_000).prop_map(|us| Input::Advance { us }),
-    ]
+fn random_input(rng: &mut Rng, size: u64) -> Input {
+    match rng.gen_range(3) {
+        0 => Input::Ack {
+            cum_ack: rng.gen_range(size + 5_001),
+            ece: rng.chance(0.5),
+        },
+        1 => Input::Timer,
+        _ => Input::Advance {
+            us: 1 + rng.gen_range(19_999),
+        },
+    }
 }
 
-fn check_outputs(
-    sender: &TcpSender,
-    packets: &[tcn_core::Packet],
-    size: u64,
-) -> Result<(), TestCaseError> {
+fn check_outputs(sender: &TcpSender, packets: &[tcn_core::Packet], size: u64) {
     for p in packets {
         match p.kind {
             PacketKind::Data { seq, payload } => {
-                prop_assert!(u64::from(payload) > 0, "empty segment");
-                prop_assert!(
+                assert!(u64::from(payload) > 0, "empty segment");
+                assert!(
                     seq + u64::from(payload) <= size,
                     "segment beyond flow end: {seq}+{payload} > {size}"
                 );
             }
-            _ => prop_assert!(false, "sender emitted non-data"),
+            _ => panic!("sender emitted non-data"),
         }
     }
-    prop_assert!(sender.cwnd() >= 1.0);
-    Ok(())
+    assert!(sender.cwnd() >= 1.0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Under arbitrary ACK/timer/time sequences the sender never emits
-    /// bytes outside the flow, never panics, and reaches `is_done` only
-    /// when the whole flow is acked.
-    #[test]
-    fn sender_sequence_space_safe(
-        size in 1u64..2_000_000,
-        dctcp in any::<bool>(),
-        inputs in prop::collection::vec(input_strategy(2_000_000), 1..120),
-    ) {
+/// Under arbitrary ACK/timer/time sequences the sender never emits
+/// bytes outside the flow, never panics, and reaches `is_done` only
+/// when the whole flow is acked.
+#[test]
+fn sender_sequence_space_safe() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EC5 + case);
+        let size = 1 + rng.gen_range(1_999_999);
+        let dctcp = rng.chance(0.5);
+        let ninputs = (1 + rng.gen_range(119)) as usize;
         let cfg = if dctcp {
             TcpConfig::sim_dctcp()
         } else {
@@ -66,36 +65,38 @@ proptest! {
         let mut s = TcpSender::new(cfg, tcn_core::FlowId(1), 0, 1, size);
         let mut now = Time::from_us(1);
         let out = s.start(now);
-        check_outputs(&s, &out.packets, size)?;
+        check_outputs(&s, &out.packets, size);
         let mut highest_ack = 0u64;
-        for input in inputs {
-            match input {
+        for _ in 0..ninputs {
+            match random_input(&mut rng, 2_000_000) {
                 Input::Ack { cum_ack, ece } => {
                     // Receivers only ack data they hold; clamp into the
                     // plausible range but allow duplicates/regressions.
                     let cum_ack = cum_ack.min(size);
                     highest_ack = highest_ack.max(cum_ack);
                     let out = s.on_ack(cum_ack, ece, now);
-                    check_outputs(&s, &out.packets, size)?;
+                    check_outputs(&s, &out.packets, size);
                 }
                 Input::Timer => {
                     let out = s.on_timer(now);
-                    check_outputs(&s, &out.packets, size)?;
+                    check_outputs(&s, &out.packets, size);
                 }
                 Input::Advance { us } => now += Time::from_us(us),
             }
-            prop_assert!(
+            assert!(
                 !s.is_done() || highest_ack >= size,
-                "done before all bytes acked (ack {highest_ack}, size {size})"
+                "case {case}: done before all bytes acked (ack {highest_ack}, size {size})"
             );
         }
     }
+}
 
-    /// DCTCP's α always stays in [0, 1] no matter the echo pattern.
-    #[test]
-    fn dctcp_alpha_bounded(
-        acks in prop::collection::vec((1u64..50_000, any::<bool>()), 1..200),
-    ) {
+/// DCTCP's α always stays in [0, 1] no matter the echo pattern.
+#[test]
+fn dctcp_alpha_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xA1FA + case);
+        let nacks = (1 + rng.gen_range(199)) as usize;
         let mut s = TcpSender::new(
             TcpConfig {
                 variant: CcVariant::Dctcp { g: 1.0 / 16.0 },
@@ -109,18 +110,26 @@ proptest! {
         let mut now = Time::from_us(1);
         s.start(now);
         let mut cum = 0u64;
-        for (step, ece) in acks {
-            cum += step;
+        for _ in 0..nacks {
+            cum += 1 + rng.gen_range(49_999);
             now += Time::from_us(50);
-            s.on_ack(cum, ece, now);
-            prop_assert!((0.0..=1.0).contains(&s.alpha()), "alpha {}", s.alpha());
+            s.on_ack(cum, rng.chance(0.5), now);
+            assert!(
+                (0.0..=1.0).contains(&s.alpha()),
+                "case {case}: alpha {}",
+                s.alpha()
+            );
         }
     }
+}
 
-    /// A lossless in-order delivery always completes the flow, for any
-    /// flow size (pairing the sender with the real receiver).
-    #[test]
-    fn lossless_delivery_completes(size in 1u64..300_000) {
+/// A lossless in-order delivery always completes the flow, for any
+/// flow size (pairing the sender with the real receiver).
+#[test]
+fn lossless_delivery_completes() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x10C5 + case);
+        let size = 1 + rng.gen_range(299_999);
         use tcn_transport::TcpReceiver;
         let cfg = TcpConfig::sim_dctcp();
         let mut s = TcpSender::new(cfg, tcn_core::FlowId(1), 0, 1, size);
@@ -131,7 +140,7 @@ proptest! {
         let mut steps = 0;
         while !r.is_complete() {
             steps += 1;
-            prop_assert!(steps < 100_000, "no progress");
+            assert!(steps < 100_000, "case {case}: no progress");
             let pkt = wire.pop_front().expect("stalled without loss");
             now += Time::from_us(10);
             let ack = r.on_data(&pkt, now);
@@ -141,8 +150,8 @@ proptest! {
                 wire.extend(out.packets);
             }
         }
-        prop_assert_eq!(r.bytes_received(), size);
-        prop_assert!(s.is_done());
-        prop_assert_eq!(s.timeouts(), 0);
+        assert_eq!(r.bytes_received(), size, "case {case}");
+        assert!(s.is_done(), "case {case}");
+        assert_eq!(s.timeouts(), 0, "case {case}");
     }
 }

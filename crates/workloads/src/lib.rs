@@ -12,6 +12,9 @@
 //! * [`incast`] — synchronized-burst generation for the burst-tolerance
 //!   ablation (§4.3 argues TCN reacts faster than CoDel to incast).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod arrivals;
 pub mod cdf;
 pub mod incast;

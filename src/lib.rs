@@ -48,6 +48,9 @@
 //! assert!(fct > Time::from_ms(8)); // 1 MB cannot beat the line rate
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use tcn_baselines as baselines;
 pub use tcn_core as core;
 pub use tcn_experiments as experiments;

@@ -1,20 +1,34 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized (deterministic, seeded) tests over the core data
+//! structures and invariants. These were originally `proptest`
+//! properties; the workspace now builds fully offline, so each property
+//! is driven by `tcn_sim::Rng` over a fixed seed sweep instead of a
+//! shrinking framework. Failures print the offending seed/case so a
+//! case can be replayed by hand.
 
-use proptest::prelude::*;
-use tcn_repro::prelude::*;
 use tcn_repro::core::hwts::HwClock;
 use tcn_repro::core::PacketKind;
+use tcn_repro::prelude::*;
 use tcn_repro::sim::Rng as SimRng;
+
+const CASES: u64 = 64;
 
 fn data_packet(payload: u32) -> Packet {
     Packet::data(FlowId(1), 0, 1, 0, payload, 40)
 }
 
-proptest! {
-    /// The event queue pops every batch of randomly-timed events in
-    /// non-decreasing time order, FIFO within equal times.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Uniform draw in `[lo, hi)`.
+fn range(rng: &mut SimRng, lo: u64, hi: u64) -> u64 {
+    lo + rng.gen_range(hi - lo)
+}
+
+/// The event queue pops every batch of randomly-timed events in
+/// non-decreasing time order, FIFO within equal times.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xE0E0 + case);
+        let n = range(&mut rng, 1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000)).collect();
         let mut q = tcn_repro::sim::EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(Time::from_ns(t), i);
@@ -22,34 +36,59 @@ proptest! {
         let mut last: Option<(Time, usize)> = None;
         while let Some(e) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(e.at >= lt);
+                assert!(e.at >= lt, "case {case}: time went backwards");
                 if e.at == lt {
-                    prop_assert!(e.event > li, "FIFO tie-break violated");
+                    assert!(e.event > li, "case {case}: FIFO tie-break violated");
                 }
             }
             last = Some((e.at, e.event));
         }
     }
+}
 
-    /// Serialization time round-trips: bytes_in(tx_time(b)) == b for any
-    /// positive rate and byte count.
-    #[test]
-    fn rate_roundtrip(gbps in 1u64..400, bytes in 1u64..100_000_000) {
+/// Serialization time round-trips: bytes_in(tx_time(b)) == b for any
+/// positive rate and byte count.
+#[test]
+fn rate_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x4A7E + case);
+        let gbps = range(&mut rng, 1, 400);
+        let bytes = range(&mut rng, 1, 100_000_000);
         let r = Rate::from_gbps(gbps);
-        prop_assert_eq!(r.bytes_in(r.tx_time(bytes)), bytes);
+        assert_eq!(
+            r.bytes_in(r.tx_time(bytes)),
+            bytes,
+            "case {case}: gbps={gbps} bytes={bytes}"
+        );
     }
+}
 
-    /// tx_time is additive-monotone: more bytes never serialize faster.
-    #[test]
-    fn tx_time_monotone(bps in 1_000u64..10_000_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+/// tx_time is additive-monotone: more bytes never serialize faster.
+#[test]
+fn tx_time_monotone() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x7013 + case);
+        let bps = range(&mut rng, 1_000, 10_000_000_000);
+        let a = rng.gen_range(1_000_000);
+        let b = rng.gen_range(1_000_000);
         let r = Rate::from_bps(bps);
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(r.tx_time(lo) <= r.tx_time(hi));
+        assert!(
+            r.tx_time(lo) <= r.tx_time(hi),
+            "case {case}: bps={bps} lo={lo} hi={hi}"
+        );
     }
+}
 
-    /// ByteIntervals agrees with a naive bit-set model.
-    #[test]
-    fn intervals_match_model(ranges in prop::collection::vec((0u64..500, 0u64..60), 1..40)) {
+/// ByteIntervals agrees with a naive bit-set model.
+#[test]
+fn intervals_match_model() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x1274 + case);
+        let n = range(&mut rng, 1, 40) as usize;
+        let ranges: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(500), rng.gen_range(60)))
+            .collect();
         let mut iv = tcn_repro::transport::ByteIntervals::new();
         let mut model = vec![false; 600];
         for &(start, len) in &ranges {
@@ -62,156 +101,209 @@ proptest! {
                     *slot = true;
                 }
             }
-            prop_assert_eq!(newly, fresh);
+            assert_eq!(newly, fresh, "case {case}: insert [{start},{end})");
         }
         let covered = model.iter().filter(|&&b| b).count() as u64;
-        prop_assert_eq!(iv.covered(), covered);
+        assert_eq!(iv.covered(), covered, "case {case}");
         let next = model.iter().position(|&b| !b).unwrap_or(model.len()) as u64;
-        prop_assert_eq!(iv.next_expected(), next);
+        assert_eq!(iv.next_expected(), next, "case {case}");
     }
+}
 
-    /// PacketQueue byte accounting survives arbitrary push/pop mixes.
-    #[test]
-    fn packet_queue_accounting(ops in prop::collection::vec(prop::option::of(41u32..9_000), 1..200)) {
+/// PacketQueue byte accounting survives arbitrary push/pop mixes.
+#[test]
+fn packet_queue_accounting() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xACC0 + case);
+        let n = range(&mut rng, 1, 200) as usize;
         let mut q = PacketQueue::new();
         let mut model: Vec<u64> = Vec::new();
-        for op in ops {
-            match op {
-                Some(payload) => {
-                    q.push_back(data_packet(payload));
-                    model.push(u64::from(payload) + 40);
-                }
-                None => {
-                    let popped = q.pop_front().map(|p| u64::from(p.size));
-                    let expect = if model.is_empty() { None } else { Some(model.remove(0)) };
-                    prop_assert_eq!(popped, expect);
-                }
+        for _ in 0..n {
+            if rng.chance(0.5) {
+                let payload = range(&mut rng, 41, 9_000) as u32;
+                q.push_back(data_packet(payload));
+                model.push(u64::from(payload) + 40);
+            } else {
+                let popped = q.pop_front().map(|p| u64::from(p.size));
+                let expect = if model.is_empty() {
+                    None
+                } else {
+                    Some(model.remove(0))
+                };
+                assert_eq!(popped, expect, "case {case}");
             }
-            prop_assert_eq!(q.len_bytes(), model.iter().sum::<u64>());
-            prop_assert_eq!(q.len_pkts(), model.len());
+            assert_eq!(q.len_bytes(), model.iter().sum::<u64>(), "case {case}");
+            assert_eq!(q.len_pkts(), model.len(), "case {case}");
         }
     }
+}
 
-    /// TCN marks exactly when sojourn exceeds the threshold — for any
-    /// (threshold, enqueue, dequeue) triple.
-    #[test]
-    fn tcn_marks_iff_over_threshold(t_us in 0u64..1_000, enq_us in 0u64..1_000, wait_us in 0u64..2_000) {
-        use tcn_repro::core::aqm::{Aqm, StaticPortView};
+/// TCN marks exactly when sojourn exceeds the threshold — for any
+/// (threshold, enqueue, dequeue) triple.
+#[test]
+fn tcn_marks_iff_over_threshold() {
+    use tcn_repro::core::aqm::{Aqm, StaticPortView};
+    for case in 0..4 * CASES {
+        let mut rng = SimRng::new(0x7C40 + case);
+        let t_us = rng.gen_range(1_000);
+        let enq_us = rng.gen_range(1_000);
+        let wait_us = rng.gen_range(2_000);
         let mut tcn = Tcn::new(Time::from_us(t_us));
         let view = StaticPortView::new(1, Rate::from_gbps(10));
         let mut p = data_packet(1000);
         p.enq_ts = Time::from_us(enq_us);
         let now = Time::from_us(enq_us + wait_us);
         tcn.on_dequeue(&view, 0, &mut p, now);
-        prop_assert_eq!(p.ecn.is_ce(), wait_us > t_us);
+        assert_eq!(
+            p.ecn.is_ce(),
+            wait_us > t_us,
+            "case {case}: t={t_us}us wait={wait_us}us"
+        );
     }
+}
 
-    /// The 16-bit hardware timestamp recovers any sojourn below the wrap
-    /// period to within one tick, regardless of absolute enqueue time.
-    #[test]
-    fn hwts_recovers_sojourn(enq_ns in 0u64..10_000_000, sojourn_ns in 0u64..260_000) {
+/// The 16-bit hardware timestamp recovers any sojourn below the wrap
+/// period to within one tick, regardless of absolute enqueue time.
+#[test]
+fn hwts_recovers_sojourn() {
+    for case in 0..4 * CASES {
+        let mut rng = SimRng::new(0x1675 + case);
+        let enq_ns = rng.gen_range(10_000_000);
+        let sojourn_ns = rng.gen_range(260_000);
         let clk = HwClock::RES_4NS;
         let enq = Time::from_ns(enq_ns);
         let deq = enq + Time::from_ns(sojourn_ns);
         let measured = clk.measure(enq, deq);
         let err = (measured.as_ns() as i64 - sojourn_ns as i64).abs();
-        prop_assert!(err <= 4, "error {err} ns for sojourn {sojourn_ns} ns");
+        assert!(
+            err <= 4,
+            "case {case}: error {err} ns for sojourn {sojourn_ns} ns"
+        );
     }
+}
 
-    /// Workload sampling stays within the CDF's support and the
-    /// quantile function is monotone.
-    #[test]
-    fn cdf_sample_and_quantile(seed in 0u64..1_000, p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+/// Workload sampling stays within the CDF's support and the quantile
+/// function is monotone.
+#[test]
+fn cdf_sample_and_quantile() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xCDF + case);
+        let seed = rng.gen_range(1_000);
+        let p1 = rng.next_f64();
+        let p2 = rng.next_f64();
         for wl in Workload::ALL {
             let cdf = wl.cdf();
-            let mut rng = SimRng::new(seed);
-            let s = cdf.sample(&mut rng);
-            let max = cdf.points().last().unwrap().0 as u64;
-            prop_assert!(s >= 1 && s <= max);
+            let mut sample_rng = SimRng::new(seed);
+            let s = cdf.sample(&mut sample_rng);
+            let max = cdf.points().last().map(|p| p.0 as u64).unwrap_or(0);
+            assert!(s >= 1 && s <= max, "case {case}: sample {s} out of [1,{max}]");
             let (lo, hi) = (p1.min(p2), p1.max(p2));
-            prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+            assert!(
+                cdf.quantile(lo) <= cdf.quantile(hi),
+                "case {case}: quantile not monotone"
+            );
         }
     }
+}
 
-    /// WFQ never selects an empty queue and is work conserving under
-    /// arbitrary enqueue patterns.
-    #[test]
-    fn wfq_work_conserving(pushes in prop::collection::vec((0usize..3, 41u32..3_000), 1..100)) {
+/// WFQ never selects an empty queue and is work conserving under
+/// arbitrary enqueue patterns.
+#[test]
+fn wfq_work_conserving() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x3F9 + case);
+        let n = range(&mut rng, 1, 100) as usize;
         let mut queues = vec![PacketQueue::new(); 3];
         let mut sched = Wfq::equal(3);
         let mut now = Time::ZERO;
-        let total = pushes.len();
-        for (q, payload) in pushes {
+        for _ in 0..n {
+            let q = rng.gen_range(3) as usize;
+            let payload = range(&mut rng, 41, 3_000) as u32;
             let p = data_packet(payload);
             queues[q].push_back(p.clone());
             sched.on_enqueue(&queues, q, &p, now);
         }
         let mut served = 0;
         while let Some(q) = sched.select(&queues, now) {
-            prop_assert!(!queues[q].is_empty(), "selected empty queue");
-            let p = queues[q].pop_front().unwrap();
+            assert!(!queues[q].is_empty(), "case {case}: selected empty queue");
+            let p = queues[q].pop_front().expect("non-empty by assertion above");
             now += Rate::from_gbps(1).tx_time(u64::from(p.size));
             sched.on_dequeue(&queues, q, &p, now);
             served += 1;
-            prop_assert!(served <= total);
+            assert!(served <= n, "case {case}: served more than pushed");
         }
-        prop_assert_eq!(served, total, "idled with backlog");
+        assert_eq!(served, n, "case {case}: idled with backlog");
     }
+}
 
-    /// DWRR, same property, with random quanta.
-    #[test]
-    fn dwrr_work_conserving(
-        quanta in prop::collection::vec(100u64..5_000, 2..5),
-        pushes in prop::collection::vec((0usize..4, 41u32..3_000), 1..100),
-    ) {
-        let nq = quanta.len();
+/// DWRR, same property, with random quanta.
+#[test]
+fn dwrr_work_conserving() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xD399 + case);
+        let nq = range(&mut rng, 2, 5) as usize;
+        let quanta: Vec<u64> = (0..nq).map(|_| range(&mut rng, 100, 5_000)).collect();
+        let n = range(&mut rng, 1, 100) as usize;
         let mut queues = vec![PacketQueue::new(); nq];
         let mut sched = Dwrr::new(quanta);
         let mut now = Time::ZERO;
-        let mut total = 0;
-        for (q, payload) in pushes {
-            let q = q % nq;
+        for _ in 0..n {
+            let q = rng.gen_range(nq as u64) as usize;
+            let payload = range(&mut rng, 41, 3_000) as u32;
             let p = data_packet(payload);
             queues[q].push_back(p.clone());
             sched.on_enqueue(&queues, q, &p, now);
-            total += 1;
         }
         let mut served = 0;
         while let Some(q) = sched.select(&queues, now) {
-            prop_assert!(!queues[q].is_empty());
-            let p = queues[q].pop_front().unwrap();
+            assert!(!queues[q].is_empty(), "case {case}: selected empty queue");
+            let p = queues[q].pop_front().expect("non-empty by assertion above");
             now += Rate::from_gbps(1).tx_time(u64::from(p.size));
             sched.on_dequeue(&queues, q, &p, now);
             served += 1;
-            prop_assert!(served <= total);
+            assert!(served <= n, "case {case}: served more than pushed");
         }
-        prop_assert_eq!(served, total);
+        assert_eq!(served, n, "case {case}: idled with backlog");
     }
+}
 
-    /// Percentile is bounded by min/max and monotone in p.
-    #[test]
-    fn percentile_bounds(xs in prop::collection::vec(0.0f64..1e6, 1..200), p in 0.0f64..100.0) {
+/// Percentile is bounded by min/max and monotone in p.
+#[test]
+fn percentile_bounds() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x9EC7 + case);
+        let n = range(&mut rng, 1, 200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 1e6)).collect();
+        let p = rng.uniform(0.0, 100.0);
         let v = tcn_stats::percentile(&xs, p);
         let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
         let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert!(v >= lo && v <= hi);
-        prop_assert!(tcn_stats::percentile(&xs, 0.0) <= tcn_stats::percentile(&xs, 100.0));
+        assert!(v >= lo && v <= hi, "case {case}: p{p} out of [{lo},{hi}]");
+        assert!(
+            tcn_stats::percentile(&xs, 0.0) <= tcn_stats::percentile(&xs, 100.0),
+            "case {case}: percentile not monotone"
+        );
     }
+}
 
-    /// The deterministic RNG's gen_range respects its bound for any
-    /// seed and any bound.
-    #[test]
-    fn rng_range_bounds(seed: u64, n in 1u64..1_000_000) {
+/// The deterministic RNG's gen_range respects its bound for any seed
+/// and any bound.
+#[test]
+fn rng_range_bounds() {
+    for case in 0..4 * CASES {
+        let mut meta = SimRng::new(0xB0B0 + case);
+        let seed = meta.next_u64();
+        let n = range(&mut meta, 1, 1_000_000);
         let mut r = SimRng::new(seed);
         for _ in 0..50 {
-            prop_assert!(r.gen_range(n) < n);
+            assert!(r.gen_range(n) < n, "case {case}: bound {n} violated");
         }
     }
 }
 
 #[test]
 fn packet_kind_is_exhaustively_modeled() {
-    // A non-proptest sanity companion: the three packet kinds round-trip
+    // A non-random sanity companion: the three packet kinds round-trip
     // through construction helpers.
     let d = Packet::data(FlowId(1), 0, 1, 100, 1000, 40);
     assert!(matches!(d.kind, PacketKind::Data { seq: 100, .. }));

@@ -1,0 +1,114 @@
+//! `cargo xtask` — the repo's dependency-free automation entry point.
+//!
+//! Subcommands:
+//!
+//! * `lint`  — run the offline static-analysis pass (see [`lint`]) over
+//!   the repository. Prints `file:line: [rule] message` diagnostics and
+//!   exits nonzero if any fire.
+//! * `build` — `cargo build --release --workspace`.
+//! * `test`  — `cargo test -q` (the tier-1 test set, from ROADMAP.md).
+//! * `test-all` — `cargo test -q --workspace` (every crate's suites;
+//!   much slower — the experiments crate simulates full FCT sweeps in
+//!   debug mode with the audit hooks live).
+//! * `ci`    — build, then test, then lint: the tier-1 gate in one
+//!   command. Stops at the first failing stage.
+//!
+//! Everything here is pure std: the harness must work in an offline
+//! container with nothing but the Rust toolchain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lint;
+
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let repo = repo_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&repo),
+        Some("build") => run_cargo(&repo, &["build", "--release", "--workspace"]),
+        Some("test") => run_cargo(&repo, &["test", "-q"]),
+        Some("test-all") => run_cargo(&repo, &["test", "-q", "--workspace"]),
+        Some("ci") => {
+            let stages: [(&str, fn(&Path) -> ExitCode); 3] = [
+                ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
+                ("test", |r| run_cargo(r, &["test", "-q"])),
+                ("lint", run_lint),
+            ];
+            for (name, stage) in stages {
+                eprintln!("xtask ci: {name}");
+                let code = stage(&repo);
+                if code != ExitCode::SUCCESS {
+                    eprintln!("xtask ci: {name} FAILED");
+                    return code;
+                }
+            }
+            eprintln!("xtask ci: all stages passed");
+            ExitCode::SUCCESS
+        }
+        Some("help") | None => {
+            eprintln!(
+                "usage: cargo xtask <lint|build|test|test-all|ci>\n\
+                 \n\
+                 lint      offline static analysis (no-unwrap, no-float-time,\n\
+                 \x20         no-unsafe, forbid-unsafe-attr, aqm-doc-cite)\n\
+                 build     cargo build --release --workspace\n\
+                 test      cargo test -q (tier-1 test set)\n\
+                 test-all  cargo test -q --workspace (slow, every crate)\n\
+                 ci        build + test + lint (the tier-1 gate)"
+            );
+            if args.is_empty() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}` (try `cargo xtask help`)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: parent of the `xtask/` directory this binary was
+/// built from, falling back to the current directory (the `cargo xtask`
+/// alias always runs at the root).
+fn repo_root() -> PathBuf {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    Path::new(manifest)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_lint(repo: &Path) -> ExitCode {
+    let diags = lint::lint_repo(repo);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_cargo(repo: &Path, args: &[&str]) -> ExitCode {
+    match Command::new("cargo").args(args).current_dir(repo).status() {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(status) => {
+            eprintln!("xtask: `cargo {}` exited with {status}", args.join(" "));
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: failed to spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
