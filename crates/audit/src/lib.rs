@@ -20,6 +20,10 @@
 //! * **AQM contract** ([`AqmContractAudit`]) — schemes that the paper
 //!   describes as mark-only (TCN §4.2: "Marking, as opposed to
 //!   dropping") never return a drop verdict at dequeue.
+//! * **Network conservation** ([`NetAudit`]) — end to end, every packet
+//!   a host emits is delivered, congestion-dropped at a port,
+//!   fault-dropped by the injection layer, resident in a queue, or in
+//!   flight — nothing leaks, even under induced loss and link failures.
 //!
 //! # Cost model
 //!
@@ -66,6 +70,10 @@ pub enum Invariant {
     WorkConservation,
     /// The mark-only AQM dequeue contract.
     AqmContract,
+    /// End-to-end packet conservation across the whole network,
+    /// classifying injected fault drops (loss/corruption/dead links)
+    /// separately from congestion drops.
+    NetConservation,
 }
 
 impl fmt::Display for Invariant {
@@ -76,6 +84,7 @@ impl fmt::Display for Invariant {
             Invariant::Buffer => "buffer",
             Invariant::WorkConservation => "work-conservation",
             Invariant::AqmContract => "aqm-contract",
+            Invariant::NetConservation => "net-conservation",
         };
         f.write_str(s)
     }
@@ -424,6 +433,119 @@ impl AqmContractAudit {
     }
 }
 
+/// Whole-network packet-conservation checker.
+///
+/// Where [`Ledger`] balances one port, `NetAudit` balances the network:
+/// every packet a host emits must be exactly one of — delivered to a
+/// host NIC, dropped by some port (congestion: admission or AQM),
+/// dropped by the fault-injection layer (wire loss, corruption, dead
+/// link, no surviving route), resident in some port's queues, or in
+/// flight on a wire. The fault layer injects *after* a port's `on_tx`,
+/// so per-port ledgers stay balanced and this checker is what accounts
+/// for the injected drops.
+///
+/// The identity is packet-exact and holds between event dispatches:
+///
+/// `emitted == delivered + port_drops + fault_drops + resident + in_flight`
+#[derive(Debug, Clone, Default)]
+pub struct NetAudit {
+    emitted: u64,
+    delivered: u64,
+    fault_drops: u64,
+    in_flight: u64,
+    log: Log,
+}
+
+impl NetAudit {
+    checker_common!();
+
+    /// A host handed a packet to the network (data, ACK or probe).
+    #[inline]
+    pub fn on_emit(&mut self) {
+        if !active() {
+            return;
+        }
+        self.emitted += 1;
+    }
+
+    /// A packet left a port onto the wire (serialization + propagation
+    /// under way).
+    #[inline]
+    pub fn on_depart(&mut self) {
+        if !active() {
+            return;
+        }
+        self.in_flight += 1;
+    }
+
+    /// An in-flight packet reached the far end of its wire (it will be
+    /// delivered, forwarded, or fault-dropped next).
+    #[inline]
+    pub fn on_arrive(&mut self) {
+        if !active() {
+            return;
+        }
+        if self.in_flight == 0 {
+            self.log.fail(
+                Invariant::NetConservation,
+                "arrival with no packet in flight".to_string(),
+            );
+            return;
+        }
+        self.in_flight -= 1;
+    }
+
+    /// A packet was consumed by its destination host NIC.
+    #[inline]
+    pub fn on_deliver(&mut self) {
+        if !active() {
+            return;
+        }
+        self.delivered += 1;
+    }
+
+    /// The fault layer destroyed a packet (wire loss, corruption, dead
+    /// link, or no surviving route).
+    #[inline]
+    pub fn on_fault_drop(&mut self) {
+        if !active() {
+            return;
+        }
+        self.fault_drops += 1;
+    }
+
+    /// Cross-check the conservation identity. `resident_pkts` is the
+    /// packet count across every port's queues; `port_drop_pkts` the
+    /// sum of congestion drops over all ports.
+    #[inline]
+    pub fn check(&mut self, resident_pkts: u64, port_drop_pkts: u64) {
+        if !active() {
+            return;
+        }
+        let accounted = self.delivered
+            + port_drop_pkts
+            + self.fault_drops
+            + resident_pkts
+            + self.in_flight;
+        if self.emitted != accounted {
+            let (e, d, f, fl) = (
+                self.emitted,
+                self.delivered,
+                self.fault_drops,
+                self.in_flight,
+            );
+            self.log.fail(
+                Invariant::NetConservation,
+                format!(
+                    "network packet leak: emitted {e} != delivered {d} \
+                     + port drops {port_drop_pkts} + fault drops {f} \
+                     + resident {resident_pkts} + in-flight {fl} = {accounted}"
+                ),
+            );
+        }
+    }
+}
+
 /// The bundle of per-port checkers `tcn-net::Port` owns.
 #[derive(Debug, Clone, Default)]
 pub struct PortAudit {
@@ -585,6 +707,47 @@ mod tests {
         a.on_dequeue_verdict("TCN", true, true);
         assert_eq!(a.violations().len(), 1);
         assert_eq!(a.violations()[0].invariant, Invariant::AqmContract);
+    }
+
+    #[test]
+    fn net_audit_balances_clean_run() {
+        let mut n = NetAudit::new();
+        n.on_emit(); // host emits
+        n.check(1, 0); // resident at the first port
+        n.on_depart(); // dequeued onto the wire
+        n.check(0, 0);
+        n.on_arrive();
+        n.on_deliver();
+        n.check(0, 0);
+    }
+
+    #[test]
+    fn net_audit_classifies_fault_drop() {
+        let mut n = NetAudit::new();
+        n.on_emit();
+        n.on_depart();
+        n.on_arrive();
+        n.on_fault_drop(); // corrupted at the NIC
+        n.check(0, 0);
+    }
+
+    #[test]
+    fn net_audit_catches_leak() {
+        let mut n = NetAudit::recording();
+        n.on_emit();
+        n.on_emit();
+        n.on_deliver();
+        // Second packet vanished without a drop record.
+        n.check(0, 0);
+        assert_eq!(n.violations().len(), 1);
+        assert_eq!(n.violations()[0].invariant, Invariant::NetConservation);
+    }
+
+    #[test]
+    fn net_audit_catches_spurious_arrival() {
+        let mut n = NetAudit::recording();
+        n.on_arrive();
+        assert_eq!(n.violations().len(), 1);
     }
 
     #[test]

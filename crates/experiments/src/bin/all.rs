@@ -10,7 +10,7 @@ fn main() {
     let dir = me.parent().expect("bin dir");
     for fig in [
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "incast", "fairness", "pifo_demo",
+        "fig11", "fig12", "fig13", "incast", "fairness", "pifo_demo", "chaos",
     ] {
         println!("\n################ {fig} ################");
         let status = Command::new(dir.join(fig))

@@ -27,7 +27,7 @@ use tcn_net::{
     fat_tree, leaf_spine, single_switch, LeafSpineConfig, NetworkSim, PortSetup, TaggingPolicy,
     TransportChoice,
 };
-use tcn_sim::{Rate, Rng, Time};
+use tcn_sim::{FaultPlan, LinkFaultProfile, LinkFlap, Rate, Rng, Time};
 use tcn_stats::FctBreakdown;
 use tcn_workloads::{gen_all_to_all, gen_incast, gen_many_to_one, Workload};
 
@@ -310,6 +310,65 @@ impl WorkloadName {
     }
 }
 
+/// One scheduled link flap (times in µs; `up_at_us` absent = stays
+/// down for the rest of the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapCfg {
+    /// Link index to flap (see the topology's link-layout docs).
+    pub link: u32,
+    /// When the link goes dark.
+    pub down_at_us: u64,
+    /// When it comes back, if ever.
+    pub up_at_us: Option<u64>,
+}
+
+/// Optional fault-injection section (`"faults"`). Every field defaults
+/// to "off", so `{ "faults": { "loss": 0.001 } }` is a valid minimal
+/// chaos config; omitting the section entirely runs a healthy fabric
+/// with zero fault-RNG draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultsCfg {
+    /// Bernoulli per-packet loss probability on every link.
+    pub loss: f64,
+    /// Bernoulli per-packet corruption probability (dropped at the
+    /// receiving NIC, counted separately from loss).
+    pub corrupt: f64,
+    /// Probability a packet is held back by extra jitter delay.
+    pub jitter_prob: f64,
+    /// Upper bound on the injected jitter delay (µs).
+    pub jitter_max_us: u64,
+    /// Delay between a link state change and routing reconvergence (µs).
+    pub detection_delay_us: u64,
+    /// Scheduled link flaps.
+    pub flaps: Vec<FlapCfg>,
+}
+
+impl FaultsCfg {
+    /// Lower to the simulator's [`FaultPlan`]. The fault RNG seed is
+    /// decorrelated from the workload seed so adding faults never
+    /// reshuffles arrivals.
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan {
+            default_profile: LinkFaultProfile {
+                loss: self.loss,
+                corrupt: self.corrupt,
+                jitter_prob: self.jitter_prob,
+                jitter_max: Time::from_us(self.jitter_max_us),
+            },
+            ..FaultPlan::quiet(seed ^ 0xFA_0717)
+        };
+        plan = plan.with_detection_delay(Time::from_us(self.detection_delay_us));
+        for f in &self.flaps {
+            plan = plan.with_flap(LinkFlap {
+                link: f.link,
+                down_at: Time::from_us(f.down_at_us),
+                up_at: f.up_at_us.map(Time::from_us),
+            });
+        }
+        plan
+    }
+}
+
 /// The whole experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentCfg {
@@ -323,6 +382,8 @@ pub struct ExperimentCfg {
     pub tagging: TaggingCfg,
     /// Workload.
     pub workload: WorkloadCfg,
+    /// Fault injection (absent = healthy fabric).
+    pub faults: Option<FaultsCfg>,
     /// Random seed (defaults to 1 when absent from the JSON).
     pub seed: u64,
 }
@@ -346,6 +407,9 @@ pub struct RunReport {
     pub timeouts: u64,
     /// Total drops across ports.
     pub drops: u64,
+    /// Drops injected by the fault plan (loss + corruption + dead-link
+    /// + no-route); 0 when no `faults` section is configured.
+    pub fault_drops: u64,
     /// Events processed.
     pub events: u64,
 }
@@ -359,6 +423,7 @@ impl_to_json!(RunReport {
     large_avg_us,
     timeouts,
     drops,
+    fault_drops,
     events,
 });
 
@@ -743,16 +808,100 @@ impl ToJson for WorkloadCfg {
     }
 }
 
-impl ToJson for ExperimentCfg {
+impl FlapCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(FlapCfg {
+            link: v.u64_field("link")? as u32,
+            down_at_us: v.u64_field("down_at_us")?,
+            up_at_us: match v.get("up_at_us") {
+                Some(u) => Some(
+                    u.as_u64()
+                        .ok_or("faults: `up_at_us` must be a non-negative integer")?,
+                ),
+                None => None,
+            },
+        })
+    }
+}
+
+impl ToJson for FlapCfg {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("link", self.link.to_json()),
+            ("down_at_us", self.down_at_us.to_json()),
+        ];
+        if let Some(up) = self.up_at_us {
+            fields.push(("up_at_us", up.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
+
+impl FaultsCfg {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let opt_f64 = |key: &str| -> Result<f64, String> {
+            match v.get(key) {
+                Some(x) => x
+                    .as_f64()
+                    .ok_or_else(|| format!("faults: `{key}` must be a number")),
+                None => Ok(0.0),
+            }
+        };
+        let opt_u64 = |key: &str| -> Result<u64, String> {
+            match v.get(key) {
+                Some(x) => x
+                    .as_u64()
+                    .ok_or_else(|| format!("faults: `{key}` must be a non-negative integer")),
+                None => Ok(0),
+            }
+        };
+        let flaps = match v.get("flaps") {
+            Some(a) => a
+                .as_arr()
+                .ok_or("faults: `flaps` must be an array")?
+                .iter()
+                .map(FlapCfg::from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
+        Ok(FaultsCfg {
+            loss: opt_f64("loss")?,
+            corrupt: opt_f64("corrupt")?,
+            jitter_prob: opt_f64("jitter_prob")?,
+            jitter_max_us: opt_u64("jitter_max_us")?,
+            detection_delay_us: opt_u64("detection_delay_us")?,
+            flaps,
+        })
+    }
+}
+
+impl ToJson for FaultsCfg {
     fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("loss", self.loss.to_json()),
+            ("corrupt", self.corrupt.to_json()),
+            ("jitter_prob", self.jitter_prob.to_json()),
+            ("jitter_max_us", self.jitter_max_us.to_json()),
+            ("detection_delay_us", self.detection_delay_us.to_json()),
+            ("flaps", self.flaps.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ExperimentCfg {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
             ("topology", self.topology.to_json()),
             ("port", self.port.to_json()),
             ("transport", self.transport.to_json()),
             ("tagging", self.tagging.to_json()),
             ("workload", self.workload.to_json()),
-            ("seed", self.seed.to_json()),
-        ])
+        ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults", f.to_json()));
+        }
+        fields.push(("seed", self.seed.to_json()));
+        Json::obj(fields)
     }
 }
 
@@ -772,6 +921,10 @@ impl ExperimentCfg {
             workload: WorkloadCfg::from_json(
                 v.get("workload").ok_or("missing field `workload`")?,
             )?,
+            faults: match v.get("faults") {
+                Some(f) => Some(FaultsCfg::from_json(f)?),
+                None => None,
+            },
             seed: match v.get("seed") {
                 Some(s) => s.as_u64().ok_or("field `seed` must be a non-negative integer")?,
                 None => 1,
@@ -900,6 +1053,9 @@ impl ExperimentCfg {
         for spec in specs {
             sim.add_flow(spec);
         }
+        if let Some(f) = &self.faults {
+            sim.install_faults(&f.plan(self.seed));
+        }
         sim
     }
 
@@ -917,6 +1073,7 @@ impl ExperimentCfg {
             large_avg_us: b.large_avg_us,
             timeouts: sim.total_timeouts(),
             drops: sim.total_drops(),
+            fault_drops: sim.fault_stats().total_drops(),
             events: sim.events_processed(),
         };
         debug_assert!(done || report.completed < report.flows);
@@ -947,6 +1104,7 @@ pub fn example_json() -> String {
             receiver: 8,
             services: vec![0, 1, 2, 3],
         },
+        faults: None,
         seed: 1,
     };
     cfg.to_json().pretty()
@@ -994,6 +1152,7 @@ mod tests {
                 waves: 2,
                 receiver: 0,
             },
+            faults: None,
             seed: 7,
         };
         let report = cfg.run();
@@ -1025,10 +1184,48 @@ mod tests {
                 load: 0.5,
                 services: 7,
             },
+            faults: None,
             seed: 2,
         };
         let report = cfg.run();
         assert_eq!(report.completed, 200);
+    }
+
+    #[test]
+    fn faults_section_roundtrips_and_runs() {
+        let json = r#"{
+            "topology": { "kind": "leaf_spine", "leaves": 3, "spines": 3,
+                          "hosts_per_leaf": 3, "rate_gbps": 10 },
+            "port": { "queues": 2, "buffer_bytes": 300000,
+                      "scheduler": { "kind": "dwrr", "quantum": 1500 },
+                      "aqm": { "kind": "tcn", "threshold_us": 78 } },
+            "transport": "sim_dctcp",
+            "tagging": { "kind": "fixed" },
+            "workload": { "kind": "all_to_all", "flows": 100, "load": 0.4, "services": 1 },
+            "faults": { "loss": 0.005, "detection_delay_us": 100,
+                        "flaps": [ { "link": 18, "down_at_us": 500, "up_at_us": 3000 } ] },
+            "seed": 4
+        }"#;
+        let cfg = ExperimentCfg::from_json(json).expect("parse faults config");
+        let f = cfg.faults.as_ref().expect("faults parsed");
+        assert_eq!(f.loss, 0.005);
+        assert_eq!(f.corrupt, 0.0, "absent knobs default to off");
+        assert_eq!(f.flaps, vec![FlapCfg { link: 18, down_at_us: 500, up_at_us: Some(3000) }]);
+        // Serialize → reparse → identical section.
+        let back = ExperimentCfg::from_json(&cfg.to_json().pretty()).expect("reparse");
+        assert_eq!(back.faults.as_ref(), Some(f));
+        // And it actually injects: flows still complete, faults counted.
+        let report = cfg.run();
+        assert_eq!(report.completed, report.flows);
+        assert!(report.fault_drops > 0, "0.5% loss drew nothing");
+    }
+
+    #[test]
+    fn omitted_faults_section_is_a_healthy_fabric() {
+        let json = example_json();
+        let cfg = ExperimentCfg::from_json(&json).expect("parse example");
+        assert!(cfg.faults.is_none());
+        assert!(!json.contains("faults"), "example stays minimal");
     }
 
     #[test]

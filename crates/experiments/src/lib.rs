@@ -12,6 +12,7 @@
 //! | [`incast`] | §4.3 burst-tolerance claim (extension experiment) |
 //! | [`fairness`] | §4.3 probabilistic TCN: short-window fairness (extension) |
 //! | [`pifo_demo`] | §2.2: TCN over a programmable PIFO scheduler (extension) |
+//! | [`chaos`] | fault-injection study: FCT degradation under loss and link flaps (extension) |
 //!
 //! Every runner takes a [`common::Scale`] so the same code runs at CI
 //! scale (seconds) and at paper scale (`--full`). Binaries under
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod common;
 pub mod config;
 pub mod json;

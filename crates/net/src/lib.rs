@@ -16,7 +16,9 @@
 //!   deterministic per-(flow, switch) hash, as in the paper's leaf-spine
 //!   simulations;
 //! * [`network`] — the event loop tying links, ports, transports, flow
-//!   bookkeeping and latency probes together;
+//!   bookkeeping and latency probes together, with deterministic fault
+//!   injection (loss, corruption, jitter, link flaps) and routing
+//!   reconvergence threaded through it;
 //! * [`topology`] — canned builders for the paper's three topologies:
 //!   single-switch star (testbed), dumbbell (Fig. 1), and the 144-host
 //!   leaf-spine fabric (§6.2).
@@ -31,11 +33,11 @@ pub mod token_bucket;
 pub mod topology;
 
 pub use network::{
-    FctRecord, FlowSpec, LinkSpec, NetworkSim, NodeId, ProbeConfig, TaggingPolicy,
+    FaultStats, FctRecord, FlowSpec, LinkSpec, NetworkSim, NodeId, ProbeConfig, TaggingPolicy,
     TransportChoice,
 };
 pub use port::{Port, PortSetup, PortStats};
-pub use routing::{compute_routes, ecmp_pick};
+pub use routing::{compute_routes, compute_routes_partial, ecmp_pick, RouteError};
 pub use token_bucket::TokenBucket;
 pub use topology::{
     dumbbell, fat_tree, leaf_spine, single_switch, single_switch_downlink, LeafSpineConfig,

@@ -6,13 +6,29 @@
 //! notifications, retransmission timers, and probe ticks. Same-time
 //! events fire in schedule order (see `tcn_sim::EventQueue`), so whole
 //! runs are bit-for-bit reproducible.
+//!
+//! # Fault injection
+//!
+//! A [`tcn_sim::FaultPlan`] installed via [`NetworkSim::install_faults`]
+//! makes links misbehave deterministically: Bernoulli wire loss,
+//! bit corruption (dropped at the receiving NIC), bounded delay jitter
+//! (reordering), and timed link flaps. Stochastic faults are drawn at
+//! the dequeue-to-link point — *after* the egress port's accounting —
+//! so per-port conservation ledgers stay balanced and the injected
+//! drops are classified by the network-level audit instead. On a link
+//! state change, routing reconverges after the plan's detection delay
+//! by recomputing ECMP tables over the surviving links; packets caught
+//! on a dead wire (or blackholed into one before reconvergence) are
+//! dropped and counted in [`FaultStats`].
 
 use tcn_core::{FlowId, Packet, PacketKind};
-use tcn_sim::{EventQueue, Rate, Time};
+use tcn_sim::{EventQueue, FaultPlan, LinkFaultProfile, Rate, Rng, Time};
 use tcn_transport::{SenderOutput, TcpConfig, TcpReceiver, TcpSender};
 
 use crate::port::{Port, PortSetup};
-use crate::routing::{compute_routes, ecmp_pick, RouteTable, TopoView};
+use crate::routing::{
+    compute_routes, compute_routes_partial, ecmp_pick, RouteError, RouteTable, TopoView,
+};
 
 /// Node index (hosts and switches share one id space).
 pub type NodeId = u32;
@@ -147,6 +163,45 @@ struct LinkState {
     port: Port,
 }
 
+/// Live stochastic-fault state for one link: its effective profile and
+/// its isolated random stream (see `tcn_sim::Rng::stream`).
+struct LinkFaults {
+    profile: LinkFaultProfile,
+    rng: Rng,
+}
+
+/// Counters for everything the fault-injection layer did to a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets lost on the wire (Bernoulli loss).
+    pub loss_drops: u64,
+    /// Packets corrupted in flight and discarded at the receiving NIC.
+    pub corrupt_drops: u64,
+    /// Packets destroyed by a dead link — either in flight when it went
+    /// down, or blackholed into it before routing reconverged.
+    pub dead_link_drops: u64,
+    /// Packets dropped at a switch with no surviving route to their
+    /// destination (post-reconvergence partition).
+    pub no_route_drops: u64,
+    /// Packets that received extra jitter delay.
+    pub jitter_delays: u64,
+    /// Link-down events fired.
+    pub link_downs: u64,
+    /// Link-up events fired.
+    pub link_ups: u64,
+    /// Routing reconvergence passes performed.
+    pub reconvergences: u64,
+    /// Unreachable `(node, host)` pairs after the latest reconvergence.
+    pub unreachable_pairs: usize,
+}
+
+impl FaultStats {
+    /// Total packets the fault layer destroyed.
+    pub fn total_drops(&self) -> u64 {
+        self.loss_drops + self.corrupt_drops + self.dead_link_drops + self.no_route_drops
+    }
+}
+
 struct FlowState {
     spec: FlowSpec,
     sender: TcpSender,
@@ -160,9 +215,16 @@ struct FlowState {
 enum Event {
     FlowStart(u32),
     Arrive { link: u32, pkt: Packet },
+    /// A corrupted frame reaching the far end: discarded there (FCS
+    /// failure), never delivered or forwarded.
+    ArriveCorrupt,
     TxDone { link: u32 },
     Timer { flow: u32 },
     ProbeTick { prober: u32 },
+    LinkDown { link: u32 },
+    LinkUp { link: u32 },
+    /// Recompute route tables over the currently-up links.
+    Reconverge,
 }
 
 /// The simulation.
@@ -173,11 +235,21 @@ pub struct NetworkSim {
     host_nodes: Vec<NodeId>,
     /// node id → host index (None for switches).
     node_hosts: Vec<Option<u32>>,
+    /// `(from, to)` per link, kept for routing reconvergence.
+    topo_endpoints: Vec<(u32, u32)>,
     flows: Vec<FlowState>,
     tcp: TcpConfig,
     tagging: TaggingPolicy,
     probers: Vec<Prober>,
     completed: usize,
+    /// Per-link stochastic fault state (None = quiet link, no draws).
+    link_faults: Vec<Option<LinkFaults>>,
+    /// Administrative link state (flipped by flap events).
+    link_up: Vec<bool>,
+    /// Delay between a link state change and routing reconvergence.
+    detection_delay: Time,
+    fault_stats: FaultStats,
+    net_audit: tcn_audit::NetAudit,
 }
 
 impl NetworkSim {
@@ -187,7 +259,8 @@ impl NetworkSim {
     ///
     /// # Panics
     /// Panics on malformed topologies (unreachable hosts, out-of-range
-    /// node ids).
+    /// node ids). Use [`NetworkSim::try_new`] to handle disconnected
+    /// topologies gracefully.
     pub fn new(
         num_nodes: usize,
         host_nodes: Vec<NodeId>,
@@ -195,6 +268,25 @@ impl NetworkSim {
         tcp: TcpConfig,
         tagging: TaggingPolicy,
     ) -> Self {
+        match Self::try_new(num_nodes, host_nodes, link_specs, tcp, tagging) {
+            Ok(sim) => sim,
+            Err(e) => panic!("broken topology: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`NetworkSim::new`]: returns a descriptive
+    /// [`RouteError`] when some host is unreachable from some node.
+    ///
+    /// # Panics
+    /// Still panics on out-of-range link endpoints (a programming error,
+    /// not a topology-shape question).
+    pub fn try_new(
+        num_nodes: usize,
+        host_nodes: Vec<NodeId>,
+        link_specs: Vec<LinkSpec>,
+        tcp: TcpConfig,
+        tagging: TaggingPolicy,
+    ) -> Result<Self, RouteError> {
         let endpoints: Vec<(u32, u32)> = link_specs
             .iter()
             .map(|l| {
@@ -206,12 +298,12 @@ impl NetworkSim {
             links: &endpoints,
             num_nodes,
             host_nodes: &host_nodes,
-        });
+        })?;
         let mut node_hosts = vec![None; num_nodes];
         for (h, &n) in host_nodes.iter().enumerate() {
             node_hosts[n as usize] = Some(h as u32);
         }
-        let links = link_specs
+        let links: Vec<LinkState> = link_specs
             .into_iter()
             .map(|l| LinkState {
                 to: l.to,
@@ -219,17 +311,59 @@ impl NetworkSim {
                 port: Port::new(&l.setup, l.rate),
             })
             .collect();
-        NetworkSim {
+        let n_links = links.len();
+        Ok(NetworkSim {
             events: EventQueue::new(),
             links,
             routes,
             host_nodes,
             node_hosts,
+            topo_endpoints: endpoints,
             flows: Vec::new(),
             tcp,
             tagging,
             probers: Vec::new(),
             completed: 0,
+            link_faults: (0..n_links).map(|_| None).collect(),
+            link_up: vec![true; n_links],
+            detection_delay: Time::ZERO,
+            fault_stats: FaultStats::default(),
+            net_audit: tcn_audit::NetAudit::new(),
+        })
+    }
+
+    /// Install a fault plan: per-link stochastic profiles plus the timed
+    /// link flap schedule. Call before running (flap times must not be
+    /// in the simulation's past). A quiet plan (see
+    /// [`FaultPlan::is_quiet`]) leaves the run bit-identical to never
+    /// installing one: quiet links get no fault state and draw no
+    /// randomness.
+    ///
+    /// # Panics
+    /// Panics if a flap names an unknown link or has `up_at <= down_at`.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.detection_delay = plan.detection_delay;
+        for link in 0..self.links.len() {
+            let profile = plan.profile_for(link as u32);
+            if !profile.is_quiet() {
+                self.link_faults[link] = Some(LinkFaults {
+                    profile,
+                    rng: plan.rng_for(link as u32),
+                });
+            }
+        }
+        for flap in &plan.flaps {
+            assert!(
+                (flap.link as usize) < self.links.len(),
+                "flap on unknown link {}",
+                flap.link
+            );
+            self.events
+                .schedule_at(flap.down_at, Event::LinkDown { link: flap.link });
+            if let Some(up) = flap.up_at {
+                assert!(up > flap.down_at, "flap must recover after failing");
+                self.events.schedule_at(up, Event::LinkUp { link: flap.link });
+            }
         }
     }
 
@@ -304,6 +438,7 @@ impl NetworkSim {
             };
             self.dispatch(entry.event, entry.at);
         }
+        self.audit_net();
     }
 
     /// Run until `t`, invoking `sample` every `every` of simulated time
@@ -335,6 +470,7 @@ impl NetworkSim {
                 _ => break,
             }
         }
+        self.audit_net();
         self.completed == self.flows.len()
     }
 
@@ -391,6 +527,36 @@ impl NetworkSim {
         self.links.iter().map(|l| l.port.stats().total_drops()).sum()
     }
 
+    /// What the fault-injection layer did so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Whether `link` is administratively up.
+    pub fn link_is_up(&self, link: usize) -> bool {
+        self.link_up[link]
+    }
+
+    /// Sum of retransmitted data packets over all senders.
+    pub fn total_retransmitted_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.sender.rtx_packets()).sum()
+    }
+
+    /// Sum of retransmitted data bytes over all senders.
+    pub fn total_retransmitted_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.sender.rtx_bytes()).sum()
+    }
+
+    /// Sum of fast-retransmit entries over all senders.
+    pub fn total_fast_retransmits(&self) -> u64 {
+        self.flows.iter().map(|f| f.sender.fast_retransmits()).sum()
+    }
+
+    /// Application-level (unique) bytes delivered across all flows.
+    pub fn total_delivered_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.receiver.bytes_received()).sum()
+    }
+
     // ------------------------------------------------------------------
     // Event dispatch
     // ------------------------------------------------------------------
@@ -411,11 +577,60 @@ impl NetworkSim {
                 self.kick(link, now);
             }
             Event::Arrive { link, pkt } => {
+                self.net_audit.on_arrive();
+                if !self.link_up[link as usize] {
+                    // The link died while this packet was in flight.
+                    self.fault_stats.dead_link_drops += 1;
+                    self.net_audit.on_fault_drop();
+                    return;
+                }
                 let node = self.links[link as usize].to;
                 match self.node_hosts[node as usize] {
-                    Some(host) => self.deliver(host, pkt, now),
+                    Some(host) => {
+                        self.net_audit.on_deliver();
+                        self.deliver(host, pkt, now);
+                    }
                     None => self.forward(node, pkt, now),
                 }
+            }
+            Event::ArriveCorrupt => {
+                // FCS failure at the receiving NIC: discarded there.
+                self.net_audit.on_arrive();
+                self.fault_stats.corrupt_drops += 1;
+                self.net_audit.on_fault_drop();
+            }
+            Event::LinkDown { link } => {
+                let li = link as usize;
+                if self.link_up[li] {
+                    self.link_up[li] = false;
+                    self.fault_stats.link_downs += 1;
+                    self.events
+                        .schedule_at(now + self.detection_delay, Event::Reconverge);
+                }
+            }
+            Event::LinkUp { link } => {
+                let li = link as usize;
+                if !self.link_up[li] {
+                    self.link_up[li] = true;
+                    self.fault_stats.link_ups += 1;
+                    self.events
+                        .schedule_at(now + self.detection_delay, Event::Reconverge);
+                    // The port kept queueing while dead; restart it.
+                    self.kick(link, now);
+                }
+            }
+            Event::Reconverge => {
+                let (tables, unreachable) = compute_routes_partial(
+                    &TopoView {
+                        links: &self.topo_endpoints,
+                        num_nodes: self.node_hosts.len(),
+                        host_nodes: &self.host_nodes,
+                    },
+                    &self.link_up,
+                );
+                self.routes = tables;
+                self.fault_stats.reconvergences += 1;
+                self.fault_stats.unreachable_pairs = unreachable;
             }
             Event::ProbeTick { prober } => self.probe_tick(prober, now),
         }
@@ -424,6 +639,14 @@ impl NetworkSim {
     /// Route and enqueue a packet at `node` toward `pkt.dst`.
     fn forward(&mut self, node: NodeId, pkt: Packet, now: Time) {
         let cands = &self.routes[node as usize][pkt.dst as usize];
+        if cands.is_empty() {
+            // Post-reconvergence partition: no surviving path. Drop and
+            // account — the transport's RTO will retry (and succeed once
+            // the link comes back and routing reconverges again).
+            self.fault_stats.no_route_drops += 1;
+            self.net_audit.on_fault_drop();
+            return;
+        }
         let link = ecmp_pick(cands, pkt.flow, node);
         self.enqueue_on(link, pkt, now);
     }
@@ -435,18 +658,54 @@ impl NetworkSim {
     }
 
     /// Start serializing the next packet on `link` if the port is idle.
+    ///
+    /// This is the fault-injection point: the packet has left the port
+    /// (the port's ledger already counted it transmitted), so wire
+    /// loss, corruption and jitter are drawn here, from the link's
+    /// isolated RNG stream, in a fixed order (loss, corruption, jitter)
+    /// for replay determinism. `TxDone` is always scheduled — a faulty
+    /// wire does not change the serialization cadence.
     fn kick(&mut self, link: u32, now: Time) {
-        let l = &mut self.links[link as usize];
-        if l.port.busy {
-            return;
-        }
-        if let Some(pkt) = l.port.dequeue(now) {
+        let (pkt, txt, delay) = {
+            let l = &mut self.links[link as usize];
+            if l.port.busy {
+                return;
+            }
+            let Some(pkt) = l.port.dequeue(now) else {
+                return;
+            };
             l.port.busy = true;
             let txt = l.port.tx_time(&pkt);
-            let delay = l.delay;
-            self.events.schedule_at(now + txt, Event::TxDone { link });
-            self.events
-                .schedule_at(now + txt + delay, Event::Arrive { link, pkt });
+            (pkt, txt, l.delay)
+        };
+        self.events.schedule_at(now + txt, Event::TxDone { link });
+        if !self.link_up[link as usize] {
+            // Blackholed: routing has not reconverged off this dead
+            // link yet (or the packet was queued before it died).
+            self.fault_stats.dead_link_drops += 1;
+            self.net_audit.on_fault_drop();
+            return;
+        }
+        let mut corrupt = false;
+        let mut extra = Time::ZERO;
+        if let Some(f) = &mut self.link_faults[link as usize] {
+            if f.rng.chance(f.profile.loss) {
+                self.fault_stats.loss_drops += 1;
+                self.net_audit.on_fault_drop();
+                return;
+            }
+            corrupt = f.rng.chance(f.profile.corrupt);
+            if !f.profile.jitter_max.is_zero() && f.rng.chance(f.profile.jitter_prob) {
+                extra = Time::from_ps(f.rng.gen_range(f.profile.jitter_max.as_ps() + 1));
+                self.fault_stats.jitter_delays += 1;
+            }
+        }
+        self.net_audit.on_depart();
+        let arrive_at = now + txt + delay + extra;
+        if corrupt {
+            self.events.schedule_at(arrive_at, Event::ArriveCorrupt);
+        } else {
+            self.events.schedule_at(arrive_at, Event::Arrive { link, pkt });
         }
     }
 
@@ -512,8 +771,24 @@ impl NetworkSim {
     }
 
     fn emit_from_host(&mut self, host: u32, pkt: Packet, now: Time) {
+        self.net_audit.on_emit();
         let node = self.host_nodes[host as usize];
         self.forward(node, pkt, now);
+    }
+
+    /// Cross-check end-to-end packet conservation (no-op unless the
+    /// audit layer is active). Valid between event dispatches.
+    fn audit_net(&mut self) {
+        if !tcn_audit::active() {
+            return;
+        }
+        let resident: u64 = self.links.iter().map(|l| l.port.resident_packets()).sum();
+        let port_drops: u64 = self
+            .links
+            .iter()
+            .map(|l| l.port.stats().total_drops())
+            .sum();
+        self.net_audit.check(resident, port_drops);
     }
 
     fn probe_tick(&mut self, prober: u32, now: Time) {

@@ -394,6 +394,12 @@ impl Port {
         self.core.queues.len()
     }
 
+    /// Packets currently buffered across all queues (the network-level
+    /// conservation audit's notion of "resident at this port").
+    pub fn resident_packets(&self) -> u64 {
+        self.core.queues.iter().map(|q| q.len_pkts() as u64).sum()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> PortStats {
         self.stats

@@ -7,11 +7,40 @@
 //! of (flow id, node id) — per-flow ECMP, no packet reordering.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use tcn_core::FlowId;
 
 /// A link index into the simulation's link table.
 pub type LinkIdx = u32;
+
+/// A topology over which some host cannot be reached from some node.
+///
+/// Carries the first offending `(node, host)` pair for the error
+/// message plus the total count, so "one missing cable" and "two
+/// islands" read differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteError {
+    /// Host index that is unreachable.
+    pub host: usize,
+    /// Node from which it is unreachable.
+    pub node: usize,
+    /// Total number of unreachable `(node, host)` pairs.
+    pub unreachable_pairs: usize,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host {} unreachable from node {}: disconnected topology \
+             ({} unreachable (node, host) pair(s) total)",
+            self.host, self.node, self.unreachable_pairs
+        )
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// For one node: `routes[host]` = ECMP candidate out-links toward that
 /// host (empty for the host's own node).
@@ -30,21 +59,63 @@ pub struct TopoView<'a> {
 /// Compute per-node ECMP route tables by BFS from each destination host
 /// over reversed links.
 ///
-/// # Panics
-/// Panics if some host is unreachable from some node (a mis-built
-/// topology should fail loudly at construction, not mid-simulation).
-pub fn compute_routes(topo: &TopoView<'_>) -> Vec<RouteTable> {
+/// # Errors
+/// Returns a [`RouteError`] if some host is unreachable from some node:
+/// a mis-built topology should fail loudly at construction, not
+/// mid-simulation.
+pub fn compute_routes(topo: &TopoView<'_>) -> Result<Vec<RouteTable>, RouteError> {
+    let all_up = vec![true; topo.links.len()];
+    let (tables, unreachable_pairs, first) = routes_over(topo, &all_up);
+    match first {
+        Some((node, host)) => Err(RouteError {
+            host,
+            node,
+            unreachable_pairs,
+        }),
+        None => Ok(tables),
+    }
+}
+
+/// Compute route tables using only the links flagged up in `link_up`
+/// (index-aligned with `topo.links`). Unlike [`compute_routes`] this
+/// tolerates partitions: a `(node, host)` pair with no surviving path
+/// gets an *empty* candidate set — the forwarding layer is expected to
+/// drop (and account) packets that hit one. Returns the tables and the
+/// number of unreachable `(node, host)` pairs.
+///
+/// This is the reconvergence path after a link failure: ECMP rehashes
+/// over whatever candidates survive.
+pub fn compute_routes_partial(
+    topo: &TopoView<'_>,
+    link_up: &[bool],
+) -> (Vec<RouteTable>, usize) {
+    let (tables, unreachable_pairs, _) = routes_over(topo, link_up);
+    (tables, unreachable_pairs)
+}
+
+/// Shared BFS core: tables over up links, unreachable-pair count, and
+/// the first unreachable `(node, host)` pair if any.
+fn routes_over(
+    topo: &TopoView<'_>,
+    link_up: &[bool],
+) -> (Vec<RouteTable>, usize, Option<(usize, usize)>) {
+    assert_eq!(link_up.len(), topo.links.len(), "link_up length mismatch");
     let n = topo.num_nodes;
     // Outgoing links per node.
     let mut out: Vec<Vec<LinkIdx>> = vec![Vec::new(); n];
     // Incoming links per node (for reverse BFS).
     let mut inc: Vec<Vec<LinkIdx>> = vec![Vec::new(); n];
     for (l, &(from, to)) in topo.links.iter().enumerate() {
+        if !link_up[l] {
+            continue;
+        }
         out[from as usize].push(l as LinkIdx);
         inc[to as usize].push(l as LinkIdx);
     }
 
     let mut tables: Vec<RouteTable> = vec![vec![Vec::new(); topo.host_nodes.len()]; n];
+    let mut unreachable = 0usize;
+    let mut first: Option<(usize, usize)> = None;
 
     for (h, &hnode) in topo.host_nodes.iter().enumerate() {
         // BFS distances to hnode over reversed edges.
@@ -64,20 +135,23 @@ pub fn compute_routes(topo: &TopoView<'_>) -> Vec<RouteTable> {
             if v == hnode as usize {
                 continue;
             }
-            assert!(
-                dist[v] != u32::MAX,
-                "host {h} unreachable from node {v}: broken topology"
-            );
+            if dist[v] == u32::MAX {
+                unreachable += 1;
+                if first.is_none() {
+                    first = Some((v, h));
+                }
+                continue;
+            }
             for &l in &out[v] {
                 let to = topo.links[l as usize].1;
-                if dist[to as usize] + 1 == dist[v] {
+                if dist[to as usize] != u32::MAX && dist[to as usize] + 1 == dist[v] {
                     tables[v][h].push(l);
                 }
             }
             debug_assert!(!tables[v][h].is_empty());
         }
     }
-    tables
+    (tables, unreachable, first)
 }
 
 /// Deterministic per-flow ECMP pick among `candidates` at `node`.
@@ -125,7 +199,7 @@ mod tests {
             num_nodes: 5,
             host_nodes: &hosts,
         };
-        let tables = compute_routes(&topo);
+        let tables = compute_routes(&topo).expect("star is connected");
         // From host 0 toward host 2: its only uplink (link 0).
         assert_eq!(tables[0][2], vec![0]);
         // From the switch toward host 2: the downlink (4,2) = link 5.
@@ -160,7 +234,7 @@ mod tests {
             num_nodes: 6,
             host_nodes: &hosts,
         };
-        let tables = compute_routes(&topo);
+        let tables = compute_routes(&topo).expect("mesh is connected");
         // From leaf0 (node 2) toward host 1: two uplinks (to spine 4 and
         // spine 5).
         let ups = &tables[2][1];
@@ -207,7 +281,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unreachable")]
     fn disconnected_topology_rejected() {
         // Host 1 (node 1) has no links at all.
         let links = vec![(0u32, 2u32), (2, 0)];
@@ -216,6 +289,66 @@ mod tests {
             num_nodes: 3,
             host_nodes: &[0, 1],
         };
-        compute_routes(&topo);
+        let err = compute_routes(&topo).expect_err("must reject partition");
+        // Host 0 is the first destination swept; nodes 1 and 2... node 1
+        // has no links, so it cannot reach host 0.
+        assert_eq!(err.host, 0);
+        assert_eq!(err.node, 1);
+        // Unreachable pairs: (1→h0), (1→h1 itself is skipped as own
+        // node), (0→h1), (2→h1) — host 1 unreachable from both others,
+        // host 0 unreachable from node 1.
+        assert_eq!(err.unreachable_pairs, 3);
+        let msg = err.to_string();
+        assert!(msg.contains("unreachable"), "descriptive message: {msg}");
+        assert!(msg.contains("disconnected"), "descriptive message: {msg}");
+    }
+
+    #[test]
+    fn partial_routes_survive_a_dead_spine() {
+        let (links, hosts) = mini_leaf_spine();
+        let topo = TopoView {
+            links: &links,
+            num_nodes: 6,
+            host_nodes: &hosts,
+        };
+        // Kill both directions of leaf0↔spine4 (links 4 and 5).
+        let mut up = vec![true; links.len()];
+        for (l, &(a, b)) in links.iter().enumerate() {
+            if (a, b) == (2, 4) || (a, b) == (4, 2) {
+                up[l] = false;
+            }
+        }
+        let (tables, unreachable) = compute_routes_partial(&topo, &up);
+        assert_eq!(unreachable, 0, "spine 5 still connects everything");
+        // Leaf0 → host1 now has exactly one uplink, toward spine 5.
+        let ups = &tables[2][1];
+        assert_eq!(ups.len(), 1);
+        assert_eq!(links[ups[0] as usize].1, 5);
+
+        // Now also kill leaf0↔spine5: host/leaf 0 side is islanded.
+        for (l, &(a, b)) in links.iter().enumerate() {
+            if (a, b) == (2, 5) || (a, b) == (5, 2) {
+                up[l] = false;
+            }
+        }
+        let (tables, unreachable) = compute_routes_partial(&topo, &up);
+        assert!(unreachable > 0);
+        assert!(
+            tables[2][1].is_empty(),
+            "no candidates toward an unreachable host"
+        );
+        // And the full computation rejects the same state loudly.
+        let sub: Vec<(u32, u32)> = links
+            .iter()
+            .zip(&up)
+            .filter(|&(_, &u)| u)
+            .map(|(&l, _)| l)
+            .collect();
+        assert!(compute_routes(&TopoView {
+            links: &sub,
+            num_nodes: 6,
+            host_nodes: &hosts,
+        })
+        .is_err());
     }
 }

@@ -1,0 +1,240 @@
+//! Integration tests for the deterministic fault-injection layer:
+//! quiet-plan identity, Bernoulli loss, corruption, jitter reordering,
+//! and a mid-run link flap on the leaf-spine fabric with ECMP
+//! reconvergence. All runs execute under the `NetAudit` conservation
+//! checker when `debug_assertions` (or `--features audit`) is on, so a
+//! misclassified fault drop fails these tests loudly.
+
+use tcn_core::Tcn;
+use tcn_net::{
+    leaf_spine, single_switch, FlowSpec, LeafSpineConfig, NetworkSim, PortSetup, TaggingPolicy,
+};
+use tcn_sched::Dwrr;
+use tcn_sim::{FaultPlan, LinkFaultProfile, LinkFlap, Rate, Time};
+use tcn_transport::TcpConfig;
+
+fn tcn_port() -> PortSetup {
+    PortSetup {
+        nqueues: 2,
+        buffer: Some(300_000),
+        tx_rate: None,
+        make_sched: Box::new(|| Box::new(Dwrr::equal(2, 1500))),
+        make_aqm: Box::new(|| Box::new(Tcn::new(Time::from_us(100)))),
+    }
+}
+
+/// A small single-switch scenario: 4 hosts, 8 staggered flows into
+/// host 0 and host 1.
+fn star_sim() -> NetworkSim {
+    let mut sim = single_switch(
+        4,
+        Rate::from_gbps(1),
+        Time::from_us(25),
+        TcpConfig::sim_dctcp(),
+        TaggingPolicy::Fixed,
+        tcn_port,
+    );
+    for i in 0..8u32 {
+        sim.add_flow(FlowSpec {
+            src: 2 + ((i / 2) % 2),
+            dst: i % 2,
+            size: 200_000 + u64::from(i) * 10_000,
+            start: Time::from_us(u64::from(i) * 50),
+            service: 0,
+        });
+    }
+    sim
+}
+
+fn star_fcts(plan: Option<&FaultPlan>) -> Vec<u64> {
+    let mut sim = star_sim();
+    if let Some(p) = plan {
+        sim.install_faults(p);
+    }
+    assert!(sim.run_to_completion(Time::from_secs(10)));
+    sim.fct_records().iter().map(|r| r.fct.as_ps()).collect()
+}
+
+#[test]
+fn quiet_plan_is_identical_to_no_plan() {
+    // A fault plan with zero rates and no flaps must not perturb the
+    // simulation at all: same events, same FCTs, bit for bit.
+    let base = star_fcts(None);
+    let quiet = star_fcts(Some(&FaultPlan::quiet(7)));
+    assert_eq!(base, quiet, "quiet plan changed the schedule");
+}
+
+#[test]
+fn same_seed_replays_bit_identically() {
+    let plan = FaultPlan::uniform_loss(42, 0.02);
+    assert_eq!(star_fcts(Some(&plan)), star_fcts(Some(&plan)));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = star_fcts(Some(&FaultPlan::uniform_loss(1, 0.05)));
+    let b = star_fcts(Some(&FaultPlan::uniform_loss(2, 0.05)));
+    assert_ne!(a, b, "fault RNG ignored the seed");
+}
+
+#[test]
+fn uniform_loss_recovered_by_retransmission() {
+    let mut sim = star_sim();
+    sim.install_faults(&FaultPlan::uniform_loss(11, 0.02));
+    assert!(sim.run_to_completion(Time::from_secs(60)));
+    let fs = sim.fault_stats();
+    assert!(fs.loss_drops > 0, "2% loss over ~1k packets drew nothing");
+    assert_eq!(fs.corrupt_drops, 0);
+    // Lost ACKs are absorbed by later cumulative ACKs, so the rtx count
+    // is not >= loss_drops — but lost data must be retransmitted.
+    assert!(
+        sim.total_retransmitted_packets() > 0,
+        "lost data segments need retransmissions"
+    );
+    assert!(sim.total_retransmitted_bytes() > 0);
+}
+
+#[test]
+fn corruption_is_counted_at_the_receiver() {
+    let mut sim = star_sim();
+    let profile = LinkFaultProfile {
+        corrupt: 0.02,
+        ..LinkFaultProfile::NONE
+    };
+    let plan = FaultPlan {
+        seed: 3,
+        default_profile: profile,
+        ..FaultPlan::quiet(3)
+    };
+    sim.install_faults(&plan);
+    assert!(sim.run_to_completion(Time::from_secs(60)));
+    let fs = sim.fault_stats();
+    assert!(fs.corrupt_drops > 0, "2% corruption drew nothing");
+    assert_eq!(fs.loss_drops, 0);
+}
+
+#[test]
+fn jitter_reorders_but_everything_completes() {
+    let mut sim = star_sim();
+    let profile = LinkFaultProfile {
+        jitter_prob: 0.2,
+        jitter_max: Time::from_us(200),
+        ..LinkFaultProfile::NONE
+    };
+    let plan = FaultPlan {
+        seed: 5,
+        default_profile: profile,
+        ..FaultPlan::quiet(5)
+    };
+    sim.install_faults(&plan);
+    assert!(sim.run_to_completion(Time::from_secs(60)));
+    let fs = sim.fault_stats();
+    assert!(fs.jitter_delays > 0, "20% jitter drew nothing");
+    assert_eq!(fs.total_drops(), 0, "jitter must never drop packets");
+}
+
+/// The acceptance scenario: a leaf-spine fabric loses one leaf→spine
+/// uplink mid-run, routing reconverges after the detection delay, ECMP
+/// re-spreads over the surviving spines, and every flow still finishes.
+#[test]
+fn leaf_spine_flap_reconverges_and_all_flows_complete() {
+    let cfg = LeafSpineConfig::small();
+    let mut sim = leaf_spine(
+        cfg,
+        TcpConfig::sim_dctcp(),
+        TaggingPolicy::Fixed,
+        tcn_port,
+    );
+    // Cross-leaf flows: leaf 0 hosts (0..4) to leaf 3 hosts (12..16),
+    // forcing every byte over the leaf0 uplinks.
+    for i in 0..16u32 {
+        sim.add_flow(FlowSpec {
+            src: i % 4,
+            dst: 12 + (i % 4),
+            size: 500_000,
+            start: Time::from_us(u64::from(i) * 10),
+            service: 0,
+        });
+    }
+    // Leaf0's uplink to spine 0 flaps down mid-transfer and comes back.
+    let first_fabric = cfg.num_hosts() as u32 * 2;
+    let flapped = first_fabric; // leaf0 -> spine0
+    let plan = FaultPlan::quiet(9)
+        .with_detection_delay(Time::from_us(100))
+        .with_flap(LinkFlap {
+            link: flapped,
+            down_at: Time::from_ms(1),
+            up_at: Some(Time::from_ms(6)),
+        });
+    sim.install_faults(&plan);
+
+    assert!(
+        sim.run_to_completion(Time::from_secs(60)),
+        "flows stalled across the flap"
+    );
+    let fs = sim.fault_stats();
+    assert_eq!(fs.link_downs, 1);
+    assert_eq!(fs.link_ups, 1);
+    assert_eq!(fs.reconvergences, 2, "one per state change");
+    assert_eq!(
+        fs.unreachable_pairs, 0,
+        "one dead uplink must not partition a leaf-spine"
+    );
+    assert!(sim.link_is_up(flapped as usize));
+
+    // ECMP must have spread the flows over the surviving spine uplinks
+    // while spine 0 was dark.
+    let busy_uplinks = (0..cfg.spines)
+        .filter(|s| {
+            let li = first_fabric as usize + s * 2;
+            sim.port(li).stats().tx_packets > 0
+        })
+        .count();
+    assert!(
+        busy_uplinks >= 2,
+        "expected traffic on >=2 of {} uplinks, saw {}",
+        cfg.spines,
+        busy_uplinks
+    );
+}
+
+#[test]
+fn packets_in_flight_on_a_dead_link_are_dropped_and_accounted() {
+    // Keep the link down for the rest of the run: everything queued on
+    // or in flight over it becomes a dead-link drop, and the flows must
+    // still finish via RTO + the surviving paths.
+    let cfg = LeafSpineConfig::small();
+    let mut sim = leaf_spine(
+        cfg,
+        TcpConfig::sim_dctcp(),
+        TaggingPolicy::Fixed,
+        tcn_port,
+    );
+    for i in 0..8u32 {
+        sim.add_flow(FlowSpec {
+            src: i % 4,
+            dst: 12 + (i % 4),
+            size: 300_000,
+            start: Time::ZERO,
+            service: 0,
+        });
+    }
+    let flapped = cfg.num_hosts() as u32 * 2; // leaf0 -> spine0
+    let plan = FaultPlan::quiet(13)
+        .with_detection_delay(Time::from_us(50))
+        .with_flap(LinkFlap {
+            link: flapped,
+            down_at: Time::from_us(300),
+            up_at: None,
+        });
+    sim.install_faults(&plan);
+    assert!(sim.run_to_completion(Time::from_secs(60)));
+    let fs = sim.fault_stats();
+    assert_eq!(fs.link_downs, 1);
+    assert_eq!(fs.link_ups, 0);
+    assert!(
+        fs.dead_link_drops > 0,
+        "a permanently dead uplink under load must blackhole something"
+    );
+    assert!(!sim.link_is_up(flapped as usize));
+}

@@ -17,6 +17,9 @@
 //!   change under us when `rand` revises its algorithms.
 //! * [`Ewma`] — the exponentially weighted moving average used by the
 //!   departure-rate meter (paper Algorithm 1), MQ-ECN and DCTCP.
+//! * [`FaultPlan`] — seeded, deterministic fault-injection schedules
+//!   (loss, corruption, jitter, link flaps) with per-link RNG stream
+//!   isolation, threaded through the network layer.
 //!
 //! The engine is intentionally single-threaded: the simulated systems are
 //! CPU-bound state machines, and a deterministic serial event loop is both
@@ -27,10 +30,12 @@
 
 pub mod engine;
 pub mod ewma;
+pub mod fault;
 pub mod rng;
 pub mod time;
 
 pub use engine::{EventEntry, EventQueue};
 pub use ewma::Ewma;
+pub use fault::{FaultKind, FaultPlan, LinkFaultProfile, LinkFlap};
 pub use rng::Rng;
 pub use time::{Rate, Time};

@@ -7,17 +7,21 @@
 //!   "Performance metric");
 //! * [`series`] — time series for occupancy traces (Fig. 3), rate
 //!   estimates (Fig. 2) and goodput-over-time (Figs. 1, 5a);
-//! * [`dist`] — empirical CDFs for RTT distributions (Fig. 5b).
+//! * [`dist`] — empirical CDFs for RTT distributions (Fig. 5b);
+//! * [`recovery`] — retransmission/timeout/goodput accounting for the
+//!   chaos (fault-injection) experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod fct;
+pub mod recovery;
 pub mod series;
 pub mod summary;
 
 pub use dist::EmpiricalDist;
 pub use fct::{FctBreakdown, SizeClass};
+pub use recovery::RecoverySummary;
 pub use series::{GoodputTracker, TimeSeries};
 pub use summary::{jain_index, mean, percentile};

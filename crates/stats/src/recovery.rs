@@ -1,0 +1,74 @@
+//! Loss-recovery accounting for the chaos experiments: how much work
+//! the transport had to redo (retransmissions), how it recovered
+//! (timeouts vs. fast retransmits), and the goodput that survived —
+//! delivered application bytes over wall-clock time, which excludes
+//! retransmitted duplicates by construction.
+
+use tcn_sim::Time;
+
+/// Aggregate recovery counters for one run (all flows summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Application bytes delivered to receivers (each byte once).
+    pub delivered_bytes: u64,
+    /// Data packets re-sent below the sender's high-water mark.
+    pub rtx_packets: u64,
+    /// Payload bytes carried by those retransmissions.
+    pub rtx_bytes: u64,
+    /// RTO expiries across all senders.
+    pub timeouts: u64,
+    /// Fast retransmits (triple-dupack recoveries) across all senders.
+    pub fast_retransmits: u64,
+    /// Wall-clock span of the run (finish of the last flow).
+    pub elapsed: Time,
+}
+
+impl RecoverySummary {
+    /// Goodput in bits per second: delivered (not retransmitted) bytes
+    /// over the elapsed span. Zero when no time has passed.
+    pub fn goodput_bps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 * 8.0 / secs
+    }
+
+    /// Retransmitted fraction of all payload bytes put on the wire:
+    /// `rtx / (delivered + rtx)`. Zero for a clean run.
+    pub fn rtx_fraction(&self) -> f64 {
+        let total = self.delivered_bytes + self.rtx_bytes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.rtx_bytes as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_excludes_retransmissions() {
+        let s = RecoverySummary {
+            delivered_bytes: 1_000_000,
+            rtx_packets: 10,
+            rtx_bytes: 14_600,
+            timeouts: 1,
+            fast_retransmits: 2,
+            elapsed: Time::from_ms(100),
+        };
+        // 1 MB over 100 ms = 80 Mbps, regardless of rtx bytes.
+        assert!((s.goodput_bps() - 80e6).abs() < 1.0);
+        let f = s.rtx_fraction();
+        assert!(f > 0.0 && f < 0.02, "rtx fraction {f}");
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = RecoverySummary::default();
+        assert_eq!(s.goodput_bps(), 0.0);
+        assert_eq!(s.rtx_fraction(), 0.0);
+    }
+}

@@ -1,7 +1,9 @@
 //! Jacobson/Karels round-trip estimation with Karn's rule, as in every
 //! real TCP: `SRTT ← 7/8·SRTT + 1/8·sample`,
 //! `RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − sample|`,
-//! `RTO = max(RTO_min, SRTT + 4·RTTVAR)`, doubled on each backoff.
+//! `RTO = max(RTO_min, SRTT + 4·RTTVAR)`, doubled on each backoff and
+//! clamped to a configurable `RTO_max` cap so a dead path escalates to
+//! long, bounded probes instead of hammering the event queue.
 
 use tcn_sim::Time;
 
@@ -12,18 +14,21 @@ pub struct RttEstimator {
     rttvar: Time,
     rto_min: Time,
     rto_init: Time,
+    rto_max: Time,
     /// Exponential backoff multiplier (1 after a fresh sample).
     backoff: u32,
 }
 
 impl RttEstimator {
-    /// Estimator with the given floor and pre-first-sample RTO.
-    pub fn new(rto_min: Time, rto_init: Time) -> Self {
+    /// Estimator with the given floor, pre-first-sample RTO and
+    /// backoff ceiling (`rto_max`; pass [`Time::MAX`] for no cap).
+    pub fn new(rto_min: Time, rto_init: Time, rto_max: Time) -> Self {
         RttEstimator {
             srtt: None,
             rttvar: Time::ZERO,
             rto_min,
             rto_init,
+            rto_max,
             backoff: 0,
         }
     }
@@ -52,10 +57,11 @@ impl RttEstimator {
             Some(srtt) => srtt + self.rttvar * 4,
         };
         let backed_off = base.saturating_mul(1u64 << self.backoff.min(16));
-        backed_off.max(self.rto_min)
+        backed_off.max(self.rto_min).min(self.rto_max)
     }
 
-    /// Double the RTO (after an expiry — Karn's backoff).
+    /// Double the RTO (after an expiry — Karn's backoff), saturating at
+    /// the configured `rto_max` cap.
     pub fn back_off(&mut self) {
         self.backoff = (self.backoff + 1).min(16);
     }
@@ -72,13 +78,13 @@ mod tests {
 
     #[test]
     fn initial_rto_used_before_samples() {
-        let e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000));
+        let e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000), Time::MAX);
         assert_eq!(e.rto(), Time::from_ms(3000));
     }
 
     #[test]
     fn first_sample_seeds_srtt() {
-        let mut e = RttEstimator::new(Time::from_us(1), Time::from_ms(3000));
+        let mut e = RttEstimator::new(Time::from_us(1), Time::from_ms(3000), Time::MAX);
         e.sample(Time::from_us(100));
         assert_eq!(e.srtt(), Some(Time::from_us(100)));
         // RTO = srtt + 4*rttvar = 100 + 4*50 = 300 us.
@@ -87,14 +93,14 @@ mod tests {
 
     #[test]
     fn rto_floor_applies() {
-        let mut e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000));
+        let mut e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000), Time::MAX);
         e.sample(Time::from_us(100));
         assert_eq!(e.rto(), Time::from_ms(10), "RTO_min dominates in DCs");
     }
 
     #[test]
     fn srtt_converges_to_stable_rtt() {
-        let mut e = RttEstimator::new(Time::from_us(1), Time::from_ms(1));
+        let mut e = RttEstimator::new(Time::from_us(1), Time::from_ms(1), Time::MAX);
         for _ in 0..100 {
             e.sample(Time::from_us(200));
         }
@@ -106,7 +112,7 @@ mod tests {
 
     #[test]
     fn backoff_doubles_and_sample_resets() {
-        let mut e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000));
+        let mut e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000), Time::MAX);
         e.sample(Time::from_ms(20)); // RTO = 20 + 4*10 = 60 ms
         let base = e.rto();
         e.back_off();
@@ -121,8 +127,40 @@ mod tests {
     }
 
     #[test]
+    fn backoff_doubles_then_caps() {
+        // The satellite contract: 60 → 120 → 240 → cap 250 → stays 250,
+        // and a fresh sample drops back below the cap.
+        let cap = Time::from_ms(250);
+        let mut e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000), cap);
+        e.sample(Time::from_ms(20)); // RTO = 20 + 4*10 = 60 ms
+        let mut expected = vec![];
+        for _ in 0..5 {
+            expected.push(e.rto());
+            e.back_off();
+        }
+        assert_eq!(
+            expected,
+            vec![
+                Time::from_ms(60),
+                Time::from_ms(120),
+                Time::from_ms(240),
+                cap,
+                cap
+            ]
+        );
+        e.sample(Time::from_ms(20));
+        assert!(e.rto() < cap, "fresh sample clears the backoff");
+    }
+
+    #[test]
+    fn cap_applies_before_first_sample() {
+        let e = RttEstimator::new(Time::from_ms(10), Time::from_ms(3000), Time::from_ms(500));
+        assert_eq!(e.rto(), Time::from_ms(500));
+    }
+
+    #[test]
     fn backoff_saturates() {
-        let mut e = RttEstimator::new(Time::from_ms(5), Time::from_ms(100));
+        let mut e = RttEstimator::new(Time::from_ms(5), Time::from_ms(100), Time::MAX);
         for _ in 0..100 {
             e.back_off();
         }

@@ -35,6 +35,10 @@ pub struct TcpConfig {
     pub rto_min: Time,
     /// RTO before the first RTT sample (paper simulation: 5 ms).
     pub rto_init: Time,
+    /// Cap on the exponentially backed-off RTO, so repeated losses on a
+    /// dead path escalate to bounded probes instead of doubling without
+    /// limit (and a recovered path is re-probed promptly).
+    pub rto_max: Time,
     /// Number of duplicate ACKs that trigger fast retransmit.
     pub dupack_thresh: u32,
 }
@@ -50,6 +54,7 @@ impl TcpConfig {
             init_cwnd: 16,
             rto_min: Time::from_ms(5),
             rto_init: Time::from_ms(5),
+            rto_max: Time::from_ms(320),
             dupack_thresh: 3,
         }
     }
@@ -72,6 +77,7 @@ impl TcpConfig {
             init_cwnd: 10,
             rto_min: Time::from_ms(10),
             rto_init: Time::from_ms(10),
+            rto_max: Time::from_ms(640),
             dupack_thresh: 3,
         }
     }
@@ -152,6 +158,11 @@ pub struct TcpSender {
     timeouts: u64,
     fast_retransmits: u64,
     ecn_reductions: u64,
+    /// High-water mark of bytes handed to the wire; segments emitted
+    /// below it are retransmissions.
+    max_seq_sent: u64,
+    rtx_packets: u64,
+    rtx_bytes: u64,
     started: bool,
 }
 
@@ -178,7 +189,7 @@ impl TcpSender {
             cwr_end: 0,
             dupacks: 0,
             timed_seg: None,
-            rtt: RttEstimator::new(cfg.rto_min, cfg.rto_init),
+            rtt: RttEstimator::new(cfg.rto_min, cfg.rto_init, cfg.rto_max),
             rto_deadline: None,
             dctcp: DctcpState {
                 alpha: 0.0,
@@ -189,6 +200,9 @@ impl TcpSender {
             timeouts: 0,
             fast_retransmits: 0,
             ecn_reductions: 0,
+            max_seq_sent: 0,
+            rtx_packets: 0,
+            rtx_bytes: 0,
             started: false,
         }
     }
@@ -348,6 +362,17 @@ impl TcpSender {
         self.ecn_reductions
     }
 
+    /// Data segments retransmitted so far (go-back-N resends and fast
+    /// retransmits alike).
+    pub fn rtx_packets(&self) -> u64 {
+        self.rtx_packets
+    }
+
+    /// Payload bytes retransmitted so far.
+    pub fn rtx_bytes(&self) -> u64 {
+        self.rtx_bytes
+    }
+
     /// Flow id.
     pub fn flow(&self) -> FlowId {
         self.flow
@@ -450,8 +475,13 @@ impl TcpSender {
         out
     }
 
-    fn make_segment(&self, seq: u64, now: Time) -> Packet {
+    fn make_segment(&mut self, seq: u64, now: Time) -> Packet {
         let payload = u64::from(self.cfg.mss).min(self.size - seq) as u32;
+        if seq < self.max_seq_sent {
+            self.rtx_packets += 1;
+            self.rtx_bytes += u64::from(payload);
+        }
+        self.max_seq_sent = self.max_seq_sent.max(seq + u64::from(payload));
         let mut p = Packet::data(self.flow, self.src, self.dst, seq, payload, self.cfg.header);
         p.birth_ts = now;
         p

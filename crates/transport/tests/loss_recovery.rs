@@ -1,0 +1,200 @@
+//! Loss-recovery tests for the sender/receiver pair, driven by an
+//! in-memory lossy wire with scripted drops and reorders (no network
+//! simulator — just the transport state machines and a clock):
+//!
+//! * an isolated **tail loss** has no duplicate ACKs to trigger fast
+//!   retransmit, so only the RTO can recover it;
+//! * a **mid-window loss** generates a burst of duplicate ACKs and must
+//!   recover via fast retransmit with zero timeouts;
+//! * **mild reordering** (below the dup-ACK threshold) must cause zero
+//!   retransmissions of any kind.
+//!
+//! Each scenario sweeps a deterministic seed loop so the drop position
+//! varies while the recovery-path claim stays invariant.
+
+use std::collections::VecDeque;
+
+use tcn_core::{FlowId, Packet, PacketKind};
+use tcn_sim::{Rng, Time};
+use tcn_transport::{TcpConfig, TcpReceiver, TcpSender};
+
+const CASES: u64 = 32;
+
+/// What the wire does to the `i`-th *data transmission* (0-based count
+/// of packets handed to the wire, retransmissions included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireAction {
+    Deliver,
+    Drop,
+    /// Hold this packet back and deliver it right after the next one
+    /// (a one-packet reorder).
+    SwapWithNext,
+}
+
+struct RunResult {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    delivered: u64,
+}
+
+/// Drive one flow to completion over the scripted wire. One-way delay
+/// is 50 µs; the clock jumps to the RTO deadline whenever the wire goes
+/// idle with data still outstanding.
+fn run_flow(size: u64, mut action: impl FnMut(u64) -> WireAction) -> RunResult {
+    let one_way = Time::from_us(50);
+    let cfg = TcpConfig::sim_dctcp();
+    let mut sender = TcpSender::new(cfg, FlowId(1), 0, 1, size);
+    let mut receiver = TcpReceiver::new(FlowId(1), 1, 0, size);
+    let mut now = Time::from_us(1);
+
+    let mut wire: VecDeque<Packet> = VecDeque::new();
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let mut timer: Option<Time>;
+
+    let out = sender.start(now);
+    wire.extend(out.packets);
+    timer = out.timer;
+
+    // Generous step bound: a stuck state machine fails loudly instead
+    // of spinning forever.
+    for _ in 0..100_000 {
+        if sender.is_done() {
+            return RunResult {
+                sender,
+                receiver,
+                delivered,
+            };
+        }
+        let pkt = match wire.pop_front() {
+            Some(p) => p,
+            None => {
+                // Wire idle with the flow unfinished: only the armed
+                // RTO can make progress.
+                let deadline = timer.expect("idle, not done, and no timer armed");
+                now = now.max(deadline);
+                let out = sender.on_timer(now);
+                wire.extend(out.packets);
+                timer = out.timer;
+                continue;
+            }
+        };
+        match action(sent) {
+            WireAction::Drop => {
+                sent += 1;
+                continue;
+            }
+            WireAction::SwapWithNext => {
+                sent += 1;
+                if let Some(next) = wire.pop_front() {
+                    wire.push_front(pkt);
+                    wire.push_front(next);
+                } else {
+                    wire.push_front(pkt);
+                }
+                continue;
+            }
+            WireAction::Deliver => sent += 1,
+        }
+        delivered += 1;
+        now += one_way;
+        let ack = receiver.on_data(&pkt, now);
+        now += one_way;
+        let (cum_ack, ece) = match ack.kind {
+            PacketKind::Ack { cum_ack, ece } => (cum_ack, ece),
+            _ => panic!("receiver produced non-ack"),
+        };
+        let out = sender.on_ack(cum_ack, ece, now);
+        wire.extend(out.packets);
+        timer = out.timer;
+    }
+    panic!("flow did not complete within the step bound");
+}
+
+#[test]
+fn tail_loss_is_recovered_by_rto_only() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7A11 + case);
+        // 4..16 full segments; drop the very last first transmission.
+        let nseg = 4 + rng.gen_range(13);
+        let size = nseg * 1460;
+        let last = nseg - 1;
+        let r = run_flow(size, |i| {
+            if i == last {
+                WireAction::Drop
+            } else {
+                WireAction::Deliver
+            }
+        });
+        assert!(r.receiver.is_complete(), "case {case}");
+        assert_eq!(
+            r.sender.timeouts(),
+            1,
+            "case {case}: tail loss must cost exactly one RTO"
+        );
+        assert_eq!(
+            r.sender.fast_retransmits(),
+            0,
+            "case {case}: no dupacks exist after a tail loss"
+        );
+        assert!(r.sender.rtx_packets() >= 1, "case {case}");
+    }
+}
+
+#[test]
+fn mid_window_loss_is_recovered_by_fast_retransmit() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xFA57 + case);
+        // Big enough that >= dupack_thresh segments follow the loss
+        // inside the initial window (IW = 16 segments).
+        let nseg = 20 + rng.gen_range(21);
+        let size = nseg * 1460;
+        // Drop one first-transmission in the first window, leaving at
+        // least 3 later segments in flight to generate the dupacks.
+        let victim = 2 + rng.gen_range(10);
+        let r = run_flow(size, |i| {
+            if i == victim {
+                WireAction::Drop
+            } else {
+                WireAction::Deliver
+            }
+        });
+        assert!(r.receiver.is_complete(), "case {case}");
+        assert_eq!(
+            r.sender.timeouts(),
+            0,
+            "case {case}: fast retransmit must beat the RTO"
+        );
+        assert_eq!(r.sender.fast_retransmits(), 1, "case {case}");
+        assert!(r.sender.rtx_packets() >= 1, "case {case}");
+    }
+}
+
+#[test]
+fn mild_reordering_causes_zero_spurious_retransmits() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0EDE + case);
+        let nseg = 8 + rng.gen_range(25);
+        let size = nseg * 1460;
+        // Swap one adjacent pair: the receiver sees exactly one
+        // out-of-order segment -> at most one dupack, below the
+        // threshold of 3.
+        let victim = rng.gen_range(nseg - 1);
+        let r = run_flow(size, |i| {
+            if i == victim {
+                WireAction::SwapWithNext
+            } else {
+                WireAction::Deliver
+            }
+        });
+        assert!(r.receiver.is_complete(), "case {case}");
+        assert_eq!(r.sender.timeouts(), 0, "case {case}");
+        assert_eq!(r.sender.fast_retransmits(), 0, "case {case}");
+        assert_eq!(
+            r.sender.rtx_packets(),
+            0,
+            "case {case}: reordering below the dupack threshold must not retransmit"
+        );
+        assert_eq!(r.delivered, nseg, "every segment sent exactly once");
+    }
+}

@@ -24,6 +24,7 @@
 //! | `no-unsafe`       | every `.rs` file in the repo            | the `unsafe` keyword |
 //! | `forbid-unsafe-attr` | every crate root                     | missing `#![forbid(unsafe_code)]` |
 //! | `aqm-doc-cite`    | `core/src`, `baselines/src`             | a public AQM whose doc comment never cites a paper section (`§`) |
+//! | `fault-kind-doc`  | every `.rs` file in the repo            | a `FaultKind` variant without a doc comment naming its real-world failure mode |
 
 use std::fmt;
 use std::fs;
@@ -524,6 +525,117 @@ pub fn check_aqm_doc_cite(path: &Path, raw: &str) -> Vec<Diagnostic> {
     out
 }
 
+/// `fault-kind-doc`: every variant of the `FaultKind` enum must carry a
+/// doc comment naming the real-world failure mode it models (at least
+/// 10 characters of prose). Fault taxonomies rot fastest: an undocumented
+/// variant forces every reader back to the injection site to learn what
+/// a counter means.
+pub fn check_fault_kind_doc(path: &Path, raw: &str) -> Vec<Diagnostic> {
+    let view = code_view(raw);
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let view_lines: Vec<&str> = view.lines().collect();
+    let mut out = Vec::new();
+
+    let Some(start) = view_lines.iter().position(|l| {
+        l.find("enum FaultKind").is_some_and(|at| {
+            l[at + "enum FaultKind".len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+        })
+    }) else {
+        return out;
+    };
+
+    // Brace-track to the end of the enum body.
+    let mut depth = 0i64;
+    let mut opened = false;
+    let mut end = start;
+    'outer: for (k, line) in view_lines.iter().enumerate().skip(start) {
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        end = k;
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+        }
+        end = k;
+    }
+
+    for idx in start + 1..end {
+        let trimmed = view_lines[idx].trim_start();
+        // A variant line starts with an uppercase identifier at brace
+        // depth 1; attributes, docs (blanked in the view) and field
+        // lines of brace-variants don't.
+        let is_variant = trimmed
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+            && !trimmed.starts_with("Self");
+        if !is_variant || !variant_depth_one(&view_lines[start..idx]) {
+            continue;
+        }
+        let name: String = trimmed
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        // Walk upward over attributes to the doc comment.
+        let mut documented = false;
+        let mut k = idx;
+        while k > start + 1 {
+            k -= 1;
+            let l = raw_lines.get(k).copied().unwrap_or("").trim_start();
+            if let Some(text) = l.strip_prefix("///") {
+                if text.trim().len() >= 10 {
+                    documented = true;
+                }
+                break;
+            } else if l.starts_with("#[") {
+                continue;
+            } else {
+                break;
+            }
+        }
+        if !documented {
+            out.push(Diagnostic {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "fault-kind-doc",
+                message: format!(
+                    "`FaultKind::{name}` has no doc comment naming the \
+                     real-world failure mode it models"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// True when the line after `prefix` sits at brace depth 1 (directly in
+/// the enum body, not inside a struct-variant's field block).
+fn variant_depth_one(prefix: &[&str]) -> bool {
+    let mut depth = 0i64;
+    for line in prefix {
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    depth == 1
+}
+
 // ---------------------------------------------------------------------------
 // Repo walk + driver
 // ---------------------------------------------------------------------------
@@ -606,6 +718,7 @@ pub fn lint_repo(repo: &Path) -> Vec<Diagnostic> {
             out.extend(check_no_float_time(&r, &raw));
         }
         out.extend(check_no_unsafe(&r, &raw));
+        out.extend(check_fault_kind_doc(&r, &raw));
     }
 
     // forbid-unsafe-attr on crate roots.
@@ -769,6 +882,44 @@ mod tests {
     fn aqm_citation_may_sit_above_derive() {
         let src = "/// Cited scheme (§3.2).\n#[derive(Debug, Clone)]\npub struct Foo;\n\nimpl Aqm for Foo {\n}\n";
         assert!(check_aqm_doc_cite(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_fault_kind_variant_is_caught() {
+        let src = "pub enum FaultKind {\n    /// A flaky optic silently eating frames on the wire.\n    Loss,\n    Corrupt,\n}\n";
+        let d = check_fault_kind_doc(&p(), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "fault-kind-doc");
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("Corrupt"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn trivial_fault_kind_doc_is_caught() {
+        // A doc comment that names nothing ("/// Loss.") is as useless
+        // as no doc at all.
+        let src = "pub enum FaultKind {\n    /// Loss.\n    Loss,\n}\n";
+        let d = check_fault_kind_doc(&p(), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn documented_fault_kind_is_clean() {
+        let src = "pub enum FaultKind {\n    /// A flaky optic silently eating frames on the wire.\n    Loss,\n    /// Bit errors past the FEC budget; receiver drops on bad CRC.\n    #[allow(dead_code)]\n    Corrupt,\n}\n";
+        assert!(check_fault_kind_doc(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn fault_kind_struct_variant_fields_are_not_variants() {
+        let src = "pub enum FaultKind {\n    /// Maintenance pulling the wrong cable: the link goes dark.\n    LinkDown {\n        Link: u32,\n    },\n}\n";
+        assert!(check_fault_kind_doc(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn other_enums_are_out_of_scope() {
+        let src = "pub enum FaultKindred {\n    Undocumented,\n}\npub enum Other {\n    AlsoUndocumented,\n}\n";
+        assert!(check_fault_kind_doc(&p(), src).is_empty());
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! * `test-all` — `cargo test -q --workspace` (every crate's suites;
 //!   much slower — the experiments crate simulates full FCT sweeps in
 //!   debug mode with the audit hooks live).
-//! * `ci`    — build, then test, then lint: the tier-1 gate in one
-//!   command. Stops at the first failing stage.
+//! * `ci`    — build, then test, then tier-1 again in release with
+//!   `--features audit` (every runtime invariant checker live), then
+//!   lint: the tier-1 gate in one command. Stops at the first failing
+//!   stage.
 //!
 //! Everything here is pure std: the harness must work in an offline
 //! container with nothing but the Rust toolchain.
@@ -34,9 +36,15 @@ fn main() -> ExitCode {
         Some("test") => run_cargo(&repo, &["test", "-q"]),
         Some("test-all") => run_cargo(&repo, &["test", "-q", "--workspace"]),
         Some("ci") => {
-            let stages: [(&str, fn(&Path) -> ExitCode); 3] = [
+            let stages: [(&str, fn(&Path) -> ExitCode); 4] = [
                 ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
                 ("test", |r| run_cargo(r, &["test", "-q"])),
+                // Tier-1 again in release with every runtime invariant
+                // checker live — debug runs audit via debug_assertions,
+                // so this is the only stage covering the feature path.
+                ("test (audit)", |r| {
+                    run_cargo(r, &["test", "-q", "--release", "--features", "audit"])
+                }),
                 ("lint", run_lint),
             ];
             for (name, stage) in stages {
@@ -55,11 +63,12 @@ fn main() -> ExitCode {
                 "usage: cargo xtask <lint|build|test|test-all|ci>\n\
                  \n\
                  lint      offline static analysis (no-unwrap, no-float-time,\n\
-                 \x20         no-unsafe, forbid-unsafe-attr, aqm-doc-cite)\n\
+                 \x20         no-unsafe, forbid-unsafe-attr, aqm-doc-cite,\n\
+                 \x20         fault-kind-doc)\n\
                  build     cargo build --release --workspace\n\
                  test      cargo test -q (tier-1 test set)\n\
                  test-all  cargo test -q --workspace (slow, every crate)\n\
-                 ci        build + test + lint (the tier-1 gate)"
+                 ci        build + test + test(audit) + lint (the tier-1 gate)"
             );
             if args.is_empty() {
                 ExitCode::from(2)
