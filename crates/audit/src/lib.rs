@@ -24,6 +24,10 @@
 //!   a host emits is delivered, congestion-dropped at a port,
 //!   fault-dropped by the injection layer, resident in a queue, or in
 //!   flight — nothing leaks, even under induced loss and link failures.
+//! * **Arena discipline** ([`ArenaAudit`]) — every packet-arena handle
+//!   is freed exactly once (generation-checked: no double free, no
+//!   stale-handle access) and no packets are live once the simulation's
+//!   event queue has drained (`crates/core`'s `PacketArena` contract).
 //!
 //! # Cost model
 //!
@@ -74,6 +78,9 @@ pub enum Invariant {
     /// classifying injected fault drops (loss/corruption/dead links)
     /// separately from congestion drops.
     NetConservation,
+    /// Packet-arena handle discipline: freed exactly once, nothing
+    /// live at drain.
+    Arena,
 }
 
 impl fmt::Display for Invariant {
@@ -85,6 +92,7 @@ impl fmt::Display for Invariant {
             Invariant::WorkConservation => "work-conservation",
             Invariant::AqmContract => "aqm-contract",
             Invariant::NetConservation => "net-conservation",
+            Invariant::Arena => "arena",
         };
         f.write_str(s)
     }
@@ -195,6 +203,99 @@ impl ClockAudit {
             self.log.fail(
                 Invariant::Clock,
                 format!("scheduled into the past: {at_ps} ps < now {now_ps} ps"),
+            );
+        }
+    }
+
+    /// The event queue dropped every pending event and restarted its
+    /// tie-break sequence numbering (`EventQueue::clear`). The popped
+    /// `(time, seq)` history must reset with it: the next pop may
+    /// legally carry a *smaller* sequence number at the same instant,
+    /// which is not a FIFO inversion — no event that was pending at
+    /// clear time will ever fire.
+    #[inline]
+    pub fn on_clear(&mut self) {
+        if !active() {
+            return;
+        }
+        self.last = None;
+    }
+}
+
+/// Packet-arena handle-discipline checker.
+///
+/// The arena reports every allocation and every free attempt; the
+/// checker verifies that frees always hit a live, generation-current
+/// slot (each handle freed exactly once) and that nothing remains live
+/// once the simulation has drained.
+#[derive(Debug, Clone, Default)]
+pub struct ArenaAudit {
+    allocs: u64,
+    frees: u64,
+    log: Log,
+}
+
+impl ArenaAudit {
+    checker_common!();
+
+    /// A packet slot was handed out (fresh or recycled).
+    #[inline]
+    pub fn on_alloc(&mut self) {
+        if !active() {
+            return;
+        }
+        self.allocs += 1;
+    }
+
+    /// A handle was freed and its slot's generation matched.
+    #[inline]
+    pub fn on_free(&mut self) {
+        if !active() {
+            return;
+        }
+        self.frees += 1;
+        if self.frees > self.allocs {
+            let (f, a) = (self.frees, self.allocs);
+            self.log.fail(
+                Invariant::Arena,
+                format!("more frees than allocations: {f} > {a}"),
+            );
+        }
+    }
+
+    /// A free attempt named slot `index` expecting generation
+    /// `handle_gen`, but the slot is at `slot_gen` (stale handle /
+    /// double free) or empty.
+    #[inline]
+    pub fn on_invalid_free(&mut self, index: u32, handle_gen: u32, slot_gen: u32) {
+        if !active() {
+            return;
+        }
+        self.log.fail(
+            Invariant::Arena,
+            format!(
+                "freed a dead handle: slot {index} generation {handle_gen} \
+                 (slot is at generation {slot_gen}) — double free or stale handle"
+            ),
+        );
+    }
+
+    /// The simulation's event queue has drained; `live` is the arena's
+    /// live-slot count, which must be zero (every in-flight packet was
+    /// delivered or dropped, and its handle freed).
+    #[inline]
+    pub fn check_drained(&mut self, live: u64) {
+        if !active() {
+            return;
+        }
+        if live != 0 {
+            let (a, f) = (self.allocs, self.frees);
+            self.log.fail(
+                Invariant::Arena,
+                format!(
+                    "{live} packet(s) still live in the arena after the event \
+                     queue drained (allocated {a}, freed {f})"
+                ),
             );
         }
     }
@@ -748,6 +849,63 @@ mod tests {
         let mut n = NetAudit::recording();
         n.on_arrive();
         assert_eq!(n.violations().len(), 1);
+    }
+
+    #[test]
+    fn clock_clear_resets_tie_break_history() {
+        let mut c = ClockAudit::recording();
+        c.on_pop(100, 5);
+        c.on_clear();
+        // After a clear the queue restarts sequence numbering; seq 0 at
+        // the same instant is a fresh epoch, not a FIFO inversion.
+        c.on_pop(100, 0);
+        assert!(c.violations().is_empty());
+    }
+
+    #[test]
+    fn clock_without_clear_flags_seq_restart() {
+        let mut c = ClockAudit::recording();
+        c.on_pop(100, 5);
+        c.on_pop(100, 0); // no clear: genuine tie-break inversion
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn arena_accepts_balanced_lifecycle() {
+        let mut a = ArenaAudit::new();
+        a.on_alloc();
+        a.on_alloc();
+        a.on_free();
+        a.on_free();
+        a.check_drained(0);
+    }
+
+    #[test]
+    fn arena_catches_double_free() {
+        let mut a = ArenaAudit::recording();
+        a.on_alloc();
+        a.on_free();
+        a.on_invalid_free(0, 0, 1);
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].invariant, Invariant::Arena);
+    }
+
+    #[test]
+    fn arena_catches_excess_frees() {
+        let mut a = ArenaAudit::recording();
+        a.on_alloc();
+        a.on_free();
+        a.on_free();
+        assert_eq!(a.violations().len(), 1);
+    }
+
+    #[test]
+    fn arena_catches_leak_at_drain() {
+        let mut a = ArenaAudit::recording();
+        a.on_alloc();
+        a.check_drained(1);
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].invariant, Invariant::Arena);
     }
 
     #[test]

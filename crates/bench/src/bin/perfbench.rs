@@ -1,0 +1,259 @@
+//! `perfbench` — the repo's performance baseline harness.
+//!
+//! Produces the two checked-in baseline files at the repo root:
+//!
+//! * `BENCH_engine.json` — event-queue hold-model throughput (calendar
+//!   `EventQueue` vs the `HeapEventQueue` binary-heap oracle, pops/sec)
+//!   and the in-flight packet arena's per-packet allocator round-trips
+//!   measured on a real testbed-star simulation;
+//! * `BENCH_sweep.json` — wall clock for a fig5 + fig10 experiment
+//!   slice, serial vs parallel sweep runner, with the host parallelism
+//!   recorded so the speedup number can be judged honestly.
+//!
+//! Modes:
+//!
+//! * default — full measurement, **writes** both files;
+//! * `--smoke` — reduced iteration counts, **no writes**: re-measures
+//!   the machine-independent calendar-vs-binheap throughput ratio and
+//!   fails (exit 1) if it regressed more than 25 % against the
+//!   checked-in `BENCH_engine.json`. `cargo xtask ci` runs this stage.
+//!
+//! Wall-clock timing is deliberately confined to `crates/bench` (and
+//! `xtask`): the `no-wallclock` lint rule keeps `Instant`/`SystemTime`
+//! out of the simulation crates, where all time is virtual.
+
+use std::time::Instant;
+
+use tcn_experiments::common::{params, switch_port, Scale};
+use tcn_experiments::fct_sweep::{self, SweepConfig};
+use tcn_experiments::json::{Json, ToJson};
+use tcn_experiments::{fig5, Scheme};
+use tcn_net::{single_switch, LeafSpineConfig, TaggingPolicy, TransportChoice};
+use tcn_sim::{EventQueue, HeapEventQueue, Rng, Time};
+use tcn_workloads::{gen_many_to_one, Workload};
+
+/// Repo root, derived from this crate's manifest dir (crates/bench).
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has two ancestors")
+        .to_path_buf()
+}
+
+/// Shaped hold-model delta: mostly near-horizon (sub-day to a few
+/// calendar days), some same-instant ties, a mid tail spanning many
+/// days, and a rare far tail that lands in the overflow tier — the same
+/// mix the differential test uses, approximating a DES's event horizon.
+fn shaped_delta(rng: &mut Rng) -> Time {
+    let shape = rng.gen_range(100);
+    if shape < 60 {
+        Time::from_ps(rng.gen_range(1 << 22)) // ≤ ~4 µs (≈ 4 days)
+    } else if shape < 80 {
+        Time::ZERO
+    } else if shape < 95 {
+        Time::from_ps(rng.gen_range(1 << 29)) // ≤ ~0.5 ms
+    } else {
+        Time::from_ps(rng.gen_range(1 << 36)) // ≤ ~70 ms (overflow tier)
+    }
+}
+
+/// Classic hold model: keep `resident` events queued; each step pops
+/// the earliest and schedules a replacement at `now + delta`. Returns
+/// pops per second of wall time.
+macro_rules! hold_model {
+    ($name:ident, $queue:ty) => {
+        fn $name(resident: usize, pops: u64, seed: u64) -> f64 {
+            let mut q: $queue = <$queue>::new();
+            let mut rng = Rng::new(seed);
+            for i in 0..resident as u64 {
+                let d = shaped_delta(&mut rng);
+                q.schedule_at(Time::ZERO.saturating_add(d), i);
+            }
+            let t0 = Instant::now();
+            for i in 0..pops {
+                let e = q.pop().expect("hold model never drains");
+                std::hint::black_box(e.event);
+                let d = shaped_delta(&mut rng);
+                q.schedule_at(e.at.saturating_add(d), i);
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            pops as f64 / secs
+        }
+    };
+}
+
+hold_model!(hold_calendar, EventQueue<u64>);
+hold_model!(hold_binheap, HeapEventQueue<u64>);
+
+/// Run a testbed-star cell (fig6 shape) and report the arena's
+/// allocator counters: the "zero allocator round-trips in steady
+/// state" claim, measured.
+fn arena_measurement(flows: usize) -> Json {
+    let cfg = SweepConfig::fig6();
+    let rate = cfg.rate;
+    let scheme = Scheme::Tcn {
+        threshold: params::testbed::TCN_T,
+    };
+    let mk = || {
+        switch_port(
+            cfg.nqueues,
+            Some(cfg.buffer),
+            None,
+            cfg.sched,
+            scheme,
+            rate,
+            1500,
+            1,
+        )
+    };
+    let mut sim = single_switch(
+        9,
+        rate,
+        params::testbed::LINK_DELAY,
+        TransportChoice::TestbedDctcp.config(),
+        TaggingPolicy::Fixed,
+        mk,
+    );
+    let mut rng = Rng::new(42);
+    let senders: Vec<u32> = (0..8).collect();
+    let specs = gen_many_to_one(
+        &mut rng,
+        flows,
+        &senders,
+        8,
+        &Workload::WebSearch.cdf(),
+        0.7,
+        rate,
+        &(0..4).collect::<Vec<u8>>(),
+        Time::ZERO,
+    );
+    for f in &specs {
+        sim.add_flow(*f);
+    }
+    assert!(sim.run_to_completion(Time::from_secs(10_000)));
+    let s = sim.arena_stats();
+    Json::obj(vec![
+        ("flows", (flows as u64).to_json()),
+        ("inserted", s.inserted.to_json()),
+        ("slot_allocs", s.slot_allocs.to_json()),
+        ("recycled", s.recycled.to_json()),
+        ("high_water", s.high_water.to_json()),
+        ("allocs_per_packet", s.allocs_per_packet().to_json()),
+    ])
+}
+
+fn engine_baseline(smoke: bool) -> Json {
+    let resident = 1 << 16;
+    let pops: u64 = if smoke { 400_000 } else { 4_000_000 };
+    // Interleave A/B/A/B and keep the better of two rounds each, so a
+    // one-off scheduler hiccup doesn't skew the ratio.
+    let mut cal: f64 = 0.0;
+    let mut bin: f64 = 0.0;
+    for round in 0..2u64 {
+        cal = cal.max(hold_calendar(resident, pops, 11 + round));
+        bin = bin.max(hold_binheap(resident, pops, 11 + round));
+    }
+    let arena = arena_measurement(if smoke { 150 } else { 600 });
+    Json::obj(vec![
+        ("resident_events", (resident as u64).to_json()),
+        ("pops", pops.to_json()),
+        ("calendar_pops_per_sec", cal.round().to_json()),
+        ("binheap_pops_per_sec", bin.round().to_json()),
+        ("calendar_vs_binheap", (cal / bin).to_json()),
+        ("arena", arena),
+    ])
+}
+
+fn sweep_baseline() -> Json {
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = host.max(1);
+
+    let t0 = Instant::now();
+    let f5 = fig5::run(Time::from_ms(150));
+    std::hint::black_box(&f5);
+    let fig5_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let scale = Scale {
+        flows: 250,
+        loads: &[0.5, 0.7],
+        seed: 1,
+    };
+    let cfg = SweepConfig::fig10(LeafSpineConfig::small());
+    let schemes = cfg.schemes();
+    let t1 = Instant::now();
+    let serial = fct_sweep::run_schemes_with_threads(&cfg, &scale, &schemes, 1);
+    let serial_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let t2 = Instant::now();
+    let par = fct_sweep::run_schemes_with_threads(&cfg, &scale, &schemes, threads);
+    let par_ms = t2.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        serial.to_json().pretty(),
+        par.to_json().pretty(),
+        "parallel sweep output diverged from serial"
+    );
+
+    Json::obj(vec![
+        ("host_parallelism", (host as u64).to_json()),
+        ("threads", (threads as u64).to_json()),
+        ("fig5_slice_wall_ms", fig5_ms.round().to_json()),
+        ("fig10_slice_cells", (serial.cells.len() as u64).to_json()),
+        ("fig10_slice_serial_wall_ms", serial_ms.round().to_json()),
+        ("fig10_slice_parallel_wall_ms", par_ms.round().to_json()),
+        ("speedup", (serial_ms / par_ms).to_json()),
+        (
+            "note",
+            "speedup is bounded by host_parallelism; on a 1-core host it is ~1.0 by construction"
+                .to_json(),
+        ),
+    ])
+}
+
+fn smoke_gate(current_ratio: f64) -> Result<(), String> {
+    let path = repo_root().join("BENCH_engine.json");
+    let baseline = std::fs::read_to_string(&path)
+        .map_err(|e| format!("missing baseline {}: {e} (run `cargo xtask bench` first)", path.display()))?;
+    let json = Json::parse(&baseline).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let base_ratio = json
+        .f64_field("calendar_vs_binheap")
+        .map_err(|e| format!("baseline lacks calendar_vs_binheap: {e}"))?;
+    let floor = base_ratio * 0.75;
+    println!(
+        "smoke: calendar/binheap throughput ratio {current_ratio:.3} \
+         (baseline {base_ratio:.3}, floor {floor:.3})"
+    );
+    if current_ratio < floor {
+        return Err(format!(
+            "engine throughput ratio regressed >25%: {current_ratio:.3} < {floor:.3}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let engine = engine_baseline(smoke);
+    println!("engine: {}", engine.pretty());
+
+    if smoke {
+        let ratio = engine
+            .f64_field("calendar_vs_binheap")
+            .expect("just built this object");
+        if let Err(e) = smoke_gate(ratio) {
+            eprintln!("perfbench smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+        println!("perfbench smoke OK");
+        return;
+    }
+
+    let sweep = sweep_baseline();
+    println!("sweep: {}", sweep.pretty());
+    let root = repo_root();
+    std::fs::write(root.join("BENCH_engine.json"), engine.pretty() + "\n")
+        .expect("write BENCH_engine.json");
+    std::fs::write(root.join("BENCH_sweep.json"), sweep.pretty() + "\n")
+        .expect("write BENCH_sweep.json");
+    println!("wrote {}", root.join("BENCH_engine.json").display());
+    println!("wrote {}", root.join("BENCH_sweep.json").display());
+}

@@ -22,6 +22,9 @@
 //! * [`Packet`] — the simulated packet with its ECN codepoint, DSCP class
 //!   and the per-hop enqueue timestamp TCN relies on;
 //! * [`PacketQueue`] — a FIFO with byte/packet accounting;
+//! * [`PacketArena`] — a generation-checked slab for in-flight packets,
+//!   so the hot path recycles slots instead of allocating (handles ride
+//!   the event queue; see `arena`);
 //! * [`Aqm`] — the enqueue/dequeue hook trait (TCN, CoDel, every RED
 //!   flavor and MQ-ECN all fit it);
 //! * [`PortView`] — what an AQM may observe about its port (occupancies,
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod aqm;
+pub mod arena;
 pub mod hwts;
 pub mod packet;
 pub mod queue;
@@ -42,6 +46,7 @@ pub mod tcn;
 pub mod threshold;
 
 pub use aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+pub use arena::{ArenaStats, PacketArena, PacketHandle};
 pub use packet::{EcnCodepoint, FlowId, Packet, PacketKind};
 pub use queue::PacketQueue;
 pub use tcn::{ProbabilisticTcn, Tcn};

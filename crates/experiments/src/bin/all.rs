@@ -1,22 +1,66 @@
 //! Runs every figure back to back at the selected scale.
 //!
-//! Usage: `all [--quick|--medium|--full] [--json]`.
+//! Usage: `all [--quick|--medium|--full] [--json] [--threads N]`.
+//!
+//! A failing figure no longer aborts the batch: every figure runs, the
+//! failures are collected, and the process exits nonzero with a summary
+//! naming each one. `--threads N` is consumed here and handed to the
+//! figure binaries via the `TCN_THREADS` environment variable (the
+//! sweeps' parallel cell runner honors it; output is byte-identical at
+//! any value).
 
 use std::process::Command;
 
+const FIGURES: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "incast", "fairness", "pifo_demo", "chaos",
+];
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 >= args.len() {
+            eprintln!("--threads needs a value");
+            std::process::exit(2);
+        }
+        args.remove(i);
+        threads = Some(args.remove(i));
+    }
+
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
-    for fig in [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "incast", "fairness", "pifo_demo", "chaos",
-    ] {
+    let mut failures: Vec<String> = Vec::new();
+    for &fig in FIGURES {
         println!("\n################ {fig} ################");
-        let status = Command::new(dir.join(fig))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("spawn {fig}: {e}"));
-        assert!(status.success(), "{fig} failed");
+        let mut cmd = Command::new(dir.join(fig));
+        cmd.args(&args);
+        if let Some(t) = &threads {
+            cmd.env("TCN_THREADS", t);
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("!! {fig} exited with {status}");
+                failures.push(format!("{fig} ({status})"));
+            }
+            Err(e) => {
+                eprintln!("!! {fig} failed to spawn: {e}");
+                failures.push(format!("{fig} (spawn: {e})"));
+            }
+        }
+    }
+
+    println!();
+    if failures.is_empty() {
+        println!("all {} figures succeeded", FIGURES.len());
+    } else {
+        eprintln!(
+            "{}/{} figures FAILED: {}",
+            failures.len(),
+            FIGURES.len(),
+            failures.join(", ")
+        );
+        std::process::exit(1);
     }
 }

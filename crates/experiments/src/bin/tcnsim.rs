@@ -26,7 +26,7 @@ fn main() {
         eprintln!("parse {path}: {e}");
         std::process::exit(1);
     });
-    let t0 = std::time::Instant::now();
+    let t0 = std::time::Instant::now(); // lint:allow(no-wallclock): CLI convenience — reports elapsed wall time, never feeds the sim
     let report = cfg.run();
     println!("flows      : {}/{}", report.completed, report.flows);
     println!("overall avg: {:.0} us", report.overall_avg_us);

@@ -255,21 +255,28 @@ fn run_cell(cc: &ChaosConfig, scheme: Scheme, loss: f64, flap: bool, scale: &Sca
     }
 }
 
-/// Run the full chaos grid.
+/// Run the full chaos grid. Cells are independent simulations, so they
+/// fan out over [`crate::runner`]'s deterministic pool; the canonical
+/// scheme-major merge keeps output identical at any thread count.
 pub fn run(cc: &ChaosConfig, scale: &Scale) -> ChaosResult {
-    let mut cells = Vec::new();
     let flaps: &[bool] = if cc.with_flap {
         &[false, true]
     } else {
         &[false]
     };
-    for &scheme in &cc.schemes() {
-        for &loss in cc.loss_rates {
-            for &flap in flaps {
-                cells.push(run_cell(cc, scheme, loss, flap, scale));
-            }
-        }
-    }
+    let grid: Vec<(Scheme, f64, bool)> = cc
+        .schemes()
+        .iter()
+        .flat_map(|&scheme| {
+            cc.loss_rates.iter().flat_map(move |&loss| {
+                flaps.iter().map(move |&flap| (scheme, loss, flap))
+            })
+        })
+        .collect();
+    let cells = crate::runner::run_cells(grid.len(), |i| {
+        let (scheme, loss, flap) = grid[i];
+        run_cell(cc, scheme, loss, flap, scale)
+    });
     ChaosResult { cells }
 }
 

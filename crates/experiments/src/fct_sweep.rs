@@ -300,35 +300,60 @@ pub fn run(cfg: &SweepConfig, scale: &Scale) -> SweepResult {
 }
 
 /// Run the sweep for an explicit scheme list (ablations use this).
+///
+/// Cells fan out over [`crate::runner`]'s scoped thread pool: each
+/// (scheme, load) cell is an independent simulation whose `Rng` streams
+/// derive only from `scale.seed` and the load index, so the canonical
+/// scheme-major merge order makes the result identical at any thread
+/// count.
 pub fn run_schemes(cfg: &SweepConfig, scale: &Scale, schemes: &[Scheme]) -> SweepResult {
-    let mut cells = Vec::new();
-    for &scheme in schemes {
-        for (li, &load) in scale.loads.iter().enumerate() {
-            // Same flow set for every scheme at this load.
-            let flow_seed = scale.seed.wrapping_mul(1000).wrapping_add(li as u64);
-            let flows = gen_flows(cfg, load, scale, flow_seed);
-            let mut sim = build_sim(cfg, scheme, scale.seed);
-            for f in &flows {
-                sim.add_flow(*f);
-            }
-            let done = sim.run_to_completion(Time::from_secs(10_000));
-            let records = sim.fct_records();
-            let b = FctBreakdown::from_records(&records);
-            cells.push(SweepCell {
-                scheme: scheme.name().to_string(),
-                load,
-                completed: sim.completed_flows(),
-                flows: sim.num_flows(),
-                overall_avg_us: b.overall_avg_us,
-                small_avg_us: b.small_avg_us,
-                small_p99_us: b.small_p99_us,
-                large_avg_us: b.large_avg_us,
-                small_timeouts: b.small_timeouts,
-                drops: sim.total_drops(),
-            });
-            debug_assert!(done, "flows did not finish");
+    run_schemes_with_threads(cfg, scale, schemes, crate::runner::default_threads())
+}
+
+/// [`run_schemes`] with an explicit worker count (the determinism tests
+/// pin 1 vs N; everything else should use the default policy).
+pub fn run_schemes_with_threads(
+    cfg: &SweepConfig,
+    scale: &Scale,
+    schemes: &[Scheme],
+    threads: usize,
+) -> SweepResult {
+    let grid: Vec<(Scheme, usize, f64)> = schemes
+        .iter()
+        .flat_map(|&scheme| {
+            scale
+                .loads
+                .iter()
+                .enumerate()
+                .map(move |(li, &load)| (scheme, li, load))
+        })
+        .collect();
+    let cells = crate::runner::run_cells_with(threads, grid.len(), |cell| {
+        let (scheme, li, load) = grid[cell];
+        // Same flow set for every scheme at this load.
+        let flow_seed = scale.seed.wrapping_mul(1000).wrapping_add(li as u64);
+        let flows = gen_flows(cfg, load, scale, flow_seed);
+        let mut sim = build_sim(cfg, scheme, scale.seed);
+        for f in &flows {
+            sim.add_flow(*f);
         }
-    }
+        let done = sim.run_to_completion(Time::from_secs(10_000));
+        let records = sim.fct_records();
+        let b = FctBreakdown::from_records(&records);
+        debug_assert!(done, "flows did not finish");
+        SweepCell {
+            scheme: scheme.name().to_string(),
+            load,
+            completed: sim.completed_flows(),
+            flows: sim.num_flows(),
+            overall_avg_us: b.overall_avg_us,
+            small_avg_us: b.small_avg_us,
+            small_p99_us: b.small_p99_us,
+            large_avg_us: b.large_avg_us,
+            small_timeouts: b.small_timeouts,
+            drops: sim.total_drops(),
+        }
+    });
     SweepResult { cells }
 }
 
@@ -454,6 +479,30 @@ mod tests {
         );
         let tcn = res.cell("TCN", 0.5).unwrap();
         assert_eq!(tcn.completed, tcn.flows);
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_count_invariant() {
+        // The determinism contract behind the parallel runner: the
+        // rendered result (down to float formatting) is identical
+        // whether the grid runs on 1 worker or many.
+        use crate::json::ToJson;
+        let scale = Scale {
+            flows: 120,
+            loads: &[0.4, 0.7],
+            seed: 3,
+        };
+        let cfg = SweepConfig::fig6();
+        let schemes = cfg.schemes();
+        let serial = run_schemes_with_threads(&cfg, &scale, &schemes, 1);
+        for threads in [4, 8] {
+            let par = run_schemes_with_threads(&cfg, &scale, &schemes, threads);
+            assert_eq!(
+                serial.to_json().pretty(),
+                par.to_json().pretty(),
+                "{threads}-thread sweep diverged from serial"
+            );
+        }
     }
 
     #[test]

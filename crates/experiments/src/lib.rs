@@ -18,6 +18,10 @@
 //! scale (seconds) and at paper scale (`--full`). Binaries under
 //! `src/bin/` print the tables and, with `--json`, emit raw results for
 //! EXPERIMENTS.md provenance.
+//!
+//! Grid-shaped runners fan their independent cells out over [`runner`]'s
+//! scoped thread pool; results merge in canonical cell order, so output
+//! is byte-identical at any thread count (`TCN_THREADS` pins it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,5 +39,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod incast;
 pub mod pifo_demo;
+pub mod runner;
 
 pub use common::{Scale, SchedKind, Scheme};

@@ -1,0 +1,123 @@
+//! Deterministic parallel cell runner for the experiment sweeps.
+//!
+//! Every sweep in this crate is an embarrassingly parallel grid: each
+//! (scheme, load) cell builds its own `NetworkSim`, with its own
+//! `EventQueue` and its own `Rng` streams derived from the cell index —
+//! no state is shared between cells. This module exploits that: cells
+//! are claimed from an atomic work index by a scoped thread pool
+//! (work-stealing in the sense that fast threads drain the tail of the
+//! grid), while results land in **canonical cell order** — slot `i` of
+//! the returned `Vec` is always cell `i` — so the merged output is
+//! byte-identical at any thread count, including 1.
+//!
+//! Zero dependencies: `std::thread::scope` plus an `AtomicUsize`. The
+//! thread count comes from the `TCN_THREADS` environment variable when
+//! set (the determinism harness pins it to 1/4/8), otherwise from
+//! `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread count policy: `TCN_THREADS` (clamped to ≥ 1) when set and
+/// parseable, else the host's available parallelism, else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TCN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f(0..n)` across `threads` scoped workers and return the results
+/// in cell order (`out[i] == f(i)`), regardless of which worker ran
+/// which cell. `f` must be a pure function of the cell index for the
+/// output to be thread-count-invariant — which is exactly the property
+/// the sweeps' per-cell seed derivation guarantees.
+///
+/// Panics in `f` propagate: a panicking worker poisons its result slot
+/// and the scope re-raises when joined.
+pub fn run_cells_with<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        // Serial fast path: no pool, no locks — and the reference
+        // ordering the parallel path must reproduce.
+        return (0..n).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a cell")
+        })
+        .collect()
+}
+
+/// [`run_cells_with`] at the [`default_threads`] count.
+pub fn run_cells<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_cells_with(default_threads(), n, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_cell_order() {
+        let out = run_cells_with(4, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        // A cell function with per-cell internal randomness (derived
+        // from the index, like the sweeps' flow seeds).
+        let cell = |i: usize| {
+            let mut rng = tcn_sim::Rng::new(0xBEEF ^ i as u64);
+            (0..50).map(|_| rng.gen_range(1000)).collect::<Vec<u64>>()
+        };
+        let serial = run_cells_with(1, 24, cell);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, run_cells_with(threads, 24, cell), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn zero_and_single_cell_edge_cases() {
+        assert_eq!(run_cells_with(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_cells_with(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        assert_eq!(run_cells_with(64, 3, |i| i), vec![0, 1, 2]);
+    }
+}

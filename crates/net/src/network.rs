@@ -21,7 +21,7 @@
 //! on a dead wire (or blackholed into one before reconvergence) are
 //! dropped and counted in [`FaultStats`].
 
-use tcn_core::{FlowId, Packet, PacketKind};
+use tcn_core::{ArenaStats, FlowId, Packet, PacketArena, PacketHandle, PacketKind};
 use tcn_sim::{EventQueue, FaultPlan, LinkFaultProfile, Rate, Rng, Time};
 use tcn_transport::{SenderOutput, TcpConfig, TcpReceiver, TcpSender};
 
@@ -214,7 +214,10 @@ struct FlowState {
 
 enum Event {
     FlowStart(u32),
-    Arrive { link: u32, pkt: Packet },
+    /// A packet reaching the far end of `link`. The packet itself is
+    /// parked in the simulation's [`PacketArena`]; carrying the 8-byte
+    /// handle keeps event-queue entries small and copy-cheap.
+    Arrive { link: u32, pkt: PacketHandle },
     /// A corrupted frame reaching the far end: discarded there (FCS
     /// failure), never delivered or forwarded.
     ArriveCorrupt,
@@ -250,6 +253,13 @@ pub struct NetworkSim {
     detection_delay: Time,
     fault_stats: FaultStats,
     net_audit: tcn_audit::NetAudit,
+    /// Slab for packets in flight on a wire (between a port's dequeue
+    /// and the far NIC): events carry handles, slots recycle, and the
+    /// steady-state hot path never touches the allocator.
+    arena: PacketArena,
+    /// Reusable sender-output scratch: one buffer, cleared per event,
+    /// so emission never allocates in steady state either.
+    scratch: SenderOutput,
 }
 
 impl NetworkSim {
@@ -329,6 +339,8 @@ impl NetworkSim {
             detection_delay: Time::ZERO,
             fault_stats: FaultStats::default(),
             net_audit: tcn_audit::NetAudit::new(),
+            arena: PacketArena::new(),
+            scratch: SenderOutput::default(),
         })
     }
 
@@ -532,6 +544,12 @@ impl NetworkSim {
         self.fault_stats
     }
 
+    /// Allocator-behavior counters of the in-flight packet arena
+    /// (the benchmark's per-packet alloc count comes from here).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// Whether `link` is administratively up.
     pub fn link_is_up(&self, link: usize) -> bool {
         self.link_up[link]
@@ -564,13 +582,19 @@ impl NetworkSim {
     fn dispatch(&mut self, ev: Event, now: Time) {
         match ev {
             Event::FlowStart(f) => {
-                let out = self.flows[f as usize].sender.start(now);
-                self.after_sender(f, out, now);
+                let mut out = std::mem::take(&mut self.scratch);
+                out.clear();
+                self.flows[f as usize].sender.start_into(now, &mut out);
+                self.after_sender(f, &mut out, now);
+                self.scratch = out;
             }
             Event::Timer { flow } => {
                 self.flows[flow as usize].next_timer = None;
-                let out = self.flows[flow as usize].sender.on_timer(now);
-                self.after_sender(flow, out, now);
+                let mut out = std::mem::take(&mut self.scratch);
+                out.clear();
+                self.flows[flow as usize].sender.on_timer_into(now, &mut out);
+                self.after_sender(flow, &mut out, now);
+                self.scratch = out;
             }
             Event::TxDone { link } => {
                 self.links[link as usize].port.busy = false;
@@ -578,6 +602,13 @@ impl NetworkSim {
             }
             Event::Arrive { link, pkt } => {
                 self.net_audit.on_arrive();
+                // Un-park the packet; its handle is retired either way.
+                let Some(pkt) = self.arena.remove(pkt) else {
+                    // Unreachable by construction (every handle is
+                    // scheduled into exactly one Arrive); the arena
+                    // audit has already flagged the stale handle.
+                    return;
+                };
                 if !self.link_up[link as usize] {
                     // The link died while this packet was in flight.
                     self.fault_stats.dead_link_drops += 1;
@@ -705,6 +736,9 @@ impl NetworkSim {
         if corrupt {
             self.events.schedule_at(arrive_at, Event::ArriveCorrupt);
         } else {
+            // Park the packet for its wire trip; the event carries only
+            // the handle. The matching `remove` is in the Arrive arm.
+            let pkt = self.arena.insert(pkt);
             self.events.schedule_at(arrive_at, Event::Arrive { link, pkt });
         }
     }
@@ -724,8 +758,13 @@ impl NetworkSim {
             }
             PacketKind::Ack { cum_ack, ece } => {
                 let f = pkt.flow.0 as u32;
-                let out = self.flows[f as usize].sender.on_ack(cum_ack, ece, now);
-                self.after_sender(f, out, now);
+                let mut out = std::mem::take(&mut self.scratch);
+                out.clear();
+                self.flows[f as usize]
+                    .sender
+                    .on_ack_into(cum_ack, ece, now, &mut out);
+                self.after_sender(f, &mut out, now);
+                self.scratch = out;
             }
             PacketKind::Probe { probe_id, reply } => {
                 if reply {
@@ -745,15 +784,16 @@ impl NetworkSim {
     }
 
     /// Process a sender's output: DSCP-tag data, emit, and maintain the
-    /// single outstanding RTO timer.
-    fn after_sender(&mut self, flow: u32, mut out: SenderOutput, now: Time) {
+    /// single outstanding RTO timer. Drains `out.packets` (the caller's
+    /// reusable scratch keeps its capacity).
+    fn after_sender(&mut self, flow: u32, out: &mut SenderOutput, now: Time) {
         let spec = self.flows[flow as usize].spec;
         for pkt in &mut out.packets {
             if let PacketKind::Data { seq, .. } = pkt.kind {
                 pkt.dscp = self.tagging.dscp_for(spec.service, seq);
             }
         }
-        for pkt in out.packets {
+        for pkt in out.packets.drain(..) {
             self.emit_from_host(spec.src, pkt, now);
         }
         if let Some(deadline) = out.timer {
@@ -789,6 +829,12 @@ impl NetworkSim {
             .map(|l| l.port.stats().total_drops())
             .sum();
         self.net_audit.check(resident, port_drops);
+        if self.events.is_empty() {
+            // Sixth invariant: once the event queue drains nothing may
+            // still be parked in the arena — every in-flight packet was
+            // delivered or dropped, retiring its handle exactly once.
+            self.arena.audit_drained();
+        }
     }
 
     fn probe_tick(&mut self, prober: u32, now: Time) {

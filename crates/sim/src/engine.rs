@@ -1,7 +1,7 @@
 //! The future-event list at the heart of the discrete-event engine.
 //!
-//! [`EventQueue`] is deliberately small: it owns the clock and a binary
-//! heap of `(time, seq, event)` entries. The *dispatch* of events — who
+//! [`EventQueue`] is deliberately small: it owns the clock and the
+//! pending `(time, seq, event)` entries. The *dispatch* of events — who
 //! handles a packet arrival, a timer, a flow start — belongs to the domain
 //! layers (`tcn-net`, `tcn-transport`); keeping the engine generic lets
 //! each layer define its own event enum while sharing one battle-tested
@@ -13,9 +13,39 @@
 //! * two events scheduled for the same instant pop in the order they were
 //!   scheduled (FIFO tie-break via a monotonically increasing sequence
 //!   number), which is what makes whole-simulation runs reproducible.
+//!
+//! # Internal structure: a calendar queue
+//!
+//! DES workloads are dominated by *near-horizon* events: packet
+//! serialization completions and arrivals a few microseconds out, with a
+//! thin tail of far-future RTO timers. A single binary heap pays an
+//! `O(log n)` comparison cascade (and moves whole entries on every sift)
+//! for all of them. [`EventQueue`] instead keeps three tiers, a classic
+//! calendar / bucketed future-event list (Brown's calendar queue, as used
+//! by ns-2's scheduler):
+//!
+//! * **active** — a small binary heap holding only events of the *current
+//!   day* (a day is a fixed `2^20` ps ≈ 1 µs slice of simulated time).
+//!   Pops come from here; the heap is tiny, so each pop is cheap.
+//! * **ring** — `NUM_BUCKETS` unsorted buckets covering the next
+//!   `NUM_BUCKETS` days. Scheduling into the ring is an `O(1)` push; a
+//!   bucket is heapified wholesale (`O(k)`) only when its day becomes
+//!   current. A `BTreeSet` of non-empty days lets the queue jump over
+//!   empty days instead of scanning them.
+//! * **overflow** — a binary heap for events beyond the ring's horizon
+//!   (far-future timers; rare). Whenever the current day advances, any
+//!   overflow events that fell inside the new window migrate into the
+//!   ring.
+//!
+//! The tiers are disjoint in time — `active` (current day) < every ring
+//! day < every overflow day — so the earliest pending event is always in
+//! `active` after a (possibly empty) advance step, and the global
+//! `(time, seq)` order is exactly the one the plain heap produces. That
+//! equivalence is enforced by a 10⁶-operation randomized differential
+//! test against [`HeapEventQueue`] (`tests/engine_differential.rs`).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::Time;
 
@@ -55,6 +85,22 @@ impl<E> Ord for EventEntry<E> {
     }
 }
 
+/// Width of one calendar day as a power of two of picoseconds:
+/// `2^20` ps ≈ 1.05 µs, on the order of one 1500 B serialization at
+/// 10 Gbps — so a day holds a handful of events under paper-scale load.
+const DAY_SHIFT: u32 = 20;
+
+/// Days covered by the bucket ring ahead of the current day. With
+/// `DAY_SHIFT = 20` the ring spans ≈ 1.07 ms of simulated time: every
+/// packet-timescale event lands in `O(1)` buckets, while millisecond RTO
+/// timers take the (rare) overflow path.
+const NUM_BUCKETS: usize = 1024;
+
+#[inline(always)]
+fn day_of(at: Time) -> u64 {
+    at.as_ps() >> DAY_SHIFT
+}
+
 /// A future-event list with a monotonic clock.
 ///
 /// ```
@@ -73,14 +119,27 @@ impl<E> Ord for EventEntry<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<EventEntry<E>>,
+    /// Events of the current day, heap-ordered. Every pop comes from
+    /// here; [`EventQueue::advance`] refills it from the ring/overflow.
+    active: BinaryHeap<EventEntry<E>>,
+    /// The bucket ring: unsorted per-day buckets for days in
+    /// `(cur_day, cur_day + NUM_BUCKETS)`, indexed by `day % NUM_BUCKETS`.
+    buckets: Vec<Vec<EventEntry<E>>>,
+    /// Non-empty ring days, for skipping empty days in `O(log)`.
+    days: BTreeSet<u64>,
+    /// Events at or beyond `cur_day + NUM_BUCKETS`, heap-ordered.
+    overflow: BinaryHeap<EventEntry<E>>,
+    /// The day `active` serves.
+    cur_day: u64,
+    /// Total entries across all three tiers.
+    pending: usize,
     now: Time,
     next_seq: u64,
     processed: u64,
     /// Invariant checker (no-op unless auditing is active): every pop is
     /// replayed through `tcn_audit::ClockAudit`, which independently
     /// re-verifies monotonicity and the FIFO tie-break rather than
-    /// trusting the heap's `Ord` impl.
+    /// trusting the calendar structure's ordering argument.
     clock_audit: tcn_audit::ClockAudit,
 }
 
@@ -94,7 +153,12 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`Time::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            active: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            days: BTreeSet::new(),
+            overflow: BinaryHeap::new(),
+            cur_day: 0,
+            pending: 0,
             now: Time::ZERO,
             next_seq: 0,
             processed: 0,
@@ -130,6 +194,192 @@ impl<E> EventQueue<E> {
         self.clock_audit.on_schedule(at.as_ps(), self.now.as_ps());
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert(EventEntry { at, seq, event });
+    }
+
+    /// Schedule `event` after a relative delay from `now()`.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, event);
+    }
+
+    /// Place an entry into the tier its day selects. `day <= cur_day`
+    /// can only mean the current day (schedule never targets the past),
+    /// and keeps `active` correct even for entries migrating out of
+    /// overflow.
+    fn insert(&mut self, entry: EventEntry<E>) {
+        self.pending += 1;
+        let day = day_of(entry.at);
+        if day <= self.cur_day {
+            self.active.push(entry);
+        } else if day < self.cur_day + NUM_BUCKETS as u64 {
+            let bucket = &mut self.buckets[(day % NUM_BUCKETS as u64) as usize];
+            if bucket.is_empty() {
+                self.days.insert(day);
+            }
+            bucket.push(entry);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Refill `active` for the next non-empty day (ring first — its days
+    /// always precede overflow days — then overflow), migrating overflow
+    /// events that the advanced window now covers.
+    fn advance(&mut self) {
+        let ring_day = self.days.first().copied();
+        let overflow_day = self.overflow.peek().map(|e| day_of(e.at));
+        let next = match (ring_day, overflow_day) {
+            (None, None) => return,
+            (Some(d), None) | (None, Some(d)) => d,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        self.cur_day = next;
+        if ring_day == Some(next) {
+            self.days.remove(&next);
+            let bucket = std::mem::take(&mut self.buckets[(next % NUM_BUCKETS as u64) as usize]);
+            debug_assert!(self.active.is_empty());
+            self.active = BinaryHeap::from(bucket);
+        }
+        // Pull every overflow event the new window covers into the ring
+        // (or straight into `active` for the current day), restoring the
+        // tier invariant `overflow days >= cur_day + NUM_BUCKETS`.
+        while let Some(top) = self.overflow.peek() {
+            let day = day_of(top.at);
+            if day >= self.cur_day + NUM_BUCKETS as u64 {
+                break;
+            }
+            let Some(entry) = self.overflow.pop() else {
+                break;
+            };
+            self.pending -= 1; // `insert` re-counts it
+            self.insert(entry);
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    /// Returns `None` when the simulation has run dry.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        if self.active.is_empty() {
+            self.advance();
+        }
+        let entry = self.active.pop()?;
+        self.pending -= 1;
+        debug_assert!(entry.at >= self.now, "clock went backwards");
+        self.clock_audit.on_pop(entry.at.as_ps(), entry.seq);
+        self.now = entry.at;
+        self.processed += 1;
+        Some(entry)
+    }
+
+    /// Firing time of the next event without popping it.
+    ///
+    /// `O(1)` while the current day has events; when the day just
+    /// drained, one `O(k)` scan of the next non-empty bucket (which the
+    /// following `pop` heapifies anyway).
+    pub fn peek_time(&self) -> Option<Time> {
+        if let Some(e) = self.active.peek() {
+            return Some(e.at);
+        }
+        if let Some(&d) = self.days.first() {
+            return self.buckets[(d % NUM_BUCKETS as u64) as usize]
+                .iter()
+                .map(|e| e.at)
+                .min();
+        }
+        self.overflow.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Drop every pending event (used when an experiment reaches its flow
+    /// quota and wants to stop cleanly) and restart tie-break sequence
+    /// numbering from 0 — with nothing pending, no tie can straddle the
+    /// clear. The clock (`now`) and `processed` are untouched. The
+    /// embedded `ClockAudit` is resynced so the next pop — which may
+    /// legally carry a smaller `seq` at the same instant — is not
+    /// misreported as a FIFO inversion.
+    pub fn clear(&mut self) {
+        self.active.clear();
+        for day in std::mem::take(&mut self.days) {
+            self.buckets[(day % NUM_BUCKETS as u64) as usize].clear();
+        }
+        self.overflow.clear();
+        self.pending = 0;
+        self.next_seq = 0;
+        self.clock_audit.on_clear();
+    }
+}
+
+/// The straightforward single-binary-heap future-event list.
+///
+/// This is the original `EventQueue` implementation, kept as the
+/// *reference oracle*: the calendar-queue [`EventQueue`] must produce the
+/// identical `(time, seq)` pop order (proven by the randomized
+/// differential test in `tests/engine_differential.rs`), and the
+/// `perfbench` harness measures the calendar queue's pops/sec against
+/// this baseline in the same run. It carries no audit hooks — as the
+/// oracle it must stay an independent, obviously-correct restatement of
+/// the ordering contract.
+#[derive(Debug, Clone)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    now: Time,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// An empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time: the firing time of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.heap.push(EventEntry { at, seq, event });
     }
 
@@ -140,11 +390,8 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the next event, advancing the clock to its firing time.
-    /// Returns `None` when the simulation has run dry.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "clock went backwards");
-        self.clock_audit.on_pop(entry.at.as_ps(), entry.seq);
         self.now = entry.at;
         self.processed += 1;
         Some(entry)
@@ -167,10 +414,11 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drop every pending event (used when an experiment reaches its flow
-    /// quota and wants to stop cleanly).
+    /// Drop every pending event and restart sequence numbering (the
+    /// same semantics as [`EventQueue::clear`]).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.next_seq = 0;
     }
 }
 
@@ -237,12 +485,57 @@ mod tests {
     }
 
     #[test]
+    fn peek_sees_across_all_tiers() {
+        let mut q = EventQueue::new();
+        // Only a far-future event: peek must reach into overflow.
+        q.schedule_at(Time::from_ms(500), 1);
+        assert_eq!(q.peek_time(), Some(Time::from_ms(500)));
+        // A nearer ring event supersedes it.
+        q.schedule_at(Time::from_us(40), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_us(40)));
+        // And a current-day event supersedes both.
+        q.schedule_at(Time::from_ns(10), 3);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(10)));
+    }
+
+    #[test]
     fn clear_empties() {
         let mut q = EventQueue::new();
         q.schedule_at(Time::from_us(3), ());
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clear_restarts_seq_and_resyncs_audit() {
+        // Pop an event, clear with events still pending, then schedule at
+        // the *same instant*: the fresh entry gets seq 0, which a stale
+        // ClockAudit would flag as a FIFO inversion (the satellite bug).
+        let mut q = EventQueue::new();
+        let t = Time::from_us(9);
+        q.schedule_at(t, 1u32);
+        q.schedule_at(Time::from_ms(50), 2); // far-future leftover
+        assert_eq!(q.pop().map(|e| e.event), Some(1));
+        q.clear();
+        assert!(q.is_empty());
+        q.schedule_at(t, 3); // same time as the last pop, seq restarted
+        let e = q.pop();
+        assert_eq!(e.as_ref().map(|e| e.seq), Some(0));
+        assert_eq!(e.map(|e| e.event), Some(3));
+        // The clock never went backwards.
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    fn clear_keeps_clock_and_processed() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(2), ());
+        q.pop();
+        q.schedule_at(Time::from_us(4), ());
+        q.clear();
+        assert_eq!(q.now(), Time::from_us(2));
+        assert_eq!(q.processed(), 1);
     }
 
     #[test]
@@ -268,5 +561,69 @@ mod tests {
             }
         }
         assert_eq!(fired, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn far_future_overflow_pops_in_order() {
+        // Events beyond the ring horizon (cur_day + NUM_BUCKETS days)
+        // land in overflow and must still interleave correctly with
+        // near events, including FIFO at equal far times.
+        let mut q = EventQueue::new();
+        let far = Time::from_ms(100); // » ring span (≈1 ms)
+        q.schedule_at(far, 10);
+        q.schedule_at(far, 11); // same far instant: FIFO
+        q.schedule_at(Time::from_us(1), 1);
+        q.schedule_at(Time::from_ms(2), 2); // beyond ring too
+        q.schedule_at(Time::from_ns(50), 0);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![0, 1, 2, 10, 11]);
+    }
+
+    #[test]
+    fn overflow_migrates_into_ring_on_advance() {
+        // After the clock advances near a far event, newly scheduled
+        // nearby events must still order correctly around the migrated
+        // overflow event.
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ms(10), "far");
+        q.schedule_at(Time::from_us(1), "near");
+        assert_eq!(q.pop().map(|e| e.event), Some("near"));
+        // Now schedule just before and just after the far event.
+        q.schedule_at(Time::from_ms(10) - Time::from_ns(1), "before");
+        q.schedule_at(Time::from_ms(10) + Time::from_ns(1), "after");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["before", "far", "after"]);
+    }
+
+    #[test]
+    fn time_max_saturation() {
+        // `Time::MAX` events (e.g. a saturated `schedule_in`) live in the
+        // last possible day; they must schedule, peek and pop without
+        // overflowing the day arithmetic, with FIFO at the saturated
+        // instant.
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::MAX, 1u32);
+        q.schedule_at(Time::from_ns(5), 0);
+        q.pop();
+        // Saturating relative schedule: now + MAX saturates to MAX.
+        q.schedule_in(Time::MAX, 2);
+        assert_eq!(q.peek_time(), Some(Time::MAX));
+        assert_eq!(q.pop().map(|e| e.event), Some(1));
+        assert_eq!(q.pop().map(|e| e.event), Some(2));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), Time::MAX);
+    }
+
+    #[test]
+    fn reference_heap_queue_matches_basic_contract() {
+        let mut q = HeapEventQueue::new();
+        q.schedule_at(Time::from_ns(30), 3);
+        q.schedule_at(Time::from_ns(10), 1);
+        q.schedule_at(Time::from_ns(10), 2); // FIFO at equal time
+        assert_eq!(q.peek_time(), Some(Time::from_ns(10)));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q.processed(), 3);
+        assert_eq!(q.now(), Time::from_ns(30));
     }
 }

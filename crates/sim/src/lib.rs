@@ -11,7 +11,9 @@
 //!   transmission-time arithmetic.
 //! * [`EventQueue`] — a monotonic future-event list with a total order
 //!   (time, insertion sequence) so same-timestamp events fire in a
-//!   deterministic order.
+//!   deterministic order. Internally a calendar queue (bucketed near
+//!   horizon + sorted overflow); [`HeapEventQueue`] is the plain binary
+//!   heap it is differentially tested (and benchmarked) against.
 //! * [`Rng`] — a self-contained xoshiro256** generator. We deliberately do
 //!   not depend on the `rand` crate for simulation draws so results cannot
 //!   change under us when `rand` revises its algorithms.
@@ -21,9 +23,14 @@
 //!   (loss, corruption, jitter, link flaps) with per-link RNG stream
 //!   isolation, threaded through the network layer.
 //!
-//! The engine is intentionally single-threaded: the simulated systems are
-//! CPU-bound state machines, and a deterministic serial event loop is both
-//! faster and easier to validate than a parallel one.
+//! The engine is intentionally single-threaded *per simulation*: the
+//! simulated systems are CPU-bound state machines, and a deterministic
+//! serial event loop is both faster and easier to validate than a
+//! parallel one. Throughput parallelism lives a layer up — independent
+//! simulation cells (each owning its own `EventQueue` and `Rng` streams)
+//! run concurrently and merge in canonical order (see
+//! `tcn-experiments::runner`), so results are identical at any thread
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +41,7 @@ pub mod fault;
 pub mod rng;
 pub mod time;
 
-pub use engine::{EventEntry, EventQueue};
+pub use engine::{EventEntry, EventQueue, HeapEventQueue};
 pub use ewma::Ewma;
 pub use fault::{FaultKind, FaultPlan, LinkFaultProfile, LinkFlap};
 pub use rng::Rng;

@@ -1,0 +1,128 @@
+//! Differential test: the calendar-queue `EventQueue` must pop the
+//! *identical* `(time, seq, event)` stream as the plain binary-heap
+//! `HeapEventQueue` oracle under a long randomized workload of mixed
+//! schedules, pops and clears — the proof obligation behind swapping the
+//! engine's future-event list implementation.
+
+use tcn_sim::{EventQueue, HeapEventQueue, Rng, Time};
+
+/// Drive both queues through `ops` randomized operations and assert the
+/// pop streams match step by step. The time distribution is shaped like
+/// a real DES run: mostly near-horizon offsets (within the calendar
+/// ring), some same-instant bursts (exercising the FIFO tie-break), a
+/// far-future tail (exercising the overflow tier and its migration), and
+/// occasional `Time::MAX` saturation.
+fn differential_run(seed: u64, ops: usize, clear_period: Option<u64>) {
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    let mut rng = Rng::new(seed);
+    let mut payload = 0u64;
+
+    for op in 0..ops as u64 {
+        if let Some(p) = clear_period {
+            if op > 0 && op % p == 0 {
+                cal.clear();
+                heap.clear();
+            }
+        }
+        let roll = rng.gen_range(100);
+        if roll < 55 {
+            // Schedule. Offsets: 60% near (≤ ~4 µs), 20% same-instant,
+            // 15% mid (≤ ~0.5 ms), 4% far (≤ ~50 ms), 1% saturating.
+            let shape = rng.gen_range(100);
+            let at = if shape < 60 {
+                cal.now().saturating_add(Time::from_ps(rng.gen_range(1 << 22)))
+            } else if shape < 80 {
+                cal.now()
+            } else if shape < 95 {
+                cal.now().saturating_add(Time::from_ps(rng.gen_range(1 << 29)))
+            } else if shape < 99 {
+                cal.now().saturating_add(Time::from_ps(rng.gen_range(1 << 36)))
+            } else {
+                Time::MAX
+            };
+            payload += 1;
+            cal.schedule_at(at, payload);
+            heap.schedule_at(at, payload);
+        } else {
+            // Pop and compare the full entry.
+            let a = cal.pop();
+            let b = heap.pop();
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.at, y.at, "pop time diverged at op {op}");
+                    assert_eq!(x.seq, y.seq, "pop seq diverged at op {op}");
+                    assert_eq!(x.event, y.event, "pop payload diverged at op {op}");
+                }
+                (a, b) => panic!(
+                    "emptiness diverged at op {op}: calendar {:?} vs heap {:?}",
+                    a.map(|e| e.event),
+                    b.map(|e| e.event)
+                ),
+            }
+        }
+        assert_eq!(cal.len(), heap.len(), "len diverged at op {op}");
+    }
+
+    // Drain both completely: every remaining entry must match too.
+    loop {
+        match (cal.pop(), heap.pop()) {
+            (None, None) => break,
+            (Some(x), Some(y)) => {
+                assert_eq!((x.at, x.seq, x.event), (y.at, y.seq, y.event));
+            }
+            _ => panic!("drain length diverged"),
+        }
+    }
+}
+
+#[test]
+fn million_mixed_ops_identical_pop_order() {
+    // The headline differential: ≥ 10⁶ mixed schedule/pop/clear ops.
+    differential_run(0xC0FFEE, 1_000_000, Some(200_000));
+}
+
+#[test]
+fn multiple_seeds_without_clear() {
+    for seed in 1..=4u64 {
+        differential_run(seed, 60_000, None);
+    }
+}
+
+#[test]
+fn clear_heavy_workload() {
+    // Frequent clears: sequence numbering restarts constantly, so any
+    // clear-state desync between the implementations surfaces fast.
+    differential_run(7, 120_000, Some(1_000));
+}
+
+#[test]
+fn overflow_heavy_workload() {
+    // Bias the schedule far beyond the ring horizon so the overflow
+    // tier and its migration dominate.
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    let mut rng = Rng::new(99);
+    for i in 0..50_000u64 {
+        if rng.gen_range(3) < 2 {
+            // ~2/3 schedules far out (up to ~1.1 s ahead).
+            let at = cal.now().saturating_add(Time::from_ps(rng.gen_range(1 << 40)));
+            cal.schedule_at(at, i);
+            heap.schedule_at(at, i);
+        } else {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert_eq!((x.at, x.seq), (y.at, y.seq)),
+                _ => panic!("emptiness diverged"),
+            }
+        }
+    }
+    loop {
+        match (cal.pop(), heap.pop()) {
+            (None, None) => break,
+            (Some(x), Some(y)) => assert_eq!((x.at, x.seq, x.event), (y.at, y.seq, y.event)),
+            _ => panic!("drain diverged"),
+        }
+    }
+}

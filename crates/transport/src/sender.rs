@@ -97,12 +97,26 @@ impl TcpConfig {
 
 /// What a sender wants done after an input: packets on the wire and the
 /// retransmission deadline to arm (absolute; `None` when idle/done).
+///
+/// The host loop is expected to keep **one** `SenderOutput` as reusable
+/// scratch, [`clear`](SenderOutput::clear) it, and pass it to the
+/// `*_into` sender entry points: the packet `Vec` then retains its
+/// capacity across events, so steady-state emission performs no
+/// allocator round-trips.
 #[derive(Debug, Default)]
 pub struct SenderOutput {
     /// Packets to transmit, in order.
     pub packets: Vec<Packet>,
     /// Absolute RTO deadline currently armed.
     pub timer: Option<Time>,
+}
+
+impl SenderOutput {
+    /// Empty the output for reuse, keeping the packet buffer's capacity.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+        self.timer = None;
+    }
 }
 
 /// Window state.
@@ -209,16 +223,32 @@ impl TcpSender {
 
     /// Begin transmitting (emits the initial window).
     pub fn start(&mut self, now: Time) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        self.start_into(now, &mut out);
+        out
+    }
+
+    /// [`start`](Self::start), appending into caller-owned scratch
+    /// (the zero-allocation entry point; see [`SenderOutput::clear`]).
+    pub fn start_into(&mut self, now: Time, out: &mut SenderOutput) {
         assert!(!self.started, "start called twice");
         self.started = true;
-        self.pump(now)
+        self.pump_into(now, out);
     }
 
     /// Handle a cumulative ACK (`cum_ack` = next byte the receiver
     /// expects) with its ECN echo flag.
     pub fn on_ack(&mut self, cum_ack: u64, ece: bool, now: Time) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        self.on_ack_into(cum_ack, ece, now, &mut out);
+        out
+    }
+
+    /// [`on_ack`](Self::on_ack), appending into caller-owned scratch.
+    pub fn on_ack_into(&mut self, cum_ack: u64, ece: bool, now: Time, out: &mut SenderOutput) {
         if !self.started || self.is_done() {
-            return self.output_nothing();
+            self.output_nothing_into(out);
+            return;
         }
         let newly_acked = cum_ack.saturating_sub(self.snd_una);
 
@@ -238,14 +268,16 @@ impl TcpSender {
                     // Window inflation keeps the pipe full.
                     self.cwnd += f64::from(self.cfg.mss);
                 } else if self.dupacks == self.cfg.dupack_thresh {
-                    return self.enter_fast_retransmit(now);
+                    self.enter_fast_retransmit_into(now, out);
+                    return;
                 }
             }
             // ECN echo on a dup ACK still counts for the reduction.
             if ece {
                 self.ecn_reduce(now);
             }
-            return self.pump(now);
+            self.pump_into(now, out);
+            return;
         }
 
         // Fresh ACK.
@@ -300,7 +332,7 @@ impl TcpSender {
             self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
         }
 
-        self.pump(now)
+        self.pump_into(now, out);
     }
 
     /// Handle an armed timer firing at `now`. Stale timers (deadline
@@ -308,9 +340,19 @@ impl TcpSender {
     /// event for every `SenderOutput::timer` it sees without cancelling
     /// old ones.
     pub fn on_timer(&mut self, now: Time) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        self.on_timer_into(now, &mut out);
+        out
+    }
+
+    /// [`on_timer`](Self::on_timer), appending into caller-owned scratch.
+    pub fn on_timer_into(&mut self, now: Time, out: &mut SenderOutput) {
         match self.rto_deadline {
             Some(deadline) if now >= deadline && !self.is_done() => {}
-            _ => return self.output_nothing(),
+            _ => {
+                self.output_nothing_into(out);
+                return;
+            }
         }
         // RTO: collapse to one segment, slow start, back off.
         self.timeouts += 1;
@@ -324,11 +366,10 @@ impl TcpSender {
 
         // Go-back-N: resend from snd_una.
         self.snd_nxt = self.snd_una;
-        self.rto_deadline = None; // pump() re-arms with the backed-off RTO
-        let mut out = self.pump(now);
-        // pump() always arms from now + rto (already backed off).
+        self.rto_deadline = None; // pump re-arms with the backed-off RTO
+        self.pump_into(now, out);
+        // pump always arms from now + rto (already backed off).
         out.timer = self.rto_deadline;
-        out
     }
 
     /// True once every byte has been cumulatively acknowledged.
@@ -383,11 +424,8 @@ impl TcpSender {
         self.size
     }
 
-    fn output_nothing(&self) -> SenderOutput {
-        SenderOutput {
-            packets: Vec::new(),
-            timer: self.rto_deadline,
-        }
+    fn output_nothing_into(&self, out: &mut SenderOutput) {
+        out.timer = self.rto_deadline;
     }
 
     /// One window reduction per window of data (RFC 3168 CWR semantics).
@@ -425,7 +463,7 @@ impl TcpSender {
         }
     }
 
-    fn enter_fast_retransmit(&mut self, now: Time) -> SenderOutput {
+    fn enter_fast_retransmit_into(&mut self, now: Time, out: &mut SenderOutput) {
         self.fast_retransmits += 1;
         let mss = f64::from(self.cfg.mss);
         self.ssthresh = (self.cwnd / 2.0).max(2.0 * mss);
@@ -434,20 +472,16 @@ impl TcpSender {
         self.cwr_end = self.snd_nxt;
         self.timed_seg = None; // Karn
 
-        let mut out = SenderOutput::default();
         out.packets.push(self.make_segment(self.snd_una, now));
         self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
-        out.timer = self.rto_deadline;
         // Recovery may also allow new data.
-        let mut rest = self.pump(now);
-        out.packets.append(&mut rest.packets);
+        self.pump_into(now, out);
         out.timer = self.rto_deadline;
-        out
     }
 
-    /// Emit as much new data as the window allows.
-    fn pump(&mut self, now: Time) -> SenderOutput {
-        let mut out = SenderOutput::default();
+    /// Emit as much new data as the window allows, appending to `out`.
+    fn pump_into(&mut self, now: Time, out: &mut SenderOutput) {
+        let before = out.packets.len();
         let mss = u64::from(self.cfg.mss);
         loop {
             if self.snd_nxt >= self.size {
@@ -468,11 +502,10 @@ impl TcpSender {
                 self.timed_seg = Some((seq, now));
             }
         }
-        if !out.packets.is_empty() && self.rto_deadline.is_none() {
+        if out.packets.len() > before && self.rto_deadline.is_none() {
             self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
         }
         out.timer = self.rto_deadline;
-        out
     }
 
     fn make_segment(&mut self, seq: u64, now: Time) -> Packet {

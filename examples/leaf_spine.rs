@@ -45,7 +45,7 @@ fn main() {
         sim.add_flow(spec);
     }
 
-    let t0 = std::time::Instant::now();
+    let t0 = std::time::Instant::now(); // lint:allow(no-wallclock): example prints elapsed wall time, never feeds the sim
     assert!(sim.run_to_completion(Time::from_secs(1_000)));
     let wall = t0.elapsed();
 

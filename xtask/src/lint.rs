@@ -25,6 +25,7 @@
 //! | `forbid-unsafe-attr` | every crate root                     | missing `#![forbid(unsafe_code)]` |
 //! | `aqm-doc-cite`    | `core/src`, `baselines/src`             | a public AQM whose doc comment never cites a paper section (`§`) |
 //! | `fault-kind-doc`  | every `.rs` file in the repo            | a `FaultKind` variant without a doc comment naming its real-world failure mode |
+//! | `no-wallclock`    | every `.rs` file except `crates/bench/` and `xtask/` | host-clock reads (`std::time::Instant`, `SystemTime`) — simulation code runs on virtual `Time` only |
 
 use std::fmt;
 use std::fs;
@@ -71,6 +72,12 @@ pub const NO_UNWRAP_CRATES: &[&str] = &[
 /// The one module allowed to do float arithmetic on raw tick counts:
 /// it *defines* the sanctioned conversions (`as_secs_f64`, `as_us_f64`).
 pub const FLOAT_TIME_SANCTUARY: &str = "crates/sim/src/time.rs";
+
+/// Repo path prefixes allowed to read the host clock: the benchmark
+/// harness exists to measure wall time, and the `xtask` automation may
+/// time its own stages. Everything else runs on virtual [`Time`] — a
+/// stray wall-clock read is how nondeterminism sneaks into a DES.
+pub const WALLCLOCK_SANCTUARIES: &[&str] = &["crates/bench", "xtask"];
 
 // ---------------------------------------------------------------------------
 // Source transforms
@@ -410,6 +417,30 @@ pub fn check_no_float_time(path: &Path, raw: &str) -> Vec<Diagnostic> {
     out
 }
 
+/// `no-wallclock`: host-clock reads outside [`WALLCLOCK_SANCTUARIES`].
+/// Applies to test code too — tests must be as deterministic as the
+/// simulator they check.
+pub fn check_no_wallclock(path: &Path, raw: &str) -> Vec<Diagnostic> {
+    let view = code_view(raw);
+    let mut out = Vec::new();
+    scan_needles(
+        path,
+        raw,
+        &view,
+        &[], // no test-span exemption
+        "no-wallclock",
+        &["std::time::Instant", "Instant::now", "SystemTime"],
+        |n| {
+            format!(
+                "`{n}` reads the host clock; simulation code runs on virtual \
+                 Time only (wall-clock timing belongs in crates/bench or xtask)"
+            )
+        },
+        &mut out,
+    );
+    out
+}
+
 /// `no-unsafe`: the `unsafe` keyword anywhere (even in tests — a
 /// simulator has no business with it).
 pub fn check_no_unsafe(path: &Path, raw: &str) -> Vec<Diagnostic> {
@@ -717,6 +748,9 @@ pub fn lint_repo(repo: &Path) -> Vec<Diagnostic> {
         if r != Path::new(FLOAT_TIME_SANCTUARY) {
             out.extend(check_no_float_time(&r, &raw));
         }
+        if !WALLCLOCK_SANCTUARIES.iter().any(|s| r.starts_with(s)) {
+            out.extend(check_no_wallclock(&r, &raw));
+        }
         out.extend(check_no_unsafe(&r, &raw));
         out.extend(check_fault_kind_doc(&r, &raw));
     }
@@ -839,6 +873,35 @@ mod tests {
     fn sanctioned_float_accessor_is_clean() {
         let src = "pub fn f(t: Time) -> f64 {\n    t.as_us_f64()\n}\n";
         assert!(check_no_float_time(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn seeded_wallclock_is_caught() {
+        let src = "pub fn f() {\n    let t0 = std::time::Instant::now();\n    let _ = t0;\n}\n";
+        let d = check_no_wallclock(&p(), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-wallclock");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn seeded_wallclock_in_test_mod_is_still_caught() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::SystemTime::now(); }\n}\n";
+        let d = check_no_wallclock(&p(), src);
+        assert_eq!(d.len(), 1, "tests get no wallclock exemption");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn wallclock_in_comment_or_string_is_clean() {
+        let src = "// Instant::now is banned\nlet s = \"std::time::Instant\";\n";
+        assert!(check_no_wallclock(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn justified_wallclock_allow_suppresses() {
+        let src = "let t0 = std::time::Instant::now(); // lint:allow(no-wallclock): CLI convenience print of elapsed wall time\n";
+        assert!(check_no_wallclock(&p(), src).is_empty());
     }
 
     #[test]

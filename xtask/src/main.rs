@@ -10,10 +10,16 @@
 //! * `test-all` — `cargo test -q --workspace` (every crate's suites;
 //!   much slower — the experiments crate simulates full FCT sweeps in
 //!   debug mode with the audit hooks live).
+//! * `bench` — build and run the `perfbench` baseline harness in
+//!   release mode, rewriting the checked-in `BENCH_engine.json` and
+//!   `BENCH_sweep.json` at the repo root. With `--smoke`, runs the
+//!   reduced measurement and only *compares* the machine-independent
+//!   calendar-vs-binheap throughput ratio against the checked-in
+//!   baseline, failing on a >25 % regression (no files are written).
 //! * `ci`    — build, then test, then tier-1 again in release with
 //!   `--features audit` (every runtime invariant checker live), then
-//!   lint: the tier-1 gate in one command. Stops at the first failing
-//!   stage.
+//!   lint, then `bench --smoke`: the tier-1 gate in one command. Stops
+//!   at the first failing stage.
 //!
 //! Everything here is pure std: the harness must work in an offline
 //! container with nothing but the Rust toolchain.
@@ -35,8 +41,15 @@ fn main() -> ExitCode {
         Some("build") => run_cargo(&repo, &["build", "--release", "--workspace"]),
         Some("test") => run_cargo(&repo, &["test", "-q"]),
         Some("test-all") => run_cargo(&repo, &["test", "-q", "--workspace"]),
+        Some("bench") => {
+            if args.iter().any(|a| a == "--smoke") {
+                run_bench_smoke(&repo)
+            } else {
+                run_cargo(&repo, &["run", "--release", "-p", "tcn-bench", "--bin", "perfbench"])
+            }
+        }
         Some("ci") => {
-            let stages: [(&str, fn(&Path) -> ExitCode); 4] = [
+            let stages: [(&str, fn(&Path) -> ExitCode); 5] = [
                 ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
                 ("test", |r| run_cargo(r, &["test", "-q"])),
                 // Tier-1 again in release with every runtime invariant
@@ -46,6 +59,9 @@ fn main() -> ExitCode {
                     run_cargo(r, &["test", "-q", "--release", "--features", "audit"])
                 }),
                 ("lint", run_lint),
+                // Guard the hot-path baseline: a >25% drop in the
+                // calendar-vs-binheap throughput ratio fails the gate.
+                ("bench (smoke)", run_bench_smoke),
             ];
             for (name, stage) in stages {
                 eprintln!("xtask ci: {name}");
@@ -64,11 +80,14 @@ fn main() -> ExitCode {
                  \n\
                  lint      offline static analysis (no-unwrap, no-float-time,\n\
                  \x20         no-unsafe, forbid-unsafe-attr, aqm-doc-cite,\n\
-                 \x20         fault-kind-doc)\n\
+                 \x20         fault-kind-doc, no-wallclock)\n\
                  build     cargo build --release --workspace\n\
                  test      cargo test -q (tier-1 test set)\n\
                  test-all  cargo test -q --workspace (slow, every crate)\n\
-                 ci        build + test + test(audit) + lint (the tier-1 gate)"
+                 bench     run perfbench, rewrite BENCH_*.json baselines\n\
+                 \x20         (--smoke: compare-only regression gate)\n\
+                 ci        build + test + test(audit) + lint + bench(smoke)\n\
+                 \x20         (the tier-1 gate)"
             );
             if args.is_empty() {
                 ExitCode::from(2)
@@ -106,6 +125,15 @@ fn run_lint(repo: &Path) -> ExitCode {
         eprintln!("xtask lint: {} violation(s)", diags.len());
         ExitCode::FAILURE
     }
+}
+
+fn run_bench_smoke(repo: &Path) -> ExitCode {
+    run_cargo(
+        repo,
+        &[
+            "run", "--release", "-p", "tcn-bench", "--bin", "perfbench", "--", "--smoke",
+        ],
+    )
 }
 
 fn run_cargo(repo: &Path, args: &[&str]) -> ExitCode {
