@@ -26,6 +26,7 @@
 use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
 use tcn_core::Packet;
 use tcn_sim::Time;
+use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
 /// What CoDel does to a packet it decides against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +71,7 @@ pub struct CoDel {
     mtu: u32,
     queues: Vec<QueueState>,
     stats: CoDelStats,
+    probe: Probe,
 }
 
 impl CoDel {
@@ -88,6 +90,7 @@ impl CoDel {
             mtu: 1500,
             queues: Vec::new(),
             stats: CoDelStats::default(),
+            probe: Probe::off(),
         }
     }
 
@@ -188,6 +191,43 @@ impl Aqm for CoDel {
         self.ensure_queues(view.num_queues());
         self.stats.dequeued += 1;
         let sojourn = pkt.sojourn(now);
+        let marked_before = self.stats.marked;
+        let verdict = self.decide(view, q, pkt, now, sojourn);
+        let marked = self.stats.marked > marked_before;
+        self.probe.emit(|| TelemetryEvent::MarkDecision {
+            at_ps: now.as_ps(),
+            port: self.probe.ctx(),
+            aqm: "CoDel",
+            sojourn_ps: sojourn.as_ps(),
+            marked,
+        });
+        verdict
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            CoDelMode::Mark => "CoDel",
+            CoDelMode::Drop => "CoDel-drop",
+        }
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+}
+
+impl CoDel {
+    /// The dequeue-time decision proper, split out so the telemetry
+    /// probe can observe every verdict regardless of which early exit
+    /// the Linux-shaped control flow takes.
+    fn decide(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        now: Time,
+        sojourn: Time,
+    ) -> DequeueVerdict {
         let backlog = view.queue_bytes(q);
         let ok_to_act = self.should_act(q, sojourn, backlog, now);
 
@@ -222,13 +262,6 @@ impl Aqm for CoDel {
             verdict
         } else {
             DequeueVerdict::Forward
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        match self.mode {
-            CoDelMode::Mark => "CoDel",
-            CoDelMode::Drop => "CoDel-drop",
         }
     }
 }

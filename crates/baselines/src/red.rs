@@ -24,6 +24,7 @@
 use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
 use tcn_core::Packet;
 use tcn_sim::{Ewma, Rng, Time};
+use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
 /// Whose buffer occupancy drives the marking decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +64,7 @@ pub struct RedEcn {
     scope: Scope,
     point: MarkPoint,
     stats: RedStats,
+    probe: Probe,
 }
 
 impl RedEcn {
@@ -74,6 +76,7 @@ impl RedEcn {
             scope: Scope::PerQueue,
             point: MarkPoint::Enqueue,
             stats: RedStats::default(),
+            probe: Probe::off(),
         }
     }
 
@@ -84,6 +87,7 @@ impl RedEcn {
             scope: Scope::PerPort,
             point: MarkPoint::Enqueue,
             stats: RedStats::default(),
+            probe: Probe::off(),
         }
     }
 
@@ -117,7 +121,7 @@ impl Aqm for RedEcn {
         view: &dyn PortView,
         q: usize,
         pkt: &mut Packet,
-        _now: Time,
+        now: Time,
     ) -> EnqueueVerdict {
         if self.point != MarkPoint::Enqueue {
             return EnqueueVerdict::Admit;
@@ -125,13 +129,22 @@ impl Aqm for RedEcn {
         // The arriving packet is already counted in the occupancy; the
         // switch compares the occupancy *including* the arrival, so the
         // first byte over K marks.
-        if self.occupancy(view, q) > self.threshold {
-            if pkt.try_mark_ce() {
-                self.stats.marked += 1;
-            } else {
-                self.stats.dropped += 1;
-                return EnqueueVerdict::Drop;
-            }
+        let over = self.occupancy(view, q) > self.threshold;
+        let marked = over && pkt.try_mark_ce();
+        if marked {
+            self.stats.marked += 1;
+        }
+        // Enqueue marking has no sojourn signal: the packet is arriving.
+        self.probe.emit(|| TelemetryEvent::MarkDecision {
+            at_ps: now.as_ps(),
+            port: self.probe.ctx(),
+            aqm: self.name(),
+            sojourn_ps: 0,
+            marked,
+        });
+        if over && !marked {
+            self.stats.dropped += 1;
+            return EnqueueVerdict::Drop;
         }
         EnqueueVerdict::Admit
     }
@@ -141,16 +154,25 @@ impl Aqm for RedEcn {
         view: &dyn PortView,
         q: usize,
         pkt: &mut Packet,
-        _now: Time,
+        now: Time,
     ) -> DequeueVerdict {
         if self.point != MarkPoint::Dequeue {
             return DequeueVerdict::Forward;
         }
         // Dequeue marking reads the occupancy left *behind* the departing
         // packet — the congestion future packets will see (§4.3).
-        if self.occupancy(view, q) > self.threshold && pkt.try_mark_ce() {
+        let marked = self.occupancy(view, q) > self.threshold && pkt.try_mark_ce();
+        if marked {
             self.stats.marked += 1;
         }
+        let sojourn_ps = pkt.sojourn(now).as_ps();
+        self.probe.emit(|| TelemetryEvent::MarkDecision {
+            at_ps: now.as_ps(),
+            port: self.probe.ctx(),
+            aqm: self.name(),
+            sojourn_ps,
+            marked,
+        });
         DequeueVerdict::Forward
     }
 
@@ -167,6 +189,10 @@ impl Aqm for RedEcn {
     /// dequeue path marks in place and always forwards.
     fn marks_only(&self) -> bool {
         true
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

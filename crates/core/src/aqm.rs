@@ -107,6 +107,12 @@ pub trait Aqm {
     /// Short scheme name for experiment tables (e.g. `"TCN"`).
     fn name(&self) -> &'static str;
 
+    /// Install a telemetry probe, scoped by the port to the link it
+    /// serves (`probe.ctx()` is the port index). Schemes that emit
+    /// `MarkDecision` events (TCN, CoDel, RED) store it; the default is
+    /// a no-op so schemes without instrumentation need no code.
+    fn set_probe(&mut self, _probe: tcn_telemetry::Probe) {}
+
     /// True if this scheme is contractually mark-only: it may CE-mark
     /// packets but must never return [`DequeueVerdict::Drop`]. TCN is
     /// the paper's flagship example (§4.2 — dequeue drops bubble the

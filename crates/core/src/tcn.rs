@@ -12,6 +12,7 @@
 //! fairness.
 
 use tcn_sim::{Rng, Time};
+use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
 use crate::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
 use crate::packet::Packet;
@@ -53,6 +54,7 @@ pub struct Tcn {
     /// The static sojourn threshold `T = RTT × λ`.
     threshold: Time,
     stats: TcnStats,
+    probe: Probe,
 }
 
 impl Tcn {
@@ -63,6 +65,7 @@ impl Tcn {
         Tcn {
             threshold,
             stats: TcnStats::default(),
+            probe: Probe::off(),
         }
     }
 
@@ -99,9 +102,18 @@ impl Aqm for Tcn {
         now: Time,
     ) -> DequeueVerdict {
         self.stats.dequeued += 1;
-        if pkt.sojourn(now) > self.threshold && pkt.try_mark_ce() {
+        let sojourn = pkt.sojourn(now);
+        let marked = sojourn > self.threshold && pkt.try_mark_ce();
+        if marked {
             self.stats.marked += 1;
         }
+        self.probe.emit(|| TelemetryEvent::MarkDecision {
+            at_ps: now.as_ps(),
+            port: self.probe.ctx(),
+            aqm: "TCN",
+            sojourn_ps: sojourn.as_ps(),
+            marked,
+        });
         // TCN marks, never drops (§4.2: "Marking, as opposed to dropping").
         DequeueVerdict::Forward
     }
@@ -113,6 +125,10 @@ impl Aqm for Tcn {
     /// TCN's §4.2 contract: marking, as opposed to dropping.
     fn marks_only(&self) -> bool {
         true
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 
@@ -130,6 +146,7 @@ pub struct ProbabilisticTcn {
     p_max: f64,
     rng: Rng,
     stats: TcnStats,
+    probe: Probe,
 }
 
 impl ProbabilisticTcn {
@@ -146,6 +163,7 @@ impl ProbabilisticTcn {
             p_max,
             rng: Rng::new(seed),
             stats: TcnStats::default(),
+            probe: Probe::off(),
         }
     }
 
@@ -191,10 +209,19 @@ impl Aqm for ProbabilisticTcn {
         now: Time,
     ) -> DequeueVerdict {
         self.stats.dequeued += 1;
-        let p = self.mark_probability(pkt.sojourn(now));
-        if self.rng.chance(p) && pkt.try_mark_ce() {
+        let sojourn = pkt.sojourn(now);
+        let p = self.mark_probability(sojourn);
+        let marked = self.rng.chance(p) && pkt.try_mark_ce();
+        if marked {
             self.stats.marked += 1;
         }
+        self.probe.emit(|| TelemetryEvent::MarkDecision {
+            at_ps: now.as_ps(),
+            port: self.probe.ctx(),
+            aqm: "TCN-prob",
+            sojourn_ps: sojourn.as_ps(),
+            marked,
+        });
         DequeueVerdict::Forward
     }
 
@@ -206,6 +233,10 @@ impl Aqm for ProbabilisticTcn {
     /// drop-free).
     fn marks_only(&self) -> bool {
         true
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 
@@ -349,5 +380,38 @@ mod tests {
     #[should_panic(expected = "t_min must not exceed t_max")]
     fn probabilistic_rejects_inverted_thresholds() {
         ProbabilisticTcn::new(Time::from_us(2), Time::from_us(1), 0.5, 0);
+    }
+
+    #[test]
+    fn probe_reports_every_mark_decision_with_sojourn() {
+        use tcn_telemetry::{MemorySink, Telemetry};
+        let bus = Telemetry::new();
+        let mem = MemorySink::new();
+        bus.add_sink(Box::new(mem.handle()));
+        let mut tcn = Tcn::new(Time::from_us(100));
+        tcn.set_probe(bus.probe_for(7));
+        let v = view();
+        for us in [10u64, 150] {
+            let mut p = pkt_with_sojourn(0);
+            tcn.on_dequeue(&v, 0, &mut p, Time::from_us(us));
+        }
+        let evs = mem.events();
+        assert_eq!(evs.len(), 2, "both outcomes must be reported");
+        match (evs[0], evs[1]) {
+            (
+                TelemetryEvent::MarkDecision {
+                    port: p0,
+                    marked: m0,
+                    sojourn_ps: s0,
+                    ..
+                },
+                TelemetryEvent::MarkDecision { marked: m1, .. },
+            ) => {
+                assert_eq!(p0, 7, "probe ctx stamps the port");
+                assert!(!m0 && m1);
+                assert_eq!(s0, Time::from_us(10).as_ps());
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
     }
 }

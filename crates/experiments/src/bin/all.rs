@@ -1,64 +1,30 @@
-//! Runs every figure back to back at the selected scale.
+//! Runs every figure back to back at the selected scale — an alias for
+//! `figs all`, kept for muscle memory.
 //!
 //! Usage: `all [--quick|--medium|--full] [--json] [--threads N]`.
 //!
-//! A failing figure no longer aborts the batch: every figure runs, the
-//! failures are collected, and the process exits nonzero with a summary
-//! naming each one. `--threads N` is consumed here and handed to the
-//! figure binaries via the `TCN_THREADS` environment variable (the
-//! sweeps' parallel cell runner honors it; output is byte-identical at
-//! any value).
+//! Figures run in-process through the same [`tcn_experiments::figs`]
+//! registry the `figs` binary dispatches; a panicking figure no longer
+//! aborts the batch. `--threads N` sets `TCN_THREADS` for the sweeps'
+//! parallel cell runner (output is byte-identical at any value).
 
-use std::process::Command;
-
-const FIGURES: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "incast", "fairness", "pifo_demo", "chaos",
-];
+use tcn_experiments::figs;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut threads: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--threads") {
-        if i + 1 >= args.len() {
+        let Some(t) = args.get(i + 1) else {
             eprintln!("--threads needs a value");
             std::process::exit(2);
-        }
-        args.remove(i);
-        threads = Some(args.remove(i));
+        };
+        std::env::set_var("TCN_THREADS", t);
     }
-
-    let me = std::env::current_exe().expect("current exe");
-    let dir = me.parent().expect("bin dir");
-    let mut failures: Vec<String> = Vec::new();
-    for &fig in FIGURES {
-        println!("\n################ {fig} ################");
-        let mut cmd = Command::new(dir.join(fig));
-        cmd.args(&args);
-        if let Some(t) = &threads {
-            cmd.env("TCN_THREADS", t);
-        }
-        match cmd.status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("!! {fig} exited with {status}");
-                failures.push(format!("{fig} ({status})"));
-            }
-            Err(e) => {
-                eprintln!("!! {fig} failed to spawn: {e}");
-                failures.push(format!("{fig} (spawn: {e})"));
-            }
-        }
-    }
-
-    println!();
-    if failures.is_empty() {
-        println!("all {} figures succeeded", FIGURES.len());
-    } else {
+    let failures = figs::run_all();
+    if !failures.is_empty() {
         eprintln!(
             "{}/{} figures FAILED: {}",
             failures.len(),
-            FIGURES.len(),
+            figs::FIGURES.len(),
             failures.join(", ")
         );
         std::process::exit(1);

@@ -1,45 +1,9 @@
 //! The chaos experiment: FCT degradation and recovery accounting under
-//! deterministic fault injection (Bernoulli loss × leaf→spine flap),
-//! TCN vs. CoDel vs. per-queue RED on the leaf-spine fabric.
+//! deterministic fault injection (Bernoulli loss × leaf→spine flap).
 //!
-//! Usage: `chaos [--quick|--medium|--full] [--flows N] [--seed N] [--json]`.
-
-use tcn_experiments::chaos::{self, ChaosConfig};
-use tcn_experiments::common::{maybe_write_json, print_table, Scale};
+//! Usage: `chaos [--quick|--medium|--full] [--flows N] [--seed N]
+//! [--json]` — alias for `figs chaos`.
 
 fn main() {
-    let scale = Scale::from_args(false);
-    let cfg = ChaosConfig::paper_default();
-    let res = chaos::run(&cfg, &scale);
-    let rows: Vec<Vec<String>> = res
-        .cells
-        .iter()
-        .map(|c| {
-            vec![
-                c.scheme.clone(),
-                format!("{:.3}", c.loss),
-                if c.flap { "yes" } else { "no" }.to_string(),
-                format!("{}/{}", c.completed, c.flows),
-                format!("{:.0}", c.overall_avg_us),
-                format!("{:.0}", c.small_avg_us),
-                format!("{:.0}", c.small_p99_us),
-                format!("{:.0}", c.large_avg_us),
-                c.timeouts.to_string(),
-                c.rtx_packets.to_string(),
-                format!("{:.4}", c.rtx_fraction),
-                format!("{:.0}", c.goodput_mbps),
-                c.loss_drops.to_string(),
-                c.dead_link_drops.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        "Chaos — FCT under loss × link flap, leaf-spine, SP(1)+DWRR(7), DCTCP",
-        &[
-            "scheme", "loss", "flap", "done", "avg us", "small avg", "small p99", "large avg",
-            "TOs", "rtx", "rtx frac", "goodput Mb", "losses", "blackholed",
-        ],
-        &rows,
-    );
-    maybe_write_json("chaos", &res);
+    tcn_experiments::figs::chaos();
 }

@@ -1,35 +1,7 @@
 //! Extension: probabilistic TCN short-window fairness (paper §4.3).
 //!
-//! Usage: `fairness [--flows N] [--json]`.
-
-use tcn_experiments::common::{maybe_write_json, print_table};
-use tcn_experiments::fairness;
-use tcn_sim::Time;
+//! Usage: `fairness [--flows N] [--json]` — alias for `figs fairness`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let flows = args
-        .iter()
-        .position(|a| a == "--flows")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    let rows = fairness::run(flows, Time::from_ms(200));
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                format!("{:.4}", r.jain_overall),
-                format!("{:.4}", r.jain_windowed),
-                format!("{:.2}", r.total_gbps),
-            ]
-        })
-        .collect();
-    print_table(
-        "Probabilistic TCN fairness (synchronized ECN* flows, one queue)",
-        &["scheme", "Jain overall", "Jain 10ms-window", "Gbps"],
-        &table,
-    );
-    maybe_write_json("fairness", &rows);
+    tcn_experiments::figs::fairness();
 }

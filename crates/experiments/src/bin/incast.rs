@@ -1,36 +1,7 @@
 //! Extension experiment: incast burst tolerance (paper §4.3 claim).
 //!
-//! Usage: `incast [--fanout N] [--json]`.
-
-use tcn_experiments::common::{maybe_write_json, print_table};
-use tcn_experiments::incast;
+//! Usage: `incast [--fanout N] [--json]` — alias for `figs incast`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let fanout = args
-        .iter()
-        .position(|a| a == "--fanout")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(32);
-    let rows = incast::run(fanout, 5, 64_000);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                r.fanout.to_string(),
-                format!("{:.0}", r.avg_fct_us),
-                format!("{:.0}", r.p99_fct_us),
-                r.timeouts.to_string(),
-                r.drops.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        "Incast burst tolerance (5 waves x fanout x 64 KB, 10 Gbps)",
-        &["scheme", "fanout", "avg us", "p99 us", "timeouts", "drops"],
-        &table,
-    );
-    maybe_write_json("incast", &rows);
+    tcn_experiments::figs::incast();
 }

@@ -1,37 +1,7 @@
 //! Extension: ECN over a programmable PIFO scheduler (paper §2.2).
 //!
-//! Usage: `pifo_demo [--json]`.
-
-use tcn_experiments::common::{maybe_write_json, print_table};
-use tcn_experiments::pifo_demo;
-use tcn_sim::Time;
+//! Usage: `pifo_demo [--json]` — alias for `figs pifo_demo`.
 
 fn main() {
-    let rows = pifo_demo::run(Time::from_ms(200));
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                r.shares
-                    .iter()
-                    .map(|s| format!("{s:.2}"))
-                    .collect::<Vec<_>>()
-                    .join("/"),
-                format!("{:.0}", r.rtt_avg_us),
-                format!("{:.0}", r.rtt_p99_us),
-            ]
-        })
-        .collect();
-    print_table(
-        "TCN over PIFO-STFQ 4:2:1:1 (MQ-ECN has no round to measure)",
-        &["scheme", "shares", "rtt avg us", "rtt p99 us"],
-        &table,
-    );
-    println!(
-        "\nShape check: all schemes preserve the STFQ weights; TCN's probe\n\
-         latency beats both queue-length schemes, and MQ-ECN ≈ RED here\n\
-         because without a round it degenerates to the static threshold."
-    );
-    maybe_write_json("pifo_demo", &rows);
+    tcn_experiments::figs::pifo_demo();
 }

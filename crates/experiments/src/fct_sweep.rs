@@ -8,7 +8,7 @@
 //! counts.
 
 use crate::impl_to_json;
-use tcn_net::{leaf_spine, single_switch, NetworkSim, TaggingPolicy, TransportChoice};
+use tcn_net::{NetworkBuilder, NetworkSim, TaggingPolicy, TransportChoice};
 use tcn_net::{FlowSpec, LeafSpineConfig};
 use tcn_sim::{Rate, Rng, Time};
 use tcn_stats::FctBreakdown;
@@ -228,31 +228,30 @@ impl SweepResult {
 }
 
 fn build_sim(cfg: &SweepConfig, scheme: Scheme, seed: u64) -> NetworkSim {
-    let mk = || {
+    // SweepConfig is Copy, so the port factory can own everything it
+    // needs for the builder's 'static closure.
+    let c = *cfg;
+    match cfg.env {
+        Environment::TestbedStar => {
+            NetworkBuilder::single_switch(9, cfg.rate, params::testbed::LINK_DELAY)
+        }
+        Environment::LeafSpine { cfg: ls, .. } => NetworkBuilder::leaf_spine(ls),
+    }
+    .transport(cfg.transport.config())
+    .tagging(cfg.tagging)
+    .port_factory(move || {
         switch_port(
-            cfg.nqueues,
-            Some(cfg.buffer),
+            c.nqueues,
+            Some(c.buffer),
             None,
-            cfg.sched,
+            c.sched,
             scheme,
-            cfg.rate,
+            c.rate,
             1500,
             seed,
         )
-    };
-    match cfg.env {
-        Environment::TestbedStar => single_switch(
-            9,
-            cfg.rate,
-            params::testbed::LINK_DELAY,
-            cfg.transport.config(),
-            cfg.tagging,
-            mk,
-        ),
-        Environment::LeafSpine { cfg: ls, .. } => {
-            leaf_spine(ls, cfg.transport.config(), cfg.tagging, mk)
-        }
-    }
+    })
+    .build()
 }
 
 fn gen_flows(cfg: &SweepConfig, load: f64, scale: &Scale, seed: u64) -> Vec<FlowSpec> {
@@ -330,31 +329,72 @@ pub fn run_schemes_with_threads(
         .collect();
     let cells = crate::runner::run_cells_with(threads, grid.len(), |cell| {
         let (scheme, li, load) = grid[cell];
-        // Same flow set for every scheme at this load.
-        let flow_seed = scale.seed.wrapping_mul(1000).wrapping_add(li as u64);
-        let flows = gen_flows(cfg, load, scale, flow_seed);
-        let mut sim = build_sim(cfg, scheme, scale.seed);
-        for f in &flows {
-            sim.add_flow(*f);
-        }
-        let done = sim.run_to_completion(Time::from_secs(10_000));
-        let records = sim.fct_records();
-        let b = FctBreakdown::from_records(&records);
-        debug_assert!(done, "flows did not finish");
-        SweepCell {
-            scheme: scheme.name().to_string(),
-            load,
-            completed: sim.completed_flows(),
-            flows: sim.num_flows(),
-            overall_avg_us: b.overall_avg_us,
-            small_avg_us: b.small_avg_us,
-            small_p99_us: b.small_p99_us,
-            large_avg_us: b.large_avg_us,
-            small_timeouts: b.small_timeouts,
-            drops: sim.total_drops(),
-        }
+        run_cell(cfg, scale, scheme, li, load, None)
     });
     SweepResult { cells }
+}
+
+/// Run one (scheme, load-index) cell, optionally with a telemetry bus
+/// installed before the run.
+fn run_cell(
+    cfg: &SweepConfig,
+    scale: &Scale,
+    scheme: Scheme,
+    li: usize,
+    load: f64,
+    bus: Option<&tcn_telemetry::Telemetry>,
+) -> SweepCell {
+    // Same flow set for every scheme at this load.
+    let flow_seed = scale.seed.wrapping_mul(1000).wrapping_add(li as u64);
+    let flows = gen_flows(cfg, load, scale, flow_seed);
+    let mut sim = build_sim(cfg, scheme, scale.seed);
+    if let Some(bus) = bus {
+        sim.install_telemetry(bus);
+    }
+    for f in &flows {
+        sim.add_flow(*f);
+    }
+    let done = sim.run_to_completion(Time::from_secs(10_000));
+    if let Some(bus) = bus {
+        bus.flush();
+    }
+    let records = sim.fct_records();
+    let b = FctBreakdown::from_records(&records);
+    debug_assert!(done, "flows did not finish");
+    SweepCell {
+        scheme: scheme.name().to_string(),
+        load,
+        completed: sim.completed_flows(),
+        flows: sim.num_flows(),
+        overall_avg_us: b.overall_avg_us,
+        small_avg_us: b.small_avg_us,
+        small_p99_us: b.small_p99_us,
+        large_avg_us: b.large_avg_us,
+        small_timeouts: b.small_timeouts,
+        drops: sim.total_drops(),
+    }
+}
+
+/// Run a single (scheme, load) cell with `bus` installed — the entry
+/// point every tracing consumer uses (`figs trace`, the e2e JSONL test).
+///
+/// Telemetry handles are not `Send`, so a traced cell always runs on
+/// the calling thread; the cell's RNG streams depend only on
+/// `scale.seed` and the load index, so the numbers match the same cell
+/// of a parallel untraced sweep exactly.
+pub fn run_cell_traced(
+    cfg: &SweepConfig,
+    scale: &Scale,
+    scheme: Scheme,
+    load: f64,
+    bus: &tcn_telemetry::Telemetry,
+) -> SweepCell {
+    let li = scale
+        .loads
+        .iter()
+        .position(|&l| (l - load).abs() < 1e-9)
+        .unwrap_or(0);
+    run_cell(cfg, scale, scheme, li, load, Some(bus))
 }
 
 #[cfg(test)]
@@ -503,6 +543,33 @@ mod tests {
                 "{threads}-thread sweep diverged from serial"
             );
         }
+    }
+
+    #[test]
+    fn traced_cell_is_byte_identical_to_untraced() {
+        // The zero-cost-when-off contract, end to end: installing a
+        // telemetry bus (events recorded into memory) must not change a
+        // single rendered byte of the figure's numbers.
+        use crate::json::ToJson;
+        use tcn_telemetry::{MemorySink, Telemetry};
+        let scale = Scale {
+            flows: 150,
+            loads: &[0.6],
+            seed: 2,
+        };
+        let cfg = SweepConfig::fig6();
+        let schemes = cfg.schemes();
+        let plain = run_schemes(&cfg, &scale, &schemes);
+        let bus = Telemetry::new();
+        let mem = MemorySink::new();
+        bus.add_sink(Box::new(mem.handle()));
+        let traced = run_cell_traced(&cfg, &scale, schemes[0], 0.6, &bus);
+        assert_eq!(
+            plain.cells[0].to_json().pretty(),
+            traced.to_json().pretty(),
+            "telemetry observed the run but changed its output"
+        );
+        assert!(mem.len() > 0, "traced run must actually emit events");
     }
 
     #[test]

@@ -15,9 +15,12 @@
 //! | [`chaos`] | fault-injection study: FCT degradation under loss and link flaps (extension) |
 //!
 //! Every runner takes a [`common::Scale`] so the same code runs at CI
-//! scale (seconds) and at paper scale (`--full`). Binaries under
-//! `src/bin/` print the tables and, with `--json`, emit raw results for
-//! EXPERIMENTS.md provenance.
+//! scale (seconds) and at paper scale (`--full`). The [`figs`] registry
+//! exposes one entry point per figure; the `figs` binary dispatches
+//! them as subcommands (`figs fig7`, `figs all`, `figs trace`, …) and
+//! prints the tables — with `--json`, raw results for EXPERIMENTS.md
+//! provenance. [`trace`] holds the JSONL telemetry sink and schema
+//! validator behind `figs trace` / `figs check-trace`.
 //!
 //! Grid-shaped runners fan their independent cells out over [`runner`]'s
 //! scoped thread pool; results merge in canonical cell order, so output
@@ -37,8 +40,10 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod figs;
 pub mod incast;
 pub mod pifo_demo;
 pub mod runner;
+pub mod trace;
 
 pub use common::{Scale, SchedKind, Scheme};

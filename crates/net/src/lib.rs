@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod network;
 pub mod port;
 pub mod routing;
 pub mod token_bucket;
 pub mod topology;
 
+pub use builder::NetworkBuilder;
 pub use network::{
     FaultStats, FctRecord, FlowSpec, LinkSpec, NetworkSim, NodeId, ProbeConfig, TaggingPolicy,
     TransportChoice,

@@ -260,6 +260,9 @@ pub struct NetworkSim {
     /// Reusable sender-output scratch: one buffer, cleared per event,
     /// so emission never allocates in steady state either.
     scratch: SenderOutput,
+    /// Installed telemetry bus, kept so senders registered after
+    /// [`NetworkSim::install_telemetry`] get probes too.
+    telemetry: Option<tcn_telemetry::Telemetry>,
 }
 
 impl NetworkSim {
@@ -341,7 +344,30 @@ impl NetworkSim {
             net_audit: tcn_audit::NetAudit::new(),
             arena: PacketArena::new(),
             scratch: SenderOutput::default(),
+            telemetry: None,
         })
+    }
+
+    /// Install a telemetry bus across every layer of the simulation:
+    /// the event loop emits sampled `Tick`s, every egress port (with
+    /// its scheduler and AQM) reports enqueue/dequeue/mark/drop events
+    /// scoped by its link index, and every sender — registered before
+    /// or after this call — reports congestion episodes (ECN cuts,
+    /// RTOs, fast retransmits).
+    pub fn install_telemetry(&mut self, bus: &tcn_telemetry::Telemetry) {
+        self.events.set_probe(bus.probe());
+        for (i, l) in self.links.iter_mut().enumerate() {
+            l.port.set_probe(bus.probe_for(i as u32));
+        }
+        for f in &mut self.flows {
+            f.sender.set_probe(bus.probe());
+        }
+        self.telemetry = Some(bus.clone());
+    }
+
+    /// The installed telemetry bus, if any.
+    pub fn telemetry(&self) -> Option<&tcn_telemetry::Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Install a fault plan: per-link stochastic profiles plus the timed
@@ -390,7 +416,10 @@ impl NetworkSim {
         assert!((spec.dst as usize) < self.host_nodes.len());
         let id = FlowId(self.flows.len() as u64);
         assert!(id.0 < PROBE_FLOW_BASE, "too many flows");
-        let sender = TcpSender::new(self.tcp, id, spec.src, spec.dst, spec.size);
+        let mut sender = TcpSender::new(self.tcp, id, spec.src, spec.dst, spec.size);
+        if let Some(bus) = &self.telemetry {
+            sender.set_probe(bus.probe());
+        }
         let receiver = TcpReceiver::new(id, spec.dst, spec.src, spec.size);
         self.flows.push(FlowState {
             spec,

@@ -20,6 +20,7 @@ use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
 use tcn_core::{Packet, PacketQueue};
 use tcn_sched::Scheduler;
 use tcn_sim::{Rate, Time};
+use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
 /// Factory closures used by topology builders to stamp out per-port
 /// scheduler/AQM instances.
@@ -185,6 +186,10 @@ pub struct Port {
     /// no-ops unless auditing is active. Standalone scheduler audits
     /// are also available as [`tcn_sched::Audited`].
     audit: tcn_audit::PortAudit,
+    /// Telemetry probe scoped to this port ([`Probe::ctx`] is the
+    /// owning link index); off by default, so uninstrumented runs never
+    /// build an event.
+    probe: Probe,
 }
 
 impl Port {
@@ -229,7 +234,17 @@ impl Port {
             } else {
                 tcn_audit::PortAudit::new()
             },
+            probe: Probe::off(),
         }
+    }
+
+    /// Install a telemetry probe (scoped by the caller to this port's
+    /// link index) and forward it to the scheduler and AQM so all three
+    /// layers stamp the same port id on their events.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.sched.set_probe(probe.clone());
+        self.aqm.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// Invariant violations recorded so far (only a recording port ever
@@ -270,6 +285,12 @@ impl Port {
             if self.core.occupancy + u64::from(pkt.size) > cap {
                 self.stats.buffer_drops += 1;
                 self.audit.ledger.on_buffer_drop(u64::from(pkt.size));
+                self.probe.emit(|| TelemetryEvent::BufferDrop {
+                    at_ps: now.as_ps(),
+                    port: self.probe.ctx(),
+                    queue: q as u16,
+                    bytes: pkt.size,
+                });
                 self.audit_state();
                 return false;
             }
@@ -294,7 +315,21 @@ impl Port {
             EnqueueVerdict::Admit => {
                 if !was_ce && pkt.ecn.is_ce() {
                     self.stats.enqueue_marks += 1;
+                    self.probe.emit(|| TelemetryEvent::Mark {
+                        at_ps: now.as_ps(),
+                        port: self.probe.ctx(),
+                        queue: q as u16,
+                        sojourn_ps: 0,
+                        dequeue: false,
+                    });
                 }
+                self.probe.emit(|| TelemetryEvent::Enqueue {
+                    at_ps: now.as_ps(),
+                    port: self.probe.ctx(),
+                    queue: q as u16,
+                    bytes: pkt.size,
+                    dscp: pkt.dscp,
+                });
                 self.audit.ledger.on_admitted(size);
                 self.core.queues[q].push_back(pkt);
                 self.core.occupancy += size;
@@ -307,6 +342,13 @@ impl Port {
             EnqueueVerdict::Drop => {
                 self.stats.enqueue_aqm_drops += 1;
                 self.audit.ledger.on_enqueue_aqm_drop(size);
+                self.probe.emit(|| TelemetryEvent::AqmDrop {
+                    at_ps: now.as_ps(),
+                    port: self.probe.ctx(),
+                    queue: q as u16,
+                    bytes: pkt.size,
+                    dequeue: false,
+                });
                 false
             }
         };
@@ -355,9 +397,24 @@ impl Port {
             );
             match verdict {
                 DequeueVerdict::Forward => {
+                    let sojourn_ps = pkt.sojourn(now).as_ps();
                     if !was_ce && pkt.ecn.is_ce() {
                         self.stats.dequeue_marks += 1;
+                        self.probe.emit(|| TelemetryEvent::Mark {
+                            at_ps: now.as_ps(),
+                            port: self.probe.ctx(),
+                            queue: q as u16,
+                            sojourn_ps,
+                            dequeue: true,
+                        });
                     }
+                    self.probe.emit(|| TelemetryEvent::Dequeue {
+                        at_ps: now.as_ps(),
+                        port: self.probe.ctx(),
+                        queue: q as u16,
+                        bytes: pkt.size,
+                        sojourn_ps,
+                    });
                     self.stats.tx_packets += 1;
                     self.stats.tx_bytes += u64::from(pkt.size);
                     self.audit.ledger.on_tx(u64::from(pkt.size));
@@ -367,6 +424,13 @@ impl Port {
                 DequeueVerdict::Drop => {
                     self.stats.dequeue_aqm_drops += 1;
                     self.audit.ledger.on_dequeue_aqm_drop(u64::from(pkt.size));
+                    self.probe.emit(|| TelemetryEvent::AqmDrop {
+                        at_ps: now.as_ps(),
+                        port: self.probe.ctx(),
+                        queue: q as u16,
+                        bytes: pkt.size,
+                        dequeue: true,
+                    });
                     self.audit_state();
                     continue;
                 }

@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use tcn_core::{Packet, PacketQueue};
 use tcn_sim::Time;
+use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
 use crate::Scheduler;
 
@@ -34,6 +35,7 @@ pub struct Dwrr {
     last_round: Option<Time>,
     /// Counter of round samples taken.
     round_seq: u64,
+    probe: Probe,
 }
 
 impl Dwrr {
@@ -56,6 +58,7 @@ impl Dwrr {
             turn_start: vec![None; n],
             last_round: None,
             round_seq: 0,
+            probe: Probe::off(),
         }
     }
 
@@ -127,8 +130,14 @@ impl Scheduler for Dwrr {
         }
     }
 
-    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, _now: Time) {
+    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
         debug_assert_eq!(self.current, Some(q), "dequeue outside service turn");
+        self.probe.emit(|| TelemetryEvent::SchedService {
+            at_ps: now.as_ps(),
+            port: self.probe.ctx(),
+            sched: "DWRR",
+            queue: q as u16,
+        });
         self.deficit[q] = self.deficit[q].saturating_sub(u64::from(pkt.size));
         if queues[q].is_empty() {
             self.deactivate(q);
@@ -149,6 +158,10 @@ impl Scheduler for Dwrr {
 
     fn name(&self) -> &'static str {
         "DWRR"
+    }
+
+    fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

@@ -87,6 +87,12 @@ pub trait Scheduler {
 
     /// Scheduler name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Install a telemetry probe scoped to this scheduler's port
+    /// (`probe.ctx()` is the port index). Schedulers that emit
+    /// `SchedService` events (DWRR) store it; the default is a no-op so
+    /// schedulers without instrumentation need no code.
+    fn set_probe(&mut self, _probe: tcn_telemetry::Probe) {}
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -110,6 +116,9 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn set_probe(&mut self, probe: tcn_telemetry::Probe) {
+        (**self).set_probe(probe)
     }
 }
 
@@ -190,6 +199,10 @@ impl<S: Scheduler> Scheduler for Audited<S> {
 
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    fn set_probe(&mut self, probe: tcn_telemetry::Probe) {
+        self.inner.set_probe(probe)
     }
 }
 

@@ -1,0 +1,94 @@
+//! Fluent construction of instrumented engines.
+//!
+//! [`EventQueue::new`] covers the bare case; [`SimBuilder`] is the
+//! front door once observability knobs are involved — it replaces the
+//! "construct, then remember to call `set_probe` and
+//! `set_tick_interval` in the right order" dance with one chained
+//! expression, and is the engine-level half of the builder pair
+//! (`tcn_net::NetworkBuilder` is the topology-level half):
+//!
+//! ```
+//! use tcn_sim::{SimBuilder, Time};
+//! use tcn_telemetry::Telemetry;
+//!
+//! let bus = Telemetry::new();
+//! let mut q = SimBuilder::new()
+//!     .telemetry(&bus)
+//!     .tick_interval(1024)
+//!     .build::<&'static str>();
+//! q.schedule_at(Time::from_us(1), "hello");
+//! assert_eq!(q.pop().map(|e| e.event), Some("hello"));
+//! ```
+
+use tcn_telemetry::{Probe, Telemetry};
+
+use crate::engine::EventQueue;
+
+/// Fluent constructor for an [`EventQueue`] with telemetry installed.
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    telemetry: Option<Telemetry>,
+    tick_interval: Option<u64>,
+}
+
+impl SimBuilder {
+    /// A builder with no telemetry and the default tick stride.
+    pub fn new() -> Self {
+        SimBuilder::default()
+    }
+
+    /// Attach a telemetry bus: the engine emits sampled `Tick` events
+    /// into it and epoch-resets it on `clear()`.
+    pub fn telemetry(mut self, bus: &Telemetry) -> Self {
+        self.telemetry = Some(bus.clone());
+        self
+    }
+
+    /// Pops between telemetry ticks (see
+    /// [`EventQueue::set_tick_interval`]).
+    pub fn tick_interval(mut self, every: u64) -> Self {
+        self.tick_interval = Some(every);
+        self
+    }
+
+    /// Build the queue for event payload type `E`.
+    pub fn build<E>(self) -> EventQueue<E> {
+        let mut q = EventQueue::new();
+        if let Some(bus) = &self.telemetry {
+            q.set_probe(bus.probe());
+        } else {
+            q.set_probe(Probe::off());
+        }
+        if let Some(every) = self.tick_interval {
+            q.set_tick_interval(every);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+    use tcn_telemetry::{MemorySink, Telemetry};
+
+    #[test]
+    fn builder_without_telemetry_matches_new() {
+        let q: EventQueue<u8> = SimBuilder::new().build();
+        assert!(!q.probe().is_on());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn builder_installs_probe_and_stride() {
+        let bus = Telemetry::new();
+        let mem = MemorySink::new();
+        bus.add_sink(Box::new(mem.handle()));
+        let mut q = SimBuilder::new().telemetry(&bus).tick_interval(2).build();
+        for i in 0..4u64 {
+            q.schedule_at(Time::from_ns(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(mem.len(), 2, "pops 2 and 4 tick");
+    }
+}

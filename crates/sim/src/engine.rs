@@ -47,6 +47,8 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
+use tcn_telemetry::{Event as TelemetryEvent, Probe};
+
 use crate::time::Time;
 
 /// A scheduled event: the payload plus its firing time and tie-break
@@ -96,6 +98,11 @@ const DAY_SHIFT: u32 = 20;
 /// timers take the (rare) overflow path.
 const NUM_BUCKETS: usize = 1024;
 
+/// Default pop-count stride between telemetry `Tick` events: frequent
+/// enough to chart engine progress, sparse enough that a multi-million
+/// event run emits thousands — not millions — of ticks.
+const DEFAULT_TICK_INTERVAL: u64 = 4096;
+
 #[inline(always)]
 fn day_of(at: Time) -> u64 {
     at.as_ps() >> DAY_SHIFT
@@ -141,6 +148,11 @@ pub struct EventQueue<E> {
     /// re-verifies monotonicity and the FIFO tie-break rather than
     /// trusting the calendar structure's ordering argument.
     clock_audit: tcn_audit::ClockAudit,
+    /// Telemetry probe: off (a single branch per sampled pop) unless a
+    /// `tcn_telemetry::Telemetry` bus is installed.
+    probe: Probe,
+    /// Pops between telemetry `Tick` emissions.
+    tick_interval: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -163,7 +175,31 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             processed: 0,
             clock_audit: tcn_audit::ClockAudit::new(),
+            probe: Probe::off(),
+            tick_interval: DEFAULT_TICK_INTERVAL,
         }
+    }
+
+    /// Install a telemetry probe: every `tick_interval`-th pop emits a
+    /// [`TelemetryEvent::Tick`], and [`EventQueue::clear`] epoch-resets
+    /// the attached bus. Installing [`Probe::off`] uninstalls.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The installed probe (off by default). Domain layers driving this
+    /// queue clone it to scope their own component probes.
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Override the pop-count stride between telemetry ticks.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn set_tick_interval(&mut self, every: u64) {
+        assert!(every > 0, "tick interval must be positive");
+        self.tick_interval = every;
     }
 
     /// Current simulated time: the firing time of the last popped event.
@@ -269,6 +305,13 @@ impl<E> EventQueue<E> {
         self.clock_audit.on_pop(entry.at.as_ps(), entry.seq);
         self.now = entry.at;
         self.processed += 1;
+        if self.probe.is_on() && self.processed % self.tick_interval == 0 {
+            self.probe.emit(|| TelemetryEvent::Tick {
+                at_ps: entry.at.as_ps(),
+                events: self.processed,
+                pending: self.pending as u64,
+            });
+        }
         Some(entry)
     }
 
@@ -308,7 +351,9 @@ impl<E> EventQueue<E> {
     /// clear. The clock (`now`) and `processed` are untouched. The
     /// embedded `ClockAudit` is resynced so the next pop — which may
     /// legally carry a smaller `seq` at the same instant — is not
-    /// misreported as a FIFO inversion.
+    /// misreported as a FIFO inversion. Any installed telemetry bus is
+    /// epoch-reset for the same reason: a reused engine must not report
+    /// series from the previous run as if they belonged to the new one.
     pub fn clear(&mut self) {
         self.active.clear();
         for day in std::mem::take(&mut self.days) {
@@ -318,6 +363,7 @@ impl<E> EventQueue<E> {
         self.pending = 0;
         self.next_seq = 0;
         self.clock_audit.on_clear();
+        self.probe.on_clear();
     }
 }
 
@@ -612,6 +658,54 @@ mod tests {
         assert_eq!(q.pop().map(|e| e.event), Some(2));
         assert!(q.pop().is_none());
         assert_eq!(q.now(), Time::MAX);
+    }
+
+    #[test]
+    fn telemetry_tick_samples_every_nth_pop() {
+        use tcn_telemetry::{MemorySink, Telemetry};
+        let bus = Telemetry::new();
+        let mem = MemorySink::new();
+        bus.add_sink(Box::new(mem.handle()));
+        let mut q = EventQueue::new();
+        q.set_probe(bus.probe());
+        q.set_tick_interval(10);
+        for i in 0..35u64 {
+            q.schedule_at(Time::from_ns(i), i);
+        }
+        while q.pop().is_some() {}
+        // Pops 10, 20, 30 hit the stride.
+        let ticks = mem.events();
+        assert_eq!(ticks.len(), 3);
+        match ticks[0] {
+            TelemetryEvent::Tick { events, .. } => assert_eq!(events, 10),
+            ref other => panic!("expected a tick, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clear_epoch_resets_installed_telemetry() {
+        // The satellite bug: a reused engine must not report series from
+        // the previous run. clear() epoch-resets the bus, so the sink
+        // only ever holds post-clear events.
+        use tcn_telemetry::{MemorySink, Telemetry};
+        let bus = Telemetry::new();
+        let mem = MemorySink::new();
+        bus.add_sink(Box::new(mem.handle()));
+        let mut q = EventQueue::new();
+        q.set_probe(bus.probe());
+        q.set_tick_interval(1);
+        q.schedule_at(Time::from_ns(1), 1u32);
+        q.schedule_at(Time::from_ns(2), 2);
+        q.pop();
+        assert_eq!(mem.len(), 1, "first run recorded");
+        q.clear();
+        assert_eq!(bus.epoch(), 1);
+        assert!(mem.is_empty(), "stale first-run series must be dropped");
+        q.schedule_at(Time::from_ns(5), 3);
+        q.pop();
+        let evs = mem.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].at_ps(), Time::from_ns(5).as_ps());
     }
 
     #[test]

@@ -9,7 +9,13 @@
 //!   estimates (Fig. 2) and goodput-over-time (Figs. 1, 5a);
 //! * [`dist`] — empirical CDFs for RTT distributions (Fig. 5b);
 //! * [`recovery`] — retransmission/timeout/goodput accounting for the
-//!   chaos (fault-injection) experiments.
+//!   chaos (fault-injection) experiments;
+//! * [`stream`] — constant-memory streaming aggregators (P² quantiles,
+//!   tumbling rate windows, reservoir sampling) for unbounded telemetry
+//!   streams;
+//! * [`tele`] — the run-summary [`tcn_telemetry::Sink`] folding a live
+//!   event stream into per-queue sojourn statistics and per-port
+//!   throughput series.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +24,14 @@ pub mod dist;
 pub mod fct;
 pub mod recovery;
 pub mod series;
+pub mod stream;
 pub mod summary;
+pub mod tele;
 
 pub use dist::EmpiricalDist;
 pub use fct::{FctBreakdown, SizeClass};
 pub use recovery::RecoverySummary;
 pub use series::{GoodputTracker, TimeSeries};
+pub use stream::{P2Quantile, RateWindow, Reservoir};
 pub use summary::{jain_index, mean, percentile};
+pub use tele::{QueueSojourn, TelemetryCounters, TelemetrySummary};

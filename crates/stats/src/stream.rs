@@ -1,0 +1,406 @@
+//! Streaming aggregators: constant-memory summaries of unbounded
+//! telemetry streams.
+//!
+//! A traced run can emit one event per packet — hundreds of millions of
+//! samples on the larger sweeps — so the figure pipeline cannot afford
+//! to buffer raw values and sort. The three estimators here are the
+//! standard constant-space answers:
+//!
+//! * [`P2Quantile`] — the P² algorithm (Jain & Chlamtac, CACM 1985):
+//!   dynamic quantile estimation with five markers, no stored samples;
+//! * [`RateWindow`] — tumbling-window byte counters producing a rate
+//!   [`TimeSeries`] (the Fig. 2 "estimated rate vs time" shape);
+//! * [`Reservoir`] — Vitter's Algorithm R, a fixed-size uniform sample
+//!   of the stream for when the full distribution shape is wanted
+//!   (RTT CDFs, Fig. 5b) without the full data.
+
+use tcn_sim::{Rng, Time};
+
+use crate::series::TimeSeries;
+use crate::summary::percentile;
+
+/// Streaming estimate of a single quantile via the P² algorithm.
+///
+/// Holds exactly five markers regardless of stream length. The first
+/// five observations are stored verbatim (and queried exactly); from
+/// the sixth on, the interior markers are nudged along piecewise
+/// parabolas so that marker 2 tracks the `p`-quantile.
+///
+/// ```
+/// use tcn_stats::P2Quantile;
+/// let mut q = P2Quantile::new(0.5);
+/// for x in 1..=1001 {
+///     q.observe(x as f64);
+/// }
+/// assert!((q.value() - 501.0).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    count: u64,
+    /// Marker heights (first `count` entries hold raw samples while
+    /// `count < 5`).
+    q: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    want: [f64; 5],
+    /// Per-observation increment of the desired positions.
+    dwant: [f64; 5],
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `0 < p < 1`.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `(0, 1)` or not finite.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && p > 0.0 && p < 1.0, "quantile {p} not in (0, 1)");
+        P2Quantile {
+            p,
+            count: 0,
+            q: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            want: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dwant: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations fed in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feed one observation.
+    ///
+    /// # Panics
+    /// Panics on NaN (a NaN sample would silently poison every marker).
+    pub fn observe(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        if self.count < 5 {
+            self.q[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q.sort_by(|a, b| a.partial_cmp(b).expect("no NaN")) ;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Locate the marker cell containing x, widening the extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            1
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            4
+        } else {
+            // q[k-1] <= x < q[k]
+            (1..=4)
+                .find(|&i| x < self.q[i])
+                .expect("x < q[4] so a cell exists")
+        };
+        for i in k..5 {
+            self.pos[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.want[i] += self.dwant[i];
+        }
+
+        // Nudge interior markers toward their desired ranks.
+        for i in 1..4 {
+            let d = self.want[i] - self.pos[i];
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
+                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic prediction of marker `i` moved by `d` ∈ {−1, 1}.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.pos;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabola would break marker ordering.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate. Exact (sorted interpolation) while fewer than
+    /// five observations have arrived; 0 when empty.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else if self.count < 5 {
+            percentile(&self.q[..self.count as usize], self.p * 100.0)
+        } else {
+            self.q[2]
+        }
+    }
+}
+
+/// Tumbling-window rate counter: accumulate bytes, emit one rate sample
+/// (bits/s) per closed window into a [`TimeSeries`].
+///
+/// Windows are aligned to multiples of the window width from time zero.
+/// A window that closes with traffic in it is followed by at most one
+/// explicit zero-rate sample before an idle gap — long idle stretches
+/// are elided rather than flooding the series with zeros.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    window: Time,
+    start: Time,
+    bytes: u64,
+    series: TimeSeries,
+}
+
+impl RateWindow {
+    /// A counter with the given window width.
+    ///
+    /// # Panics
+    /// Panics on a zero-width window.
+    pub fn new(window: Time) -> Self {
+        assert!(!window.is_zero(), "zero-width rate window");
+        RateWindow {
+            window,
+            start: Time::ZERO,
+            bytes: 0,
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// Account `bytes` at time `t`. Times must be non-decreasing (the
+    /// underlying series panics otherwise).
+    pub fn record(&mut self, t: Time, bytes: u64) {
+        let w = self.window.as_ps();
+        while t.as_ps() >= self.start.as_ps() + w {
+            let was_idle = self.bytes == 0;
+            self.close_window();
+            if was_idle {
+                // Elide the rest of an idle gap: jump to the aligned
+                // window containing t.
+                let aligned = Time::from_ps(t.as_ps() / w * w);
+                if aligned > self.start {
+                    self.start = aligned;
+                }
+            }
+        }
+        self.bytes += bytes;
+    }
+
+    /// Close the in-progress window (as a full-width window) and return
+    /// the finished series.
+    pub fn finish(mut self) -> TimeSeries {
+        if self.bytes > 0 {
+            self.close_window();
+        }
+        self.series
+    }
+
+    /// The series of closed windows so far.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    fn close_window(&mut self) {
+        let end = self.start.saturating_add(self.window);
+        let bps = self.bytes as f64 * 8.0 / self.window.as_secs_f64();
+        self.series.push(end, bps);
+        self.start = end;
+        self.bytes = 0;
+    }
+}
+
+/// Fixed-size uniform sample of a stream (Vitter's Algorithm R), seeded
+/// for reproducibility with the simulator's own [`Rng`].
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    buf: Vec<f64>,
+    rng: Rng,
+}
+
+impl Reservoir {
+    /// A reservoir holding at most `cap` samples.
+    ///
+    /// # Panics
+    /// Panics on a zero-capacity reservoir.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "zero-capacity reservoir");
+        Reservoir {
+            cap,
+            seen: 0,
+            buf: Vec::with_capacity(cap),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Offer one value to the reservoir.
+    pub fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(x);
+        } else {
+            let j = self.rng.gen_range(self.seen);
+            if (j as usize) < self.cap {
+                self.buf[j as usize] = x;
+            }
+        }
+    }
+
+    /// The retained sample (unordered).
+    pub fn samples(&self) -> &[f64] {
+        &self.buf
+    }
+
+    /// Total values offered, retained or not.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seeded heavy-tailed sample: lognormal with σ = 1 (p99/p50
+    /// ratio ≈ 10) via Box–Muller.
+    fn heavy_tailed(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| {
+                let u1 = 1.0 - rng.next_f64(); // (0, 1]
+                let u2 = rng.next_f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                z.exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn p2_differential_vs_exact_on_heavy_tail() {
+        // The satellite acceptance test: P² within 1% relative error of
+        // the exact sorted quantile at p50/p95/p99 on seeded
+        // heavy-tailed data.
+        for seed in [1u64, 7, 42] {
+            let xs = heavy_tailed(200_000, seed);
+            for p in [0.50, 0.95, 0.99] {
+                let mut est = P2Quantile::new(p);
+                for &x in &xs {
+                    est.observe(x);
+                }
+                let exact = percentile(&xs, p * 100.0);
+                let rel = (est.value() - exact).abs() / exact;
+                assert!(
+                    rel <= 0.01,
+                    "seed {seed} p{p}: est {} vs exact {exact} (rel {rel:.4})",
+                    est.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.value(), 0.0);
+        q.observe(10.0);
+        assert_eq!(q.value(), 10.0);
+        q.observe(20.0);
+        q.observe(0.0);
+        assert_eq!(q.value(), 10.0, "exact median of {{0, 10, 20}}");
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    fn p2_is_deterministic() {
+        let xs = heavy_tailed(10_000, 3);
+        let run = || {
+            let mut q = P2Quantile::new(0.99);
+            xs.iter().for_each(|&x| q.observe(x));
+            q.value()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0, 1)")]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn rate_window_basic() {
+        let mut rw = RateWindow::new(Time::from_ms(1));
+        // 125 000 B per 1 ms window = 1 Gbps.
+        rw.record(Time::from_us(100), 62_500);
+        rw.record(Time::from_us(900), 62_500);
+        rw.record(Time::from_us(1_500), 125_000);
+        let s = rw.finish();
+        assert_eq!(s.len(), 2);
+        assert!((s.points()[0].1 - 1e9).abs() < 1.0);
+        assert_eq!(s.points()[0].0, Time::from_ms(1));
+        assert!((s.points()[1].1 - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_window_elides_idle_gaps() {
+        let mut rw = RateWindow::new(Time::from_us(10));
+        rw.record(Time::from_us(5), 100);
+        // A long silence, then traffic again: the series must not
+        // contain thousands of zero windows.
+        rw.record(Time::from_secs(1), 100);
+        let s = rw.finish();
+        assert!(s.len() <= 4, "idle gap flooded the series: {} points", s.len());
+        assert_eq!(s.points()[0].0, Time::from_us(10));
+    }
+
+    #[test]
+    fn reservoir_exact_until_full_then_uniform() {
+        let mut r = Reservoir::new(100, 9);
+        for i in 0..100 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.samples().len(), 100);
+        assert_eq!(r.samples()[7], 7.0, "no eviction before capacity");
+        for i in 100..100_000 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.samples().len(), 100);
+        assert_eq!(r.seen(), 100_000);
+        // A uniform sample of [0, 100k) has mean ≈ 50k; allow wide slack.
+        let mean = r.samples().iter().sum::<f64>() / 100.0;
+        assert!((mean - 50_000.0).abs() < 15_000.0, "mean {mean} far from uniform");
+    }
+
+    #[test]
+    fn reservoir_is_seed_deterministic() {
+        let fill = |seed| {
+            let mut r = Reservoir::new(10, seed);
+            (0..1000).for_each(|i| r.push(i as f64));
+            r.samples().to_vec()
+        };
+        assert_eq!(fill(4), fill(4));
+        assert_ne!(fill(4), fill(5), "different seeds should differ");
+    }
+}

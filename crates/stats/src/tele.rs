@@ -1,0 +1,337 @@
+//! The run-summary telemetry sink: constant-memory aggregation of a
+//! live event stream into the statistics the figures report.
+//!
+//! [`TelemetrySummary`] implements [`tcn_telemetry::Sink`] and digests
+//! per-packet events as they are emitted — per-(port, queue) sojourn
+//! quantiles via [`P2Quantile`], per-port throughput via [`RateWindow`]
+//! feeding [`TimeSeries`], and plain counters for marks, drops and
+//! congestion episodes. Like `MemorySink`, the state is behind a shared
+//! handle: clone the sink before boxing it into the bus and read the
+//! clone after the run.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use tcn_sim::Time;
+use tcn_telemetry::{Event, Sink};
+
+use crate::series::TimeSeries;
+use crate::stream::{P2Quantile, RateWindow};
+
+/// Sojourn statistics for one `(port, queue)` pair.
+#[derive(Debug, Clone)]
+pub struct QueueSojourn {
+    /// Packets dequeued.
+    pub dequeues: u64,
+    /// Wire bytes dequeued.
+    pub bytes: u64,
+    /// Sum of sojourn times (ps) — exact, for mean comparison.
+    pub sum_ps: u64,
+    /// Largest sojourn seen (ps).
+    pub max_ps: u64,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl QueueSojourn {
+    fn new() -> Self {
+        QueueSojourn {
+            dequeues: 0,
+            bytes: 0,
+            sum_ps: 0,
+            max_ps: 0,
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    fn observe(&mut self, bytes: u32, sojourn_ps: u64) {
+        self.dequeues += 1;
+        self.bytes += bytes as u64;
+        self.sum_ps += sojourn_ps;
+        self.max_ps = self.max_ps.max(sojourn_ps);
+        let s = sojourn_ps as f64;
+        self.p50.observe(s);
+        self.p95.observe(s);
+        self.p99.observe(s);
+    }
+
+    /// Mean sojourn (ps); 0 when no packets were dequeued.
+    pub fn mean_ps(&self) -> f64 {
+        if self.dequeues == 0 {
+            0.0
+        } else {
+            self.sum_ps as f64 / self.dequeues as f64
+        }
+    }
+
+    /// Streaming median sojourn estimate (ps).
+    pub fn p50_ps(&self) -> f64 {
+        self.p50.value()
+    }
+
+    /// Streaming 95th-percentile sojourn estimate (ps).
+    pub fn p95_ps(&self) -> f64 {
+        self.p95.value()
+    }
+
+    /// Streaming 99th-percentile sojourn estimate (ps).
+    pub fn p99_ps(&self) -> f64 {
+        self.p99.value()
+    }
+}
+
+/// Plain event counters for a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetryCounters {
+    /// Packets admitted to queues.
+    pub enqueues: u64,
+    /// Packets dequeued onto the wire.
+    pub dequeues: u64,
+    /// Shared-buffer admission refusals.
+    pub buffer_drops: u64,
+    /// AQM drops (either path).
+    pub aqm_drops: u64,
+    /// CE marks applied by ports.
+    pub marks: u64,
+    /// AQM mark decisions reported (both outcomes).
+    pub mark_decisions: u64,
+    /// Mark decisions that marked.
+    pub mark_decisions_marked: u64,
+    /// Scheduler service events.
+    pub sched_services: u64,
+    /// ECN-driven window reductions.
+    pub ecn_reduces: u64,
+    /// Retransmission timeouts.
+    pub rtos: u64,
+    /// Fast-retransmit entries.
+    pub fast_rtxs: u64,
+}
+
+#[derive(Default)]
+struct State {
+    queues: BTreeMap<(u32, u16), QueueSojourn>,
+    port_rate: BTreeMap<u32, RateWindow>,
+    counters: TelemetryCounters,
+    rate_window: u64, // ps; 0 = disabled
+}
+
+/// A [`Sink`] that folds the event stream into run-summary statistics.
+///
+/// ```
+/// use tcn_stats::TelemetrySummary;
+/// use tcn_telemetry::{Event, Sink, Telemetry};
+/// use tcn_sim::Time;
+///
+/// let bus = Telemetry::new();
+/// let summary = TelemetrySummary::new(Time::from_ms(1));
+/// bus.add_sink(Box::new(summary.handle()));
+/// bus.record(&Event::Dequeue { at_ps: 10, port: 0, queue: 1, bytes: 1500, sojourn_ps: 7 });
+/// let q = summary.queue(0, 1).expect("observed");
+/// assert_eq!(q.dequeues, 1);
+/// assert_eq!(q.max_ps, 7);
+/// ```
+#[derive(Clone, Default)]
+pub struct TelemetrySummary {
+    state: Rc<RefCell<State>>,
+}
+
+impl TelemetrySummary {
+    /// A summary aggregating port throughput over `rate_window`-wide
+    /// tumbling windows. Pass [`Time::ZERO`] to skip rate series.
+    pub fn new(rate_window: Time) -> Self {
+        let s = TelemetrySummary::default();
+        s.state.borrow_mut().rate_window = rate_window.as_ps();
+        s
+    }
+
+    /// A second handle onto the same state (box this one into the bus).
+    pub fn handle(&self) -> TelemetrySummary {
+        self.clone()
+    }
+
+    /// Sojourn statistics for one `(port, queue)`; `None` if that queue
+    /// never dequeued a packet.
+    pub fn queue(&self, port: u32, queue: u16) -> Option<QueueSojourn> {
+        self.state.borrow().queues.get(&(port, queue)).cloned()
+    }
+
+    /// Every `(port, queue)` with statistics, in index order.
+    pub fn queues(&self) -> Vec<((u32, u16), QueueSojourn)> {
+        self.state
+            .borrow()
+            .queues
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Throughput series for one port (closed windows so far).
+    pub fn port_rate_series(&self, port: u32) -> Option<TimeSeries> {
+        self.state
+            .borrow()
+            .port_rate
+            .get(&port)
+            .map(|rw| rw.series().clone())
+    }
+
+    /// The run's event counters.
+    pub fn counters(&self) -> TelemetryCounters {
+        self.state.borrow().counters
+    }
+}
+
+impl Sink for TelemetrySummary {
+    fn record(&mut self, ev: &Event) {
+        let mut st = self.state.borrow_mut();
+        match *ev {
+            Event::Enqueue { .. } => st.counters.enqueues += 1,
+            Event::Dequeue {
+                at_ps,
+                port,
+                queue,
+                bytes,
+                sojourn_ps,
+            } => {
+                st.counters.dequeues += 1;
+                st.queues
+                    .entry((port, queue))
+                    .or_insert_with(QueueSojourn::new)
+                    .observe(bytes, sojourn_ps);
+                let w = st.rate_window;
+                if w > 0 {
+                    st.port_rate
+                        .entry(port)
+                        .or_insert_with(|| RateWindow::new(Time::from_ps(w)))
+                        .record(Time::from_ps(at_ps), bytes as u64);
+                }
+            }
+            Event::BufferDrop { .. } => st.counters.buffer_drops += 1,
+            Event::AqmDrop { .. } => st.counters.aqm_drops += 1,
+            Event::Mark { .. } => st.counters.marks += 1,
+            Event::MarkDecision { marked, .. } => {
+                st.counters.mark_decisions += 1;
+                if marked {
+                    st.counters.mark_decisions_marked += 1;
+                }
+            }
+            Event::SchedService { .. } => st.counters.sched_services += 1,
+            Event::EcnReduce { .. } => st.counters.ecn_reduces += 1,
+            Event::RtoFired { .. } => st.counters.rtos += 1,
+            Event::FastRtx { .. } => st.counters.fast_rtxs += 1,
+            Event::Tick { .. } => {}
+        }
+    }
+
+    fn on_epoch(&mut self) {
+        let mut st = self.state.borrow_mut();
+        let w = st.rate_window;
+        *st = State::default();
+        st.rate_window = w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcn_telemetry::Telemetry;
+
+    fn deq(at_ps: u64, port: u32, queue: u16, bytes: u32, sojourn_ps: u64) -> Event {
+        Event::Dequeue {
+            at_ps,
+            port,
+            queue,
+            bytes,
+            sojourn_ps,
+        }
+    }
+
+    #[test]
+    fn aggregates_per_queue_sojourn() {
+        let bus = Telemetry::new();
+        let sum = TelemetrySummary::new(Time::ZERO);
+        bus.add_sink(Box::new(sum.handle()));
+        for (i, s) in [10u64, 20, 30, 40, 50].iter().enumerate() {
+            bus.record(&deq(i as u64 * 100, 2, 1, 1500, *s));
+        }
+        bus.record(&deq(999, 3, 0, 100, 7));
+        let q = sum.queue(2, 1).expect("queue (2,1) seen");
+        assert_eq!(q.dequeues, 5);
+        assert_eq!(q.bytes, 7500);
+        assert_eq!(q.max_ps, 50);
+        assert_eq!(q.mean_ps(), 30.0);
+        assert_eq!(q.p50_ps(), 30.0, "exact below 5 samples is exact median");
+        assert!(sum.queue(2, 0).is_none());
+        assert_eq!(sum.queues().len(), 2);
+        assert_eq!(sum.counters().dequeues, 6);
+    }
+
+    #[test]
+    fn rate_series_tracks_port_throughput() {
+        let bus = Telemetry::new();
+        let sum = TelemetrySummary::new(Time::from_us(10));
+        bus.add_sink(Box::new(sum.handle()));
+        // 12 500 B over a 10 us window = 10 Gbps.
+        for i in 0..10u64 {
+            bus.record(&deq(i * 1000, 0, 0, 1250, 0));
+        }
+        bus.record(&deq(15_000_000, 0, 0, 1250, 0)); // closes the window
+        let s = sum.port_rate_series(0).expect("port 0 series");
+        assert!(!s.is_empty());
+        assert!((s.points()[0].1 - 1e10).abs() < 1.0, "got {}", s.points()[0].1);
+    }
+
+    #[test]
+    fn epoch_reset_discards_state_but_keeps_config() {
+        let bus = Telemetry::new();
+        let sum = TelemetrySummary::new(Time::from_us(10));
+        bus.add_sink(Box::new(sum.handle()));
+        bus.record(&deq(0, 1, 0, 1500, 5));
+        assert_eq!(sum.counters().dequeues, 1);
+        bus.begin_epoch();
+        assert_eq!(sum.counters().dequeues, 0);
+        assert!(sum.queue(1, 0).is_none());
+        // Rate windows still configured after the reset.
+        bus.record(&deq(0, 1, 0, 1250, 5));
+        bus.record(&deq(20_000_000, 1, 0, 1250, 5));
+        assert!(sum.port_rate_series(1).is_some());
+    }
+
+    #[test]
+    fn counts_every_event_class() {
+        let bus = Telemetry::new();
+        let sum = TelemetrySummary::new(Time::ZERO);
+        bus.add_sink(Box::new(sum.handle()));
+        bus.record(&Event::Enqueue { at_ps: 1, port: 0, queue: 0, bytes: 9, dscp: 1 });
+        bus.record(&Event::BufferDrop { at_ps: 2, port: 0, queue: 0, bytes: 9 });
+        bus.record(&Event::AqmDrop { at_ps: 3, port: 0, queue: 0, bytes: 9, dequeue: true });
+        bus.record(&Event::Mark { at_ps: 4, port: 0, queue: 0, sojourn_ps: 1, dequeue: true });
+        bus.record(&Event::MarkDecision { at_ps: 5, port: 0, aqm: "TCN", sojourn_ps: 1, marked: true });
+        bus.record(&Event::MarkDecision { at_ps: 6, port: 0, aqm: "TCN", sojourn_ps: 1, marked: false });
+        bus.record(&Event::SchedService { at_ps: 7, port: 0, sched: "DWRR", queue: 0 });
+        bus.record(&Event::EcnReduce { at_ps: 8, flow: 1, cwnd_bytes: 10, alpha_ppm: 0 });
+        bus.record(&Event::RtoFired { at_ps: 9, flow: 1, cwnd_bytes: 10, timeouts: 1 });
+        bus.record(&Event::FastRtx { at_ps: 10, flow: 1, cwnd_bytes: 10 });
+        bus.record(&Event::Tick { at_ps: 11, events: 1, pending: 0 });
+        let c = sum.counters();
+        assert_eq!(
+            c,
+            TelemetryCounters {
+                enqueues: 1,
+                dequeues: 0,
+                buffer_drops: 1,
+                aqm_drops: 1,
+                marks: 1,
+                mark_decisions: 2,
+                mark_decisions_marked: 1,
+                sched_services: 1,
+                ecn_reduces: 1,
+                rtos: 1,
+                fast_rtxs: 1,
+            }
+        );
+    }
+}

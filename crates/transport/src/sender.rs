@@ -178,6 +178,7 @@ pub struct TcpSender {
     rtx_packets: u64,
     rtx_bytes: u64,
     started: bool,
+    probe: tcn_telemetry::Probe,
 }
 
 impl TcpSender {
@@ -218,7 +219,15 @@ impl TcpSender {
             rtx_packets: 0,
             rtx_bytes: 0,
             started: false,
+            probe: tcn_telemetry::Probe::off(),
         }
+    }
+
+    /// Install a telemetry probe: the sender reports ECN window
+    /// reductions, RTO expiries and fast-retransmit entries as
+    /// congestion-episode events.
+    pub fn set_probe(&mut self, probe: tcn_telemetry::Probe) {
+        self.probe = probe;
     }
 
     /// Begin transmitting (emits the initial window).
@@ -358,6 +367,12 @@ impl TcpSender {
         self.timeouts += 1;
         self.ssthresh = (self.cwnd / 2.0).max(2.0 * f64::from(self.cfg.mss));
         self.cwnd = f64::from(self.cfg.mss);
+        self.probe.emit(|| tcn_telemetry::Event::RtoFired {
+            at_ps: now.as_ps(),
+            flow: self.flow.0,
+            cwnd_bytes: self.cwnd as u64,
+            timeouts: self.timeouts,
+        });
         self.phase = Phase::SlowStart;
         self.dupacks = 0;
         self.rtt.back_off();
@@ -429,7 +444,7 @@ impl TcpSender {
     }
 
     /// One window reduction per window of data (RFC 3168 CWR semantics).
-    fn ecn_reduce(&mut self, _now: Time) {
+    fn ecn_reduce(&mut self, now: Time) {
         if self.snd_una < self.cwr_end || self.phase == Phase::Recovery {
             return;
         }
@@ -443,6 +458,12 @@ impl TcpSender {
         self.cwnd = (self.cwnd * factor).max(floor);
         self.ssthresh = self.cwnd;
         self.phase = Phase::CongestionAvoidance;
+        self.probe.emit(|| tcn_telemetry::Event::EcnReduce {
+            at_ps: now.as_ps(),
+            flow: self.flow.0,
+            cwnd_bytes: self.cwnd as u64,
+            alpha_ppm: (self.dctcp.alpha * 1e6) as u32,
+        });
     }
 
     fn grow_window(&mut self, newly_acked: u64) {
@@ -468,6 +489,11 @@ impl TcpSender {
         let mss = f64::from(self.cfg.mss);
         self.ssthresh = (self.cwnd / 2.0).max(2.0 * mss);
         self.cwnd = self.ssthresh + f64::from(self.cfg.dupack_thresh) * mss;
+        self.probe.emit(|| tcn_telemetry::Event::FastRtx {
+            at_ps: now.as_ps(),
+            flow: self.flow.0,
+            cwnd_bytes: self.cwnd as u64,
+        });
         self.phase = Phase::Recovery;
         self.cwr_end = self.snd_nxt;
         self.timed_seg = None; // Karn

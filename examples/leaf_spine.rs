@@ -16,18 +16,14 @@ fn main() {
         LeafSpineConfig::small()
     };
     let tcn_t = Time::from_us(78); // paper's DCTCP threshold at 10 Gbps
-    let mut sim = leaf_spine(
-        topo,
-        TcpConfig::sim_dctcp(),
-        TaggingPolicy::Pias { threshold: 100_000 },
-        move || PortSetup {
-            nqueues: 8,
-            buffer: Some(300_000),
-            tx_rate: None,
-            make_sched: Box::new(|| Box::new(SpHybrid::new(1, Dwrr::equal(7, 1_500)))),
-            make_aqm: Box::new(move || Box::new(Tcn::new(tcn_t))),
-        },
-    );
+    let mut sim = NetworkBuilder::leaf_spine(topo)
+        .transport(TcpConfig::sim_dctcp())
+        .tagging(TaggingPolicy::Pias { threshold: 100_000 })
+        .queues(8)
+        .buffer(300_000)
+        .scheduler(|| Box::new(SpHybrid::new(1, Dwrr::equal(7, 1_500))))
+        .aqm(move || Box::new(Tcn::new(tcn_t)))
+        .build();
 
     let n_flows = if paper_scale { 20_000 } else { 3_000 };
     let cdfs: Vec<SizeCdf> = Workload::ALL.iter().map(|w| w.cdf()).collect();

@@ -19,20 +19,13 @@
 //! // A 3-host star at 1 Gbps: two senders, one receiver. Every switch
 //! // port runs WFQ over 2 queues with TCN marking at T = RTT × λ.
 //! let rtt = Time::from_us(250);
-//! let mut sim = single_switch(
-//!     3,
-//!     Rate::from_gbps(1),
-//!     Time::from_us(62),            // per-link propagation (RTT/4)
-//!     TcpConfig::testbed_dctcp(),
-//!     TaggingPolicy::Fixed,
-//!     || PortSetup {
-//!         nqueues: 2,
-//!         buffer: Some(96_000),
-//!         tx_rate: None,
-//!         make_sched: Box::new(|| Box::new(Wfq::equal(2))),
-//!         make_aqm: Box::new(move || Box::new(Tcn::new(standard_sojourn_threshold(rtt, 1.0)))),
-//!     },
-//! );
+//! let mut sim = NetworkBuilder::single_switch(3, Rate::from_gbps(1), Time::from_us(62))
+//!     .transport(TcpConfig::testbed_dctcp())
+//!     .queues(2)
+//!     .buffer(96_000)
+//!     .scheduler(|| Box::new(Wfq::equal(2)))
+//!     .aqm(move || Box::new(Tcn::new(standard_sojourn_threshold(rtt, 1.0))))
+//!     .build();
 //!
 //! // One 1 MB flow from host 0 to host 2.
 //! let flow = sim.add_flow(FlowSpec {
@@ -58,6 +51,7 @@ pub use tcn_net as net;
 pub use tcn_sched as sched;
 pub use tcn_sim as sim;
 pub use tcn_stats as stats;
+pub use tcn_telemetry as telemetry;
 pub use tcn_transport as transport;
 pub use tcn_workloads as workloads;
 
@@ -69,12 +63,13 @@ pub mod prelude {
         PacketQueue, ProbabilisticTcn, Tcn,
     };
     pub use tcn_net::{
-        dumbbell, leaf_spine, single_switch, FlowSpec, LeafSpineConfig, NetworkSim, PortSetup,
-        ProbeConfig, TaggingPolicy, TransportChoice,
+        dumbbell, leaf_spine, single_switch, FlowSpec, LeafSpineConfig, NetworkBuilder, NetworkSim,
+        PortSetup, ProbeConfig, TaggingPolicy, TransportChoice,
     };
     pub use tcn_sched::{Dwrr, Fifo, Pifo, Scheduler, SpHybrid, StfqRank, StrictPriority, Wfq, Wrr};
     pub use tcn_sim::{Rate, Rng, Time};
-    pub use tcn_stats::{FctBreakdown, GoodputTracker, TimeSeries};
+    pub use tcn_stats::{FctBreakdown, GoodputTracker, P2Quantile, TimeSeries};
+    pub use tcn_telemetry::{Event, MemorySink, Probe, Sink, Telemetry};
     pub use tcn_transport::{CcVariant, TcpConfig, TcpReceiver, TcpSender};
     pub use tcn_workloads::{gen_all_to_all, gen_incast, gen_many_to_one, SizeCdf, Workload};
 }

@@ -26,6 +26,7 @@
 //! | `aqm-doc-cite`    | `core/src`, `baselines/src`             | a public AQM whose doc comment never cites a paper section (`§`) |
 //! | `fault-kind-doc`  | every `.rs` file in the repo            | a `FaultKind` variant without a doc comment naming its real-world failure mode |
 //! | `no-wallclock`    | every `.rs` file except `crates/bench/` and `xtask/` | host-clock reads (`std::time::Instant`, `SystemTime`) — simulation code runs on virtual `Time` only |
+//! | `no-println-in-lib` | library `src/` trees except `src/bin/`, `crates/experiments/`, `crates/bench/`, `xtask/` | `println!` / `eprintln!` in library code — observability goes through `tcn-telemetry` sinks, not stdout |
 
 use std::fmt;
 use std::fs;
@@ -78,6 +79,14 @@ pub const FLOAT_TIME_SANCTUARY: &str = "crates/sim/src/time.rs";
 /// time its own stages. Everything else runs on virtual [`Time`] — a
 /// stray wall-clock read is how nondeterminism sneaks into a DES.
 pub const WALLCLOCK_SANCTUARIES: &[&str] = &["crates/bench", "xtask"];
+
+/// Repo path prefixes whose whole purpose is terminal output: the
+/// experiment drivers print result tables, the bench harness prints
+/// measurements, and `xtask` is a CLI. Everywhere else, library code
+/// must not write to stdout/stderr — structured observability goes
+/// through `tcn-telemetry` probes and sinks. Binaries (`src/bin/`) are
+/// exempt in every crate: printing is their job.
+pub const PRINTLN_SANCTUARIES: &[&str] = &["crates/experiments", "crates/bench", "xtask"];
 
 // ---------------------------------------------------------------------------
 // Source transforms
@@ -441,6 +450,35 @@ pub fn check_no_wallclock(path: &Path, raw: &str) -> Vec<Diagnostic> {
     out
 }
 
+/// `no-println-in-lib`: no `println!` / `eprintln!` in library
+/// production code. A library that prints hardcodes one consumer and
+/// one format; this repo's answer to "I want to see what the simulator
+/// did" is a [`tcn-telemetry`] sink, which callers can point at memory,
+/// a JSONL trace, or a summary report. Tests may print (cargo captures
+/// it); binaries are exempt by scope.
+pub fn check_no_println(path: &Path, raw: &str) -> Vec<Diagnostic> {
+    let view = code_view(raw);
+    let spans = test_spans(&view);
+    let mut out = Vec::new();
+    scan_needles(
+        path,
+        raw,
+        &view,
+        &spans,
+        "no-println-in-lib",
+        &["println!", "eprintln!"],
+        |n| {
+            format!(
+                "`{n}` in library code: emit a tcn-telemetry event (or return \
+                 the data) instead of printing, or append \
+                 `lint:allow(no-println-in-lib): <why>`"
+            )
+        },
+        &mut out,
+    );
+    out
+}
+
 /// `no-unsafe`: the `unsafe` keyword anywhere (even in tests — a
 /// simulator has no business with it).
 pub fn check_no_unsafe(path: &Path, raw: &str) -> Vec<Diagnostic> {
@@ -751,6 +789,15 @@ pub fn lint_repo(repo: &Path) -> Vec<Diagnostic> {
         if !WALLCLOCK_SANCTUARIES.iter().any(|s| r.starts_with(s)) {
             out.extend(check_no_wallclock(&r, &raw));
         }
+        // no-println-in-lib over library src trees: everything under
+        // crates/*/src and the facade's src/, minus src/bin/ and the
+        // print-by-design sanctuaries.
+        let in_lib_src = (r.starts_with("crates") || r.starts_with("src"))
+            && r.components().any(|c| c.as_os_str() == "src")
+            && !r.components().any(|c| c.as_os_str() == "bin");
+        if in_lib_src && !PRINTLN_SANCTUARIES.iter().any(|s| r.starts_with(s)) {
+            out.extend(check_no_println(&r, &raw));
+        }
         out.extend(check_no_unsafe(&r, &raw));
         out.extend(check_fault_kind_doc(&r, &raw));
     }
@@ -902,6 +949,41 @@ mod tests {
     fn justified_wallclock_allow_suppresses() {
         let src = "let t0 = std::time::Instant::now(); // lint:allow(no-wallclock): CLI convenience print of elapsed wall time\n";
         assert!(check_no_wallclock(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn seeded_println_is_caught() {
+        let src = "pub fn f(x: u32) {\n    println!(\"x = {x}\");\n}\n";
+        let d = check_no_println(&p(), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-println-in-lib");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn seeded_eprintln_is_caught() {
+        let src = "pub fn f() {\n    eprintln!(\"warning\");\n}\n";
+        let d = check_no_println(&p(), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn println_in_test_mod_is_ignored() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        println!(\"debugging a test is fine\");\n    }\n}\n";
+        assert!(check_no_println(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn println_in_comment_or_string_is_clean() {
+        let src = "// println! is banned in libs\nlet s = \"println!\";\n";
+        assert!(check_no_println(&p(), src).is_empty());
+    }
+
+    #[test]
+    fn justified_println_allow_suppresses() {
+        let src = "println!(\"{report}\"); // lint:allow(no-println-in-lib): the run-report sink's whole job is printing\n";
+        assert!(check_no_println(&p(), src).is_empty());
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //!   baseline, failing on a >25 % regression (no files are written).
 //! * `ci`    — build, then test, then tier-1 again in release with
 //!   `--features audit` (every runtime invariant checker live), then
-//!   lint, then `bench --smoke`: the tier-1 gate in one command. Stops
-//!   at the first failing stage.
+//!   lint, then a telemetry smoke stage (`figs trace` one figure with a
+//!   JSONL sink and `figs check-trace` the result against the schema),
+//!   then `bench --smoke`: the tier-1 gate in one command. Stops at the
+//!   first failing stage.
 //!
 //! Everything here is pure std: the harness must work in an offline
 //! container with nothing but the Rust toolchain.
@@ -49,7 +51,7 @@ fn main() -> ExitCode {
             }
         }
         Some("ci") => {
-            let stages: [(&str, fn(&Path) -> ExitCode); 5] = [
+            let stages: [(&str, fn(&Path) -> ExitCode); 6] = [
                 ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
                 ("test", |r| run_cargo(r, &["test", "-q"])),
                 // Tier-1 again in release with every runtime invariant
@@ -59,6 +61,10 @@ fn main() -> ExitCode {
                     run_cargo(r, &["test", "-q", "--release", "--features", "audit"])
                 }),
                 ("lint", run_lint),
+                // Trace one figure cell through the telemetry bus and
+                // validate the JSONL against the schema: proves the
+                // probes, sinks and trace writer agree end to end.
+                ("telemetry (smoke)", run_telemetry_smoke),
                 // Guard the hot-path baseline: a >25% drop in the
                 // calendar-vs-binheap throughput ratio fails the gate.
                 ("bench (smoke)", run_bench_smoke),
@@ -80,14 +86,14 @@ fn main() -> ExitCode {
                  \n\
                  lint      offline static analysis (no-unwrap, no-float-time,\n\
                  \x20         no-unsafe, forbid-unsafe-attr, aqm-doc-cite,\n\
-                 \x20         fault-kind-doc, no-wallclock)\n\
+                 \x20         fault-kind-doc, no-wallclock, no-println-in-lib)\n\
                  build     cargo build --release --workspace\n\
                  test      cargo test -q (tier-1 test set)\n\
                  test-all  cargo test -q --workspace (slow, every crate)\n\
                  bench     run perfbench, rewrite BENCH_*.json baselines\n\
                  \x20         (--smoke: compare-only regression gate)\n\
-                 ci        build + test + test(audit) + lint + bench(smoke)\n\
-                 \x20         (the tier-1 gate)"
+                 ci        build + test + test(audit) + lint +\n\
+                 \x20         telemetry(smoke) + bench(smoke) (the tier-1 gate)"
             );
             if args.is_empty() {
                 ExitCode::from(2)
@@ -125,6 +131,32 @@ fn run_lint(repo: &Path) -> ExitCode {
         eprintln!("xtask lint: {} violation(s)", diags.len());
         ExitCode::FAILURE
     }
+}
+
+/// Trace one sweep cell of fig. 6 at `--quick` scale with the JSONL
+/// sink attached, then validate the trace file against the schema.
+/// Exercises the full telemetry path: probes → bus → sinks → trace →
+/// validator.
+fn run_telemetry_smoke(repo: &Path) -> ExitCode {
+    let out = repo.join("target").join("telemetry-smoke.jsonl");
+    let out = out.to_string_lossy().into_owned();
+    let trace = run_cargo(
+        repo,
+        &[
+            "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "trace", "fig6",
+            "--quick", "--out", &out,
+        ],
+    );
+    if trace != ExitCode::SUCCESS {
+        return trace;
+    }
+    run_cargo(
+        repo,
+        &[
+            "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "check-trace",
+            &out,
+        ],
+    )
 }
 
 fn run_bench_smoke(repo: &Path) -> ExitCode {
