@@ -127,7 +127,7 @@ impl Log {
         if self.recording {
             self.violations.push(v);
         } else {
-            panic!("{v}");
+            panic!("{v}"); // lint:allow(no-panic-in-lib): strict audit mode must abort — a violated invariant invalidates every number downstream
         }
     }
 }

@@ -35,7 +35,7 @@ fn run_tcn(nqueues: usize, threshold: Time, flows: usize, seed: u64) -> FctBreak
             make_sched: Box::new(move || Box::new(Dwrr::equal(nqueues, 1_500))),
             make_aqm: Box::new(move || Box::new(Tcn::new(threshold))),
         },
-    );
+    ).expect("topology is well-formed");
     let mut rng = Rng::new(seed);
     let senders: Vec<u32> = (0..8).collect();
     let services: Vec<u8> = (0..nqueues as u8).collect();
@@ -52,7 +52,7 @@ fn run_tcn(nqueues: usize, threshold: Time, flows: usize, seed: u64) -> FctBreak
     ) {
         sim.add_flow(spec);
     }
-    assert!(sim.run_to_completion(Time::from_secs(1_000)));
+    assert!(sim.run_to_completion(Time::from_secs(1_000)).expect("run"));
     FctBreakdown::from_records(&sim.fct_records())
 }
 

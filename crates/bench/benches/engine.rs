@@ -68,7 +68,7 @@ fn end_to_end(c: &mut Criterion) {
                     make_sched: Box::new(|| Box::new(Dwrr::equal(2, 1_500))),
                     make_aqm: Box::new(|| Box::new(Tcn::new(Time::from_us(78)))),
                 },
-            );
+            ).expect("topology is well-formed");
             sim.add_flow(FlowSpec {
                 src: 0,
                 dst: 2,
@@ -76,7 +76,7 @@ fn end_to_end(c: &mut Criterion) {
                 start: Time::ZERO,
                 service: 0,
             });
-            assert!(sim.run_to_completion(Time::from_secs(5)));
+            assert!(sim.run_to_completion(Time::from_secs(5)).expect("run"));
             sim.events_processed()
         })
     });

@@ -114,7 +114,7 @@ fn arena_measurement(flows: usize) -> Json {
         TransportChoice::TestbedDctcp.config(),
         TaggingPolicy::Fixed,
         mk,
-    );
+    ).expect("topology is well-formed");
     let mut rng = Rng::new(42);
     let senders: Vec<u32> = (0..8).collect();
     let specs = gen_many_to_one(
@@ -131,7 +131,7 @@ fn arena_measurement(flows: usize) -> Json {
     for f in &specs {
         sim.add_flow(*f);
     }
-    assert!(sim.run_to_completion(Time::from_secs(10_000)));
+    assert!(sim.run_to_completion(Time::from_secs(10_000)).expect("run"));
     let s = sim.arena_stats();
     Json::obj(vec![
         ("flows", (flows as u64).to_json()),

@@ -1,0 +1,200 @@
+//! The typed error hierarchy for the whole workspace.
+//!
+//! The library crates never `panic!` on conditions a caller could
+//! plausibly hit (malformed topologies, broken port/scheduler
+//! contracts, stalled event loops): they return a [`TcnError`] and let
+//! the experiment harness decide whether to retry, quarantine the cell,
+//! or abort the run. Panics remain only in tests and in the audit
+//! crate's intentional strict-mode abort — a violated simulator
+//! invariant means the run's numbers cannot be trusted, so there is
+//! nothing sensible to return.
+//!
+//! The variants mirror the layers they come from:
+//!
+//! | variant | raised by | typical cause |
+//! |---|---|---|
+//! | [`TcnError::Topology`] | routing / `NetworkSim::new` | a host unreachable from some node |
+//! | [`TcnError::SchedulerContract`] | the egress port | `select` returned an empty queue, or `on_dequeue` without a matching tag |
+//! | [`TcnError::AuditViolation`] | delivery / recorded audits | a packet handed to the wrong component |
+//! | [`TcnError::Config`] | builders and topology presets | out-of-range parameters (zero hosts, odd fat-tree arity) |
+//! | [`TcnError::Stall`] | the run-loop watchdog | an event loop spinning without advancing sim time |
+
+use std::fmt;
+
+use tcn_sim::Time;
+
+/// Structured diagnosis of a stalled or runaway event loop, produced by
+/// the liveness watchdog (see `tcn_net::Watchdog`).
+///
+/// There are deliberately **no wall-clock fields**: liveness is judged
+/// purely in simulation terms (events processed without the virtual
+/// clock advancing), so the report — like everything else in a run — is
+/// deterministic and replayable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Simulated time at which the watchdog tripped.
+    pub sim_time: Time,
+    /// Events still pending in the event queue when it tripped.
+    pub queue_depth: usize,
+    /// Total events dispatched over the run so far.
+    pub events_processed: u64,
+    /// Events dispatched since the simulated clock last advanced
+    /// (the stall counter; compare against `stall_budget`).
+    pub events_since_advance: u64,
+    /// The budget that was exceeded (stall or total, per `runaway`).
+    pub budget: u64,
+    /// `false`: the loop spun at one instant past the stall budget.
+    /// `true`: the run exceeded its total event budget (runaway, e.g. a
+    /// retransmission storm that will never drain).
+    pub runaway: bool,
+    /// The most frequent event kinds since the last clock advance (for
+    /// a stall) or over the whole run (for a runaway), most frequent
+    /// first — the first thing a human asks a hung simulation.
+    pub top_events: Vec<(String, u64)>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at t={} ({} events without progress, budget {}, {} total, {} queued",
+            if self.runaway { "runaway event loop" } else { "stalled event loop" },
+            self.sim_time,
+            self.events_since_advance,
+            self.budget,
+            self.events_processed,
+            self.queue_depth,
+        )?;
+        if !self.top_events.is_empty() {
+            write!(f, "; top events:")?;
+            for (kind, n) in &self.top_events {
+                write!(f, " {kind}={n}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// The error type every fallible simulator API returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TcnError {
+    /// The topology cannot route: some host is unreachable from some
+    /// node (disconnected graph, missing links).
+    Topology {
+        /// What is unreachable from where.
+        detail: String,
+    },
+    /// A scheduler broke its contract with the port (selected an empty
+    /// queue, or was asked to `on_dequeue` a packet it never tagged).
+    SchedulerContract {
+        /// The offending scheduler's display name.
+        scheduler: &'static str,
+        /// The queue index involved.
+        queue: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A component was handed data that violates an internal invariant
+    /// (e.g. a receiver fed a non-data packet).
+    AuditViolation {
+        /// What was violated.
+        detail: String,
+    },
+    /// Malformed configuration: parameters outside the valid range for
+    /// the requested topology, port, or experiment.
+    Config {
+        /// Which parameter, and why it is invalid.
+        detail: String,
+    },
+    /// The liveness watchdog aborted the run.
+    Stall(StallReport),
+}
+
+impl TcnError {
+    /// Shorthand constructor for [`TcnError::Topology`].
+    pub fn topology(detail: impl Into<String>) -> Self {
+        TcnError::Topology { detail: detail.into() }
+    }
+
+    /// Shorthand constructor for [`TcnError::Config`].
+    pub fn config(detail: impl Into<String>) -> Self {
+        TcnError::Config { detail: detail.into() }
+    }
+
+    /// Shorthand constructor for [`TcnError::AuditViolation`].
+    pub fn audit(detail: impl Into<String>) -> Self {
+        TcnError::AuditViolation { detail: detail.into() }
+    }
+
+    /// Short machine-readable tag for quarantine lists and telemetry
+    /// (`"topology"`, `"scheduler-contract"`, `"audit"`, `"config"`,
+    /// `"stall"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TcnError::Topology { .. } => "topology",
+            TcnError::SchedulerContract { .. } => "scheduler-contract",
+            TcnError::AuditViolation { .. } => "audit",
+            TcnError::Config { .. } => "config",
+            TcnError::Stall(_) => "stall",
+        }
+    }
+}
+
+impl fmt::Display for TcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcnError::Topology { detail } => write!(f, "broken topology: {detail}"),
+            TcnError::SchedulerContract { scheduler, queue, detail } => {
+                write!(f, "scheduler contract ({scheduler}, queue {queue}): {detail}")
+            }
+            TcnError::AuditViolation { detail } => write!(f, "invariant violation: {detail}"),
+            TcnError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            TcnError::Stall(report) => write!(f, "{report}"),
+        }
+    }
+}
+
+impl std::error::Error for TcnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = TcnError::SchedulerContract {
+            scheduler: "WFQ",
+            queue: 3,
+            detail: "on_dequeue without a recorded tag".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("WFQ") && s.contains("queue 3"), "{s}");
+        assert_eq!(e.kind(), "scheduler-contract");
+    }
+
+    #[test]
+    fn stall_report_formats_top_events() {
+        let r = StallReport {
+            sim_time: Time::from_us(7),
+            queue_depth: 2,
+            events_processed: 1000,
+            events_since_advance: 512,
+            budget: 512,
+            runaway: false,
+            top_events: vec![("timer".into(), 400), ("tx_done".into(), 112)],
+        };
+        let s = TcnError::Stall(r).to_string();
+        assert!(s.contains("stalled"), "{s}");
+        assert!(s.contains("timer=400"), "{s}");
+        assert!(s.contains("budget 512"), "{s}");
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = TcnError::topology("host 3 unreachable");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(TcnError::config("x").kind(), "config");
+        assert_eq!(TcnError::audit("x").kind(), "audit");
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod aqm;
 pub mod arena;
+pub mod error;
 pub mod hwts;
 pub mod packet;
 pub mod queue;
@@ -47,6 +48,7 @@ pub mod threshold;
 
 pub use aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
 pub use arena::{ArenaStats, PacketArena, PacketHandle};
+pub use error::{StallReport, TcnError};
 pub use packet::{EcnCodepoint, FlowId, Packet, PacketKind};
 pub use queue::PacketQueue;
 pub use tcn::{ProbabilisticTcn, Tcn};

@@ -21,12 +21,10 @@ fn main() {
     }
     let failures = figs::run_all();
     if !failures.is_empty() {
-        eprintln!(
-            "{}/{} figures FAILED: {}",
-            failures.len(),
-            figs::FIGURES.len(),
-            failures.join(", ")
-        );
+        eprintln!("{}/{} figures FAILED:", failures.len(), figs::FIGURES.len());
+        for f in &failures {
+            eprintln!("  {}: {}", f.name, f.error);
+        }
         std::process::exit(1);
     }
 }

@@ -66,12 +66,10 @@ fn run_all(rest: &[String]) {
     }
     let failures = figs::run_all();
     if !failures.is_empty() {
-        eprintln!(
-            "{}/{} figures FAILED: {}",
-            failures.len(),
-            figs::FIGURES.len(),
-            failures.join(", ")
-        );
+        eprintln!("{}/{} figures FAILED:", failures.len(), figs::FIGURES.len());
+        for f in &failures {
+            eprintln!("  {}: {}", f.name, f.error);
+        }
         std::process::exit(1);
     }
 }

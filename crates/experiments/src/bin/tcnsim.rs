@@ -27,7 +27,10 @@ fn main() {
         std::process::exit(1);
     });
     let t0 = std::time::Instant::now(); // lint:allow(no-wallclock): CLI convenience — reports elapsed wall time, never feeds the sim
-    let report = cfg.run();
+    let report = cfg.run().unwrap_or_else(|e| {
+        eprintln!("run {path}: {e}");
+        std::process::exit(1);
+    });
     println!("flows      : {}/{}", report.completed, report.flows);
     println!("overall avg: {:.0} us", report.overall_avg_us);
     println!("small avg  : {:.0} us", report.small_avg_us);

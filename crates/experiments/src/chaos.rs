@@ -16,7 +16,9 @@
 
 use crate::common::{params, switch_port, Scale, SchedKind, Scheme};
 use crate::impl_to_json;
-use tcn_net::{leaf_spine, LeafSpineConfig, NetworkSim, TaggingPolicy, TransportChoice};
+use crate::runner::{quarantine, run_cell_outcomes_with, CellOutcome};
+use tcn_core::TcnError;
+use tcn_net::{leaf_spine, LeafSpineConfig, NetworkSim, TaggingPolicy, TransportChoice, Watchdog};
 use tcn_sim::{FaultPlan, LinkFlap, Rng, Time};
 use tcn_stats::{FctBreakdown, RecoverySummary};
 use tcn_workloads::{gen_all_to_all, Workload};
@@ -137,13 +139,40 @@ impl_to_json!(ChaosCell {
     reconvergences
 });
 
+/// A chaos cell that failed every attempt and was quarantined.
+#[derive(Debug, Clone)]
+pub struct QuarantinedChaosCell {
+    /// Canonical cell index in the grid.
+    pub cell: usize,
+    /// Scheme name.
+    pub scheme: String,
+    /// Bernoulli loss rate of the cell.
+    pub loss: f64,
+    /// Whether the flap was active.
+    pub flap: bool,
+    /// Attempts made before giving up.
+    pub attempts: u64,
+    /// The final attempt's failure, rendered.
+    pub error: String,
+}
+impl_to_json!(QuarantinedChaosCell {
+    cell,
+    scheme,
+    loss,
+    flap,
+    attempts,
+    error
+});
+
 /// The whole chaos grid.
 #[derive(Debug, Clone)]
 pub struct ChaosResult {
-    /// All cells, scheme-major, loss-minor, flap-innermost.
+    /// Surviving cells, scheme-major, loss-minor, flap-innermost.
     pub cells: Vec<ChaosCell>,
+    /// Cells that failed every attempt, in canonical order.
+    pub quarantined: Vec<QuarantinedChaosCell>,
 }
-impl_to_json!(ChaosResult { cells });
+impl_to_json!(ChaosResult { cells, quarantined });
 
 impl ChaosResult {
     /// Find a cell.
@@ -154,7 +183,7 @@ impl ChaosResult {
     }
 }
 
-fn build_sim(cc: &ChaosConfig, scheme: Scheme, seed: u64) -> NetworkSim {
+fn build_sim(cc: &ChaosConfig, scheme: Scheme, seed: u64) -> Result<NetworkSim, TcnError> {
     let mk = || {
         switch_port(
             cc.nqueues,
@@ -192,8 +221,18 @@ fn fault_plan(cc: &ChaosConfig, loss: f64, flap: bool, seed: u64) -> FaultPlan {
     plan
 }
 
-/// Run one cell to completion and measure it.
-fn run_cell(cc: &ChaosConfig, scheme: Scheme, loss: f64, flap: bool, scale: &Scale) -> ChaosCell {
+/// Run one cell to completion and measure it. The watchdog (when given)
+/// guards against a stalled or runaway event loop; a trip surfaces as
+/// [`TcnError::Stall`] and quarantines the cell instead of hanging the
+/// whole grid.
+fn run_cell(
+    cc: &ChaosConfig,
+    scheme: Scheme,
+    loss: f64,
+    flap: bool,
+    scale: &Scale,
+    watchdog: Option<&Watchdog>,
+) -> Result<ChaosCell, TcnError> {
     // The flow set depends only on the workload seed: every scheme and
     // every fault level replays the identical arrival sequence, so the
     // columns of the degradation curve are comparable.
@@ -209,12 +248,15 @@ fn run_cell(cc: &ChaosConfig, scheme: Scheme, loss: f64, flap: bool, scale: &Sca
         cc.n_services,
         Time::ZERO,
     );
-    let mut sim = build_sim(cc, scheme, scale.seed);
+    let mut sim = build_sim(cc, scheme, scale.seed)?;
+    if let Some(wd) = watchdog {
+        sim.set_watchdog(wd.clone());
+    }
     for f in &flows {
         sim.add_flow(*f);
     }
     sim.install_faults(&fault_plan(cc, loss, flap, scale.seed));
-    let done = sim.run_to_completion(Time::from_secs(10_000));
+    let done = sim.run_to_completion(Time::from_secs(10_000))?;
     debug_assert!(done, "chaos cell did not drain");
 
     let records = sim.fct_records();
@@ -233,7 +275,7 @@ fn run_cell(cc: &ChaosConfig, scheme: Scheme, loss: f64, flap: bool, scale: &Sca
         elapsed,
     };
     let fs = sim.fault_stats();
-    ChaosCell {
+    Ok(ChaosCell {
         scheme: scheme.name().to_string(),
         loss,
         flap,
@@ -252,12 +294,19 @@ fn run_cell(cc: &ChaosConfig, scheme: Scheme, loss: f64, flap: bool, scale: &Sca
         dead_link_drops: fs.dead_link_drops,
         port_drops: sim.total_drops(),
         reconvergences: fs.reconvergences,
-    }
+    })
 }
 
 /// Run the full chaos grid. Cells are independent simulations, so they
 /// fan out over [`crate::runner`]'s deterministic pool; the canonical
 /// scheme-major merge keeps output identical at any thread count.
+///
+/// Every cell runs under panic isolation with the environment-driven
+/// retry budget and stall watchdog (`TCN_RETRY_ATTEMPTS`,
+/// `TCN_STALL_BUDGET`, `TCN_EVENT_BUDGET` — see
+/// [`crate::fct_sweep::SweepOpts::from_env`]); a cell that fails every
+/// attempt lands in [`ChaosResult::quarantined`] while the rest of the
+/// grid completes.
 pub fn run(cc: &ChaosConfig, scale: &Scale) -> ChaosResult {
     let flaps: &[bool] = if cc.with_flap {
         &[false, true]
@@ -273,11 +322,27 @@ pub fn run(cc: &ChaosConfig, scale: &Scale) -> ChaosResult {
             })
         })
         .collect();
-    let cells = crate::runner::run_cells(grid.len(), |i| {
+    let opts = crate::fct_sweep::SweepOpts::from_env();
+    let outcomes = run_cell_outcomes_with(opts.threads, grid.len(), opts.attempts, |i, _attempt| {
         let (scheme, loss, flap) = grid[i];
-        run_cell(cc, scheme, loss, flap, scale)
+        run_cell(cc, scheme, loss, flap, scale, opts.watchdog.as_ref())
     });
-    ChaosResult { cells }
+    let quarantined = quarantine(&outcomes)
+        .into_iter()
+        .map(|(i, attempts, error)| {
+            let (scheme, loss, flap) = grid[i];
+            QuarantinedChaosCell {
+                cell: i,
+                scheme: scheme.name().to_string(),
+                loss,
+                flap,
+                attempts: u64::from(attempts),
+                error: error.to_string(),
+            }
+        })
+        .collect();
+    let cells = outcomes.into_iter().filter_map(CellOutcome::into_ok).collect();
+    ChaosResult { cells, quarantined }
 }
 
 #[cfg(test)]
@@ -306,8 +371,8 @@ mod tests {
         // byte-identically (the grid is just a loop over such cells).
         let cc = tiny_cfg();
         let scheme = cc.schemes()[0];
-        let a = run_cell(&cc, scheme, 0.01, true, &tiny_scale());
-        let b = run_cell(&cc, scheme, 0.01, true, &tiny_scale());
+        let a = run_cell(&cc, scheme, 0.01, true, &tiny_scale(), None).expect("cell");
+        let b = run_cell(&cc, scheme, 0.01, true, &tiny_scale(), None).expect("cell");
         assert_eq!(
             a.to_json().pretty(),
             b.to_json().pretty(),
@@ -327,7 +392,7 @@ mod tests {
         };
         let scale = tiny_scale();
         let scheme = cc.schemes()[0];
-        let with_plan = run_cell(&cc, scheme, 0.0, false, &scale);
+        let with_plan = run_cell(&cc, scheme, 0.0, false, &scale, None).expect("cell");
 
         let mut rng = Rng::new(scale.seed.wrapping_mul(1000));
         let cdfs: Vec<_> = Workload::ALL.iter().map(|w| w.cdf()).collect();
@@ -341,11 +406,11 @@ mod tests {
             cc.n_services,
             Time::ZERO,
         );
-        let mut plain = build_sim(&cc, scheme, scale.seed);
+        let mut plain = build_sim(&cc, scheme, scale.seed).expect("build");
         for f in &flows {
             plain.add_flow(*f);
         }
-        assert!(plain.run_to_completion(Time::from_secs(10_000)));
+        assert!(plain.run_to_completion(Time::from_secs(10_000)).expect("run"));
         let fcts: Vec<u64> = plain.fct_records().iter().map(|r| r.fct.as_ps()).collect();
         let b = FctBreakdown::from_records(&plain.fct_records());
 

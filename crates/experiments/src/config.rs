@@ -23,6 +23,7 @@
 
 use crate::impl_to_json;
 use crate::json::{Json, ToJson};
+use tcn_core::TcnError;
 use tcn_net::{
     fat_tree, leaf_spine, single_switch, LeafSpineConfig, NetworkSim, PortSetup, TaggingPolicy,
     TransportChoice,
@@ -933,7 +934,11 @@ impl ExperimentCfg {
     }
 
     /// Build the simulation and register the workload.
-    pub fn build(&self) -> NetworkSim {
+    ///
+    /// # Errors
+    /// Returns [`TcnError::Topology`] / [`TcnError::Config`] when the
+    /// configured topology cannot be realized.
+    pub fn build(&self) -> Result<NetworkSim, TcnError> {
         let tcp = match self.transport {
             TransportCfg::SimDctcp => TransportChoice::SimDctcp,
             TransportCfg::SimEcnStar => TransportChoice::SimEcnStar,
@@ -962,7 +967,7 @@ impl ExperimentCfg {
         let mut sim = match self.topology {
             TopologyCfg::SingleSwitch {
                 hosts, delay_us, ..
-            } => single_switch(hosts, rate, Time::from_us(delay_us), tcp, tagging, mk),
+            } => single_switch(hosts, rate, Time::from_us(delay_us), tcp, tagging, mk)?,
             TopologyCfg::LeafSpine {
                 leaves,
                 spines,
@@ -980,7 +985,7 @@ impl ExperimentCfg {
                 tcp,
                 tagging,
                 mk,
-            ),
+            )?,
             TopologyCfg::FatTree { k, .. } => fat_tree(
                 k,
                 rate,
@@ -989,7 +994,7 @@ impl ExperimentCfg {
                 tcp,
                 tagging,
                 mk,
-            ),
+            )?,
         };
 
         let mut rng = Rng::new(self.seed);
@@ -1056,13 +1061,17 @@ impl ExperimentCfg {
         if let Some(f) = &self.faults {
             sim.install_faults(&f.plan(self.seed));
         }
-        sim
+        Ok(sim)
     }
 
     /// Build, run to completion, and report.
-    pub fn run(&self) -> RunReport {
-        let mut sim = self.build();
-        let done = sim.run_to_completion(Time::from_secs(10_000));
+    ///
+    /// # Errors
+    /// Propagates build failures and any [`TcnError`] raised by the
+    /// event loop (including watchdog stalls).
+    pub fn run(&self) -> Result<RunReport, TcnError> {
+        let mut sim = self.build()?;
+        let done = sim.run_to_completion(Time::from_secs(10_000))?;
         let b = FctBreakdown::from_records(&sim.fct_records());
         let report = RunReport {
             completed: sim.completed_flows(),
@@ -1077,7 +1086,7 @@ impl ExperimentCfg {
             events: sim.events_processed(),
         };
         debug_assert!(done || report.completed < report.flows);
-        report
+        Ok(report)
     }
 }
 
@@ -1122,7 +1131,7 @@ mod tests {
         if let WorkloadCfg::ManyToOne { flows, .. } = &mut cfg.workload {
             *flows = 120;
         }
-        let report = cfg.run();
+        let report = cfg.run().expect("run");
         assert_eq!(report.completed, 120);
         assert!(report.overall_avg_us > 0.0);
         assert!(report.events > 0);
@@ -1155,7 +1164,7 @@ mod tests {
             faults: None,
             seed: 7,
         };
-        let report = cfg.run();
+        let report = cfg.run().expect("run");
         assert_eq!(report.completed, 16);
     }
 
@@ -1187,7 +1196,7 @@ mod tests {
             faults: None,
             seed: 2,
         };
-        let report = cfg.run();
+        let report = cfg.run().expect("run");
         assert_eq!(report.completed, 200);
     }
 
@@ -1215,7 +1224,7 @@ mod tests {
         let back = ExperimentCfg::from_json(&cfg.to_json().pretty()).expect("reparse");
         assert_eq!(back.faults.as_ref(), Some(f));
         // And it actually injects: flows still complete, faults counted.
-        let report = cfg.run();
+        let report = cfg.run().expect("run");
         assert_eq!(report.completed, report.flows);
         assert!(report.fault_drops > 0, "0.5% loss drew nothing");
     }
@@ -1237,13 +1246,13 @@ mod tests {
         }
         let mut b = a.clone();
         b.seed = 99;
-        let (ra, rb) = (a.run(), b.run());
+        let (ra, rb) = (a.run().expect("run"), b.run().expect("run"));
         assert_ne!(
             (ra.overall_avg_us, ra.events),
             (rb.overall_avg_us, rb.events)
         );
         // And equal seeds replay identically.
-        let ra2 = a.run();
+        let ra2 = a.run().expect("run");
         assert_eq!(ra.overall_avg_us, ra2.overall_avg_us);
         assert_eq!(ra.events, ra2.events);
     }

@@ -57,7 +57,7 @@ pub fn run(n_flows: usize, measure: Time) -> Vec<FairnessRow> {
             TransportChoice::SimEcnStar.config(),
             TaggingPolicy::Fixed,
             || switch_port(1, Some(2_000_000), None, SchedKind::Fifo, scheme, rate, 1500, 21),
-        );
+        ).expect("topology is well-formed");
         let receiver = n_flows as u32;
         let flows: Vec<_> = (0..n_flows as u32)
             .map(|s| {
@@ -72,7 +72,7 @@ pub fn run(n_flows: usize, measure: Time) -> Vec<FairnessRow> {
             .collect();
         // Warm up past slow start, then measure in 10 ms windows.
         let warmup = Time::from_ms(50);
-        sim.run_until(warmup);
+        sim.run_until(warmup).expect("run");
         let window = Time::from_ms(10);
         let mut prev: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
         let first: Vec<u64> = prev.clone();
@@ -80,7 +80,7 @@ pub fn run(n_flows: usize, measure: Time) -> Vec<FairnessRow> {
         let mut t_cur = warmup;
         while t_cur < warmup + measure {
             t_cur += window;
-            sim.run_until(t_cur);
+            sim.run_until(t_cur).expect("run");
             let cur: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
             let deltas: Vec<f64> = cur
                 .iter()

@@ -7,14 +7,21 @@
 //! (overall avg, small avg, small p99, large avg) plus timeout and drop
 //! counts.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::impl_to_json;
-use tcn_net::{NetworkBuilder, NetworkSim, TaggingPolicy, TransportChoice};
+use tcn_core::TcnError;
+use tcn_net::{NetworkBuilder, NetworkSim, TaggingPolicy, TransportChoice, Watchdog};
 use tcn_net::{FlowSpec, LeafSpineConfig};
 use tcn_sim::{Rate, Rng, Time};
 use tcn_stats::FctBreakdown;
 use tcn_workloads::{gen_all_to_all, gen_many_to_one, Workload};
 
+use crate::checkpoint::{fnv1a, Checkpoint};
 use crate::common::{params, switch_port, Scale, SchedKind, Scheme};
+use crate::json::{Json, ToJson};
+use crate::runner::{run_cell_outcomes_with, quarantine, CellOutcome};
 
 /// Which paper environment to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,13 +217,55 @@ pub struct SweepCell {
 }
 impl_to_json!(SweepCell { scheme, load, completed, flows, overall_avg_us, small_avg_us, small_p99_us, large_avg_us, small_timeouts, drops });
 
+impl SweepCell {
+    /// Parse back from a checkpoint payload — the exact inverse of
+    /// `to_json`, so a resumed sweep re-renders recorded cells
+    /// byte-identically.
+    ///
+    /// # Errors
+    /// A description of the missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<SweepCell, String> {
+        Ok(SweepCell {
+            scheme: j.str_field("scheme")?.to_string(),
+            load: j.f64_field("load")?,
+            completed: j.u64_field("completed")? as usize,
+            flows: j.u64_field("flows")? as usize,
+            overall_avg_us: j.f64_field("overall_avg_us")?,
+            small_avg_us: j.f64_field("small_avg_us")?,
+            small_p99_us: j.f64_field("small_p99_us")?,
+            large_avg_us: j.f64_field("large_avg_us")?,
+            small_timeouts: j.u64_field("small_timeouts")?,
+            drops: j.u64_field("drops")?,
+        })
+    }
+}
+
+/// A cell that failed every allowed attempt: excluded from `cells`,
+/// reported here so the figure degrades instead of aborting.
+#[derive(Debug, Clone)]
+pub struct QuarantinedCell {
+    /// Grid index of the failed cell.
+    pub cell: usize,
+    /// Scheme name.
+    pub scheme: String,
+    /// Offered load.
+    pub load: f64,
+    /// Attempts made before giving up.
+    pub attempts: u64,
+    /// Rendered final error (panic message, stall report, …).
+    pub error: String,
+}
+impl_to_json!(QuarantinedCell { cell, scheme, load, attempts, error });
+
 /// A whole figure's data.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// All cells, scheme-major.
+    /// All healthy cells, scheme-major.
     pub cells: Vec<SweepCell>,
+    /// Cells that failed every attempt (empty on a clean sweep).
+    pub quarantined: Vec<QuarantinedCell>,
 }
-impl_to_json!(SweepResult { cells });
+impl_to_json!(SweepResult { cells, quarantined });
 
 impl SweepResult {
     /// Find a cell.
@@ -227,7 +276,89 @@ impl SweepResult {
     }
 }
 
-fn build_sim(cfg: &SweepConfig, scheme: Scheme, seed: u64) -> NetworkSim {
+/// Resilience knobs for a sweep run: worker count, bounded retry,
+/// liveness watchdog, checkpoint/resume, and the fault-injection hooks
+/// the CI smoke tests drive.
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// Worker threads.
+    pub threads: usize,
+    /// Max attempts per cell (≥ 1); retries re-derive the cell's RNG
+    /// streams from a per-attempt sub-seed.
+    pub attempts: u32,
+    /// Liveness watchdog installed on every cell's simulation.
+    pub watchdog: Option<Watchdog>,
+    /// Append completed cells to this JSONL file and skip cells already
+    /// recorded by a compatible previous run.
+    pub checkpoint: Option<PathBuf>,
+    /// Exit the process (code 3) after this many newly-completed cells —
+    /// the resume smoke test's simulated kill.
+    pub abort_after: Option<usize>,
+    /// Panic in this grid cell on every attempt (fault-injection hook).
+    pub inject_panic: Option<usize>,
+}
+
+/// Default stall budget: events dispatched at a single simulated
+/// instant before a cell is declared stalled. Healthy cells stay orders
+/// of magnitude below this; a zero-delay event loop crosses it fast.
+pub const DEFAULT_STALL_BUDGET: u64 = 50_000_000;
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            threads: crate::runner::default_threads(),
+            attempts: 1,
+            watchdog: Some(Watchdog::new(DEFAULT_STALL_BUDGET)),
+            checkpoint: None,
+            abort_after: None,
+            inject_panic: None,
+        }
+    }
+}
+
+impl SweepOpts {
+    /// Defaults plus the environment knobs the CI harness drives:
+    /// `TCN_RETRY_ATTEMPTS` (max attempts per cell),
+    /// `TCN_STALL_BUDGET` (events per simulated instant; 0 disables the
+    /// watchdog), `TCN_EVENT_BUDGET` (absolute event cap per cell),
+    /// `TCN_CHECKPOINT` (JSONL checkpoint path for kill-and-resume),
+    /// `TCN_ABORT_AFTER_CELLS` (simulated kill for the resume smoke)
+    /// and `TCN_INJECT_PANIC` (grid cell index that panics).
+    pub fn from_env() -> Self {
+        let parse = |name: &str| -> Option<u64> {
+            std::env::var(name).ok()?.trim().parse::<u64>().ok()
+        };
+        let mut opts = SweepOpts::default();
+        if let Some(n) = parse("TCN_RETRY_ATTEMPTS") {
+            opts.attempts = (n as u32).max(1);
+        }
+        let stall = parse("TCN_STALL_BUDGET").unwrap_or(DEFAULT_STALL_BUDGET);
+        opts.watchdog = if stall == 0 {
+            None
+        } else {
+            let wd = Watchdog::new(stall);
+            Some(match parse("TCN_EVENT_BUDGET") {
+                Some(total) if total > 0 => wd.with_total_budget(total),
+                _ => wd,
+            })
+        };
+        opts.checkpoint = std::env::var("TCN_CHECKPOINT")
+            .ok()
+            .filter(|p| !p.trim().is_empty())
+            .map(PathBuf::from);
+        opts.abort_after = parse("TCN_ABORT_AFTER_CELLS").map(|n| n as usize);
+        opts.inject_panic = parse("TCN_INJECT_PANIC").map(|n| n as usize);
+        opts
+    }
+
+    /// Same options with the checkpoint path set.
+    pub fn with_checkpoint(mut self, path: PathBuf) -> Self {
+        self.checkpoint = Some(path);
+        self
+    }
+}
+
+fn build_sim(cfg: &SweepConfig, scheme: Scheme, seed: u64) -> Result<NetworkSim, TcnError> {
     // SweepConfig is Copy, so the port factory can own everything it
     // needs for the builder's 'static closure.
     let c = *cfg;
@@ -305,19 +436,38 @@ pub fn run(cfg: &SweepConfig, scale: &Scale) -> SweepResult {
 /// derive only from `scale.seed` and the load index, so the canonical
 /// scheme-major merge order makes the result identical at any thread
 /// count.
+///
+/// This is the figure-facing entry point, so it honours the full set of
+/// resilience environment knobs ([`SweepOpts::from_env`]): retry budget,
+/// stall/event watchdog, `TCN_CHECKPOINT` kill-and-resume, and the CI
+/// fault-injection hooks.
 pub fn run_schemes(cfg: &SweepConfig, scale: &Scale, schemes: &[Scheme]) -> SweepResult {
-    run_schemes_with_threads(cfg, scale, schemes, crate::runner::default_threads())
+    run_with_opts(cfg, scale, schemes, &SweepOpts::from_env()).expect("sweep harness failed")
 }
 
 /// [`run_schemes`] with an explicit worker count (the determinism tests
 /// pin 1 vs N; everything else should use the default policy).
+///
+/// A convenience wrapper over [`run_with_opts`] that treats setup
+/// failures (broken topology, bad config) as fatal — cell-level faults
+/// still quarantine instead of aborting.
 pub fn run_schemes_with_threads(
     cfg: &SweepConfig,
     scale: &Scale,
     schemes: &[Scheme],
     threads: usize,
 ) -> SweepResult {
-    let grid: Vec<(Scheme, usize, f64)> = schemes
+    let opts = SweepOpts {
+        threads,
+        ..SweepOpts::default()
+    };
+    run_with_opts(cfg, scale, schemes, &opts).expect("sweep harness failed")
+}
+
+/// The grid a sweep iterates, scheme-major: `(scheme, load index,
+/// load)` per cell.
+pub fn sweep_grid(scale: &Scale, schemes: &[Scheme]) -> Vec<(Scheme, usize, f64)> {
+    schemes
         .iter()
         .flat_map(|&scheme| {
             scale
@@ -326,42 +476,133 @@ pub fn run_schemes_with_threads(
                 .enumerate()
                 .map(move |(li, &load)| (scheme, li, load))
         })
-        .collect();
-    let cells = crate::runner::run_cells_with(threads, grid.len(), |cell| {
+        .collect()
+}
+
+/// Fingerprint of everything that shapes a sweep's numbers; resuming
+/// from a checkpoint with a different fingerprint starts fresh.
+fn config_fingerprint(cfg: &SweepConfig, scale: &Scale, schemes: &[Scheme]) -> u64 {
+    let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+    fnv1a(&format!(
+        "{cfg:?}|flows={}|loads={:?}|seed={}|schemes={names:?}",
+        scale.flows, scale.loads, scale.seed
+    ))
+}
+
+/// Run a sweep under the full resilience harness: per-cell panic
+/// isolation, deterministic bounded retry, an optional liveness
+/// watchdog, and JSONL checkpoint/resume. Failed cells land in
+/// [`SweepResult::quarantined`]; only harness-level faults (unwritable
+/// checkpoint, corrupt recorded payload) surface as `Err`.
+///
+/// # Errors
+/// [`TcnError::Config`] when the checkpoint file cannot be written or a
+/// recorded payload does not parse back.
+pub fn run_with_opts(
+    cfg: &SweepConfig,
+    scale: &Scale,
+    schemes: &[Scheme],
+    opts: &SweepOpts,
+) -> Result<SweepResult, TcnError> {
+    let grid = sweep_grid(scale, schemes);
+    let (ckpt, done) = match &opts.checkpoint {
+        Some(path) => {
+            let hash = config_fingerprint(cfg, scale, schemes);
+            let (c, d) = Checkpoint::open(path, hash, grid.len()).map_err(|e| {
+                TcnError::config(format!("checkpoint {}: {e}", path.display()))
+            })?;
+            (Some(c), d)
+        }
+        None => (None, Default::default()),
+    };
+    let fresh = AtomicUsize::new(0);
+    let outcomes = run_cell_outcomes_with(opts.threads, grid.len(), opts.attempts, |cell, attempt| {
+        if let Some((_, payload)) = done.get(&cell) {
+            // Completed by a previous run: reuse the recorded payload.
+            return SweepCell::from_json(payload)
+                .map_err(|e| TcnError::config(format!("checkpoint cell {cell}: {e}")));
+        }
+        if opts.inject_panic == Some(cell) {
+            panic!("injected failure in cell {cell} (TCN_INJECT_PANIC)");
+        }
         let (scheme, li, load) = grid[cell];
-        run_cell(cfg, scale, scheme, li, load, None)
+        let out = run_cell(cfg, scale, scheme, li, load, attempt, opts.watchdog.as_ref(), None)?;
+        if let Some(ck) = &ckpt {
+            ck.record(cell, attempt + 1, &out.to_json())
+                .map_err(|e| TcnError::config(format!("checkpoint write: {e}")))?;
+        }
+        let n = fresh.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(limit) = opts.abort_after {
+            if n >= limit {
+                // The resume smoke test's simulated kill: die exactly as
+                // an OOM-killed or Ctrl-C'd sweep would, mid-grid.
+                std::process::exit(3);
+            }
+        }
+        Ok(out)
     });
-    SweepResult { cells }
+    let quarantined = quarantine(&outcomes)
+        .into_iter()
+        .map(|(cell, attempts, error)| {
+            let (scheme, _, load) = grid[cell];
+            QuarantinedCell {
+                cell,
+                scheme: scheme.name().to_string(),
+                load,
+                attempts: u64::from(attempts),
+                error: error.to_string(),
+            }
+        })
+        .collect();
+    let cells = outcomes
+        .into_iter()
+        .filter_map(CellOutcome::into_ok)
+        .collect();
+    Ok(SweepResult { cells, quarantined })
 }
 
 /// Run one (scheme, load-index) cell, optionally with a telemetry bus
-/// installed before the run.
+/// installed before the run. Attempt 0 uses the canonical per-load flow
+/// seed (so isolated and non-isolated runs are byte-identical); retry
+/// attempt `k > 0` re-derives the flow seed through `Rng::stream`, so a
+/// retried cell replays a fresh but deterministic arrival sequence.
+#[allow(clippy::too_many_arguments)] // harness plumbing, two call sites
 fn run_cell(
     cfg: &SweepConfig,
     scale: &Scale,
     scheme: Scheme,
     li: usize,
     load: f64,
+    attempt: u32,
+    watchdog: Option<&Watchdog>,
     bus: Option<&tcn_telemetry::Telemetry>,
-) -> SweepCell {
+) -> Result<SweepCell, TcnError> {
     // Same flow set for every scheme at this load.
-    let flow_seed = scale.seed.wrapping_mul(1000).wrapping_add(li as u64);
+    let base_seed = scale.seed.wrapping_mul(1000).wrapping_add(li as u64);
+    let flow_seed = if attempt == 0 {
+        base_seed
+    } else {
+        Rng::stream(base_seed, u64::from(attempt)).next_u64()
+    };
     let flows = gen_flows(cfg, load, scale, flow_seed);
-    let mut sim = build_sim(cfg, scheme, scale.seed);
+    let mut sim = build_sim(cfg, scheme, scale.seed)?;
+    if let Some(wd) = watchdog {
+        sim.set_watchdog(wd.clone());
+    }
     if let Some(bus) = bus {
         sim.install_telemetry(bus);
     }
     for f in &flows {
         sim.add_flow(*f);
     }
-    let done = sim.run_to_completion(Time::from_secs(10_000));
+    let done = sim.run_to_completion(Time::from_secs(10_000))?;
     if let Some(bus) = bus {
         bus.flush();
     }
     let records = sim.fct_records();
     let b = FctBreakdown::from_records(&records);
     debug_assert!(done, "flows did not finish");
-    SweepCell {
+    Ok(SweepCell {
         scheme: scheme.name().to_string(),
         load,
         completed: sim.completed_flows(),
@@ -372,7 +613,7 @@ fn run_cell(
         large_avg_us: b.large_avg_us,
         small_timeouts: b.small_timeouts,
         drops: sim.total_drops(),
-    }
+    })
 }
 
 /// Run a single (scheme, load) cell with `bus` installed — the entry
@@ -394,7 +635,7 @@ pub fn run_cell_traced(
         .iter()
         .position(|&l| (l - load).abs() < 1e-9)
         .unwrap_or(0);
-    run_cell(cfg, scale, scheme, li, load, Some(bus))
+    run_cell(cfg, scale, scheme, li, load, 0, None, Some(bus)).expect("traced cell failed")
 }
 
 #[cfg(test)]
@@ -570,6 +811,128 @@ mod tests {
             "telemetry observed the run but changed its output"
         );
         assert!(mem.len() > 0, "traced run must actually emit events");
+    }
+
+    #[test]
+    fn injected_panic_quarantines_cell_only() {
+        let scale = Scale {
+            flows: 60,
+            loads: &[0.4],
+            seed: 5,
+        };
+        let cfg = SweepConfig::fig7(); // 3 schemes → 3 cells
+        let schemes = cfg.schemes();
+        let opts = SweepOpts {
+            threads: 2,
+            inject_panic: Some(1),
+            ..SweepOpts::default()
+        };
+        let res = run_with_opts(&cfg, &scale, &schemes, &opts).expect("harness");
+        assert_eq!(res.cells.len(), 2, "healthy cells must survive");
+        assert_eq!(res.quarantined.len(), 1);
+        let q = &res.quarantined[0];
+        assert_eq!(q.cell, 1);
+        assert_eq!(q.scheme, schemes[1].name());
+        assert!(q.error.contains("injected failure"), "{}", q.error);
+    }
+
+    #[test]
+    fn watchdog_total_budget_quarantines_with_stall_report() {
+        let scale = Scale {
+            flows: 60,
+            loads: &[0.4],
+            seed: 5,
+        };
+        let cfg = SweepConfig::fig7();
+        let schemes = cfg.schemes();
+        let opts = SweepOpts {
+            threads: 1,
+            watchdog: Some(
+                tcn_net::Watchdog::new(DEFAULT_STALL_BUDGET).with_total_budget(200),
+            ),
+            ..SweepOpts::default()
+        };
+        let res = run_with_opts(&cfg, &scale, &schemes, &opts).expect("harness");
+        assert!(res.cells.is_empty(), "200 events cannot finish any cell");
+        assert_eq!(res.quarantined.len(), schemes.len());
+        for q in &res.quarantined {
+            assert!(q.error.contains("runaway event loop"), "{}", q.error);
+            assert!(q.error.contains("top events:"), "{}", q.error);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        use crate::json::ToJson;
+        let scale = Scale {
+            flows: 80,
+            loads: &[0.4, 0.6],
+            seed: 5,
+        };
+        let cfg = SweepConfig::fig7();
+        let schemes = cfg.schemes(); // 3 schemes × 2 loads = 6 cells
+        let control = run_with_opts(
+            &cfg,
+            &scale,
+            &schemes,
+            &SweepOpts {
+                threads: 2,
+                ..SweepOpts::default()
+            },
+        )
+        .expect("control sweep");
+        let path = std::env::temp_dir().join(format!(
+            "tcn-sweep-resume-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOpts {
+            threads: 2,
+            ..SweepOpts::default()
+        }
+        .with_checkpoint(path.clone());
+        // Full checkpointed run matches the uncheckpointed control.
+        let full = run_with_opts(&cfg, &scale, &schemes, &opts).expect("checkpointed sweep");
+        assert_eq!(control.to_json().pretty(), full.to_json().pretty());
+        // Simulate a kill after three completed cells: truncate the
+        // checkpoint to header + 3 records, then resume.
+        let text = std::fs::read_to_string(&path).expect("read checkpoint");
+        assert_eq!(text.lines().count(), 7, "header + 6 cells");
+        let keep: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&path, keep.join("\n") + "\n").expect("truncate");
+        let resumed = run_with_opts(&cfg, &scale, &schemes, &opts).expect("resumed sweep");
+        assert_eq!(
+            control.to_json().pretty(),
+            resumed.to_json().pretty(),
+            "resumed sweep must be byte-identical to an uninterrupted run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_attempt_changes_flow_seed_deterministically() {
+        // A retried cell must replay a *different* arrival sequence
+        // (fresh sub-seed) but the same one every time (deterministic).
+        let scale = Scale {
+            flows: 50,
+            loads: &[0.5],
+            seed: 9,
+        };
+        let cfg = SweepConfig::fig7();
+        let scheme = cfg.schemes()[0];
+        let cell = |attempt| {
+            run_cell(&cfg, &scale, scheme, 0, 0.5, attempt, None, None).expect("cell")
+        };
+        let a0 = cell(0);
+        let a1 = cell(1);
+        let a1_again = cell(1);
+        use crate::json::ToJson;
+        assert_eq!(a1.to_json().pretty(), a1_again.to_json().pretty());
+        assert_ne!(
+            a0.to_json().pretty(),
+            a1.to_json().pretty(),
+            "attempt 1 must re-derive the flow seed"
+        );
     }
 
     #[test]

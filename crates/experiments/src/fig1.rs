@@ -60,7 +60,7 @@ fn goodput_cell(scheme: Scheme, svc2_flows: usize, measure: Time) -> Fig1Cell {
                 7,
             )
         },
-    );
+    ).expect("topology is well-formed");
     let mut flows = Vec::new();
     flows.push(sim.add_flow(FlowSpec {
         src: 0,
@@ -80,9 +80,9 @@ fn goodput_cell(scheme: Scheme, svc2_flows: usize, measure: Time) -> Fig1Cell {
     }
     // Warm up, then measure goodput over the window.
     let warmup = Time::from_ms(200);
-    sim.run_until(warmup);
+    sim.run_until(warmup).expect("run");
     let before: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
-    sim.run_until(warmup + measure);
+    sim.run_until(warmup + measure).expect("run");
     let after: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
     let mbps = |b0: u64, b1: u64| (b1 - b0) as f64 * 8.0 / measure.as_secs_f64() / 1e6;
     let svc1 = mbps(before[0], after[0]);

@@ -188,7 +188,7 @@ pub fn run(change_at: Time, horizon: Time) -> (Fig2Result, Rc<RefCell<Fig2Trace>
         TransportChoice::SimEcnStar.config(),
         TaggingPolicy::Fixed,
         mk_port,
-    );
+    ).expect("topology is well-formed");
     // 8 flows into queue 0 from t = 0.
     for s in 0..8u32 {
         sim.add_flow(FlowSpec {
@@ -209,7 +209,7 @@ pub fn run(change_at: Time, horizon: Time) -> (Fig2Result, Rc<RefCell<Fig2Trace>
             service: 1,
         });
     }
-    sim.run_until(horizon);
+    sim.run_until(horizon).expect("run");
 
     let summary = {
         let tr = sink.borrow();

@@ -59,7 +59,7 @@ fn trace_scheme(scheme: Scheme, horizon: Time, sample_every: Time) -> TimeSeries
                 3,
             )
         },
-    );
+    ).expect("topology is well-formed");
     for s in 0..8u32 {
         sim.add_flow(FlowSpec {
             src: s,
@@ -73,7 +73,7 @@ fn trace_scheme(scheme: Scheme, horizon: Time, sample_every: Time) -> TimeSeries
     let mut ts = TimeSeries::new();
     let mut t = Time::ZERO;
     while t <= horizon {
-        sim.run_until(t);
+        sim.run_until(t).expect("run");
         ts.push(t, sim.port(link).occupancy() as f64);
         t += sample_every;
     }

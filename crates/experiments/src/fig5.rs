@@ -131,6 +131,7 @@ fn build(scheme: Scheme) -> NetworkSim {
         TransportChoice::TestbedDctcp.config(),
         TaggingPolicy::Fixed,
     )
+    .expect("fig5 star topology is well-formed")
 }
 
 /// Run Fig. 5 with the given phase length (the paper uses tens of
@@ -182,11 +183,11 @@ pub fn run(phase: Time) -> Fig5Result {
         // Measure the final phase, skipping its first 20 ms transient.
         let measure_from = phase * 2 + Time::from_ms(20);
         let measure_to = phase * 3;
-        sim.run_until(measure_from);
+        sim.run_until(measure_from).expect("run");
         let b1 = sim.delivered_bytes(f1);
         let b2 = sim.delivered_bytes(f2);
         let b3: u64 = f3.iter().map(|&f| sim.delivered_bytes(f)).sum();
-        sim.run_until(measure_to);
+        sim.run_until(measure_to).expect("run");
         let window = (measure_to - measure_from).as_secs_f64();
         let mbps = |b0: u64, b1: u64| (b1 - b0) as f64 * 8.0 / window / 1e6;
         goodputs.push(Fig5Goodput {

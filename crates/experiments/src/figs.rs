@@ -50,6 +50,21 @@ pub fn find(name: &str) -> Option<&'static Figure> {
     FIGURES.iter().find(|f| f.name == name)
 }
 
+/// Render a sweep's quarantine list (empty = print nothing): the cells
+/// that failed every attempt, with their structured error reports.
+fn print_quarantine(quarantined: &[fct_sweep::QuarantinedCell]) {
+    if quarantined.is_empty() {
+        return;
+    }
+    println!("\nquarantined cells ({}):", quarantined.len());
+    for q in quarantined {
+        println!(
+            "  cell {} ({} load {:.1}), {} attempt(s): {}",
+            q.cell, q.scheme, q.load, q.attempts, q.error
+        );
+    }
+}
+
 /// The FCT-sweep table shared by Figs. 6–13.
 fn print_sweep(title: &str, tag: &str, res: &fct_sweep::SweepResult) {
     let rows: Vec<Vec<String>> = res
@@ -77,6 +92,7 @@ fn print_sweep(title: &str, tag: &str, res: &fct_sweep::SweepResult) {
         ],
         &rows,
     );
+    print_quarantine(&res.quarantined);
     let label = format!("Fig. {}", &tag[3..]);
     for (metric, svg) in sweep_charts(&label, &res.cells) {
         maybe_write_svg(&format!("{tag}_{metric}"), &svg);
@@ -559,19 +575,49 @@ pub fn chaos() {
         ],
         &rows,
     );
+    if !res.quarantined.is_empty() {
+        println!("\nquarantined cells ({}):", res.quarantined.len());
+        for q in &res.quarantined {
+            println!(
+                "  cell {} ({} loss {:.3} flap {}), {} attempt(s): {}",
+                q.cell, q.scheme, q.loss, q.flap, q.attempts, q.error
+            );
+        }
+    }
     maybe_write_json("chaos", &res);
 }
 
+/// A figure that failed outright in `figs all` (as opposed to a sweep
+/// cell quarantined *inside* a figure, which is reported in the figure's
+/// own output and does not fail the batch).
+pub struct FigureFailure {
+    /// Figure name (`fig6`, `chaos`, …).
+    pub name: String,
+    /// The structured failure, rendered.
+    pub error: String,
+}
+
 /// Run every figure in-process (the `figs all` / `all` binary path).
-/// A panicking figure no longer aborts the batch: the failures come
-/// back by name and the caller decides the exit code.
-pub fn run_all() -> Vec<String> {
+///
+/// Each figure runs under the same isolation machinery the sweeps use
+/// per cell ([`crate::runner::run_isolated`]): a panicking or erroring
+/// figure comes back as a [`FigureFailure`] instead of aborting the
+/// batch, and the caller decides the exit code. Cell-level faults never
+/// reach this layer — the sweeps quarantine them and still return a
+/// result, so a figure only lands here when it is broken wholesale.
+pub fn run_all() -> Vec<FigureFailure> {
     let mut failures = Vec::new();
     for fig in FIGURES {
         println!("\n################ {} ################", fig.name);
-        if std::panic::catch_unwind(fig.run).is_err() {
-            eprintln!("!! {} panicked", fig.name);
-            failures.push(fig.name.to_string());
+        if let Err(e) = crate::runner::run_isolated(|| {
+            (fig.run)();
+            Ok(())
+        }) {
+            eprintln!("!! {} failed: {e}", fig.name);
+            failures.push(FigureFailure {
+                name: fig.name.to_string(),
+                error: e.to_string(),
+            });
         }
     }
     println!();

@@ -70,7 +70,7 @@ pub fn run(fanout: usize, waves: usize, flow_bytes: u64) -> Vec<IncastRow> {
                     5,
                 )
             },
-        );
+        ).expect("topology is well-formed");
         let receiver = fanout as u32;
         let senders: Vec<u32> = (0..fanout as u32).collect();
         let mut rng = Rng::new(77);
@@ -88,7 +88,7 @@ pub fn run(fanout: usize, waves: usize, flow_bytes: u64) -> Vec<IncastRow> {
                 sim.add_flow(spec);
             }
         }
-        assert!(sim.run_to_completion(Time::from_secs(60)));
+        assert!(sim.run_to_completion(Time::from_secs(60)).expect("run"));
         let b = FctBreakdown::from_records(&sim.fct_records());
         rows.push(IncastRow {
             scheme: scheme.name().to_string(),

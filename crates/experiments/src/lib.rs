@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod common;
 pub mod config;
 pub mod json;

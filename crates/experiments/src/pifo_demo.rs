@@ -60,7 +60,7 @@ pub fn run(measure: Time) -> Vec<PifoRow> {
                     13,
                 )
             },
-        );
+        ).expect("topology is well-formed");
         let receiver = 4u32;
         let flows: Vec<_> = (0..4u32)
             .map(|s| {
@@ -82,9 +82,9 @@ pub fn run(measure: Time) -> Vec<PifoRow> {
             size: 64,
         });
         let warmup = Time::from_ms(20);
-        sim.run_until(warmup);
+        sim.run_until(warmup).expect("run");
         let before: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
-        sim.run_until(warmup + measure);
+        sim.run_until(warmup + measure).expect("run");
         let deltas: Vec<f64> = flows
             .iter()
             .zip(&before)

@@ -17,21 +17,24 @@
 //!     .buffer(96_000)
 //!     .scheduler(|| Box::new(tcn_sched::Dwrr::equal(2, 1_500)))
 //!     .aqm(|| Box::new(tcn_core::Tcn::new(Time::from_us(256))))
-//!     .build();
+//!     .build()?;
 //! assert_eq!(sim.num_links(), 8);
+//! # Ok::<(), tcn_core::TcnError>(())
 //! ```
 
 use std::rc::Rc;
 
 use tcn_core::aqm::Aqm;
+use tcn_core::TcnError;
 use tcn_sched::Scheduler;
 use tcn_sim::{FaultPlan, Rate, Time};
 use tcn_telemetry::Telemetry;
 use tcn_transport::TcpConfig;
 
-use crate::network::{NetworkSim, TaggingPolicy};
+use crate::network::{LinkSpec, NetworkSim, NodeId, TaggingPolicy};
 use crate::port::PortSetup;
 use crate::topology::{dumbbell, fat_tree, leaf_spine, single_switch, LeafSpineConfig};
+use crate::watchdog::Watchdog;
 
 /// Which canned topology the builder will instantiate.
 enum Topo {
@@ -56,6 +59,11 @@ enum Topo {
         host_delay: Time,
         fabric_delay: Time,
     },
+    Custom {
+        num_nodes: usize,
+        hosts: Vec<NodeId>,
+        links: Vec<LinkSpec>,
+    },
 }
 
 /// Fluent constructor for a [`NetworkSim`]: topology preset + port
@@ -77,6 +85,7 @@ pub struct NetworkBuilder {
     port_factory: Option<Box<dyn Fn() -> PortSetup>>,
     faults: Option<FaultPlan>,
     telemetry: Option<Telemetry>,
+    watchdog: Option<Watchdog>,
 }
 
 impl NetworkBuilder {
@@ -93,6 +102,7 @@ impl NetworkBuilder {
             port_factory: None,
             faults: None,
             telemetry: None,
+            watchdog: None,
         }
     }
 
@@ -125,6 +135,18 @@ impl NetworkBuilder {
             rate,
             host_delay,
             fabric_delay,
+        })
+    }
+
+    /// An arbitrary hand-wired topology: `num_nodes` nodes, the given
+    /// host set and directed links. Escape hatch for shapes the presets
+    /// do not cover; [`Self::build`] rejects unroutable wirings with
+    /// [`TcnError::Topology`] instead of silently misdelivering.
+    pub fn custom(num_nodes: usize, hosts: Vec<NodeId>, links: Vec<LinkSpec>) -> Self {
+        Self::with_topo(Topo::Custom {
+            num_nodes,
+            hosts,
+            links,
         })
     }
 
@@ -192,12 +214,22 @@ impl NetworkBuilder {
         self
     }
 
+    /// Install a liveness watchdog at build time (see
+    /// [`NetworkSim::set_watchdog`]): the run loops return
+    /// [`TcnError::Stall`] when its event budgets are exceeded.
+    pub fn watchdog(mut self, wd: Watchdog) -> Self {
+        self.watchdog = Some(wd);
+        self
+    }
+
     /// Build the simulation.
     ///
-    /// # Panics
-    /// Panics on malformed topology parameters, exactly as the
-    /// underlying [`crate::topology`] functions do.
-    pub fn build(self) -> NetworkSim {
+    /// # Errors
+    /// [`TcnError::Config`] on malformed topology parameters and
+    /// [`TcnError::Topology`] when the wiring leaves some host pair
+    /// unroutable, exactly as the underlying [`crate::topology`]
+    /// functions report them.
+    pub fn build(self) -> Result<NetworkSim, TcnError> {
         let mk_port: Box<dyn Fn() -> PortSetup> = match self.port_factory {
             Some(f) => f,
             None => {
@@ -223,7 +255,7 @@ impl NetworkBuilder {
         };
         let mut sim = match self.topo {
             Topo::SingleSwitch { hosts, rate, delay } => {
-                single_switch(hosts, rate, delay, self.tcp, self.tagging, mk_port)
+                single_switch(hosts, rate, delay, self.tcp, self.tagging, mk_port)?
             }
             Topo::Dumbbell {
                 left,
@@ -240,8 +272,8 @@ impl NetworkBuilder {
                 self.tcp,
                 self.tagging,
                 mk_port,
-            ),
-            Topo::LeafSpine { cfg } => leaf_spine(cfg, self.tcp, self.tagging, mk_port),
+            )?,
+            Topo::LeafSpine { cfg } => leaf_spine(cfg, self.tcp, self.tagging, mk_port)?,
             Topo::FatTree {
                 k,
                 rate,
@@ -255,7 +287,12 @@ impl NetworkBuilder {
                 self.tcp,
                 self.tagging,
                 mk_port,
-            ),
+            )?,
+            Topo::Custom {
+                num_nodes,
+                hosts,
+                links,
+            } => NetworkSim::new(num_nodes, hosts, links, self.tcp, self.tagging)?,
         };
         if let Some(plan) = &self.faults {
             sim.install_faults(plan);
@@ -263,7 +300,10 @@ impl NetworkBuilder {
         if let Some(bus) = &self.telemetry {
             sim.install_telemetry(bus);
         }
-        sim
+        if let Some(wd) = self.watchdog {
+            sim.set_watchdog(wd);
+        }
+        Ok(sim)
     }
 }
 
@@ -292,7 +332,7 @@ mod tests {
                     .buffer(96_000)
                     .scheduler(|| Box::new(tcn_sched::Dwrr::equal(2, 1_500)))
                     .aqm(|| Box::new(tcn_core::Tcn::new(Time::from_us(100))))
-                    .build()
+                    .build().unwrap()
             } else {
                 single_switch(
                     4,
@@ -302,6 +342,7 @@ mod tests {
                     TaggingPolicy::Fixed,
                     mk,
                 )
+                .unwrap()
             };
             for dst in 1..4u32 {
                 sim.add_flow(FlowSpec {
@@ -312,7 +353,7 @@ mod tests {
                     service: 1,
                 });
             }
-            assert!(sim.run_to_completion(Time::from_secs(10)));
+            assert!(sim.run_to_completion(Time::from_secs(10)).unwrap());
             sim.fct_records()
                 .iter()
                 .map(|r| r.fct.as_ps())
@@ -332,7 +373,7 @@ mod tests {
             .scheduler(|| Box::new(tcn_sched::Dwrr::equal(2, 1_500)))
             .aqm(|| Box::new(tcn_core::Tcn::new(Time::from_us(1))))
             .telemetry(&bus)
-            .build();
+            .build().unwrap();
         sim.add_flow(FlowSpec {
             src: 0,
             dst: 2,
@@ -340,7 +381,7 @@ mod tests {
             start: Time::ZERO,
             service: 1,
         });
-        assert!(sim.run_to_completion(Time::from_secs(10)));
+        assert!(sim.run_to_completion(Time::from_secs(10)).unwrap());
         let evs = mem.events();
         let kind = |k: &str| evs.iter().filter(|e| e.kind() == k).count();
         assert!(kind("enqueue") > 0, "ports must report enqueues");
@@ -375,7 +416,7 @@ mod tests {
             if with_bus {
                 b = b.telemetry(&bus);
             }
-            let mut sim = b.build();
+            let mut sim = b.build().unwrap();
             for dst in 1..4u32 {
                 sim.add_flow(FlowSpec {
                     src: 0,
@@ -385,7 +426,7 @@ mod tests {
                     service: 1,
                 });
             }
-            assert!(sim.run_to_completion(Time::from_secs(10)));
+            assert!(sim.run_to_completion(Time::from_secs(10)).unwrap());
             (
                 sim.fct_records()
                     .iter()
@@ -396,5 +437,50 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn disconnected_topology_is_a_typed_error() {
+        // Host 2 has no links at all: routing cannot cover every host
+        // pair, and build() must say so instead of panicking.
+        let link = |from: NodeId, to: NodeId| LinkSpec {
+            from,
+            to,
+            rate: Rate::from_gbps(1),
+            delay: Time::from_us(5),
+            setup: PortSetup::host_nic(),
+        };
+        let links = vec![link(0, 1), link(1, 0)];
+        let Err(err) = NetworkBuilder::custom(3, vec![0, 1, 2], links).build() else {
+            panic!("disconnected topology must be rejected");
+        };
+        assert_eq!(err.kind(), "topology");
+        assert!(err.to_string().contains("broken topology"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_total_budget_trips_run() {
+        let mut sim = NetworkBuilder::single_switch(3, Rate::from_gbps(1), Time::from_us(5))
+            .watchdog(Watchdog::new(1_000_000).with_total_budget(50))
+            .build()
+            .unwrap();
+        sim.add_flow(FlowSpec {
+            src: 0,
+            dst: 2,
+            size: 1_000_000,
+            start: Time::ZERO,
+            service: 0,
+        });
+        let err = sim
+            .run_to_completion(Time::from_secs(5))
+            .expect_err("a 50-event budget cannot move 1 MB");
+        match err {
+            TcnError::Stall(r) => {
+                assert!(r.runaway, "total-budget trip must flag runaway");
+                assert_eq!(r.budget, 50);
+                assert!(!r.top_events.is_empty());
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
     }
 }

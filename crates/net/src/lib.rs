@@ -19,6 +19,9 @@
 //!   bookkeeping and latency probes together, with deterministic fault
 //!   injection (loss, corruption, jitter, link flaps) and routing
 //!   reconvergence threaded through it;
+//! * [`watchdog`] — an event-budget liveness guard over the event loop,
+//!   turning stalled or runaway runs into typed
+//!   [`tcn_core::TcnError::Stall`] errors instead of hangs;
 //! * [`topology`] — canned builders for the paper's three topologies:
 //!   single-switch star (testbed), dumbbell (Fig. 1), and the 144-host
 //!   leaf-spine fabric (§6.2).
@@ -32,6 +35,7 @@ pub mod port;
 pub mod routing;
 pub mod token_bucket;
 pub mod topology;
+pub mod watchdog;
 
 pub use builder::NetworkBuilder;
 pub use network::{
@@ -44,3 +48,4 @@ pub use token_bucket::TokenBucket;
 pub use topology::{
     dumbbell, fat_tree, leaf_spine, single_switch, single_switch_downlink, LeafSpineConfig,
 };
+pub use watchdog::Watchdog;

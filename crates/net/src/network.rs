@@ -21,14 +21,15 @@
 //! on a dead wire (or blackholed into one before reconvergence) are
 //! dropped and counted in [`FaultStats`].
 
-use tcn_core::{ArenaStats, FlowId, Packet, PacketArena, PacketHandle, PacketKind};
+use tcn_core::{ArenaStats, FlowId, Packet, PacketArena, PacketHandle, PacketKind, TcnError};
 use tcn_sim::{EventQueue, FaultPlan, LinkFaultProfile, Rate, Rng, Time};
 use tcn_transport::{SenderOutput, TcpConfig, TcpReceiver, TcpSender};
 
 use crate::port::{Port, PortSetup};
 use crate::routing::{
-    compute_routes, compute_routes_partial, ecmp_pick, RouteError, RouteTable, TopoView,
+    compute_routes, compute_routes_partial, ecmp_pick, RouteTable, TopoView,
 };
+use crate::watchdog::Watchdog;
 
 /// Node index (hosts and switches share one id space).
 pub type NodeId = u32;
@@ -230,6 +231,24 @@ enum Event {
     Reconverge,
 }
 
+impl Event {
+    /// Dense kind index for the watchdog's per-kind counters; parallel
+    /// to `watchdog::EVENT_KIND_NAMES`.
+    fn kind_index(&self) -> usize {
+        match self {
+            Event::FlowStart(_) => 0,
+            Event::Arrive { .. } => 1,
+            Event::ArriveCorrupt => 2,
+            Event::TxDone { .. } => 3,
+            Event::Timer { .. } => 4,
+            Event::ProbeTick { .. } => 5,
+            Event::LinkDown { .. } => 6,
+            Event::LinkUp { .. } => 7,
+            Event::Reconverge => 8,
+        }
+    }
+}
+
 /// The simulation.
 pub struct NetworkSim {
     events: EventQueue<Event>,
@@ -263,6 +282,8 @@ pub struct NetworkSim {
     /// Installed telemetry bus, kept so senders registered after
     /// [`NetworkSim::install_telemetry`] get probes too.
     telemetry: Option<tcn_telemetry::Telemetry>,
+    /// Liveness guard consulted on every dispatched event (None = off).
+    watchdog: Option<Watchdog>,
 }
 
 impl NetworkSim {
@@ -270,48 +291,32 @@ impl NetworkSim {
     /// are hosts (index in this vector = host index used by flows), with
     /// the given directed links.
     ///
-    /// # Panics
-    /// Panics on malformed topologies (unreachable hosts, out-of-range
-    /// node ids). Use [`NetworkSim::try_new`] to handle disconnected
-    /// topologies gracefully.
+    /// # Errors
+    /// [`TcnError::Topology`] when some host is unreachable from some
+    /// node (disconnected graph); [`TcnError::Config`] on out-of-range
+    /// link endpoints.
     pub fn new(
         num_nodes: usize,
         host_nodes: Vec<NodeId>,
         link_specs: Vec<LinkSpec>,
         tcp: TcpConfig,
         tagging: TaggingPolicy,
-    ) -> Self {
-        match Self::try_new(num_nodes, host_nodes, link_specs, tcp, tagging) {
-            Ok(sim) => sim,
-            Err(e) => panic!("broken topology: {e}"),
+    ) -> Result<Self, TcnError> {
+        for l in &link_specs {
+            if (l.from as usize) >= num_nodes || (l.to as usize) >= num_nodes {
+                return Err(TcnError::config(format!(
+                    "link endpoint out of range: {} -> {} with {num_nodes} nodes",
+                    l.from, l.to
+                )));
+            }
         }
-    }
-
-    /// Fallible variant of [`NetworkSim::new`]: returns a descriptive
-    /// [`RouteError`] when some host is unreachable from some node.
-    ///
-    /// # Panics
-    /// Still panics on out-of-range link endpoints (a programming error,
-    /// not a topology-shape question).
-    pub fn try_new(
-        num_nodes: usize,
-        host_nodes: Vec<NodeId>,
-        link_specs: Vec<LinkSpec>,
-        tcp: TcpConfig,
-        tagging: TaggingPolicy,
-    ) -> Result<Self, RouteError> {
-        let endpoints: Vec<(u32, u32)> = link_specs
-            .iter()
-            .map(|l| {
-                assert!((l.from as usize) < num_nodes && (l.to as usize) < num_nodes);
-                (l.from, l.to)
-            })
-            .collect();
+        let endpoints: Vec<(u32, u32)> = link_specs.iter().map(|l| (l.from, l.to)).collect();
         let routes = compute_routes(&TopoView {
             links: &endpoints,
             num_nodes,
             host_nodes: &host_nodes,
-        })?;
+        })
+        .map_err(|e| TcnError::topology(e.to_string()))?;
         let mut node_hosts = vec![None; num_nodes];
         for (h, &n) in host_nodes.iter().enumerate() {
             node_hosts[n as usize] = Some(h as u32);
@@ -345,7 +350,16 @@ impl NetworkSim {
             arena: PacketArena::new(),
             scratch: SenderOutput::default(),
             telemetry: None,
+            watchdog: None,
         })
+    }
+
+    /// Install (or replace) the liveness watchdog. Every event the run
+    /// loops dispatch is accounted; when a budget trips, the running
+    /// `run_*` call returns [`TcnError::Stall`] with a structured
+    /// [`tcn_core::StallReport`] instead of spinning forever.
+    pub fn set_watchdog(&mut self, watchdog: Watchdog) {
+        self.watchdog = Some(watchdog);
     }
 
     /// Install a telemetry bus across every layer of the simulation:
@@ -469,7 +483,12 @@ impl NetworkSim {
     }
 
     /// Run until the clock passes `t` (or events run dry).
-    pub fn run_until(&mut self, t: Time) {
+    ///
+    /// # Errors
+    /// Propagates [`TcnError`] from event processing (scheduler-contract
+    /// breaches, invariant violations) and [`TcnError::Stall`] from the
+    /// watchdog.
+    pub fn run_until(&mut self, t: Time) -> Result<(), TcnError> {
         while let Some(at) = self.events.peek_time() {
             if at > t {
                 break;
@@ -477,42 +496,66 @@ impl NetworkSim {
             let Some(entry) = self.events.pop() else {
                 break;
             };
-            self.dispatch(entry.event, entry.at);
+            self.observe_event(&entry.event, entry.at)?;
+            self.dispatch(entry.event, entry.at)?;
         }
         self.audit_net();
+        Ok(())
+    }
+
+    /// Account one dispatched event with the watchdog, if installed.
+    fn observe_event(&mut self, ev: &Event, now: Time) -> Result<(), TcnError> {
+        if let Some(wd) = &mut self.watchdog {
+            let depth = self.events.len();
+            let processed = self.events.processed();
+            wd.observe(now, ev.kind_index(), depth, processed)?;
+        }
+        Ok(())
     }
 
     /// Run until `t`, invoking `sample` every `every` of simulated time
     /// (at t = start+every, start+2·every, …). The callback sees the
     /// simulation quiesced at the sample instant — the idiom behind the
     /// occupancy traces of Fig. 3 and the goodput curves of Figs. 1/5.
-    pub fn run_sampled(&mut self, until: Time, every: Time, mut sample: impl FnMut(&NetworkSim)) {
+    ///
+    /// # Errors
+    /// Propagates [`TcnError`] from event processing and the watchdog.
+    pub fn run_sampled(
+        &mut self,
+        until: Time,
+        every: Time,
+        mut sample: impl FnMut(&NetworkSim),
+    ) -> Result<(), TcnError> {
         assert!(!every.is_zero(), "zero sampling interval");
         let mut t = self.now().saturating_add(every);
         while t <= until {
-            self.run_until(t);
+            self.run_until(t)?;
             sample(self);
             t = t.saturating_add(every);
         }
-        self.run_until(until);
+        self.run_until(until)
     }
 
     /// Run until every registered flow has completed, or `deadline`
     /// passes, or events run dry. Returns `true` if all flows finished.
-    pub fn run_to_completion(&mut self, deadline: Time) -> bool {
+    ///
+    /// # Errors
+    /// Propagates [`TcnError`] from event processing and the watchdog.
+    pub fn run_to_completion(&mut self, deadline: Time) -> Result<bool, TcnError> {
         while self.completed < self.flows.len() {
             match self.events.peek_time() {
                 Some(at) if at <= deadline => {
                     let Some(entry) = self.events.pop() else {
                         break;
                     };
-                    self.dispatch(entry.event, entry.at);
+                    self.observe_event(&entry.event, entry.at)?;
+                    self.dispatch(entry.event, entry.at)?;
                 }
                 _ => break,
             }
         }
         self.audit_net();
-        self.completed == self.flows.len()
+        Ok(self.completed == self.flows.len())
     }
 
     /// Completed-flow records.
@@ -608,26 +651,28 @@ impl NetworkSim {
     // Event dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, ev: Event, now: Time) {
+    fn dispatch(&mut self, ev: Event, now: Time) -> Result<(), TcnError> {
         match ev {
             Event::FlowStart(f) => {
                 let mut out = std::mem::take(&mut self.scratch);
                 out.clear();
                 self.flows[f as usize].sender.start_into(now, &mut out);
-                self.after_sender(f, &mut out, now);
+                let r = self.after_sender(f, &mut out, now);
                 self.scratch = out;
+                r?;
             }
             Event::Timer { flow } => {
                 self.flows[flow as usize].next_timer = None;
                 let mut out = std::mem::take(&mut self.scratch);
                 out.clear();
                 self.flows[flow as usize].sender.on_timer_into(now, &mut out);
-                self.after_sender(flow, &mut out, now);
+                let r = self.after_sender(flow, &mut out, now);
                 self.scratch = out;
+                r?;
             }
             Event::TxDone { link } => {
                 self.links[link as usize].port.busy = false;
-                self.kick(link, now);
+                self.kick(link, now)?;
             }
             Event::Arrive { link, pkt } => {
                 self.net_audit.on_arrive();
@@ -636,21 +681,21 @@ impl NetworkSim {
                     // Unreachable by construction (every handle is
                     // scheduled into exactly one Arrive); the arena
                     // audit has already flagged the stale handle.
-                    return;
+                    return Ok(());
                 };
                 if !self.link_up[link as usize] {
                     // The link died while this packet was in flight.
                     self.fault_stats.dead_link_drops += 1;
                     self.net_audit.on_fault_drop();
-                    return;
+                    return Ok(());
                 }
                 let node = self.links[link as usize].to;
                 match self.node_hosts[node as usize] {
                     Some(host) => {
                         self.net_audit.on_deliver();
-                        self.deliver(host, pkt, now);
+                        self.deliver(host, pkt, now)?;
                     }
-                    None => self.forward(node, pkt, now),
+                    None => self.forward(node, pkt, now)?,
                 }
             }
             Event::ArriveCorrupt => {
@@ -676,7 +721,7 @@ impl NetworkSim {
                     self.events
                         .schedule_at(now + self.detection_delay, Event::Reconverge);
                     // The port kept queueing while dead; restart it.
-                    self.kick(link, now);
+                    self.kick(link, now)?;
                 }
             }
             Event::Reconverge => {
@@ -692,12 +737,13 @@ impl NetworkSim {
                 self.fault_stats.reconvergences += 1;
                 self.fault_stats.unreachable_pairs = unreachable;
             }
-            Event::ProbeTick { prober } => self.probe_tick(prober, now),
+            Event::ProbeTick { prober } => self.probe_tick(prober, now)?,
         }
+        Ok(())
     }
 
     /// Route and enqueue a packet at `node` toward `pkt.dst`.
-    fn forward(&mut self, node: NodeId, pkt: Packet, now: Time) {
+    fn forward(&mut self, node: NodeId, pkt: Packet, now: Time) -> Result<(), TcnError> {
         let cands = &self.routes[node as usize][pkt.dst as usize];
         if cands.is_empty() {
             // Post-reconvergence partition: no surviving path. Drop and
@@ -705,16 +751,17 @@ impl NetworkSim {
             // the link comes back and routing reconverges again).
             self.fault_stats.no_route_drops += 1;
             self.net_audit.on_fault_drop();
-            return;
+            return Ok(());
         }
         let link = ecmp_pick(cands, pkt.flow, node);
-        self.enqueue_on(link, pkt, now);
+        self.enqueue_on(link, pkt, now)
     }
 
-    fn enqueue_on(&mut self, link: u32, pkt: Packet, now: Time) {
+    fn enqueue_on(&mut self, link: u32, pkt: Packet, now: Time) -> Result<(), TcnError> {
         if self.links[link as usize].port.enqueue(pkt, now) {
-            self.kick(link, now);
+            self.kick(link, now)?;
         }
+        Ok(())
     }
 
     /// Start serializing the next packet on `link` if the port is idle.
@@ -725,14 +772,14 @@ impl NetworkSim {
     /// isolated RNG stream, in a fixed order (loss, corruption, jitter)
     /// for replay determinism. `TxDone` is always scheduled — a faulty
     /// wire does not change the serialization cadence.
-    fn kick(&mut self, link: u32, now: Time) {
+    fn kick(&mut self, link: u32, now: Time) -> Result<(), TcnError> {
         let (pkt, txt, delay) = {
             let l = &mut self.links[link as usize];
             if l.port.busy {
-                return;
+                return Ok(());
             }
-            let Some(pkt) = l.port.dequeue(now) else {
-                return;
+            let Some(pkt) = l.port.dequeue(now)? else {
+                return Ok(());
             };
             l.port.busy = true;
             let txt = l.port.tx_time(&pkt);
@@ -744,7 +791,7 @@ impl NetworkSim {
             // link yet (or the packet was queued before it died).
             self.fault_stats.dead_link_drops += 1;
             self.net_audit.on_fault_drop();
-            return;
+            return Ok(());
         }
         let mut corrupt = false;
         let mut extra = Time::ZERO;
@@ -752,7 +799,7 @@ impl NetworkSim {
             if f.rng.chance(f.profile.loss) {
                 self.fault_stats.loss_drops += 1;
                 self.net_audit.on_fault_drop();
-                return;
+                return Ok(());
             }
             corrupt = f.rng.chance(f.profile.corrupt);
             if !f.profile.jitter_max.is_zero() && f.rng.chance(f.profile.jitter_prob) {
@@ -770,20 +817,21 @@ impl NetworkSim {
             let pkt = self.arena.insert(pkt);
             self.events.schedule_at(arrive_at, Event::Arrive { link, pkt });
         }
+        Ok(())
     }
 
     /// A packet reached a host NIC.
-    fn deliver(&mut self, host: u32, pkt: Packet, now: Time) {
+    fn deliver(&mut self, host: u32, pkt: Packet, now: Time) -> Result<(), TcnError> {
         assert_eq!(pkt.dst, host, "misrouted packet (routing bug)");
         match pkt.kind {
             PacketKind::Data { .. } => {
                 let f = pkt.flow.0 as usize;
-                let ack = self.flows[f].receiver.on_data(&pkt, now);
+                let ack = self.flows[f].receiver.on_data(&pkt, now)?;
                 if self.flows[f].finish.is_none() && self.flows[f].receiver.is_complete() {
                     self.flows[f].finish = Some(now);
                     self.completed += 1;
                 }
-                self.emit_from_host(host, ack, now);
+                self.emit_from_host(host, ack, now)?;
             }
             PacketKind::Ack { cum_ack, ece } => {
                 let f = pkt.flow.0 as u32;
@@ -792,8 +840,9 @@ impl NetworkSim {
                 self.flows[f as usize]
                     .sender
                     .on_ack_into(cum_ack, ece, now, &mut out);
-                self.after_sender(f, &mut out, now);
+                let r = self.after_sender(f, &mut out, now);
                 self.scratch = out;
+                r?;
             }
             PacketKind::Probe { probe_id, reply } => {
                 if reply {
@@ -806,16 +855,17 @@ impl NetworkSim {
                         Packet::probe(pkt.flow, host, pkt.src, probe_id, true, pkt.size);
                     echo.dscp = pkt.dscp;
                     echo.birth_ts = pkt.birth_ts;
-                    self.emit_from_host(host, echo, now);
+                    self.emit_from_host(host, echo, now)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Process a sender's output: DSCP-tag data, emit, and maintain the
     /// single outstanding RTO timer. Drains `out.packets` (the caller's
     /// reusable scratch keeps its capacity).
-    fn after_sender(&mut self, flow: u32, out: &mut SenderOutput, now: Time) {
+    fn after_sender(&mut self, flow: u32, out: &mut SenderOutput, now: Time) -> Result<(), TcnError> {
         let spec = self.flows[flow as usize].spec;
         for pkt in &mut out.packets {
             if let PacketKind::Data { seq, .. } = pkt.kind {
@@ -823,7 +873,7 @@ impl NetworkSim {
             }
         }
         for pkt in out.packets.drain(..) {
-            self.emit_from_host(spec.src, pkt, now);
+            self.emit_from_host(spec.src, pkt, now)?;
         }
         if let Some(deadline) = out.timer {
             let fs = &mut self.flows[flow as usize];
@@ -837,12 +887,13 @@ impl NetworkSim {
                     .schedule_at(deadline.max(now), Event::Timer { flow });
             }
         }
+        Ok(())
     }
 
-    fn emit_from_host(&mut self, host: u32, pkt: Packet, now: Time) {
+    fn emit_from_host(&mut self, host: u32, pkt: Packet, now: Time) -> Result<(), TcnError> {
         self.net_audit.on_emit();
         let node = self.host_nodes[host as usize];
-        self.forward(node, pkt, now);
+        self.forward(node, pkt, now)
     }
 
     /// Cross-check end-to-end packet conservation (no-op unless the
@@ -866,7 +917,7 @@ impl NetworkSim {
         }
     }
 
-    fn probe_tick(&mut self, prober: u32, now: Time) {
+    fn probe_tick(&mut self, prober: u32, now: Time) -> Result<(), TcnError> {
         let idx = prober as usize;
         let cfg = self.probers[idx].cfg;
         let id = self.probers[idx].next_id;
@@ -881,10 +932,11 @@ impl NetworkSim {
         );
         pkt.dscp = cfg.dscp;
         pkt.birth_ts = now;
-        self.emit_from_host(cfg.src, pkt, now);
+        self.emit_from_host(cfg.src, pkt, now)?;
         self.events.schedule_at(
             now + cfg.interval,
             Event::ProbeTick { prober },
         );
+        Ok(())
     }
 }

@@ -17,7 +17,7 @@
 //!   read uniform [`PortStats`] regardless of scheme.
 
 use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sched::Scheduler;
 use tcn_sim::{Rate, Time};
 use tcn_telemetry::{Event as TelemetryEvent, Probe};
@@ -359,7 +359,12 @@ impl Port {
     /// Pull the next packet to serialize, applying the dequeue AQM hook.
     /// CoDel-style dequeue drops are absorbed here (the next packet is
     /// pulled immediately — no link bubble, cf. §4.2).
-    pub fn dequeue(&mut self, now: Time) -> Option<Packet> {
+    ///
+    /// # Errors
+    /// [`TcnError::SchedulerContract`] when the scheduler breaks its
+    /// contract with the port: `select` returned an empty queue, or
+    /// `on_dequeue` rejected the dequeue (e.g. no recorded tag).
+    pub fn dequeue(&mut self, now: Time) -> Result<Option<Packet>, TcnError> {
         loop {
             let q = match self.sched.select(&self.core.queues, now) {
                 Some(q) => {
@@ -372,16 +377,20 @@ impl Port {
                     let backlog: u64 =
                         self.core.queues.iter().map(|qu| qu.len_pkts() as u64).sum();
                     self.audit.work.on_idle(backlog);
-                    return None;
+                    return Ok(None);
                 }
             };
             let Some(mut pkt) = self.core.queues[q].pop_front() else {
                 // The Audited wrapper reports this contract breach with
-                // context before we bail; keep the hard stop either way.
-                panic!("scheduler selected an empty queue ({})", self.sched.name());
+                // context before we bail; surface it either way.
+                return Err(TcnError::SchedulerContract {
+                    scheduler: self.sched.name(),
+                    queue: q,
+                    detail: "select returned an empty queue".into(),
+                });
             };
             self.core.occupancy -= u64::from(pkt.size);
-            self.sched.on_dequeue(&self.core.queues, q, &pkt, now);
+            self.sched.on_dequeue(&self.core.queues, q, &pkt, now)?;
             let was_ce = pkt.ecn.is_ce();
             let verdict = {
                 let view = CoreView {
@@ -419,7 +428,7 @@ impl Port {
                     self.stats.tx_bytes += u64::from(pkt.size);
                     self.audit.ledger.on_tx(u64::from(pkt.size));
                     self.audit_state();
-                    return Some(pkt);
+                    return Ok(Some(pkt));
                 }
                 DequeueVerdict::Drop => {
                     self.stats.dequeue_aqm_drops += 1;
@@ -542,11 +551,11 @@ mod tests {
         port.enqueue(pkt(1, 1460), Time::ZERO);
         port.enqueue(pkt(0, 500), Time::ZERO);
         // Strict priority: queue 0 first despite arriving second.
-        let first = port.dequeue(Time::from_us(1)).unwrap();
+        let first = port.dequeue(Time::from_us(1)).unwrap().unwrap();
         assert_eq!(first.dscp, 0);
-        let second = port.dequeue(Time::from_us(2)).unwrap();
+        let second = port.dequeue(Time::from_us(2)).unwrap().unwrap();
         assert_eq!(second.dscp, 1);
-        assert!(port.dequeue(Time::from_us(3)).is_none());
+        assert!(port.dequeue(Time::from_us(3)).unwrap().is_none());
         assert!(port.is_empty());
     }
 
@@ -555,7 +564,7 @@ mod tests {
         let mut port = Port::new(&setup_tcn_sp(Time::from_us(10)), Rate::from_gbps(1));
         port.enqueue(pkt(0, 1460), Time::ZERO);
         // Dequeue long after the threshold.
-        let p = port.dequeue(Time::from_us(100)).unwrap();
+        let p = port.dequeue(Time::from_us(100)).unwrap().unwrap();
         assert!(p.ecn.is_ce());
         let s = port.stats();
         assert_eq!(s.dequeue_marks, 1);
@@ -575,7 +584,7 @@ mod tests {
     fn enqueue_timestamp_stamped() {
         let mut port = Port::new(&setup_tcn_sp(Time::from_ms(1)), Rate::from_gbps(1));
         port.enqueue(pkt(0, 1460), Time::from_us(42));
-        let p = port.dequeue(Time::from_us(50)).unwrap();
+        let p = port.dequeue(Time::from_us(50)).unwrap().unwrap();
         assert_eq!(p.enq_ts, Time::from_us(42));
         assert_eq!(p.sojourn(Time::from_us(50)), Time::from_us(8));
     }
@@ -616,7 +625,7 @@ mod tests {
         // must still always return a packet (no bubble).
         let mut got = 0;
         let mut t = Time::from_ms(1);
-        while let Some(_p) = port.dequeue(t) {
+        while let Some(_p) = port.dequeue(t).unwrap() {
             got += 1;
             t += Time::from_us(12);
         }
@@ -663,10 +672,10 @@ mod tests {
             t += Time::from_us(1);
             port.enqueue(pkt((i % 2) as u8, 100 + i % 1400), t);
             if i % 3 == 0 {
-                port.dequeue(t);
+                port.dequeue(t).unwrap();
             }
         }
-        while port.dequeue(t).is_some() {}
+        while port.dequeue(t).unwrap().is_some() {}
         assert!(port.audit_violations().is_empty());
         assert!(port.is_empty());
     }
@@ -757,7 +766,7 @@ mod tests {
         };
         let mut port = Port::new_recording(&setup, Rate::from_gbps(1));
         port.enqueue(pkt(0, 1460), Time::ZERO);
-        assert!(port.dequeue(Time::from_us(1)).is_none());
+        assert!(port.dequeue(Time::from_us(1)).unwrap().is_none());
         assert!(
             port.audit_violations()
                 .iter()
@@ -774,7 +783,15 @@ mod tests {
         fn select(&mut self, _q: &[PacketQueue], _now: Time) -> Option<usize> {
             None
         }
-        fn on_dequeue(&mut self, _q: &[PacketQueue], _i: usize, _p: &Packet, _now: Time) {}
+        fn on_dequeue(
+            &mut self,
+            _q: &[PacketQueue],
+            _i: usize,
+            _p: &Packet,
+            _now: Time,
+        ) -> Result<(), TcnError> {
+            Ok(())
+        }
         fn name(&self) -> &'static str {
             "Lazy"
         }
@@ -791,12 +808,58 @@ mod tests {
         };
         let mut port = Port::new_recording(&setup, Rate::from_gbps(1));
         port.enqueue(pkt(0, 1460), Time::ZERO);
-        assert!(port.dequeue(Time::from_us(1)).is_none());
+        assert!(port.dequeue(Time::from_us(1)).unwrap().is_none());
         assert!(
             port.audit_violations()
                 .iter()
                 .any(|v| v.invariant == tcn_audit::Invariant::WorkConservation),
             "work checker must flag an idle verdict with backlog"
         );
+    }
+
+    /// A scheduler that insists queue 0 has work even when it does not.
+    struct StuckOnZero;
+
+    impl tcn_sched::Scheduler for StuckOnZero {
+        fn on_enqueue(&mut self, _q: &[PacketQueue], _i: usize, _p: &Packet, _now: Time) {}
+        fn select(&mut self, _q: &[PacketQueue], _now: Time) -> Option<usize> {
+            Some(0)
+        }
+        fn on_dequeue(
+            &mut self,
+            _q: &[PacketQueue],
+            _i: usize,
+            _p: &Packet,
+            _now: Time,
+        ) -> Result<(), TcnError> {
+            Ok(())
+        }
+        fn name(&self) -> &'static str {
+            "StuckOnZero"
+        }
+    }
+
+    #[test]
+    fn empty_queue_selection_surfaces_contract_error() {
+        // Deliberate contract violation: select claims queue 0 while it
+        // is empty. The port must return a typed error, not panic.
+        let setup = PortSetup {
+            nqueues: 1,
+            buffer: None,
+            tx_rate: None,
+            make_sched: Box::new(|| Box::new(StuckOnZero)),
+            make_aqm: Box::new(|| Box::new(tcn_core::aqm::NoAqm)),
+        };
+        let mut port = Port::new_recording(&setup, Rate::from_gbps(1));
+        let err = port
+            .dequeue(Time::from_us(1))
+            .expect_err("empty-queue selection must be rejected");
+        match err {
+            TcnError::SchedulerContract { scheduler, queue, .. } => {
+                assert_eq!(scheduler, "StuckOnZero");
+                assert_eq!(queue, 0);
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! role host NICs play in the paper's testbed (the qdisc switch is the
 //! contended element).
 
+use tcn_core::TcnError;
 use tcn_sim::{Rate, Time};
 use tcn_transport::TcpConfig;
 
@@ -21,6 +22,9 @@ use crate::port::PortSetup;
 /// * switch downlinks: `mk_port()`, propagation `delay`.
 ///
 /// Base RTT = 4 × `delay` (+ serialization).
+///
+/// # Errors
+/// [`TcnError::Config`] if `n_hosts < 2`.
 pub fn single_switch(
     n_hosts: usize,
     rate: Rate,
@@ -28,8 +32,10 @@ pub fn single_switch(
     tcp: TcpConfig,
     tagging: TaggingPolicy,
     mk_port: impl Fn() -> PortSetup,
-) -> NetworkSim {
-    assert!(n_hosts >= 2, "need at least two hosts");
+) -> Result<NetworkSim, TcnError> {
+    if n_hosts < 2 {
+        return Err(TcnError::config("single-switch needs at least two hosts"));
+    }
     let switch: NodeId = n_hosts as NodeId;
     let mut links = Vec::new();
     for h in 0..n_hosts as NodeId {
@@ -65,6 +71,9 @@ pub fn single_switch_downlink(host: u32) -> usize {
 
 /// A dumbbell: `n_left` hosts on switch A, `n_right` hosts on switch B,
 /// one bottleneck link A→B (and back). Used by the ablation benches.
+///
+/// # Errors
+/// [`TcnError::Topology`] if the resulting fabric is not fully routable.
 #[allow(clippy::too_many_arguments)] // experiment knobs, one call site each
 pub fn dumbbell(
     n_left: usize,
@@ -75,7 +84,7 @@ pub fn dumbbell(
     tcp: TcpConfig,
     tagging: TaggingPolicy,
     mk_port: impl Fn() -> PortSetup,
-) -> NetworkSim {
+) -> Result<NetworkSim, TcnError> {
     let n = n_left + n_right;
     let sw_a = n as NodeId;
     let sw_b = (n + 1) as NodeId;
@@ -176,12 +185,15 @@ impl LeafSpineConfig {
 /// Build the leaf-spine fabric. Node layout: hosts `0..H`, then leaves,
 /// then spines. Every switch egress port (leaf→host, leaf→spine,
 /// spine→leaf) uses `mk_port()`.
+///
+/// # Errors
+/// [`TcnError::Topology`] if the resulting fabric is not fully routable.
 pub fn leaf_spine(
     cfg: LeafSpineConfig,
     tcp: TcpConfig,
     tagging: TaggingPolicy,
     mk_port: impl Fn() -> PortSetup,
-) -> NetworkSim {
+) -> Result<NetworkSim, TcnError> {
     let hosts = cfg.num_hosts();
     let leaf0 = hosts as NodeId;
     let spine0 = (hosts + cfg.leaves) as NodeId;
@@ -241,8 +253,8 @@ pub fn leaf_spine(
 /// beyond the paper's leaf-spine — the AQM/scheduler code paths are
 /// identical, only the route diversity changes.
 ///
-/// # Panics
-/// Panics unless `k` is even and >= 2.
+/// # Errors
+/// [`TcnError::Config`] unless `k` is even and >= 2.
 #[allow(clippy::too_many_arguments)] // experiment knobs, one call site each
 pub fn fat_tree(
     k: usize,
@@ -252,8 +264,10 @@ pub fn fat_tree(
     tcp: TcpConfig,
     tagging: TaggingPolicy,
     mk_port: impl Fn() -> PortSetup,
-) -> NetworkSim {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+) -> Result<NetworkSim, TcnError> {
+    if k < 2 || !k.is_multiple_of(2) {
+        return Err(TcnError::config(format!("fat-tree arity must be even, got {k}")));
+    }
     let half = k / 2;
     let hosts = k * half * half;
     let edges = k * half;
@@ -347,7 +361,8 @@ mod tests {
             TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             tcn_port,
-        );
+        )
+        .unwrap();
         let f = sim.add_flow(FlowSpec {
             src: 0,
             dst: 2,
@@ -355,7 +370,7 @@ mod tests {
             start: Time::ZERO,
             service: 0,
         });
-        assert!(sim.run_to_completion(Time::from_secs(5)));
+        assert!(sim.run_to_completion(Time::from_secs(5)).unwrap());
         assert_eq!(sim.delivered_bytes(f), 1_000_000);
         let recs = sim.fct_records();
         assert_eq!(recs.len(), 1);
@@ -375,7 +390,8 @@ mod tests {
                 TcpConfig::sim_dctcp(),
                 TaggingPolicy::Fixed,
                 tcn_port,
-            );
+            )
+            .unwrap();
             sim.add_flow(FlowSpec {
                 src: 0,
                 dst: 2,
@@ -383,7 +399,7 @@ mod tests {
                 start: Time::ZERO,
                 service: 0,
             });
-            assert!(sim.run_to_completion(Time::from_secs(10)));
+            assert!(sim.run_to_completion(Time::from_secs(10)).unwrap());
             sim.fct_records()[0].fct
         };
         let small = run(20_000);
@@ -404,7 +420,8 @@ mod tests {
             TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             tcn_port,
-        );
+        )
+        .unwrap();
         let a = sim.add_flow(FlowSpec {
             src: 0,
             dst: 2,
@@ -419,7 +436,7 @@ mod tests {
             start: Time::ZERO,
             service: 0,
         });
-        sim.run_until(Time::from_ms(200));
+        sim.run_until(Time::from_ms(200)).unwrap();
         let ga = sim.delivered_bytes(a) as f64;
         let gb = sim.delivered_bytes(b) as f64;
         let total_gbps = (ga + gb) * 8.0 / 0.2 / 1e9;
@@ -437,7 +454,8 @@ mod tests {
             TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             tcn_port,
-        );
+        )
+        .unwrap();
         sim.add_prober(ProbeConfig {
             src: 0,
             dst: 2,
@@ -446,7 +464,7 @@ mod tests {
             start: Time::ZERO,
             size: 64,
         });
-        sim.run_until(Time::from_ms(10));
+        sim.run_until(Time::from_ms(10)).unwrap();
         let rtts = sim.probe_rtts(0);
         assert!(rtts.len() >= 9, "got {} probes", rtts.len());
         // Base RTT = 4 × 25 us + 4 × (64 B serialization ≈ 0.512 us).
@@ -458,7 +476,7 @@ mod tests {
     #[test]
     fn leaf_spine_cross_rack_flow() {
         let cfg = LeafSpineConfig::small();
-        let mut sim = leaf_spine(cfg, TcpConfig::sim_dctcp(), TaggingPolicy::Fixed, tcn_port);
+        let mut sim = leaf_spine(cfg, TcpConfig::sim_dctcp(), TaggingPolicy::Fixed, tcn_port).unwrap();
         // Host 0 (leaf 0) to a host on the last leaf.
         let dst = (cfg.num_hosts() - 1) as u32;
         let f = sim.add_flow(FlowSpec {
@@ -468,7 +486,7 @@ mod tests {
             start: Time::ZERO,
             service: 0,
         });
-        assert!(sim.run_to_completion(Time::from_secs(2)));
+        assert!(sim.run_to_completion(Time::from_secs(2)).unwrap());
         assert_eq!(sim.delivered_bytes(f), 500_000);
     }
 
@@ -483,7 +501,7 @@ mod tests {
         // Many flows between the same pair of racks must use more than
         // one spine.
         let cfg = LeafSpineConfig::small();
-        let mut sim = leaf_spine(cfg, TcpConfig::sim_dctcp(), TaggingPolicy::Fixed, tcn_port);
+        let mut sim = leaf_spine(cfg, TcpConfig::sim_dctcp(), TaggingPolicy::Fixed, tcn_port).unwrap();
         for i in 0..16 {
             sim.add_flow(FlowSpec {
                 src: i % 4,
@@ -493,7 +511,7 @@ mod tests {
                 service: 0,
             });
         }
-        assert!(sim.run_to_completion(Time::from_secs(2)));
+        assert!(sim.run_to_completion(Time::from_secs(2)).unwrap());
         // Count leaf0-uplink ports that carried traffic: links are laid
         // out hosts first (2 per host), then leaf-spine pairs.
         let first_fabric = cfg.num_hosts() * 2;
@@ -518,7 +536,8 @@ mod tests {
             TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             tcn_port,
-        );
+        )
+        .unwrap();
         sim.add_flow(FlowSpec {
             src: 0,
             dst: 2,
@@ -533,7 +552,7 @@ mod tests {
             start: Time::ZERO,
             service: 0,
         });
-        assert!(sim.run_to_completion(Time::from_secs(2)));
+        assert!(sim.run_to_completion(Time::from_secs(2)).unwrap());
         // The A→B core link is the second-to-last link.
         let core = sim.num_links() - 2;
         assert!(sim.port(core).stats().tx_bytes >= 400_000);
@@ -548,7 +567,8 @@ mod tests {
             TcpConfig::sim_dctcp(),
             TaggingPolicy::Pias { threshold: 100_000 },
             tcn_port,
-        );
+        )
+        .unwrap();
         // Service 1 ⇒ low-priority dscp 1; first 100 KB ride dscp 0.
         let f = sim.add_flow(FlowSpec {
             src: 0,
@@ -557,7 +577,7 @@ mod tests {
             start: Time::ZERO,
             service: 1,
         });
-        assert!(sim.run_to_completion(Time::from_secs(2)));
+        assert!(sim.run_to_completion(Time::from_secs(2)).unwrap());
         assert_eq!(sim.delivered_bytes(f), 400_000);
         // The switch downlink to host 2 saw both queues used.
         let port = sim.port(single_switch_downlink(2));
@@ -574,7 +594,8 @@ mod tests {
                 TcpConfig::sim_dctcp(),
                 TaggingPolicy::Fixed,
                 tcn_port,
-            );
+            )
+            .unwrap();
             for i in 0..8u32 {
                 sim.add_flow(FlowSpec {
                     src: i % 3,
@@ -584,7 +605,7 @@ mod tests {
                     service: (i % 2) as u8,
                 });
             }
-            assert!(sim.run_to_completion(Time::from_secs(2)));
+            assert!(sim.run_to_completion(Time::from_secs(2)).unwrap());
             sim.fct_records()
                 .iter()
                 .map(|r| r.fct.as_ps())
@@ -622,7 +643,8 @@ mod fat_tree_tests {
             tcn_transport::TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             tcn_port,
-        );
+        )
+        .unwrap();
         // Host 0 (pod 0) to host 15 (pod 3).
         let f = sim.add_flow(FlowSpec {
             src: 0,
@@ -631,7 +653,7 @@ mod fat_tree_tests {
             start: Time::ZERO,
             service: 0,
         });
-        assert!(sim.run_to_completion(Time::from_secs(2)));
+        assert!(sim.run_to_completion(Time::from_secs(2)).unwrap());
         assert_eq!(sim.delivered_bytes(f), 300_000);
     }
 
@@ -645,7 +667,8 @@ mod fat_tree_tests {
             tcn_transport::TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             tcn_port,
-        );
+        )
+        .unwrap();
         // Same edge (hosts 0,1), same pod different edge (0,2).
         for (src, dst) in [(0u32, 1u32), (0, 2)] {
             sim.add_flow(FlowSpec {
@@ -656,13 +679,12 @@ mod fat_tree_tests {
                 service: 0,
             });
         }
-        assert!(sim.run_to_completion(Time::from_secs(2)));
+        assert!(sim.run_to_completion(Time::from_secs(2)).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "fat-tree arity must be even")]
     fn odd_arity_rejected() {
-        fat_tree(
+        let Err(err) = fat_tree(
             3,
             Rate::from_gbps(10),
             Time::from_us(20),
@@ -670,7 +692,11 @@ mod fat_tree_tests {
             tcn_transport::TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             PortSetup::host_nic,
-        );
+        ) else {
+            panic!("odd arity must be rejected");
+        };
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("arity must be even"), "{err}");
     }
 
     #[test]
@@ -683,7 +709,8 @@ mod fat_tree_tests {
             tcn_transport::TcpConfig::sim_dctcp(),
             TaggingPolicy::Fixed,
             tcn_port,
-        );
+        )
+        .unwrap();
         sim.add_flow(FlowSpec {
             src: 0,
             dst: 15,
@@ -692,7 +719,8 @@ mod fat_tree_tests {
             service: 0,
         });
         let mut samples = 0;
-        sim.run_sampled(Time::from_ms(1), Time::from_us(100), |_s| samples += 1);
+        sim.run_sampled(Time::from_ms(1), Time::from_us(100), |_s| samples += 1)
+            .unwrap();
         assert_eq!(samples, 10);
         // The clock sits at the last processed event, never beyond the
         // horizon.

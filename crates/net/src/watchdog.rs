@@ -1,0 +1,244 @@
+//! A liveness watchdog for the event loop, judged purely in **simulated**
+//! terms — no wall clocks (see the `no-wallclock` lint): a run is stalled
+//! when it dispatches many events without the virtual clock advancing,
+//! and runaway when its total event count exceeds an absolute budget
+//! (e.g. a retransmission storm that will never drain).
+//!
+//! The watchdog is installed per cell by the experiment harness
+//! ([`crate::NetworkSim::set_watchdog`] /
+//! `NetworkBuilder::watchdog`); when it trips, the run loop returns
+//! [`TcnError::Stall`] carrying a [`StallReport`] with the current sim
+//! time, event-queue depth and the most frequent event kinds — instead
+//! of hanging the worker pool forever.
+
+use tcn_core::{StallReport, TcnError};
+use tcn_sim::Time;
+
+/// Number of distinct event kinds tracked (see `Event::kind_index`).
+pub(crate) const NUM_EVENT_KINDS: usize = 9;
+
+/// Display names for event kinds, indexed by `Event::kind_index`.
+pub(crate) const EVENT_KIND_NAMES: [&str; NUM_EVENT_KINDS] = [
+    "flow_start",
+    "arrive",
+    "arrive_corrupt",
+    "tx_done",
+    "timer",
+    "probe_tick",
+    "link_down",
+    "link_up",
+    "reconverge",
+];
+
+/// How many top event kinds a [`StallReport`] lists.
+const TOP_KINDS: usize = 3;
+
+/// Event-budget liveness guard over a [`crate::NetworkSim`] run.
+///
+/// Two budgets:
+/// * **stall budget** — maximum events dispatched at a single simulated
+///   instant; exceeded means the loop is spinning without progress
+///   (e.g. a scheduler ping-ponging zero-delay events);
+/// * **total budget** (optional) — absolute cap on events for the whole
+///   run; exceeded means the run is runaway even though time advances.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    stall_budget: u64,
+    total_budget: Option<u64>,
+    last_time: Time,
+    since_advance: u64,
+    total: u64,
+    /// Event kinds dispatched since the last clock advance.
+    stall_kinds: [u64; NUM_EVENT_KINDS],
+    /// Event kinds dispatched over the whole run.
+    total_kinds: [u64; NUM_EVENT_KINDS],
+}
+
+impl Watchdog {
+    /// A watchdog allowing at most `stall_budget` events at one simulated
+    /// instant and no limit on total events.
+    ///
+    /// # Panics
+    /// Panics if `stall_budget` is zero (every instant dispatches at
+    /// least one event).
+    pub fn new(stall_budget: u64) -> Self {
+        assert!(stall_budget > 0, "stall budget must be positive");
+        Watchdog {
+            stall_budget,
+            total_budget: None,
+            last_time: Time::ZERO,
+            since_advance: 0,
+            total: 0,
+            stall_kinds: [0; NUM_EVENT_KINDS],
+            total_kinds: [0; NUM_EVENT_KINDS],
+        }
+    }
+
+    /// Additionally cap the total events of the run (runaway guard).
+    ///
+    /// # Panics
+    /// Panics if `total_budget` is zero.
+    pub fn with_total_budget(mut self, total_budget: u64) -> Self {
+        assert!(total_budget > 0, "total budget must be positive");
+        self.total_budget = Some(total_budget);
+        self
+    }
+
+    /// The configured stall budget.
+    pub fn stall_budget(&self) -> u64 {
+        self.stall_budget
+    }
+
+    /// The configured total budget, if any.
+    pub fn total_budget(&self) -> Option<u64> {
+        self.total_budget
+    }
+
+    /// Account one dispatched event of kind `kind` at simulated time
+    /// `now`; `queue_depth`/`processed` flow into the report if the
+    /// watchdog trips.
+    ///
+    /// # Errors
+    /// [`TcnError::Stall`] when a budget is exceeded.
+    pub(crate) fn observe(
+        &mut self,
+        now: Time,
+        kind: usize,
+        queue_depth: usize,
+        processed: u64,
+    ) -> Result<(), TcnError> {
+        if now > self.last_time {
+            self.last_time = now;
+            self.since_advance = 0;
+            self.stall_kinds = [0; NUM_EVENT_KINDS];
+        }
+        self.since_advance += 1;
+        self.total += 1;
+        self.stall_kinds[kind] += 1;
+        self.total_kinds[kind] += 1;
+        if self.since_advance > self.stall_budget {
+            return Err(TcnError::Stall(self.report(
+                now,
+                queue_depth,
+                processed,
+                false,
+                self.stall_budget,
+            )));
+        }
+        if let Some(budget) = self.total_budget {
+            if self.total > budget {
+                return Err(TcnError::Stall(self.report(
+                    now,
+                    queue_depth,
+                    processed,
+                    true,
+                    budget,
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn report(
+        &self,
+        now: Time,
+        queue_depth: usize,
+        processed: u64,
+        runaway: bool,
+        budget: u64,
+    ) -> StallReport {
+        let counts = if runaway { &self.total_kinds } else { &self.stall_kinds };
+        let mut ranked: Vec<(String, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (EVENT_KIND_NAMES[i].to_string(), n))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(TOP_KINDS);
+        StallReport {
+            sim_time: now,
+            queue_depth,
+            events_processed: processed,
+            events_since_advance: self.since_advance,
+            budget,
+            runaway,
+            top_events: ranked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_on_events_at_one_instant() {
+        let mut wd = Watchdog::new(3);
+        let t = Time::from_us(5);
+        for _ in 0..3 {
+            wd.observe(t, 4, 10, 100).expect("within budget");
+        }
+        let err = wd.observe(t, 4, 10, 104).expect_err("budget exceeded");
+        match err {
+            TcnError::Stall(r) => {
+                assert!(!r.runaway);
+                assert_eq!(r.budget, 3);
+                assert_eq!(r.events_since_advance, 4);
+                assert_eq!(r.top_events, vec![("timer".into(), 4)]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_advance_resets_stall_counter() {
+        let mut wd = Watchdog::new(2);
+        for i in 0..100u64 {
+            // Time advances every event: never trips.
+            wd.observe(Time::from_ps(i + 1), 1, 0, i).expect("progressing");
+        }
+    }
+
+    #[test]
+    fn total_budget_catches_runaway_with_advancing_clock() {
+        let mut wd = Watchdog::new(10).with_total_budget(5);
+        for i in 0..5u64 {
+            wd.observe(Time::from_ps(i + 1), 3, 0, i).expect("within budget");
+        }
+        let err = wd
+            .observe(Time::from_ps(100), 3, 0, 6)
+            .expect_err("total budget exceeded");
+        match err {
+            TcnError::Stall(r) => {
+                assert!(r.runaway);
+                assert_eq!(r.budget, 5);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_events_ranked_most_frequent_first() {
+        let mut wd = Watchdog::new(100);
+        let t = Time::from_us(1);
+        for _ in 0..7 {
+            wd.observe(t, 1, 0, 0).expect("ok"); // arrive
+        }
+        for _ in 0..9 {
+            wd.observe(t, 3, 0, 0).expect("ok"); // tx_done
+        }
+        for _ in 0..2 {
+            wd.observe(t, 4, 0, 0).expect("ok"); // timer
+        }
+        let r = wd.report(t, 0, 18, false, 100);
+        assert_eq!(
+            r.top_events,
+            vec![
+                ("tx_done".into(), 9),
+                ("arrive".into(), 7),
+                ("timer".into(), 2)
+            ]
+        );
+    }
+}

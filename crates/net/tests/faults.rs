@@ -33,7 +33,8 @@ fn star_sim() -> NetworkSim {
         TcpConfig::sim_dctcp(),
         TaggingPolicy::Fixed,
         tcn_port,
-    );
+    )
+    .unwrap();
     for i in 0..8u32 {
         sim.add_flow(FlowSpec {
             src: 2 + ((i / 2) % 2),
@@ -51,7 +52,7 @@ fn star_fcts(plan: Option<&FaultPlan>) -> Vec<u64> {
     if let Some(p) = plan {
         sim.install_faults(p);
     }
-    assert!(sim.run_to_completion(Time::from_secs(10)));
+    assert!(sim.run_to_completion(Time::from_secs(10)).unwrap());
     sim.fct_records().iter().map(|r| r.fct.as_ps()).collect()
 }
 
@@ -81,7 +82,7 @@ fn different_seeds_differ() {
 fn uniform_loss_recovered_by_retransmission() {
     let mut sim = star_sim();
     sim.install_faults(&FaultPlan::uniform_loss(11, 0.02));
-    assert!(sim.run_to_completion(Time::from_secs(60)));
+    assert!(sim.run_to_completion(Time::from_secs(60)).unwrap());
     let fs = sim.fault_stats();
     assert!(fs.loss_drops > 0, "2% loss over ~1k packets drew nothing");
     assert_eq!(fs.corrupt_drops, 0);
@@ -107,7 +108,7 @@ fn corruption_is_counted_at_the_receiver() {
         ..FaultPlan::quiet(3)
     };
     sim.install_faults(&plan);
-    assert!(sim.run_to_completion(Time::from_secs(60)));
+    assert!(sim.run_to_completion(Time::from_secs(60)).unwrap());
     let fs = sim.fault_stats();
     assert!(fs.corrupt_drops > 0, "2% corruption drew nothing");
     assert_eq!(fs.loss_drops, 0);
@@ -127,7 +128,7 @@ fn jitter_reorders_but_everything_completes() {
         ..FaultPlan::quiet(5)
     };
     sim.install_faults(&plan);
-    assert!(sim.run_to_completion(Time::from_secs(60)));
+    assert!(sim.run_to_completion(Time::from_secs(60)).unwrap());
     let fs = sim.fault_stats();
     assert!(fs.jitter_delays > 0, "20% jitter drew nothing");
     assert_eq!(fs.total_drops(), 0, "jitter must never drop packets");
@@ -144,7 +145,8 @@ fn leaf_spine_flap_reconverges_and_all_flows_complete() {
         TcpConfig::sim_dctcp(),
         TaggingPolicy::Fixed,
         tcn_port,
-    );
+    )
+    .unwrap();
     // Cross-leaf flows: leaf 0 hosts (0..4) to leaf 3 hosts (12..16),
     // forcing every byte over the leaf0 uplinks.
     for i in 0..16u32 {
@@ -169,7 +171,7 @@ fn leaf_spine_flap_reconverges_and_all_flows_complete() {
     sim.install_faults(&plan);
 
     assert!(
-        sim.run_to_completion(Time::from_secs(60)),
+        sim.run_to_completion(Time::from_secs(60)).unwrap(),
         "flows stalled across the flap"
     );
     let fs = sim.fault_stats();
@@ -209,7 +211,8 @@ fn packets_in_flight_on_a_dead_link_are_dropped_and_accounted() {
         TcpConfig::sim_dctcp(),
         TaggingPolicy::Fixed,
         tcn_port,
-    );
+    )
+    .unwrap();
     for i in 0..8u32 {
         sim.add_flow(FlowSpec {
             src: i % 4,
@@ -228,7 +231,7 @@ fn packets_in_flight_on_a_dead_link_are_dropped_and_accounted() {
             up_at: None,
         });
     sim.install_faults(&plan);
-    assert!(sim.run_to_completion(Time::from_secs(60)));
+    assert!(sim.run_to_completion(Time::from_secs(60)).unwrap());
     let fs = sim.fault_stats();
     assert_eq!(fs.link_downs, 1);
     assert_eq!(fs.link_ups, 0);

@@ -63,7 +63,7 @@ fn packet_and_byte_conservation() {
                 if port.enqueue(p, now) {
                     admitted += 1;
                 }
-            } else if port.dequeue(now).is_some() {
+            } else if port.dequeue(now).unwrap().is_some() {
                 transmitted += 1;
             }
             // Occupancy equals the per-queue sum at every step.
@@ -81,7 +81,7 @@ fn packet_and_byte_conservation() {
         assert_eq!(transmitted, s.tx_packets, "case {case}");
         // Drain everything; every admitted packet must leave as either a
         // transmission or a dequeue-side AQM drop.
-        while port.dequeue(Time::from_secs(10)).is_some() {}
+        while port.dequeue(Time::from_secs(10)).unwrap().is_some() {}
         let s = port.stats();
         assert_eq!(
             admitted,
@@ -119,7 +119,7 @@ fn droptail_never_marks() {
             p.dscp = rng.gen_range(4) as u8;
             assert!(port.enqueue(p, now), "case {case}: huge buffer rejected");
         }
-        while let Some(p) = port.dequeue(now) {
+        while let Some(p) = port.dequeue(now).unwrap() {
             assert!(!p.ecn.is_ce(), "case {case}: NoAqm must not mark");
         }
         assert_eq!(port.stats().total_marks(), 0, "case {case}");

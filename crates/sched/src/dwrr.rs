@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sim::Time;
 use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
@@ -130,7 +130,13 @@ impl Scheduler for Dwrr {
         }
     }
 
-    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+    fn on_dequeue(
+        &mut self,
+        queues: &[PacketQueue],
+        q: usize,
+        pkt: &Packet,
+        now: Time,
+    ) -> Result<(), TcnError> {
         debug_assert_eq!(self.current, Some(q), "dequeue outside service turn");
         self.probe.emit(|| TelemetryEvent::SchedService {
             at_ps: now.as_ps(),
@@ -142,6 +148,7 @@ impl Scheduler for Dwrr {
         if queues[q].is_empty() {
             self.deactivate(q);
         }
+        Ok(())
     }
 
     fn round_time(&self) -> Option<Time> {

@@ -1,6 +1,6 @@
 //! The two trivial-but-load-bearing schedulers: FIFO and strict priority.
 
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sim::Time;
 
 use crate::Scheduler;
@@ -25,7 +25,15 @@ impl Scheduler for Fifo {
         queues.iter().position(|q| !q.is_empty())
     }
 
-    fn on_dequeue(&mut self, _queues: &[PacketQueue], _q: usize, _pkt: &Packet, _now: Time) {}
+    fn on_dequeue(
+        &mut self,
+        _queues: &[PacketQueue],
+        _q: usize,
+        _pkt: &Packet,
+        _now: Time,
+    ) -> Result<(), TcnError> {
+        Ok(())
+    }
 
     fn name(&self) -> &'static str {
         "FIFO"
@@ -59,7 +67,15 @@ impl Scheduler for StrictPriority {
         queues.iter().position(|q| !q.is_empty())
     }
 
-    fn on_dequeue(&mut self, _queues: &[PacketQueue], _q: usize, _pkt: &Packet, _now: Time) {}
+    fn on_dequeue(
+        &mut self,
+        _queues: &[PacketQueue],
+        _q: usize,
+        _pkt: &Packet,
+        _now: Time,
+    ) -> Result<(), TcnError> {
+        Ok(())
+    }
 
     fn name(&self) -> &'static str {
         "SP"

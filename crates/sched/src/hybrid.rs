@@ -6,7 +6,7 @@
 //! (Figs. 5, 8–13): one strict queue for latency-critical traffic, the
 //! rest under DWRR/WFQ for inter-service isolation.
 
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sim::Time;
 
 use crate::Scheduler;
@@ -59,11 +59,18 @@ impl<S: Scheduler> Scheduler for SpHybrid<S> {
             .map(|q| q + self.n_high)
     }
 
-    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+    fn on_dequeue(
+        &mut self,
+        queues: &[PacketQueue],
+        q: usize,
+        pkt: &Packet,
+        now: Time,
+    ) -> Result<(), TcnError> {
         if q >= self.n_high {
             self.inner
-                .on_dequeue(&queues[self.n_high..], q - self.n_high, pkt, now);
+                .on_dequeue(&queues[self.n_high..], q - self.n_high, pkt, now)?;
         }
+        Ok(())
     }
 
     /// Round time of the inner scheduler, if it has one. Note the round

@@ -32,7 +32,7 @@ pub mod pifo;
 pub mod wfq;
 pub mod wrr;
 
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sim::Time;
 
 pub use dwrr::Dwrr;
@@ -50,7 +50,10 @@ pub use wrr::Wrr;
 /// * `select(queues, now)` must return the index of a **non-empty** queue
 ///   whenever any queue is non-empty (work conservation), else `None`;
 /// * `on_dequeue(queues, q, pkt, now)` is called **after** the head of
-///   `queues[q]` was removed; `pkt` is that packet.
+///   `queues[q]` was removed; `pkt` is that packet. It returns
+///   `Err(TcnError::SchedulerContract)` when the call does not match the
+///   scheduler's bookkeeping (e.g. no recorded tag for the packet) —
+///   a broken port/scheduler pairing, surfaced instead of a panic.
 ///
 /// Implementations must tolerate packets vanishing only through
 /// `on_dequeue` (the port performs drops *before* enqueue or *after*
@@ -63,7 +66,17 @@ pub trait Scheduler {
     fn select(&mut self, queues: &[PacketQueue], now: Time) -> Option<usize>;
 
     /// Bookkeeping after the head of queue `q` was removed.
-    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time);
+    ///
+    /// # Errors
+    /// [`TcnError::SchedulerContract`] if the dequeue does not match this
+    /// scheduler's bookkeeping (port/scheduler contract broken).
+    fn on_dequeue(
+        &mut self,
+        queues: &[PacketQueue],
+        q: usize,
+        pkt: &Packet,
+        now: Time,
+    ) -> Result<(), TcnError>;
 
     /// Latest measured duration of a full service round, for schedulers
     /// that have rounds (WRR, DWRR). `None` otherwise — and MQ-ECN
@@ -102,7 +115,13 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn select(&mut self, queues: &[PacketQueue], now: Time) -> Option<usize> {
         (**self).select(queues, now)
     }
-    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+    fn on_dequeue(
+        &mut self,
+        queues: &[PacketQueue],
+        q: usize,
+        pkt: &Packet,
+        now: Time,
+    ) -> Result<(), TcnError> {
         (**self).on_dequeue(queues, q, pkt, now)
     }
     fn round_time(&self) -> Option<Time> {
@@ -181,7 +200,13 @@ impl<S: Scheduler> Scheduler for Audited<S> {
         choice
     }
 
-    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+    fn on_dequeue(
+        &mut self,
+        queues: &[PacketQueue],
+        q: usize,
+        pkt: &Packet,
+        now: Time,
+    ) -> Result<(), TcnError> {
         self.inner.on_dequeue(queues, q, pkt, now)
     }
 
@@ -263,7 +288,9 @@ pub(crate) mod test_util {
             let p = self.queues[q].pop_front().unwrap();
             self.served[q] += u64::from(p.size);
             self.now += self.rate.tx_time(u64::from(p.size));
-            self.sched.on_dequeue(&self.queues, q, &p, self.now);
+            self.sched
+                .on_dequeue(&self.queues, q, &p, self.now)
+                .expect("scheduler contract violated in harness");
             Some(q)
         }
 
@@ -318,7 +345,15 @@ mod trait_tests {
         fn select(&mut self, _q: &[PacketQueue], _now: Time) -> Option<usize> {
             Some(0)
         }
-        fn on_dequeue(&mut self, _q: &[PacketQueue], _i: usize, _p: &Packet, _now: Time) {}
+        fn on_dequeue(
+            &mut self,
+            _q: &[PacketQueue],
+            _i: usize,
+            _p: &Packet,
+            _now: Time,
+        ) -> Result<(), TcnError> {
+            Ok(())
+        }
         fn name(&self) -> &'static str {
             "StuckOnZero"
         }

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sim::Time;
 
 use crate::Scheduler;
@@ -180,12 +180,23 @@ impl<R: RankFn> Scheduler for Pifo<R> {
         best.map(|(q, _, _)| q)
     }
 
-    fn on_dequeue(&mut self, _queues: &[PacketQueue], q: usize, pkt: &Packet, now: Time) {
+    fn on_dequeue(
+        &mut self,
+        _queues: &[PacketQueue],
+        q: usize,
+        pkt: &Packet,
+        now: Time,
+    ) -> Result<(), TcnError> {
         let Some(rank) = self.ranks[q].pop_front() else {
-            panic!("PIFO on_dequeue({q}) without a recorded rank: port/scheduler contract broken");
+            return Err(TcnError::SchedulerContract {
+                scheduler: self.name(),
+                queue: q,
+                detail: "on_dequeue without a recorded rank".into(),
+            });
         };
         self.seqs[q].pop_front();
         self.rank_fn.on_dequeue(q, rank, pkt, now);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -272,5 +283,23 @@ mod tests {
         assert_eq!(h.serve_one(), Some(2));
         assert_eq!(h.serve_one(), Some(0));
         assert_eq!(h.serve_one(), Some(1));
+    }
+
+    #[test]
+    fn dequeue_without_rank_is_contract_error() {
+        // Deliberate contract violation: on_dequeue with no recorded rank.
+        let mut p = Pifo::new(2, StfqRank::new(vec![1.0, 1.0]));
+        let queues = vec![tcn_core::PacketQueue::new(); 2];
+        let pk = crate::test_util::pkt(1500);
+        let err = p
+            .on_dequeue(&queues, 0, &pk, Time::ZERO)
+            .expect_err("missing rank must be rejected");
+        match err {
+            TcnError::SchedulerContract { scheduler, queue, .. } => {
+                assert_eq!(scheduler, "PIFO");
+                assert_eq!(queue, 0);
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
     }
 }

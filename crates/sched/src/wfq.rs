@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sim::Time;
 
 use crate::Scheduler;
@@ -93,9 +93,19 @@ impl Scheduler for Wfq {
         best.map(|(q, _)| q)
     }
 
-    fn on_dequeue(&mut self, _queues: &[PacketQueue], q: usize, _pkt: &Packet, _now: Time) {
+    fn on_dequeue(
+        &mut self,
+        _queues: &[PacketQueue],
+        q: usize,
+        _pkt: &Packet,
+        _now: Time,
+    ) -> Result<(), TcnError> {
         let Some(tag) = self.tags[q].pop_front() else {
-            panic!("WFQ on_dequeue({q}) without a recorded tag: port/scheduler contract broken");
+            return Err(TcnError::SchedulerContract {
+                scheduler: self.name(),
+                queue: q,
+                detail: "on_dequeue without a recorded tag".into(),
+            });
         };
         // Self-clock: virtual time jumps to the departing packet's tag.
         self.vtime = tag;
@@ -106,6 +116,7 @@ impl Scheduler for Wfq {
             self.vtime = 0.0;
             self.last_tag.iter_mut().for_each(|t| *t = 0.0);
         }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -207,5 +218,24 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn rejects_nonpositive_weight() {
         Wfq::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn dequeue_without_tag_is_contract_error() {
+        // Deliberate contract violation: on_dequeue with no prior
+        // on_enqueue. Must surface as a typed error, not a panic.
+        let mut w = Wfq::equal(2);
+        let queues = vec![tcn_core::PacketQueue::new(); 2];
+        let p = crate::test_util::pkt(1500);
+        let err = w
+            .on_dequeue(&queues, 1, &p, Time::ZERO)
+            .expect_err("missing tag must be rejected");
+        match err {
+            TcnError::SchedulerContract { scheduler, queue, .. } => {
+                assert_eq!(scheduler, "WFQ");
+                assert_eq!(queue, 1);
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
     }
 }

@@ -6,7 +6,7 @@
 
 use std::collections::VecDeque;
 
-use tcn_core::{Packet, PacketQueue};
+use tcn_core::{Packet, PacketQueue, TcnError};
 use tcn_sim::Time;
 
 use crate::Scheduler;
@@ -107,12 +107,19 @@ impl Scheduler for Wrr {
         }
     }
 
-    fn on_dequeue(&mut self, queues: &[PacketQueue], q: usize, _pkt: &Packet, _now: Time) {
+    fn on_dequeue(
+        &mut self,
+        queues: &[PacketQueue],
+        q: usize,
+        _pkt: &Packet,
+        _now: Time,
+    ) -> Result<(), TcnError> {
         debug_assert_eq!(self.current, Some(q));
         self.credit = self.credit.saturating_sub(1);
         if queues[q].is_empty() {
             self.deactivate(q);
         }
+        Ok(())
     }
 
     fn round_time(&self) -> Option<Time> {

@@ -62,7 +62,7 @@ impl EmpiricalDist {
             return Vec::new();
         }
         let mut v = self.samples.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        v.sort_by(|a, b| a.total_cmp(b));
         (0..n)
             .map(|i| {
                 let frac = i as f64 / (n - 1) as f64;

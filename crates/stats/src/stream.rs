@@ -86,7 +86,7 @@ impl P2Quantile {
             self.q[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q.sort_by(|a, b| a.partial_cmp(b).expect("no NaN")) ;
+                self.q.sort_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -101,9 +101,8 @@ impl P2Quantile {
             4
         } else {
             // q[k-1] <= x < q[k]
-            (1..=4)
-                .find(|&i| x < self.q[i])
-                .expect("x < q[4] so a cell exists")
+            // x < q[4] is guaranteed above, so a cell always exists.
+            (1..=4).find(|&i| x < self.q[i]).unwrap_or(4)
         };
         for i in k..5 {
             self.pos[i] += 1.0;

@@ -2,7 +2,7 @@
 //! (the DCTCP receiver state machine with delayed-ACK factor m = 1) and
 //! flow-completion detection.
 
-use tcn_core::{FlowId, Packet, PacketKind};
+use tcn_core::{FlowId, Packet, PacketKind, TcnError};
 use tcn_sim::Time;
 
 use crate::intervals::ByteIntervals;
@@ -50,13 +50,19 @@ impl TcpReceiver {
     /// with m = 1, which also serves ECN\* since its sender reacts at
     /// most once per window anyway.
     ///
-    /// # Panics
-    /// Panics if the packet is not a data segment of this flow.
-    pub fn on_data(&mut self, pkt: &Packet, now: Time) -> Packet {
-        assert_eq!(pkt.flow, self.flow, "foreign packet");
+    /// # Errors
+    /// [`TcnError::AuditViolation`] if the packet is not a data segment
+    /// of this flow — a routing or dispatch bug upstream.
+    pub fn on_data(&mut self, pkt: &Packet, now: Time) -> Result<Packet, TcnError> {
+        if pkt.flow != self.flow {
+            return Err(TcnError::audit(format!(
+                "foreign packet: receiver of flow {} fed flow {}",
+                self.flow.0, pkt.flow.0
+            )));
+        }
         let (seq, payload) = match pkt.kind {
             PacketKind::Data { seq, payload } => (seq, payload),
-            _ => panic!("receiver fed a non-data packet"),
+            _ => return Err(TcnError::audit("receiver fed a non-data packet")),
         };
         self.data_pkts += 1;
         if pkt.ecn.is_ce() {
@@ -78,7 +84,7 @@ impl TcpReceiver {
         // ACKs inherit the data packet's class so they ride the same
         // service queue on the reverse path.
         ack.dscp = pkt.dscp;
-        ack
+        Ok(ack)
     }
 
     /// True once all `size` bytes have arrived.
@@ -123,7 +129,7 @@ mod tests {
     #[test]
     fn acks_cumulative_in_order() {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 4380);
-        let ack = r.on_data(&data(0, 1460), Time::from_us(1));
+        let ack = r.on_data(&data(0, 1460), Time::from_us(1)).unwrap();
         match ack.kind {
             PacketKind::Ack { cum_ack, ece } => {
                 assert_eq!(cum_ack, 1460);
@@ -138,17 +144,17 @@ mod tests {
     #[test]
     fn out_of_order_generates_dup_acks() {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 14_600);
-        r.on_data(&data(0, 1460), Time::from_us(1));
+        r.on_data(&data(0, 1460), Time::from_us(1)).unwrap();
         // Segment at 1460 lost; later segments repeat cum_ack 1460.
         for seq in [2920u64, 4380, 5840] {
-            let ack = r.on_data(&data(seq, 1460), Time::from_us(2));
+            let ack = r.on_data(&data(seq, 1460), Time::from_us(2)).unwrap();
             match ack.kind {
                 PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 1460),
                 _ => panic!(),
             }
         }
         // Retransmission fills the hole → jump.
-        let ack = r.on_data(&data(1460, 1460), Time::from_us(3));
+        let ack = r.on_data(&data(1460, 1460), Time::from_us(3)).unwrap();
         match ack.kind {
             PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 7300),
             _ => panic!(),
@@ -160,13 +166,13 @@ mod tests {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 14_600);
         let mut marked = data(0, 1460);
         marked.ecn = EcnCodepoint::Ce;
-        let ack = r.on_data(&marked, Time::from_us(1));
+        let ack = r.on_data(&marked, Time::from_us(1)).unwrap();
         match ack.kind {
             PacketKind::Ack { ece, .. } => assert!(ece),
             _ => panic!(),
         }
         // Next unmarked packet: echo clears (m = 1 state machine).
-        let ack = r.on_data(&data(1460, 1460), Time::from_us(2));
+        let ack = r.on_data(&data(1460, 1460), Time::from_us(2)).unwrap();
         match ack.kind {
             PacketKind::Ack { ece, .. } => assert!(!ece),
             _ => panic!(),
@@ -177,9 +183,9 @@ mod tests {
     #[test]
     fn completion_at_last_inorder_byte() {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 2920);
-        r.on_data(&data(1460, 1460), Time::from_us(1));
+        r.on_data(&data(1460, 1460), Time::from_us(1)).unwrap();
         assert!(!r.is_complete());
-        r.on_data(&data(0, 1460), Time::from_us(9));
+        r.on_data(&data(0, 1460), Time::from_us(9)).unwrap();
         assert!(r.is_complete());
         assert_eq!(r.completed_at(), Some(Time::from_us(9)));
     }
@@ -187,8 +193,8 @@ mod tests {
     #[test]
     fn duplicates_do_not_double_count() {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 2920);
-        r.on_data(&data(0, 1460), Time::from_us(1));
-        r.on_data(&data(0, 1460), Time::from_us(2));
+        r.on_data(&data(0, 1460), Time::from_us(1)).unwrap();
+        r.on_data(&data(0, 1460), Time::from_us(2)).unwrap();
         assert_eq!(r.bytes_received(), 1460);
         assert!(!r.is_complete());
     }
@@ -198,24 +204,33 @@ mod tests {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 2920);
         let mut p = data(0, 1460);
         p.dscp = 5;
-        let ack = r.on_data(&p, Time::from_us(1));
+        let ack = r.on_data(&p, Time::from_us(1)).unwrap();
         assert_eq!(ack.dscp, 5);
     }
 
     #[test]
     fn completion_time_not_overwritten() {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 1460);
-        r.on_data(&data(0, 1460), Time::from_us(5));
+        r.on_data(&data(0, 1460), Time::from_us(5)).unwrap();
         // A duplicate after completion must not move the FCT endpoint.
-        r.on_data(&data(0, 1460), Time::from_us(50));
+        r.on_data(&data(0, 1460), Time::from_us(50)).unwrap();
         assert_eq!(r.completed_at(), Some(Time::from_us(5)));
     }
 
     #[test]
-    #[should_panic(expected = "foreign packet")]
     fn rejects_foreign_flow() {
         let mut r = TcpReceiver::new(FlowId(9), 7, 3, 1460);
         let p = Packet::data(FlowId(8), 3, 7, 0, 1460, 40);
-        r.on_data(&p, Time::ZERO);
+        let err = r.on_data(&p, Time::ZERO).expect_err("foreign packet");
+        assert_eq!(err.kind(), "audit");
+        assert!(err.to_string().contains("foreign packet"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_data_packet() {
+        let mut r = TcpReceiver::new(FlowId(9), 7, 3, 1460);
+        let ack = Packet::ack(FlowId(9), 3, 7, 0, false, 40);
+        let err = r.on_data(&ack, Time::ZERO).expect_err("non-data packet");
+        assert_eq!(err.kind(), "audit");
     }
 }

@@ -98,7 +98,7 @@ fn run_flow(size: u64, mut action: impl FnMut(u64) -> WireAction) -> RunResult {
         }
         delivered += 1;
         now += one_way;
-        let ack = receiver.on_data(&pkt, now);
+        let ack = receiver.on_data(&pkt, now).unwrap();
         now += one_way;
         let (cum_ack, ece) = match ack.kind {
             PacketKind::Ack { cum_ack, ece } => (cum_ack, ece),

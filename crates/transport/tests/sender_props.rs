@@ -143,7 +143,7 @@ fn lossless_delivery_completes() {
             assert!(steps < 100_000, "case {case}: no progress");
             let pkt = wire.pop_front().expect("stalled without loss");
             now += Time::from_us(10);
-            let ack = r.on_data(&pkt, now);
+            let ack = r.on_data(&pkt, now).unwrap();
             if let PacketKind::Ack { cum_ack, ece } = ack.kind {
                 now += Time::from_us(10);
                 let out = s.on_ack(cum_ack, ece, now);

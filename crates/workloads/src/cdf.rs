@@ -121,8 +121,9 @@ impl SizeCdf {
     /// non-decreasing from 0 to exactly 1, and there are ≥ 2 points.
     pub fn new(points: Vec<(f64, f64)>) -> Self {
         assert!(points.len() >= 2, "need at least two CDF points");
-        assert_eq!(points.first().unwrap().1, 0.0, "CDF must start at 0");
-        assert_eq!(points.last().unwrap().1, 1.0, "CDF must end at 1");
+        let (first, last) = (points[0], points[points.len() - 1]);
+        assert_eq!(first.1, 0.0, "CDF must start at 0");
+        assert_eq!(last.1, 1.0, "CDF must end at 1");
         for w in points.windows(2) {
             assert!(w[0].0 < w[1].0, "sizes must strictly increase");
             assert!(w[0].1 <= w[1].1, "probabilities must not decrease");
@@ -150,7 +151,7 @@ impl SizeCdf {
                 return size.round().max(1.0) as u64;
             }
         }
-        self.points.last().unwrap().0 as u64
+        self.points[self.points.len() - 1].0 as u64
     }
 
     /// Mean flow size (exact, by integrating the piecewise-linear

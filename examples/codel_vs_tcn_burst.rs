@@ -29,7 +29,7 @@ fn run_scheme(name: &str, fanout: usize, make_aqm: impl Fn() -> Box<dyn Aqm> + '
                 make_aqm: Box::new(move || make_aqm()),
             }
         },
-    );
+    ).expect("topology is well-formed");
     let senders: Vec<u32> = (0..fanout as u32).collect();
     let mut rng = Rng::new(5);
     for wave in 0..8u64 {
@@ -45,7 +45,7 @@ fn run_scheme(name: &str, fanout: usize, make_aqm: impl Fn() -> Box<dyn Aqm> + '
             sim.add_flow(spec);
         }
     }
-    assert!(sim.run_to_completion(Time::from_secs(60)));
+    assert!(sim.run_to_completion(Time::from_secs(60)).expect("run"));
     let fcts: Vec<f64> = sim
         .fct_records()
         .iter()

@@ -23,7 +23,8 @@ fn main() {
         .buffer(300_000)
         .scheduler(|| Box::new(SpHybrid::new(1, Dwrr::equal(7, 1_500))))
         .aqm(move || Box::new(Tcn::new(tcn_t)))
-        .build();
+        .build()
+        .expect("topology is well-formed");
 
     let n_flows = if paper_scale { 20_000 } else { 3_000 };
     let cdfs: Vec<SizeCdf> = Workload::ALL.iter().map(|w| w.cdf()).collect();
@@ -42,7 +43,7 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now(); // lint:allow(no-wallclock): example prints elapsed wall time, never feeds the sim
-    assert!(sim.run_to_completion(Time::from_secs(1_000)));
+    assert!(sim.run_to_completion(Time::from_secs(1_000)).expect("run"));
     let wall = t0.elapsed();
 
     let b = FctBreakdown::from_records(&sim.fct_records());

@@ -24,7 +24,7 @@ fn main() {
             make_sched: Box::new(|| Box::new(SpHybrid::new(1, Dwrr::equal(4, 1_500)))),
             make_aqm: Box::new(move || Box::new(Tcn::new(tcn_t))),
         },
-    );
+    ).expect("topology is well-formed");
 
     // Web-search workload at 70 % load toward host 8; services use
     // DSCPs 1–4 (DSCP 0 is the PIAS express lane).
@@ -43,7 +43,7 @@ fn main() {
     ) {
         sim.add_flow(spec);
     }
-    assert!(sim.run_to_completion(Time::from_secs(1_000)));
+    assert!(sim.run_to_completion(Time::from_secs(1_000)).expect("run"));
 
     let b = FctBreakdown::from_records(&sim.fct_records());
     println!("PIAS two-priority + SP/DWRR + TCN, web search @ 70% load\n");

@@ -27,7 +27,7 @@ fn main() {
             make_sched: Box::new(|| Box::new(Wfq::equal(2))),
             make_aqm: Box::new(move || Box::new(Tcn::new(tcn_t))),
         },
-    );
+    ).expect("topology is well-formed");
 
     // Service 0: a burst of small RPCs from host 0. Service 1: one bulk
     // transfer from host 1. Both target host 3.
@@ -49,7 +49,7 @@ fn main() {
         service: 1,
     });
 
-    assert!(sim.run_to_completion(Time::from_secs(10)));
+    assert!(sim.run_to_completion(Time::from_secs(10)).expect("run"));
 
     let records = sim.fct_records();
     let rpc_fcts: Vec<f64> = records

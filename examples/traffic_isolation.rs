@@ -28,7 +28,7 @@ fn run_scheme(name: &str, make_aqm: impl Fn() -> Box<dyn Aqm> + 'static) -> FctB
                 make_aqm: Box::new(move || make_aqm()),
             }
         },
-    );
+    ).expect("topology is well-formed");
 
     let flows: usize = std::env::args()
         .skip_while(|a| a != "--flows")
@@ -51,7 +51,7 @@ fn run_scheme(name: &str, make_aqm: impl Fn() -> Box<dyn Aqm> + 'static) -> FctB
         sim.add_flow(spec);
     }
     assert!(
-        sim.run_to_completion(Time::from_secs(1_000)),
+        sim.run_to_completion(Time::from_secs(1_000)).expect("run"),
         "{name}: flows did not finish"
     );
     FctBreakdown::from_records(&sim.fct_records())

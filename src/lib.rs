@@ -25,7 +25,8 @@
 //!     .buffer(96_000)
 //!     .scheduler(|| Box::new(Wfq::equal(2)))
 //!     .aqm(move || Box::new(Tcn::new(standard_sojourn_threshold(rtt, 1.0))))
-//!     .build();
+//!     .build()
+//!     .expect("topology is well-formed");
 //!
 //! // One 1 MB flow from host 0 to host 2.
 //! let flow = sim.add_flow(FlowSpec {
@@ -35,7 +36,7 @@
 //!     start: Time::ZERO,
 //!     service: 0,
 //! });
-//! assert!(sim.run_to_completion(Time::from_secs(5)));
+//! assert!(sim.run_to_completion(Time::from_secs(5)).expect("run"));
 //! assert_eq!(sim.delivered_bytes(flow), 1_000_000);
 //! let fct = sim.fct_records()[0].fct;
 //! assert!(fct > Time::from_ms(8)); // 1 MB cannot beat the line rate

@@ -24,7 +24,7 @@ fn leaf_spine_fcts(seed: u64) -> Vec<u64> {
             make_sched: Box::new(|| Box::new(SpHybrid::new(1, Dwrr::equal(3, 1_500)))),
             make_aqm: Box::new(|| Box::new(Tcn::new(Time::from_us(78)))),
         },
-    );
+    ).expect("topology is well-formed");
     let cdfs: Vec<SizeCdf> = vec![Workload::WebSearch.cdf(), Workload::Cache.cdf()];
     let mut rng = Rng::new(seed);
     for spec in gen_all_to_all(
@@ -39,7 +39,7 @@ fn leaf_spine_fcts(seed: u64) -> Vec<u64> {
     ) {
         sim.add_flow(spec);
     }
-    assert!(sim.run_to_completion(Time::from_secs(100)));
+    assert!(sim.run_to_completion(Time::from_secs(100)).expect("run"));
     sim.fct_records().iter().map(|r| r.fct.as_ps()).collect()
 }
 
@@ -83,7 +83,7 @@ fn probabilistic_aqm_still_deterministic() {
                     ))
                 }),
             },
-        );
+        ).expect("topology is well-formed");
         for i in 0..20u32 {
             sim.add_flow(FlowSpec {
                 src: i % 2,
@@ -93,7 +93,7 @@ fn probabilistic_aqm_still_deterministic() {
                 service: (i % 2) as u8,
             });
         }
-        assert!(sim.run_to_completion(Time::from_secs(100)));
+        assert!(sim.run_to_completion(Time::from_secs(100)).expect("run"));
         sim.fct_records()
             .iter()
             .map(|r| r.fct.as_ps())

@@ -29,6 +29,7 @@ fn star_with(
             }
         },
     )
+    .expect("star topology is well-formed")
 }
 
 /// Start one long flow per service (hosts 0..2 → host 3) and return the
@@ -47,9 +48,9 @@ fn service_shares(mut sim: NetworkSim, services: &[u8]) -> Vec<f64> {
             })
         })
         .collect();
-    sim.run_until(Time::from_ms(100));
+    sim.run_until(Time::from_ms(100)).expect("run");
     let before: Vec<u64> = flows.iter().map(|&f| sim.delivered_bytes(f)).collect();
-    sim.run_until(Time::from_ms(400));
+    sim.run_until(Time::from_ms(400)).expect("run");
     let deltas: Vec<f64> = flows
         .iter()
         .zip(&before)
@@ -111,12 +112,12 @@ fn tcn_keeps_sojourn_near_threshold_under_load() {
             service: (i % 2) as u8,
         });
     }
-    sim.run_until(Time::from_ms(50));
+    sim.run_until(Time::from_ms(50)).expect("run");
     // Sample the receiver downlink occupancy for a while.
     let link = tcn_net::single_switch_downlink(3);
     let mut peak = 0u64;
     for step in 0..200u64 {
-        sim.run_until(Time::from_ms(50) + Time::from_us(step * 100));
+        sim.run_until(Time::from_ms(50) + Time::from_us(step * 100)).expect("run");
         peak = peak.max(sim.port(link).occupancy());
     }
     // T = 256 us at 1 Gbps = 32 KB equivalent; DCTCP hovers around it.
@@ -146,7 +147,7 @@ fn probabilistic_tcn_also_preserves_wfq() {
         TcpConfig::testbed_dctcp(),
         TaggingPolicy::Fixed,
         mk,
-    );
+    ).expect("topology is well-formed");
     let shares = service_shares(sim, &[0, 1, 1]);
     assert!((shares[0] - 0.5).abs() < 0.07, "shares {shares:?}");
 }
@@ -169,7 +170,7 @@ fn mixed_short_and_long_flows_all_complete() {
     ) {
         sim.add_flow(spec);
     }
-    assert!(sim.run_to_completion(Time::from_secs(100)));
+    assert!(sim.run_to_completion(Time::from_secs(100)).expect("run"));
     let b = FctBreakdown::from_records(&sim.fct_records());
     assert_eq!(b.count, 300);
     assert!(b.small_avg_us > 0.0);
@@ -192,7 +193,7 @@ fn ecnstar_and_dctcp_both_sustain_line_rate() {
                 make_sched: Box::new(|| Box::new(Fifo::new())),
                 make_aqm: Box::new(move || Box::new(Tcn::new(tcn_t))),
             },
-        );
+        ).expect("topology is well-formed");
         let f = sim.add_flow(FlowSpec {
             src: 0,
             dst: 2,
@@ -200,7 +201,7 @@ fn ecnstar_and_dctcp_both_sustain_line_rate() {
             start: Time::ZERO,
             service: 0,
         });
-        sim.run_until(Time::from_ms(100));
+        sim.run_until(Time::from_ms(100)).expect("run");
         let gbps = sim.delivered_bytes(f) as f64 * 8.0 / 0.1 / 1e9;
         assert!(gbps > 8.5, "throughput {gbps} Gbps under {:?}", cfg.variant);
     }

@@ -228,7 +228,7 @@ fn wfq_work_conserving() {
             assert!(!queues[q].is_empty(), "case {case}: selected empty queue");
             let p = queues[q].pop_front().expect("non-empty by assertion above");
             now += Rate::from_gbps(1).tx_time(u64::from(p.size));
-            sched.on_dequeue(&queues, q, &p, now);
+            sched.on_dequeue(&queues, q, &p, now).expect("tagged dequeue");
             served += 1;
             assert!(served <= n, "case {case}: served more than pushed");
         }
@@ -259,7 +259,7 @@ fn dwrr_work_conserving() {
             assert!(!queues[q].is_empty(), "case {case}: selected empty queue");
             let p = queues[q].pop_front().expect("non-empty by assertion above");
             now += Rate::from_gbps(1).tx_time(u64::from(p.size));
-            sched.on_dequeue(&queues, q, &p, now);
+            sched.on_dequeue(&queues, q, &p, now).expect("tagged dequeue");
             served += 1;
             assert!(served <= n, "case {case}: served more than pushed");
         }

@@ -27,6 +27,7 @@
 //! | `fault-kind-doc`  | every `.rs` file in the repo            | a `FaultKind` variant without a doc comment naming its real-world failure mode |
 //! | `no-wallclock`    | every `.rs` file except `crates/bench/` and `xtask/` | host-clock reads (`std::time::Instant`, `SystemTime`) — simulation code runs on virtual `Time` only |
 //! | `no-println-in-lib` | library `src/` trees except `src/bin/`, `crates/experiments/`, `crates/bench/`, `xtask/` | `println!` / `eprintln!` in library code — observability goes through `tcn-telemetry` sinks, not stdout |
+//! | `no-panic-in-lib`  | library `src/` trees except `src/bin/`, `crates/experiments/`, `crates/bench/`, `xtask/` | `panic!` in library code (plus `.unwrap()`/`.expect(` in the crates `no-unwrap` doesn't cover) — failures must surface as `TcnError` so sweep cells quarantine instead of aborting |
 
 use std::fmt;
 use std::fs;
@@ -87,6 +88,14 @@ pub const WALLCLOCK_SANCTUARIES: &[&str] = &["crates/bench", "xtask"];
 /// through `tcn-telemetry` probes and sinks. Binaries (`src/bin/`) are
 /// exempt in every crate: printing is their job.
 pub const PRINTLN_SANCTUARIES: &[&str] = &["crates/experiments", "crates/bench", "xtask"];
+
+/// Repo path prefixes exempt from `no-panic-in-lib`: the experiment
+/// drivers and bench harness are leaf executables whose cells already
+/// run under the runner's panic isolation, and `xtask` is a CLI whose
+/// failure mode *is* the process exiting. Library crates get no such
+/// out — a panic there tears down whichever sweep cell happened to be
+/// executing it.
+pub const PANIC_SANCTUARIES: &[&str] = &["crates/experiments", "crates/bench", "xtask"];
 
 // ---------------------------------------------------------------------------
 // Source transforms
@@ -385,6 +394,41 @@ pub fn check_no_unwrap(path: &Path, raw: &str) -> Vec<Diagnostic> {
             format!(
                 "`{n}…` in library code: return an error, restructure with \
                  let-else/match, or append `lint:allow(no-unwrap): <why>`"
+            )
+        },
+        &mut out,
+    );
+    out
+}
+
+/// `no-panic-in-lib`: no `panic!` in library production code — a panic
+/// in a library crate aborts whichever sweep cell was executing it,
+/// turning one bad configuration into a dead suite, while a typed
+/// [`TcnError`] keeps the failure attributable and quarantinable. When
+/// `include_unwrap` is set (crates outside [`NO_UNWRAP_CRATES`], whose
+/// unwraps the `no-unwrap` rule does not already police) the rule also
+/// catches `.unwrap()` / `.expect(`.
+pub fn check_no_panic(path: &Path, raw: &str, include_unwrap: bool) -> Vec<Diagnostic> {
+    let view = code_view(raw);
+    let spans = test_spans(&view);
+    let mut out = Vec::new();
+    let needles: &[&str] = if include_unwrap {
+        &["panic!", ".unwrap()", ".expect("]
+    } else {
+        &["panic!"]
+    };
+    scan_needles(
+        path,
+        raw,
+        &view,
+        &spans,
+        "no-panic-in-lib",
+        needles,
+        |n| {
+            format!(
+                "`{n}…` in library code can abort a whole sweep: return a \
+                 TcnError (the cell runner quarantines it), or append \
+                 `lint:allow(no-panic-in-lib): <why>`"
             )
         },
         &mut out,
@@ -798,6 +842,13 @@ pub fn lint_repo(repo: &Path) -> Vec<Diagnostic> {
         if in_lib_src && !PRINTLN_SANCTUARIES.iter().any(|s| r.starts_with(s)) {
             out.extend(check_no_println(&r, &raw));
         }
+        // no-panic-in-lib over the same library src trees; crates the
+        // no-unwrap rule already polices only get the panic! needle
+        // (their unwraps are no-unwrap's findings, not duplicates here).
+        if in_lib_src && !PANIC_SANCTUARIES.iter().any(|s| r.starts_with(s)) {
+            let unwrap_covered = NO_UNWRAP_CRATES.iter().any(|s| r.starts_with(s));
+            out.extend(check_no_panic(&r, &raw, !unwrap_covered));
+        }
         out.extend(check_no_unsafe(&r, &raw));
         out.extend(check_fault_kind_doc(&r, &raw));
     }
@@ -905,6 +956,45 @@ mod tests {
         let d = check_no_unwrap(&p(), src);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("justification"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn seeded_panic_is_caught() {
+        let src = "pub fn f(x: u32) {\n    if x > 3 {\n        panic!(\"x too big\");\n    }\n}\n";
+        let d = check_no_panic(&p(), src, false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-panic-in-lib");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn panic_in_test_mod_is_ignored() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        panic!(\"assertion helpers may panic\");\n    }\n}\n";
+        assert!(check_no_panic(&p(), src, true).is_empty());
+    }
+
+    #[test]
+    fn unwrap_needle_only_when_not_covered_by_no_unwrap() {
+        let src = "pub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n";
+        assert!(
+            check_no_panic(&p(), src, false).is_empty(),
+            "covered crates leave unwraps to the no-unwrap rule"
+        );
+        let d = check_no_panic(&p(), src, true);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn justified_panic_allow_suppresses() {
+        let src = "panic!(\"{v}\"); // lint:allow(no-panic-in-lib): strict audit mode must abort on violation\n";
+        assert!(check_no_panic(&p(), src, false).is_empty());
+    }
+
+    #[test]
+    fn panic_in_comment_or_string_is_clean() {
+        let src = "// panic! is banned here\nlet s = \"panic!(no)\";\n";
+        assert!(check_no_panic(&p(), src, true).is_empty());
     }
 
     #[test]

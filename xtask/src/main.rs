@@ -20,6 +20,8 @@
 //!   `--features audit` (every runtime invariant checker live), then
 //!   lint, then a telemetry smoke stage (`figs trace` one figure with a
 //!   JSONL sink and `figs check-trace` the result against the schema),
+//!   then a resume smoke stage (kill a checkpointed sweep mid-grid,
+//!   resume it, byte-compare against an uninterrupted control run),
 //!   then `bench --smoke`: the tier-1 gate in one command. Stops at the
 //!   first failing stage.
 //!
@@ -51,7 +53,7 @@ fn main() -> ExitCode {
             }
         }
         Some("ci") => {
-            let stages: [(&str, fn(&Path) -> ExitCode); 6] = [
+            let stages: [(&str, fn(&Path) -> ExitCode); 7] = [
                 ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
                 ("test", |r| run_cargo(r, &["test", "-q"])),
                 // Tier-1 again in release with every runtime invariant
@@ -65,6 +67,10 @@ fn main() -> ExitCode {
                 // validate the JSONL against the schema: proves the
                 // probes, sinks and trace writer agree end to end.
                 ("telemetry (smoke)", run_telemetry_smoke),
+                // Kill a checkpointed sweep mid-grid, resume it, and
+                // byte-compare against an uninterrupted control run:
+                // proves checkpoint/resume reproduces exact output.
+                ("resume (smoke)", run_resume_smoke),
                 // Guard the hot-path baseline: a >25% drop in the
                 // calendar-vs-binheap throughput ratio fails the gate.
                 ("bench (smoke)", run_bench_smoke),
@@ -86,14 +92,16 @@ fn main() -> ExitCode {
                  \n\
                  lint      offline static analysis (no-unwrap, no-float-time,\n\
                  \x20         no-unsafe, forbid-unsafe-attr, aqm-doc-cite,\n\
-                 \x20         fault-kind-doc, no-wallclock, no-println-in-lib)\n\
+                 \x20         fault-kind-doc, no-wallclock, no-println-in-lib,\n\
+                 \x20         no-panic-in-lib)\n\
                  build     cargo build --release --workspace\n\
                  test      cargo test -q (tier-1 test set)\n\
                  test-all  cargo test -q --workspace (slow, every crate)\n\
                  bench     run perfbench, rewrite BENCH_*.json baselines\n\
                  \x20         (--smoke: compare-only regression gate)\n\
                  ci        build + test + test(audit) + lint +\n\
-                 \x20         telemetry(smoke) + bench(smoke) (the tier-1 gate)"
+                 \x20         telemetry(smoke) + resume(smoke) + bench(smoke)\n\
+                 \x20         (the tier-1 gate)"
             );
             if args.is_empty() {
                 ExitCode::from(2)
@@ -157,6 +165,89 @@ fn run_telemetry_smoke(repo: &Path) -> ExitCode {
             &out,
         ],
     )
+}
+
+/// Kill-and-resume byte-identity gate. Runs a checkpointed `figs fig6
+/// --quick --json` three ways in `target/resume-smoke/`:
+///
+/// 1. with `TCN_ABORT_AFTER_CELLS=2` — the harness must die with exit
+///    code 3 after recording two cells (the simulated kill);
+/// 2. with only `TCN_CHECKPOINT` — resumes from the two recorded cells
+///    and completes, writing `results/fig6.json`;
+/// 3. with neither — the uninterrupted control run.
+///
+/// The resumed and control JSON files must be byte-identical.
+fn run_resume_smoke(repo: &Path) -> ExitCode {
+    let dir = repo.join("target").join("resume-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("xtask: create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let ck = dir.join("fig6.ck.jsonl").to_string_lossy().into_owned();
+    let figs = |envs: &[(&str, &str)], expect: i32| -> bool {
+        let mut cmd = Command::new("cargo");
+        cmd.args([
+            "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "fig6",
+            "--quick", "--json",
+        ])
+        .current_dir(&dir)
+        .env_remove("TCN_CHECKPOINT")
+        .env_remove("TCN_ABORT_AFTER_CELLS");
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        match cmd.status() {
+            Ok(s) if s.code() == Some(expect) => true,
+            Ok(s) => {
+                eprintln!("xtask: figs fig6 exited {s}, expected code {expect}");
+                false
+            }
+            Err(e) => {
+                eprintln!("xtask: failed to spawn cargo: {e}");
+                false
+            }
+        }
+    };
+    // 1. Simulated kill after two newly-completed cells.
+    if !figs(&[("TCN_CHECKPOINT", &ck), ("TCN_ABORT_AFTER_CELLS", "2")], 3) {
+        return ExitCode::FAILURE;
+    }
+    // 2. Resume from the checkpoint to completion.
+    if !figs(&[("TCN_CHECKPOINT", &ck)], 0) {
+        return ExitCode::FAILURE;
+    }
+    let json = dir.join("results").join("fig6.json");
+    let resumed = match std::fs::read(&json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask: read {}: {e}", json.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // 3. Uninterrupted control run.
+    if !figs(&[], 0) {
+        return ExitCode::FAILURE;
+    }
+    let control = match std::fs::read(&json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask: read {}: {e}", json.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if resumed == control {
+        eprintln!("xtask: resumed sweep is byte-identical to the control run");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask: resumed sweep differs from the uninterrupted control \
+             ({} vs {} bytes) — checkpoint/resume broke byte-identity",
+            resumed.len(),
+            control.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn run_bench_smoke(repo: &Path) -> ExitCode {
