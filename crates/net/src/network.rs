@@ -803,7 +803,8 @@ impl NetworkSim {
             }
             corrupt = f.rng.chance(f.profile.corrupt);
             if !f.profile.jitter_max.is_zero() && f.rng.chance(f.profile.jitter_prob) {
-                extra = Time::from_ps(f.rng.gen_range(f.profile.jitter_max.as_ps() + 1));
+                let bound = f.profile.jitter_max + Time::from_ps(1);
+                extra = Time::from_ps(f.rng.gen_range(bound.as_ps()));
                 self.fault_stats.jitter_delays += 1;
             }
         }

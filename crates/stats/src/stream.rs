@@ -190,13 +190,13 @@ impl RateWindow {
     /// Account `bytes` at time `t`. Times must be non-decreasing (the
     /// underlying series panics otherwise).
     pub fn record(&mut self, t: Time, bytes: u64) {
-        let w = self.window.as_ps();
-        while t.as_ps() >= self.start.as_ps() + w {
+        while t >= self.start + self.window {
             let was_idle = self.bytes == 0;
             self.close_window();
             if was_idle {
                 // Elide the rest of an idle gap: jump to the aligned
                 // window containing t.
+                let w = self.window.as_ps();
                 let aligned = Time::from_ps(t.as_ps() / w * w);
                 if aligned > self.start {
                     self.start = aligned;

@@ -214,8 +214,8 @@ mod tests {
             7,
             Time::ZERO,
         );
-        use std::collections::HashMap;
-        let mut seen: HashMap<(u32, u32), u8> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut seen: BTreeMap<(u32, u32), u8> = BTreeMap::new();
         for f in &flows {
             let prev = seen.insert((f.src, f.dst), f.service);
             if let Some(p) = prev {

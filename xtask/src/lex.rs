@@ -1,0 +1,632 @@
+//! A hand-rolled, dependency-free lexer for Rust source.
+//!
+//! This is the foundation of the token-level lint engine: instead of
+//! substring-scanning a comment-stripped "code view" (the pre-PR-6
+//! approach, preserved in [`crate::legacy`] as the differential
+//! oracle), rules pattern-match over a token stream with exact
+//! `line:col` spans. That is what lets a rule distinguish the
+//! identifier `HashMap` in code from the same nine characters inside a
+//! string literal or a doc comment — the false-positive class that
+//! capped what the substring engine could express.
+//!
+//! The lexer is deliberately *not* a full Rust lexer: it has no notion
+//! of keywords vs identifiers (rules match identifier text), does not
+//! validate numeric literal grammar, and never rejects input — on
+//! malformed source it degrades to single-character punct tokens. What
+//! it does handle precisely, because the rules depend on it:
+//!
+//! * line comments (incl. `///` and `//!` docs) and **nested** block
+//!   comments, emitted as trivia tokens so doc-inspecting rules
+//!   (`aqm-doc-cite`, `fault-kind-doc`, `exhaustive-kind-tags`) can see
+//!   them;
+//! * string, byte-string, **raw** string (`r#"…"#` with any number of
+//!   hashes) and char literals, emitted as opaque literal tokens;
+//! * lifetimes (`'a`) vs char literals (`'a'`, `'\n'`);
+//! * raw identifiers (`r#fn`);
+//! * multi-character operators by longest match (`::`, `..=`, `<<=` …),
+//!   so `a..=b` never lexes as three stray dots.
+
+/// What a [`Token`] is. Comments are included in the stream (rules that
+/// read docs need them); most rules iterate the comment-free view via
+/// [`crate::engine::SourceFile::code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `r#fn` — text excludes
+    /// the `r#` prefix so raw and plain spellings compare equal).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// A char or byte-char literal, quotes included in the text.
+    Char,
+    /// A string / raw-string / byte-string literal, delimiters included.
+    Str,
+    /// An integer or float literal (suffix included, e.g. `10u64`).
+    Num,
+    /// Operator / punctuation, longest-match (`::`, `->`, `..=`, `+`).
+    Punct,
+    /// `// …` comment; `doc` is true for `///` and `//!` forms.
+    LineComment {
+        /// True for `///` / `//!` doc comments.
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled); `doc` true for `/**`, `/*!`.
+    BlockComment {
+        /// True for `/**` / `/*!` doc comments.
+        doc: bool,
+    },
+}
+
+/// One lexed token with its 1-based source position (`col` counts bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text (see [`TokenKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+    /// 1-based byte column of the token's first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this is a punct token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+
+    /// True for line or block comments, doc or not.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// True for `///`, `//!`, `/**`, `/*!` comments.
+    pub fn is_doc_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+        )
+    }
+
+    /// The prose of a doc comment: text with the comment markers and
+    /// leading asterisk decoration stripped. Empty for non-comments.
+    pub fn doc_text(&self) -> &str {
+        match self.kind {
+            TokenKind::LineComment { .. } => self
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim(),
+            TokenKind::BlockComment { .. } => self
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start_matches('!')
+                .trim_end_matches('/')
+                .trim_end_matches('*')
+                .trim(),
+            _ => "",
+        }
+    }
+}
+
+/// Multi-character operators, longest first within each leading byte so
+/// a greedy scan is a correct longest-match.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Cursor state threaded through the lexer helpers.
+struct Cursor<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// Advance over `n` bytes, updating the line/col bookkeeping.
+    fn bump(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.i >= self.b.len() {
+                return;
+            }
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// The char starting at byte offset `i + ahead_bytes`, if any.
+    fn char_at(&self, ahead: usize) -> Option<char> {
+        self.src[(self.i + ahead).min(self.src.len())..].chars().next()
+    }
+}
+
+/// Lex `src` into a token stream (comments included as trivia tokens).
+/// Never fails; unrecognized bytes become single-byte [`TokenKind::Punct`]
+/// tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while cur.i < cur.b.len() {
+        let (line, col) = (cur.line, cur.col);
+        let start = cur.i;
+        let c = cur.b[cur.i];
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            cur.bump(1);
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && cur.peek(1) == Some(b'/') {
+            let end = src[cur.i..].find('\n').map_or(src.len(), |n| cur.i + n);
+            let text = &src[cur.i..end];
+            let doc = (text.starts_with("///") && !text.starts_with("////"))
+                || text.starts_with("//!");
+            cur.bump(end - cur.i);
+            out.push(Token {
+                kind: TokenKind::LineComment { doc },
+                text: text.to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == b'/' && cur.peek(1) == Some(b'*') {
+            let mut depth = 0usize;
+            let mut j = cur.i;
+            while j < cur.b.len() {
+                if cur.b[j] == b'/' && cur.b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if cur.b[j] == b'*' && cur.b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            let text = &src[cur.i..j.min(src.len())];
+            let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+                || text.starts_with("/*!");
+            cur.bump(j - cur.i);
+            out.push(Token {
+                kind: TokenKind::BlockComment { doc },
+                text: text.to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Raw identifiers and raw / byte strings.
+        if let Some(tok) = lex_raw_or_byte(&mut cur, line, col) {
+            out.push(tok);
+            continue;
+        }
+
+        // Plain strings.
+        if c == b'"' {
+            let end = scan_string(cur.b, cur.i);
+            let text = src[cur.i..end].to_string();
+            cur.bump(end - cur.i);
+            out.push(Token { kind: TokenKind::Str, text, line, col });
+            continue;
+        }
+
+        // Lifetimes and char literals.
+        if c == b'\'' {
+            if is_char_literal(&cur) {
+                let end = scan_char(cur.b, cur.i);
+                let text = src[cur.i..end].to_string();
+                cur.bump(end - cur.i);
+                out.push(Token { kind: TokenKind::Char, text, line, col });
+            } else {
+                cur.bump(1); // the quote
+                let mut n = 0;
+                while cur.char_at(n).is_some_and(is_ident_continue) {
+                    n += cur.char_at(n).map_or(1, char::len_utf8);
+                }
+                let text = src[cur.i..cur.i + n].to_string();
+                cur.bump(n);
+                out.push(Token { kind: TokenKind::Lifetime, text, line, col });
+            }
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let end = scan_number(cur.b, cur.i);
+            let text = src[cur.i..end].to_string();
+            cur.bump(end - cur.i);
+            out.push(Token { kind: TokenKind::Num, text, line, col });
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if cur.char_at(0).is_some_and(is_ident_start) {
+            let mut n = 0;
+            while cur.char_at(n).is_some_and(is_ident_continue) {
+                n += cur.char_at(n).map_or(1, char::len_utf8);
+            }
+            let text = src[cur.i..cur.i + n].to_string();
+            cur.bump(n);
+            out.push(Token { kind: TokenKind::Ident, text, line, col });
+            continue;
+        }
+
+        // Punctuation, longest match first.
+        let mut matched = false;
+        for p in PUNCTS {
+            if src[cur.i..].starts_with(p) {
+                cur.bump(p.len());
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                    col,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            // Single char (multibyte chars pass through whole).
+            let n = cur.char_at(0).map_or(1, char::len_utf8);
+            let text = src[start..start + n].to_string();
+            cur.bump(n);
+            out.push(Token { kind: TokenKind::Punct, text, line, col });
+        }
+    }
+
+    out
+}
+
+/// Handle `r#ident`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`.
+/// Returns `None` when the cursor is not at one of those forms.
+fn lex_raw_or_byte(cur: &mut Cursor, line: usize, col: usize) -> Option<Token> {
+    let b = cur.b;
+    let i = cur.i;
+    let c = b[i];
+    if c != b'r' && c != b'b' {
+        return None;
+    }
+    // An identifier char before us means `r`/`b` is part of a name.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return None;
+    }
+    // b'x' byte char.
+    if c == b'b' && cur.peek(1) == Some(b'\'') {
+        let end = scan_char(b, i + 1);
+        let text = cur.src[i..end].to_string();
+        cur.bump(end - i);
+        return Some(Token { kind: TokenKind::Char, text, line, col });
+    }
+    // b"…" byte string.
+    if c == b'b' && cur.peek(1) == Some(b'"') {
+        let end = scan_string(b, i + 1);
+        let text = cur.src[i..end].to_string();
+        cur.bump(end - i);
+        return Some(Token { kind: TokenKind::Str, text, line, col });
+    }
+    // r… / br… raw forms.
+    let raw_at = if c == b'r' {
+        i + 1
+    } else if c == b'b' && cur.peek(1) == Some(b'r') {
+        i + 2
+    } else {
+        return None;
+    };
+    let mut j = raw_at;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        // Raw (byte) string: scan for `"` followed by `hashes` hashes.
+        let mut k = j + 1;
+        let end = loop {
+            match b.get(k) {
+                None => break b.len(),
+                Some(b'"') => {
+                    let mut h = 0;
+                    while b.get(k + 1 + h) == Some(&b'#') && h < hashes {
+                        h += 1;
+                    }
+                    if h == hashes {
+                        break k + 1 + hashes;
+                    }
+                    k += 1;
+                }
+                Some(_) => k += 1,
+            }
+        };
+        let text = cur.src[i..end].to_string();
+        cur.bump(end - i);
+        return Some(Token { kind: TokenKind::Str, text, line, col });
+    }
+    if c == b'r' && hashes == 1 && cur.char_at(2).is_some_and(is_ident_start) {
+        // Raw identifier r#fn — emit as Ident without the prefix.
+        cur.bump(2);
+        let mut n = 0;
+        while cur.char_at(n).is_some_and(is_ident_continue) {
+            n += cur.char_at(n).map_or(1, char::len_utf8);
+        }
+        let text = cur.src[cur.i..cur.i + n].to_string();
+        cur.bump(n);
+        return Some(Token { kind: TokenKind::Ident, text, line, col });
+    }
+    None
+}
+
+/// End offset (exclusive) of a `"…"` string starting at `b[i]`.
+fn scan_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// End offset (exclusive) of a `'…'` char literal starting at `b[i]`.
+fn scan_char(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// End offset of a numeric literal starting at `b[i]` (a digit).
+/// Accepts int/float/exponent/suffix forms loosely; stops before `..`
+/// so ranges lex as two tokens.
+fn scan_number(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let mut seen_dot = false;
+    while j < b.len() {
+        let c = b[j];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // `1e-5` / `1E+5`: pull the sign into the literal.
+            if (c == b'e' || c == b'E')
+                && matches!(b.get(j + 1), Some(b'+') | Some(b'-'))
+                && b.get(j + 2).is_some_and(u8::is_ascii_digit)
+            {
+                j += 2;
+            }
+            j += 1;
+        } else if c == b'.' && !seen_dot && b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+            seen_dot = true;
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+/// True if the `'` under the cursor opens a char literal rather than a
+/// lifetime: `'\…'` always; `'x'` (any single char then a quote) yes;
+/// `'abc` no.
+fn is_char_literal(cur: &Cursor) -> bool {
+    match cur.char_at(1) {
+        Some('\\') => true,
+        Some(c) if c != '\'' => cur.char_at(1 + c.len_utf8()) == Some('\''),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        // The whole point of token-level linting: `HashMap` in a string
+        // is not an identifier.
+        assert_eq!(idents("let s = \"HashMap .unwrap()\";"), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds("let s = r#\"quote \" inside .expect( \"#;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quote")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "expect"));
+        // Double-hash form with an embedded single-hash closer.
+        let toks = kinds("r##\"has \"# inside\"##");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds("let b = b\"bytes\"; let r = br#\"raw\"#; let c = b'x';");
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(lifetimes[0].1, "a");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn static_lifetime_in_type_position() {
+        let toks = kinds("const S: &'static str = \"x\";");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner .unwrap() */ still */ let x = 2;");
+        assert_eq!(toks[0].0, TokenKind::BlockComment { doc: false });
+        assert!(toks[0].1.contains("inner"));
+        assert!(idents("/* a /* b */ c */ let y = 1;").contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let toks = lex("/// outer doc\n//! inner doc\n// plain\nfn f() {}\n");
+        assert_eq!(toks[0].kind, TokenKind::LineComment { doc: true });
+        assert_eq!(toks[0].doc_text(), "outer doc");
+        assert_eq!(toks[1].kind, TokenKind::LineComment { doc: true });
+        assert_eq!(toks[2].kind, TokenKind::LineComment { doc: false });
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#fn = 1;"), vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn longest_match_puncts() {
+        let toks = kinds("a..=b; c::d; e <<= 2; f..g");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"..="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"<<="));
+        assert!(puncts.contains(&".."));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let toks = kinds("let a = 1_000u64; let b = 1.5e-3; for i in 0..10 {}");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "1.5e-3", "0", "10"]);
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let toks = kinds("self.0.checked_add(rhs.0)");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "0"]);
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let toks = lex("let x = 1;\n  y.unwrap();\n");
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (2, 5));
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (2, 3));
+    }
+
+    #[test]
+    fn multiline_tokens_advance_lines() {
+        let toks = lex("/* a\nb */ let s = \"x\ny\";\nz");
+        let z = toks.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 4);
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_hang() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+}

@@ -2,9 +2,17 @@
 //!
 //! Subcommands:
 //!
-//! * `lint`  — run the offline static-analysis pass (see [`lint`]) over
-//!   the repository. Prints `file:line: [rule] message` diagnostics and
-//!   exits nonzero if any fire.
+//! * `lint`  — run the token-level static analyzer (see
+//!   [`xtask::lint`]) over the repository. Prints
+//!   `file:line:col: [rule] message` diagnostics and exits nonzero if
+//!   any deny-severity finding fires. Flags:
+//!   * `--list` — print the generated rule table (id, severity, scope,
+//!     summary) and exit;
+//!   * `--rule <id>` (repeatable) — narrow *output* to the named rules
+//!     (every rule still executes, so `unused-allow` stays accurate);
+//!   * `--format json` — emit the versioned JSON document on stdout
+//!     (human diagnostics go to stderr), schema-checked before
+//!     printing.
 //! * `build` — `cargo build --release --workspace`.
 //! * `test`  — `cargo test -q` (the tier-1 test set, from ROADMAP.md).
 //! * `test-all` — `cargo test -q --workspace` (every crate's suites;
@@ -18,11 +26,14 @@
 //!   baseline, failing on a >25 % regression (no files are written).
 //! * `ci`    — build, then test, then tier-1 again in release with
 //!   `--features audit` (every runtime invariant checker live), then
-//!   lint, then a telemetry smoke stage (`figs trace` one figure with a
-//!   JSONL sink and `figs check-trace` the result against the schema),
-//!   then a resume smoke stage (kill a checkpointed sweep mid-grid,
-//!   resume it, byte-compare against an uninterrupted control run),
-//!   then `bench --smoke`: the tier-1 gate in one command. Stops at the
+//!   `lint-selftest` (the xtask test suite: lexer units, rule
+//!   fixtures, and the old-vs-new engine differential), then lint in
+//!   `--format json` mode (the document is schema-checked), then a
+//!   telemetry smoke stage (`figs trace` one figure with a JSONL sink
+//!   and `figs check-trace` the result against the schema), then a
+//!   resume smoke stage (kill a checkpointed sweep mid-grid, resume
+//!   it, byte-compare against an uninterrupted control run), then
+//!   `bench --smoke`: the tier-1 gate in one command. Stops at the
 //!   first failing stage.
 //!
 //! Everything here is pure std: the harness must work in an offline
@@ -31,17 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod lint;
-
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+
+use xtask::engine::{filter_rules, Severity};
+use xtask::{jsonck, lint, rules};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let repo = repo_root();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(&repo),
+        Some("lint") => run_lint_cli(&repo, &args[1..]),
         Some("build") => run_cargo(&repo, &["build", "--release", "--workspace"]),
         Some("test") => run_cargo(&repo, &["test", "-q"]),
         Some("test-all") => run_cargo(&repo, &["test", "-q", "--workspace"]),
@@ -53,7 +65,7 @@ fn main() -> ExitCode {
             }
         }
         Some("ci") => {
-            let stages: [(&str, fn(&Path) -> ExitCode); 7] = [
+            let stages: [(&str, fn(&Path) -> ExitCode); 8] = [
                 ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
                 ("test", |r| run_cargo(r, &["test", "-q"])),
                 // Tier-1 again in release with every runtime invariant
@@ -62,7 +74,12 @@ fn main() -> ExitCode {
                 ("test (audit)", |r| {
                     run_cargo(r, &["test", "-q", "--release", "--features", "audit"])
                 }),
-                ("lint", run_lint),
+                // The lint engine's own suite: lexer units, per-rule
+                // fixture corpus, and the substring-vs-token engine
+                // differential. Runs before `lint` so a broken analyzer
+                // can't greenlight the repo.
+                ("lint-selftest", |r| run_cargo(r, &["test", "-q", "-p", "xtask"])),
+                ("lint", run_lint_json_stage),
                 // Trace one figure cell through the telemetry bus and
                 // validate the JSONL against the schema: proves the
                 // probes, sinks and trace writer agree end to end.
@@ -88,20 +105,22 @@ fn main() -> ExitCode {
         }
         Some("help") | None => {
             eprintln!(
-                "usage: cargo xtask <lint|build|test|test-all|ci>\n\
+                "usage: cargo xtask <lint|build|test|test-all|bench|ci>\n\
                  \n\
-                 lint      offline static analysis (no-unwrap, no-float-time,\n\
-                 \x20         no-unsafe, forbid-unsafe-attr, aqm-doc-cite,\n\
-                 \x20         fault-kind-doc, no-wallclock, no-println-in-lib,\n\
-                 \x20         no-panic-in-lib)\n\
+                 lint      token-level static analysis (15 rules: panic/print\n\
+                 \x20         discipline, unsafe bans, doc provenance, and the\n\
+                 \x20         determinism family — no-hash-iter,\n\
+                 \x20         no-thread-outside-runner, no-ambient-entropy,\n\
+                 \x20         no-raw-tick-arith, exhaustive-kind-tags, …)\n\
+                 \x20         [--list | --rule <id>]... [--format json]\n\
                  build     cargo build --release --workspace\n\
                  test      cargo test -q (tier-1 test set)\n\
                  test-all  cargo test -q --workspace (slow, every crate)\n\
                  bench     run perfbench, rewrite BENCH_*.json baselines\n\
                  \x20         (--smoke: compare-only regression gate)\n\
-                 ci        build + test + test(audit) + lint +\n\
-                 \x20         telemetry(smoke) + resume(smoke) + bench(smoke)\n\
-                 \x20         (the tier-1 gate)"
+                 ci        build + test + test(audit) + lint-selftest +\n\
+                 \x20         lint(json) + telemetry(smoke) + resume(smoke) +\n\
+                 \x20         bench(smoke) (the tier-1 gate)"
             );
             if args.is_empty() {
                 ExitCode::from(2)
@@ -127,18 +146,78 @@ fn repo_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn run_lint(repo: &Path) -> ExitCode {
-    let diags = lint::lint_repo(repo);
-    for d in &diags {
-        println!("{d}");
+/// The `lint` subcommand: parse `--list` / `--rule <id>` /
+/// `--format json`, run the registry, print, gate on deny findings.
+fn run_lint_cli(repo: &Path, flags: &[String]) -> ExitCode {
+    let mut only: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--list" => {
+                print!("{}", lint::rule_table());
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => {
+                let Some(id) = flags.get(i + 1) else {
+                    eprintln!("xtask lint: --rule needs a rule id (see --list)");
+                    return ExitCode::from(2);
+                };
+                if !rules::registry().iter().any(|r| r.id() == id) {
+                    eprintln!("xtask lint: unknown rule `{id}` (see `cargo xtask lint --list`)");
+                    return ExitCode::from(2);
+                }
+                only.push(id.clone());
+                i += 2;
+            }
+            "--format" => {
+                match flags.get(i + 1).map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("text") => json = false,
+                    other => {
+                        eprintln!("xtask lint: --format takes `json` or `text`, got {other:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
     }
-    if diags.is_empty() {
-        eprintln!("xtask lint: clean");
+
+    let diags = filter_rules(lint::lint_repo(repo), &only);
+    if json {
+        let doc = xtask::engine::to_json(&diags);
+        if let Err(e) = jsonck::validate_lint_json(&doc) {
+            eprintln!("xtask lint: internal error — emitted JSON failed its own schema: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{doc}");
+        for d in &diags {
+            eprintln!("{d}");
+        }
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    let denies = diags.iter().filter(|d| d.severity == Severity::Deny).count();
+    if denies == 0 {
+        eprintln!("xtask lint: clean ({} finding(s))", diags.len());
         ExitCode::SUCCESS
     } else {
-        eprintln!("xtask lint: {} violation(s)", diags.len());
+        eprintln!("xtask lint: {denies} violation(s)");
         ExitCode::FAILURE
     }
+}
+
+/// The `ci` lint stage: full registry in JSON mode (exercises the same
+/// serialization + schema check downstream consumers rely on).
+fn run_lint_json_stage(repo: &Path) -> ExitCode {
+    run_lint_cli(repo, &["--format".to_string(), "json".to_string()])
 }
 
 /// Trace one sweep cell of fig. 6 at `--quick` scale with the JSONL

@@ -1,0 +1,221 @@
+//! Failure-discipline rules: library code must surface failures as
+//! [`TcnError`]s (so sweep cells quarantine instead of aborting) and
+//! route observability through telemetry sinks instead of stdout.
+
+use crate::engine::{Diagnostic, Rule, Scope, SourceFile};
+use crate::rules::{diag_at, in_no_unwrap_crates, panic_scope, println_scope, seq_at, Pat};
+
+/// `no-unwrap`: no `.unwrap()` / `.expect(` in library production code.
+pub struct NoUnwrap;
+
+impl Rule for NoUnwrap {
+    fn id(&self) -> &'static str {
+        "no-unwrap"
+    }
+    fn summary(&self) -> &'static str {
+        "`.unwrap()` / `.expect(` in production code — return an error or restructure"
+    }
+    fn scope(&self) -> Scope {
+        Scope {
+            desc: "library crate `src/` (core, sim, net, sched, baselines, transport)",
+            applies: in_no_unwrap_crates,
+        }
+    }
+    fn exempts_tests(&self) -> bool {
+        true
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        scan_unwraps(file, self.id(), out);
+    }
+}
+
+/// Report `.unwrap()` / `.expect(` call sites (shared by `no-unwrap`
+/// and the `no-panic-in-lib` coverage of crates `no-unwrap` skips).
+fn scan_unwraps(file: &SourceFile, rule: &'static str, out: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    for i in 0..code.len() {
+        let needle = if seq_at(code, i, &[Pat::Pu("."), Pat::Id("unwrap"), Pat::Pu("("), Pat::Pu(")")])
+        {
+            ".unwrap()"
+        } else if seq_at(code, i, &[Pat::Pu("."), Pat::Id("expect"), Pat::Pu("(")]) {
+            ".expect("
+        } else {
+            continue;
+        };
+        out.push(diag_at(
+            file,
+            &code[i + 1],
+            rule,
+            format!(
+                "`{needle}…` in library code: return an error, restructure with \
+                 let-else/match, or append `lint:allow({rule}): <why>`"
+            ),
+        ));
+    }
+}
+
+/// `no-panic-in-lib`: no `panic!` in library production code — a panic
+/// in a library crate aborts whichever sweep cell was executing it,
+/// turning one bad configuration into a dead suite, while a typed
+/// `TcnError` keeps the failure attributable and quarantinable. In
+/// crates outside `NO_UNWRAP_CRATES` (whose unwraps `no-unwrap` does
+/// not already police) the rule also catches `.unwrap()` / `.expect(`.
+pub struct NoPanicInLib;
+
+impl Rule for NoPanicInLib {
+    fn id(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+    fn summary(&self) -> &'static str {
+        "`panic!` in library code (plus `.unwrap()`/`.expect(` where `no-unwrap` does not reach) — return a `TcnError`"
+    }
+    fn scope(&self) -> Scope {
+        Scope {
+            desc: "library `src/` trees except `src/bin/`, experiments, bench, xtask",
+            applies: panic_scope,
+        }
+    }
+    fn exempts_tests(&self) -> bool {
+        true
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = &file.code;
+        for i in 0..code.len() {
+            if seq_at(code, i, &[Pat::Id("panic"), Pat::Pu("!")]) {
+                out.push(diag_at(
+                    file,
+                    &code[i],
+                    self.id(),
+                    "`panic!…` in library code can abort a whole sweep: return a \
+                     TcnError (the cell runner quarantines it), or append \
+                     `lint:allow(no-panic-in-lib): <why>`"
+                        .to_string(),
+                ));
+            }
+        }
+        if !in_no_unwrap_crates(&file.path) {
+            scan_unwraps(file, self.id(), out);
+        }
+    }
+}
+
+/// `no-println-in-lib`: no `println!` / `eprintln!` in library
+/// production code. A library that prints hardcodes one consumer and
+/// one format; this repo's answer to "I want to see what the simulator
+/// did" is a `tcn-telemetry` sink.
+pub struct NoPrintlnInLib;
+
+impl Rule for NoPrintlnInLib {
+    fn id(&self) -> &'static str {
+        "no-println-in-lib"
+    }
+    fn summary(&self) -> &'static str {
+        "`println!` / `eprintln!` in library code — emit a telemetry event instead"
+    }
+    fn scope(&self) -> Scope {
+        Scope {
+            desc: "library `src/` trees except `src/bin/`, experiments, bench, xtask",
+            applies: println_scope,
+        }
+    }
+    fn exempts_tests(&self) -> bool {
+        true
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = &file.code;
+        for i in 0..code.len() {
+            for name in ["println", "eprintln"] {
+                if seq_at(code, i, &[Pat::Id(name), Pat::Pu("!")]) {
+                    out.push(diag_at(
+                        file,
+                        &code[i],
+                        self.id(),
+                        format!(
+                            "`{name}!…` in library code: emit a tcn-telemetry event (or \
+                             return the data) instead of printing, or append \
+                             `lint:allow(no-println-in-lib): <why>`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use std::path::PathBuf;
+
+    fn lint_one(path: &str, src: &str, rule: Box<dyn Rule>) -> Vec<Diagnostic> {
+        run(
+            &[SourceFile::new(PathBuf::from(path), src.to_string())],
+            &[rule],
+        )
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_caught_with_cols() {
+        let d = lint_one(
+            "crates/sim/src/x.rs",
+            "pub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+            Box::new(NoUnwrap),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].col), (2, 7));
+        let d = lint_one(
+            "crates/sim/src/x.rs",
+            "pub fn f(o: Option<u32>) -> u32 {\n    o.expect(\"boom\")\n}\n",
+            Box::new(NoUnwrap),
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_clean() {
+        let d = lint_one(
+            "crates/sim/src/x.rs",
+            "// .unwrap() here\nlet s = \".unwrap()\";\n",
+            Box::new(NoUnwrap),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        let d = lint_one(
+            "crates/sim/src/x.rs",
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+            Box::new(NoUnwrap),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_rule_covers_unwrap_only_outside_no_unwrap_crates() {
+        let src = "pub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n";
+        let covered = lint_one("crates/sim/src/x.rs", src, Box::new(NoPanicInLib));
+        assert!(covered.is_empty(), "covered crates leave unwraps to no-unwrap");
+        let uncovered = lint_one("crates/stats/src/x.rs", src, Box::new(NoPanicInLib));
+        assert_eq!(uncovered.len(), 1);
+        assert_eq!(uncovered[0].rule, "no-panic-in-lib");
+    }
+
+    #[test]
+    fn panic_and_println_are_caught() {
+        let d = lint_one(
+            "crates/stats/src/x.rs",
+            "pub fn f() {\n    panic!(\"boom\");\n}\n",
+            Box::new(NoPanicInLib),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        let d = lint_one(
+            "crates/stats/src/x.rs",
+            "pub fn f() {\n    eprintln!(\"x\");\n}\n",
+            Box::new(NoPrintlnInLib),
+        );
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Memory-safety posture rules: the simulator is pure-std and has no
+//! business with `unsafe`, and every crate root must say so.
+
+use crate::engine::{Diagnostic, Rule, Scope, Severity, SourceFile};
+use crate::rules::{crate_root, diag_at, every_file, seq_at, Pat};
+
+/// `no-unsafe`: the `unsafe` keyword anywhere (even in tests — a
+/// simulator has no business with it). Token-level matching means
+/// `unsafe_code` in the forbid attribute, or the word in a comment or
+/// string, never trips it.
+pub struct NoUnsafe;
+
+impl Rule for NoUnsafe {
+    fn id(&self) -> &'static str {
+        "no-unsafe"
+    }
+    fn summary(&self) -> &'static str {
+        "the `unsafe` keyword anywhere in the repo (tests included)"
+    }
+    fn scope(&self) -> Scope {
+        Scope { desc: "every `.rs` file", applies: every_file }
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for t in &file.code {
+            if t.is_ident("unsafe") {
+                out.push(diag_at(
+                    file,
+                    t,
+                    self.id(),
+                    "`unsafe` is banned everywhere in this repo".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// `forbid-unsafe-attr`: a crate root must carry
+/// `#![forbid(unsafe_code)]` so the ban is compiler-enforced, not just
+/// lint-enforced.
+pub struct ForbidUnsafeAttr;
+
+impl Rule for ForbidUnsafeAttr {
+    fn id(&self) -> &'static str {
+        "forbid-unsafe-attr"
+    }
+    fn summary(&self) -> &'static str {
+        "a crate root missing `#![forbid(unsafe_code)]`"
+    }
+    fn scope(&self) -> Scope {
+        Scope { desc: "every crate root (`src/lib.rs`, `src/main.rs`)", applies: crate_root }
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = &file.code;
+        let pat = [
+            Pat::Pu("#"),
+            Pat::Pu("!"),
+            Pat::Pu("["),
+            Pat::Id("forbid"),
+            Pat::Pu("("),
+            Pat::Id("unsafe_code"),
+            Pat::Pu(")"),
+            Pat::Pu("]"),
+        ];
+        if (0..code.len()).any(|i| seq_at(code, i, &pat)) {
+            return;
+        }
+        out.push(Diagnostic {
+            file: file.path.clone(),
+            line: 1,
+            col: 0,
+            rule: self.id(),
+            severity: Severity::Deny,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use std::path::PathBuf;
+
+    fn lint_one(path: &str, src: &str, rule: Box<dyn Rule>) -> Vec<Diagnostic> {
+        run(
+            &[SourceFile::new(PathBuf::from(path), src.to_string())],
+            &[rule],
+        )
+    }
+
+    #[test]
+    fn unsafe_is_caught_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { std::hint::unreachable_unchecked() } }\n}\n";
+        let d = lint_one("crates/net/src/x.rs", src, Box::new(NoUnsafe));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_in_word_comment_or_string_is_clean() {
+        let src = "#![forbid(unsafe_code)]\n// the word unsafe in a comment\nlet not_unsafe_ident = 1;\nlet s = \"unsafe\";\n";
+        assert!(lint_one("crates/net/src/x.rs", src, Box::new(NoUnsafe)).is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_attr_is_caught() {
+        let d = lint_one(
+            "crates/net/src/lib.rs",
+            "//! docs only\npub fn f() {}\n",
+            Box::new(ForbidUnsafeAttr),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "forbid-unsafe-attr");
+        assert!(lint_one(
+            "crates/net/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            Box::new(ForbidUnsafeAttr)
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn forbid_attr_in_comment_does_not_satisfy() {
+        let d = lint_one(
+            "crates/net/src/lib.rs",
+            "// #![forbid(unsafe_code)]\npub fn f() {}\n",
+            Box::new(ForbidUnsafeAttr),
+        );
+        assert_eq!(d.len(), 1, "a commented-out attribute is not an attribute");
+    }
+}

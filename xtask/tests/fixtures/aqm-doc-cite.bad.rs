@@ -1,0 +1,10 @@
+//! Planted violation: an AQM whose docs cite nothing.
+
+/// A marking scheme described nowhere in particular.
+pub struct Uncited {
+    threshold: u32,
+}
+
+impl Aqm for Uncited {
+    fn on_enqueue(&mut self) {}
+}

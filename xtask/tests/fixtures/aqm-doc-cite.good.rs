@@ -1,0 +1,9 @@
+//! Clean equivalent: the doc names the paper section, above a derive.
+
+/// Threshold marking per the paper (§3.1).
+#[derive(Debug, Clone)]
+pub struct Cited;
+
+impl Aqm for Cited {
+    fn on_enqueue(&mut self) {}
+}

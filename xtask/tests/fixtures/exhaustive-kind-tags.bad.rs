@@ -1,0 +1,20 @@
+//! Planted violations: an undocumented variant, a missing arm, a
+//! wildcard arm, and a duplicated tag.
+
+pub enum TcnError {
+    /// The topology cannot route between two hosts.
+    Topology { detail: String },
+    Config { detail: String },
+    /// The liveness watchdog aborted a stuck run.
+    Stall(StallReport),
+}
+
+impl TcnError {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TcnError::Topology { .. } => "topology",
+            TcnError::Config { .. } => "topology",
+            _ => "other",
+        }
+    }
+}

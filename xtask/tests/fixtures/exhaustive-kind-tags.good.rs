@@ -1,0 +1,22 @@
+//! Clean equivalent: every variant documented, every arm explicit,
+//! every tag unique.
+
+pub enum TcnError {
+    /// The topology cannot route between two hosts.
+    Topology { detail: String },
+    /// A sweep configuration that cannot be simulated as written.
+    Config { detail: String },
+    /// The liveness watchdog aborted a stuck run.
+    Stall(StallReport),
+}
+
+impl TcnError {
+    /// Stable machine-readable tag for quarantine lists and telemetry.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TcnError::Topology { .. } => "topology",
+            TcnError::Config { .. } => "config",
+            TcnError::Stall(_) => "stall",
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Planted violations: an undocumented variant and a stub doc.
+
+pub enum FaultKind {
+    /// A flaky optic silently eating frames on the wire.
+    Loss,
+    /// Drop.
+    Drop,
+    Corrupt,
+}

@@ -1,0 +1,13 @@
+//! Clean equivalent: every variant names its real-world failure mode.
+
+pub enum FaultKind {
+    /// A flaky optic silently eating frames on the wire.
+    Loss,
+    /// Bit errors past the FEC budget; receiver drops on bad CRC.
+    #[allow(dead_code)]
+    Corrupt,
+    /// Maintenance pulling the wrong cable: the link goes dark.
+    LinkDown {
+        link: u32,
+    },
+}

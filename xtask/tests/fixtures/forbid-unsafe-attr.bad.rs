@@ -1,0 +1,3 @@
+//! A crate root without the compiler-enforced ban.
+
+pub fn f() {}

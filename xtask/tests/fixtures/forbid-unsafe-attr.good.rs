@@ -1,0 +1,4 @@
+//! A crate root carrying the compiler-enforced ban.
+#![forbid(unsafe_code)]
+
+pub fn f() {}

@@ -1,0 +1,13 @@
+//! Planted violations: entropy the run seed does not control.
+
+use std::collections::hash_map::RandomState;
+
+pub fn ambient_seed() -> RandomState {
+    RandomState::new()
+}
+
+pub fn hasher() -> u64 {
+    let h = DefaultHasher::new();
+    let _ = h;
+    0
+}

@@ -1,0 +1,11 @@
+//! Clean equivalent: randomness derives from the run's seeded Rng
+//! sub-streams; banned names appear only in prose and strings.
+
+// RandomState and thread_rng are banned
+pub fn derived(rng: &mut Rng) -> u64 {
+    rng.stream(7).next_u64()
+}
+
+pub fn label() -> &'static str {
+    "OsRng"
+}

@@ -1,0 +1,9 @@
+//! Planted violations: raw tick counts cast to floats.
+
+pub fn secs(t: Time) -> f64 {
+    t.as_ps() as f64 / 1e12
+}
+
+pub fn millis(t: Time) -> f32 {
+    t.as_ms() as f32
+}

@@ -1,0 +1,10 @@
+//! Clean equivalent: the named accessors carry their unit.
+
+pub fn secs(t: Time) -> f64 {
+    t.as_secs_f64()
+}
+
+// the cast may appear in prose and strings
+pub fn label() -> &'static str {
+    ".as_ps() as f64"
+}

@@ -1,0 +1,23 @@
+//! Planted violations: hash-ordered containers, in production code and
+//! in a test mod (this rule grants tests no exemption).
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn order_sensitive() {
+        let s: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+}

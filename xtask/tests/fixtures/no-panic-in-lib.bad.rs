@@ -1,0 +1,13 @@
+//! Planted violations: a library panic and an unwrap in a crate
+//! `no-unwrap` does not cover.
+
+pub fn clamp(x: u32) -> u32 {
+    if x > 10 {
+        panic!("x out of range");
+    }
+    x
+}
+
+pub fn pick(o: Option<u32>) -> u32 {
+    o.unwrap()
+}

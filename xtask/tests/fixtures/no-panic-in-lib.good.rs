@@ -1,0 +1,18 @@
+//! Clean equivalent: the failure comes back as a value.
+
+pub fn clamp(x: u32) -> Result<u32, String> {
+    if x > 10 {
+        return Err("x out of range".to_string());
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn assertion_helpers_may_panic() {
+        if 1 + 1 != 2 {
+            panic!("arithmetic broke");
+        }
+    }
+}

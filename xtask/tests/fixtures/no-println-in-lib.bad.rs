@@ -1,0 +1,6 @@
+//! Planted violations: stdout/stderr writes from library code.
+
+pub fn report(x: u32) {
+    println!("x = {x}");
+    eprintln!("warning: {x}");
+}

@@ -1,0 +1,13 @@
+//! Clean equivalent: return the rendering; let a sink print it.
+
+pub fn report(x: u32) -> String {
+    format!("x = {x}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("cargo captures this");
+    }
+}

@@ -1,0 +1,13 @@
+//! Planted violations: +/- on raw tick counts outside the sanctuary.
+
+pub fn jitter_bound(max: Time) -> u64 {
+    max.as_ps() + 1
+}
+
+pub fn window_end(start: Time, w: Time) -> bool {
+    start.as_ps() + w.as_ps() >= 100
+}
+
+pub fn backoff(t: Time) -> u64 {
+    1 + t.as_ms()
+}

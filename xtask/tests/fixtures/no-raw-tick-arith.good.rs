@@ -1,0 +1,23 @@
+//! Clean equivalent: arithmetic happens on Time (checked); raw counts
+//! only scale, quantize, or compare.
+
+pub fn window_end(t: Time, start: Time, w: Time) -> bool {
+    t >= start + w
+}
+
+pub fn quantize(t: Time, w: Time) -> Time {
+    Time::from_ps(t.as_ps() / w.as_ps() * w.as_ps())
+}
+
+pub fn ordered(a: Time, b: Time) -> bool {
+    a.as_ps() >= b.as_ps()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_raw_math() {
+        let t = Time::from_ps(7);
+        assert_eq!(t.as_ps() + 1, 8);
+    }
+}

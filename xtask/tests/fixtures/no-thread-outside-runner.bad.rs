@@ -1,0 +1,6 @@
+//! Planted violation: ambient threading outside the sweep runner.
+
+pub fn fan_out() -> u32 {
+    let h = std::thread::spawn(|| 1 + 1);
+    h.join().unwrap_or(0)
+}

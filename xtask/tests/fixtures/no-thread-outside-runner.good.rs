@@ -1,0 +1,11 @@
+//! Clean equivalent: single-threaded; parallelism belongs to the
+//! runner. The banned path appears only in prose and strings.
+
+// std::thread is the runner's business
+pub fn fan_out() -> u32 {
+    2
+}
+
+pub fn label() -> &'static str {
+    "thread::spawn"
+}

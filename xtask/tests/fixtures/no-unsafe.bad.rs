@@ -1,0 +1,5 @@
+//! Planted violation: an unsafe block (tests would be flagged too).
+
+pub fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,10 @@
+//! Clean equivalent: the word appears only where tokens cannot.
+
+// the word unsafe in a comment is fine
+pub fn label() -> &'static str {
+    "unsafe"
+}
+
+pub fn peek(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,9 @@
+//! Planted violations: production-path unwraps in a covered crate.
+
+pub fn take(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn named(o: Option<u32>) -> u32 {
+    o.expect("must be set")
+}

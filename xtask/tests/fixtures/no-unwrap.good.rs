@@ -1,0 +1,19 @@
+//! Clean equivalent: errors surface, tests may unwrap, prose may
+//! mention the banned call.
+
+pub fn take(o: Option<u32>) -> Result<u32, String> {
+    o.ok_or_else(|| "missing".to_string())
+}
+
+// .unwrap() in a comment is not a finding
+pub fn label() -> &'static str {
+    ".unwrap()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Planted violations: host-clock reads, including inside a test mod
+//! (this rule grants tests no exemption).
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timed() {
+        let t0 = std::time::Instant::now();
+        let _ = t0;
+    }
+}

@@ -1,0 +1,7 @@
+//! Clean equivalent: virtual time only; the banned names appear only
+//! in prose and strings.
+
+// Instant::now is banned outside bench/xtask
+pub fn label() -> &'static str {
+    "std::time::Instant"
+}

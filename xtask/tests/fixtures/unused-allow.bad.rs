@@ -1,0 +1,9 @@
+//! Planted violations: a stale escape and a misspelled rule name.
+
+pub fn quiet() -> u32 { // lint:allow(no-println-in-lib): nothing here prints, stale escape
+    1
+}
+
+pub fn typo() -> u32 { // lint:allow(no-printn-in-lib): misspelled rule name never matches
+    2
+}

@@ -1,0 +1,8 @@
+//! Clean equivalent: the escape on the offending line suppresses a
+//! real diagnostic, so it is used, justified, and legitimate.
+
+use std::collections::HashMap; // lint:allow(no-hash-iter): never iterated — single lookup by fixed key
+
+pub fn lookup(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.get(&0).copied()
+}
