@@ -23,8 +23,8 @@
 //! "we configure CoDel to only mark packets") marks instead of dropping;
 //! [`CoDelMode::Drop`] is the classic Internet behaviour.
 
-use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
-use tcn_core::Packet;
+use tcn_core::aqm::{Aqm, AqmParams, DequeueVerdict, EnqueueVerdict, PortView};
+use tcn_core::{Packet, TcnError};
 use tcn_sim::Time;
 use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
@@ -208,6 +208,22 @@ impl Aqm for CoDel {
         match self.mode {
             CoDelMode::Mark => "CoDel",
             CoDelMode::Drop => "CoDel-drop",
+        }
+    }
+
+    /// Rewrite the target sojourn mid-run. The four per-queue state
+    /// variables survive: a queue already in the dropping state keeps
+    /// its `count`/`drop_next` schedule and simply re-evaluates
+    /// `should_act` against the new target on the next packet.
+    fn reconfigure(&mut self, params: &AqmParams) -> Result<(), TcnError> {
+        match params {
+            AqmParams::CoDel { target } => {
+                self.target = *target;
+                Ok(())
+            }
+            other => Err(TcnError::config(format!(
+                "CoDel takes a `CoDel {{ target }}` parameter set, got {other:?}"
+            ))),
         }
     }
 

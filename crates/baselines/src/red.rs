@@ -21,8 +21,8 @@
 //! of queue capacities* (Fig. 5(b)): per-queue static thresholds
 //! `K_i = C_i·RTT·λ` configured from known capacities.
 
-use tcn_core::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
-use tcn_core::Packet;
+use tcn_core::aqm::{Aqm, AqmParams, DequeueVerdict, EnqueueVerdict, PortView};
+use tcn_core::{Packet, TcnError};
 use tcn_sim::{Ewma, Rng, Time};
 use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
@@ -185,6 +185,26 @@ impl Aqm for RedEcn {
         }
     }
 
+    /// Rewrite the single threshold `K` mid-run. The simplified scheme
+    /// has one register, so `max` becomes the new `K` and `min` only
+    /// participates in validation (`min <= max`), mirroring how an
+    /// operator collapses a RED band onto a step.
+    fn reconfigure(&mut self, params: &AqmParams) -> Result<(), TcnError> {
+        match params {
+            AqmParams::Red { min, max } if min <= max => {
+                self.threshold = *max;
+                Ok(())
+            }
+            AqmParams::Red { min, max } => Err(TcnError::config(format!(
+                "RED thresholds inverted: min {min} > max {max}"
+            ))),
+            other => Err(TcnError::config(format!(
+                "{} takes a `Red {{ min, max }}` parameter set, got {other:?}",
+                self.name()
+            ))),
+        }
+    }
+
     /// ECN/RED drops only at enqueue (non-ECT over threshold); the
     /// dequeue path marks in place and always forwards.
     fn marks_only(&self) -> bool {
@@ -318,6 +338,25 @@ impl Aqm for ClassicRed {
 
     fn name(&self) -> &'static str {
         "ClassicRED"
+    }
+
+    /// Rewrite the `[k_min, k_max]` band mid-run. EWMA averages and the
+    /// inter-mark counters survive — the averaged occupancy is a property
+    /// of the traffic, not of the thresholds judging it.
+    fn reconfigure(&mut self, params: &AqmParams) -> Result<(), TcnError> {
+        match params {
+            AqmParams::Red { min, max } if min <= max => {
+                self.k_min = *min;
+                self.k_max = *max;
+                Ok(())
+            }
+            AqmParams::Red { min, max } => Err(TcnError::config(format!(
+                "RED thresholds inverted: min {min} > max {max}"
+            ))),
+            other => Err(TcnError::config(format!(
+                "ClassicRED takes a `Red {{ min, max }}` parameter set, got {other:?}"
+            ))),
+        }
     }
 }
 

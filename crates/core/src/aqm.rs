@@ -22,6 +22,7 @@
 
 use tcn_sim::{Rate, Time};
 
+use crate::error::TcnError;
 use crate::packet::Packet;
 
 /// What an AQM is allowed to observe about its port.
@@ -52,6 +53,36 @@ pub trait PortView {
     fn round_seq(&self) -> u64 {
         0
     }
+}
+
+/// A runtime-reconfigurable parameter set, applied to a live AQM through
+/// [`Aqm::reconfigure`]. Each variant targets one scheme family; handing
+/// a scheme the wrong variant (or any variant, for schemes without
+/// tunable state) is a [`TcnError::Config`], never a silent no-op —
+/// scenario steps that misname their target must fail loudly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AqmParams {
+    /// TCN's single sojourn-time threshold (paper §4.1).
+    Tcn {
+        /// New instantaneous-sojourn marking threshold.
+        threshold: Time,
+    },
+    /// RED's occupancy thresholds in bytes. The simplified single-K
+    /// schemes (per-queue / per-port / dequeue ECN, §2.2) take `max` as
+    /// their threshold; `ClassicRED` uses the full `[min, max]` band.
+    Red {
+        /// Low byte threshold (`min_th`). Must be `<= max`.
+        min: u64,
+        /// High byte threshold (`max_th`, the single K of the
+        /// simplified schemes).
+        max: u64,
+    },
+    /// CoDel's target sojourn time (§2.2); the interval is a property of
+    /// the deployment's RTT scale and stays fixed across reconfiguration.
+    CoDel {
+        /// New target sojourn time.
+        target: Time,
+    },
 }
 
 /// Decision returned from [`Aqm::on_enqueue`].
@@ -112,6 +143,25 @@ pub trait Aqm {
     /// `MarkDecision` events (TCN, CoDel, RED) store it; the default is
     /// a no-op so schemes without instrumentation need no code.
     fn set_probe(&mut self, _probe: tcn_telemetry::Probe) {}
+
+    /// Apply a runtime parameter change (a scenario step flipping the
+    /// TCN threshold, RED band, or CoDel target mid-run). Schemes keep
+    /// all other state — EWMA averages, drop counts, CoDel first-above
+    /// tracking — across the change, exactly like rewriting a register
+    /// on a live switch. The default rejects every request with
+    /// [`TcnError::Config`], so schemes without tunable state (DropTail,
+    /// the oracle schemes) need no code and cannot silently swallow a
+    /// scenario step.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] when `params` does not match the scheme's
+    /// family or carries out-of-range values (e.g. RED `min > max`).
+    fn reconfigure(&mut self, params: &AqmParams) -> Result<(), TcnError> {
+        Err(TcnError::config(format!(
+            "AQM `{}` does not accept runtime parameters {params:?}",
+            self.name()
+        )))
+    }
 
     /// True if this scheme is contractually mark-only: it may CE-mark
     /// packets but must never return [`DequeueVerdict::Drop`]. TCN is

@@ -46,7 +46,7 @@ pub mod queue;
 pub mod tcn;
 pub mod threshold;
 
-pub use aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+pub use aqm::{Aqm, AqmParams, DequeueVerdict, EnqueueVerdict, PortView};
 pub use arena::{ArenaStats, PacketArena, PacketHandle};
 pub use error::{StallReport, TcnError};
 pub use packet::{EcnCodepoint, FlowId, Packet, PacketKind};

@@ -14,7 +14,8 @@
 use tcn_sim::{Rng, Time};
 use tcn_telemetry::{Event as TelemetryEvent, Probe};
 
-use crate::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PortView};
+use crate::aqm::{Aqm, AqmParams, DequeueVerdict, EnqueueVerdict, PortView};
+use crate::error::TcnError;
 use crate::packet::Packet;
 
 /// Counters exposed by both TCN variants for instrumentation.
@@ -120,6 +121,20 @@ impl Aqm for Tcn {
 
     fn name(&self) -> &'static str {
         "TCN"
+    }
+
+    /// Swap the sojourn threshold mid-run (scenario step `aqm`).
+    /// Counters survive the change; only the register `T` is rewritten.
+    fn reconfigure(&mut self, params: &AqmParams) -> Result<(), TcnError> {
+        match params {
+            AqmParams::Tcn { threshold } => {
+                self.threshold = *threshold;
+                Ok(())
+            }
+            other => Err(TcnError::config(format!(
+                "TCN takes a `Tcn {{ threshold }}` parameter set, got {other:?}"
+            ))),
+        }
     }
 
     /// TCN's §4.2 contract: marking, as opposed to dropping.

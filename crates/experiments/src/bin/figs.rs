@@ -2,12 +2,20 @@
 //!
 //! Usage:
 //!   figs <figure> [flags]          run one figure (figs list shows them)
-//!   figs all [--threads N] [flags] run every figure in-process
+//!   figs all [--threads N] [flags] run every figure in-process, then
+//!                                  the whole scenario library
 //!   figs list                      list figures
 //!   figs trace <figure> --out F    run one sweep cell with telemetry,
 //!                                  write a JSONL trace, print the
 //!                                  run-summary report
 //!   figs check-trace <file>        validate a JSONL trace's schema
+//!   figs scenario list [--tag T]   list the named chaos scenarios
+//!   figs scenario all [--quick]    run the whole library (honours
+//!                                  TCN_CHECKPOINT for kill-and-resume)
+//!   figs scenario <id> [--quick] [--trace-out F]
+//!                                  run one named scenario
+//!   figs fuzz [--seeds N]          run the seeded scenario fuzzer
+//!                                  (TCN_FUZZ_SEEDS / TCN_FUZZ_STEP_BUDGET)
 //!
 //! Figure flags (`--quick|--medium|--full`, `--flows N`, `--seed N`,
 //! `--json`, …) are read by the figure entries themselves and work
@@ -15,10 +23,12 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 
-use tcn_experiments::common::Scale;
+use tcn_experiments::common::{maybe_write_json, Scale};
 use tcn_experiments::fct_sweep::{self, SweepConfig};
 use tcn_experiments::figs;
+use tcn_experiments::scenario;
 use tcn_experiments::trace::{validate_trace, JsonlSink};
 use tcn_net::LeafSpineConfig;
 use tcn_sim::Time;
@@ -27,7 +37,7 @@ use tcn_telemetry::Telemetry;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figs <figure|all|list|trace|check-trace> [flags]\n       figs list  # figure names"
+        "usage: figs <figure|all|list|trace|check-trace|scenario|fuzz> [flags]\n       figs list  # figure names\n       figs scenario list  # chaos scenario names"
     );
     std::process::exit(2);
 }
@@ -44,6 +54,8 @@ fn main() {
         "all" => run_all(&args[1..]),
         "trace" => run_trace(&args[1..]),
         "check-trace" => check_trace(&args[1..]),
+        "scenario" => run_scenario_cmd(&args[1..]),
+        "fuzz" => run_fuzz_cmd(&args[1..]),
         name => match figs::find(name) {
             Some(f) => (f.run)(),
             None => {
@@ -51,6 +63,148 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run_scenario_cmd(rest: &[String]) {
+    let Some(sub) = rest.first() else {
+        eprintln!("usage: figs scenario <list|all|id> [--tag T] [--quick] [--trace-out F]");
+        std::process::exit(2);
+    };
+    let quick = rest.iter().any(|a| a == "--quick");
+    match sub.as_str() {
+        "list" => {
+            let tag = flag_value(rest, "--tag");
+            for named in scenario::LIBRARY {
+                let sc = scenario::load(named.id).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+                if let Some(t) = tag {
+                    if !sc.tags.iter().any(|x| x == t) {
+                        continue;
+                    }
+                }
+                println!("{:<24} [{}] {}", sc.id, sc.tags.join(", "), sc.about);
+            }
+        }
+        "all" => {
+            let checkpoint = std::env::var("TCN_CHECKPOINT").ok().map(PathBuf::from);
+            let batch = scenario::run_library(
+                quick,
+                tcn_experiments::runner::default_threads(),
+                checkpoint.as_deref(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("scenario batch: {e}");
+                std::process::exit(1);
+            });
+            for r in &batch.reports {
+                println!(
+                    "{:<24} {}/{} flows, {} steps applied, drops {}, marks {}, avg {:.0} us",
+                    r.id, r.completed, r.flows, r.reconfigs.len(), r.drops, r.marks, r.avg_fct_us
+                );
+            }
+            maybe_write_json("scenario_all", &batch.reports);
+            if !batch.failures.is_empty() {
+                eprintln!("{}/{} scenarios FAILED:", batch.failures.len(), scenario::LIBRARY.len());
+                for (id, error) in &batch.failures {
+                    eprintln!("  {id}: {error}");
+                }
+                std::process::exit(1);
+            }
+            println!("all {} scenarios succeeded", scenario::LIBRARY.len());
+        }
+        id => {
+            if scenario::find(id).is_none() {
+                // Same convention as `xtask lint --rule`: exit 2 with a
+                // nearest-match suggestion.
+                match scenario::nearest(id) {
+                    Some(close) => eprintln!(
+                        "unknown scenario {id:?} — did you mean `{close}`? (`figs scenario list` shows the menu)"
+                    ),
+                    None => eprintln!(
+                        "unknown scenario {id:?} — `figs scenario list` shows the menu"
+                    ),
+                }
+                std::process::exit(2);
+            }
+            let sc = scenario::load(id).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let result = match flag_value(rest, "--trace-out") {
+                Some(out_path) => {
+                    let file = File::create(out_path).unwrap_or_else(|e| {
+                        eprintln!("create {out_path}: {e}");
+                        std::process::exit(1);
+                    });
+                    let bus = Telemetry::new();
+                    bus.add_sink(Box::new(JsonlSink::new(BufWriter::new(file))));
+                    let r = scenario::engine::run_scenario_traced(&sc, quick, &bus);
+                    if r.is_ok() {
+                        println!("trace written to {out_path}");
+                    }
+                    r
+                }
+                None => scenario::run_scenario(&sc, quick),
+            };
+            match result {
+                Ok(report) => {
+                    println!("scenario {} — {}", report.id, sc.about);
+                    println!(
+                        "  {}/{} flows, drops {} (drains {}, injected loss {}, corrupt {}), marks {}",
+                        report.completed,
+                        report.flows,
+                        report.drops,
+                        report.drain_drops,
+                        report.loss_drops,
+                        report.corrupt_drops,
+                        report.marks
+                    );
+                    println!(
+                        "  fct avg {:.0} us, p99 {:.0} us",
+                        report.avg_fct_us, report.p99_fct_us
+                    );
+                    if !report.reconfigs.is_empty() {
+                        println!("  reconfigurations ({}):", report.reconfigs.len());
+                        for line in &report.reconfigs {
+                            println!("    {line}");
+                        }
+                    }
+                    maybe_write_json(&format!("scenario_{}", report.id), &report);
+                }
+                Err(e) => {
+                    eprintln!("scenario {id}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+fn run_fuzz_cmd(rest: &[String]) {
+    let seeds = flag_value(rest, "--seeds")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16);
+    let opts = scenario::FuzzOpts::new(seeds).from_env();
+    let report = scenario::run_fuzz(&opts);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    maybe_write_json("fuzz", &report);
+    if report.failures.is_empty() {
+        println!("fuzz: {} seeds, zero violations", report.seeds);
+    } else {
+        eprintln!("fuzz: {}/{} seeds FAILED", report.failures.len(), report.seeds);
+        std::process::exit(1);
     }
 }
 

@@ -597,7 +597,8 @@ pub struct FigureFailure {
     pub error: String,
 }
 
-/// Run every figure in-process (the `figs all` / `all` binary path).
+/// Run every figure in-process (the `figs all` / `all` binary path),
+/// then the whole scenario library (quick mode).
 ///
 /// Each figure runs under the same isolation machinery the sweeps use
 /// per cell ([`crate::runner::run_isolated`]): a panicking or erroring
@@ -605,6 +606,7 @@ pub struct FigureFailure {
 /// batch, and the caller decides the exit code. Cell-level faults never
 /// reach this layer — the sweeps quarantine them and still return a
 /// result, so a figure only lands here when it is broken wholesale.
+/// A failed scenario joins the same list as `scenario:<id>`.
 pub fn run_all() -> Vec<FigureFailure> {
     let mut failures = Vec::new();
     for fig in FIGURES {
@@ -620,9 +622,34 @@ pub fn run_all() -> Vec<FigureFailure> {
             });
         }
     }
+    println!("\n################ scenarios ################");
+    let batch = crate::scenario::run_library(true, crate::runner::default_threads(), None)
+        .expect("an uncheckpointed scenario batch has no harness error path");
+    for report in &batch.reports {
+        println!(
+            "scenario {}: ok — {}/{} flows, {} steps applied, drops {}, marks {}",
+            report.id,
+            report.completed,
+            report.flows,
+            report.reconfigs.len(),
+            report.drops,
+            report.marks
+        );
+    }
+    for (id, error) in &batch.failures {
+        eprintln!("!! scenario {id} failed: {error}");
+        failures.push(FigureFailure {
+            name: format!("scenario:{id}"),
+            error: error.clone(),
+        });
+    }
     println!();
     if failures.is_empty() {
-        println!("all {} figures succeeded", FIGURES.len());
+        println!(
+            "all {} figures and {} scenarios succeeded",
+            FIGURES.len(),
+            crate::scenario::LIBRARY.len()
+        );
     }
     failures
 }

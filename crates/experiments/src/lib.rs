@@ -45,6 +45,7 @@ pub mod figs;
 pub mod incast;
 pub mod pifo_demo;
 pub mod runner;
+pub mod scenario;
 pub mod trace;
 
 pub use common::{Scale, SchedKind, Scheme};

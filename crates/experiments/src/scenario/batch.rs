@@ -1,0 +1,145 @@
+//! The library batch runner behind `figs scenario all`: every named
+//! scenario in an isolated cell, with optional JSONL checkpoint/resume.
+//!
+//! The checkpoint's config hash folds the **bytes** of every embedded
+//! scenario file (not their paths): edit any scenario and a resume
+//! sees a different fingerprint, truncates the stale cells, and starts
+//! over — the same guarantee the FCT sweeps give for their config.
+
+use std::path::Path;
+
+use super::engine::{run_scenario, ScenarioReport};
+use super::library::{load, LIBRARY};
+use crate::checkpoint::{fnv1a, Checkpoint};
+use crate::json::ToJson;
+use crate::runner::{quarantine, run_cell_outcomes_with, CellOutcome};
+use tcn_core::TcnError;
+
+/// The result of a library batch: reports in library order, plus the
+/// scenarios that failed.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One report per scenario that completed, in library order.
+    pub reports: Vec<ScenarioReport>,
+    /// `(id, error)` per failed scenario, in library order.
+    pub failures: Vec<(String, String)>,
+}
+
+/// fnv1a-64 over every embedded scenario's id and source bytes — the
+/// batch checkpoint's config hash.
+pub fn library_fingerprint() -> u64 {
+    let mut buf = String::new();
+    for named in LIBRARY {
+        buf.push_str(named.id);
+        buf.push('\0');
+        buf.push_str(named.source);
+        buf.push('\0');
+    }
+    fnv1a(&buf)
+}
+
+/// Run every library scenario in isolated cells.
+///
+/// With `checkpoint` set, completed cells are recorded after each run
+/// and replayed on resume (compatible header required — see
+/// [`library_fingerprint`]).
+///
+/// # Errors
+/// [`TcnError::Config`] when the checkpoint file cannot be written or
+/// a recorded payload does not parse back. Scenario failures are data
+/// (`failures`), not errors.
+pub fn run_library(
+    quick: bool,
+    threads: usize,
+    checkpoint: Option<&Path>,
+) -> Result<BatchOutcome, TcnError> {
+    let (ckpt, done) = match checkpoint {
+        Some(path) => {
+            let (c, d) = Checkpoint::open(path, library_fingerprint(), LIBRARY.len())
+                .map_err(|e| TcnError::config(format!("checkpoint {}: {e}", path.display())))?;
+            (Some(c), d)
+        }
+        None => (None, Default::default()),
+    };
+    let outcomes = run_cell_outcomes_with(threads, LIBRARY.len(), 1, |i, _| {
+        if let Some((_, payload)) = done.get(&i) {
+            return ScenarioReport::from_json(payload)
+                .map_err(|e| TcnError::config(format!("checkpoint cell {i}: {e}")));
+        }
+        let sc = load(LIBRARY[i].id).map_err(TcnError::config)?;
+        let report = run_scenario(&sc, quick)?;
+        if let Some(ck) = &ckpt {
+            ck.record(i, 1, &report.to_json())
+                .map_err(|e| TcnError::config(format!("checkpoint write: {e}")))?;
+        }
+        Ok(report)
+    });
+    let failures = quarantine(&outcomes)
+        .into_iter()
+        .map(|(cell, _, error)| (LIBRARY[cell].id.to_string(), error.to_string()))
+        .collect();
+    let reports = outcomes
+        .into_iter()
+        .filter_map(CellOutcome::into_ok)
+        .collect();
+    Ok(BatchOutcome { reports, failures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_tracks_scenario_bytes() {
+        // Deterministic across calls…
+        assert_eq!(library_fingerprint(), library_fingerprint());
+        // …and actually derived from the sources: any byte change
+        // moves the hash.
+        let mut buf = String::new();
+        for named in LIBRARY {
+            buf.push_str(named.id);
+            buf.push('\0');
+            buf.push_str(named.source);
+            buf.push('\0');
+        }
+        let edited = format!("{buf}x");
+        assert_ne!(fnv1a(&buf), fnv1a(&edited));
+        assert_eq!(fnv1a(&buf), library_fingerprint());
+    }
+
+    #[test]
+    fn checkpointed_batch_resumes_and_detects_edits() {
+        let dir = std::env::temp_dir().join(format!("tcn-scenario-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("batch.jsonl");
+
+        let first = run_library(true, 2, Some(&path)).expect("first batch");
+        assert!(first.failures.is_empty(), "{:?}", first.failures);
+        assert_eq!(first.reports.len(), LIBRARY.len());
+
+        // Resume: every cell replays from the checkpoint and the
+        // merged reports are identical.
+        let resumed = run_library(true, 2, Some(&path)).expect("resumed batch");
+        assert_eq!(first.reports, resumed.reports);
+
+        // A "scenario edit": rewrite the header with a different
+        // config hash, as Checkpoint::open would see after the
+        // embedded bytes change. The stale cells must be truncated —
+        // i.e. the file is re-created with only the new header.
+        let text = std::fs::read_to_string(&path).expect("read checkpoint");
+        assert!(text.lines().count() > LIBRARY.len(), "header + cells");
+        let stale = text.replace(
+            &format!("{:016x}", library_fingerprint()),
+            &format!("{:016x}", library_fingerprint() ^ 1),
+        );
+        std::fs::write(&path, stale).expect("rewrite");
+        let fresh = run_library(true, 2, Some(&path)).expect("fresh batch");
+        assert_eq!(first.reports, fresh.reports, "recomputed, same data");
+        let after = std::fs::read_to_string(&path).expect("read again");
+        assert!(
+            after.contains(&format!("{:016x}", library_fingerprint())),
+            "truncated file carries the current fingerprint"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,314 @@
+//! Hand-rolled parser for the JSON5 subset scenario files use.
+//!
+//! Strict [`crate::json::Json::parse`] stays untouched — experiment
+//! *outputs* remain plain JSON — but hand-written scenario files earn a
+//! few ergonomics on top of it:
+//!
+//! * `//` line comments and `/* … */` block comments;
+//! * trailing commas in arrays and objects;
+//! * unquoted identifier keys (`hosts: 8` instead of `"hosts": 8`);
+//! * single- or double-quoted strings.
+//!
+//! The parser produces ordinary [`Json`] values, so everything
+//! downstream (field lookup, pretty-printing, checkpoint payloads)
+//! reuses the existing machinery. Errors carry a `line:col` position.
+
+use crate::json::Json;
+
+/// Parse a JSON5-subset document into a [`Json`] value.
+///
+/// # Errors
+/// A `"line:col: message"` string on malformed input.
+pub fn parse_json5(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_trivia()?;
+    let value = p.value()?;
+    p.skip_trivia()?;
+    if p.pos < p.src.len() {
+        return Err(p.err("trailing content after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    /// `line:col`-tagged error at the current position.
+    fn err(&self, msg: &str) -> String {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.src[..self.pos.min(self.src.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        format!("{line}:{col}: {msg}")
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    /// Skip whitespace and `//` / `/* */` comments.
+    fn skip_trivia(&mut self) -> Result<(), String> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'/') => match self.src.get(self.pos + 1) {
+                    Some(b'/') => {
+                        while !matches!(self.peek(), None | Some(b'\n')) {
+                            self.pos += 1;
+                        }
+                    }
+                    Some(b'*') => {
+                        self.pos += 2;
+                        loop {
+                            match self.peek() {
+                                None => return Err(self.err("unterminated block comment")),
+                                Some(b'*') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                                    self.pos += 2;
+                                    break;
+                                }
+                                Some(_) => self.pos += 1,
+                            }
+                        }
+                    }
+                    _ => return Ok(()),
+                },
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"' | b'\'') => Ok(Json::Str(self.string()?)),
+            Some(b't' | b'f' | b'n') => self.word(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            let key = match self.peek() {
+                Some(b'"' | b'\'') => self.string()?,
+                Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.identifier(),
+                _ => return Err(self.err("expected an object key")),
+            };
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key `{key}`")));
+            }
+            self.skip_trivia()?;
+            self.expect(b':')?;
+            self.skip_trivia()?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_trivia()?;
+            match self.peek() {
+                Some(b',') => self.pos += 1, // trailing comma allowed
+                Some(b'}') => {}
+                _ => return Err(self.err("expected `,` or `}` after an object field")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia()?;
+            match self.peek() {
+                Some(b',') => self.pos += 1, // trailing comma allowed
+                Some(b']') => {}
+                _ => return Err(self.err("expected `,` or `]` after an array item")),
+            }
+        }
+    }
+
+    /// A quoted string, `"…"` or `'…'`, with `\"` `\'` `\\` `\n` `\t` escapes.
+    fn string(&mut self) -> Result<String, String> {
+        let quote = self.peek().ok_or_else(|| self.err("expected a string"))?;
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\'') => out.push('\''),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through byte-by-byte; the
+                    // source is a &str so the bytes are always valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.src.len() && self.src[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    /// An unquoted object key: `[A-Za-z_][A-Za-z0-9_]*`.
+    fn identifier(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// `true` / `false` / `null`.
+    fn word(&mut self) -> Result<Json, String> {
+        let ident = self.identifier();
+        match ident.as_str() {
+            "true" => Ok(Json::Bool(true)),
+            "false" => Ok(Json::Bool(false)),
+            "null" => Ok(Json::Null),
+            other => Err(self.err(&format!("unknown word `{other}`"))),
+        }
+    }
+
+    /// A JSON number (optional sign, fraction, exponent).
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("malformed number `{text}`")))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_trailing_commas_and_bare_keys_parse() {
+        let src = r#"
+        // a scenario header
+        {
+            id: "demo", /* inline note */
+            tags: ["a", "b",],
+            base: { hosts: 8, loss: 0.25, on: true, off: false, gap: null, },
+        }
+        "#;
+        let v = parse_json5(src).expect("parses");
+        assert_eq!(v.str_field("id").unwrap(), "demo");
+        assert_eq!(v.get("tags").unwrap().as_arr().unwrap().len(), 2);
+        let base = v.get("base").unwrap();
+        assert_eq!(base.u64_field("hosts").unwrap(), 8);
+        assert!((base.f64_field("loss").unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(base.get("gap"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn strict_json_is_a_valid_subset() {
+        let src = r#"{"a": [1, 2.5, -3], "b": {"c": "d"}}"#;
+        let ours = parse_json5(src).expect("json5 side");
+        let strict = Json::parse(src).expect("strict side");
+        assert_eq!(ours, strict);
+    }
+
+    #[test]
+    fn single_quoted_strings_and_escapes() {
+        let v = parse_json5(r#"{ s: 'it\'s', t: "a\nb" }"#).unwrap();
+        assert_eq!(v.str_field("s").unwrap(), "it's");
+        assert_eq!(v.str_field("t").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_json5("{\n  a: ,\n}").expect_err("bad value");
+        assert!(err.starts_with("2:"), "{err}");
+        let err = parse_json5("{ a: 1 b: 2 }").expect_err("missing comma");
+        assert!(err.contains("expected `,`"), "{err}");
+        let err = parse_json5("/* open").expect_err("unterminated comment");
+        assert!(err.contains("unterminated block comment"), "{err}");
+        let err = parse_json5("{ a: 1, a: 2 }").expect_err("dup key");
+        assert!(err.contains("duplicate key `a`"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse_json5("{} {}").expect_err("two documents");
+        assert!(err.contains("trailing content"), "{err}");
+    }
+}

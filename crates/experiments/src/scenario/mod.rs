@@ -1,0 +1,223 @@
+//! Timed-scenario DSL, named chaos library, and seeded scenario fuzzer.
+//!
+//! A *scenario* is a small declarative chaos experiment: a base
+//! single-switch workload plus an ordered list of timed steps, each
+//! mutating link conditions, AQM parameters, link rates, topology
+//! (admin up/down, switch drains) or the traffic mix. Scenario files
+//! are written in a hand-rolled JSON5 subset ([`json5`]) with duration
+//! strings (`"500ms"`, `"2s"`) resolved to picosecond [`Time`] values,
+//! and compile down to [`tcn_net::NetMutation`]s scheduled on the
+//! simulator's calendar queue — so a step lands with exactly the same
+//! determinism guarantees as any packet event.
+//!
+//! The pieces:
+//!
+//! * [`json5`] — the lenient parser (comments, trailing commas,
+//!   unquoted keys) producing plain [`crate::json::Json`] values;
+//! * [`parse`] — `Json` → [`Scenario`] (and back, for quarantine
+//!   repros), including [`parse::parse_duration`];
+//! * [`engine`] — builds the sim, expands loops, schedules the steps,
+//!   runs to completion under the audit invariants, and reports;
+//! * [`library`] — the 15+ named scenarios embedded from `scenarios/`,
+//!   runnable via `figs scenario <id>`;
+//! * [`fuzz`] — the seeded scenario fuzzer behind `figs fuzz`, with a
+//!   greedy shrinker that reduces failures to minimal repros.
+
+pub mod batch;
+pub mod engine;
+pub mod fuzz;
+pub mod json5;
+pub mod library;
+pub mod parse;
+
+pub use batch::{library_fingerprint, run_library, BatchOutcome};
+pub use engine::{run_scenario, ScenarioReport};
+pub use fuzz::{run_fuzz, shrink, FuzzOpts, FuzzReport};
+pub use json5::parse_json5;
+pub use library::{find, load, nearest, NamedScenario, LIBRARY};
+pub use parse::{parse_duration, parse_scenario, scenario_to_json5};
+
+use crate::common::{SchedKind, Scheme};
+use tcn_sim::Time;
+
+/// A parsed scenario: metadata, the base workload, and the timed steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable identifier (`figs scenario <id>` and quarantine names).
+    pub id: String,
+    /// One-line human description.
+    pub about: String,
+    /// Free-form tags for `figs scenario list --tag <t>` filtering.
+    pub tags: Vec<String>,
+    /// The base workload the steps perturb.
+    pub base: BaseConfig,
+    /// How many times the step list repeats (`loop_scenario` in files).
+    pub loops: u32,
+    /// Offset between loop iterations (defaults to the traffic horizon).
+    pub period: Time,
+    /// The ordered timed steps.
+    pub steps: Vec<Step>,
+}
+
+/// The base single-switch workload a scenario runs against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseConfig {
+    /// Hosts around the switch (the switch is node `hosts`).
+    pub hosts: usize,
+    /// Queues per switch egress port.
+    pub queues: usize,
+    /// Shared buffer per switch egress port, bytes.
+    pub buffer: u64,
+    /// The ECN/AQM scheme on switch egress ports.
+    pub scheme: Scheme,
+    /// The packet scheduler on switch egress ports.
+    pub sched: SchedKind,
+    /// Background flows generated over the horizon.
+    pub flows: usize,
+    /// Mean background flow size, bytes (exponential sizes).
+    pub mean_flow_bytes: u64,
+    /// Master seed for traffic generation.
+    pub seed: u64,
+    /// Background flow start times are uniform in `[0, horizon)`.
+    pub horizon: Time,
+    /// Completion deadline: all flows must finish by here.
+    pub deadline: Time,
+}
+
+/// One timed step of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// When the step fires, relative to the start of its loop iteration.
+    pub at: Time,
+    /// Per-step description (shows up in reports and repros).
+    pub about: String,
+    /// What the step does.
+    pub change: StepMutation,
+}
+
+/// Which link(s) of the single-switch star a step targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkSel {
+    /// Every switch egress (downlink) port.
+    All,
+    /// One link by raw link index (host `h` uplink = `2h`,
+    /// downlink = `2h + 1`).
+    One(u32),
+}
+
+/// The mutation a step applies. Every variant carries a unique
+/// backticked `step:<tag>` marker in its doc comment — the
+/// `scenario-step-doc` lint holds this enum to the same tag discipline
+/// as the error and event kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepMutation {
+    /// `step:conditions` — swap a link's fault profile: loss and
+    /// corruption probabilities plus delay jitter, all in one step.
+    Conditions {
+        /// Target link(s).
+        link: LinkSel,
+        /// Per-packet loss probability.
+        loss: f64,
+        /// Per-packet corruption probability.
+        corrupt: f64,
+        /// Probability a packet picks up extra delay.
+        jitter_prob: f64,
+        /// Maximum extra delay when jitter fires.
+        jitter_max: Time,
+    },
+    /// `step:link-down` — administratively down one link (the flap's
+    /// falling edge; transports see it after the detection delay).
+    LinkDown {
+        /// Raw link index.
+        link: u32,
+    },
+    /// `step:link-up` — administratively restore one link (the flap's
+    /// rising edge).
+    LinkUp {
+        /// Raw link index.
+        link: u32,
+    },
+    /// `step:link-rate` — renegotiate a link's rate downward or back
+    /// up, as in an auto-negotiation downshift or brown-out.
+    LinkRate {
+        /// Target link(s).
+        link: LinkSel,
+        /// New rate in Mbit/s (must be positive).
+        mbps: u64,
+    },
+    /// `step:drain` — administratively drain every egress queue of the
+    /// switch, discarding the backlog (a rolling-upgrade reboot).
+    Drain,
+    /// `step:aqm-tcn` — retune the TCN sojourn-time threshold on a
+    /// TCN-family port.
+    AqmTcn {
+        /// Target link(s).
+        link: LinkSel,
+        /// New sojourn threshold.
+        threshold: Time,
+    },
+    /// `step:aqm-red` — retune RED's min/max byte thresholds on a
+    /// RED-family port.
+    AqmRed {
+        /// Target link(s).
+        link: LinkSel,
+        /// New min threshold, bytes.
+        min: u64,
+        /// New max threshold, bytes.
+        max: u64,
+    },
+    /// `step:aqm-codel` — retune the CoDel sojourn target on a CoDel
+    /// port.
+    AqmCodel {
+        /// Target link(s).
+        link: LinkSel,
+        /// New sojourn target.
+        target: Time,
+    },
+    /// `step:burst` — inject a synchronized incast: `senders` hosts
+    /// each open one `bytes`-sized flow to `dst` at the step instant.
+    Burst {
+        /// Receiving host.
+        dst: u32,
+        /// How many distinct senders join the incast.
+        senders: u32,
+        /// Bytes per sender flow.
+        bytes: u64,
+    },
+}
+
+impl StepMutation {
+    /// The `step:<tag>` marker naming this mutation kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StepMutation::Conditions { .. } => "conditions",
+            StepMutation::LinkDown { .. } => "link-down",
+            StepMutation::LinkUp { .. } => "link-up",
+            StepMutation::LinkRate { .. } => "link-rate",
+            StepMutation::Drain => "drain",
+            StepMutation::AqmTcn { .. } => "aqm-tcn",
+            StepMutation::AqmRed { .. } => "aqm-red",
+            StepMutation::AqmCodel { .. } => "aqm-codel",
+            StepMutation::Burst { .. } => "burst",
+        }
+    }
+}
+
+impl Default for BaseConfig {
+    fn default() -> Self {
+        BaseConfig {
+            hosts: 8,
+            queues: 2,
+            buffer: 96_000,
+            scheme: Scheme::Tcn {
+                threshold: Time::from_us(256),
+            },
+            sched: SchedKind::Dwrr { quantum: 1500 },
+            flows: 60,
+            mean_flow_bytes: 50_000,
+            seed: 1,
+            horizon: Time::from_ms(2),
+            deadline: Time::from_secs(20),
+        }
+    }
+}

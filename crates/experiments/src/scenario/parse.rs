@@ -1,0 +1,683 @@
+//! `Json` → [`Scenario`] (and back), plus duration-string parsing.
+//!
+//! Scenario files spell every time value as a duration string —
+//! `"500ms"`, `"2s"`, `"90us"` — resolved here to picosecond [`Time`]
+//! values with checked arithmetic, so a typo'd `"999999999m"` is a
+//! parse error instead of a silent wrap. Field checking is strict: an
+//! unknown key anywhere in the document names itself in the error, so
+//! a misspelled knob cannot be silently ignored.
+
+use super::{BaseConfig, LinkSel, Scenario, Step, StepMutation};
+use crate::common::{SchedKind, Scheme};
+use crate::json::Json;
+use tcn_sim::Time;
+
+const PS_PER_NS: u64 = 1_000;
+const PS_PER_US: u64 = 1_000_000;
+const PS_PER_MS: u64 = 1_000_000_000;
+const PS_PER_SEC: u64 = 1_000_000_000_000;
+const PS_PER_MIN: u64 = 60 * PS_PER_SEC;
+
+/// Parse a duration string — an integer count plus a unit suffix from
+/// `ns` / `us` / `ms` / `s` / `m` — into a picosecond [`Time`].
+///
+/// `"0ms"` is [`Time::ZERO`]; counts that overflow the u64 picosecond
+/// clock are errors, as are floats (`"1.5ms"`) and missing units.
+///
+/// # Errors
+/// A human-readable message naming the offending input.
+pub fn parse_duration(s: &str) -> Result<Time, String> {
+    let t = s.trim();
+    let digits_end = t
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(t.len());
+    let (digits, unit) = t.split_at(digits_end);
+    if digits.is_empty() {
+        return Err(format!("duration `{s}` must start with a digit"));
+    }
+    if unit.starts_with('.') {
+        return Err(format!(
+            "duration `{s}` must be an integer count — floats are not supported \
+             (write `1500us` instead of `1.5ms`)"
+        ));
+    }
+    let count: u64 = digits
+        .parse()
+        .map_err(|_| format!("duration `{s}`: count does not fit in u64"))?;
+    let ps_per = match unit {
+        "ns" => PS_PER_NS,
+        "us" => PS_PER_US,
+        "ms" => PS_PER_MS,
+        "s" => PS_PER_SEC,
+        "m" => PS_PER_MIN,
+        "" => return Err(format!("duration `{s}` is missing a unit (ns/us/ms/s/m)")),
+        other => {
+            return Err(format!(
+                "duration `{s}`: unknown unit `{other}` (expected ns/us/ms/s/m)"
+            ))
+        }
+    };
+    count
+        .checked_mul(ps_per)
+        .map(Time::from_ps)
+        .ok_or_else(|| format!("duration `{s}` overflows the picosecond clock"))
+}
+
+/// Format a [`Time`] as the shortest duration string that round-trips
+/// through [`parse_duration`]. Sub-nanosecond residue (unreachable from
+/// parsed scenarios) floors to nanoseconds.
+fn fmt_duration(t: Time) -> String {
+    let ps = t.as_ps();
+    if ps == 0 {
+        return "0ms".to_string();
+    }
+    for (per, unit) in [
+        (PS_PER_MIN, "m"),
+        (PS_PER_SEC, "s"),
+        (PS_PER_MS, "ms"),
+        (PS_PER_US, "us"),
+    ] {
+        if ps % per == 0 {
+            return format!("{}{unit}", ps / per);
+        }
+    }
+    format!("{}ns", ps / PS_PER_NS)
+}
+
+/// Reject object keys outside `allowed`, naming the stray key.
+fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    if let Json::Obj(fields) = v {
+        for (k, _) in fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("{ctx}: unknown key `{k}`"));
+            }
+        }
+        Ok(())
+    } else {
+        Err(format!("{ctx}: expected an object"))
+    }
+}
+
+fn opt_str(v: &Json, key: &str, default: &str) -> Result<String, String> {
+    match v.get(key) {
+        None => Ok(default.to_string()),
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field `{key}` must be a string")),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+/// A probability field: a number in `[0, 1]`.
+fn opt_prob(v: &Json, key: &str) -> Result<f64, String> {
+    let p = opt_f64(v, key, 0.0)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("field `{key}` must be a probability in [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn opt_duration(v: &Json, key: &str, default: Time) -> Result<Time, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(Json::Str(s)) => parse_duration(s),
+        Some(_) => Err(format!(
+            "field `{key}` must be a duration string like \"500ms\""
+        )),
+    }
+}
+
+fn req_duration(v: &Json, key: &str) -> Result<Time, String> {
+    match v.get(key) {
+        None => Err(format!("missing field `{key}`")),
+        _ => opt_duration(v, key, Time::ZERO),
+    }
+}
+
+/// `link: 3` or `link: "all"` (default: every switch downlink).
+fn link_sel(v: &Json) -> Result<LinkSel, String> {
+    match v.get("link") {
+        None => Ok(LinkSel::All),
+        Some(Json::Str(s)) if s == "all" => Ok(LinkSel::All),
+        Some(j) => j
+            .as_u64()
+            .map(|l| LinkSel::One(l as u32))
+            .ok_or_else(|| "field `link` must be a link index or \"all\"".to_string()),
+    }
+}
+
+/// A raw link index (required, numeric).
+fn link_index(v: &Json) -> Result<u32, String> {
+    v.u64_field("link").map(|l| l as u32)
+}
+
+/// Parse `scheme: "tcn"` or `scheme: { kind: "tcn", threshold: "256us" }`.
+fn parse_scheme(v: Option<&Json>) -> Result<Scheme, String> {
+    let default = BaseConfig::default().scheme;
+    let Some(v) = v else { return Ok(default) };
+    let (kind, obj) = match v {
+        Json::Str(s) => (s.as_str(), None),
+        Json::Obj(_) => (v.kind()?, Some(v)),
+        _ => return Err("field `scheme` must be a string or an object".to_string()),
+    };
+    let empty = Json::Obj(Vec::new());
+    let obj = obj.unwrap_or(&empty);
+    match kind {
+        "tcn" => {
+            check_keys(obj, &["kind", "threshold"], "scheme")?;
+            Ok(Scheme::Tcn {
+                threshold: opt_duration(obj, "threshold", Time::from_us(256))?,
+            })
+        }
+        "codel" => {
+            check_keys(obj, &["kind", "target", "interval"], "scheme")?;
+            Ok(Scheme::CoDel {
+                target: opt_duration(obj, "target", Time::from_us(50))?,
+                interval: opt_duration(obj, "interval", Time::from_ms(1))?,
+            })
+        }
+        "red" => {
+            check_keys(obj, &["kind", "threshold"], "scheme")?;
+            Ok(Scheme::RedQueue {
+                threshold: opt_u64(obj, "threshold", 32_000)?,
+            })
+        }
+        "droptail" => {
+            check_keys(obj, &["kind"], "scheme")?;
+            Ok(Scheme::DropTail)
+        }
+        other => Err(format!(
+            "scheme kind `{other}` is not scriptable (expected tcn/codel/red/droptail)"
+        )),
+    }
+}
+
+fn parse_sched(v: Option<&Json>) -> Result<SchedKind, String> {
+    let Some(v) = v else {
+        return Ok(BaseConfig::default().sched);
+    };
+    let name = v
+        .as_str()
+        .ok_or_else(|| "field `sched` must be a string".to_string())?;
+    match name {
+        "fifo" => Ok(SchedKind::Fifo),
+        "sp" => Ok(SchedKind::Sp),
+        "wrr" => Ok(SchedKind::Wrr),
+        "dwrr" => Ok(SchedKind::Dwrr { quantum: 1500 }),
+        "wfq" => Ok(SchedKind::Wfq),
+        "sp-dwrr" => Ok(SchedKind::SpDwrr { quantum: 1500 }),
+        "sp-wfq" => Ok(SchedKind::SpWfq),
+        other => Err(format!(
+            "sched `{other}` is not scriptable (expected fifo/sp/wrr/dwrr/wfq/sp-dwrr/sp-wfq)"
+        )),
+    }
+}
+
+fn parse_base(v: Option<&Json>) -> Result<BaseConfig, String> {
+    let d = BaseConfig::default();
+    let Some(v) = v else { return Ok(d) };
+    check_keys(
+        v,
+        &[
+            "hosts", "queues", "buffer", "scheme", "sched", "flows", "mean_flow_bytes", "seed",
+            "horizon", "deadline",
+        ],
+        "base",
+    )?;
+    let base = BaseConfig {
+        hosts: opt_u64(v, "hosts", d.hosts as u64)? as usize,
+        queues: opt_u64(v, "queues", d.queues as u64)? as usize,
+        buffer: opt_u64(v, "buffer", d.buffer)?,
+        scheme: parse_scheme(v.get("scheme"))?,
+        sched: parse_sched(v.get("sched"))?,
+        flows: opt_u64(v, "flows", d.flows as u64)? as usize,
+        mean_flow_bytes: opt_u64(v, "mean_flow_bytes", d.mean_flow_bytes)?,
+        seed: opt_u64(v, "seed", d.seed)?,
+        horizon: opt_duration(v, "horizon", d.horizon)?,
+        deadline: opt_duration(v, "deadline", d.deadline)?,
+    };
+    if base.hosts < 2 {
+        return Err("base: a single-switch star needs at least 2 hosts".to_string());
+    }
+    if base.queues == 0 {
+        return Err("base: at least one queue per port".to_string());
+    }
+    if base.mean_flow_bytes == 0 {
+        return Err("base: mean_flow_bytes must be positive".to_string());
+    }
+    Ok(base)
+}
+
+fn parse_step(v: &Json, idx: usize) -> Result<Step, String> {
+    let ctx = format!("steps[{idx}]");
+    check_keys(v, &["at", "about", "do"], &ctx)?;
+    let at = req_duration(v, "at").map_err(|e| format!("{ctx}: {e}"))?;
+    let about = opt_str(v, "about", "").map_err(|e| format!("{ctx}: {e}"))?;
+    let action = v
+        .get("do")
+        .ok_or_else(|| format!("{ctx}: missing field `do`"))?;
+    let change = parse_mutation(action).map_err(|e| format!("{ctx}: {e}"))?;
+    Ok(Step { at, about, change })
+}
+
+fn parse_mutation(v: &Json) -> Result<StepMutation, String> {
+    let kind = v.kind()?;
+    match kind {
+        "conditions" => {
+            check_keys(
+                v,
+                &["kind", "link", "loss", "corrupt", "jitter_prob", "jitter_max"],
+                "do",
+            )?;
+            Ok(StepMutation::Conditions {
+                link: link_sel(v)?,
+                loss: opt_prob(v, "loss")?,
+                corrupt: opt_prob(v, "corrupt")?,
+                jitter_prob: opt_prob(v, "jitter_prob")?,
+                jitter_max: opt_duration(v, "jitter_max", Time::ZERO)?,
+            })
+        }
+        "link-down" => {
+            check_keys(v, &["kind", "link"], "do")?;
+            Ok(StepMutation::LinkDown { link: link_index(v)? })
+        }
+        "link-up" => {
+            check_keys(v, &["kind", "link"], "do")?;
+            Ok(StepMutation::LinkUp { link: link_index(v)? })
+        }
+        "link-rate" => {
+            check_keys(v, &["kind", "link", "mbps"], "do")?;
+            let mbps = v.u64_field("mbps")?;
+            if mbps == 0 {
+                return Err("do: link-rate mbps must be positive".to_string());
+            }
+            Ok(StepMutation::LinkRate { link: link_sel(v)?, mbps })
+        }
+        "drain" => {
+            check_keys(v, &["kind"], "do")?;
+            Ok(StepMutation::Drain)
+        }
+        "aqm-tcn" => {
+            check_keys(v, &["kind", "link", "threshold"], "do")?;
+            Ok(StepMutation::AqmTcn {
+                link: link_sel(v)?,
+                threshold: req_duration(v, "threshold")?,
+            })
+        }
+        "aqm-red" => {
+            check_keys(v, &["kind", "link", "min", "max"], "do")?;
+            let min = v.u64_field("min")?;
+            let max = v.u64_field("max")?;
+            if min > max {
+                return Err("do: aqm-red min must not exceed max".to_string());
+            }
+            Ok(StepMutation::AqmRed { link: link_sel(v)?, min, max })
+        }
+        "aqm-codel" => {
+            check_keys(v, &["kind", "link", "target"], "do")?;
+            Ok(StepMutation::AqmCodel {
+                link: link_sel(v)?,
+                target: req_duration(v, "target")?,
+            })
+        }
+        "burst" => {
+            check_keys(v, &["kind", "dst", "senders", "bytes"], "do")?;
+            let senders = opt_u64(v, "senders", 4)? as u32;
+            let bytes = opt_u64(v, "bytes", 64_000)?;
+            if senders == 0 || bytes == 0 {
+                return Err("do: burst needs positive senders and bytes".to_string());
+            }
+            Ok(StepMutation::Burst {
+                dst: v.u64_field("dst")? as u32,
+                senders,
+                bytes,
+            })
+        }
+        other => Err(format!("do: unknown step kind `{other}`")),
+    }
+}
+
+/// Parse a whole scenario document (already through [`super::parse_json5`]).
+///
+/// # Errors
+/// A message naming the offending field, with `steps[i]` context.
+pub fn parse_scenario(v: &Json) -> Result<Scenario, String> {
+    check_keys(
+        v,
+        &["id", "about", "tags", "base", "loop_scenario", "period", "steps"],
+        "scenario",
+    )?;
+    let id = v.str_field("id")?.to_string();
+    if id.is_empty() || !id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!(
+            "id `{id}` must be non-empty lowercase-kebab ([a-z0-9-])"
+        ));
+    }
+    let about = opt_str(v, "about", "")?;
+    let tags = match v.get("tags") {
+        None => Vec::new(),
+        Some(j) => j
+            .as_arr()
+            .ok_or_else(|| "field `tags` must be an array".to_string())?
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "tags must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let base = parse_base(v.get("base"))?;
+    let loops = opt_u64(v, "loop_scenario", 1)? as u32;
+    if loops == 0 {
+        return Err("loop_scenario must be at least 1".to_string());
+    }
+    let period = opt_duration(v, "period", base.horizon)?;
+    if loops > 1 && period.is_zero() {
+        return Err("a looping scenario needs a positive period".to_string());
+    }
+    let steps = match v.get("steps") {
+        None => Vec::new(),
+        Some(j) => j
+            .as_arr()
+            .ok_or_else(|| "field `steps` must be an array".to_string())?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| parse_step(s, i))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if base.flows == 0
+        && !steps
+            .iter()
+            .any(|s| matches!(s.change, StepMutation::Burst { .. }))
+    {
+        return Err("scenario has no traffic: zero base flows and no burst steps".to_string());
+    }
+    Ok(Scenario {
+        id,
+        about,
+        tags,
+        base,
+        loops,
+        period,
+        steps,
+    })
+}
+
+fn scheme_json(s: &Scheme) -> Json {
+    match *s {
+        Scheme::Tcn { threshold } => Json::obj(vec![
+            ("kind", Json::Str("tcn".into())),
+            ("threshold", Json::Str(fmt_duration(threshold))),
+        ]),
+        Scheme::CoDel { target, interval } => Json::obj(vec![
+            ("kind", Json::Str("codel".into())),
+            ("target", Json::Str(fmt_duration(target))),
+            ("interval", Json::Str(fmt_duration(interval))),
+        ]),
+        Scheme::RedQueue { threshold } => Json::obj(vec![
+            ("kind", Json::Str("red".into())),
+            ("threshold", Json::Num(threshold as f64)),
+        ]),
+        Scheme::DropTail => Json::Str("droptail".into()),
+        // The fuzzer and the parser only produce the four kinds above.
+        ref other => panic!("scheme {} is not scenario-scriptable", other.name()),
+    }
+}
+
+fn sched_json(s: &SchedKind) -> Json {
+    Json::Str(
+        match s {
+            SchedKind::Fifo => "fifo",
+            SchedKind::Sp => "sp",
+            SchedKind::Wrr => "wrr",
+            SchedKind::Dwrr { .. } => "dwrr",
+            SchedKind::Wfq => "wfq",
+            SchedKind::SpDwrr { .. } => "sp-dwrr",
+            SchedKind::SpWfq => "sp-wfq",
+            other => panic!("sched {} is not scenario-scriptable", other.name()),
+        }
+        .into(),
+    )
+}
+
+fn link_sel_json(l: LinkSel) -> Json {
+    match l {
+        LinkSel::All => Json::Str("all".into()),
+        LinkSel::One(i) => Json::Num(f64::from(i)),
+    }
+}
+
+fn mutation_json(m: &StepMutation) -> Json {
+    let mut fields: Vec<(&str, Json)> = vec![("kind", Json::Str(m.tag().into()))];
+    match m {
+        StepMutation::Conditions {
+            link,
+            loss,
+            corrupt,
+            jitter_prob,
+            jitter_max,
+        } => {
+            fields.push(("link", link_sel_json(*link)));
+            fields.push(("loss", Json::Num(*loss)));
+            fields.push(("corrupt", Json::Num(*corrupt)));
+            fields.push(("jitter_prob", Json::Num(*jitter_prob)));
+            fields.push(("jitter_max", Json::Str(fmt_duration(*jitter_max))));
+        }
+        StepMutation::LinkDown { link } | StepMutation::LinkUp { link } => {
+            fields.push(("link", Json::Num(f64::from(*link))));
+        }
+        StepMutation::LinkRate { link, mbps } => {
+            fields.push(("link", link_sel_json(*link)));
+            fields.push(("mbps", Json::Num(*mbps as f64)));
+        }
+        StepMutation::Drain => {}
+        StepMutation::AqmTcn { link, threshold } => {
+            fields.push(("link", link_sel_json(*link)));
+            fields.push(("threshold", Json::Str(fmt_duration(*threshold))));
+        }
+        StepMutation::AqmRed { link, min, max } => {
+            fields.push(("link", link_sel_json(*link)));
+            fields.push(("min", Json::Num(*min as f64)));
+            fields.push(("max", Json::Num(*max as f64)));
+        }
+        StepMutation::AqmCodel { link, target } => {
+            fields.push(("link", link_sel_json(*link)));
+            fields.push(("target", Json::Str(fmt_duration(*target))));
+        }
+        StepMutation::Burst { dst, senders, bytes } => {
+            fields.push(("dst", Json::Num(f64::from(*dst))));
+            fields.push(("senders", Json::Num(f64::from(*senders))));
+            fields.push(("bytes", Json::Num(*bytes as f64)));
+        }
+    }
+    Json::obj(fields)
+}
+
+/// Serialize a scenario back to scenario-file text (strict JSON, which
+/// is inside the JSON5 subset) — the format quarantined fuzzer repros
+/// are written in, and the bytes [`parse_scenario`] reads back.
+pub fn scenario_to_json5(sc: &Scenario) -> String {
+    let b = &sc.base;
+    let base = Json::obj(vec![
+        ("hosts", Json::Num(b.hosts as f64)),
+        ("queues", Json::Num(b.queues as f64)),
+        ("buffer", Json::Num(b.buffer as f64)),
+        ("scheme", scheme_json(&b.scheme)),
+        ("sched", sched_json(&b.sched)),
+        ("flows", Json::Num(b.flows as f64)),
+        ("mean_flow_bytes", Json::Num(b.mean_flow_bytes as f64)),
+        ("seed", Json::Num(b.seed as f64)),
+        ("horizon", Json::Str(fmt_duration(b.horizon))),
+        ("deadline", Json::Str(fmt_duration(b.deadline))),
+    ]);
+    let steps = sc
+        .steps
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("at", Json::Str(fmt_duration(s.at))),
+                ("about", Json::Str(s.about.clone())),
+                ("do", mutation_json(&s.change)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("id", Json::Str(sc.id.clone())),
+        ("about", Json::Str(sc.about.clone())),
+        (
+            "tags",
+            Json::Arr(sc.tags.iter().map(|t| Json::Str(t.clone())).collect()),
+        ),
+        ("base", base),
+        ("loop_scenario", Json::Num(f64::from(sc.loops))),
+        ("period", Json::Str(fmt_duration(sc.period))),
+        ("steps", Json::Arr(steps)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::parse_json5;
+
+    #[test]
+    fn duration_units_resolve_to_picoseconds() {
+        assert_eq!(parse_duration("7ns").unwrap(), Time::from_ns(7));
+        assert_eq!(parse_duration("90us").unwrap(), Time::from_us(90));
+        assert_eq!(parse_duration("500ms").unwrap(), Time::from_ms(500));
+        assert_eq!(parse_duration("2s").unwrap(), Time::from_secs(2));
+        assert_eq!(parse_duration("2m").unwrap(), Time::from_secs(120));
+        assert_eq!(parse_duration("  15us  ").unwrap(), Time::from_us(15));
+    }
+
+    #[test]
+    fn zero_durations_are_time_zero() {
+        assert_eq!(parse_duration("0ms").unwrap(), Time::ZERO);
+        assert_eq!(parse_duration("0ns").unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn overflow_near_time_max_is_an_error() {
+        // Time::MAX is u64::MAX picoseconds ≈ 18_446_744 seconds.
+        assert_eq!(
+            parse_duration("18446744s").unwrap(),
+            Time::from_secs(18_446_744)
+        );
+        let err = parse_duration("18446745s").expect_err("one past the clock");
+        assert!(err.contains("overflows"), "{err}");
+        let err = parse_duration("307446m").expect_err("minutes overflow too");
+        assert!(err.contains("overflows"), "{err}");
+        // A count that does not even fit in u64.
+        let err = parse_duration("99999999999999999999ns").expect_err("u64 overflow");
+        assert!(err.contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn float_durations_are_rejected() {
+        let err = parse_duration("1.5ms").expect_err("floats rejected");
+        assert!(err.contains("floats are not supported"), "{err}");
+    }
+
+    #[test]
+    fn malformed_durations_are_rejected() {
+        assert!(parse_duration("ms").is_err());
+        assert!(parse_duration("").is_err());
+        assert!(parse_duration("-5ms").is_err());
+        assert!(parse_duration("500").unwrap_err().contains("missing a unit"));
+        assert!(parse_duration("5sec").unwrap_err().contains("unknown unit"));
+    }
+
+    fn demo_source() -> &'static str {
+        r#"{
+            id: "demo-burst",
+            about: "one incast against a retuned TCN port",
+            tags: ["demo", "incast"],
+            base: {
+                hosts: 4,
+                flows: 10,
+                seed: 42,
+                scheme: { kind: "tcn", threshold: "100us" },
+                sched: "dwrr",
+                horizon: "1ms",
+                deadline: "5s",
+            },
+            steps: [
+                { at: "200us", about: "storm", do: { kind: "burst", dst: 0, senders: 3, bytes: 30000 } },
+                { at: "400us", do: { kind: "aqm-tcn", link: "all", threshold: "400us" } },
+                { at: "600us", do: { kind: "drain" } },
+            ],
+        }"#
+    }
+
+    #[test]
+    fn full_scenario_parses() {
+        let sc = parse_scenario(&parse_json5(demo_source()).unwrap()).unwrap();
+        assert_eq!(sc.id, "demo-burst");
+        assert_eq!(sc.base.hosts, 4);
+        assert_eq!(sc.base.scheme, Scheme::Tcn { threshold: Time::from_us(100) });
+        assert_eq!(sc.loops, 1);
+        assert_eq!(sc.period, Time::from_ms(1), "period defaults to the horizon");
+        assert_eq!(sc.steps.len(), 3);
+        assert_eq!(sc.steps[0].at, Time::from_us(200));
+        assert_eq!(
+            sc.steps[0].change,
+            StepMutation::Burst { dst: 0, senders: 3, bytes: 30_000 }
+        );
+        assert_eq!(
+            sc.steps[1].change,
+            StepMutation::AqmTcn { link: LinkSel::All, threshold: Time::from_us(400) }
+        );
+        assert_eq!(sc.steps[2].change, StepMutation::Drain);
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_serialization() {
+        let sc = parse_scenario(&parse_json5(demo_source()).unwrap()).unwrap();
+        let text = scenario_to_json5(&sc);
+        let back = parse_scenario(&parse_json5(&text).unwrap()).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn unknown_keys_are_named_in_errors() {
+        let err = parse_scenario(&parse_json5(r#"{ id: "x", flows: 3 }"#).unwrap())
+            .expect_err("flows belongs under base");
+        assert!(err.contains("unknown key `flows`"), "{err}");
+        let err = parse_scenario(
+            &parse_json5(r#"{ id: "x", steps: [{ at: "1ms", do: { kind: "warp" } }] }"#).unwrap(),
+        )
+        .expect_err("unknown step kind");
+        assert!(err.contains("steps[0]") && err.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_scenarios_are_rejected() {
+        let no_traffic = r#"{ id: "x", base: { flows: 0 } }"#;
+        let err = parse_scenario(&parse_json5(no_traffic).unwrap()).unwrap_err();
+        assert!(err.contains("no traffic"), "{err}");
+        let bad_loop = r#"{ id: "x", loop_scenario: 0 }"#;
+        let err = parse_scenario(&parse_json5(bad_loop).unwrap()).unwrap_err();
+        assert!(err.contains("loop_scenario"), "{err}");
+        let zero_rate = r#"{ id: "x", steps: [{ at: "0ms", do: { kind: "link-rate", link: 1, mbps: 0 } }] }"#;
+        let err = parse_scenario(&parse_json5(zero_rate).unwrap()).unwrap_err();
+        assert!(err.contains("mbps must be positive"), "{err}");
+    }
+}

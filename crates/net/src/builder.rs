@@ -225,11 +225,15 @@ impl NetworkBuilder {
     /// Build the simulation.
     ///
     /// # Errors
-    /// [`TcnError::Config`] on malformed topology parameters and
-    /// [`TcnError::Topology`] when the wiring leaves some host pair
-    /// unroutable, exactly as the underlying [`crate::topology`]
-    /// functions report them.
+    /// [`TcnError::Config`] on malformed topology parameters or an
+    /// inconsistent fault plan (zero-length or overlapping flap windows
+    /// on the same link), and [`TcnError::Topology`] when the wiring
+    /// leaves some host pair unroutable, exactly as the underlying
+    /// [`crate::topology`] functions report them.
     pub fn build(self) -> Result<NetworkSim, TcnError> {
+        if let Some(plan) = &self.faults {
+            validate_flap_windows(plan)?;
+        }
         let mk_port: Box<dyn Fn() -> PortSetup> = match self.port_factory {
             Some(f) => f,
             None => {
@@ -305,6 +309,49 @@ impl NetworkBuilder {
         }
         Ok(sim)
     }
+}
+
+/// Reject fault plans whose flap schedule is self-contradictory: a
+/// window that ends at or before it starts, or two windows on the same
+/// link that overlap (the link would have to be down twice at once).
+/// A window with `up_at: None` extends to the end of the run.
+fn validate_flap_windows(plan: &FaultPlan) -> Result<(), TcnError> {
+    let mut by_link: std::collections::BTreeMap<u32, Vec<(Time, Option<Time>)>> =
+        std::collections::BTreeMap::new();
+    for flap in &plan.flaps {
+        if let Some(up) = flap.up_at {
+            if up <= flap.down_at {
+                return Err(TcnError::config(format!(
+                    "flap window on link {} is empty or inverted: down at {:?}, up at {up:?}",
+                    flap.link, flap.down_at
+                )));
+            }
+        }
+        by_link
+            .entry(flap.link)
+            .or_default()
+            .push((flap.down_at, flap.up_at));
+    }
+    for (link, mut windows) in by_link {
+        windows.sort_by_key(|&(down, _)| down);
+        for pair in windows.windows(2) {
+            let (prev_down, prev_up) = pair[0];
+            let (next_down, _) = pair[1];
+            // A window that never ends overlaps everything after it.
+            let overlaps = match prev_up {
+                Some(up) => next_down < up,
+                None => true,
+            };
+            if overlaps {
+                let end = prev_up.map_or_else(|| "forever".to_string(), |t| format!("{t:?}"));
+                return Err(TcnError::config(format!(
+                    "overlapping flap windows on link {link}: [{prev_down:?}, {end}) and one \
+                     starting at {next_down:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -456,6 +503,99 @@ mod tests {
         };
         assert_eq!(err.kind(), "topology");
         assert!(err.to_string().contains("broken topology"), "{err}");
+    }
+
+    #[test]
+    fn zero_length_flap_window_is_rejected() {
+        use tcn_sim::LinkFlap;
+        let plan = FaultPlan::quiet(1).with_flap(LinkFlap {
+            link: 0,
+            down_at: Time::from_ms(5),
+            up_at: Some(Time::from_ms(5)),
+        });
+        let err = NetworkBuilder::single_switch(3, Rate::from_gbps(1), Time::from_us(5))
+            .faults(plan)
+            .build();
+        let Err(err) = err else {
+            panic!("empty flap window must be rejected");
+        };
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("empty or inverted"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_flap_windows_on_same_link_are_rejected() {
+        use tcn_sim::LinkFlap;
+        let plan = FaultPlan::quiet(1)
+            .with_flap(LinkFlap {
+                link: 2,
+                down_at: Time::from_ms(1),
+                up_at: Some(Time::from_ms(10)),
+            })
+            .with_flap(LinkFlap {
+                link: 2,
+                down_at: Time::from_ms(5),
+                up_at: Some(Time::from_ms(15)),
+            });
+        let err = NetworkBuilder::single_switch(3, Rate::from_gbps(1), Time::from_us(5))
+            .faults(plan)
+            .build();
+        let Err(err) = err else {
+            panic!("overlapping windows on one link must be rejected");
+        };
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("overlapping flap windows"), "{err}");
+    }
+
+    #[test]
+    fn never_recovering_flap_conflicts_with_later_window() {
+        use tcn_sim::LinkFlap;
+        let plan = FaultPlan::quiet(1)
+            .with_flap(LinkFlap {
+                link: 0,
+                down_at: Time::from_ms(1),
+                up_at: None,
+            })
+            .with_flap(LinkFlap {
+                link: 0,
+                down_at: Time::from_ms(9),
+                up_at: Some(Time::from_ms(12)),
+            });
+        let err = NetworkBuilder::single_switch(3, Rate::from_gbps(1), Time::from_us(5))
+            .faults(plan)
+            .build();
+        let Err(err) = err else {
+            panic!("a window after a permanent failure must be rejected");
+        };
+        assert_eq!(err.kind(), "config");
+    }
+
+    #[test]
+    fn disjoint_flap_windows_still_build() {
+        use tcn_sim::LinkFlap;
+        // Back-to-back windows (up exactly when the next goes down) are
+        // legal: the link is never down twice at the same instant.
+        let plan = FaultPlan::quiet(1)
+            .with_flap(LinkFlap {
+                link: 1,
+                down_at: Time::from_ms(1),
+                up_at: Some(Time::from_ms(2)),
+            })
+            .with_flap(LinkFlap {
+                link: 1,
+                down_at: Time::from_ms(2),
+                up_at: Some(Time::from_ms(3)),
+            })
+            .with_flap(LinkFlap {
+                // Same window on a different link: no conflict.
+                link: 2,
+                down_at: Time::from_ms(1),
+                up_at: Some(Time::from_ms(2)),
+            });
+        NetworkBuilder::single_switch(3, Rate::from_gbps(1), Time::from_us(5))
+            .faults(plan)
+            .build()
+            .expect("disjoint windows are a valid plan");
     }
 
     #[test]

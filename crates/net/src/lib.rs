@@ -39,8 +39,8 @@ pub mod watchdog;
 
 pub use builder::NetworkBuilder;
 pub use network::{
-    FaultStats, FctRecord, FlowSpec, LinkSpec, NetworkSim, NodeId, ProbeConfig, TaggingPolicy,
-    TransportChoice,
+    FaultStats, FctRecord, FlowSpec, LinkSpec, NetMutation, NetworkSim, NodeId, ProbeConfig,
+    TaggingPolicy, TransportChoice,
 };
 pub use port::{Port, PortSetup, PortStats};
 pub use routing::{compute_routes, compute_routes_partial, ecmp_pick, RouteError};

@@ -21,7 +21,9 @@
 //! on a dead wire (or blackholed into one before reconvergence) are
 //! dropped and counted in [`FaultStats`].
 
-use tcn_core::{ArenaStats, FlowId, Packet, PacketArena, PacketHandle, PacketKind, TcnError};
+use tcn_core::{
+    AqmParams, ArenaStats, FlowId, Packet, PacketArena, PacketHandle, PacketKind, TcnError,
+};
 use tcn_sim::{EventQueue, FaultPlan, LinkFaultProfile, Rate, Rng, Time};
 use tcn_transport::{SenderOutput, TcpConfig, TcpReceiver, TcpSender};
 
@@ -213,6 +215,79 @@ struct FlowState {
     next_timer: Option<Time>,
 }
 
+/// A runtime reconfiguration applied to a live simulation, either
+/// immediately (the `set_*`/`drain_switch` methods on [`NetworkSim`]) or
+/// at a scheduled instant ([`NetworkSim::schedule_mutation`] — the
+/// scenario engine's step compiler). Every application is recorded in
+/// the reconfiguration log ([`NetworkSim::reconfig_log`]) so chaos runs
+/// stay auditable after the fact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMutation {
+    /// Rewrite the AQM parameters of `link`'s egress port (TCN
+    /// threshold, RED band, CoDel target — see [`AqmParams`]).
+    AqmParams {
+        /// Target link index.
+        link: u32,
+        /// The new parameter set.
+        params: AqmParams,
+    },
+    /// Replace the stochastic fault profile of `link` (loss, corruption,
+    /// delay jitter). A quiet profile removes fault state entirely; a
+    /// previously-quiet link gets a fresh isolated RNG stream derived
+    /// from the installed plan's seed.
+    LinkConditions {
+        /// Target link index.
+        link: u32,
+        /// The new fault profile.
+        profile: LinkFaultProfile,
+    },
+    /// Administratively flip `link` up or down (a scenario-driven flap;
+    /// same semantics as a [`FaultPlan`] flap event, including the
+    /// detection-delayed routing reconvergence).
+    LinkAdmin {
+        /// Target link index.
+        link: u32,
+        /// `true` = bring the link up, `false` = take it down.
+        up: bool,
+    },
+    /// Discard everything buffered on every egress port of `node` (a
+    /// switch being drained for a rolling upgrade).
+    DrainSwitch {
+        /// Target node (host or switch; its egress ports are drained).
+        node: NodeId,
+    },
+    /// Change `link`'s line rate mid-run (auto-negotiation downshift,
+    /// brown-out). Only future serializations are affected.
+    LinkRate {
+        /// Target link index.
+        link: u32,
+        /// The new line rate; must be positive.
+        rate: Rate,
+    },
+}
+
+impl NetMutation {
+    /// One-line description for the reconfiguration log.
+    fn describe(&self) -> String {
+        match self {
+            NetMutation::AqmParams { link, params } => {
+                format!("aqm link={link} params={params:?}")
+            }
+            NetMutation::LinkConditions { link, profile } => format!(
+                "link-conditions link={link} loss={} corrupt={} jitter_prob={} jitter_max={}",
+                profile.loss, profile.corrupt, profile.jitter_prob, profile.jitter_max
+            ),
+            NetMutation::LinkAdmin { link, up } => {
+                format!("link-admin link={link} up={up}")
+            }
+            NetMutation::DrainSwitch { node } => format!("drain-switch node={node}"),
+            NetMutation::LinkRate { link, rate } => {
+                format!("link-rate link={link} rate={rate:?}")
+            }
+        }
+    }
+}
+
 enum Event {
     FlowStart(u32),
     /// A packet reaching the far end of `link`. The packet itself is
@@ -229,6 +304,9 @@ enum Event {
     LinkUp { link: u32 },
     /// Recompute route tables over the currently-up links.
     Reconverge,
+    /// Apply a scheduled [`NetMutation`] (index into
+    /// `NetworkSim::pending_mutations`).
+    Mutation { idx: u32 },
 }
 
 impl Event {
@@ -245,6 +323,7 @@ impl Event {
             Event::LinkDown { .. } => 6,
             Event::LinkUp { .. } => 7,
             Event::Reconverge => 8,
+            Event::Mutation { .. } => 9,
         }
     }
 }
@@ -284,6 +363,16 @@ pub struct NetworkSim {
     telemetry: Option<tcn_telemetry::Telemetry>,
     /// Liveness guard consulted on every dispatched event (None = off).
     watchdog: Option<Watchdog>,
+    /// Scheduled-but-not-yet-applied mutations; `Event::Mutation`
+    /// carries an index into this vector.
+    pending_mutations: Vec<NetMutation>,
+    /// Seed that per-link fault RNG streams derive from (set by
+    /// [`NetworkSim::install_faults`]; used when a runtime
+    /// [`NetMutation::LinkConditions`] wakes a previously-quiet link).
+    fault_seed: u64,
+    /// Append-only audit trail of every applied mutation:
+    /// `(when, what)` in application order.
+    reconfig_log: Vec<(Time, String)>,
 }
 
 impl NetworkSim {
@@ -351,6 +440,9 @@ impl NetworkSim {
             scratch: SenderOutput::default(),
             telemetry: None,
             watchdog: None,
+            pending_mutations: Vec::new(),
+            fault_seed: 0,
+            reconfig_log: Vec::new(),
         })
     }
 
@@ -395,6 +487,7 @@ impl NetworkSim {
     /// Panics if a flap names an unknown link or has `up_at <= down_at`.
     pub fn install_faults(&mut self, plan: &FaultPlan) {
         self.detection_delay = plan.detection_delay;
+        self.fault_seed = plan.seed;
         for link in 0..self.links.len() {
             let profile = plan.profile_for(link as u32);
             if !profile.is_quiet() {
@@ -417,6 +510,185 @@ impl NetworkSim {
                 self.events.schedule_at(up, Event::LinkUp { link: flap.link });
             }
         }
+    }
+
+    /// Validate a mutation's target without applying it.
+    fn validate_mutation(&self, m: &NetMutation) -> Result<(), TcnError> {
+        let check_link = |link: u32| {
+            if (link as usize) < self.links.len() {
+                Ok(())
+            } else {
+                Err(TcnError::config(format!(
+                    "mutation targets unknown link {link} ({} links exist)",
+                    self.links.len()
+                )))
+            }
+        };
+        match m {
+            NetMutation::LinkRate { link, rate } => {
+                if *rate == Rate::ZERO {
+                    return Err(TcnError::config(format!(
+                        "mutation sets a zero rate on link {link}"
+                    )));
+                }
+                check_link(*link)
+            }
+            NetMutation::AqmParams { link, .. }
+            | NetMutation::LinkConditions { link, .. }
+            | NetMutation::LinkAdmin { link, .. } => check_link(*link),
+            NetMutation::DrainSwitch { node } => {
+                if (*node as usize) < self.node_hosts.len() {
+                    Ok(())
+                } else {
+                    Err(TcnError::config(format!(
+                        "mutation targets unknown node {node} ({} nodes exist)",
+                        self.node_hosts.len()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Apply a mutation at simulated time `now`, recording it in the
+    /// reconfiguration log. Returns the number of packets a drain
+    /// discarded (0 for other mutations).
+    fn apply_mutation(&mut self, m: &NetMutation, now: Time) -> Result<u64, TcnError> {
+        let mut drained = 0u64;
+        match m {
+            NetMutation::AqmParams { link, params } => {
+                self.links[*link as usize].port.reconfigure_aqm(params)?;
+            }
+            NetMutation::LinkConditions { link, profile } => {
+                let li = *link as usize;
+                if profile.is_quiet() {
+                    self.link_faults[li] = None;
+                } else {
+                    match &mut self.link_faults[li] {
+                        // A link already under faults keeps its RNG
+                        // position: only the intensities change.
+                        Some(f) => f.profile = *profile,
+                        None => {
+                            self.link_faults[li] = Some(LinkFaults {
+                                profile: *profile,
+                                rng: Rng::stream(self.fault_seed, u64::from(*link)),
+                            });
+                        }
+                    }
+                }
+            }
+            NetMutation::LinkAdmin { link, up } => {
+                if *up {
+                    self.apply_link_up(*link, now)?;
+                } else {
+                    self.apply_link_down(*link, now);
+                }
+            }
+            NetMutation::DrainSwitch { node } => {
+                for li in 0..self.links.len() {
+                    if self.topo_endpoints[li].0 == *node {
+                        drained += self.links[li].port.drain(now)?;
+                    }
+                }
+            }
+            NetMutation::LinkRate { link, rate } => {
+                self.links[*link as usize].port.set_link_rate(*rate)?;
+            }
+        }
+        let mut line = m.describe();
+        if matches!(m, NetMutation::DrainSwitch { .. }) {
+            use std::fmt::Write as _;
+            let _ = write!(line, " dropped={drained}");
+        }
+        self.reconfig_log.push((now, line));
+        Ok(drained)
+    }
+
+    /// Schedule a [`NetMutation`] for simulated time `at`. The target is
+    /// validated eagerly — a scenario naming an unknown link or node
+    /// fails at compile time, not mid-run — but parameter-family
+    /// mismatches (e.g. a CoDel target sent to a TCN port) surface when
+    /// the mutation fires, as a [`TcnError`] out of the running loop.
+    ///
+    /// Mutations scheduled before a run fire **before** any packet event
+    /// scheduled *during* the run at the same instant (same-time events
+    /// dispatch in schedule order), giving scenario steps a fixed,
+    /// testable edge semantics.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] on an unknown link or node target.
+    pub fn schedule_mutation(&mut self, at: Time, m: NetMutation) -> Result<(), TcnError> {
+        self.validate_mutation(&m)?;
+        let idx = self.pending_mutations.len() as u32;
+        self.pending_mutations.push(m);
+        self.events.schedule_at(at, Event::Mutation { idx });
+        Ok(())
+    }
+
+    /// Immediately rewrite the AQM parameters of `link`'s egress port.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] on an unknown link, a parameter set that
+    /// does not match the installed scheme, or out-of-range values.
+    pub fn set_aqm_params(&mut self, link: usize, params: &AqmParams) -> Result<(), TcnError> {
+        let m = NetMutation::AqmParams {
+            link: link as u32,
+            params: *params,
+        };
+        self.validate_mutation(&m)?;
+        let now = self.now();
+        self.apply_mutation(&m, now).map(|_| ())
+    }
+
+    /// Immediately replace the stochastic fault profile of `link`.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] on an unknown link.
+    pub fn set_link_conditions(
+        &mut self,
+        link: usize,
+        profile: LinkFaultProfile,
+    ) -> Result<(), TcnError> {
+        let m = NetMutation::LinkConditions {
+            link: link as u32,
+            profile,
+        };
+        self.validate_mutation(&m)?;
+        let now = self.now();
+        self.apply_mutation(&m, now).map(|_| ())
+    }
+
+    /// Immediately drain every egress port of `node`, returning the
+    /// number of packets discarded.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] on an unknown node;
+    /// [`TcnError::SchedulerContract`] if a scheduler misbehaves
+    /// mid-drain.
+    pub fn drain_switch(&mut self, node: NodeId) -> Result<u64, TcnError> {
+        let m = NetMutation::DrainSwitch { node };
+        self.validate_mutation(&m)?;
+        let now = self.now();
+        self.apply_mutation(&m, now)
+    }
+
+    /// Immediately change `link`'s line rate.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] on an unknown link or a zero rate.
+    pub fn set_link_rate(&mut self, link: usize, rate: Rate) -> Result<(), TcnError> {
+        let m = NetMutation::LinkRate {
+            link: link as u32,
+            rate,
+        };
+        self.validate_mutation(&m)?;
+        let now = self.now();
+        self.apply_mutation(&m, now).map(|_| ())
+    }
+
+    /// The append-only reconfiguration audit trail: one `(when, what)`
+    /// entry per applied mutation, in application order.
+    pub fn reconfig_log(&self) -> &[(Time, String)] {
+        &self.reconfig_log
     }
 
     /// Register a flow; its `FlowStart` event is scheduled at
@@ -704,26 +976,8 @@ impl NetworkSim {
                 self.fault_stats.corrupt_drops += 1;
                 self.net_audit.on_fault_drop();
             }
-            Event::LinkDown { link } => {
-                let li = link as usize;
-                if self.link_up[li] {
-                    self.link_up[li] = false;
-                    self.fault_stats.link_downs += 1;
-                    self.events
-                        .schedule_at(now + self.detection_delay, Event::Reconverge);
-                }
-            }
-            Event::LinkUp { link } => {
-                let li = link as usize;
-                if !self.link_up[li] {
-                    self.link_up[li] = true;
-                    self.fault_stats.link_ups += 1;
-                    self.events
-                        .schedule_at(now + self.detection_delay, Event::Reconverge);
-                    // The port kept queueing while dead; restart it.
-                    self.kick(link, now)?;
-                }
-            }
+            Event::LinkDown { link } => self.apply_link_down(link, now),
+            Event::LinkUp { link } => self.apply_link_up(link, now)?,
             Event::Reconverge => {
                 let (tables, unreachable) = compute_routes_partial(
                     &TopoView {
@@ -738,6 +992,35 @@ impl NetworkSim {
                 self.fault_stats.unreachable_pairs = unreachable;
             }
             Event::ProbeTick { prober } => self.probe_tick(prober, now)?,
+            Event::Mutation { idx } => {
+                let m = self.pending_mutations[idx as usize].clone();
+                self.apply_mutation(&m, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Administratively fail `link` now (idempotent).
+    fn apply_link_down(&mut self, link: u32, now: Time) {
+        let li = link as usize;
+        if self.link_up[li] {
+            self.link_up[li] = false;
+            self.fault_stats.link_downs += 1;
+            self.events
+                .schedule_at(now + self.detection_delay, Event::Reconverge);
+        }
+    }
+
+    /// Administratively restore `link` now (idempotent).
+    fn apply_link_up(&mut self, link: u32, now: Time) -> Result<(), TcnError> {
+        let li = link as usize;
+        if !self.link_up[li] {
+            self.link_up[li] = true;
+            self.fault_stats.link_ups += 1;
+            self.events
+                .schedule_at(now + self.detection_delay, Event::Reconverge);
+            // The port kept queueing while dead; restart it.
+            self.kick(link, now)?;
         }
         Ok(())
     }

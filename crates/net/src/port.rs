@@ -65,6 +65,9 @@ pub struct PortStats {
     pub enqueue_aqm_drops: u64,
     /// Packets dropped by the AQM at dequeue (CoDel drop mode).
     pub dequeue_aqm_drops: u64,
+    /// Packets discarded by an administrative drain ([`Port::drain`],
+    /// the rolling-upgrade scenario's switch-drain step).
+    pub drain_drops: u64,
     /// Packets CE-marked at enqueue.
     pub enqueue_marks: u64,
     /// Packets CE-marked at dequeue.
@@ -74,7 +77,7 @@ pub struct PortStats {
 impl PortStats {
     /// All drops combined.
     pub fn total_drops(&self) -> u64 {
-        self.buffer_drops + self.enqueue_aqm_drops + self.dequeue_aqm_drops
+        self.buffer_drops + self.enqueue_aqm_drops + self.dequeue_aqm_drops + self.drain_drops
     }
 
     /// All marks combined.
@@ -447,9 +450,84 @@ impl Port {
         }
     }
 
+    /// Apply a runtime AQM parameter change (see
+    /// [`tcn_core::Aqm::reconfigure`]); the scheme keeps all its other
+    /// state across the rewrite.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] when the parameter set does not match the
+    /// installed scheme's family or is out of range.
+    pub fn reconfigure_aqm(&mut self, params: &tcn_core::AqmParams) -> Result<(), TcnError> {
+        self.aqm.reconfigure(params)
+    }
+
+    /// Administratively discard every buffered packet (a switch being
+    /// drained for a rolling upgrade) at simulated time `now`. Returns
+    /// the number of packets discarded.
+    ///
+    /// Packets leave through the scheduler's normal `select`/`on_dequeue`
+    /// path so stateful schedulers (WFQ virtual times, PIFO tags) stay
+    /// consistent, but the AQM's dequeue hook is *not* consulted — an
+    /// operator drain bypasses the marking pipeline, so mark-only
+    /// contracts are unaffected. The drops are accounted as
+    /// [`PortStats::drain_drops`] and flow through the conservation
+    /// ledger's dequeue-drop bucket, keeping every audit balanced.
+    ///
+    /// # Errors
+    /// [`TcnError::SchedulerContract`] if the scheduler breaks its
+    /// contract mid-drain (selecting an empty queue, rejecting a
+    /// dequeue).
+    pub fn drain(&mut self, now: Time) -> Result<u64, TcnError> {
+        let mut dropped = 0u64;
+        while let Some(q) = self.sched.select(&self.core.queues, now) {
+            let Some(pkt) = self.core.queues[q].pop_front() else {
+                return Err(TcnError::SchedulerContract {
+                    scheduler: self.sched.name(),
+                    queue: q,
+                    detail: "select returned an empty queue during drain".into(),
+                });
+            };
+            self.core.occupancy -= u64::from(pkt.size);
+            self.sched.on_dequeue(&self.core.queues, q, &pkt, now)?;
+            self.stats.drain_drops += 1;
+            self.audit.ledger.on_dequeue_aqm_drop(u64::from(pkt.size));
+            dropped += 1;
+        }
+        // A non-work-conserving scheduler may go idle with backlog; an
+        // administrative drain empties the port regardless.
+        for q in 0..self.core.queues.len() {
+            while let Some(pkt) = self.core.queues[q].pop_front() {
+                self.core.occupancy -= u64::from(pkt.size);
+                self.stats.drain_drops += 1;
+                self.audit.ledger.on_dequeue_aqm_drop(u64::from(pkt.size));
+                dropped += 1;
+            }
+        }
+        self.audit_state();
+        Ok(dropped)
+    }
+
     /// Serialization time of `pkt` on this (possibly shaped) port.
     pub fn tx_time(&self, pkt: &Packet) -> Time {
         self.tx_rate.tx_time(u64::from(pkt.size))
+    }
+
+    /// Change the line rate mid-run (a scenario's link-degradation
+    /// step). Only future serializations are affected. An unshaped port
+    /// follows the line rate; a shaped one keeps its shaping rate but is
+    /// clamped to the new line rate.
+    ///
+    /// # Errors
+    /// [`TcnError::Config`] on a zero rate (nothing would ever drain).
+    pub fn set_link_rate(&mut self, rate: Rate) -> Result<(), TcnError> {
+        if rate == Rate::ZERO {
+            return Err(TcnError::config("link rate must be positive"));
+        }
+        if self.tx_rate == self.core.link_rate || self.tx_rate > rate {
+            self.tx_rate = rate;
+        }
+        self.core.link_rate = rate;
+        Ok(())
     }
 
     /// Total bytes currently buffered (all queues).

@@ -15,7 +15,7 @@ use tcn_core::{StallReport, TcnError};
 use tcn_sim::Time;
 
 /// Number of distinct event kinds tracked (see `Event::kind_index`).
-pub(crate) const NUM_EVENT_KINDS: usize = 9;
+pub(crate) const NUM_EVENT_KINDS: usize = 10;
 
 /// Display names for event kinds, indexed by `Event::kind_index`.
 pub(crate) const EVENT_KIND_NAMES: [&str; NUM_EVENT_KINDS] = [
@@ -28,6 +28,7 @@ pub(crate) const EVENT_KIND_NAMES: [&str; NUM_EVENT_KINDS] = [
     "link_down",
     "link_up",
     "reconverge",
+    "mutation",
 ];
 
 /// How many top event kinds a [`StallReport`] lists.

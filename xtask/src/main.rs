@@ -32,9 +32,12 @@
 //!   telemetry smoke stage (`figs trace` one figure with a JSONL sink
 //!   and `figs check-trace` the result against the schema), then a
 //!   resume smoke stage (kill a checkpointed sweep mid-grid, resume
-//!   it, byte-compare against an uninterrupted control run), then
-//!   `bench --smoke`: the tier-1 gate in one command. Stops at the
-//!   first failing stage.
+//!   it, byte-compare against an uninterrupted control run), then a
+//!   scenario smoke stage (two named chaos scenarios at `--quick` with
+//!   JSONL traces validated against the schema), then a fuzz smoke
+//!   stage (eight fixed scenario-fuzzer seeds, zero violations
+//!   expected), then `bench --smoke`: the tier-1 gate in one command.
+//!   Stops at the first failing stage.
 //!
 //! Everything here is pure std: the harness must work in an offline
 //! container with nothing but the Rust toolchain.
@@ -65,7 +68,7 @@ fn main() -> ExitCode {
             }
         }
         Some("ci") => {
-            let stages: [(&str, fn(&Path) -> ExitCode); 8] = [
+            let stages: [(&str, fn(&Path) -> ExitCode); 10] = [
                 ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
                 ("test", |r| run_cargo(r, &["test", "-q"])),
                 // Tier-1 again in release with every runtime invariant
@@ -88,6 +91,15 @@ fn main() -> ExitCode {
                 // byte-compare against an uninterrupted control run:
                 // proves checkpoint/resume reproduces exact output.
                 ("resume (smoke)", run_resume_smoke),
+                // Two named chaos scenarios at `--quick` with JSONL
+                // traces attached, each validated against the schema:
+                // proves the scenario engine, the runtime
+                // reconfiguration surface, and the telemetry bus agree.
+                ("scenario (smoke)", run_scenario_smoke),
+                // Eight fixed fuzzer seeds through the scenario fuzzer,
+                // expecting zero violations: the generator only emits
+                // survivable chaos, so any failure is a system bug.
+                ("fuzz (smoke)", run_fuzz_smoke),
                 // Guard the hot-path baseline: a >25% drop in the
                 // calendar-vs-binheap throughput ratio fails the gate.
                 ("bench (smoke)", run_bench_smoke),
@@ -107,11 +119,12 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo xtask <lint|build|test|test-all|bench|ci>\n\
                  \n\
-                 lint      token-level static analysis (15 rules: panic/print\n\
+                 lint      token-level static analysis (16 rules: panic/print\n\
                  \x20         discipline, unsafe bans, doc provenance, and the\n\
                  \x20         determinism family — no-hash-iter,\n\
                  \x20         no-thread-outside-runner, no-ambient-entropy,\n\
-                 \x20         no-raw-tick-arith, exhaustive-kind-tags, …)\n\
+                 \x20         no-raw-tick-arith, exhaustive-kind-tags,\n\
+                 \x20         scenario-step-doc, …)\n\
                  \x20         [--list | --rule <id>]... [--format json]\n\
                  build     cargo build --release --workspace\n\
                  test      cargo test -q (tier-1 test set)\n\
@@ -120,7 +133,8 @@ fn main() -> ExitCode {
                  \x20         (--smoke: compare-only regression gate)\n\
                  ci        build + test + test(audit) + lint-selftest +\n\
                  \x20         lint(json) + telemetry(smoke) + resume(smoke) +\n\
-                 \x20         bench(smoke) (the tier-1 gate)"
+                 \x20         scenario(smoke) + fuzz(smoke) + bench(smoke)\n\
+                 \x20         (the tier-1 gate)"
             );
             if args.is_empty() {
                 ExitCode::from(2)
@@ -164,7 +178,17 @@ fn run_lint_cli(repo: &Path, flags: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 };
                 if !rules::registry().iter().any(|r| r.id() == id) {
-                    eprintln!("xtask lint: unknown rule `{id}` (see `cargo xtask lint --list`)");
+                    // Same convention as `figs scenario <id>`: exit 2
+                    // with a nearest-match suggestion when one is close.
+                    match rules::nearest_rule(id) {
+                        Some(close) => eprintln!(
+                            "xtask lint: unknown rule `{id}` — did you mean `{close}`? \
+                             (see `cargo xtask lint --list`)"
+                        ),
+                        None => eprintln!(
+                            "xtask lint: unknown rule `{id}` (see `cargo xtask lint --list`)"
+                        ),
+                    }
                     return ExitCode::from(2);
                 }
                 only.push(id.clone());
@@ -326,6 +350,65 @@ fn run_resume_smoke(repo: &Path) -> ExitCode {
             control.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+/// Run two named chaos scenarios at `--quick` scale with the JSONL
+/// telemetry sink attached, validating each trace against the schema.
+/// Exercises the scenario parser, the engine's timed `NetMutation`
+/// scheduling, and the telemetry path end to end.
+fn run_scenario_smoke(repo: &Path) -> ExitCode {
+    for id in ["quiet-baseline", "incast-storm"] {
+        let out = repo.join("target").join(format!("scenario-smoke-{id}.jsonl"));
+        let out = out.to_string_lossy().into_owned();
+        let run = run_cargo(
+            repo,
+            &[
+                "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "scenario",
+                id, "--quick", "--trace-out", &out,
+            ],
+        );
+        if run != ExitCode::SUCCESS {
+            return run;
+        }
+        let check = run_cargo(
+            repo,
+            &[
+                "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "check-trace",
+                &out,
+            ],
+        );
+        if check != ExitCode::SUCCESS {
+            return check;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run the scenario fuzzer over eight fixed seeds expecting a clean
+/// exit: the generator only emits survivable chaos, so a failing seed
+/// means a system bug (the fuzzer will have left a shrunk repro in
+/// `results/quarantine/`). The env knobs are cleared so an operator's
+/// `TCN_FUZZ_*` settings cannot widen or narrow the gate.
+fn run_fuzz_smoke(repo: &Path) -> ExitCode {
+    let mut cmd = Command::new("cargo");
+    cmd.args([
+        "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "fuzz", "--seeds",
+        "8",
+    ])
+    .current_dir(repo)
+    .env_remove("TCN_FUZZ_SEEDS")
+    .env_remove("TCN_FUZZ_STEP_BUDGET");
+    match cmd.status() {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(status) => {
+            eprintln!("xtask: `figs fuzz --seeds 8` exited with {status}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: failed to spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

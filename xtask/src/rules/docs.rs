@@ -70,6 +70,9 @@ struct VariantInfo {
     /// True when the nearest doc comment above carries >= 10 chars of
     /// prose (a `/// Loss.` stub is as useless as nothing).
     documented: bool,
+    /// The variant's full doc prose, top line first (rules that look
+    /// for markers must see every line, not just the nearest).
+    doc: String,
 }
 
 /// The variants of `enum <name>` in this file, or `None` when the file
@@ -108,14 +111,21 @@ fn enum_variants(file: &SourceFile, name: &str) -> Option<(usize, Vec<VariantInf
             && t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
             && prev.is_some_and(|p| p.is_punct("{") || p.is_punct(",") || p.is_punct("]"))
         {
-            let documented = docs_above(toks, ti)
-                .first()
-                .is_some_and(|d| d.doc_text().len() >= 10);
+            let docs = docs_above(toks, ti);
+            let documented = docs.first().is_some_and(|d| d.doc_text().len() >= 10);
+            // `docs_above` walks upward, so reverse for reading order.
+            let doc = docs
+                .iter()
+                .rev()
+                .map(|d| d.doc_text())
+                .collect::<Vec<_>>()
+                .join("\n");
             variants.push(VariantInfo {
                 name: t.text.clone(),
                 line: t.line,
                 col: t.col,
                 documented,
+                doc,
             });
         }
         prev = Some(t);
@@ -365,6 +375,94 @@ impl Rule for ExhaustiveKindTags {
     }
 }
 
+/// The `step:<tag>` marker inside a backticked span of a doc comment,
+/// if any. Tags are kebab-case: anything else is treated as absent so
+/// the diagnostic points at the malformed marker.
+fn step_marker(doc: &str) -> Option<&str> {
+    let start = doc.find("`step:")?;
+    let rest = &doc[start + "`step:".len()..];
+    let tag = &rest[..rest.find('`')?];
+    (!tag.is_empty() && tag.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'))
+        .then_some(tag)
+}
+
+/// `scenario-step-doc`: every variant of the scenario DSL's
+/// `StepMutation` enum must carry a doc comment with a unique
+/// backticked `step:<tag>` marker — the same tag discipline
+/// `exhaustive-kind-tags` imposes on the error taxonomy. The tags name
+/// mutation kinds in scenario files, fuzzer repros, and the
+/// reconfiguration audit log, so a variant without one (or two variants
+/// sharing one) breaks the map from a step on disk to the code that
+/// applies it.
+pub struct ScenarioStepDoc;
+
+impl Rule for ScenarioStepDoc {
+    fn id(&self) -> &'static str {
+        "scenario-step-doc"
+    }
+    fn summary(&self) -> &'static str {
+        "a `StepMutation` variant whose doc comment lacks a unique backticked `step:<tag>` marker"
+    }
+    fn scope(&self) -> Scope {
+        Scope { desc: "every `.rs` file (fires where `enum StepMutation` is defined)", applies: every_file }
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let Some((enum_line, variants)) = enum_variants(file, "StepMutation") else {
+            return;
+        };
+        let mut tags: Vec<(&str, &str)> = Vec::new(); // (tag, variant)
+        for v in &variants {
+            // Judge the whole doc block, not just the nearest line —
+            // a marker plus prose often wraps across lines.
+            if v.doc.len() < 10 {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: v.line,
+                    col: v.col,
+                    rule: self.id(),
+                    severity: crate::engine::Severity::Deny,
+                    message: format!(
+                        "`StepMutation::{}` needs a doc comment describing the \
+                         chaos step it applies",
+                        v.name
+                    ),
+                });
+                continue;
+            }
+            match step_marker(&v.doc) {
+                Some(tag) => tags.push((tag, &v.name)),
+                None => out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: v.line,
+                    col: v.col,
+                    rule: self.id(),
+                    severity: crate::engine::Severity::Deny,
+                    message: format!(
+                        "`StepMutation::{}`'s doc comment carries no backticked \
+                         `step:<tag>` marker naming its mutation kind",
+                        v.name
+                    ),
+                }),
+            }
+        }
+        for (i, (tag, name)) in tags.iter().enumerate() {
+            if tags[..i].iter().any(|(t, _)| t == tag) {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: enum_line,
+                    col: 0,
+                    rule: self.id(),
+                    severity: crate::engine::Severity::Deny,
+                    message: format!(
+                        "`StepMutation::{name}` reuses the step tag `{tag}` — tags \
+                         key scenario files and fuzzer repros, they must be unique"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +579,59 @@ mod tests {
             "crates/net/src/x.rs",
             "pub enum Other { A, B }\n",
             Box::new(ExhaustiveKindTags)
+        )
+        .is_empty());
+    }
+
+    const GOOD_STEP_MUTATION: &str = "pub enum StepMutation {\n    /// `step:drain` — drain every egress queue of the switch.\n    Drain,\n    /// `step:link-down` — administratively down one link (the\n    /// marker may sit on any doc line).\n    LinkDown {\n        link: u32,\n    },\n}\n";
+
+    #[test]
+    fn tagged_step_mutation_variants_are_clean() {
+        let d = lint_one("crates/experiments/src/scenario/mod.rs", GOOD_STEP_MUTATION, Box::new(ScenarioStepDoc));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn step_variant_without_marker_is_caught() {
+        let src = GOOD_STEP_MUTATION.replace("`step:drain` — drain", "Drains");
+        let d = lint_one("crates/experiments/src/scenario/mod.rs", &src, Box::new(ScenarioStepDoc));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("Drain"), "{}", d[0].message);
+        assert!(d[0].message.contains("`step:<tag>`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn undocumented_step_variant_is_caught() {
+        let src = GOOD_STEP_MUTATION
+            .replace("    /// `step:drain` — drain every egress queue of the switch.\n", "");
+        let d = lint_one("crates/experiments/src/scenario/mod.rs", &src, Box::new(ScenarioStepDoc));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("doc comment"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn duplicate_step_tags_are_caught() {
+        let src = GOOD_STEP_MUTATION.replace("step:link-down", "step:drain");
+        let d = lint_one("crates/experiments/src/scenario/mod.rs", &src, Box::new(ScenarioStepDoc));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("reuses"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn malformed_step_marker_is_caught() {
+        // Uppercase inside the marker: treated as absent, not silently
+        // accepted as a tag.
+        let src = GOOD_STEP_MUTATION.replace("step:drain", "step:Drain");
+        let d = lint_one("crates/experiments/src/scenario/mod.rs", &src, Box::new(ScenarioStepDoc));
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn files_without_step_mutation_are_out_of_scope() {
+        assert!(lint_one(
+            "crates/net/src/x.rs",
+            "pub enum Other { A, B }\n",
+            Box::new(ScenarioStepDoc)
         )
         .is_empty());
     }

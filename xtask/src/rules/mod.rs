@@ -8,7 +8,7 @@
 //!   through telemetry).
 //! * [`safety`] — `no-unsafe`, `forbid-unsafe-attr`.
 //! * [`docs`] — provenance and taxonomy docs: `aqm-doc-cite`,
-//!   `fault-kind-doc`, `exhaustive-kind-tags`.
+//!   `fault-kind-doc`, `exhaustive-kind-tags`, `scenario-step-doc`.
 //! * [`determinism`] — the byte-identity discipline: `no-float-time`,
 //!   `no-wallclock`, `no-hash-iter`, `no-thread-outside-runner`,
 //!   `no-ambient-entropy`, `no-raw-tick-arith`.
@@ -211,8 +211,40 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(determinism::NoAmbientEntropy),
         Box::new(determinism::NoRawTickArith),
         Box::new(docs::ExhaustiveKindTags),
+        Box::new(docs::ScenarioStepDoc),
         Box::new(UnusedAllow),
     ]
+}
+
+/// Levenshtein distance between two ASCII-ish strings (two-row DP).
+/// Small inputs only — rule ids are short.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The registered rule id closest to a mistyped `id`, when one is
+/// plausibly close (same convention as `figs scenario <id>`): ties
+/// break alphabetically, and anything farther than half the input's
+/// length plus slack is no suggestion at all.
+pub fn nearest_rule(id: &str) -> Option<&'static str> {
+    registry()
+        .iter()
+        .map(|r| (edit_distance(id, r.id()), r.id()))
+        .min()
+        .filter(|&(d, _)| d <= id.len() / 2 + 2)
+        .map(|(_, name)| name)
 }
 
 /// The ids of the nine rules migrated from the substring engine — the
@@ -276,11 +308,23 @@ mod tests {
             "no-ambient-entropy",
             "no-raw-tick-arith",
             "exhaustive-kind-tags",
+            "scenario-step-doc",
             "unused-allow",
         ] {
             assert!(ids.contains(&d), "rule `{d}` missing");
         }
-        assert_eq!(rules.len(), 15);
+        assert_eq!(rules.len(), 16);
+    }
+
+    #[test]
+    fn nearest_rule_suggests_and_gives_up() {
+        assert_eq!(nearest_rule("no-unwarp"), Some("no-unwrap"));
+        assert_eq!(nearest_rule("scenario-step-docs"), Some("scenario-step-doc"));
+        assert_eq!(nearest_rule("exhaustive-kind-tag"), Some("exhaustive-kind-tags"));
+        // An exact id is its own nearest match (distance zero).
+        assert_eq!(nearest_rule("unused-allow"), Some("unused-allow"));
+        // Nothing plausibly close: stay silent rather than mislead.
+        assert_eq!(nearest_rule("zzz"), None);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Planted violations: an undocumented variant, a doc comment without
+//! a `step:<tag>` marker, a malformed marker, and a duplicated tag.
+
+pub enum StepMutation {
+    Drain,
+    /// Administratively down one link — no marker anywhere.
+    LinkDown {
+        link: u32,
+    },
+    /// `step:Link-Up` — uppercase inside the marker is malformed.
+    LinkUp {
+        link: u32,
+    },
+    /// `step:burst` — inject a synchronized incast toward one host.
+    Burst {
+        dst: u32,
+    },
+    /// `step:burst` — reuses the incast tag.
+    BurstAgain {
+        dst: u32,
+    },
+}

@@ -1,0 +1,20 @@
+//! Clean equivalent: every variant documented with a unique backticked
+//! `step:<tag>` marker (the marker may sit on any doc line).
+
+pub enum StepMutation {
+    /// `step:drain` — administratively drain every egress queue of the
+    /// switch, discarding the backlog.
+    Drain,
+    /// `step:link-down` — administratively down one link; transports
+    /// see it after the detection delay.
+    LinkDown {
+        link: u32,
+    },
+    /// Inject a synchronized incast toward one receiving host
+    /// (`step:burst` — the marker need not lead the comment).
+    Burst {
+        dst: u32,
+        senders: u32,
+        bytes: u64,
+    },
+}

@@ -50,6 +50,7 @@ const FIXTURE_PATHS: &[(&str, &str)] = &[
     ("no-ambient-entropy", "crates/sim/src/fixture.rs"),
     ("no-raw-tick-arith", "crates/net/src/fixture.rs"),
     ("exhaustive-kind-tags", "crates/core/src/error_fixture.rs"),
+    ("scenario-step-doc", "crates/experiments/src/scenario/fixture.rs"),
     ("unused-allow", "crates/net/src/fixture.rs"),
 ];
 
