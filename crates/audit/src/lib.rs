@@ -193,6 +193,81 @@ impl ClockAudit {
         self.last = Some((at_ps, seq));
     }
 
+    /// Record a *batch* of pops that all fired at the same instant
+    /// `at_ps`, carrying sequence numbers `first_seq..=last_seq`
+    /// (`count` of them). The engine's batched drain calls this once per
+    /// batch instead of [`on_pop`](Self::on_pop) once per event; the
+    /// check is the same contract amortized: the batch boundary must be
+    /// monotone in time (and FIFO-ordered against the previous pop at an
+    /// equal instant), and within the batch sequence numbers must be
+    /// strictly increasing — which, given only the endpoints, means
+    /// `first_seq <= last_seq` and at least `count` distinct values
+    /// between them.
+    #[inline]
+    pub fn on_pop_batch(&mut self, at_ps: u64, first_seq: u64, last_seq: u64, count: u64) {
+        if !active() {
+            return;
+        }
+        if count == 0 {
+            return;
+        }
+        if first_seq > last_seq || last_seq - first_seq < count - 1 {
+            self.log.fail(
+                Invariant::Clock,
+                format!(
+                    "batch of {count} pops at {at_ps} ps has inconsistent seq \
+                     endpoints {first_seq}..={last_seq}"
+                ),
+            );
+        }
+        if let Some((lt, ls)) = self.last {
+            if at_ps < lt {
+                self.log.fail(
+                    Invariant::Clock,
+                    format!("event time went backwards: {at_ps} ps after {lt} ps"),
+                );
+            } else if at_ps == lt && first_seq <= ls {
+                self.log.fail(
+                    Invariant::Clock,
+                    format!(
+                        "FIFO tie-break violated at {at_ps} ps: batch first seq \
+                         {first_seq} popped after {ls}"
+                    ),
+                );
+            }
+        }
+        self.last = Some((at_ps, last_seq));
+    }
+
+    /// Rewind the pop history after the engine re-inserts the
+    /// undispatched tail of a batch (a run loop that completed its goal
+    /// mid-batch). `seq` is the first *returned* sequence number: the
+    /// next pop will be exactly `(at_ps, seq)` again, so the recorded
+    /// last pop steps back to the entry just before it. A tail starting
+    /// at seq 0 means nothing was ever dispatched — history clears.
+    #[inline]
+    pub fn on_unpop(&mut self, at_ps: u64, seq: u64) {
+        if !active() {
+            return;
+        }
+        if let Some((lt, ls)) = self.last {
+            if lt != at_ps || seq > ls {
+                self.log.fail(
+                    Invariant::Clock,
+                    format!(
+                        "unpop of seq {seq} at {at_ps} ps does not match last \
+                         pop ({ls} at {lt} ps)"
+                    ),
+                );
+            }
+        }
+        self.last = if seq == 0 {
+            None
+        } else {
+            Some((at_ps, seq - 1))
+        };
+    }
+
     /// Record a schedule request issued at `now_ps` for time `at_ps`.
     #[inline]
     pub fn on_schedule(&mut self, at_ps: u64, now_ps: u64) {
@@ -726,6 +801,84 @@ mod tests {
         let mut c = ClockAudit::new();
         c.on_pop(100, 0);
         c.on_pop(99, 1);
+    }
+
+    #[test]
+    fn clock_batch_accepts_monotone_batches() {
+        let mut c = ClockAudit::new();
+        c.on_pop_batch(10, 0, 2, 3);
+        c.on_pop_batch(10, 5, 5, 1); // same instant, later seqs
+        c.on_pop(25, 6); // single pops interleave with batches
+        c.on_pop_batch(25, 8, 9, 2);
+        c.on_pop_batch(40, 1, 3, 3); // seq restarts are fine at a later time
+    }
+
+    #[test]
+    fn clock_batch_catches_time_regression() {
+        let mut c = ClockAudit::recording();
+        c.on_pop_batch(100, 0, 1, 2);
+        c.on_pop_batch(99, 2, 2, 1);
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, Invariant::Clock);
+    }
+
+    #[test]
+    fn clock_batch_catches_tie_break_inversion() {
+        let mut c = ClockAudit::recording();
+        c.on_pop_batch(100, 4, 7, 4);
+        c.on_pop_batch(100, 3, 3, 1); // first seq not after previous batch's last
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn clock_batch_catches_inconsistent_endpoints() {
+        let mut c = ClockAudit::recording();
+        c.on_pop_batch(100, 5, 4, 2); // first > last
+        c.on_pop_batch(200, 0, 1, 3); // 3 pops can't fit in 0..=1
+        assert_eq!(c.violations().len(), 2);
+    }
+
+    #[test]
+    fn clock_unpop_rewinds_to_predecessor() {
+        let mut c = ClockAudit::new();
+        c.on_pop_batch(100, 0, 9, 10);
+        // The run loop returned seqs 4..=9 to the queue: last pop is 3.
+        c.on_unpop(100, 4);
+        c.on_pop(100, 4); // re-popping the returned head is FIFO-clean
+    }
+
+    #[test]
+    fn clock_unpop_of_full_batch_clears_history() {
+        let mut c = ClockAudit::new();
+        c.on_pop_batch(50, 0, 3, 4);
+        c.on_unpop(50, 0);
+        c.on_pop(50, 0); // as if nothing had ever been popped
+    }
+
+    #[test]
+    fn clock_unpop_catches_mismatched_rewind() {
+        let mut c = ClockAudit::recording();
+        c.on_pop_batch(100, 0, 5, 6);
+        c.on_unpop(200, 3); // wrong instant
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].invariant, Invariant::Clock);
+    }
+
+    #[test]
+    fn clock_unpop_catches_seq_beyond_last_pop() {
+        let mut c = ClockAudit::recording();
+        c.on_pop_batch(100, 0, 5, 6);
+        c.on_unpop(100, 7); // seq 7 was never popped
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn clock_batch_empty_is_noop() {
+        let mut c = ClockAudit::recording();
+        c.on_pop(100, 7);
+        c.on_pop_batch(50, 0, 0, 0); // empty batch: no pops, no history
+        c.on_pop(100, 8); // still FIFO-consistent with the last real pop
+        assert!(c.violations().is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use tcn_experiments::figs;
 
 fn main() {
+    tcn_experiments::runner::apply_env_modes();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let Some(t) = args.get(i + 1) else {

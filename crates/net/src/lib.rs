@@ -39,8 +39,9 @@ pub mod watchdog;
 
 pub use builder::NetworkBuilder;
 pub use network::{
-    FaultStats, FctRecord, FlowSpec, LinkSpec, NetMutation, NetworkSim, NodeId, ProbeConfig,
-    TaggingPolicy, TransportChoice,
+    default_dispatch_mode, default_hybrid, set_default_dispatch_mode, set_default_hybrid,
+    DispatchMode, FaultStats, FctRecord, FlowSpec, LinkSpec, NetMutation, NetworkSim, NodeId,
+    ProbeConfig, TaggingPolicy, TransportChoice,
 };
 pub use port::{Port, PortSetup, PortStats};
 pub use routing::{compute_routes, compute_routes_partial, ecmp_pick, RouteError};

@@ -21,20 +21,83 @@
 //! on a dead wire (or blackholed into one before reconvergence) are
 //! dropped and counted in [`FaultStats`].
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use tcn_core::{
     AqmParams, ArenaStats, FlowId, Packet, PacketArena, PacketHandle, PacketKind, TcnError,
 };
-use tcn_sim::{EventQueue, FaultPlan, LinkFaultProfile, Rate, Rng, Time};
-use tcn_transport::{SenderOutput, TcpConfig, TcpReceiver, TcpSender};
+use tcn_sim::{EventEntry, EventQueue, FaultPlan, LinkFaultProfile, Rate, Rng, Time};
+use tcn_transport::{FluidCursor, SenderOutput, TcpConfig, TcpReceiver, TcpSender};
 
 use crate::port::{Port, PortSetup};
 use crate::routing::{
     compute_routes, compute_routes_partial, ecmp_pick, RouteTable, TopoView,
 };
-use crate::watchdog::Watchdog;
+use crate::watchdog::{Watchdog, NUM_EVENT_KINDS};
 
 /// Node index (hosts and switches share one id space).
 pub type NodeId = u32;
+
+/// How the run loops pull work off the event queue (DESIGN §7.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// One heap pop per loop iteration, one watchdog observation per
+    /// event, a `TxDone` scheduled for every serialization — the
+    /// reference path the differential tests compare against.
+    PerEvent,
+    /// Drain every same-instant event in one heap interaction and
+    /// amortize clock-audit/watchdog/telemetry accounting per batch;
+    /// ports whose scheduler has a pure idle `select` additionally
+    /// elide trailing service wake-ups (§7.6). Outputs are
+    /// byte-identical to [`DispatchMode::PerEvent`].
+    Batched,
+}
+
+const DISPATCH_PER_EVENT: u8 = 0;
+const DISPATCH_BATCHED: u8 = 1;
+
+/// Process-wide default dispatch mode, picked up by every
+/// [`NetworkSim`] at construction (batched unless overridden). Lets
+/// harnesses flip whole experiment runs onto the reference path without
+/// plumbing a knob through every figure.
+static DEFAULT_DISPATCH: AtomicU8 = AtomicU8::new(DISPATCH_BATCHED);
+
+/// Process-wide default for the hybrid fluid fast path (off unless
+/// opted in — see [`NetworkSim::set_hybrid`]).
+static DEFAULT_HYBRID: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide default [`DispatchMode`] for simulations
+/// constructed afterwards (running sims keep their mode).
+pub fn set_default_dispatch_mode(mode: DispatchMode) {
+    let v = match mode {
+        DispatchMode::PerEvent => DISPATCH_PER_EVENT,
+        DispatchMode::Batched => DISPATCH_BATCHED,
+    };
+    DEFAULT_DISPATCH.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default [`DispatchMode`].
+pub fn default_dispatch_mode() -> DispatchMode {
+    if DEFAULT_DISPATCH.load(Ordering::Relaxed) == DISPATCH_PER_EVENT {
+        DispatchMode::PerEvent
+    } else {
+        DispatchMode::Batched
+    }
+}
+
+/// Set the process-wide default for the hybrid fluid fast path,
+/// picked up by simulations constructed afterwards (the `TCN_HYBRID`
+/// experiment knob lands here).
+pub fn set_default_hybrid(on: bool) {
+    DEFAULT_HYBRID.store(u8::from(on), Ordering::Relaxed);
+}
+
+/// The process-wide hybrid default.
+pub fn default_hybrid() -> bool {
+    DEFAULT_HYBRID.load(Ordering::Relaxed) != 0
+}
 
 /// Flow ids at or above this are latency probes, not TCP flows.
 const PROBE_FLOW_BASE: u64 = 1 << 40;
@@ -160,10 +223,50 @@ pub struct LinkSpec {
     pub setup: PortSetup,
 }
 
+/// Transmit-side serialization state of one link (DESIGN §7.6).
+///
+/// The per-event dispatch path only ever uses `Idle`/`BusyScheduled` —
+/// exactly the old `Port::busy` flag plus the wake-up instant. The
+/// batched path adds `BusyHeld`: when a coalescing-eligible port's
+/// queue drains mid-service, the trailing `TxDone` is not scheduled;
+/// its reserved sequence slot is held and materialized only if another
+/// packet needs service before serialization finishes. Holding the
+/// reservation (instead of just skipping the event) keeps sequence
+/// allocation — and therefore every same-instant tie-break — identical
+/// to the per-event path, which is what makes coalesced runs
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxState {
+    /// The wire is free.
+    Idle,
+    /// Serializing until `until`; a `TxDone` event exists for it.
+    BusyScheduled {
+        /// Serialization-complete instant.
+        until: Time,
+    },
+    /// Serializing until `until` with an empty queue behind it; the
+    /// wake-up exists only as the reserved sequence slot `seq`.
+    BusyHeld {
+        /// Serialization-complete instant.
+        until: Time,
+        /// Reserved event-queue sequence number for the elided wake.
+        seq: u64,
+    },
+}
+
 struct LinkState {
     to: NodeId,
     delay: Time,
     port: Port,
+    /// Transmit-side serialization state (replaces `Port::busy`).
+    tx: TxState,
+    /// Trailing-wake elision is sound on this port (the scheduler's
+    /// idle `select` is pure). Cached at construction.
+    coalesce: bool,
+    /// Hybrid mode's closed-form serialization cursor; `Some` while the
+    /// link rides the fluid fast path (DESIGN §7.7), `None` when it is
+    /// packet-level. Once disabled mid-run, a link never re-enters.
+    fluid: Option<FluidCursor>,
 }
 
 /// Live stochastic-fault state for one link: its effective profile and
@@ -373,6 +476,27 @@ pub struct NetworkSim {
     /// Append-only audit trail of every applied mutation:
     /// `(when, what)` in application order.
     reconfig_log: Vec<(Time, String)>,
+    /// How the run loops pull events (set at construction from the
+    /// process default; override via [`NetworkSim::set_dispatch_mode`]).
+    dispatch: DispatchMode,
+    /// Whether the hybrid fluid fast path is requested; per-link
+    /// eligibility is resolved lazily at the first run call (after
+    /// faults/telemetry installs) into `LinkState::fluid`.
+    hybrid: bool,
+    /// Fluid eligibility has been resolved (first run call happened).
+    fluid_init: bool,
+    /// Links with a planned flap schedule (never fluid-eligible).
+    flap_planned: Vec<bool>,
+    /// Reusable batch scratch for the batched run loops.
+    batch: Vec<EventEntry<Event>>,
+    /// Deadlines of held wakes (`TxState::BusyHeld`), a min-heap on
+    /// `(until, link)`. The batched loops consult it before dispatching
+    /// a batch: a held wake expiring *exactly* at the batch instant is
+    /// materialized into the batch at its reserved sequence number, so
+    /// service order at an exact tie matches the per-event path.
+    /// Entries whose link has since left `BusyHeld` are stale and
+    /// dropped on sight.
+    held: BinaryHeap<Reverse<(Time, u32)>>,
 }
 
 impl NetworkSim {
@@ -412,10 +536,17 @@ impl NetworkSim {
         }
         let links: Vec<LinkState> = link_specs
             .into_iter()
-            .map(|l| LinkState {
-                to: l.to,
-                delay: l.delay,
-                port: Port::new(&l.setup, l.rate),
+            .map(|l| {
+                let port = Port::new(&l.setup, l.rate);
+                let coalesce = port.coalescing_eligible();
+                LinkState {
+                    to: l.to,
+                    delay: l.delay,
+                    port,
+                    tx: TxState::Idle,
+                    coalesce,
+                    fluid: None,
+                }
             })
             .collect();
         let n_links = links.len();
@@ -443,7 +574,114 @@ impl NetworkSim {
             pending_mutations: Vec::new(),
             fault_seed: 0,
             reconfig_log: Vec::new(),
+            dispatch: default_dispatch_mode(),
+            hybrid: default_hybrid(),
+            fluid_init: false,
+            flap_planned: vec![false; n_links],
+            batch: Vec::new(),
+            held: BinaryHeap::new(),
         })
+    }
+
+    /// Override how this simulation's run loops pull events. Both modes
+    /// produce byte-identical outputs; [`DispatchMode::PerEvent`] is
+    /// the reference path for differential testing.
+    pub fn set_dispatch_mode(&mut self, mode: DispatchMode) {
+        self.dispatch = mode;
+    }
+
+    /// The dispatch mode this simulation runs under.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.dispatch
+    }
+
+    /// Opt into (or out of) the hybrid fluid fast path (DESIGN §7.7):
+    /// links whose egress port has closed-form FIFO service (host-NIC
+    /// shape: one queue, no buffer bound, FIFO, pass-through AQM) and
+    /// no faults advance by rate-based byte accounting instead of
+    /// per-packet `TxDone` events. Departure instants are bit-equal to
+    /// packet-level serialization and every AQM-relevant epoch stays
+    /// packet-level at the switches, but event interleaving — and
+    /// therefore exact-picosecond tie-breaks — may differ, so hybrid
+    /// runs are validated statistically, not byte-for-byte.
+    ///
+    /// Per-link eligibility is resolved at the first run call, after
+    /// fault plans are installed; links that lose eligibility mid-run
+    /// (taken down, un-quieted) fall back to packet level permanently.
+    pub fn set_hybrid(&mut self, on: bool) {
+        self.hybrid = on;
+        if self.fluid_init {
+            if on {
+                self.init_fluid();
+            } else {
+                let now = self.now();
+                for link in 0..self.links.len() as u32 {
+                    self.disable_fluid(link, now);
+                }
+            }
+        }
+    }
+
+    /// Whether the hybrid fluid fast path is requested.
+    pub fn hybrid_mode(&self) -> bool {
+        self.hybrid
+    }
+
+    /// Number of links currently riding the fluid fast path.
+    pub fn fluid_links(&self) -> usize {
+        self.links.iter().filter(|l| l.fluid.is_some()).count()
+    }
+
+    /// Resolve fluid eligibility (idempotent per link): the port has
+    /// closed-form service, the wire is quiet (no stochastic faults, no
+    /// planned flap), the link is up, and nothing is mid-service or
+    /// queued (relevant only for mid-run enables — a busy port cannot
+    /// hand its backlog to the cursor without reordering).
+    fn init_fluid(&mut self) {
+        for li in 0..self.links.len() {
+            let l = &mut self.links[li];
+            if l.fluid.is_some() {
+                continue;
+            }
+            if l.port.fluid_eligible()
+                && self.link_faults[li].is_none()
+                && !self.flap_planned[li]
+                && self.link_up[li]
+                && l.tx == TxState::Idle
+                && l.port.is_empty()
+            {
+                l.fluid = Some(FluidCursor::new(l.port.tx_rate()));
+            }
+        }
+    }
+
+    /// Drop `link` off the fluid fast path. A cursor still serializing
+    /// backlog reserves the wire until it drains — a real `TxDone` at
+    /// its free instant hands service back to the packet-level port —
+    /// so the line is never double-booked. Packets already offered keep
+    /// their scheduled arrivals (they are on the wire, accounted
+    /// in-flight).
+    fn disable_fluid(&mut self, link: u32, now: Time) {
+        let li = link as usize;
+        let Some(cursor) = self.links[li].fluid.take() else {
+            return;
+        };
+        let free = cursor.free_at();
+        if free > now {
+            self.links[li].tx = TxState::BusyScheduled { until: free };
+            self.events.schedule_at(free, Event::TxDone { link });
+        }
+    }
+
+    /// One-time lazy fluid resolution at the first run call.
+    fn ensure_fluid(&mut self) {
+        if self.fluid_init {
+            return;
+        }
+        self.fluid_init = true;
+        if self.hybrid {
+            self.init_fluid();
+        }
     }
 
     /// Install (or replace) the liveness watchdog. Every event the run
@@ -503,11 +741,23 @@ impl NetworkSim {
                 "flap on unknown link {}",
                 flap.link
             );
+            self.flap_planned[flap.link as usize] = true;
             self.events
                 .schedule_at(flap.down_at, Event::LinkDown { link: flap.link });
             if let Some(up) = flap.up_at {
                 assert!(up > flap.down_at, "flap must recover after failing");
                 self.events.schedule_at(up, Event::LinkUp { link: flap.link });
+            }
+        }
+        // A link that just acquired a fault profile or a flap schedule
+        // can no longer ride the fluid fast path (only relevant when a
+        // plan is installed after the first run call).
+        let now = self.now();
+        for link in 0..self.links.len() {
+            if self.links[link].fluid.is_some()
+                && (self.link_faults[link].is_some() || self.flap_planned[link])
+            {
+                self.disable_fluid(link as u32, now);
             }
         }
     }
@@ -563,6 +813,10 @@ impl NetworkSim {
                 if profile.is_quiet() {
                     self.link_faults[li] = None;
                 } else {
+                    // A no-longer-quiet wire needs per-packet fault
+                    // draws; the fluid fast path has no dequeue point
+                    // to draw at, so the link leaves it for good.
+                    self.disable_fluid(*link, now);
                     match &mut self.link_faults[li] {
                         // A link already under faults keeps its RNG
                         // position: only the intensities change.
@@ -591,7 +845,15 @@ impl NetworkSim {
                 }
             }
             NetMutation::LinkRate { link, rate } => {
-                self.links[*link as usize].port.set_link_rate(*rate)?;
+                let li = *link as usize;
+                self.links[li].port.set_link_rate(*rate)?;
+                // A fluid link tracks line rate exactly like an unshaped
+                // port: already-offered bytes keep their departures,
+                // future offers serialize at the new rate.
+                let effective = self.links[li].port.tx_rate();
+                if let Some(c) = &mut self.links[li].fluid {
+                    c.set_rate(effective);
+                }
             }
         }
         let mut line = m.describe();
@@ -761,18 +1023,92 @@ impl NetworkSim {
     /// breaches, invariant violations) and [`TcnError::Stall`] from the
     /// watchdog.
     pub fn run_until(&mut self, t: Time) -> Result<(), TcnError> {
+        self.ensure_fluid();
+        match self.dispatch {
+            DispatchMode::PerEvent => {
+                while let Some(at) = self.events.peek_time() {
+                    if at > t {
+                        break;
+                    }
+                    let Some(entry) = self.events.pop() else {
+                        break;
+                    };
+                    self.observe_event(&entry.event, entry.at)?;
+                    self.dispatch_event(entry.event, entry.at)?;
+                }
+            }
+            DispatchMode::Batched => {
+                let mut batch = std::mem::take(&mut self.batch);
+                let r = self.run_until_batched(t, &mut batch);
+                self.batch = batch;
+                r?;
+            }
+        }
+        self.audit_net();
+        Ok(())
+    }
+
+    /// The batched drain behind [`run_until`](Self::run_until): every
+    /// same-instant batch comes off the heap in one interaction, the
+    /// watchdog observes it once, and events dispatch in the same
+    /// (time, seq) order the per-event path would have popped them.
+    /// Same-instant events scheduled *during* the batch carry higher
+    /// sequence numbers and form the next batch — order is preserved.
+    fn run_until_batched(
+        &mut self,
+        t: Time,
+        batch: &mut Vec<EventEntry<Event>>,
+    ) -> Result<(), TcnError> {
         while let Some(at) = self.events.peek_time() {
             if at > t {
                 break;
             }
-            let Some(entry) = self.events.pop() else {
+            if self.events.pop_batch_into(batch) == 0 {
                 break;
-            };
-            self.observe_event(&entry.event, entry.at)?;
-            self.dispatch(entry.event, entry.at)?;
+            }
+            self.materialize_held_wakes(batch);
+            self.observe_batch(batch)?;
+            for entry in batch.drain(..) {
+                self.dispatch_event(entry.event, entry.at)?;
+            }
         }
-        self.audit_net();
         Ok(())
+    }
+
+    /// Fold every held wake whose serialization deadline is *exactly*
+    /// this batch's instant back into the batch as a real `TxDone`, at
+    /// its reserved sequence number, then restore sequence order.
+    ///
+    /// The per-event path pops that TxDone interleaved with same-instant
+    /// arrivals — enqueues with lower sequence numbers land before the
+    /// port resumes service, higher ones after — and scheduler selection
+    /// depends on exactly that interleaving. Deadlines already *past*
+    /// (no batch happened to fire at that instant) stay held: their
+    /// per-event TxDone was a no-op on an empty port, and the next
+    /// enqueue's kick expires them with identical effect.
+    fn materialize_held_wakes(&mut self, batch: &mut Vec<EventEntry<Event>>) {
+        if self.held.is_empty() {
+            return;
+        }
+        let at = batch[0].at;
+        let mut injected = false;
+        while let Some(&Reverse((until, link))) = self.held.peek() {
+            if until > at {
+                break;
+            }
+            self.held.pop();
+            let li = link as usize;
+            if let TxState::BusyHeld { until: u, seq } = self.links[li].tx {
+                if u == until && until == at {
+                    self.links[li].tx = TxState::BusyScheduled { until };
+                    batch.push(EventEntry { at, seq, event: Event::TxDone { link } });
+                    injected = true;
+                }
+            }
+        }
+        if injected {
+            batch.sort_unstable_by_key(|e| e.seq);
+        }
     }
 
     /// Account one dispatched event with the watchdog, if installed.
@@ -781,6 +1117,22 @@ impl NetworkSim {
             let depth = self.events.len();
             let processed = self.events.processed();
             wd.observe(now, ev.kind_index(), depth, processed)?;
+        }
+        Ok(())
+    }
+
+    /// Account a whole same-instant batch with the watchdog, if
+    /// installed: one call with per-kind counts instead of one call per
+    /// event.
+    fn observe_batch(&mut self, batch: &[EventEntry<Event>]) -> Result<(), TcnError> {
+        if let Some(wd) = &mut self.watchdog {
+            let mut kinds = [0u64; NUM_EVENT_KINDS];
+            for e in batch {
+                kinds[e.event.kind_index()] += 1;
+            }
+            let depth = self.events.len();
+            let processed = self.events.processed();
+            wd.observe_batch(batch[0].at, &kinds, depth, processed)?;
         }
         Ok(())
     }
@@ -814,20 +1166,68 @@ impl NetworkSim {
     /// # Errors
     /// Propagates [`TcnError`] from event processing and the watchdog.
     pub fn run_to_completion(&mut self, deadline: Time) -> Result<bool, TcnError> {
-        while self.completed < self.flows.len() {
-            match self.events.peek_time() {
-                Some(at) if at <= deadline => {
-                    let Some(entry) = self.events.pop() else {
-                        break;
-                    };
-                    self.observe_event(&entry.event, entry.at)?;
-                    self.dispatch(entry.event, entry.at)?;
+        self.ensure_fluid();
+        match self.dispatch {
+            DispatchMode::PerEvent => {
+                while self.completed < self.flows.len() {
+                    match self.events.peek_time() {
+                        Some(at) if at <= deadline => {
+                            let Some(entry) = self.events.pop() else {
+                                break;
+                            };
+                            self.observe_event(&entry.event, entry.at)?;
+                            self.dispatch_event(entry.event, entry.at)?;
+                        }
+                        _ => break,
+                    }
                 }
-                _ => break,
+            }
+            DispatchMode::Batched => {
+                let mut batch = std::mem::take(&mut self.batch);
+                let r = self.run_to_completion_batched(deadline, &mut batch);
+                self.batch = batch;
+                r?;
             }
         }
         self.audit_net();
         Ok(self.completed == self.flows.len())
+    }
+
+    /// Batched [`run_to_completion`](Self::run_to_completion) body. The
+    /// per-event path re-checks the completion condition before every
+    /// pop, so a batched drain must not overshoot: the moment the last
+    /// flow completes mid-batch, the undispatched tail goes back into
+    /// the queue (original sequence numbers, audit history rewound) and
+    /// the loop stops — leaving the queue exactly as the per-event path
+    /// would have.
+    fn run_to_completion_batched(
+        &mut self,
+        deadline: Time,
+        batch: &mut Vec<EventEntry<Event>>,
+    ) -> Result<(), TcnError> {
+        while self.completed < self.flows.len() {
+            match self.events.peek_time() {
+                Some(at) if at <= deadline => {
+                    if self.events.pop_batch_into(batch) == 0 {
+                        break;
+                    }
+                    self.materialize_held_wakes(batch);
+                    self.observe_batch(batch)?;
+                    let mut it = batch.drain(..);
+                    while let Some(entry) = it.next() {
+                        if self.completed >= self.flows.len() {
+                            let mut tail: Vec<_> =
+                                std::iter::once(entry).chain(it).collect();
+                            self.events.unpop_batch_tail(&mut tail);
+                            break;
+                        }
+                        self.dispatch_event(entry.event, entry.at)?;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(())
     }
 
     /// Completed-flow records.
@@ -923,7 +1323,7 @@ impl NetworkSim {
     // Event dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, ev: Event, now: Time) -> Result<(), TcnError> {
+    fn dispatch_event(&mut self, ev: Event, now: Time) -> Result<(), TcnError> {
         match ev {
             Event::FlowStart(f) => {
                 let mut out = std::mem::take(&mut self.scratch);
@@ -943,7 +1343,7 @@ impl NetworkSim {
                 r?;
             }
             Event::TxDone { link } => {
-                self.links[link as usize].port.busy = false;
+                self.links[link as usize].tx = TxState::Idle;
                 self.kick(link, now)?;
             }
             Event::Arrive { link, pkt } => {
@@ -1004,6 +1404,10 @@ impl NetworkSim {
     fn apply_link_down(&mut self, link: u32, now: Time) {
         let li = link as usize;
         if self.link_up[li] {
+            // A dead wire needs packet-level blackhole accounting;
+            // packets the cursor already put in flight die at their
+            // Arrive (same dead-link check as packet-level in-flight).
+            self.disable_fluid(link, now);
             self.link_up[li] = false;
             self.fault_stats.link_downs += 1;
             self.events
@@ -1041,7 +1445,28 @@ impl NetworkSim {
     }
 
     fn enqueue_on(&mut self, link: u32, pkt: Packet, now: Time) -> Result<(), TcnError> {
-        if self.links[link as usize].port.enqueue(pkt, now) {
+        let li = link as usize;
+        if self.links[li].fluid.is_some() {
+            // Fluid fast path (DESIGN §7.7): the closed-form FIFO
+            // recurrence yields the departure instant directly — no
+            // queue residency, no per-packet TxDone. The packet goes on
+            // the wire immediately (accounted in-flight from offer to
+            // arrival) with a departure bit-equal to packet-level
+            // serialization. Fluid links are quiet by construction, so
+            // no fault draws happen here.
+            let delay = self.links[li].delay;
+            let depart = match &mut self.links[li].fluid {
+                Some(c) => c.offer(now, u64::from(pkt.size)),
+                None => unreachable!("checked above"),
+            };
+            self.net_audit.on_depart();
+            self.links[li].port.on_fluid_tx(pkt.size);
+            let handle = self.arena.insert(pkt);
+            self.events
+                .schedule_at(depart + delay, Event::Arrive { link, pkt: handle });
+            return Ok(());
+        }
+        if self.links[li].port.enqueue(pkt, now) {
             self.kick(link, now)?;
         }
         Ok(())
@@ -1053,22 +1478,67 @@ impl NetworkSim {
     /// (the port's ledger already counted it transmitted), so wire
     /// loss, corruption and jitter are drawn here, from the link's
     /// isolated RNG stream, in a fixed order (loss, corruption, jitter)
-    /// for replay determinism. `TxDone` is always scheduled — a faulty
-    /// wire does not change the serialization cadence.
+    /// for replay determinism. The serialization wake-up is scheduled
+    /// before any draw — a faulty wire does not change the cadence.
+    ///
+    /// Wake-up scheduling is where per-port coalescing (DESIGN §7.6)
+    /// lives: in batched mode on a coalescing-eligible port, a `TxDone`
+    /// behind an *empty* queue is elided — its sequence slot is
+    /// reserved and held, materialized by a later enqueue that lands
+    /// before serialization finishes, or abandoned as a harmless gap.
+    /// Sequence allocation is identical either way, so coalesced runs
+    /// stay byte-identical to the reference path.
     fn kick(&mut self, link: u32, now: Time) -> Result<(), TcnError> {
+        match self.links[link as usize].tx {
+            TxState::Idle => {}
+            TxState::BusyScheduled { .. } => return Ok(()),
+            TxState::BusyHeld { until, seq } => {
+                if now < until {
+                    // Work showed up mid-serialization: the held wake
+                    // is needed after all. It takes exactly its
+                    // reserved slot, so ordering matches the path that
+                    // never elided it.
+                    self.links[link as usize].tx = TxState::BusyScheduled { until };
+                    self.events
+                        .schedule_at_reserved(until, seq, Event::TxDone { link });
+                    return Ok(());
+                }
+                // Serialization finished with nothing to send; the
+                // reservation expires (the per-event path popped a
+                // no-op TxDone here).
+                self.links[link as usize].tx = TxState::Idle;
+            }
+        }
         let (pkt, txt, delay) = {
             let l = &mut self.links[link as usize];
-            if l.port.busy {
-                return Ok(());
-            }
             let Some(pkt) = l.port.dequeue(now)? else {
                 return Ok(());
             };
-            l.port.busy = true;
             let txt = l.port.tx_time(&pkt);
             (pkt, txt, l.delay)
         };
-        self.events.schedule_at(now + txt, Event::TxDone { link });
+        let until = now + txt;
+        let coalesce =
+            self.dispatch == DispatchMode::Batched && self.links[link as usize].coalesce;
+        if !coalesce {
+            self.events.schedule_at(until, Event::TxDone { link });
+            self.links[link as usize].tx = TxState::BusyScheduled { until };
+        } else if !self.links[link as usize].port.is_empty() {
+            // Backlog behind this packet: the wake is certainly needed.
+            // Schedule it eagerly through the reservation API so the
+            // sequence number matches the plain schedule exactly.
+            let seq = self.events.reserve_seq();
+            self.events
+                .schedule_at_reserved(until, seq, Event::TxDone { link });
+            self.links[link as usize].tx = TxState::BusyScheduled { until };
+        } else {
+            // Queue drained mid-service: hold the wake as a bare
+            // reservation (the common incast tail — most such wakes are
+            // never needed).
+            let seq = self.events.reserve_seq();
+            self.links[link as usize].tx = TxState::BusyHeld { until, seq };
+            self.held.push(Reverse((until, link)));
+        }
         if !self.link_up[link as usize] {
             // Blackholed: routing has not reconverged off this dead
             // link yet (or the packet was queued before it died).

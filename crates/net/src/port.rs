@@ -181,8 +181,6 @@ pub struct Port {
     aqm: Box<dyn Aqm>,
     /// Serialization rate (≤ link rate when shaped).
     tx_rate: Rate,
-    /// Whether a packet is currently being serialized.
-    pub busy: bool,
     stats: PortStats,
     /// Runtime invariant checkers (conservation ledger, shared-buffer
     /// accounting, work conservation, AQM contract). All hooks are
@@ -230,7 +228,6 @@ impl Port {
             sched: (setup.make_sched)(),
             aqm: (setup.make_aqm)(),
             tx_rate,
-            busy: false,
             stats: PortStats::default(),
             audit: if recording {
                 tcn_audit::PortAudit::recording()
@@ -556,6 +553,16 @@ impl Port {
         self.stats
     }
 
+    /// Transmit accounting for a packet served by the hybrid fluid
+    /// fast path (DESIGN §7.7). The packet never resided in a queue —
+    /// no sojourn telemetry or buffer-ledger entries apply — but the
+    /// tx counters figures read must track wire departures regardless
+    /// of which service path produced them.
+    pub fn on_fluid_tx(&mut self, bytes: u32) {
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += u64::from(bytes);
+    }
+
     /// The serialization rate in effect.
     pub fn tx_rate(&self) -> Rate {
         self.tx_rate
@@ -564,6 +571,28 @@ impl Port {
     /// True if no packets are buffered.
     pub fn is_empty(&self) -> bool {
         self.core.occupancy == 0
+    }
+
+    /// True when the network layer may elide trailing service wake-ups
+    /// on this port: the scheduler's idle `select` is pure, so skipping
+    /// the select-on-empty call a no-op wake would have made cannot
+    /// change any later scheduling decision (DESIGN §7.6).
+    pub fn coalescing_eligible(&self) -> bool {
+        self.sched.idle_select_is_pure()
+    }
+
+    /// True when this port has closed-form FIFO service — one queue, no
+    /// buffer bound, no shaping, a FIFO scheduler and a pass-through
+    /// AQM: exactly the host-NIC shape ([`PortSetup::host_nic`]). Only
+    /// such ports may ride the hybrid fluid fast path (DESIGN §7.7),
+    /// because only for them is the serialization recurrence exact and
+    /// mark/drop-free.
+    pub fn fluid_eligible(&self) -> bool {
+        self.core.queues.len() == 1
+            && self.core.buffer.is_none()
+            && self.tx_rate == self.core.link_rate
+            && self.sched.name() == "FIFO"
+            && self.aqm.is_passthrough()
     }
 }
 

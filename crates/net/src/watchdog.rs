@@ -140,6 +140,66 @@ impl Watchdog {
         Ok(())
     }
 
+    /// Account a whole same-instant batch of events at once — the
+    /// batched run loop's amortized equivalent of per-event
+    /// [`observe`](Self::observe). `kinds` counts the batch per event
+    /// kind (indexed like [`EVENT_KIND_NAMES`]). Repeated batches at
+    /// one instant keep accumulating toward the stall budget, exactly
+    /// like repeated single events would.
+    ///
+    /// Budgets are checked once per batch, so a trip can be reported up
+    /// to one batch later than the per-event path would, and a batch
+    /// tail the run loop hands back via `unpop_batch_tail` is counted
+    /// again when re-dispatched. Both shift error-path diagnostics
+    /// only; successful runs never observe the difference.
+    ///
+    /// # Errors
+    /// [`TcnError::Stall`] when a budget is exceeded.
+    pub(crate) fn observe_batch(
+        &mut self,
+        now: Time,
+        kinds: &[u64; NUM_EVENT_KINDS],
+        queue_depth: usize,
+        processed: u64,
+    ) -> Result<(), TcnError> {
+        let n: u64 = kinds.iter().sum();
+        if n == 0 {
+            return Ok(());
+        }
+        if now > self.last_time {
+            self.last_time = now;
+            self.since_advance = 0;
+            self.stall_kinds = [0; NUM_EVENT_KINDS];
+        }
+        self.since_advance += n;
+        self.total += n;
+        for (i, &k) in kinds.iter().enumerate() {
+            self.stall_kinds[i] += k;
+            self.total_kinds[i] += k;
+        }
+        if self.since_advance > self.stall_budget {
+            return Err(TcnError::Stall(self.report(
+                now,
+                queue_depth,
+                processed,
+                false,
+                self.stall_budget,
+            )));
+        }
+        if let Some(budget) = self.total_budget {
+            if self.total > budget {
+                return Err(TcnError::Stall(self.report(
+                    now,
+                    queue_depth,
+                    processed,
+                    true,
+                    budget,
+                )));
+            }
+        }
+        Ok(())
+    }
+
     fn report(
         &self,
         now: Time,
@@ -216,6 +276,72 @@ mod tests {
                 assert_eq!(r.budget, 5);
             }
             other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_observation_matches_per_event_accounting() {
+        // Feeding the same events as one batch or one at a time must
+        // leave both watchdogs in the same state (same budgets left).
+        let mut per_event = Watchdog::new(10);
+        let mut batched = Watchdog::new(10);
+        let t = Time::from_us(3);
+        let mut kinds = [0u64; NUM_EVENT_KINDS];
+        kinds[1] = 4; // arrive
+        kinds[3] = 3; // tx_done
+        for _ in 0..4 {
+            per_event.observe(t, 1, 5, 0).expect("ok");
+        }
+        for _ in 0..3 {
+            per_event.observe(t, 3, 5, 0).expect("ok");
+        }
+        batched.observe_batch(t, &kinds, 5, 0).expect("ok");
+        assert_eq!(per_event.since_advance, batched.since_advance);
+        assert_eq!(per_event.total, batched.total);
+        assert_eq!(per_event.stall_kinds, batched.stall_kinds);
+        // Both trip on the same marginal load at the same instant:
+        // 7 accounted + 4 more exceeds the budget of 10 either way.
+        let mut four = [0u64; NUM_EVENT_KINDS];
+        four[4] = 4;
+        for _ in 0..3 {
+            per_event.observe(t, 4, 5, 7).expect("within budget");
+        }
+        per_event.observe(t, 4, 5, 8).expect_err("over stall budget");
+        batched
+            .observe_batch(t, &four, 5, 8)
+            .expect_err("over stall budget");
+    }
+
+    #[test]
+    fn batch_observation_resets_on_clock_advance() {
+        let mut wd = Watchdog::new(5);
+        let mut kinds = [0u64; NUM_EVENT_KINDS];
+        kinds[1] = 4;
+        for i in 0..100u64 {
+            // Four events per instant, advancing every batch: never trips.
+            wd.observe_batch(Time::from_ps(i + 1), &kinds, 0, i)
+                .expect("progressing");
+        }
+        // Two same-instant batches accumulate: 4 + 4 > 5 trips.
+        wd.observe_batch(Time::from_ns(1), &kinds, 0, 400).expect("first");
+        let err = wd
+            .observe_batch(Time::from_ns(1), &kinds, 0, 404)
+            .expect_err("second batch at one instant exceeds the budget");
+        match err {
+            TcnError::Stall(r) => {
+                assert!(!r.runaway);
+                assert_eq!(r.events_since_advance, 8);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut wd = Watchdog::new(1).with_total_budget(1);
+        let kinds = [0u64; NUM_EVENT_KINDS];
+        for _ in 0..10 {
+            wd.observe_batch(Time::from_us(1), &kinds, 0, 0).expect("no-op");
         }
     }
 

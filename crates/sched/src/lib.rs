@@ -101,6 +101,22 @@ pub trait Scheduler {
     /// Scheduler name for experiment tables.
     fn name(&self) -> &'static str;
 
+    /// True when calling [`select`](Self::select) with every queue empty
+    /// is a pure no-op: it returns `None` and mutates no scheduler
+    /// state, so *skipping* the call is observationally identical to
+    /// making it.
+    ///
+    /// This is the port-coalescing eligibility bit: a coalescing
+    /// dispatch loop elides the wasted select-on-empty that the eager
+    /// per-packet service loop performs at the end of every burst.
+    /// Schedulers whose empty select has side effects (DWRR deactivates
+    /// its current round position) must keep the default `false`, which
+    /// opts their ports out of coalescing and preserves byte-identical
+    /// behavior.
+    fn idle_select_is_pure(&self) -> bool {
+        false
+    }
+
     /// Install a telemetry probe scoped to this scheduler's port
     /// (`probe.ctx()` is the port index). Schedulers that emit
     /// `SchedService` events (DWRR) store it; the default is a no-op so
@@ -135,6 +151,9 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn idle_select_is_pure(&self) -> bool {
+        (**self).idle_select_is_pure()
     }
     fn set_probe(&mut self, probe: tcn_telemetry::Probe) {
         (**self).set_probe(probe)
@@ -224,6 +243,13 @@ impl<S: Scheduler> Scheduler for Audited<S> {
 
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    fn idle_select_is_pure(&self) -> bool {
+        // The wrapper's own empty-select bookkeeping (`on_idle`) only
+        // observes, it never influences scheduling decisions — purity is
+        // the inner scheduler's property.
+        self.inner.idle_select_is_pure()
     }
 
     fn set_probe(&mut self, probe: tcn_telemetry::Probe) {
@@ -387,6 +413,58 @@ mod trait_tests {
         assert_eq!(served, 20);
         assert_eq!(h.sched.name(), "DWRR");
         assert!(h.sched.violations().is_empty());
+    }
+
+    #[test]
+    fn idle_select_purity_flags() {
+        // The coalescing eligibility bit must match each scheduler's
+        // actual empty-select behavior: DWRR mutates (deactivates its
+        // round position) so it must stay ineligible; the stateless /
+        // read-only selects advertise purity. Wrappers forward the
+        // inner scheduler's answer.
+        assert!(Fifo::new().idle_select_is_pure());
+        assert!(StrictPriority::new(4).idle_select_is_pure());
+        assert!(Wfq::equal(2).idle_select_is_pure());
+        assert!(!Dwrr::new(vec![1500; 4]).idle_select_is_pure());
+        assert!(!Wrr::new(vec![1, 2]).idle_select_is_pure());
+        assert!(!SpHybrid::new(1, Wfq::equal(2)).idle_select_is_pure());
+        assert!(!Pifo::new(4, StfqRank::new(vec![1.0; 4])).idle_select_is_pure());
+        let boxed: Box<dyn Scheduler> = Box::new(Fifo::new());
+        assert!(boxed.idle_select_is_pure());
+        assert!(Audited::new(StrictPriority::new(2)).idle_select_is_pure());
+        assert!(!Audited::new(Dwrr::new(vec![1500; 2])).idle_select_is_pure());
+    }
+
+    #[test]
+    fn pure_idle_select_really_is_pure() {
+        // For every scheduler that claims purity: hammering select on
+        // empty queues, interleaved with real service, must not change
+        // the service order relative to never calling it.
+        fn service_order<S: Scheduler>(mut mk: impl FnMut() -> S, nq: usize, spam: bool) -> Vec<usize> {
+            let mut h = Harness::new(mk(), nq);
+            if spam {
+                for _ in 0..32 {
+                    assert_eq!(h.sched.select(&h.queues, h.now), None);
+                }
+            }
+            h.backlog(0, 1500, 4);
+            h.backlog(nq - 1, 900, 4);
+            let mut order = Vec::new();
+            while let Some(q) = h.serve_one() {
+                order.push(q);
+                if spam && h.queues.iter().all(|qu| qu.is_empty()) {
+                    for _ in 0..8 {
+                        assert_eq!(h.sched.select(&h.queues, h.now), None);
+                    }
+                }
+            }
+            order
+        }
+        assert_eq!(service_order(Fifo::new, 1, false), service_order(Fifo::new, 1, true));
+        let sp = || StrictPriority::new(3);
+        assert_eq!(service_order(sp, 3, false), service_order(sp, 3, true));
+        let wfq = || Wfq::equal(3);
+        assert_eq!(service_order(wfq, 3, false), service_order(wfq, 3, true));
     }
 
     #[test]

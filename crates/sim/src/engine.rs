@@ -44,6 +44,7 @@
 //! equivalence is enforced by a 10⁶-operation randomized differential
 //! test against [`HeapEventQueue`] (`tests/engine_differential.rs`).
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -153,6 +154,20 @@ pub struct EventQueue<E> {
     probe: Probe,
     /// Pops between telemetry `Tick` emissions.
     tick_interval: u64,
+    /// Memoized [`EventQueue::peek_time`] result, guarded by
+    /// `peek_valid`. Interior mutability because `peek_time` takes
+    /// `&self` (the next-event time cannot change under `&self`, so
+    /// memoizing is sound); every `&mut self` mutation refreshes or
+    /// invalidates it. Without this, a driver loop that peeks once per
+    /// pop re-runs the `O(k)` next-bucket scan on *every* iteration
+    /// whenever the active day has drained.
+    peek_cache: Cell<Option<Time>>,
+    /// True when `peek_cache` holds the answer.
+    peek_valid: Cell<bool>,
+    /// Number of `O(k)` next-bucket scans `peek_time` has performed —
+    /// observable in unit tests to prove the drained-day path stops
+    /// rescanning.
+    bucket_scans: Cell<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -177,6 +192,9 @@ impl<E> EventQueue<E> {
             clock_audit: tcn_audit::ClockAudit::new(),
             probe: Probe::off(),
             tick_interval: DEFAULT_TICK_INTERVAL,
+            peek_cache: Cell::new(None),
+            peek_valid: Cell::new(true),
+            bucket_scans: Cell::new(0),
         }
     }
 
@@ -239,12 +257,60 @@ impl<E> EventQueue<E> {
         self.schedule_at(at, event);
     }
 
+    /// Consume and return the next tie-break sequence number *without*
+    /// scheduling anything.
+    ///
+    /// This is the coalescing primitive: a caller that used to schedule
+    /// an event eagerly, but now wants to defer (or elide) it, reserves
+    /// the sequence number the eager schedule would have taken. Any
+    /// event scheduled through it later with
+    /// [`schedule_at_reserved`](Self::schedule_at_reserved) then
+    /// occupies exactly the same position in every same-instant
+    /// tie-break as the eager schedule would have — which is what keeps
+    /// coalesced runs byte-identical to uncoalesced ones. A reservation
+    /// that is never used simply leaves a gap in the sequence space
+    /// (gaps are fine; only relative order matters).
+    #[inline]
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Schedule `event` at `at` under a sequence number previously
+    /// obtained from [`reserve_seq`](Self::reserve_seq).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past or `seq` was never reserved.
+    pub fn schedule_at_reserved(&mut self, at: Time, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        assert!(
+            seq < self.next_seq,
+            "seq {seq} was never reserved (next_seq {})",
+            self.next_seq
+        );
+        self.clock_audit.on_schedule(at.as_ps(), self.now.as_ps());
+        self.insert(EventEntry { at, seq, event });
+    }
+
     /// Place an entry into the tier its day selects. `day <= cur_day`
     /// can only mean the current day (schedule never targets the past),
     /// and keeps `active` correct even for entries migrating out of
     /// overflow.
     fn insert(&mut self, entry: EventEntry<E>) {
         self.pending += 1;
+        // Min-merge the memoized peek time: a valid cache stays valid
+        // because an insert can only move the next firing time earlier.
+        if self.peek_valid.get() {
+            match self.peek_cache.get() {
+                Some(c) if c <= entry.at => {}
+                _ => self.peek_cache.set(Some(entry.at)),
+            }
+        }
         let day = day_of(entry.at);
         if day <= self.cur_day {
             self.active.push(entry);
@@ -312,19 +378,142 @@ impl<E> EventQueue<E> {
                 pending: self.pending as u64,
             });
         }
+        self.refresh_peek_cache();
         Some(entry)
+    }
+
+    /// Drain *every* event at the next firing time into `out` (which is
+    /// cleared first), advancing the clock to that time. Returns the
+    /// batch size — 0 when the simulation has run dry.
+    ///
+    /// The batch is in FIFO (sequence) order, exactly the order the same
+    /// events would pop one at a time — the three tiers keep same-instant
+    /// events in the same day, so after one (possibly empty) advance the
+    /// whole batch sits in `active` and drains without further tier
+    /// interaction. Clock-audit and telemetry accounting amortize per
+    /// batch: one `on_pop_batch` boundary check instead of `n` `on_pop`
+    /// calls, and `Tick` events for exactly the pop counts the per-event
+    /// path would have emitted them at.
+    pub fn pop_batch_into(&mut self, out: &mut Vec<EventEntry<E>>) -> usize {
+        out.clear();
+        if self.active.is_empty() {
+            self.advance();
+        }
+        let Some(first) = self.active.pop() else {
+            return 0;
+        };
+        let at = first.at;
+        let first_seq = first.seq;
+        let mut last_seq = first.seq;
+        out.push(first);
+        while let Some(top) = self.active.peek() {
+            if top.at != at {
+                break;
+            }
+            let Some(e) = self.active.pop() else { break };
+            last_seq = e.seq;
+            out.push(e);
+        }
+        let n = out.len();
+        self.pending -= n;
+        debug_assert!(at >= self.now, "clock went backwards");
+        self.clock_audit
+            .on_pop_batch(at.as_ps(), first_seq, last_seq, n as u64);
+        self.now = at;
+        let before = self.processed;
+        self.processed += n as u64;
+        if self.probe.is_on() {
+            // Per-event Tick parity: the i-th entry of the batch (1-based)
+            // corresponds to pop number `before + i` with
+            // `pending_before - i` still pending; emit a Tick for every
+            // stride multiple the batch crosses.
+            let stride = self.tick_interval;
+            let pending_before = (self.pending + n) as u64;
+            let mut k = (before / stride + 1) * stride;
+            while k <= self.processed {
+                let i = k - before;
+                self.probe.emit(|| TelemetryEvent::Tick {
+                    at_ps: at.as_ps(),
+                    events: k,
+                    pending: pending_before - i,
+                });
+                k += stride;
+            }
+        }
+        self.refresh_peek_cache();
+        n
+    }
+
+    /// Return the undispatched tail of the batch most recently drained
+    /// by [`pop_batch_into`](Self::pop_batch_into) — a run loop that hit
+    /// its goal mid-batch hands back everything it did not dispatch, and
+    /// the queue behaves as if those events had never been popped: they
+    /// keep their original sequence numbers (so FIFO order is untouched),
+    /// `processed` rolls back, and the clock-audit history rewinds so the
+    /// inevitable re-pop of the same entries is not flagged as a
+    /// tie-break violation. `tail` is drained.
+    ///
+    /// The entries fire at `now`, so they land straight back in the
+    /// active tier (`day <= cur_day`).
+    pub fn unpop_batch_tail(&mut self, tail: &mut Vec<EventEntry<E>>) {
+        let n = tail.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert!(
+            tail.iter().all(|e| e.at == self.now),
+            "unpopped tail must fire at the current instant"
+        );
+        self.clock_audit.on_unpop(self.now.as_ps(), tail[0].seq);
+        self.processed -= n as u64;
+        for e in tail.drain(..) {
+            self.insert(e);
+        }
+        self.refresh_peek_cache();
+    }
+
+    /// Re-memoize the peek time after pops mutated `active`: `O(1)` from
+    /// the active heap's top, or a definitive `None` when fully drained;
+    /// only a non-empty queue with a drained active day defers to the
+    /// next `peek_time` call's bucket scan.
+    #[inline]
+    fn refresh_peek_cache(&mut self) {
+        if let Some(e) = self.active.peek() {
+            self.peek_cache.set(Some(e.at));
+            self.peek_valid.set(true);
+        } else if self.pending == 0 {
+            self.peek_cache.set(None);
+            self.peek_valid.set(true);
+        } else {
+            self.peek_valid.set(false);
+        }
     }
 
     /// Firing time of the next event without popping it.
     ///
-    /// `O(1)` while the current day has events; when the day just
-    /// drained, one `O(k)` scan of the next non-empty bucket (which the
-    /// following `pop` heapifies anyway).
+    /// Memoized: `O(1)` while the cache is valid (the common case —
+    /// every insert min-merges into it and every pop refreshes it from
+    /// the active heap's top). The `O(k)` scan of the next non-empty
+    /// bucket runs at most once per drained day, not once per
+    /// driver-loop iteration.
     pub fn peek_time(&self) -> Option<Time> {
+        if self.peek_valid.get() {
+            return self.peek_cache.get();
+        }
+        let t = self.compute_peek_time();
+        self.peek_cache.set(t);
+        self.peek_valid.set(true);
+        t
+    }
+
+    /// The uncached peek: active top, else a scan of the next non-empty
+    /// ring bucket, else the overflow top.
+    fn compute_peek_time(&self) -> Option<Time> {
         if let Some(e) = self.active.peek() {
             return Some(e.at);
         }
         if let Some(&d) = self.days.first() {
+            self.bucket_scans.set(self.bucket_scans.get() + 1);
             return self.buckets[(d % NUM_BUCKETS as u64) as usize]
                 .iter()
                 .map(|e| e.at)
@@ -362,6 +551,8 @@ impl<E> EventQueue<E> {
         self.overflow.clear();
         self.pending = 0;
         self.next_seq = 0;
+        self.peek_cache.set(None);
+        self.peek_valid.set(true);
         self.clock_audit.on_clear();
         self.probe.on_clear();
     }
@@ -435,12 +626,71 @@ impl<E> HeapEventQueue<E> {
         self.schedule_at(at, event);
     }
 
+    /// Consume the next tie-break sequence number without scheduling
+    /// (the oracle mirror of [`EventQueue::reserve_seq`]).
+    #[inline]
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Schedule under a previously reserved sequence number (the oracle
+    /// mirror of [`EventQueue::schedule_at_reserved`]).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past or `seq` was never reserved.
+    pub fn schedule_at_reserved(&mut self, at: Time, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        assert!(
+            seq < self.next_seq,
+            "seq {seq} was never reserved (next_seq {})",
+            self.next_seq
+        );
+        self.heap.push(EventEntry { at, seq, event });
+    }
+
     /// Pop the next event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
         let entry = self.heap.pop()?;
         self.now = entry.at;
         self.processed += 1;
         Some(entry)
+    }
+
+    /// Drain every event at the next firing time into `out` (the oracle
+    /// mirror of [`EventQueue::pop_batch_into`]). Returns the batch
+    /// size.
+    pub fn pop_batch_into(&mut self, out: &mut Vec<EventEntry<E>>) -> usize {
+        out.clear();
+        let Some(first) = self.heap.pop() else {
+            return 0;
+        };
+        let at = first.at;
+        out.push(first);
+        while let Some(top) = self.heap.peek() {
+            if top.at != at {
+                break;
+            }
+            let Some(e) = self.heap.pop() else { break };
+            out.push(e);
+        }
+        self.now = at;
+        self.processed += out.len() as u64;
+        out.len()
+    }
+
+    /// Return an undispatched batch tail (the oracle mirror of
+    /// [`EventQueue::unpop_batch_tail`]). `tail` is drained.
+    pub fn unpop_batch_tail(&mut self, tail: &mut Vec<EventEntry<E>>) {
+        self.processed -= tail.len() as u64;
+        for e in tail.drain(..) {
+            self.heap.push(e);
+        }
     }
 
     /// Firing time of the next event without popping it.
@@ -706,6 +956,252 @@ mod tests {
         let evs = mem.events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].at_ps(), Time::from_ns(5).as_ps());
+    }
+
+    #[test]
+    fn peek_is_cached_on_drained_day() {
+        // The satellite bug: once the active day drains, every peek
+        // re-scanned the next non-empty bucket. With the memo, a
+        // peek-per-loop driver pays exactly one scan per drained day.
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(10), 0u32); // current day
+        q.schedule_at(Time::from_us(50), 1); // a later ring day
+        q.schedule_at(Time::from_us(50), 2);
+        assert_eq!(q.pop().map(|e| e.event), Some(0));
+        // Active day drained, ring still populated: the first peek scans…
+        assert_eq!(q.peek_time(), Some(Time::from_us(50)));
+        assert_eq!(q.bucket_scans.get(), 1);
+        // …and every subsequent peek is served from the cache.
+        for _ in 0..100 {
+            assert_eq!(q.peek_time(), Some(Time::from_us(50)));
+        }
+        assert_eq!(q.bucket_scans.get(), 1);
+    }
+
+    #[test]
+    fn peek_cache_invalidates_on_insert_pop_clear() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(9), 1u32);
+        assert_eq!(q.peek_time(), Some(Time::from_us(9)));
+        // Insert an earlier event: the cache must follow it down.
+        q.schedule_at(Time::from_us(4), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_us(4)));
+        // Pop: the cache must advance past the popped entry.
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Time::from_us(9)));
+        // Clear: the cache must report empty.
+        q.clear();
+        assert_eq!(q.peek_time(), None);
+        // And a fresh schedule repopulates it.
+        q.schedule_at(Time::from_ms(20), 3); // overflow tier
+        assert_eq!(q.peek_time(), Some(Time::from_ms(20)));
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_one_instant() {
+        let mut q = EventQueue::new();
+        let t = Time::from_us(3);
+        for i in 0..5 {
+            q.schedule_at(t, i);
+        }
+        q.schedule_at(Time::from_us(8), 99);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut batch), 5);
+        assert_eq!(
+            batch.iter().map(|e| e.event).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4],
+            "batch is in FIFO order"
+        );
+        assert!(batch.iter().all(|e| e.at == t));
+        assert_eq!(q.now(), t);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.processed(), 5);
+        assert_eq!(q.pop_batch_into(&mut batch), 1);
+        assert_eq!(batch[0].event, 99);
+        assert_eq!(q.pop_batch_into(&mut batch), 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_matches_per_event_pops() {
+        // Same shaped workload through two queues: batched drain must
+        // yield the identical (at, seq, event) stream as one-at-a-time
+        // pops, across all three tiers.
+        let mk = || {
+            let mut q = EventQueue::new();
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..500u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                q.schedule_at(Time::from_ns((x % 2_000_000) * 4), i);
+            }
+            q
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut per_event = Vec::new();
+        while let Some(e) = a.pop() {
+            per_event.push((e.at, e.seq, e.event));
+        }
+        let mut batched = Vec::new();
+        let mut scratch = Vec::new();
+        while b.pop_batch_into(&mut scratch) > 0 {
+            batched.extend(scratch.iter().map(|e| (e.at, e.seq, e.event)));
+        }
+        assert_eq!(per_event, batched);
+        assert_eq!(a.processed(), b.processed());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn pop_batch_tick_parity() {
+        // Batched drain must emit exactly the Ticks the per-event path
+        // would: same stride crossings, same events/pending payloads.
+        use tcn_telemetry::{MemorySink, Telemetry};
+        let run = |batched: bool| {
+            let bus = Telemetry::new();
+            let mem = MemorySink::new();
+            bus.add_sink(Box::new(mem.handle()));
+            let mut q = EventQueue::new();
+            q.set_probe(bus.probe());
+            q.set_tick_interval(4);
+            for i in 0..10u64 {
+                q.schedule_at(Time::from_ns(7), i); // one big same-instant burst
+            }
+            q.schedule_at(Time::from_ns(9), 10);
+            if batched {
+                let mut scratch = Vec::new();
+                while q.pop_batch_into(&mut scratch) > 0 {}
+            } else {
+                while q.pop().is_some() {}
+            }
+            mem.events()
+                .iter()
+                .map(|e| match *e {
+                    TelemetryEvent::Tick { at_ps, events, pending } => (at_ps, events, pending),
+                    ref other => panic!("expected a tick, got {other:?}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        let per_event = run(false);
+        let batch = run(true);
+        assert_eq!(per_event, batch);
+        assert_eq!(batch.len(), 2); // pops 4 and 8 cross the stride
+    }
+
+    #[test]
+    fn reserved_seq_keeps_fifo_slot() {
+        // Reserve a seq, schedule other events at the same instant, then
+        // fill the reservation: it must pop in the reserved position —
+        // exactly where an eager schedule would have placed it.
+        let mut q = EventQueue::new();
+        let t = Time::from_us(2);
+        q.schedule_at(t, "a");
+        let held = q.reserve_seq();
+        q.schedule_at(t, "c");
+        q.schedule_at_reserved(t, held, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn unused_reservation_is_a_harmless_gap() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(1), 1u32);
+        let _gap = q.reserve_seq();
+        q.schedule_at(Time::from_us(1), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never reserved")]
+    fn scheduling_unreserved_seq_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_at_reserved(Time::from_us(1), 5, ());
+    }
+
+    #[test]
+    fn unpopped_tail_pops_again_unchanged() {
+        let mut q = EventQueue::new();
+        let t = Time::from_us(3);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        q.schedule_at(Time::from_us(9), 99);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut batch), 10);
+        // Dispatch 4, hand 6 back — the queue must forget the pops.
+        let mut tail: Vec<_> = batch.drain(4..).collect();
+        let returned: Vec<(Time, u64, i32)> =
+            tail.iter().map(|e| (e.at, e.seq, e.event)).collect();
+        q.unpop_batch_tail(&mut tail);
+        assert!(tail.is_empty());
+        assert_eq!(q.processed(), 4);
+        assert_eq!(q.len(), 7);
+        assert_eq!(q.peek_time(), Some(t));
+        // The tail comes back in the same (time, seq, event) order, then
+        // the later event follows — exactly as if never popped.
+        assert_eq!(q.pop_batch_into(&mut batch), 6);
+        let repopped: Vec<(Time, u64, i32)> =
+            batch.iter().map(|e| (e.at, e.seq, e.event)).collect();
+        assert_eq!(repopped, returned);
+        assert_eq!(q.pop_batch_into(&mut batch), 1);
+        assert_eq!(batch[0].event, 99);
+        assert_eq!(q.processed(), 11);
+    }
+
+    #[test]
+    fn unpop_of_empty_tail_is_noop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_us(1), 7);
+        let mut batch = Vec::new();
+        q.pop_batch_into(&mut batch);
+        let mut empty: Vec<EventEntry<i32>> = Vec::new();
+        q.unpop_batch_tail(&mut empty);
+        assert_eq!(q.processed(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_queue_unpop_mirrors_engine() {
+        let mut q = HeapEventQueue::new();
+        let t = Time::from_us(3);
+        for i in 0..6 {
+            q.schedule_at(t, i);
+        }
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut batch), 6);
+        let mut tail: Vec<_> = batch.drain(2..).collect();
+        q.unpop_batch_tail(&mut tail);
+        assert_eq!(q.processed(), 2);
+        assert_eq!(q.pop_batch_into(&mut batch), 4);
+        assert_eq!(
+            batch.iter().map(|e| e.event).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn heap_queue_mirrors_batch_and_reservation() {
+        let mut q = HeapEventQueue::new();
+        let t = Time::from_us(2);
+        q.schedule_at(t, "a");
+        let held = q.reserve_seq();
+        q.schedule_at(t, "c");
+        q.schedule_at(Time::from_us(5), "d");
+        q.schedule_at_reserved(t, held, "b");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut batch), 3);
+        assert_eq!(
+            batch.iter().map(|e| e.event).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(q.pop_batch_into(&mut batch), 1);
+        assert_eq!(batch[0].event, "d");
+        assert_eq!(q.pop_batch_into(&mut batch), 0);
+        assert_eq!(q.processed(), 4);
     }
 
     #[test]

@@ -97,6 +97,105 @@ fn clear_heavy_workload() {
     differential_run(7, 120_000, Some(1_000));
 }
 
+/// The batched-drain differential: the same shaped workload as
+/// `differential_run`, but popping through `pop_batch_into` on both
+/// implementations, with a slice of schedules going through the
+/// reserve/fill path. Every batch must match entry-for-entry, and the
+/// merged streams must equal each other.
+fn batch_differential_run(seed: u64, ops: usize, clear_period: Option<u64>) {
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    let mut rng = Rng::new(seed);
+    let mut payload = 0u64;
+    let mut held: Vec<(u64, Time)> = Vec::new(); // (reserved seq, deadline)
+    let mut cal_batch = Vec::new();
+    let mut heap_batch = Vec::new();
+
+    for op in 0..ops as u64 {
+        if let Some(p) = clear_period {
+            if op > 0 && op % p == 0 {
+                cal.clear();
+                heap.clear();
+                held.clear(); // reservations die with the epoch
+            }
+        }
+        let roll = rng.gen_range(100);
+        if roll < 45 {
+            let shape = rng.gen_range(100);
+            let at = if shape < 60 {
+                cal.now().saturating_add(Time::from_ps(rng.gen_range(1 << 22)))
+            } else if shape < 80 {
+                cal.now()
+            } else if shape < 96 {
+                cal.now().saturating_add(Time::from_ps(rng.gen_range(1 << 29)))
+            } else {
+                cal.now().saturating_add(Time::from_ps(rng.gen_range(1 << 36)))
+            };
+            payload += 1;
+            cal.schedule_at(at, payload);
+            heap.schedule_at(at, payload);
+        } else if roll < 55 {
+            // Reserve now, fill later (the port-coalescing pattern).
+            let seq = cal.reserve_seq();
+            assert_eq!(seq, heap.reserve_seq(), "seq allocation diverged at op {op}");
+            let deadline = cal
+                .now()
+                .saturating_add(Time::from_ps(rng.gen_range(1 << 24) + 1));
+            if rng.gen_range(10) < 8 {
+                held.push((seq, deadline));
+            } // else: abandoned reservation — a permanent gap
+        } else {
+            // Fill any reservations whose deadline is still in the
+            // future relative to both clocks, then batch-pop.
+            while let Some((seq, at)) = held.pop() {
+                if at >= cal.now() {
+                    payload += 1;
+                    cal.schedule_at_reserved(at, seq, payload);
+                    heap.schedule_at_reserved(at, seq, payload);
+                }
+            }
+            let na = cal.pop_batch_into(&mut cal_batch);
+            let nb = heap.pop_batch_into(&mut heap_batch);
+            assert_eq!(na, nb, "batch size diverged at op {op}");
+            for (x, y) in cal_batch.iter().zip(heap_batch.iter()) {
+                assert_eq!(
+                    (x.at, x.seq, x.event),
+                    (y.at, y.seq, y.event),
+                    "batch entry diverged at op {op}"
+                );
+            }
+            // Stale reservations (deadline now in the past) are dropped:
+            // both queues skipped them identically, so seq gaps agree.
+        }
+        assert_eq!(cal.len(), heap.len(), "len diverged at op {op}");
+        assert_eq!(cal.now(), heap.now(), "clock diverged at op {op}");
+    }
+
+    loop {
+        let na = cal.pop_batch_into(&mut cal_batch);
+        let nb = heap.pop_batch_into(&mut heap_batch);
+        assert_eq!(na, nb, "drain batch size diverged");
+        if na == 0 {
+            break;
+        }
+        for (x, y) in cal_batch.iter().zip(heap_batch.iter()) {
+            assert_eq!((x.at, x.seq, x.event), (y.at, y.seq, y.event));
+        }
+    }
+}
+
+#[test]
+fn batched_drain_matches_oracle_across_seeds() {
+    for seed in 0xBA7C4..0xBA7C4 + 4 {
+        batch_differential_run(seed, 60_000, None);
+    }
+}
+
+#[test]
+fn batched_drain_with_clears_matches_oracle() {
+    batch_differential_run(0xD15BA7C4, 200_000, Some(20_000));
+}
+
 #[test]
 fn overflow_heavy_workload() {
     // Bias the schedule far beyond the ring horizon so the overflow

@@ -1,0 +1,228 @@
+//! Rate-based byte accounting for the hybrid fluid fast path.
+//!
+//! The hybrid dispatch mode (`tcn-net`, DESIGN §7.7) advances bulk
+//! traffic on *fluid-eligible* links — single-queue FIFO ports with no
+//! buffer bound and no AQM, i.e. host NICs — without materializing a
+//! queue or a per-packet `TxDone` event. What replaces the port is this
+//! module's [`FluidCursor`]: the closed-form serialization recurrence of
+//! an unbounded FIFO link,
+//!
+//! ```text
+//! start_i  = max(arrival_i, free_at_{i-1})
+//! free_at_i = start_i + tx_time(bytes_i)
+//! depart_i  = free_at_i
+//! ```
+//!
+//! which is *exact* — not an approximation — for that port shape: FIFO
+//! order means packet `i` cannot start before `i-1` finishes, an
+//! unbounded buffer means nothing is ever dropped, and no AQM means no
+//! marking decision ever needs the queue state. All integer picosecond
+//! arithmetic reuses [`Rate::tx_time`]'s round-up, so departure times
+//! are bit-equal to the packet-level port's.
+//!
+//! Epoch exactness: the cursor only ever accelerates *event plumbing*
+//! (no `TxDone` per packet); every AQM-relevant epoch — queue threshold
+//! crossings, marks, drops — happens at switch ports, which are never
+//! fluid-eligible. Sojourn-based TCN marking therefore sees exactly the
+//! arrival times it would have seen packet-by-packet.
+
+use tcn_sim::{Rate, Time};
+
+/// The serialization cursor of a fluid-modeled link: when the NIC frees
+/// up, plus running byte/packet totals.
+///
+/// ```
+/// use tcn_sim::{Rate, Time};
+/// use tcn_transport::FluidCursor;
+///
+/// let mut c = FluidCursor::new(Rate::from_gbps(10));
+/// // Two back-to-back 1500 B packets offered at t=0: the second queues
+/// // behind the first (1500 B at 10 Gbps = 1200 ns each).
+/// assert_eq!(c.offer(Time::ZERO, 1500), Time::from_ns(1200));
+/// assert_eq!(c.offer(Time::ZERO, 1500), Time::from_ns(2400));
+/// // After an idle gap the link restarts at the arrival instant.
+/// assert_eq!(c.offer(Time::from_us(10), 1500), Time::from_us(10) + Time::from_ns(1200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FluidCursor {
+    rate: Rate,
+    free_at: Time,
+    bytes: u64,
+    packets: u64,
+}
+
+impl FluidCursor {
+    /// An idle cursor serializing at `rate`.
+    pub fn new(rate: Rate) -> Self {
+        FluidCursor {
+            rate,
+            free_at: Time::ZERO,
+            bytes: 0,
+            packets: 0,
+        }
+    }
+
+    /// Offer a packet of `bytes` wire bytes at `now`; returns its
+    /// departure (serialization-complete) instant and advances the
+    /// cursor. Offers must come in non-decreasing `now` order — FIFO is
+    /// what makes the recurrence exact.
+    #[inline]
+    pub fn offer(&mut self, now: Time, bytes: u64) -> Time {
+        let start = self.free_at.max(now);
+        self.free_at = start.saturating_add(self.rate.tx_time(bytes));
+        self.bytes += bytes;
+        self.packets += 1;
+        self.free_at
+    }
+
+    /// The instant the link finishes its current backlog (`<= now`
+    /// means idle).
+    #[inline]
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    /// True when every offered byte has finished serializing by `now`.
+    #[inline]
+    pub fn idle_at(&self, now: Time) -> bool {
+        self.free_at <= now
+    }
+
+    /// Bytes the cursor still has in flight at `now` — the fluid
+    /// equivalent of queue occupancy, by inverting the rate over the
+    /// remaining busy period.
+    pub fn backlog_bytes(&self, now: Time) -> u64 {
+        if self.free_at <= now {
+            return 0;
+        }
+        self.rate.bytes_in(self.free_at - now)
+    }
+
+    /// Total wire bytes offered so far.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total packets offered so far.
+    #[inline]
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// The serialization rate.
+    #[inline]
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Change the serialization rate; applies to packets offered from
+    /// now on (in-flight bytes keep their already-computed departures,
+    /// matching a packet-level port whose rate changes between
+    /// dequeues).
+    pub fn set_rate(&mut self, rate: Rate) {
+        self.rate = rate;
+    }
+
+    /// Forget all progress: idle link, zero counters (a fluid link being
+    /// reset alongside its simulation).
+    pub fn reset(&mut self) {
+        self.free_at = Time::ZERO;
+        self.bytes = 0;
+        self.packets = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The packet-level oracle: an explicit FIFO service loop over
+    /// (arrival, bytes) pairs, one departure at a time.
+    fn packet_level_departures(rate: Rate, offers: &[(Time, u64)]) -> Vec<Time> {
+        let mut free = Time::ZERO;
+        offers
+            .iter()
+            .map(|&(at, bytes)| {
+                let start = free.max(at);
+                free = start + rate.tx_time(bytes);
+                free
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_packet_level_fifo_exactly() {
+        // Shaped arrivals: bursts, idle gaps, mixed sizes — departure
+        // times must be bit-equal to the explicit per-packet loop.
+        let rate = Rate::from_gbps(10);
+        let mut offers = Vec::new();
+        let mut t = 0u64;
+        let mut x = 0x1234_5678_9ABC_DEFu64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += x % 2_000; // 0..2 ns steps: mostly back-to-back
+            if x % 7 == 0 {
+                t += 5_000_000; // occasional 5 µs idle gap
+            }
+            let bytes = 64 + (x % 1437);
+            offers.push((Time::from_ps(t), bytes));
+        }
+        let oracle = packet_level_departures(rate, &offers);
+        let mut c = FluidCursor::new(rate);
+        let fluid: Vec<Time> = offers.iter().map(|&(at, b)| c.offer(at, b)).collect();
+        assert_eq!(fluid, oracle);
+        assert_eq!(c.packets(), 500);
+        assert_eq!(c.bytes(), offers.iter().map(|&(_, b)| b).sum::<u64>());
+    }
+
+    #[test]
+    fn back_to_back_serializes_contiguously() {
+        let mut c = FluidCursor::new(Rate::from_gbps(1));
+        // 1500 B at 1 Gbps = 12 µs.
+        assert_eq!(c.offer(Time::ZERO, 1500), Time::from_us(12));
+        assert_eq!(c.offer(Time::from_us(3), 1500), Time::from_us(24));
+        assert!(!c.idle_at(Time::from_us(23)));
+        assert!(c.idle_at(Time::from_us(24)));
+    }
+
+    #[test]
+    fn idle_gap_restarts_at_arrival() {
+        let mut c = FluidCursor::new(Rate::from_gbps(1));
+        c.offer(Time::ZERO, 1500);
+        let dep = c.offer(Time::from_ms(1), 1500);
+        assert_eq!(dep, Time::from_ms(1) + Time::from_us(12));
+    }
+
+    #[test]
+    fn backlog_inverts_rate() {
+        let mut c = FluidCursor::new(Rate::from_gbps(1));
+        c.offer(Time::ZERO, 1500);
+        c.offer(Time::ZERO, 1500);
+        // At t=12 µs exactly one packet's worth remains.
+        assert_eq!(c.backlog_bytes(Time::from_us(12)), 1500);
+        assert_eq!(c.backlog_bytes(Time::from_us(24)), 0);
+    }
+
+    #[test]
+    fn rate_change_applies_to_later_offers() {
+        let mut c = FluidCursor::new(Rate::from_gbps(1));
+        assert_eq!(c.offer(Time::ZERO, 1500), Time::from_us(12));
+        c.set_rate(Rate::from_gbps(10));
+        // Second packet starts at 12 µs but serializes 10× faster.
+        assert_eq!(c.offer(Time::ZERO, 1500), Time::from_us(12) + Time::from_ns(1200));
+    }
+
+    #[test]
+    fn reset_returns_to_idle() {
+        let mut c = FluidCursor::new(Rate::from_gbps(10));
+        c.offer(Time::ZERO, 1500);
+        c.reset();
+        assert!(c.idle_at(Time::ZERO));
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.packets(), 0);
+        assert_eq!(c.offer(Time::ZERO, 1500), Time::from_ns(1200));
+    }
+}

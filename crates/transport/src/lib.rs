@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fluid;
 pub mod intervals;
 pub mod receiver;
 pub mod rtt;
 pub mod sender;
 
+pub use fluid::FluidCursor;
 pub use intervals::ByteIntervals;
 pub use receiver::TcpReceiver;
 pub use rtt::RttEstimator;
