@@ -1,0 +1,137 @@
+//! Per-queue static buffer partitioning, as an AQM combinator.
+//!
+//! The simulated port models the paper's hardware: one shared buffer
+//! pool, first-in-first-serve admission ("Each switch port has a 96KB
+//! buffer which is shared dynamically among all queues", §6.1). Shared
+//! pools are vulnerable to *buffer capture*: a loss-based tenant with a
+//! standing queue can hold the whole pool, so another tenant's burst is
+//! tail-dropped wholesale even though its own queue is empty. Real
+//! switches bound this with per-queue static reservations or dynamic
+//! thresholds (DT); [`QueueCap`] is the static variant — it wraps any
+//! inner AQM and tail-drops a packet at enqueue once its *own* queue
+//! (including the arrival) exceeds a fixed byte cap.
+//!
+//! This is admission control, not congestion signalling: the inner
+//! scheme keeps full ownership of marking, so a TCN port partitioned by
+//! [`QueueCap`] still marks by sojourn exactly as before. Enqueue-side
+//! drops are also what the paper's §4.2 deems implementable (dequeue
+//! drops bubble the output link), so the wrapper preserves an inner
+//! scheme's [`marks_only`](Aqm::marks_only) contract.
+
+use tcn_core::aqm::{Aqm, AqmParams, DequeueVerdict, EnqueueVerdict, PortView};
+use tcn_core::{Packet, TcnError};
+use tcn_sim::Time;
+
+/// Wraps an AQM with a static per-queue byte cap: admission control
+/// for the paper's shared 96 KB pool (§6.1), leaving marking to the
+/// inner scheme (see module docs for the buffer-capture rationale).
+pub struct QueueCap {
+    inner: Box<dyn Aqm>,
+    cap: u64,
+    drops: u64,
+}
+
+impl QueueCap {
+    /// Partition the port: each queue may hold at most `cap` bytes
+    /// (counting the arriving packet); `inner` handles everything else.
+    pub fn new(inner: Box<dyn Aqm>, cap: u64) -> Self {
+        QueueCap {
+            inner,
+            cap,
+            drops: 0,
+        }
+    }
+
+    /// Packets tail-dropped by the cap (not by the inner scheme).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+impl Aqm for QueueCap {
+    fn on_enqueue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        now: Time,
+    ) -> EnqueueVerdict {
+        // `view.queue_bytes(q)` already counts the arriving packet.
+        if view.queue_bytes(q) > self.cap {
+            self.drops += 1;
+            return EnqueueVerdict::Drop;
+        }
+        self.inner.on_enqueue(view, q, pkt, now)
+    }
+
+    fn on_dequeue(
+        &mut self,
+        view: &dyn PortView,
+        q: usize,
+        pkt: &mut Packet,
+        now: Time,
+    ) -> DequeueVerdict {
+        self.inner.on_dequeue(view, q, pkt, now)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn set_probe(&mut self, probe: tcn_telemetry::Probe) {
+        self.inner.set_probe(probe);
+    }
+
+    fn reconfigure(&mut self, params: &AqmParams) -> Result<(), TcnError> {
+        self.inner.reconfigure(params)
+    }
+
+    /// The cap only ever drops at *enqueue*, so the inner scheme's
+    /// mark-only claim (no dequeue drops) survives the wrapper.
+    fn marks_only(&self) -> bool {
+        self.inner.marks_only()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcn_core::aqm::{NoAqm, StaticPortView};
+    use tcn_core::{EcnCodepoint, FlowId};
+    use tcn_sim::Rate;
+
+    fn pkt() -> Packet {
+        let mut p = Packet::data(FlowId(1), 0, 1, 0, 1460, 40);
+        p.ecn = EcnCodepoint::Ect0;
+        p
+    }
+
+    fn view(q0: u64) -> StaticPortView {
+        let mut v = StaticPortView::new(2, Rate::from_gbps(1));
+        v.queue_bytes[0] = q0;
+        v.queue_pkts[0] = (q0 / 1500) as usize;
+        v
+    }
+
+    #[test]
+    fn admits_under_cap_drops_over() {
+        let mut cap = QueueCap::new(Box::new(NoAqm), 3000);
+        let mut p = pkt();
+        assert_eq!(
+            cap.on_enqueue(&view(1500), 0, &mut p, Time::ZERO),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            cap.on_enqueue(&view(4500), 0, &mut p, Time::ZERO),
+            EnqueueVerdict::Drop
+        );
+        assert_eq!(cap.drops(), 1);
+    }
+
+    #[test]
+    fn delegates_name_and_contract() {
+        let cap = QueueCap::new(Box::new(NoAqm), 3000);
+        assert_eq!(cap.name(), "DropTail");
+        assert!(cap.marks_only());
+    }
+}

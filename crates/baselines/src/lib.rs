@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cap;
 pub mod codel;
 pub mod dqrate;
 pub mod mqecn;
@@ -29,6 +30,7 @@ pub mod pie;
 pub mod pool;
 pub mod red;
 
+pub use cap::QueueCap;
 pub use codel::{CoDel, CoDelMode};
 pub use dqrate::{DqRateMeter, IdealRed};
 pub use mqecn::MqEcn;

@@ -16,7 +16,7 @@ use tcn_net::{single_switch, PortSetup, TaggingPolicy};
 use tcn_sched::Dwrr;
 use tcn_sim::{Rate, Rng, Time};
 use tcn_stats::FctBreakdown;
-use tcn_transport::TcpConfig;
+use tcn_transport::{Cc, TcpConfig};
 use tcn_workloads::{gen_many_to_one, Workload};
 
 /// One small isolation run with a given TCN threshold and queue count;
@@ -26,7 +26,7 @@ fn run_tcn(nqueues: usize, threshold: Time, flows: usize, seed: u64) -> FctBreak
         9,
         Rate::from_gbps(1),
         Time::from_us(62),
-        TcpConfig::testbed_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).testbed(),
         TaggingPolicy::Fixed,
         move || PortSetup {
             nqueues,

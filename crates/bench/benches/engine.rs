@@ -6,7 +6,7 @@ use tcn_core::{FlowId, Packet, Tcn};
 use tcn_net::{single_switch, FlowSpec, Port, PortSetup, TaggingPolicy};
 use tcn_sched::Dwrr;
 use tcn_sim::{EventQueue, Rate, Rng, Time};
-use tcn_transport::TcpConfig;
+use tcn_transport::{Cc, TcpConfig};
 
 fn event_queue(c: &mut Criterion) {
     c.bench_function("engine_event_queue_1k_churn", |b| {
@@ -59,7 +59,7 @@ fn end_to_end(c: &mut Criterion) {
                 3,
                 Rate::from_gbps(10),
                 Time::from_us(25),
-                TcpConfig::sim_dctcp(),
+                TcpConfig::preset(Cc::Dctcp).sim(),
                 TaggingPolicy::Fixed,
                 || PortSetup {
                     nqueues: 2,

@@ -355,6 +355,7 @@ impl FaultsCfg {
                 corrupt: self.corrupt,
                 jitter_prob: self.jitter_prob,
                 jitter_max: Time::from_us(self.jitter_max_us),
+                ..LinkFaultProfile::NONE
             },
             ..FaultPlan::quiet(seed ^ 0xFA_0717)
         };

@@ -43,6 +43,7 @@ pub const FIGURES: &[Figure] = &[
     Figure { name: "fairness", about: "probabilistic TCN short-window fairness", run: fairness },
     Figure { name: "pifo_demo", about: "TCN over a programmable PIFO scheduler", run: pifo_demo },
     Figure { name: "chaos", about: "FCT under loss × link flap fault injection", run: chaos },
+    Figure { name: "mixed", about: "mixed-tenant DCTCP/CUBIC/BBR shares, WFQ+DWRR", run: mixed },
 ];
 
 /// Find a figure by subcommand name.
@@ -587,6 +588,76 @@ pub fn chaos() {
     maybe_write_json("chaos", &res);
 }
 
+/// Extension: mixed-tenant coexistence — DCTCP, CUBIC and BBR each in
+/// their own service class of one star fabric, goodput shares under
+/// {WFQ, DWRR} × {TCN, per-queue RED}. `--trace-out F` writes a JSONL
+/// telemetry trace of the WFQ+TCN combination (the `xtask ci`
+/// `cc(smoke)` stage validates it with `figs check-trace`).
+pub fn mixed() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (warmup, measure) = if quick {
+        (Time::from_ms(40), Time::from_ms(120))
+    } else {
+        (Time::from_ms(60), Time::from_ms(300))
+    };
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1));
+    let bus = trace_out.map(|path| {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("create {path}: {e}");
+            std::process::exit(1);
+        });
+        let bus = tcn_telemetry::Telemetry::new();
+        bus.add_sink(Box::new(crate::trace::JsonlSink::new(
+            std::io::BufWriter::new(file),
+        )));
+        bus
+    });
+    let res = crate::mixed::run(warmup, measure, bus.as_ref());
+    let rows: Vec<Vec<String>> = res
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.sched.to_string(),
+                c.scheme.to_string(),
+                c.tenant.to_string(),
+                format!("{:.0}", c.goodput_mbps),
+                format!("{:.3}", c.share),
+                c.timeouts.to_string(),
+                c.ecn_reductions.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Mixed tenants — DCTCP / CUBIC / BBR, one service class each",
+        &["sched", "aqm", "tenant", "Mbps", "share", "TOs", "ecn cuts"],
+        &rows,
+    );
+    for sched in ["wfq", "dwrr"] {
+        for scheme in ["TCN", "RED-queue(std)"] {
+            let shares: Vec<f64> = res
+                .cells
+                .iter()
+                .filter(|c| c.sched == sched && c.scheme == scheme)
+                .map(|c| c.share)
+                .collect();
+            println!("Jain({sched}, {scheme}) = {:.4}", crate::mixed::jain(&shares));
+        }
+    }
+    println!(
+        "\nShape check: the scheduler owns isolation — every tenant holds\n\
+         ~1/3 under both schedulers; only the DCTCP tenant cuts on ECN."
+    );
+    if let Some(path) = trace_out {
+        println!("trace written to {path}");
+    }
+    maybe_write_json("mixed", &res);
+}
+
 /// A figure that failed outright in `figs all` (as opposed to a sweep
 /// cell quarantined *inside* a figure, which is reported in the figure's
 /// own output and does not fail the batch).
@@ -661,11 +732,12 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = FIGURES.iter().map(|f| f.name).collect();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
         names.dedup();
-        assert_eq!(names.len(), 17, "duplicate figure names");
+        assert_eq!(names.len(), 18, "duplicate figure names");
         assert!(find("fig6").is_some());
         assert!(find("chaos").is_some());
+        assert!(find("mixed").is_some());
         assert!(find("fig14").is_none());
     }
 }

@@ -43,6 +43,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod figs;
 pub mod incast;
+pub mod mixed;
 pub mod pifo_demo;
 pub mod runner;
 pub mod scenario;

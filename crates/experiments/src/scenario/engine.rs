@@ -15,7 +15,7 @@ use crate::json::{Json, ToJson};
 use tcn_core::{AqmParams, TcnError};
 use tcn_net::{single_switch, single_switch_downlink, FlowSpec, NetMutation, NetworkSim, TaggingPolicy};
 use tcn_sim::{LinkFaultProfile, Rate, Rng, Time};
-use tcn_transport::TcpConfig;
+use tcn_transport::{Cc, TcpConfig};
 
 /// What one scenario run produced: completion counts, mark/drop
 /// accounting, fault-injection totals, FCT stats, and the reconfig log.
@@ -142,6 +142,7 @@ fn mutation_events(
                     corrupt: *corrupt,
                     jitter_prob: *jitter_prob,
                     jitter_max: *jitter_max,
+                    ..LinkFaultProfile::NONE
                 },
             })
             .collect(),
@@ -182,6 +183,10 @@ fn mutation_events(
                 params: AqmParams::CoDel { target: *target },
             })
             .collect(),
+        StepMutation::CcSwitch { service, cc } => vec![NetMutation::CcSwitch {
+            service: *service,
+            cc: *cc,
+        }],
         StepMutation::Burst { .. } => Vec::new(), // handled as flows
     };
     Ok(muts)
@@ -202,7 +207,7 @@ pub fn build_sim(sc: &Scenario, quick: bool) -> Result<NetworkSim, TcnError> {
         base.hosts,
         link,
         Time::from_us(HOP_DELAY_US),
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Fixed,
         || {
             switch_port(

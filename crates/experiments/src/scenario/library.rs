@@ -46,6 +46,7 @@ pub const LIBRARY: &[NamedScenario] = &[
     named!("red-band-sweep"),
     named!("drain-cascade"),
     named!("tcn-threshold-ladder"),
+    named!("cc-rollout"),
 ];
 
 /// Look up a named scenario by id.

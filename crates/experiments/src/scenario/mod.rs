@@ -38,6 +38,7 @@ pub use library::{find, load, nearest, NamedScenario, LIBRARY};
 pub use parse::{parse_duration, parse_scenario, scenario_to_json5};
 
 use crate::common::{SchedKind, Scheme};
+use tcn_net::Cc;
 use tcn_sim::Time;
 
 /// A parsed scenario: metadata, the base workload, and the timed steps.
@@ -174,6 +175,16 @@ pub enum StepMutation {
         /// New sojourn target.
         target: Time,
     },
+    /// `step:cc-switch` — hot-swap the congestion controller of every
+    /// live flow in one service class (an orchestrated fleet rollout:
+    /// connections migrate algorithms without restarting). Window and
+    /// RTT state carry over; the new controller picks up mid-stream.
+    CcSwitch {
+        /// Service class whose flows switch.
+        service: u8,
+        /// The controller to switch to.
+        cc: Cc,
+    },
     /// `step:burst` — inject a synchronized incast: `senders` hosts
     /// each open one `bytes`-sized flow to `dst` at the step instant.
     Burst {
@@ -198,6 +209,7 @@ impl StepMutation {
             StepMutation::AqmTcn { .. } => "aqm-tcn",
             StepMutation::AqmRed { .. } => "aqm-red",
             StepMutation::AqmCodel { .. } => "aqm-codel",
+            StepMutation::CcSwitch { .. } => "cc-switch",
             StepMutation::Burst { .. } => "burst",
         }
     }

@@ -336,6 +336,21 @@ fn parse_mutation(v: &Json) -> Result<StepMutation, String> {
                 target: req_duration(v, "target")?,
             })
         }
+        "cc-switch" => {
+            check_keys(v, &["kind", "service", "cc"], "do")?;
+            let service = v.u64_field("service")?;
+            if service > u64::from(u8::MAX) {
+                return Err("do: cc-switch service out of range".to_string());
+            }
+            let name = v.str_field("cc")?;
+            let cc = tcn_net::Cc::from_name(name).ok_or_else(|| {
+                format!("do: cc-switch unknown controller `{name}`")
+            })?;
+            Ok(StepMutation::CcSwitch {
+                service: service as u8,
+                cc,
+            })
+        }
         "burst" => {
             check_keys(v, &["kind", "dst", "senders", "bytes"], "do")?;
             let senders = opt_u64(v, "senders", 4)? as u32;
@@ -500,6 +515,10 @@ fn mutation_json(m: &StepMutation) -> Json {
         StepMutation::AqmCodel { link, target } => {
             fields.push(("link", link_sel_json(*link)));
             fields.push(("target", Json::Str(fmt_duration(*target))));
+        }
+        StepMutation::CcSwitch { service, cc } => {
+            fields.push(("service", Json::Num(f64::from(*service))));
+            fields.push(("cc", Json::Str(cc.name().into())));
         }
         StepMutation::Burst { dst, senders, bytes } => {
             fields.push(("dst", Json::Num(f64::from(*dst))));

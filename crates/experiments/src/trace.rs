@@ -30,6 +30,7 @@ pub const REQUIRED_FIELDS: &[(&str, &[&str])] = &[
     ("ecn_reduce", &["flow", "cwnd_bytes", "alpha_ppm"]),
     ("rto", &["flow", "cwnd_bytes", "timeouts"]),
     ("fast_rtx", &["flow", "cwnd_bytes"]),
+    ("cc_state", &["flow"]),
 ];
 
 /// Serialize one event to the trace's JSON object form.
@@ -111,6 +112,12 @@ pub fn event_to_json(ev: &Event) -> Json {
         Event::FastRtx { flow, cwnd_bytes, .. } => {
             fields.push(("flow", n(flow)));
             fields.push(("cwnd_bytes", n(cwnd_bytes)));
+        }
+        Event::CcState { flow, cc, from, to, .. } => {
+            fields.push(("flow", n(flow)));
+            fields.push(("cc", Json::Str(cc.to_string())));
+            fields.push(("from", Json::Str(from.to_string())));
+            fields.push(("to", Json::Str(to.to_string())));
         }
     }
     Json::obj(fields)
@@ -231,6 +238,7 @@ mod tests {
             Event::EcnReduce { at_ps: 9, flow: 4, cwnd_bytes: 3000, alpha_ppm: 500_000 },
             Event::RtoFired { at_ps: 10, flow: 4, cwnd_bytes: 1500, timeouts: 1 },
             Event::FastRtx { at_ps: 11, flow: 4, cwnd_bytes: 1500 },
+            Event::CcState { at_ps: 12, flow: 4, cc: "ecn-validation", from: "testing", to: "failed" },
         ]
     }
 
@@ -243,10 +251,10 @@ mod tests {
                 sink.record(&ev);
             }
             sink.on_epoch();
-            assert_eq!(sink.lines(), 12);
+            assert_eq!(sink.lines(), 13);
         }
         let stats = validate_trace(BufReader::new(&buf[..])).expect("valid trace");
-        assert_eq!(stats.events, 11);
+        assert_eq!(stats.events, 12);
         assert_eq!(stats.epochs, 1);
         assert_eq!(stats.by_kind.len(), REQUIRED_FIELDS.len(), "one of each kind");
         assert!(stats.by_kind.iter().all(|(_, n)| *n == 1));

@@ -29,7 +29,7 @@ use tcn_core::TcnError;
 use tcn_sched::Scheduler;
 use tcn_sim::{FaultPlan, Rate, Time};
 use tcn_telemetry::Telemetry;
-use tcn_transport::TcpConfig;
+use tcn_transport::{Cc, TcpConfig};
 
 use crate::network::{DispatchMode, LinkSpec, NetworkSim, NodeId, TaggingPolicy};
 use crate::port::PortSetup;
@@ -94,7 +94,7 @@ impl NetworkBuilder {
     fn with_topo(topo: Topo) -> Self {
         NetworkBuilder {
             topo,
-            tcp: TcpConfig::sim_dctcp(),
+            tcp: TcpConfig::preset(Cc::Dctcp).sim(),
             tagging: TaggingPolicy::Fixed,
             nqueues: 1,
             buffer: None,
@@ -411,7 +411,7 @@ mod tests {
                     4,
                     Rate::from_gbps(1),
                     Time::from_us(5),
-                    TcpConfig::sim_dctcp(),
+                    TcpConfig::preset(Cc::Dctcp).sim(),
                     TaggingPolicy::Fixed,
                     mk,
                 )

@@ -26,10 +26,11 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use tcn_core::{
-    AqmParams, ArenaStats, FlowId, Packet, PacketArena, PacketHandle, PacketKind, TcnError,
+    AqmParams, ArenaStats, EcnCodepoint, FlowId, Packet, PacketArena, PacketHandle, PacketKind,
+    TcnError,
 };
 use tcn_sim::{EventEntry, EventQueue, FaultPlan, LinkFaultProfile, Rate, Rng, Time};
-use tcn_transport::{FluidCursor, SenderOutput, TcpConfig, TcpReceiver, TcpSender};
+use tcn_transport::{Cc, FluidCursor, SenderOutput, TcpConfig, TcpReceiver, TcpSender};
 
 use crate::port::{Port, PortSetup};
 use crate::routing::{
@@ -111,15 +112,22 @@ pub enum TransportChoice {
     SimEcnStar,
     /// DCTCP with the paper's testbed parameters (§6.1).
     TestbedDctcp,
+    /// CUBIC (loss-based, not ECN-capable) with the simulation timing
+    /// parameters — the non-ECN tenant of the mixed-tenant experiments.
+    SimCubic,
+    /// BBR (model-based) with the simulation timing parameters.
+    SimBbr,
 }
 
 impl TransportChoice {
     /// The corresponding transport configuration.
     pub fn config(self) -> TcpConfig {
         match self {
-            TransportChoice::SimDctcp => TcpConfig::sim_dctcp(),
-            TransportChoice::SimEcnStar => TcpConfig::sim_ecn_star(),
-            TransportChoice::TestbedDctcp => TcpConfig::testbed_dctcp(),
+            TransportChoice::SimDctcp => TcpConfig::preset(Cc::Dctcp).sim(),
+            TransportChoice::SimEcnStar => TcpConfig::preset(Cc::EcnStar).sim(),
+            TransportChoice::TestbedDctcp => TcpConfig::preset(Cc::Dctcp).testbed(),
+            TransportChoice::SimCubic => TcpConfig::preset(Cc::Cubic).sim(),
+            TransportChoice::SimBbr => TcpConfig::preset(Cc::Bbr).sim(),
         }
     }
 }
@@ -291,6 +299,10 @@ pub struct FaultStats {
     pub no_route_drops: u64,
     /// Packets that received extra jitter delay.
     pub jitter_delays: u64,
+    /// Packets whose ECN field was bleached to Not-ECT in flight.
+    pub ecn_bleached: u64,
+    /// Packets stamped with a spurious CE mark in flight.
+    pub ecn_spurious_ce: u64,
     /// Link-down events fired.
     pub link_downs: u64,
     /// Link-up events fired.
@@ -367,6 +379,17 @@ pub enum NetMutation {
         /// The new line rate; must be positive.
         rate: Rate,
     },
+    /// Switch every flow of a service class to a different congestion
+    /// controller mid-run (a rolling transport rollout — the scenario
+    /// DSL's `cc-switch` step). In-flight data and the current window
+    /// are carried over; the flow re-enters the new controller in
+    /// congestion avoidance.
+    CcSwitch {
+        /// Service class whose flows are switched.
+        service: u8,
+        /// The controller to switch to.
+        cc: Cc,
+    },
 }
 
 impl NetMutation {
@@ -377,8 +400,13 @@ impl NetMutation {
                 format!("aqm link={link} params={params:?}")
             }
             NetMutation::LinkConditions { link, profile } => format!(
-                "link-conditions link={link} loss={} corrupt={} jitter_prob={} jitter_max={}",
-                profile.loss, profile.corrupt, profile.jitter_prob, profile.jitter_max
+                "link-conditions link={link} loss={} corrupt={} jitter_prob={} jitter_max={} ecn_bleach={} ecn_ce={}",
+                profile.loss,
+                profile.corrupt,
+                profile.jitter_prob,
+                profile.jitter_max,
+                profile.ecn_bleach,
+                profile.ecn_ce
             ),
             NetMutation::LinkAdmin { link, up } => {
                 format!("link-admin link={link} up={up}")
@@ -386,6 +414,9 @@ impl NetMutation {
             NetMutation::DrainSwitch { node } => format!("drain-switch node={node}"),
             NetMutation::LinkRate { link, rate } => {
                 format!("link-rate link={link} rate={rate:?}")
+            }
+            NetMutation::CcSwitch { service, cc } => {
+                format!("cc-switch service={service} cc={}", cc.name())
             }
         }
     }
@@ -796,6 +827,9 @@ impl NetworkSim {
                     )))
                 }
             }
+            // A service class with no flows is a valid no-op: scenarios
+            // may pre-schedule switches for flows that arrive later.
+            NetMutation::CcSwitch { .. } => Ok(()),
         }
     }
 
@@ -841,6 +875,13 @@ impl NetworkSim {
                 for li in 0..self.links.len() {
                     if self.topo_endpoints[li].0 == *node {
                         drained += self.links[li].port.drain(now)?;
+                    }
+                }
+            }
+            NetMutation::CcSwitch { service, cc } => {
+                for f in &mut self.flows {
+                    if f.spec.service == *service && f.finish.is_none() {
+                        f.sender.switch_cc(*cc, now);
                     }
                 }
             }
@@ -959,12 +1000,22 @@ impl NetworkSim {
     /// # Panics
     /// Panics if src == dst or host indices are out of range.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        self.add_flow_with(spec, self.tcp)
+    }
+
+    /// Register a flow driven by its own transport configuration
+    /// instead of the simulation-wide default — the mixed-tenant
+    /// entry point (e.g. CUBIC and DCTCP sharing one fabric).
+    ///
+    /// # Panics
+    /// Panics if src == dst or host indices are out of range.
+    pub fn add_flow_with(&mut self, spec: FlowSpec, tcp: TcpConfig) -> FlowId {
         assert!(spec.src != spec.dst, "self-flow");
         assert!((spec.src as usize) < self.host_nodes.len());
         assert!((spec.dst as usize) < self.host_nodes.len());
         let id = FlowId(self.flows.len() as u64);
         assert!(id.0 < PROBE_FLOW_BASE, "too many flows");
-        let mut sender = TcpSender::new(self.tcp, id, spec.src, spec.dst, spec.size);
+        let mut sender = TcpSender::new(tcp, id, spec.src, spec.dst, spec.size);
         if let Some(bus) = &self.telemetry {
             sender.set_probe(bus.probe());
         }
@@ -1262,6 +1313,33 @@ impl NetworkSim {
         self.flows[flow.0 as usize].spec
     }
 
+    /// RTO expiries of one flow's sender.
+    pub fn flow_timeouts(&self, flow: FlowId) -> u64 {
+        self.flows[flow.0 as usize].sender.timeouts()
+    }
+
+    /// ECN-driven window reductions of one flow's sender.
+    pub fn flow_ecn_reductions(&self, flow: FlowId) -> u64 {
+        self.flows[flow.0 as usize].sender.ecn_reductions()
+    }
+
+    /// The congestion controller currently driving `flow`'s sender
+    /// (reflects any mid-run [`NetMutation::CcSwitch`]).
+    pub fn flow_cc(&self, flow: FlowId) -> Cc {
+        self.flows[flow.0 as usize].sender.cc_kind()
+    }
+
+    /// The current congestion-control phase name of `flow`'s sender
+    /// (e.g. `"slow-start"`, `"probe-bw"`).
+    pub fn flow_cc_state(&self, flow: FlowId) -> &'static str {
+        self.flows[flow.0 as usize].sender.cc_state()
+    }
+
+    /// The ECN path-validation verdict of `flow`'s sender.
+    pub fn flow_ecn_path_state(&self, flow: FlowId) -> tcn_transport::EcnPathState {
+        self.flows[flow.0 as usize].sender.ecn_path_state()
+    }
+
     /// RTT samples collected by a prober: `(send_time, rtt)` pairs.
     pub fn probe_rtts(&self, prober: usize) -> &[(Time, Time)] {
         &self.probers[prober].rtts
@@ -1509,7 +1587,7 @@ impl NetworkSim {
                 self.links[link as usize].tx = TxState::Idle;
             }
         }
-        let (pkt, txt, delay) = {
+        let (mut pkt, txt, delay) = {
             let l = &mut self.links[link as usize];
             let Some(pkt) = l.port.dequeue(now)? else {
                 return Ok(());
@@ -1559,6 +1637,16 @@ impl NetworkSim {
                 let bound = f.profile.jitter_max + Time::from_ps(1);
                 extra = Time::from_ps(f.rng.gen_range(bound.as_ps()));
                 self.fault_stats.jitter_delays += 1;
+            }
+            // ECN mangling (Rng::chance draws nothing at p = 0, so
+            // profiles without these fields keep their exact streams).
+            if f.rng.chance(f.profile.ecn_bleach) && pkt.ecn != EcnCodepoint::NotEct {
+                pkt.ecn = EcnCodepoint::NotEct;
+                self.fault_stats.ecn_bleached += 1;
+            }
+            if f.rng.chance(f.profile.ecn_ce) && pkt.ecn != EcnCodepoint::Ce {
+                pkt.ecn = EcnCodepoint::Ce;
+                self.fault_stats.ecn_spurious_ce += 1;
             }
         }
         self.net_audit.on_depart();

@@ -341,6 +341,7 @@ mod tests {
     use crate::network::{FlowSpec, ProbeConfig};
     use tcn_core::Tcn;
     use tcn_sched::Dwrr;
+    use tcn_transport::Cc;
 
     fn tcn_port() -> PortSetup {
         PortSetup {
@@ -358,7 +359,7 @@ mod tests {
             3,
             Rate::from_gbps(1),
             Time::from_us(25),
-            TcpConfig::sim_dctcp(),
+            TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             tcn_port,
         )
@@ -387,7 +388,7 @@ mod tests {
                 3,
                 Rate::from_gbps(1),
                 Time::from_us(25),
-                TcpConfig::sim_dctcp(),
+                TcpConfig::preset(Cc::Dctcp).sim(),
                 TaggingPolicy::Fixed,
                 tcn_port,
             )
@@ -417,7 +418,7 @@ mod tests {
             3,
             Rate::from_gbps(1),
             Time::from_us(25),
-            TcpConfig::sim_dctcp(),
+            TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             tcn_port,
         )
@@ -451,7 +452,7 @@ mod tests {
             3,
             Rate::from_gbps(1),
             Time::from_us(25),
-            TcpConfig::sim_dctcp(),
+            TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             tcn_port,
         )
@@ -476,7 +477,7 @@ mod tests {
     #[test]
     fn leaf_spine_cross_rack_flow() {
         let cfg = LeafSpineConfig::small();
-        let mut sim = leaf_spine(cfg, TcpConfig::sim_dctcp(), TaggingPolicy::Fixed, tcn_port).unwrap();
+        let mut sim = leaf_spine(cfg, TcpConfig::preset(Cc::Dctcp).sim(), TaggingPolicy::Fixed, tcn_port).unwrap();
         // Host 0 (leaf 0) to a host on the last leaf.
         let dst = (cfg.num_hosts() - 1) as u32;
         let f = sim.add_flow(FlowSpec {
@@ -501,7 +502,7 @@ mod tests {
         // Many flows between the same pair of racks must use more than
         // one spine.
         let cfg = LeafSpineConfig::small();
-        let mut sim = leaf_spine(cfg, TcpConfig::sim_dctcp(), TaggingPolicy::Fixed, tcn_port).unwrap();
+        let mut sim = leaf_spine(cfg, TcpConfig::preset(Cc::Dctcp).sim(), TaggingPolicy::Fixed, tcn_port).unwrap();
         for i in 0..16 {
             sim.add_flow(FlowSpec {
                 src: i % 4,
@@ -533,7 +534,7 @@ mod tests {
             Rate::from_gbps(1),
             Rate::from_gbps(1),
             Time::from_us(10),
-            TcpConfig::sim_dctcp(),
+            TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             tcn_port,
         )
@@ -564,7 +565,7 @@ mod tests {
             3,
             Rate::from_gbps(1),
             Time::from_us(25),
-            TcpConfig::sim_dctcp(),
+            TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Pias { threshold: 100_000 },
             tcn_port,
         )
@@ -591,7 +592,7 @@ mod tests {
                 4,
                 Rate::from_gbps(1),
                 Time::from_us(25),
-                TcpConfig::sim_dctcp(),
+                TcpConfig::preset(Cc::Dctcp).sim(),
                 TaggingPolicy::Fixed,
                 tcn_port,
             )
@@ -621,6 +622,7 @@ mod fat_tree_tests {
     use crate::network::FlowSpec;
     use tcn_core::Tcn;
     use tcn_sched::Dwrr;
+    use tcn_transport::Cc;
 
     fn tcn_port() -> PortSetup {
         PortSetup {
@@ -640,7 +642,7 @@ mod fat_tree_tests {
             Rate::from_gbps(10),
             Time::from_us(20),
             Time::from_ns(1300),
-            tcn_transport::TcpConfig::sim_dctcp(),
+            tcn_transport::TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             tcn_port,
         )
@@ -664,7 +666,7 @@ mod fat_tree_tests {
             Rate::from_gbps(10),
             Time::from_us(20),
             Time::from_ns(1300),
-            tcn_transport::TcpConfig::sim_dctcp(),
+            tcn_transport::TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             tcn_port,
         )
@@ -689,7 +691,7 @@ mod fat_tree_tests {
             Rate::from_gbps(10),
             Time::from_us(20),
             Time::from_ns(1300),
-            tcn_transport::TcpConfig::sim_dctcp(),
+            tcn_transport::TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             PortSetup::host_nic,
         ) else {
@@ -706,7 +708,7 @@ mod fat_tree_tests {
             Rate::from_gbps(10),
             Time::from_us(20),
             Time::from_ns(1300),
-            tcn_transport::TcpConfig::sim_dctcp(),
+            tcn_transport::TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             tcn_port,
         )

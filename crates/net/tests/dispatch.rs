@@ -12,7 +12,7 @@ use tcn_net::{
 };
 use tcn_sched::{Dwrr, Wfq};
 use tcn_sim::{Rate, Time};
-use tcn_transport::TcpConfig;
+use tcn_transport::{Cc, TcpConfig};
 
 /// 4 hosts around one switch, 8 staggered flows converging on hosts
 /// 0 and 1 — enough congestion for queueing, marking, and drops.
@@ -21,7 +21,7 @@ fn star_sim(wfq: bool) -> NetworkSim {
         4,
         Rate::from_gbps(1),
         Time::from_us(25),
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Fixed,
         || PortSetup {
             nqueues: 2,
@@ -98,7 +98,7 @@ fn fluid_recurrence_is_exact_without_contention() {
             2,
             Rate::from_gbps(1),
             Time::from_us(25),
-            TcpConfig::sim_dctcp(),
+            TcpConfig::preset(Cc::Dctcp).sim(),
             TaggingPolicy::Fixed,
             || PortSetup {
                 nqueues: 2,

@@ -11,7 +11,7 @@ use tcn_net::{
 };
 use tcn_sched::Dwrr;
 use tcn_sim::{FaultPlan, LinkFaultProfile, LinkFlap, Rate, Time};
-use tcn_transport::TcpConfig;
+use tcn_transport::{Cc, TcpConfig};
 
 fn tcn_port() -> PortSetup {
     PortSetup {
@@ -30,7 +30,7 @@ fn star_sim() -> NetworkSim {
         4,
         Rate::from_gbps(1),
         Time::from_us(25),
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Fixed,
         tcn_port,
     )
@@ -142,7 +142,7 @@ fn leaf_spine_flap_reconverges_and_all_flows_complete() {
     let cfg = LeafSpineConfig::small();
     let mut sim = leaf_spine(
         cfg,
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Fixed,
         tcn_port,
     )
@@ -208,7 +208,7 @@ fn packets_in_flight_on_a_dead_link_are_dropped_and_accounted() {
     let cfg = LeafSpineConfig::small();
     let mut sim = leaf_spine(
         cfg,
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Fixed,
         tcn_port,
     )
@@ -240,4 +240,88 @@ fn packets_in_flight_on_a_dead_link_are_dropped_and_accounted() {
         "a permanently dead uplink under load must blackhole something"
     );
     assert!(!sim.link_is_up(flapped as usize));
+}
+
+/// A star where every flow runs DCTCP with ECN path validation on, and
+/// the fault layer rewrites every surviving packet's codepoint to CE —
+/// the "mark-everything" middlebox.
+fn mangled_star(validation: bool) -> (NetworkSim, Vec<tcn_core::FlowId>) {
+    let mut cfg = TcpConfig::preset(Cc::Dctcp).sim();
+    if validation {
+        cfg = cfg.with_ecn_validation(true);
+    }
+    let mut sim = single_switch(
+        4,
+        Rate::from_gbps(1),
+        Time::from_us(25),
+        cfg,
+        TaggingPolicy::Fixed,
+        tcn_port,
+    )
+    .unwrap();
+    let mut flows = Vec::new();
+    for i in 0..8u32 {
+        flows.push(sim.add_flow(FlowSpec {
+            src: 2 + ((i / 2) % 2),
+            dst: i % 2,
+            size: 200_000 + u64::from(i) * 10_000,
+            start: Time::from_us(u64::from(i) * 50),
+            service: 0,
+        }));
+    }
+    let plan = FaultPlan {
+        default_profile: LinkFaultProfile {
+            ecn_ce: 1.0,
+            ..LinkFaultProfile::NONE
+        },
+        ..FaultPlan::quiet(9)
+    };
+    sim.install_faults(&plan);
+    (sim, flows)
+}
+
+/// The ECN-validation acceptance scenario: under a mark-everything
+/// mangler, every validated flow detects the broken path (all
+/// testing-window ACKs carried ECE), declares it failed, falls back to
+/// loss-based control — and still completes.
+#[test]
+fn ecn_validation_fails_the_path_under_mark_mangling_and_all_flows_complete() {
+    let (mut sim, flows) = mangled_star(true);
+    assert!(sim.run_to_completion(Time::from_secs(60)).unwrap());
+    assert_eq!(sim.fct_records().len(), flows.len());
+    for &f in &flows {
+        assert_eq!(
+            sim.flow_ecn_path_state(f),
+            tcn_transport::EcnPathState::Failed,
+            "flow {} kept trusting a mangled path",
+            f.0
+        );
+    }
+    let fs = sim.fault_stats();
+    assert!(fs.ecn_spurious_ce > 0, "the mangler rewrote nothing");
+}
+
+/// Without validation, the same mangler makes DCTCP treat every ACK as
+/// a congestion signal: it still completes (ECN never deadlocks a
+/// sender) but pays for every spurious mark with window reductions the
+/// validated run never takes.
+#[test]
+fn unvalidated_dctcp_pays_for_spurious_marks() {
+    let (mut validated, vflows) = mangled_star(true);
+    assert!(validated.run_to_completion(Time::from_secs(60)).unwrap());
+    let (mut blind, bflows) = mangled_star(false);
+    assert!(blind.run_to_completion(Time::from_secs(60)).unwrap());
+    let v_cuts: u64 = vflows.iter().map(|&f| validated.flow_ecn_reductions(f)).sum();
+    let b_cuts: u64 = bflows.iter().map(|&f| blind.flow_ecn_reductions(f)).sum();
+    for &f in &bflows {
+        assert_eq!(
+            blind.flow_ecn_path_state(f),
+            tcn_transport::EcnPathState::Capable,
+            "validation disabled must report a trivially capable path"
+        );
+    }
+    assert!(
+        b_cuts > v_cuts,
+        "blind sender took {b_cuts} ECN cuts vs validated {v_cuts}"
+    );
 }

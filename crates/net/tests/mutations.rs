@@ -12,7 +12,7 @@ use tcn_net::{
 };
 use tcn_sched::Dwrr;
 use tcn_sim::{LinkFaultProfile, Rate, Time};
-use tcn_transport::TcpConfig;
+use tcn_transport::{Cc, TcpConfig};
 
 fn tcn_port(threshold: Time) -> impl Fn() -> PortSetup {
     move || PortSetup {
@@ -31,7 +31,7 @@ fn star_sim(threshold: Time) -> NetworkSim {
         4,
         Rate::from_gbps(1),
         Time::from_us(25),
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Fixed,
         tcn_port(threshold),
     )
@@ -251,4 +251,33 @@ fn link_admin_mutation_downs_and_restores_a_link() {
     assert_eq!(fs.link_ups, 1);
     assert!(sim.link_is_up(downlink as usize));
     assert_eq!(sim.completed_flows(), sim.num_flows());
+}
+
+#[test]
+fn cc_switch_mutation_migrates_live_flows_of_one_service() {
+    let mut sim = star_sim(Time::from_us(100));
+    let flows: Vec<_> = (0..sim.num_flows() as u64).map(tcn_core::FlowId).collect();
+    for &f in &flows {
+        assert_eq!(sim.flow_cc(f), Cc::Dctcp);
+    }
+    // Every star_sim flow is service 0 and still live at 300 µs
+    // (200 KB+ each at 1 Gbps): all of them must migrate.
+    sim.schedule_mutation(
+        Time::from_us(300),
+        NetMutation::CcSwitch { service: 0, cc: Cc::Cubic },
+    )
+    .unwrap();
+    // A class with no flows is a valid no-op target, not an error.
+    sim.schedule_mutation(
+        Time::from_us(300),
+        NetMutation::CcSwitch { service: 9, cc: Cc::Bbr },
+    )
+    .unwrap();
+    assert!(sim.run_to_completion(Time::from_secs(10)).unwrap());
+    assert_eq!(sim.completed_flows(), sim.num_flows());
+    for &f in &flows {
+        assert_eq!(sim.flow_cc(f), Cc::Cubic, "flow {f:?} kept its old controller");
+    }
+    let log = sim.reconfig_log();
+    assert!(log.iter().any(|(_, l)| l.contains("cc-switch service=0 cc=cubic")), "{log:?}");
 }

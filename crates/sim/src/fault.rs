@@ -47,6 +47,15 @@ pub enum FaultKind {
     /// A previously downed link being restored — the repair/reboot
     /// completing; routing reconverges again to reclaim the capacity.
     LinkUp,
+    /// The ECN field bleached to Not-ECT in flight — models a legacy
+    /// middlebox or tunnel that rewrites the ToS byte and silently
+    /// strips ECT, the classic failure RFC 9000 §13.4.2 path validation
+    /// exists to catch (the flow must fall back to loss-based control).
+    EcnBleach,
+    /// A spurious CE mark stamped on a packet that crossed no congested
+    /// queue — models a broken shaper or policer that marks everything
+    /// it touches; an unvalidated ECN flow throttles toward zero there.
+    EcnSpuriousCe,
 }
 
 /// Stochastic fault intensities for one link. All probabilities are
@@ -63,6 +72,13 @@ pub struct LinkFaultProfile {
     /// Maximum extra propagation delay for a jittered packet; the
     /// actual extra delay is uniform in `[0, jitter_max]`.
     pub jitter_max: Time,
+    /// Probability a departing packet's ECN field is bleached to
+    /// Not-ECT (ToS-rewriting middlebox; see [`FaultKind::EcnBleach`]).
+    pub ecn_bleach: f64,
+    /// Probability a departing packet is stamped CE regardless of queue
+    /// state (mark-everything mangler; see
+    /// [`FaultKind::EcnSpuriousCe`]).
+    pub ecn_ce: f64,
 }
 
 impl LinkFaultProfile {
@@ -72,6 +88,8 @@ impl LinkFaultProfile {
         corrupt: 0.0,
         jitter_prob: 0.0,
         jitter_max: Time::ZERO,
+        ecn_bleach: 0.0,
+        ecn_ce: 0.0,
     };
 
     /// Pure Bernoulli loss at `rate`, nothing else.
@@ -89,6 +107,8 @@ impl LinkFaultProfile {
         self.loss <= 0.0
             && self.corrupt <= 0.0
             && (self.jitter_prob <= 0.0 || self.jitter_max.is_zero())
+            && self.ecn_bleach <= 0.0
+            && self.ecn_ce <= 0.0
     }
 }
 
@@ -200,6 +220,20 @@ mod tests {
             ..LinkFaultProfile::NONE
         };
         assert!(p.is_quiet());
+    }
+
+    #[test]
+    fn ecn_mangling_is_not_quiet() {
+        let bleach = LinkFaultProfile {
+            ecn_bleach: 0.5,
+            ..LinkFaultProfile::NONE
+        };
+        assert!(!bleach.is_quiet());
+        let spray = LinkFaultProfile {
+            ecn_ce: 1.0,
+            ..LinkFaultProfile::NONE
+        };
+        assert!(!spray.is_quiet());
     }
 
     #[test]

@@ -109,6 +109,8 @@ pub struct TelemetryCounters {
     pub rtos: u64,
     /// Fast-retransmit entries.
     pub fast_rtxs: u64,
+    /// Congestion-control state transitions (phase, validation, switch).
+    pub cc_transitions: u64,
 }
 
 #[derive(Default)]
@@ -222,6 +224,7 @@ impl Sink for TelemetrySummary {
             Event::EcnReduce { .. } => st.counters.ecn_reduces += 1,
             Event::RtoFired { .. } => st.counters.rtos += 1,
             Event::FastRtx { .. } => st.counters.fast_rtxs += 1,
+            Event::CcState { .. } => st.counters.cc_transitions += 1,
             Event::Tick { .. } => {}
         }
     }
@@ -315,7 +318,8 @@ mod tests {
         bus.record(&Event::EcnReduce { at_ps: 8, flow: 1, cwnd_bytes: 10, alpha_ppm: 0 });
         bus.record(&Event::RtoFired { at_ps: 9, flow: 1, cwnd_bytes: 10, timeouts: 1 });
         bus.record(&Event::FastRtx { at_ps: 10, flow: 1, cwnd_bytes: 10 });
-        bus.record(&Event::Tick { at_ps: 11, events: 1, pending: 0 });
+        bus.record(&Event::CcState { at_ps: 11, flow: 1, cc: "dctcp", from: "slow-start", to: "recovery" });
+        bus.record(&Event::Tick { at_ps: 12, events: 1, pending: 0 });
         let c = sum.counters();
         assert_eq!(
             c,
@@ -331,6 +335,7 @@ mod tests {
                 ecn_reduces: 1,
                 rtos: 1,
                 fast_rtxs: 1,
+                cc_transitions: 1,
             }
         );
     }

@@ -178,6 +178,24 @@ pub enum Event {
         /// Congestion window after entering recovery (bytes).
         cwnd_bytes: u64,
     },
+    /// A congestion-control state-machine transition: a controller
+    /// phase change ("slow-start" → "recovery", BBR's "startup" →
+    /// "drain", …), an ECN path-validation verdict (`cc` =
+    /// "ecn-validation"), or a mid-run algorithm switch (`cc` =
+    /// "switch", `from`/`to` = algorithm names).
+    CcState {
+        /// Simulated time (ps).
+        at_ps: u64,
+        /// Flow id.
+        flow: u64,
+        /// The state machine that moved: an algorithm name ("dctcp",
+        /// "bbr", …), "ecn-validation", or "switch".
+        cc: &'static str,
+        /// State left.
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
 }
 
 impl Event {
@@ -196,6 +214,7 @@ impl Event {
             Event::EcnReduce { .. } => "ecn_reduce",
             Event::RtoFired { .. } => "rto",
             Event::FastRtx { .. } => "fast_rtx",
+            Event::CcState { .. } => "cc_state",
         }
     }
 
@@ -212,7 +231,8 @@ impl Event {
             | Event::SchedService { at_ps, .. }
             | Event::EcnReduce { at_ps, .. }
             | Event::RtoFired { at_ps, .. }
-            | Event::FastRtx { at_ps, .. } => at_ps,
+            | Event::FastRtx { at_ps, .. }
+            | Event::CcState { at_ps, .. } => at_ps,
         }
     }
 }
@@ -573,6 +593,13 @@ mod tests {
                 at_ps: 11,
                 flow: 0,
                 cwnd_bytes: 0,
+            },
+            Event::CcState {
+                at_ps: 12,
+                flow: 0,
+                cc: "bbr",
+                from: "startup",
+                to: "drain",
             },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(Event::kind).collect();

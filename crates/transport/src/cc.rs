@@ -1,0 +1,1268 @@
+//! The pluggable congestion-control layer: a [`CongestionControl`]
+//! trait hosting window/rate policy, with the reliability machinery
+//! (sequence tracking, retransmission, RTO timers, pumping) staying in
+//! [`TcpSender`](crate::TcpSender).
+//!
+//! Division of labour — the sender owns *what* is outstanding and
+//! *when* to retransmit; the controller owns *how much* may be in
+//! flight. Every hook receives a [`CcCtx`] snapshot (connection state
+//! the policy may read but not mutate) and mutates only its own window
+//! state. Hooks are infallible and allocation-free: controllers hold
+//! fixed-size state (BBR's bandwidth filter is a fixed ring), so the
+//! zero-alloc `*_into` discipline of the sender survives the
+//! indirection.
+//!
+//! Four controllers ship in-tree, each documented with its source:
+//! DCTCP and ECN\* (the paper's transports, bit-for-bit the dynamics of
+//! the pre-trait monolithic sender — pinned by the differential suite
+//! in `tests/cc_differential.rs`), CUBIC (RFC 8312) and BBR (Cardwell
+//! et al.). Dispatch is through the [`CcAlgo`] enum rather than
+//! `Box<dyn>`: senders stay `Clone + Copy`-friendly, and the compiler
+//! devirtualizes the per-ACK hot path.
+
+use tcn_sim::Time;
+
+/// Congestion-control algorithm selector (fieldless — tuning knobs such
+/// as the DCTCP gain live in [`TcpConfig`](crate::TcpConfig)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cc {
+    /// DCTCP (Alizadeh et al., SIGCOMM 2010).
+    Dctcp,
+    /// ECN\*: regular ECN-enabled TCP, halve once per window (paper §2.1).
+    EcnStar,
+    /// CUBIC (RFC 8312) — loss-based, not ECN-capable here.
+    Cubic,
+    /// BBR (Cardwell et al., ACM Queue 2016) — model-based, ignores ECN.
+    Bbr,
+}
+
+impl Cc {
+    /// Stable lowercase name, used in telemetry events, scenario files
+    /// and config files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cc::Dctcp => "dctcp",
+            Cc::EcnStar => "ecn-star",
+            Cc::Cubic => "cubic",
+            Cc::Bbr => "bbr",
+        }
+    }
+
+    /// Inverse of [`name`](Cc::name) (used by the scenario DSL and the
+    /// sweep config loader).
+    pub fn from_name(s: &str) -> Option<Cc> {
+        match s {
+            "dctcp" => Some(Cc::Dctcp),
+            "ecn-star" | "ecnstar" | "ecn_star" => Some(Cc::EcnStar),
+            "cubic" => Some(Cc::Cubic),
+            "bbr" => Some(Cc::Bbr),
+            _ => None,
+        }
+    }
+}
+
+/// Read-only connection snapshot handed to every controller hook.
+///
+/// Built fresh by the sender at each hook site so the fields always
+/// reflect the *current* connection state for that hook (e.g. `snd_nxt`
+/// is read before the post-hook pump, and on RTO before go-back-N
+/// rewinds it — the value a one-reduction-per-window gate must latch).
+#[derive(Debug, Clone, Copy)]
+pub struct CcCtx {
+    /// Current virtual time.
+    pub now: Time,
+    /// First unacknowledged byte (already advanced for fresh-ACK hooks).
+    pub snd_una: u64,
+    /// Next new byte the sender would transmit.
+    pub snd_nxt: u64,
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Duplicate-ACK threshold for fast retransmit.
+    pub dupack_thresh: u32,
+    /// Smoothed RTT, once sampled.
+    pub srtt: Option<Time>,
+    /// The RTT sample taken on *this* ACK (Karn-valid), if any.
+    pub latest_rtt: Option<Time>,
+}
+
+/// The congestion-control policy contract.
+///
+/// Call order per ACK (mirroring the pre-trait sender exactly, so
+/// DCTCP/ECN\* remain byte-identical):
+///
+/// 1. [`on_ack`](CongestionControl::on_ack) — every ACK, duplicate or
+///    fresh (DCTCP's per-ACK byte accounting, BBR's delivery samples).
+/// 2. Duplicate ACKs: [`on_dup_inflate`](CongestionControl::on_dup_inflate)
+///    while in recovery, or [`on_loss`](CongestionControl::on_loss) when
+///    the dup-ACK threshold fires.
+/// 3. Fresh ACKs: [`on_fresh_ack`](CongestionControl::on_fresh_ack)
+///    (recovery exit or window growth, plus per-window rollovers).
+/// 4. [`on_ecn_echo`](CongestionControl::on_ecn_echo) when the ACK
+///    carried ECE (skipped if the threshold retransmit fired, and
+///    filtered by the [`EcnValidator`](crate::EcnValidator) first).
+///
+/// The sender reads back [`cwnd`](CongestionControl::cwnd) (or
+/// [`pacing_rate`](CongestionControl::pacing_rate), for controllers
+/// that prefer a rate) to budget transmission.
+pub trait CongestionControl {
+    /// Stable algorithm name ("dctcp", "cubic", …).
+    fn name(&self) -> &'static str;
+
+    /// Current state-machine phase as a stable string for telemetry
+    /// ("slow-start", "probe-bw", …).
+    fn state(&self) -> &'static str;
+
+    /// Congestion window in bytes. The sender always allows at least
+    /// one MSS so a collapsed window cannot deadlock.
+    fn cwnd(&self) -> f64;
+
+    /// Pacing rate in bytes/sec, for rate-based controllers. `None`
+    /// means "window-only" and the sender budgets purely by `cwnd`.
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
+
+    /// True while in loss recovery (the sender inflates instead of
+    /// retriggering fast retransmit on further dup ACKs).
+    fn in_recovery(&self) -> bool;
+
+    /// Whether data segments should be sent ECT (ECN-capable
+    /// transport). Loss-based controllers return false and their
+    /// packets sail through sojourn markers unmarked.
+    fn ecn_capable(&self) -> bool;
+
+    /// DCTCP's marked-fraction estimate (0 elsewhere; surfaced in the
+    /// `EcnReduce` telemetry event).
+    fn alpha(&self) -> f64 {
+        0.0
+    }
+
+    /// Every ACK, before dup/fresh classification.
+    /// `newly_acked` is 0 for duplicates.
+    fn on_ack(&mut self, newly_acked: u64, ece: bool, ctx: &CcCtx);
+
+    /// A duplicate ACK arrived while already in recovery: keep the pipe
+    /// full (Reno window inflation).
+    fn on_dup_inflate(&mut self, ctx: &CcCtx);
+
+    /// A fresh (window-advancing) ACK: exit recovery or grow.
+    fn on_fresh_ack(&mut self, newly_acked: u64, ctx: &CcCtx);
+
+    /// The ACK carried an ECN echo. Returns true when a window
+    /// reduction was actually applied (controllers gate to one per
+    /// window, RFC 3168 CWR semantics); the sender then emits the
+    /// `EcnReduce` telemetry event.
+    fn on_ecn_echo(&mut self, ctx: &CcCtx) -> bool;
+
+    /// The dup-ACK threshold fired: fast retransmit is about to happen.
+    /// Cut and enter recovery. `ctx.snd_nxt` is the recovery point.
+    fn on_loss(&mut self, ctx: &CcCtx);
+
+    /// The retransmission timer expired: collapse. `ctx.snd_nxt` is the
+    /// pre-rewind high-water mark (the one-reduction-per-window gate
+    /// must cover everything sent so far).
+    fn on_rto(&mut self, ctx: &CcCtx);
+
+    /// A data segment was handed to the wire (new or retransmitted).
+    /// Default no-op; model-based controllers track rounds here.
+    fn on_sent(&mut self, _seq: u64, _bytes: u32, _is_rtx: bool, _ctx: &CcCtx) {
+        let _ = self;
+    }
+}
+
+/// Window phase shared by the Reno-machinery controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    SlowStart,
+    CongestionAvoidance,
+    /// Fast recovery (simplified Reno).
+    Recovery,
+}
+
+impl Phase {
+    fn as_str(self) -> &'static str {
+        match self {
+            Phase::SlowStart => "slow-start",
+            Phase::CongestionAvoidance => "congestion-avoidance",
+            Phase::Recovery => "recovery",
+        }
+    }
+}
+
+/// The Reno window core shared by [`DctcpCc`] and [`EcnStarCc`]:
+/// slow start, congestion avoidance, simplified-Reno recovery, and the
+/// one-reduction-per-window CWR gate. Every floating-point expression
+/// here is copied verbatim from the pre-trait sender — the differential
+/// suite holds the two byte-identical, so do not "simplify" the math.
+#[derive(Debug, Clone, Copy)]
+struct RenoCore {
+    cwnd: f64,
+    ssthresh: f64,
+    phase: Phase,
+    /// Ignore further window reductions until `snd_una` passes this
+    /// (one reduction per window, for both ECN and loss).
+    cwr_end: u64,
+}
+
+impl RenoCore {
+    fn new(init_cwnd_bytes: f64) -> Self {
+        RenoCore {
+            cwnd: init_cwnd_bytes,
+            ssthresh: f64::MAX,
+            phase: Phase::SlowStart,
+            cwr_end: 0,
+        }
+    }
+
+    fn dup_inflate(&mut self, ctx: &CcCtx) {
+        self.cwnd += f64::from(ctx.mss);
+    }
+
+    /// Recovery exit (any advance past the hole, simplified NewReno) or
+    /// window growth.
+    fn fresh_ack(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        if self.phase == Phase::Recovery {
+            self.phase = Phase::CongestionAvoidance;
+            self.cwnd = self.ssthresh.max(f64::from(ctx.mss));
+        } else {
+            self.grow(newly_acked, ctx);
+        }
+    }
+
+    fn grow(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        let mss = f64::from(ctx.mss);
+        match self.phase {
+            Phase::SlowStart => {
+                self.cwnd += newly_acked as f64;
+                if self.cwnd >= self.ssthresh {
+                    self.cwnd = self.ssthresh;
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                // +1 MSS per RTT, per-ACK increment.
+                self.cwnd += mss * mss / self.cwnd;
+            }
+            Phase::Recovery => {}
+        }
+    }
+
+    /// One window reduction per window of data (RFC 3168 CWR
+    /// semantics). Returns false when the gate suppressed the cut.
+    fn ecn_cut(&mut self, factor: f64, ctx: &CcCtx) -> bool {
+        if ctx.snd_una < self.cwr_end || self.phase == Phase::Recovery {
+            return false;
+        }
+        self.cwr_end = ctx.snd_nxt;
+        let floor = f64::from(ctx.mss);
+        self.cwnd = (self.cwnd * factor).max(floor);
+        self.ssthresh = self.cwnd;
+        self.phase = Phase::CongestionAvoidance;
+        true
+    }
+
+    /// Fast-retransmit entry: multiplicative decrease plus dup-ACK
+    /// inflation, enter recovery.
+    fn loss(&mut self, ctx: &CcCtx) {
+        let mss = f64::from(ctx.mss);
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * mss);
+        self.cwnd = self.ssthresh + f64::from(ctx.dupack_thresh) * mss;
+        self.phase = Phase::Recovery;
+        self.cwr_end = ctx.snd_nxt;
+    }
+
+    /// RTO: collapse to one segment and restart slow start.
+    fn rto(&mut self, ctx: &CcCtx) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * f64::from(ctx.mss));
+        self.cwnd = f64::from(ctx.mss);
+        self.phase = Phase::SlowStart;
+        self.cwr_end = ctx.snd_nxt;
+    }
+}
+
+/// DCTCP — Alizadeh et al., "Data Center TCP (DCTCP)", SIGCOMM 2010,
+/// §3.3: the receiver echoes CE per packet; the sender maintains the
+/// marked fraction `α ← (1−g)·α + g·F` once per window of data and cuts
+/// `cwnd ← cwnd·(1 − α/2)` at most once per window. Loss machinery is
+/// the shared Reno core (the source paper's §5 setups run DCTCP over
+/// standard Reno-style recovery).
+#[derive(Debug, Clone, Copy)]
+pub struct DctcpCc {
+    core: RenoCore,
+    /// The α estimation gain (the paper uses 1/16).
+    g: f64,
+    alpha: f64,
+    acked_bytes: u64,
+    marked_bytes: u64,
+    /// The window ends when `snd_una` passes this sequence.
+    window_end: u64,
+}
+
+impl DctcpCc {
+    /// A fresh DCTCP controller with gain `g`.
+    pub fn new(init_cwnd_bytes: f64, g: f64) -> Self {
+        DctcpCc {
+            core: RenoCore::new(init_cwnd_bytes),
+            g,
+            alpha: 0.0,
+            acked_bytes: 0,
+            marked_bytes: 0,
+            window_end: 0,
+        }
+    }
+}
+
+impl CongestionControl for DctcpCc {
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+    fn state(&self) -> &'static str {
+        self.core.phase.as_str()
+    }
+    fn cwnd(&self) -> f64 {
+        self.core.cwnd
+    }
+    fn in_recovery(&self) -> bool {
+        self.core.phase == Phase::Recovery
+    }
+    fn ecn_capable(&self) -> bool {
+        true
+    }
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, ece: bool, _ctx: &CcCtx) {
+        // DCTCP bookkeeping counts every ACK, marked or not.
+        self.acked_bytes += newly_acked;
+        if ece {
+            self.marked_bytes += newly_acked.max(1);
+        }
+    }
+
+    fn on_dup_inflate(&mut self, ctx: &CcCtx) {
+        self.core.dup_inflate(ctx);
+    }
+
+    fn on_fresh_ack(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        self.core.fresh_ack(newly_acked, ctx);
+        // DCTCP window rollover: update α once per window of data.
+        if ctx.snd_una >= self.window_end {
+            let f = if self.acked_bytes > 0 {
+                (self.marked_bytes as f64 / self.acked_bytes as f64).min(1.0)
+            } else {
+                0.0
+            };
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * f;
+            self.acked_bytes = 0;
+            self.marked_bytes = 0;
+            self.window_end = ctx.snd_nxt;
+        }
+    }
+
+    fn on_ecn_echo(&mut self, ctx: &CcCtx) -> bool {
+        self.core.ecn_cut(1.0 - self.alpha / 2.0, ctx)
+    }
+
+    fn on_loss(&mut self, ctx: &CcCtx) {
+        self.core.loss(ctx);
+    }
+
+    fn on_rto(&mut self, ctx: &CcCtx) {
+        self.core.rto(ctx);
+    }
+}
+
+/// ECN\* — the source paper §2.1 (footnote 2): regular ECN-enabled TCP
+/// that "simply cuts the window by half in the presence of an ECN
+/// mark", at most once per window (λ = 1 in the threshold formulas).
+/// The paper calls it the most challenging transport because it has no
+/// smoothing (§6.2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct EcnStarCc {
+    core: RenoCore,
+}
+
+impl EcnStarCc {
+    /// A fresh ECN\* controller.
+    pub fn new(init_cwnd_bytes: f64) -> Self {
+        EcnStarCc {
+            core: RenoCore::new(init_cwnd_bytes),
+        }
+    }
+}
+
+impl CongestionControl for EcnStarCc {
+    fn name(&self) -> &'static str {
+        "ecn-star"
+    }
+    fn state(&self) -> &'static str {
+        self.core.phase.as_str()
+    }
+    fn cwnd(&self) -> f64 {
+        self.core.cwnd
+    }
+    fn in_recovery(&self) -> bool {
+        self.core.phase == Phase::Recovery
+    }
+    fn ecn_capable(&self) -> bool {
+        true
+    }
+
+    fn on_ack(&mut self, _newly_acked: u64, _ece: bool, _ctx: &CcCtx) {}
+
+    fn on_dup_inflate(&mut self, ctx: &CcCtx) {
+        self.core.dup_inflate(ctx);
+    }
+
+    fn on_fresh_ack(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        self.core.fresh_ack(newly_acked, ctx);
+    }
+
+    fn on_ecn_echo(&mut self, ctx: &CcCtx) -> bool {
+        self.core.ecn_cut(0.5, ctx)
+    }
+
+    fn on_loss(&mut self, ctx: &CcCtx) {
+        self.core.loss(ctx);
+    }
+
+    fn on_rto(&mut self, ctx: &CcCtx) {
+        self.core.rto(ctx);
+    }
+}
+
+/// CUBIC unit-less window constant `C` (RFC 8312 §5).
+const CUBIC_C: f64 = 0.4;
+/// CUBIC multiplicative decrease factor β (RFC 8312 §4.5).
+const CUBIC_BETA: f64 = 0.7;
+
+/// CUBIC — RFC 8312 (Rhee et al.): window growth is the cubic function
+/// `W(t) = C·(t−K)³ + W_max` (§4.1) anchored at the last-loss window
+/// `W_max`, with the TCP-friendly region `W_est` (§4.2) taking over
+/// when the cubic curve would be slower than Reno, β = 0.7 decrease
+/// (§4.5) and fast convergence (§4.6). Not ECN-capable here: CUBIC is
+/// this repo's loss-based tenant, the one per-queue RED starves and
+/// sojourn-based TCN must coexist with.
+#[derive(Debug, Clone, Copy)]
+pub struct CubicCc {
+    cwnd: f64,
+    ssthresh: f64,
+    phase: Phase,
+    /// Window (bytes) just before the last reduction.
+    w_max: f64,
+    /// Congestion-avoidance epoch start (None → re-anchor on next ACK).
+    epoch_start: Option<Time>,
+    /// Time offset (secs) at which the cubic curve regains `w_max`.
+    k: f64,
+    /// Bytes acked since the epoch began (drives the TCP-friendly
+    /// estimate without wall-clock smoothing).
+    est_epoch_acked: f64,
+    /// RFC 8312 §4.6 fast convergence: release bandwidth faster when a
+    /// flow's ceiling is shrinking.
+    fast_convergence: bool,
+}
+
+impl CubicCc {
+    /// A fresh CUBIC controller.
+    pub fn new(init_cwnd_bytes: f64) -> Self {
+        CubicCc {
+            cwnd: init_cwnd_bytes,
+            ssthresh: f64::MAX,
+            phase: Phase::SlowStart,
+            w_max: init_cwnd_bytes,
+            epoch_start: None,
+            k: 0.0,
+            est_epoch_acked: 0.0,
+            fast_convergence: true,
+        }
+    }
+
+    /// Multiplicative decrease shared by fast retransmit and RTO
+    /// (RFC 8312 §4.5-4.6).
+    fn reduce(&mut self) {
+        if self.fast_convergence && self.cwnd < self.w_max {
+            // §4.6: the ceiling is shrinking — remember an even lower
+            // W_max so competing flows converge faster.
+            self.w_max = self.cwnd * (2.0 - CUBIC_BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.epoch_start = None;
+    }
+
+    /// Per-ACK congestion-avoidance step (RFC 8312 §4.1-4.3).
+    fn cubic_grow(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        let mss = f64::from(ctx.mss);
+        let Some(srtt) = ctx.srtt else {
+            // No RTT estimate yet: Reno step until one exists.
+            self.cwnd += mss * mss / self.cwnd;
+            return;
+        };
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(ctx.now);
+            // K = cbrt((W_max − cwnd)/C), windows in MSS units (§4.1).
+            let w = self.cwnd / mss;
+            let wm = self.w_max / mss;
+            self.k = if wm > w { ((wm - w) / CUBIC_C).cbrt() } else { 0.0 };
+            self.est_epoch_acked = 0.0;
+        }
+        self.est_epoch_acked += newly_acked as f64;
+        let epoch = self.epoch_start.unwrap_or(ctx.now);
+        // Target the curve one RTT ahead (§4.1: W_cubic(t + RTT)).
+        let t = ctx.now.saturating_sub(epoch).saturating_add(srtt).as_secs_f64();
+        let wm = self.w_max / mss;
+        let target = CUBIC_C * (t - self.k) * (t - self.k) * (t - self.k) + wm;
+        // TCP-friendly region (§4.2): match Reno when cubic is slower.
+        // W_est = W_max·β + 3(1−β)/(1+β) · acked/cwnd (in MSS).
+        let w_est = wm * CUBIC_BETA
+            + 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * (self.est_epoch_acked / self.cwnd);
+        let w = self.cwnd / mss;
+        let next = target.max(w_est);
+        if next > w {
+            // §4.3: spread the climb over the window, one increment
+            // per ACK, capped at a 1.5×-per-RTT slow-start-like rate.
+            let step = ((next - w) / w).min(0.5);
+            self.cwnd += step * mss;
+        }
+    }
+}
+
+impl CongestionControl for CubicCc {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+    fn state(&self) -> &'static str {
+        self.phase.as_str()
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn in_recovery(&self) -> bool {
+        self.phase == Phase::Recovery
+    }
+    fn ecn_capable(&self) -> bool {
+        false
+    }
+
+    fn on_ack(&mut self, _newly_acked: u64, _ece: bool, _ctx: &CcCtx) {}
+
+    fn on_dup_inflate(&mut self, ctx: &CcCtx) {
+        self.cwnd += f64::from(ctx.mss);
+    }
+
+    fn on_fresh_ack(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        let mss = f64::from(ctx.mss);
+        match self.phase {
+            Phase::Recovery => {
+                self.phase = Phase::CongestionAvoidance;
+                self.cwnd = self.ssthresh.max(mss);
+                self.epoch_start = None;
+            }
+            Phase::SlowStart => {
+                self.cwnd += newly_acked as f64;
+                if self.cwnd >= self.ssthresh {
+                    self.cwnd = self.ssthresh;
+                    self.phase = Phase::CongestionAvoidance;
+                    self.epoch_start = None;
+                }
+            }
+            Phase::CongestionAvoidance => self.cubic_grow(newly_acked, ctx),
+        }
+    }
+
+    fn on_ecn_echo(&mut self, _ctx: &CcCtx) -> bool {
+        // Loss-based: segments are sent Not-ECT, so echoes never occur;
+        // if one did (mangled path), ignore it.
+        false
+    }
+
+    fn on_loss(&mut self, ctx: &CcCtx) {
+        self.reduce();
+        let mss = f64::from(ctx.mss);
+        self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0 * mss);
+        self.cwnd = self.ssthresh + f64::from(ctx.dupack_thresh) * mss;
+        self.phase = Phase::Recovery;
+    }
+
+    fn on_rto(&mut self, ctx: &CcCtx) {
+        self.reduce();
+        let mss = f64::from(ctx.mss);
+        self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0 * mss);
+        self.cwnd = mss;
+        self.phase = Phase::SlowStart;
+    }
+}
+
+/// BBR operating mode (Cardwell et al., Fig. 1 state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BbrMode {
+    Startup,
+    Drain,
+    ProbeBw,
+    ProbeRtt,
+}
+
+impl BbrMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            BbrMode::Startup => "startup",
+            BbrMode::Drain => "drain",
+            BbrMode::ProbeBw => "probe-bw",
+            BbrMode::ProbeRtt => "probe-rtt",
+        }
+    }
+}
+
+/// Tuning knobs for [`BbrCc`] — exposed so unit tests can shrink the
+/// filter windows and drive the ProbeRTT machinery in a handful of
+/// synthetic ACKs.
+#[derive(Debug, Clone, Copy)]
+pub struct BbrParams {
+    /// Max-bandwidth filter length in round trips (BBR uses 10).
+    pub bw_window_rounds: u32,
+    /// Min-RTT filter expiry (BBR uses 10 s).
+    pub min_rtt_window: Time,
+    /// Time spent at the ProbeRTT floor (BBR uses 200 ms).
+    pub probe_rtt_duration: Time,
+    /// Startup exits when bandwidth grew less than this factor…
+    pub startup_growth_thresh: f64,
+    /// …for this many consecutive rounds (BBR: 1.25× over 3 rounds).
+    pub startup_full_rounds: u32,
+}
+
+impl Default for BbrParams {
+    fn default() -> Self {
+        BbrParams {
+            bw_window_rounds: 10,
+            min_rtt_window: Time::from_secs(10),
+            probe_rtt_duration: Time::from_ms(200),
+            startup_growth_thresh: 1.25,
+            startup_full_rounds: 3,
+        }
+    }
+}
+
+/// Capacity of the bandwidth-filter ring (≥ any sane
+/// `bw_window_rounds`; fixed so the controller stays allocation-free).
+const BBR_BW_RING: usize = 16;
+
+/// ProbeBW pacing-gain cycle (Cardwell et al., §4.3.4.3): one
+/// probing round at 5/4, one draining round at 3/4, six cruising.
+const BBR_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+/// BBR — Cardwell, Cheng, Gunn, Yeganeh & Jacobson, "BBR:
+/// Congestion-Based Congestion Control", ACM Queue 14(5), 2016 (and
+/// draft-cardwell-iccrg-bbr-congestion-control): an explicit path model
+/// of bottleneck bandwidth (windowed-max filter over delivery-rate
+/// samples, §4.1) and round-trip propagation delay (windowed-min
+/// filter), sequenced through the Startup → Drain → ProbeBW ⇄ ProbeRTT
+/// state machine (§4.3). This is a *window-based approximation*: the
+/// simulator has no pacing clock, so the inflight cap `cwnd_gain × BDP`
+/// carries the gain cycle instead of the pacing rate, and the cycle
+/// advances per round trip. BBRv1 deliberately ignores both individual
+/// losses and ECN marks (§4.3.4.4 discusses why); retransmission is the
+/// sender's job and the bandwidth filter absorbs the delivery dip.
+#[derive(Debug, Clone, Copy)]
+pub struct BbrCc {
+    params: BbrParams,
+    mode: BbrMode,
+    cwnd: f64,
+    mss: f64,
+
+    /// Windowed max-filter over per-round delivery-rate samples
+    /// (bytes/sec), newest at `ring_head`.
+    bw_ring: [f64; BBR_BW_RING],
+    ring_head: usize,
+    ring_len: usize,
+
+    min_rtt: Option<Time>,
+    min_rtt_stamp: Time,
+
+    /// Round-trip accounting: a round ends when `snd_una` passes the
+    /// `snd_nxt` snapshot taken when the round began.
+    round_end: u64,
+    round_start: Time,
+    delivered_this_round: u64,
+    round_count: u64,
+
+    /// Instantaneous delivery-rate sampling: previous fresh-ACK arrival
+    /// and the best bytes-per-ack-gap rate seen this round. The
+    /// per-round *average* (`delivered / elapsed`) under-reports the
+    /// path when the sender is window-limited or idles through an RTO —
+    /// feeding only averages into the max filter locks a starved flow
+    /// into a starved model. ACK spacing measures the service rate the
+    /// scheduler is actually offering, whatever the window is.
+    last_ack_at: Option<Time>,
+    round_inst_bw: f64,
+
+    /// Startup full-pipe detection.
+    full_bw: f64,
+    full_bw_rounds: u32,
+    filled_pipe: bool,
+
+    /// ProbeBW gain-cycle index.
+    cycle_index: usize,
+    /// ProbeRTT exit deadline and the window to restore afterwards.
+    probe_rtt_done: Option<Time>,
+    prior_cwnd: f64,
+}
+
+impl BbrCc {
+    /// A fresh BBR controller with default parameters.
+    pub fn new(init_cwnd_bytes: f64, mss: u32) -> Self {
+        BbrCc::with_params(init_cwnd_bytes, mss, BbrParams::default())
+    }
+
+    /// A fresh BBR controller with explicit parameters (unit tests
+    /// shrink the filter windows).
+    pub fn with_params(init_cwnd_bytes: f64, mss: u32, params: BbrParams) -> Self {
+        BbrCc {
+            params,
+            mode: BbrMode::Startup,
+            cwnd: init_cwnd_bytes,
+            mss: f64::from(mss),
+            bw_ring: [0.0; BBR_BW_RING],
+            ring_head: 0,
+            ring_len: 0,
+            min_rtt: None,
+            min_rtt_stamp: Time::ZERO,
+            round_end: 0,
+            round_start: Time::ZERO,
+            delivered_this_round: 0,
+            round_count: 0,
+            last_ack_at: None,
+            round_inst_bw: 0.0,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            filled_pipe: false,
+            cycle_index: 0,
+            probe_rtt_done: None,
+            prior_cwnd: init_cwnd_bytes,
+        }
+    }
+
+    /// Windowed maximum of the bandwidth ring (bytes/sec).
+    fn max_bw(&self) -> f64 {
+        let n = self.ring_len.min(self.params.bw_window_rounds as usize);
+        let mut best = 0.0f64;
+        for i in 0..n {
+            let idx = (self.ring_head + BBR_BW_RING - i) % BBR_BW_RING;
+            if self.bw_ring[idx] > best {
+                best = self.bw_ring[idx];
+            }
+        }
+        best
+    }
+
+    /// Bandwidth-delay product in bytes from the two filters (0 until
+    /// both have samples).
+    fn bdp(&self) -> f64 {
+        match self.min_rtt {
+            Some(rtt) => self.max_bw() * rtt.as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    fn push_bw_sample(&mut self, bw: f64) {
+        self.ring_head = (self.ring_head + 1) % BBR_BW_RING;
+        self.bw_ring[self.ring_head] = bw;
+        if self.ring_len < BBR_BW_RING {
+            self.ring_len += 1;
+        }
+    }
+
+    /// End-of-round: take a delivery-rate sample, run full-pipe
+    /// detection and the mode transitions.
+    fn end_round(&mut self, ctx: &CcCtx) {
+        let elapsed = ctx.now.saturating_sub(self.round_start);
+        if elapsed > Time::ZERO && self.delivered_this_round > 0 {
+            let avg = self.delivered_this_round as f64 / elapsed.as_secs_f64();
+            // The average is a floor (window-limited rounds and RTO idle
+            // drag it down); the best ACK-gap rate of the round is what
+            // the path actually served. Take whichever is larger.
+            self.push_bw_sample(avg.max(self.round_inst_bw));
+        }
+        self.round_count += 1;
+        self.round_start = ctx.now;
+        self.round_end = ctx.snd_nxt;
+        self.delivered_this_round = 0;
+        self.round_inst_bw = 0.0;
+
+        if !self.filled_pipe {
+            // Full-pipe heuristic: bandwidth stopped growing ≥ 25 %
+            // for `startup_full_rounds` consecutive rounds.
+            let bw = self.max_bw();
+            if bw >= self.full_bw * self.params.startup_growth_thresh {
+                self.full_bw = bw;
+                self.full_bw_rounds = 0;
+            } else {
+                self.full_bw_rounds += 1;
+                if self.full_bw_rounds >= self.params.startup_full_rounds {
+                    self.filled_pipe = true;
+                    if self.mode == BbrMode::Startup {
+                        self.mode = BbrMode::Drain;
+                    }
+                }
+            }
+        }
+        if self.mode == BbrMode::ProbeBw {
+            self.cycle_index = (self.cycle_index + 1) % BBR_CYCLE.len();
+        }
+        self.apply_cwnd(ctx);
+    }
+
+    /// Recompute the inflight cap from the path model for the current
+    /// mode (the window-based stand-in for pacing-gain modulation).
+    fn apply_cwnd(&mut self, ctx: &CcCtx) {
+        let bdp = self.bdp();
+        let floor = 4.0 * self.mss;
+        match self.mode {
+            BbrMode::Startup => {
+                // Growth handled per-ACK (slow-start-like); only clamp up
+                // to the model if it already exceeds the exponential.
+                if bdp > 0.0 {
+                    self.cwnd = self.cwnd.max(2.0 * bdp);
+                }
+            }
+            BbrMode::Drain => {
+                if bdp > 0.0 {
+                    self.cwnd = bdp.max(floor);
+                    // Exit once inflight has come down to the (floored)
+                    // drain target. Comparing against raw `bdp` deadlocks
+                    // when the model's BDP sinks below the 4-MSS floor:
+                    // the sender then keeps 4 MSS in flight forever and
+                    // the startup overshoot is long gone anyway.
+                    let inflight = ctx.snd_nxt.saturating_sub(ctx.snd_una) as f64;
+                    if inflight <= self.cwnd {
+                        self.mode = BbrMode::ProbeBw;
+                        self.cycle_index = 0;
+                        self.cwnd = (2.0 * bdp).max(floor);
+                    }
+                }
+            }
+            BbrMode::ProbeBw => {
+                if bdp > 0.0 {
+                    self.cwnd = (2.0 * bdp * BBR_CYCLE[self.cycle_index]).max(floor);
+                }
+            }
+            BbrMode::ProbeRtt => {
+                self.cwnd = floor;
+            }
+        }
+    }
+
+    /// Enter/exit ProbeRTT per the min-RTT filter age (§4.3.4.4 of the
+    /// draft: 200 ms at 4 packets when the estimate is stale).
+    fn check_probe_rtt(&mut self, ctx: &CcCtx) {
+        match self.mode {
+            BbrMode::ProbeRtt => {
+                if let Some(done) = self.probe_rtt_done {
+                    if ctx.now >= done {
+                        self.min_rtt_stamp = ctx.now;
+                        self.probe_rtt_done = None;
+                        self.mode = if self.filled_pipe {
+                            BbrMode::ProbeBw
+                        } else {
+                            BbrMode::Startup
+                        };
+                        self.cwnd = self.prior_cwnd;
+                        self.apply_cwnd(ctx);
+                    }
+                }
+            }
+            _ => {
+                let stale = self.min_rtt.is_some()
+                    && ctx.now.saturating_sub(self.min_rtt_stamp) > self.params.min_rtt_window;
+                if stale {
+                    self.prior_cwnd = self.cwnd;
+                    self.mode = BbrMode::ProbeRtt;
+                    self.probe_rtt_done =
+                        Some(ctx.now.saturating_add(self.params.probe_rtt_duration));
+                    self.cwnd = 4.0 * self.mss;
+                }
+            }
+        }
+    }
+}
+
+impl CongestionControl for BbrCc {
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+    fn state(&self) -> &'static str {
+        self.mode.as_str()
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn pacing_rate(&self) -> Option<f64> {
+        let bw = self.max_bw();
+        if bw > 0.0 {
+            Some(bw)
+        } else {
+            None
+        }
+    }
+    fn in_recovery(&self) -> bool {
+        false
+    }
+    fn ecn_capable(&self) -> bool {
+        false
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, _ece: bool, ctx: &CcCtx) {
+        self.delivered_this_round += newly_acked;
+        let _ = ctx;
+    }
+
+    fn on_dup_inflate(&mut self, _ctx: &CcCtx) {
+        // Model-based: no dup-ACK inflation.
+    }
+
+    fn on_fresh_ack(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        debug_assert!(newly_acked > 0);
+        // Instantaneous delivery-rate sample from the fresh-ACK gap
+        // (see the field docs: the round average alone death-spirals a
+        // window-limited flow). Cumulative ACKs after recovery can cover
+        // several segments in one gap; that is a genuine delivery burst
+        // and the max filter is built to take the peak.
+        if let Some(prev) = self.last_ack_at {
+            let gap = ctx.now.saturating_sub(prev);
+            if gap > Time::ZERO {
+                let bw = newly_acked as f64 / gap.as_secs_f64();
+                if bw > self.round_inst_bw {
+                    self.round_inst_bw = bw;
+                }
+            }
+        }
+        self.last_ack_at = Some(ctx.now);
+        // Min-RTT filter: Karn-safe samples only arrive on fresh ACKs
+        // (`ctx.latest_rtt` is always `None` in the per-ACK hook).
+        if let Some(sample) = ctx.latest_rtt {
+            let better = match self.min_rtt {
+                None => true,
+                Some(cur) => sample <= cur,
+            };
+            if better {
+                self.min_rtt = Some(sample);
+                self.min_rtt_stamp = ctx.now;
+            }
+        }
+        if self.mode == BbrMode::Startup && !self.filled_pipe {
+            // Exponential ramp (2×/RTT) until the pipe is measured full.
+            self.cwnd += newly_acked as f64;
+        }
+        if ctx.snd_una >= self.round_end {
+            self.end_round(ctx);
+        } else if self.mode == BbrMode::Drain {
+            // Drain exit is checked per-ACK, not per-round: inflight
+            // passes the target mid-round and waiting a full (queue-
+            // inflated) RTT leaves throughput on the floor.
+            self.apply_cwnd(ctx);
+        }
+        self.check_probe_rtt(ctx);
+    }
+
+    fn on_ecn_echo(&mut self, _ctx: &CcCtx) -> bool {
+        // BBRv1 does not react to ECN marks.
+        false
+    }
+
+    fn on_loss(&mut self, _ctx: &CcCtx) {
+        // Loss is not a model signal in BBRv1, but Linux's bbr_set_cwnd
+        // still packet-conserves through recovery: snap the inflight cap
+        // back to the path model (dropping the gain headroom) so the
+        // sender stops hammering a full buffer with the probe overshoot.
+        // The next round edge re-applies the gain cycle from the filters.
+        let bdp = self.bdp();
+        if bdp > 0.0 {
+            self.prior_cwnd = self.cwnd.max(self.prior_cwnd);
+            self.cwnd = self.cwnd.min(bdp.max(4.0 * self.mss));
+        }
+    }
+
+    fn on_rto(&mut self, ctx: &CcCtx) {
+        // Persistent loss: conservative collapse; the model rebuilds the
+        // window from the filters at the next round edge. The sender is
+        // about to go-back-N (`snd_nxt` rewinds to `snd_una`), so the old
+        // round-end snapshot sits a full window ahead — left in place it
+        // would pin the 1-MSS window until the whole window was resent.
+        // Restart the round at the rewind point instead, so the first
+        // fresh ACK after the RTO re-applies the model.
+        self.prior_cwnd = self.cwnd;
+        self.cwnd = self.mss;
+        self.round_end = ctx.snd_una;
+        self.round_start = ctx.now;
+        self.delivered_this_round = 0;
+        self.last_ack_at = None;
+        self.round_inst_bw = 0.0;
+    }
+}
+
+/// Enum dispatch over the in-tree controllers: keeps [`TcpSender`]
+/// (crate::TcpSender) `Clone` without boxing, and lets the compiler
+/// inline the per-ACK hot path.
+#[derive(Debug, Clone, Copy)]
+pub enum CcAlgo {
+    /// DCTCP (see [`DctcpCc`]).
+    Dctcp(DctcpCc),
+    /// ECN\* (see [`EcnStarCc`]).
+    EcnStar(EcnStarCc),
+    /// CUBIC (see [`CubicCc`]).
+    Cubic(CubicCc),
+    /// BBR (see [`BbrCc`]).
+    Bbr(BbrCc),
+}
+
+impl CcAlgo {
+    /// Build the controller a [`TcpConfig`](crate::TcpConfig) selects,
+    /// with the configured initial window.
+    pub fn from_config(cfg: &crate::TcpConfig) -> Self {
+        let init = f64::from(cfg.init_cwnd) * f64::from(cfg.mss);
+        CcAlgo::fresh(cfg.cc, cfg, init)
+    }
+
+    /// A fresh controller of kind `cc` with window `cwnd_bytes` —
+    /// the mid-flow `cc-switch` entry point: the window (and therefore
+    /// the flow's current sending rate) carries over, the algorithm
+    /// state starts clean.
+    pub fn fresh(cc: Cc, cfg: &crate::TcpConfig, cwnd_bytes: f64) -> Self {
+        match cc {
+            Cc::Dctcp => CcAlgo::Dctcp(DctcpCc::new(cwnd_bytes, cfg.dctcp_g)),
+            Cc::EcnStar => CcAlgo::EcnStar(EcnStarCc::new(cwnd_bytes)),
+            Cc::Cubic => CcAlgo::Cubic(CubicCc::new(cwnd_bytes)),
+            Cc::Bbr => CcAlgo::Bbr(BbrCc::new(cwnd_bytes, cfg.mss)),
+        }
+    }
+
+    /// A controller of kind `cc` seeded for a **mid-flow switch**: the
+    /// window carries over and the window-based controllers start in
+    /// congestion avoidance with `ssthresh = cwnd` (a switch must not
+    /// slow-start-blast from an already-large window). BBR starts in
+    /// Startup regardless — it has to re-measure the path model.
+    pub fn carried(cc: Cc, cfg: &crate::TcpConfig, cwnd_bytes: f64) -> Self {
+        let mut algo = CcAlgo::fresh(cc, cfg, cwnd_bytes);
+        match &mut algo {
+            CcAlgo::Dctcp(c) => {
+                c.core.ssthresh = cwnd_bytes;
+                c.core.phase = Phase::CongestionAvoidance;
+            }
+            CcAlgo::EcnStar(c) => {
+                c.core.ssthresh = cwnd_bytes;
+                c.core.phase = Phase::CongestionAvoidance;
+            }
+            CcAlgo::Cubic(c) => {
+                c.ssthresh = cwnd_bytes;
+                c.phase = Phase::CongestionAvoidance;
+            }
+            CcAlgo::Bbr(_) => {}
+        }
+        algo
+    }
+
+    /// The selector for the running controller.
+    pub fn kind(&self) -> Cc {
+        match self {
+            CcAlgo::Dctcp(_) => Cc::Dctcp,
+            CcAlgo::EcnStar(_) => Cc::EcnStar,
+            CcAlgo::Cubic(_) => Cc::Cubic,
+            CcAlgo::Bbr(_) => Cc::Bbr,
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn CongestionControl {
+        match self {
+            CcAlgo::Dctcp(c) => c,
+            CcAlgo::EcnStar(c) => c,
+            CcAlgo::Cubic(c) => c,
+            CcAlgo::Bbr(c) => c,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn CongestionControl {
+        match self {
+            CcAlgo::Dctcp(c) => c,
+            CcAlgo::EcnStar(c) => c,
+            CcAlgo::Cubic(c) => c,
+            CcAlgo::Bbr(c) => c,
+        }
+    }
+}
+
+impl CongestionControl for CcAlgo {
+    fn name(&self) -> &'static str {
+        self.as_dyn().name()
+    }
+    fn state(&self) -> &'static str {
+        self.as_dyn().state()
+    }
+    fn cwnd(&self) -> f64 {
+        self.as_dyn().cwnd()
+    }
+    fn pacing_rate(&self) -> Option<f64> {
+        self.as_dyn().pacing_rate()
+    }
+    fn in_recovery(&self) -> bool {
+        self.as_dyn().in_recovery()
+    }
+    fn ecn_capable(&self) -> bool {
+        self.as_dyn().ecn_capable()
+    }
+    fn alpha(&self) -> f64 {
+        self.as_dyn().alpha()
+    }
+    fn on_ack(&mut self, newly_acked: u64, ece: bool, ctx: &CcCtx) {
+        self.as_dyn_mut().on_ack(newly_acked, ece, ctx);
+    }
+    fn on_dup_inflate(&mut self, ctx: &CcCtx) {
+        self.as_dyn_mut().on_dup_inflate(ctx);
+    }
+    fn on_fresh_ack(&mut self, newly_acked: u64, ctx: &CcCtx) {
+        self.as_dyn_mut().on_fresh_ack(newly_acked, ctx);
+    }
+    fn on_ecn_echo(&mut self, ctx: &CcCtx) -> bool {
+        self.as_dyn_mut().on_ecn_echo(ctx)
+    }
+    fn on_loss(&mut self, ctx: &CcCtx) {
+        self.as_dyn_mut().on_loss(ctx);
+    }
+    fn on_rto(&mut self, ctx: &CcCtx) {
+        self.as_dyn_mut().on_rto(ctx);
+    }
+    fn on_sent(&mut self, seq: u64, bytes: u32, is_rtx: bool, ctx: &CcCtx) {
+        self.as_dyn_mut().on_sent(seq, bytes, is_rtx, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(now: Time, snd_una: u64, snd_nxt: u64) -> CcCtx {
+        CcCtx {
+            now,
+            snd_una,
+            snd_nxt,
+            mss: 1000,
+            dupack_thresh: 3,
+            srtt: Some(Time::from_us(100)),
+            latest_rtt: Some(Time::from_us(100)),
+        }
+    }
+
+    #[test]
+    fn cc_names_round_trip() {
+        for cc in [Cc::Dctcp, Cc::EcnStar, Cc::Cubic, Cc::Bbr] {
+            assert_eq!(Cc::from_name(cc.name()), Some(cc));
+        }
+        assert_eq!(Cc::from_name("reno"), None);
+    }
+
+    #[test]
+    fn cubic_slow_start_then_cubic_region() {
+        let mut c = CubicCc::new(10_000.0);
+        // Loss puts it in recovery, then CA.
+        c.on_loss(&ctx(Time::ZERO, 0, 10_000));
+        assert_eq!(c.state(), "recovery");
+        c.on_fresh_ack(1000, &ctx(Time::from_us(100), 11_000, 20_000));
+        assert_eq!(c.state(), "congestion-avoidance");
+        let w0 = c.cwnd();
+        // Far from w_max the curve climbs; near t=K it flattens.
+        let mut now = Time::from_us(200);
+        for i in 0..50u64 {
+            now = now.saturating_add(Time::from_us(100));
+            c.on_fresh_ack(1000, &ctx(now, 12_000 + i * 1000, 70_000 + i * 1000));
+        }
+        assert!(c.cwnd() > w0, "cubic region must grow: {} -> {}", w0, c.cwnd());
+    }
+
+    #[test]
+    fn cubic_fast_convergence_shrinks_ceiling() {
+        let mut c = CubicCc::new(100_000.0);
+        c.on_loss(&ctx(Time::ZERO, 0, 100_000));
+        let w_max1 = c.w_max;
+        // Second loss below the old ceiling: fast convergence shrinks
+        // the anchor below the current window.
+        c.on_fresh_ack(1000, &ctx(Time::from_ms(1), 101_000, 150_000));
+        c.on_loss(&ctx(Time::from_ms(2), 101_000, 150_000));
+        assert!(c.w_max < w_max1, "{} < {}", c.w_max, w_max1);
+        assert!(c.w_max < 100_000.0 * CUBIC_BETA + 1.0);
+    }
+
+    #[test]
+    fn bbr_starts_in_startup_and_ramps() {
+        let mut b = BbrCc::new(10_000.0, 1000);
+        assert_eq!(b.state(), "startup");
+        let w0 = b.cwnd();
+        b.on_ack(5000, false, &ctx(Time::from_us(100), 5000, 10_000));
+        b.on_fresh_ack(5000, &ctx(Time::from_us(100), 5000, 10_000));
+        assert!(b.cwnd() > w0);
+    }
+
+    /// ProbeRTT entry and exit, with the filter windows shrunk so the
+    /// whole excursion fits in a few simulated milliseconds: the mode
+    /// engages when the min-RTT sample goes stale, pins the window to
+    /// 4 × MSS for `probe_rtt_duration`, then restores the prior window
+    /// and re-stamps the filter so it does not immediately re-enter.
+    #[test]
+    fn bbr_probe_rtt_entry_and_exit() {
+        let params = BbrParams {
+            min_rtt_window: Time::from_ms(1),
+            probe_rtt_duration: Time::from_us(500),
+            ..BbrParams::default()
+        };
+        let mut b = BbrCc::with_params(8_000.0, 1000, params);
+        // Seed the min-RTT filter at t = 100 µs.
+        let seed = ctx(Time::from_us(100), 1000, 9000);
+        b.on_ack(1000, false, &seed);
+        b.on_fresh_ack(1000, &seed);
+        assert_eq!(b.state(), "startup");
+
+        // Worse samples never refresh the filter stamp; walk time
+        // forward until the 1 ms window expires.
+        let worse = |now: Time, una: u64| CcCtx {
+            latest_rtt: Some(Time::from_us(400)),
+            ..ctx(now, una, una + 8_000)
+        };
+        let mut una = 1000;
+        let mut now = Time::from_us(100);
+        while b.state() != "probe-rtt" {
+            now = now.saturating_add(Time::from_us(100));
+            assert!(now < Time::from_ms(3), "never entered ProbeRTT");
+            una += 1000;
+            let c = worse(now, una);
+            b.on_ack(1000, false, &c);
+            b.on_fresh_ack(1000, &c);
+        }
+        // Entry: stale strictly after 100 µs + 1 ms.
+        assert!(now > Time::from_ms(1));
+        assert_eq!(b.cwnd(), 4_000.0, "ProbeRTT floor is 4 × MSS");
+
+        let entered = now;
+        while b.state() == "probe-rtt" {
+            now = now.saturating_add(Time::from_us(100));
+            assert!(now < Time::from_ms(5), "never exited ProbeRTT");
+            una += 1000;
+            let c = worse(now, una);
+            b.on_ack(1000, false, &c);
+            b.on_fresh_ack(1000, &c);
+        }
+        // Exit: held the floor for the configured duration, restored
+        // the pre-probe window, and the pipe was never marked full, so
+        // it resumes Startup.
+        assert!(now.saturating_sub(entered) >= Time::from_us(500));
+        assert_eq!(b.state(), "startup");
+        assert!(b.cwnd() > 4_000.0, "prior window restored on exit");
+    }
+
+    #[test]
+    fn enum_dispatch_matches_inner() {
+        let cfg = crate::TcpConfig::preset(Cc::Dctcp).sim();
+        let algo = CcAlgo::from_config(&cfg);
+        assert_eq!(algo.name(), "dctcp");
+        assert_eq!(algo.kind(), Cc::Dctcp);
+        assert!(algo.ecn_capable());
+        assert_eq!(algo.state(), "slow-start");
+    }
+}

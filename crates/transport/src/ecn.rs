@@ -1,0 +1,243 @@
+//! ECN path validation — the RFC 9000 §13.4.2 state machine adapted to
+//! this simulator's transport (SNIPPETS.md Snippet 2): a sender marks
+//! its first flight ECT and watches what comes back. A path whose
+//! middleboxes bleach or blackhole ECT, or spray CE onto everything,
+//! must not be trusted with mark-driven congestion control — the
+//! validator detects both failure shapes and falls the flow back to
+//! loss-based behaviour (Not-ECT segments, echoes ignored).
+//!
+//! States: **testing** (first `TESTING_WINDOW_SEGS` segments' worth of
+//! bytes) → **capable** (marks usable for the flow's lifetime) or
+//! **failed** (fallback). Failure triggers, mirroring the RFC's two
+//! rules:
+//!
+//! * *all-lost*: three RTOs expire during testing with nothing ever
+//!   cumulatively acknowledged — an ECT blackhole ("if all ECN-capable
+//!   packets … are declared lost", RFC 9000 §13.4.2.2, with the RFC's
+//!   three-PTO testing period).
+//! * *all-marked*: every testing-period ACK arrives with ECE set — a
+//!   mark-everything middlebox. Real CE ratios under load are well
+//!   below 1; a path that marks 100 % of a slow-start flight carries no
+//!   congestion signal (the analogue of the RFC's "ECN-CE count
+//!   exceeds ECT(0) sent" arithmetic check).
+//!
+//! Validation is **off by default** (`TcpConfig::ecn_validation`): when
+//! disabled the validator is inert and the sender's wire behaviour is
+//! bit-for-bit what it was before this type existed — the differential
+//! suite pins that.
+
+/// Per-path ECN validation verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcnPathState {
+    /// First testing window: segments are sent ECT, echoes are used,
+    /// and the validator is counting.
+    Testing,
+    /// The path passed: marks flow both ways, ECN stays on.
+    Capable,
+    /// The path mangles marks: fall back to loss-based control.
+    Failed,
+}
+
+impl EcnPathState {
+    /// Stable lowercase name for telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EcnPathState::Testing => "testing",
+            EcnPathState::Capable => "capable",
+            EcnPathState::Failed => "failed",
+        }
+    }
+}
+
+/// The testing window, in segments (RFC 9000 §13.4.2: "the first ten
+/// outgoing packets on a path").
+const TESTING_WINDOW_SEGS: u64 = 10;
+
+/// Minimum ACK samples before the all-marked verdict may fire — a
+/// couple of genuinely-marked ACKs at the head of a flow must not
+/// condemn the path.
+const MIN_ACK_SAMPLES: u64 = 4;
+
+/// RTO expiries with zero forward progress that fail validation
+/// (RFC 9000 §13.4.2: a testing period of three PTOs).
+const MAX_TESTING_RTOS: u32 = 3;
+
+/// ECN path validation state machine (see the module docs for the
+/// transition rules). One per sender; drive it with
+/// [`on_ack`](EcnValidator::on_ack) / [`on_rto`](EcnValidator::on_rto)
+/// and gate mark usage on [`ecn_usable`](EcnValidator::ecn_usable).
+#[derive(Debug, Clone, Copy)]
+pub struct EcnValidator {
+    enabled: bool,
+    state: EcnPathState,
+    /// Validation completes when `snd_una` passes this byte.
+    testing_end: u64,
+    acks_seen: u64,
+    ce_acks: u64,
+    rtos: u32,
+}
+
+impl EcnValidator {
+    /// A validator for a flow with the given MSS. When `enabled` is
+    /// false the validator reports `Capable` forever and changes
+    /// nothing.
+    pub fn new(enabled: bool, mss: u32) -> Self {
+        EcnValidator {
+            enabled,
+            state: if enabled {
+                EcnPathState::Testing
+            } else {
+                EcnPathState::Capable
+            },
+            testing_end: TESTING_WINDOW_SEGS * u64::from(mss),
+            acks_seen: 0,
+            ce_acks: 0,
+            rtos: 0,
+        }
+    }
+
+    /// Current verdict.
+    pub fn state(&self) -> EcnPathState {
+        self.state
+    }
+
+    /// True while ECN may be used on this path (testing or capable).
+    /// When false the sender emits Not-ECT and ignores echoes.
+    pub fn ecn_usable(&self) -> bool {
+        self.state != EcnPathState::Failed
+    }
+
+    /// Observe an ACK (with the *raw* ECE echo, before any filtering).
+    /// `snd_una` is the post-ACK cumulative mark. Returns the
+    /// `(from, to)` state names when this ACK completed validation.
+    pub fn on_ack(
+        &mut self,
+        snd_una: u64,
+        ece: bool,
+    ) -> Option<(&'static str, &'static str)> {
+        if !self.enabled || self.state != EcnPathState::Testing {
+            return None;
+        }
+        self.acks_seen += 1;
+        if ece {
+            self.ce_acks += 1;
+        }
+        if snd_una >= self.testing_end && self.acks_seen >= MIN_ACK_SAMPLES {
+            let to = if self.ce_acks == self.acks_seen {
+                EcnPathState::Failed
+            } else {
+                EcnPathState::Capable
+            };
+            let from = self.state;
+            self.state = to;
+            return Some((from.as_str(), to.as_str()));
+        }
+        None
+    }
+
+    /// Observe an RTO expiry. `snd_una` distinguishes "nothing has ever
+    /// arrived" (blackhole suspicion) from mid-flow stalls. Returns the
+    /// `(from, to)` names when this expiry failed validation.
+    pub fn on_rto(&mut self, snd_una: u64) -> Option<(&'static str, &'static str)> {
+        if !self.enabled || self.state != EcnPathState::Testing {
+            return None;
+        }
+        if snd_una == 0 {
+            self.rtos += 1;
+            if self.rtos >= MAX_TESTING_RTOS {
+                let from = self.state;
+                self.state = EcnPathState::Failed;
+                return Some((from.as_str(), self.state.as_str()));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_validator_is_inert() {
+        let mut v = EcnValidator::new(false, 1460);
+        assert_eq!(v.state(), EcnPathState::Capable);
+        assert!(v.ecn_usable());
+        for i in 0..100 {
+            assert!(v.on_ack(i * 1460, true).is_none());
+            assert!(v.on_rto(0).is_none());
+        }
+        assert!(v.ecn_usable());
+    }
+
+    #[test]
+    fn clean_path_validates_capable() {
+        let mut v = EcnValidator::new(true, 1000);
+        assert_eq!(v.state(), EcnPathState::Testing);
+        let mut done = None;
+        for i in 1..=10u64 {
+            done = v.on_ack(i * 1000, i == 1); // one real mark is fine
+            if done.is_some() {
+                break;
+            }
+        }
+        assert_eq!(done, Some(("testing", "capable")));
+        assert!(v.ecn_usable());
+    }
+
+    #[test]
+    fn all_marked_path_fails() {
+        let mut v = EcnValidator::new(true, 1000);
+        let mut done = None;
+        for i in 1..=10u64 {
+            done = v.on_ack(i * 1000, true);
+            if done.is_some() {
+                break;
+            }
+        }
+        assert_eq!(done, Some(("testing", "failed")));
+        assert!(!v.ecn_usable());
+    }
+
+    #[test]
+    fn needs_min_samples_before_verdict() {
+        let mut v = EcnValidator::new(true, 1000);
+        // One jumbo ACK past the testing window: too few samples.
+        assert!(v.on_ack(20_000, true).is_none());
+        assert_eq!(v.state(), EcnPathState::Testing);
+        assert!(v.on_ack(21_000, true).is_none());
+        assert!(v.on_ack(22_000, true).is_none());
+        // Fourth sample completes — and all were marked.
+        assert_eq!(v.on_ack(23_000, true), Some(("testing", "failed")));
+    }
+
+    #[test]
+    fn three_barren_rtos_fail_validation() {
+        let mut v = EcnValidator::new(true, 1000);
+        assert!(v.on_rto(0).is_none());
+        assert!(v.on_rto(0).is_none());
+        assert_eq!(v.on_rto(0), Some(("testing", "failed")));
+        assert!(!v.ecn_usable());
+    }
+
+    #[test]
+    fn rtos_with_progress_do_not_fail() {
+        let mut v = EcnValidator::new(true, 1000);
+        for _ in 0..10 {
+            assert!(v.on_rto(5000).is_none(), "mid-flow stalls are not blackholes");
+        }
+        assert_eq!(v.state(), EcnPathState::Testing);
+    }
+
+    #[test]
+    fn verdict_is_terminal() {
+        let mut v = EcnValidator::new(true, 1000);
+        for i in 1..=10u64 {
+            v.on_ack(i * 1000, false);
+        }
+        assert_eq!(v.state(), EcnPathState::Capable);
+        assert!(v.on_ack(11_000, true).is_none(), "capable is final");
+        assert!(v.on_rto(0).is_none());
+        assert_eq!(v.state(), EcnPathState::Capable);
+    }
+}

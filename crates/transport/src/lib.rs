@@ -1,24 +1,32 @@
 //! `tcn-transport` — the ECN-capable datacenter transports the paper
-//! evaluates over.
+//! evaluates over, behind a pluggable congestion-control API.
 //!
-//! Two congestion-control variants are implemented as pure state
-//! machines (no I/O, fully unit-testable):
+//! The sender ([`TcpSender`]) is reliability machinery only: sequence
+//! tracking, fast retransmit on three duplicate ACKs with simplified
+//! Reno-style recovery, go-back-N RTO with Jacobson/Karn estimation
+//! clamped at a configurable `RTO_min` (10 ms testbed / 5 ms
+//! simulation, per the paper's setups). Window policy is delegated to
+//! a [`CongestionControl`] implementation, selected per flow via
+//! [`Cc`]:
 //!
-//! * **ECN\*** ([`CcVariant::EcnStar`]) — regular ECN-enabled TCP that
+//! * **ECN\*** ([`Cc::EcnStar`]) — regular ECN-enabled TCP that
 //!   "simply cuts the window by half in the presence of an ECN mark"
 //!   (paper §2.1 fn 2), at most once per window. λ = 1 in the threshold
 //!   formulas. The paper calls it the most challenging transport because
 //!   it has no smoothing (§6.2.2).
-//! * **DCTCP** ([`CcVariant::Dctcp`]) — Alizadeh et al., SIGCOMM 2010:
+//! * **DCTCP** ([`Cc::Dctcp`]) — Alizadeh et al., SIGCOMM 2010:
 //!   the receiver echoes CE per packet, the sender maintains the marked
 //!   fraction estimate `α ← (1−g)·α + g·F` per window and cuts
 //!   `cwnd ← cwnd·(1 − α/2)` at most once per window.
+//! * **CUBIC** ([`Cc::Cubic`]) — RFC 8312: the loss-based tenant, not
+//!   ECN-capable here, for the mixed-tenant coexistence experiments.
+//! * **BBR** ([`Cc::Bbr`]) — Cardwell et al.: model-based, with the
+//!   Startup/Drain/ProbeBW/ProbeRTT state machine over windowed
+//!   max-bandwidth / min-RTT filters.
 //!
-//! Both share the same loss machinery: slow start, congestion avoidance,
-//! fast retransmit on three duplicate ACKs with a simplified Reno-style
-//! recovery, and an RTO with Jacobson/Karn estimation clamped at a
-//! configurable `RTO_min` (10 ms testbed / 5 ms simulation, per the
-//! paper's setups).
+//! ECN usage is additionally gated by RFC 9000 §13.4.2-style path
+//! validation ([`EcnValidator`], off by default): a path that bleaches
+//! or sprays marks demotes the flow to loss-based behaviour.
 //!
 //! Deliberate simplifications (documented per DESIGN.md): no SYN/FIN
 //! handshake (flows start with data, as in the ns-2 models this paper's
@@ -34,14 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cc;
+pub mod ecn;
 pub mod fluid;
 pub mod intervals;
 pub mod receiver;
 pub mod rtt;
 pub mod sender;
 
+pub use cc::{BbrCc, BbrParams, Cc, CcAlgo, CcCtx, CongestionControl, CubicCc, DctcpCc, EcnStarCc};
+pub use ecn::{EcnPathState, EcnValidator};
 pub use fluid::FluidCursor;
 pub use intervals::ByteIntervals;
 pub use receiver::TcpReceiver;
 pub use rtt::RttEstimator;
-pub use sender::{CcVariant, SenderOutput, TcpConfig, TcpSender};
+pub use sender::{SenderOutput, TcpConfig, TcpPreset, TcpSender};

@@ -1,29 +1,39 @@
-//! The TCP sender state machine: window management, ECN reaction
-//! (ECN\* / DCTCP), fast retransmit and RTO.
+//! The TCP sender: reliability machinery (sequence tracking, fast
+//! retransmit, RTO, go-back-N) around a pluggable
+//! [`CongestionControl`] policy, with ECN path validation
+//! ([`EcnValidator`]) gating mark usage.
+//!
+//! The sender owns *what* is outstanding and *when* to retransmit; the
+//! configured controller (DCTCP, ECN\*, CUBIC, BBR — see
+//! [`crate::cc`]) owns *how much* may be in flight. All entry points
+//! keep the zero-alloc `*_into` discipline: the host passes reusable
+//! [`SenderOutput`] scratch and no per-event allocation happens on the
+//! steady-state path.
 
-use tcn_core::{FlowId, Packet};
+use tcn_core::{EcnCodepoint, FlowId, Packet};
 use tcn_sim::Time;
 
+use crate::cc::{Cc, CcAlgo, CcCtx, CongestionControl};
+use crate::ecn::{EcnPathState, EcnValidator};
 use crate::rtt::RttEstimator;
 
-/// Congestion-control variant.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum CcVariant {
-    /// Regular ECN-enabled TCP: halve the window once per window when an
-    /// ECN echo arrives (paper §2.1, λ = 1).
-    EcnStar,
-    /// DCTCP with gain `g` (the paper and the DCTCP paper use 1/16).
-    Dctcp {
-        /// The α estimation gain.
-        g: f64,
-    },
-}
-
 /// Transport configuration shared by a fleet of flows.
+///
+/// Build one with the fluent preset builder —
+/// `TcpConfig::preset(Cc::Dctcp).sim()` /
+/// `TcpConfig::preset(Cc::Cubic).testbed()` — then toggle knobs with
+/// the `with_*` methods.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpConfig {
-    /// Congestion control variant.
-    pub variant: CcVariant,
+    /// Congestion-control algorithm.
+    pub cc: Cc,
+    /// DCTCP α estimation gain (ignored by other controllers; the
+    /// paper and the DCTCP paper use 1/16).
+    pub dctcp_g: f64,
+    /// Run RFC 9000 §13.4.2-style ECN path validation: probe the path
+    /// during the first window and fall back to loss-based control if
+    /// marks are mangled. Off by default (the paper's paths are clean).
+    pub ecn_validation: bool,
     /// Maximum segment (payload) size in bytes.
     pub mss: u32,
     /// Wire header overhead per packet (TCP/IP + Ethernet framing).
@@ -43,12 +53,22 @@ pub struct TcpConfig {
     pub dupack_thresh: u32,
 }
 
-impl TcpConfig {
-    /// The paper's simulation configuration for DCTCP: MSS 1460 B +
-    /// 40 B headers, initial window 16, RTO_min = RTO_init = 5 ms.
-    pub fn sim_dctcp() -> Self {
+/// Intermediate of the fluent [`TcpConfig::preset`] builder: pick the
+/// algorithm, then finish with the environment —
+/// [`sim`](TcpPreset::sim) or [`testbed`](TcpPreset::testbed).
+#[derive(Debug, Clone, Copy)]
+pub struct TcpPreset {
+    cc: Cc,
+}
+
+impl TcpPreset {
+    /// The paper's simulation environment: MSS 1460 B + 40 B headers,
+    /// initial window 16, RTO_min = RTO_init = 5 ms.
+    pub fn sim(self) -> TcpConfig {
         TcpConfig {
-            variant: CcVariant::Dctcp { g: 1.0 / 16.0 },
+            cc: self.cc,
+            dctcp_g: 1.0 / 16.0,
+            ecn_validation: false,
             mss: 1460,
             header: 40,
             init_cwnd: 16,
@@ -59,27 +79,54 @@ impl TcpConfig {
         }
     }
 
-    /// The paper's simulation configuration for ECN\*.
-    pub fn sim_ecn_star() -> Self {
-        TcpConfig {
-            variant: CcVariant::EcnStar,
-            ..TcpConfig::sim_dctcp()
-        }
-    }
-
-    /// The paper's testbed configuration: DCTCP, initial window 10,
+    /// The paper's testbed environment: initial window 10,
     /// RTO_min 10 ms.
-    pub fn testbed_dctcp() -> Self {
+    pub fn testbed(self) -> TcpConfig {
         TcpConfig {
-            variant: CcVariant::Dctcp { g: 1.0 / 16.0 },
-            mss: 1460,
-            header: 40,
             init_cwnd: 10,
             rto_min: Time::from_ms(10),
             rto_init: Time::from_ms(10),
             rto_max: Time::from_ms(640),
-            dupack_thresh: 3,
+            ..self.sim()
         }
+    }
+}
+
+impl TcpConfig {
+    /// Start the fluent builder: pick the congestion controller, then
+    /// the environment preset (`.sim()` / `.testbed()`).
+    pub fn preset(cc: Cc) -> TcpPreset {
+        TcpPreset { cc }
+    }
+
+    /// Toggle ECN path validation (see [`EcnValidator`]).
+    pub fn with_ecn_validation(mut self, on: bool) -> Self {
+        self.ecn_validation = on;
+        self
+    }
+
+    /// Override the DCTCP α gain.
+    pub fn with_dctcp_gain(mut self, g: f64) -> Self {
+        self.dctcp_g = g;
+        self
+    }
+
+    /// The paper's simulation configuration for DCTCP.
+    #[deprecated(note = "use `TcpConfig::preset(Cc::Dctcp).sim()`")]
+    pub fn sim_dctcp() -> Self {
+        TcpConfig::preset(Cc::Dctcp).sim()
+    }
+
+    /// The paper's simulation configuration for ECN\*.
+    #[deprecated(note = "use `TcpConfig::preset(Cc::EcnStar).sim()`")]
+    pub fn sim_ecn_star() -> Self {
+        TcpConfig::preset(Cc::EcnStar).sim()
+    }
+
+    /// The paper's testbed configuration (DCTCP).
+    #[deprecated(note = "use `TcpConfig::preset(Cc::Dctcp).testbed()`")]
+    pub fn testbed_dctcp() -> Self {
+        TcpConfig::preset(Cc::Dctcp).testbed()
     }
 
     /// λ for the standard threshold formulas: 1 for ECN\*; for DCTCP the
@@ -119,25 +166,6 @@ impl SenderOutput {
     }
 }
 
-/// Window state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    SlowStart,
-    CongestionAvoidance,
-    /// Fast recovery (simplified Reno).
-    Recovery,
-}
-
-/// DCTCP per-window marking accounting.
-#[derive(Debug, Clone, Copy)]
-struct DctcpState {
-    alpha: f64,
-    acked_bytes: u64,
-    marked_bytes: u64,
-    /// The window ends when `snd_una` passes this sequence.
-    window_end: u64,
-}
-
 /// A TCP sender for one flow of `size` bytes.
 #[derive(Debug, Clone)]
 pub struct TcpSender {
@@ -151,14 +179,11 @@ pub struct TcpSender {
     snd_una: u64,
     /// Next new byte to send.
     snd_nxt: u64,
-    /// Congestion window in bytes.
-    cwnd: f64,
-    ssthresh: f64,
-    phase: Phase,
+    /// The window/rate policy.
+    cc: CcAlgo,
+    /// ECN path validation (inert unless `cfg.ecn_validation`).
+    validator: EcnValidator,
 
-    /// Ignore further window reductions until `snd_una` passes this
-    /// (one reduction per window, for both ECN and loss).
-    cwr_end: u64,
     dupacks: u32,
     /// Sequence of the segment used for RTT sampling and its send time
     /// (Karn: invalidated on retransmission).
@@ -166,7 +191,6 @@ pub struct TcpSender {
     rtt: RttEstimator,
     /// Absolute RTO deadline (None when no data in flight).
     rto_deadline: Option<Time>,
-    dctcp: DctcpState,
 
     /// Diagnostics.
     timeouts: u64,
@@ -189,7 +213,6 @@ impl TcpSender {
     pub fn new(cfg: TcpConfig, flow: FlowId, src: u32, dst: u32, size: u64) -> Self {
         assert!(size > 0, "zero-size flow");
         assert!(cfg.mss > 0, "zero MSS");
-        let cwnd = f64::from(cfg.init_cwnd) * f64::from(cfg.mss);
         TcpSender {
             cfg,
             flow,
@@ -198,20 +221,12 @@ impl TcpSender {
             size,
             snd_una: 0,
             snd_nxt: 0,
-            cwnd,
-            ssthresh: f64::MAX,
-            phase: Phase::SlowStart,
-            cwr_end: 0,
+            cc: CcAlgo::from_config(&cfg),
+            validator: EcnValidator::new(cfg.ecn_validation, cfg.mss),
             dupacks: 0,
             timed_seg: None,
             rtt: RttEstimator::new(cfg.rto_min, cfg.rto_init, cfg.rto_max),
             rto_deadline: None,
-            dctcp: DctcpState {
-                alpha: 0.0,
-                acked_bytes: 0,
-                marked_bytes: 0,
-                window_end: 0,
-            },
             timeouts: 0,
             fast_retransmits: 0,
             ecn_reductions: 0,
@@ -224,8 +239,9 @@ impl TcpSender {
     }
 
     /// Install a telemetry probe: the sender reports ECN window
-    /// reductions, RTO expiries and fast-retransmit entries as
-    /// congestion-episode events.
+    /// reductions, RTO expiries, fast-retransmit entries and
+    /// congestion-control state transitions as congestion-episode
+    /// events.
     pub fn set_probe(&mut self, probe: tcn_telemetry::Probe) {
         self.probe = probe;
     }
@@ -261,30 +277,39 @@ impl TcpSender {
         }
         let newly_acked = cum_ack.saturating_sub(self.snd_una);
 
-        // DCTCP bookkeeping counts every ACK, marked or not.
-        if let CcVariant::Dctcp { .. } = self.cfg.variant {
-            self.dctcp.acked_bytes += newly_acked;
-            if ece {
-                self.dctcp.marked_bytes += newly_acked.max(1);
-            }
+        // Path validation observes the raw echo; a failed path then
+        // filters it out of everything below.
+        if let Some((from, to)) = self.validator.on_ack(cum_ack.max(self.snd_una), ece) {
+            self.emit_validator_transition(from, to, now);
         }
+        let ece = ece && self.validator.ecn_usable();
+
+        let prev_state = self.cc.state();
+
+        // Per-ACK policy bookkeeping counts every ACK, marked or not
+        // (DCTCP's byte accounting, BBR's delivery samples).
+        let ctx = self.ctx(now, None);
+        self.cc.on_ack(newly_acked, ece, &ctx);
 
         if newly_acked == 0 {
             // Duplicate ACK.
             if cum_ack == self.snd_una && self.snd_nxt > self.snd_una {
                 self.dupacks += 1;
-                if self.phase == Phase::Recovery {
+                if self.cc.in_recovery() {
                     // Window inflation keeps the pipe full.
-                    self.cwnd += f64::from(self.cfg.mss);
+                    let ctx = self.ctx(now, None);
+                    self.cc.on_dup_inflate(&ctx);
                 } else if self.dupacks == self.cfg.dupack_thresh {
                     self.enter_fast_retransmit_into(now, out);
+                    self.note_cc_state(prev_state, now);
                     return;
                 }
             }
             // ECN echo on a dup ACK still counts for the reduction.
             if ece {
-                self.ecn_reduce(now);
+                self.ecn_echo(now);
             }
+            self.note_cc_state(prev_state, now);
             self.pump_into(now, out);
             return;
         }
@@ -299,39 +324,22 @@ impl TcpSender {
         self.dupacks = 0;
 
         // RTT sample (Karn-safe: timed segment invalidated on rtx).
+        let mut latest_rtt = None;
         if let Some((seq, sent)) = self.timed_seg {
             if cum_ack > seq {
-                self.rtt.sample(now.saturating_sub(sent));
+                let sample = now.saturating_sub(sent);
+                self.rtt.sample(sample);
+                latest_rtt = Some(sample);
                 self.timed_seg = None;
             }
         }
 
-        if self.phase == Phase::Recovery {
-            // Any advance past the retransmitted hole ends recovery
-            // (simplified NewReno: one hole per recovery).
-            self.phase = Phase::CongestionAvoidance;
-            self.cwnd = self.ssthresh.max(f64::from(self.cfg.mss));
-        } else {
-            self.grow_window(newly_acked);
-        }
-
-        // DCTCP window rollover: update α once per window of data.
-        if let CcVariant::Dctcp { g } = self.cfg.variant {
-            if self.snd_una >= self.dctcp.window_end {
-                let f = if self.dctcp.acked_bytes > 0 {
-                    (self.dctcp.marked_bytes as f64 / self.dctcp.acked_bytes as f64).min(1.0)
-                } else {
-                    0.0
-                };
-                self.dctcp.alpha = (1.0 - g) * self.dctcp.alpha + g * f;
-                self.dctcp.acked_bytes = 0;
-                self.dctcp.marked_bytes = 0;
-                self.dctcp.window_end = self.snd_nxt;
-            }
-        }
+        // Recovery exit or window growth, plus per-window rollovers.
+        let ctx = self.ctx(now, latest_rtt);
+        self.cc.on_fresh_ack(newly_acked, &ctx);
 
         if ece {
-            self.ecn_reduce(now);
+            self.ecn_echo(now);
         }
 
         // Re-arm or clear the RTO.
@@ -341,6 +349,7 @@ impl TcpSender {
             self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
         }
 
+        self.note_cc_state(prev_state, now);
         self.pump_into(now, out);
     }
 
@@ -363,28 +372,56 @@ impl TcpSender {
                 return;
             }
         }
-        // RTO: collapse to one segment, slow start, back off.
+        // RTO: the policy collapses; we back off and go-back-N.
         self.timeouts += 1;
-        self.ssthresh = (self.cwnd / 2.0).max(2.0 * f64::from(self.cfg.mss));
-        self.cwnd = f64::from(self.cfg.mss);
+        let prev_state = self.cc.state();
+        // ctx.snd_nxt is still the pre-rewind high-water mark — the
+        // policy's reduction gate must cover everything sent so far.
+        let ctx = self.ctx(now, None);
+        self.cc.on_rto(&ctx);
         self.probe.emit(|| tcn_telemetry::Event::RtoFired {
             at_ps: now.as_ps(),
             flow: self.flow.0,
-            cwnd_bytes: self.cwnd as u64,
+            cwnd_bytes: self.cc.cwnd() as u64,
             timeouts: self.timeouts,
         });
-        self.phase = Phase::SlowStart;
+        if let Some((from, to)) = self.validator.on_rto(self.snd_una) {
+            self.emit_validator_transition(from, to, now);
+        }
         self.dupacks = 0;
         self.rtt.back_off();
         self.timed_seg = None; // Karn
-        self.cwr_end = self.snd_nxt;
 
         // Go-back-N: resend from snd_una.
         self.snd_nxt = self.snd_una;
         self.rto_deadline = None; // pump re-arms with the backed-off RTO
+        self.note_cc_state(prev_state, now);
         self.pump_into(now, out);
         // pump always arms from now + rto (already backed off).
         out.timer = self.rto_deadline;
+    }
+
+    /// Switch this flow's congestion controller mid-run (the scenario
+    /// DSL's `cc-switch` mutation). The current window carries over so
+    /// the flow keeps its sending rate; the new algorithm's state
+    /// starts clean (in congestion avoidance for the window-based
+    /// controllers — a mid-flow switch must not slow-start-blast).
+    /// No-op if the flow already runs `cc`.
+    pub fn switch_cc(&mut self, cc: Cc, now: Time) {
+        if cc == self.cc.kind() {
+            return;
+        }
+        let from = self.cc.name();
+        let cwnd = self.cc.cwnd();
+        self.cc = CcAlgo::carried(cc, &self.cfg, cwnd);
+        let to = self.cc.name();
+        self.probe.emit(|| tcn_telemetry::Event::CcState {
+            at_ps: now.as_ps(),
+            flow: self.flow.0,
+            cc: "switch",
+            from,
+            to,
+        });
     }
 
     /// True once every byte has been cumulatively acknowledged.
@@ -394,12 +431,28 @@ impl TcpSender {
 
     /// Current congestion window in bytes (diagnostics).
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.cc.cwnd()
     }
 
-    /// DCTCP α estimate (0 for ECN\*).
+    /// DCTCP α estimate (0 for other controllers).
     pub fn alpha(&self) -> f64 {
-        self.dctcp.alpha
+        self.cc.alpha()
+    }
+
+    /// The running congestion-control algorithm.
+    pub fn cc_kind(&self) -> Cc {
+        self.cc.kind()
+    }
+
+    /// The controller's current state-machine phase ("slow-start",
+    /// "probe-bw", …) for diagnostics.
+    pub fn cc_state(&self) -> &'static str {
+        self.cc.state()
+    }
+
+    /// The ECN path-validation verdict for this flow.
+    pub fn ecn_path_state(&self) -> EcnPathState {
+        self.validator.state()
     }
 
     /// Number of RTO expiries so far (the paper counts these to explain
@@ -439,66 +492,78 @@ impl TcpSender {
         self.size
     }
 
+    /// Snapshot for the controller hooks.
+    fn ctx(&self, now: Time, latest_rtt: Option<Time>) -> CcCtx {
+        CcCtx {
+            now,
+            snd_una: self.snd_una,
+            snd_nxt: self.snd_nxt,
+            mss: self.cfg.mss,
+            dupack_thresh: self.cfg.dupack_thresh,
+            srtt: self.rtt.srtt(),
+            latest_rtt,
+        }
+    }
+
     fn output_nothing_into(&self, out: &mut SenderOutput) {
         out.timer = self.rto_deadline;
     }
 
-    /// One window reduction per window of data (RFC 3168 CWR semantics).
-    fn ecn_reduce(&mut self, now: Time) {
-        if self.snd_una < self.cwr_end || self.phase == Phase::Recovery {
-            return;
+    /// Hand an ECN echo to the policy; on an applied reduction, count
+    /// and report it.
+    fn ecn_echo(&mut self, now: Time) {
+        let ctx = self.ctx(now, None);
+        if self.cc.on_ecn_echo(&ctx) {
+            self.ecn_reductions += 1;
+            self.probe.emit(|| tcn_telemetry::Event::EcnReduce {
+                at_ps: now.as_ps(),
+                flow: self.flow.0,
+                cwnd_bytes: self.cc.cwnd() as u64,
+                alpha_ppm: (self.cc.alpha() * 1e6) as u32,
+            });
         }
-        self.cwr_end = self.snd_nxt;
-        self.ecn_reductions += 1;
-        let factor = match self.cfg.variant {
-            CcVariant::EcnStar => 0.5,
-            CcVariant::Dctcp { .. } => 1.0 - self.dctcp.alpha / 2.0,
-        };
-        let floor = f64::from(self.cfg.mss);
-        self.cwnd = (self.cwnd * factor).max(floor);
-        self.ssthresh = self.cwnd;
-        self.phase = Phase::CongestionAvoidance;
-        self.probe.emit(|| tcn_telemetry::Event::EcnReduce {
-            at_ps: now.as_ps(),
-            flow: self.flow.0,
-            cwnd_bytes: self.cwnd as u64,
-            alpha_ppm: (self.dctcp.alpha * 1e6) as u32,
-        });
     }
 
-    fn grow_window(&mut self, newly_acked: u64) {
-        let mss = f64::from(self.cfg.mss);
-        match self.phase {
-            Phase::SlowStart => {
-                self.cwnd += newly_acked as f64;
-                if self.cwnd >= self.ssthresh {
-                    self.cwnd = self.ssthresh;
-                    self.phase = Phase::CongestionAvoidance;
-                }
-            }
-            Phase::CongestionAvoidance => {
-                // +1 MSS per RTT, per-ACK increment.
-                self.cwnd += mss * mss / self.cwnd;
-            }
-            Phase::Recovery => {}
+    /// Report a controller phase transition observed across a hook.
+    fn note_cc_state(&mut self, prev: &'static str, now: Time) {
+        let cur = self.cc.state();
+        if prev != cur {
+            self.probe.emit(|| tcn_telemetry::Event::CcState {
+                at_ps: now.as_ps(),
+                flow: self.flow.0,
+                cc: self.cc.name(),
+                from: prev,
+                to: cur,
+            });
         }
+    }
+
+    /// Report an ECN path-validation transition.
+    fn emit_validator_transition(&mut self, from: &'static str, to: &'static str, now: Time) {
+        self.probe.emit(|| tcn_telemetry::Event::CcState {
+            at_ps: now.as_ps(),
+            flow: self.flow.0,
+            cc: "ecn-validation",
+            from,
+            to,
+        });
     }
 
     fn enter_fast_retransmit_into(&mut self, now: Time, out: &mut SenderOutput) {
         self.fast_retransmits += 1;
-        let mss = f64::from(self.cfg.mss);
-        self.ssthresh = (self.cwnd / 2.0).max(2.0 * mss);
-        self.cwnd = self.ssthresh + f64::from(self.cfg.dupack_thresh) * mss;
+        let ctx = self.ctx(now, None);
+        self.cc.on_loss(&ctx);
         self.probe.emit(|| tcn_telemetry::Event::FastRtx {
             at_ps: now.as_ps(),
             flow: self.flow.0,
-            cwnd_bytes: self.cwnd as u64,
+            cwnd_bytes: self.cc.cwnd() as u64,
         });
-        self.phase = Phase::Recovery;
-        self.cwr_end = self.snd_nxt;
         self.timed_seg = None; // Karn
 
-        out.packets.push(self.make_segment(self.snd_una, now));
+        let seg = self.make_segment(self.snd_una, now);
+        let ctx = self.ctx(now, None);
+        self.cc.on_sent(self.snd_una, seg.payload_len(), true, &ctx);
+        out.packets.push(seg);
         self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
         // Recovery may also allow new data.
         self.pump_into(now, out);
@@ -516,13 +581,17 @@ impl TcpSender {
             let inflight = self.snd_nxt - self.snd_una;
             // Always allow one segment when nothing is in flight so a
             // collapsed window cannot deadlock.
-            let budget = self.cwnd.max(f64::from(self.cfg.mss)) as u64;
+            let budget = self.cc.cwnd().max(f64::from(self.cfg.mss)) as u64;
             if inflight >= budget {
                 break;
             }
             let payload = mss.min(self.size - self.snd_nxt) as u32;
             let seq = self.snd_nxt;
-            out.packets.push(self.make_segment(seq, now));
+            let is_rtx = seq < self.max_seq_sent;
+            let seg = self.make_segment(seq, now);
+            let ctx = self.ctx(now, None);
+            self.cc.on_sent(seq, payload, is_rtx, &ctx);
+            out.packets.push(seg);
             self.snd_nxt += u64::from(payload);
             if self.timed_seg.is_none() {
                 self.timed_seg = Some((seq, now));
@@ -543,6 +612,12 @@ impl TcpSender {
         self.max_seq_sent = self.max_seq_sent.max(seq + u64::from(payload));
         let mut p = Packet::data(self.flow, self.src, self.dst, seq, payload, self.cfg.header);
         p.birth_ts = now;
+        // Loss-based tenants and failed-validation paths send Not-ECT:
+        // sojourn markers cannot mark them and RED-family AQMs drop
+        // instead (the coexistence the mixed-tenant figures study).
+        if !(self.cc.ecn_capable() && self.validator.ecn_usable()) {
+            p.ecn = EcnCodepoint::NotEct;
+        }
         p
     }
 }
@@ -563,7 +638,7 @@ mod tests {
     }
 
     fn sender(size: u64) -> TcpSender {
-        TcpSender::new(TcpConfig::sim_dctcp(), FlowId(1), 0, 1, size)
+        TcpSender::new(TcpConfig::preset(Cc::Dctcp).sim(), FlowId(1), 0, 1, size)
     }
 
     #[test]
@@ -585,6 +660,31 @@ mod tests {
         let total: u32 = out.packets.iter().map(|p| p.payload_len()).sum();
         assert_eq!(u64::from(total), 3000);
         assert_eq!(out.packets[2].payload_len(), 80); // 3000 - 2*1460
+    }
+
+    #[test]
+    fn deprecated_presets_still_build() {
+        #[allow(deprecated)]
+        let cfg = TcpConfig::sim_dctcp();
+        assert_eq!(cfg.cc, Cc::Dctcp);
+        assert_eq!(cfg.init_cwnd, 16);
+        #[allow(deprecated)]
+        let cfg = TcpConfig::testbed_dctcp();
+        assert_eq!(cfg.init_cwnd, 10);
+        assert_eq!(cfg.rto_min, Time::from_ms(10));
+    }
+
+    #[test]
+    fn fluent_preset_matches_paper_setups() {
+        let sim = TcpConfig::preset(Cc::EcnStar).sim();
+        assert_eq!(sim.cc, Cc::EcnStar);
+        assert_eq!((sim.mss, sim.header, sim.init_cwnd), (1460, 40, 16));
+        assert_eq!(sim.rto_min, Time::from_ms(5));
+        let tb = TcpConfig::preset(Cc::Cubic).testbed();
+        assert_eq!(tb.cc, Cc::Cubic);
+        assert_eq!(tb.init_cwnd, 10);
+        assert!(!tb.ecn_validation);
+        assert!(tb.with_ecn_validation(true).ecn_validation);
     }
 
     #[test]
@@ -625,7 +725,13 @@ mod tests {
 
     #[test]
     fn ecn_star_halves_once_per_window() {
-        let mut s = TcpSender::new(TcpConfig::sim_ecn_star(), FlowId(1), 0, 1, 10_000_000);
+        let mut s = TcpSender::new(
+            TcpConfig::preset(Cc::EcnStar).sim(),
+            FlowId(1),
+            0,
+            1,
+            10_000_000,
+        );
         s.start(Time::ZERO);
         let cwnd0 = s.cwnd();
         s.on_ack(1460, true, Time::from_us(100));
@@ -643,10 +749,7 @@ mod tests {
     fn dctcp_cut_proportional_to_alpha() {
         let g = 1.0 / 16.0;
         let mut s = TcpSender::new(
-            TcpConfig {
-                variant: CcVariant::Dctcp { g },
-                ..TcpConfig::sim_dctcp()
-            },
+            TcpConfig::preset(Cc::Dctcp).sim().with_dctcp_gain(g),
             FlowId(1),
             0,
             1,
@@ -720,10 +823,12 @@ mod tests {
         for _ in 0..3 {
             s.on_ack(0, false, Time::from_us(50));
         }
+        assert_eq!(s.cc_state(), "recovery");
         s.on_ack(16 * 1460, false, Time::from_us(100));
         // Deflated to ssthresh = cwnd0/2.
         assert!((s.cwnd() - cwnd0 / 2.0).abs() < 1.0, "cwnd {}", s.cwnd());
         assert_eq!(s.timeouts(), 0);
+        assert_eq!(s.cc_state(), "congestion-avoidance");
     }
 
     #[test]
@@ -796,6 +901,112 @@ mod tests {
         s.start(Time::ZERO);
         s.on_ack(1460, false, Time::from_us(300));
         assert_eq!(s.rtt.srtt(), Some(Time::from_us(300)));
+    }
+
+    #[test]
+    fn ecn_capable_transports_send_ect() {
+        let mut s = sender(10_000);
+        let out = s.start(Time::ZERO);
+        assert!(out.packets.iter().all(|p| p.ecn == EcnCodepoint::Ect0));
+    }
+
+    #[test]
+    fn loss_based_transports_send_not_ect() {
+        for cc in [Cc::Cubic, Cc::Bbr] {
+            let mut s =
+                TcpSender::new(TcpConfig::preset(cc).sim(), FlowId(1), 0, 1, 10_000);
+            let out = s.start(Time::ZERO);
+            assert!(
+                out.packets.iter().all(|p| p.ecn == EcnCodepoint::NotEct),
+                "{} must be Not-ECT",
+                cc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn failed_validation_falls_back_to_not_ect() {
+        let cfg = TcpConfig::preset(Cc::Dctcp).sim().with_ecn_validation(true);
+        let mut s = TcpSender::new(cfg, FlowId(1), 0, 1, 10_000_000);
+        s.start(Time::ZERO);
+        assert_eq!(s.ecn_path_state(), EcnPathState::Testing);
+        // Every ACK of the testing window carries CE: mangled path.
+        let mut acked = 0u64;
+        let mut now = Time::ZERO;
+        while s.ecn_path_state() == EcnPathState::Testing {
+            now += Time::from_us(100);
+            acked += 1460;
+            s.on_ack(acked, true, now);
+        }
+        assert_eq!(s.ecn_path_state(), EcnPathState::Failed);
+        // Subsequent segments are Not-ECT and echoes are ignored.
+        let reductions = s.ecn_reductions();
+        now += Time::from_us(100);
+        acked += 1460;
+        let out = s.on_ack(acked, true, now);
+        assert!(out.packets.iter().all(|p| p.ecn == EcnCodepoint::NotEct));
+        assert_eq!(s.ecn_reductions(), reductions, "echo ignored after failure");
+    }
+
+    #[test]
+    fn clean_path_validates_and_keeps_ecn() {
+        let cfg = TcpConfig::preset(Cc::Dctcp).sim().with_ecn_validation(true);
+        let mut s = TcpSender::new(cfg, FlowId(1), 0, 1, 10_000_000);
+        s.start(Time::ZERO);
+        let mut acked = 0u64;
+        let mut now = Time::ZERO;
+        while s.ecn_path_state() == EcnPathState::Testing {
+            now += Time::from_us(100);
+            acked += 1460;
+            s.on_ack(acked, false, now);
+        }
+        assert_eq!(s.ecn_path_state(), EcnPathState::Capable);
+        let out = s.on_ack(acked + 1460, false, now + Time::from_us(100));
+        assert!(out.packets.iter().all(|p| p.ecn == EcnCodepoint::Ect0));
+    }
+
+    #[test]
+    fn cubic_sender_completes_flow() {
+        let mut s = TcpSender::new(TcpConfig::preset(Cc::Cubic).sim(), FlowId(1), 0, 1, 100_000);
+        s.start(Time::ZERO);
+        let mut acked = 0u64;
+        let mut now = Time::ZERO;
+        while !s.is_done() {
+            now += Time::from_us(100);
+            acked = (acked + 16 * 1460).min(100_000);
+            s.on_ack(acked, false, now);
+        }
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn bbr_sender_completes_flow() {
+        let mut s = TcpSender::new(TcpConfig::preset(Cc::Bbr).sim(), FlowId(1), 0, 1, 100_000);
+        s.start(Time::ZERO);
+        assert_eq!(s.cc_state(), "startup");
+        let mut acked = 0u64;
+        let mut now = Time::ZERO;
+        while !s.is_done() {
+            now += Time::from_us(100);
+            acked = (acked + 16 * 1460).min(100_000);
+            s.on_ack(acked, false, now);
+        }
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn switch_cc_carries_window() {
+        let mut s = sender(100_000_000);
+        s.start(Time::ZERO);
+        s.on_ack(16 * 1460, false, Time::from_us(100));
+        let w = s.cwnd();
+        s.switch_cc(Cc::Cubic, Time::from_us(200));
+        assert_eq!(s.cc_kind(), Cc::Cubic);
+        assert!((s.cwnd() - w).abs() < 1e-9, "window carries over");
+        assert_eq!(s.cc_state(), "congestion-avoidance");
+        // Switching to the same algorithm is a no-op.
+        s.switch_cc(Cc::Cubic, Time::from_us(300));
+        assert_eq!(s.cc_kind(), Cc::Cubic);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use tcn_core::{FlowId, Packet, PacketKind};
 use tcn_sim::{Rng, Time};
-use tcn_transport::{TcpConfig, TcpReceiver, TcpSender};
+use tcn_transport::{Cc, TcpConfig, TcpReceiver, TcpSender};
 
 const CASES: u64 = 32;
 
@@ -42,7 +42,7 @@ struct RunResult {
 /// idle with data still outstanding.
 fn run_flow(size: u64, mut action: impl FnMut(u64) -> WireAction) -> RunResult {
     let one_way = Time::from_us(50);
-    let cfg = TcpConfig::sim_dctcp();
+    let cfg = TcpConfig::preset(Cc::Dctcp).sim();
     let mut sender = TcpSender::new(cfg, FlowId(1), 0, 1, size);
     let mut receiver = TcpReceiver::new(FlowId(1), 1, 0, size);
     let mut now = Time::from_us(1);

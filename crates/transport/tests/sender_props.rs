@@ -4,7 +4,7 @@
 
 use tcn_core::PacketKind;
 use tcn_sim::{Rng, Time};
-use tcn_transport::{CcVariant, TcpConfig, TcpSender};
+use tcn_transport::{Cc, TcpConfig, TcpSender};
 
 const CASES: u64 = 64;
 
@@ -58,9 +58,9 @@ fn sender_sequence_space_safe() {
         let dctcp = rng.chance(0.5);
         let ninputs = (1 + rng.gen_range(119)) as usize;
         let cfg = if dctcp {
-            TcpConfig::sim_dctcp()
+            TcpConfig::preset(Cc::Dctcp).sim()
         } else {
-            TcpConfig::sim_ecn_star()
+            TcpConfig::preset(Cc::EcnStar).sim()
         };
         let mut s = TcpSender::new(cfg, tcn_core::FlowId(1), 0, 1, size);
         let mut now = Time::from_us(1);
@@ -98,10 +98,7 @@ fn dctcp_alpha_bounded() {
         let mut rng = Rng::new(0xA1FA + case);
         let nacks = (1 + rng.gen_range(199)) as usize;
         let mut s = TcpSender::new(
-            TcpConfig {
-                variant: CcVariant::Dctcp { g: 1.0 / 16.0 },
-                ..TcpConfig::sim_dctcp()
-            },
+            TcpConfig::preset(Cc::Dctcp).sim().with_dctcp_gain(1.0 / 16.0),
             tcn_core::FlowId(1),
             0,
             1,
@@ -131,7 +128,7 @@ fn lossless_delivery_completes() {
         let mut rng = Rng::new(0x10C5 + case);
         let size = 1 + rng.gen_range(299_999);
         use tcn_transport::TcpReceiver;
-        let cfg = TcpConfig::sim_dctcp();
+        let cfg = TcpConfig::preset(Cc::Dctcp).sim();
         let mut s = TcpSender::new(cfg, tcn_core::FlowId(1), 0, 1, size);
         let mut r = TcpReceiver::new(tcn_core::FlowId(1), 1, 0, size);
         let mut now = Time::from_us(1);

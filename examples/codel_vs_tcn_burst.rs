@@ -17,7 +17,7 @@ fn run_scheme(name: &str, fanout: usize, make_aqm: impl Fn() -> Box<dyn Aqm> + '
         fanout + 1,
         Rate::from_gbps(10),
         Time::from_us(20),
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Fixed,
         move || {
             let make_aqm = make_aqm.clone();

@@ -17,7 +17,7 @@ fn main() {
     };
     let tcn_t = Time::from_us(78); // paper's DCTCP threshold at 10 Gbps
     let mut sim = NetworkBuilder::leaf_spine(topo)
-        .transport(TcpConfig::sim_dctcp())
+        .transport(TcpConfig::preset(Cc::Dctcp).sim())
         .tagging(TaggingPolicy::Pias { threshold: 100_000 })
         .queues(8)
         .buffer(300_000)

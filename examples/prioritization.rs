@@ -15,7 +15,7 @@ fn main() {
         9,
         Rate::from_gbps(1),
         Time::from_us(62),
-        TcpConfig::testbed_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).testbed(),
         TaggingPolicy::Pias { threshold: 100_000 },
         move || PortSetup {
             nqueues: 5, // queue 0 strict + 4 service queues

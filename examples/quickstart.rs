@@ -18,7 +18,7 @@ fn main() {
         4,
         Rate::from_gbps(1),
         Time::from_us(62), // per-link propagation; RTT ≈ 4×
-        TcpConfig::testbed_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).testbed(),
         TaggingPolicy::Fixed,
         || PortSetup {
             nqueues: 2,

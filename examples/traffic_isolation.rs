@@ -16,7 +16,7 @@ fn run_scheme(name: &str, make_aqm: impl Fn() -> Box<dyn Aqm> + 'static) -> FctB
         9,
         Rate::from_gbps(1),
         Time::from_us(62),
-        TcpConfig::testbed_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).testbed(),
         TaggingPolicy::Fixed,
         move || {
             let make_aqm = make_aqm.clone();

@@ -20,7 +20,7 @@
 //! // port runs WFQ over 2 queues with TCN marking at T = RTT × λ.
 //! let rtt = Time::from_us(250);
 //! let mut sim = NetworkBuilder::single_switch(3, Rate::from_gbps(1), Time::from_us(62))
-//!     .transport(TcpConfig::testbed_dctcp())
+//!     .transport(TcpConfig::preset(Cc::Dctcp).testbed())
 //!     .queues(2)
 //!     .buffer(96_000)
 //!     .scheduler(|| Box::new(Wfq::equal(2)))
@@ -71,6 +71,6 @@ pub mod prelude {
     pub use tcn_sim::{Rate, Rng, Time};
     pub use tcn_stats::{FctBreakdown, GoodputTracker, P2Quantile, TimeSeries};
     pub use tcn_telemetry::{Event, MemorySink, Probe, Sink, Telemetry};
-    pub use tcn_transport::{CcVariant, TcpConfig, TcpReceiver, TcpSender};
+    pub use tcn_transport::{Cc, TcpConfig, TcpReceiver, TcpSender};
     pub use tcn_workloads::{gen_all_to_all, gen_incast, gen_many_to_one, SizeCdf, Workload};
 }

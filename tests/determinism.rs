@@ -15,7 +15,7 @@ fn leaf_spine_fcts(seed: u64) -> Vec<u64> {
     };
     let mut sim = leaf_spine(
         topo,
-        TcpConfig::sim_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).sim(),
         TaggingPolicy::Pias { threshold: 100_000 },
         || PortSetup {
             nqueues: 4,
@@ -67,7 +67,7 @@ fn probabilistic_aqm_still_deterministic() {
             3,
             Rate::from_gbps(1),
             Time::from_us(62),
-            TcpConfig::testbed_dctcp(),
+            TcpConfig::preset(Cc::Dctcp).testbed(),
             TaggingPolicy::Fixed,
             || PortSetup {
                 nqueues: 2,

@@ -16,7 +16,7 @@ fn star_with(
         4,
         Rate::from_gbps(1),
         Time::from_us(62),
-        TcpConfig::testbed_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).testbed(),
         TaggingPolicy::Fixed,
         move || {
             let mk_sched = mk_sched.clone();
@@ -144,7 +144,7 @@ fn probabilistic_tcn_also_preserves_wfq() {
         4,
         Rate::from_gbps(1),
         Time::from_us(62),
-        TcpConfig::testbed_dctcp(),
+        TcpConfig::preset(Cc::Dctcp).testbed(),
         TaggingPolicy::Fixed,
         mk,
     ).expect("topology is well-formed");
@@ -178,7 +178,7 @@ fn mixed_short_and_long_flows_all_complete() {
 
 #[test]
 fn ecnstar_and_dctcp_both_sustain_line_rate() {
-    for cfg in [TcpConfig::sim_dctcp(), TcpConfig::sim_ecn_star()] {
+    for cfg in [TcpConfig::preset(Cc::Dctcp).sim(), TcpConfig::preset(Cc::EcnStar).sim()] {
         let tcn_t = Time::from_us(100);
         let mut sim = single_switch(
             3,
@@ -203,6 +203,6 @@ fn ecnstar_and_dctcp_both_sustain_line_rate() {
         });
         sim.run_until(Time::from_ms(100)).expect("run");
         let gbps = sim.delivered_bytes(f) as f64 * 8.0 / 0.1 / 1e9;
-        assert!(gbps > 8.5, "throughput {gbps} Gbps under {:?}", cfg.variant);
+        assert!(gbps > 8.5, "throughput {gbps} Gbps under {:?}", cfg.cc);
     }
 }

@@ -41,6 +41,7 @@
 //! | `no-raw-tick-arith` | deny | every `.rs` file except `sim/src/time.rs` | `+`/`-` on a raw `.as_ps()` tick count — do the arithmetic on `Time` (checked), convert at the edge |
 //! | `exhaustive-kind-tags` | deny | every `.rs` file (fires where `enum TcnError` is defined) | a `TcnError` variant without a doc comment or without an explicit stable string tag in `kind()` |
 //! | `scenario-step-doc` | deny | every `.rs` file (fires where `enum StepMutation` is defined) | a `StepMutation` variant whose doc comment lacks a unique backticked `step:<tag>` marker |
+//! | `cc-doc-cite` | deny | `crates/transport/src` | a congestion controller whose doc comment never cites its source RFC/paper section (`§`) |
 //! | `unused-allow` | deny | every `.rs` file | a `lint:allow(<rule>)` escape that suppresses zero diagnostics (stale or unknown rule) — delete it |
 
 use std::path::Path;

@@ -36,7 +36,9 @@
 //!   scenario smoke stage (two named chaos scenarios at `--quick` with
 //!   JSONL traces validated against the schema), then a fuzz smoke
 //!   stage (eight fixed scenario-fuzzer seeds, zero violations
-//!   expected), then a hybrid smoke stage (one `--quick` figure run
+//!   expected), then a cc smoke stage (the mixed-tenant
+//!   DCTCP/CUBIC/BBR figure at `--quick` with its JSONL trace
+//!   schema-validated), then a hybrid smoke stage (one `--quick` figure run
 //!   packet-level and again under `TCN_HYBRID=1`, asserting matching
 //!   summary statistics), then `bench --smoke`: the tier-1 gate in
 //!   one command. Stops at the first failing stage.
@@ -70,7 +72,7 @@ fn main() -> ExitCode {
             }
         }
         Some("ci") => {
-            let stages: [(&str, fn(&Path) -> ExitCode); 11] = [
+            let stages: [(&str, fn(&Path) -> ExitCode); 12] = [
                 ("build", |r| run_cargo(r, &["build", "--release", "--workspace"])),
                 ("test", |r| run_cargo(r, &["test", "-q"])),
                 // Tier-1 again in release with every runtime invariant
@@ -102,6 +104,12 @@ fn main() -> ExitCode {
                 // expecting zero violations: the generator only emits
                 // survivable chaos, so any failure is a system bug.
                 ("fuzz (smoke)", run_fuzz_smoke),
+                // The mixed-tenant congestion-control figure at
+                // `--quick` with a JSONL trace validated against the
+                // schema: proves the pluggable-CC surface (DCTCP,
+                // CUBIC and BBR sharing one port), the ECN-capability
+                // split, and the CC telemetry events agree end to end.
+                ("cc (smoke)", run_cc_smoke),
                 // One quick figure twice — packet-level and
                 // `TCN_HYBRID=1` — asserting matching summary
                 // statistics (identical grid, flow and completion
@@ -128,7 +136,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo xtask <lint|build|test|test-all|bench|ci>\n\
                  \n\
-                 lint      token-level static analysis (16 rules: panic/print\n\
+                 lint      token-level static analysis (17 rules: panic/print\n\
                  \x20         discipline, unsafe bans, doc provenance, and the\n\
                  \x20         determinism family — no-hash-iter,\n\
                  \x20         no-thread-outside-runner, no-ambient-entropy,\n\
@@ -142,8 +150,8 @@ fn main() -> ExitCode {
                  \x20         (--smoke: compare-only regression gate)\n\
                  ci        build + test + test(audit) + lint-selftest +\n\
                  \x20         lint(json) + telemetry(smoke) + resume(smoke) +\n\
-                 \x20         scenario(smoke) + fuzz(smoke) + hybrid(smoke) +\n\
-                 \x20         bench(smoke) (the tier-1 gate)"
+                 \x20         scenario(smoke) + fuzz(smoke) + cc(smoke) +\n\
+                 \x20         hybrid(smoke) + bench(smoke) (the tier-1 gate)"
             );
             if args.is_empty() {
                 ExitCode::from(2)
@@ -392,6 +400,34 @@ fn run_scenario_smoke(repo: &Path) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Run the mixed-tenant congestion-control figure (`figs mixed`) at
+/// `--quick` scale with the JSONL telemetry sink attached, then
+/// validate the trace against the schema. One WFQ port shared by
+/// DCTCP, CUBIC and BBR tenants exercises the whole pluggable-CC
+/// surface: per-flow controller selection, the ECN-capable/Not-ECT
+/// split at the switch, and the CC-state telemetry events.
+fn run_cc_smoke(repo: &Path) -> ExitCode {
+    let out = repo.join("target").join("cc-smoke.jsonl");
+    let out = out.to_string_lossy().into_owned();
+    let run = run_cargo(
+        repo,
+        &[
+            "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "mixed",
+            "--quick", "--trace-out", &out,
+        ],
+    );
+    if run != ExitCode::SUCCESS {
+        return run;
+    }
+    run_cargo(
+        repo,
+        &[
+            "run", "--release", "-p", "tcn-experiments", "--bin", "figs", "--", "check-trace",
+            &out,
+        ],
+    )
 }
 
 /// Run the scenario fuzzer over eight fixed seeds expecting a clean

@@ -7,7 +7,7 @@
 
 use crate::engine::{Diagnostic, Rule, Scope, SourceFile};
 use crate::lex::{Token, TokenKind};
-use crate::rules::{aqm_scope, diag_at, every_file, seq_at, Pat};
+use crate::rules::{aqm_scope, diag_at, every_file, seq_at, transport_scope, Pat};
 
 /// Nearest-first doc comments directly above `tokens[idx]`, skipping
 /// attribute groups (`#[…]`, `#![…]`), visibility modifiers
@@ -178,6 +178,67 @@ impl Rule for AqmDocCite {
                     format!(
                         "`{ty}` implements Aqm but its doc comment never cites a \
                          paper section (add a `§n.m` reference)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `cc-doc-cite`: every type with an `impl CongestionControl for X` in
+/// this file must have a `struct X` whose doc comment cites the RFC or
+/// paper section it implements (`§`) — the same provenance discipline
+/// `aqm-doc-cite` imposes on marking schemes. A congestion controller
+/// is a transcription of a published algorithm; a reader auditing the
+/// window arithmetic needs the section to diff against. The enum
+/// dispatcher (`CcAlgo`) is out of reach by construction: the lookup
+/// only finds `struct` definitions.
+pub struct CcDocCite;
+
+impl Rule for CcDocCite {
+    fn id(&self) -> &'static str {
+        "cc-doc-cite"
+    }
+    fn summary(&self) -> &'static str {
+        "a congestion controller whose doc comment never cites its source RFC/paper section (`§`)"
+    }
+    fn scope(&self) -> Scope {
+        Scope { desc: "`crates/transport/src`", applies: transport_scope }
+    }
+    fn exempts_tests(&self) -> bool {
+        true
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = &file.code;
+        for i in 0..code.len() {
+            if !seq_at(
+                code,
+                i,
+                &[Pat::Id("impl"), Pat::Id("CongestionControl"), Pat::Id("for"), Pat::AnyId],
+            ) {
+                continue;
+            }
+            let ty = &code[i + 3].text;
+            // Find `struct <ty>` in the full token stream.
+            let toks = &file.tokens;
+            let sig: Vec<usize> = (0..toks.len()).filter(|&k| !toks[k].is_comment()).collect();
+            let Some(w) = sig.windows(2).find(|w| {
+                toks[w[0]].is_ident("struct") && toks[w[1]].is_ident(ty)
+            }) else {
+                continue; // enum dispatcher or foreign type; out of reach
+            };
+            let cited = docs_above(toks, w[0])
+                .iter()
+                .any(|d| d.doc_text().contains('§'));
+            if !cited {
+                out.push(diag_at(
+                    file,
+                    &toks[w[0]],
+                    self.id(),
+                    format!(
+                        "`{ty}` implements CongestionControl but its doc comment \
+                         never cites the RFC/paper section it transcribes (add a \
+                         `§n.m` reference)"
                     ),
                 ));
             }
@@ -489,6 +550,36 @@ mod tests {
     fn aqm_with_citation_above_derive_is_clean() {
         let src = "/// Cited scheme (§3.2).\n#[derive(Debug, Clone)]\npub struct Foo;\n\nimpl Aqm for Foo {\n}\n";
         assert!(lint_one("crates/baselines/src/x.rs", src, Box::new(AqmDocCite)).is_empty());
+    }
+
+    #[test]
+    fn cc_without_citation_is_caught() {
+        let src = "/// A window law described nowhere.\npub struct FooCc {\n    cwnd: f64,\n}\n\nimpl CongestionControl for FooCc {\n}\n";
+        let d = lint_one("crates/transport/src/cc.rs", src, Box::new(CcDocCite));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("FooCc"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn cc_with_citation_is_clean() {
+        let src = "/// Cubic window growth (RFC 8312 §4.1).\n#[derive(Debug)]\npub struct FooCc;\n\nimpl CongestionControl for FooCc {\n}\n";
+        assert!(lint_one("crates/transport/src/cc.rs", src, Box::new(CcDocCite)).is_empty());
+    }
+
+    #[test]
+    fn cc_enum_dispatcher_is_out_of_reach() {
+        // `CcAlgo` is an enum, not a struct: the lookup finds nothing
+        // and the rule stays silent rather than demanding a citation
+        // on plumbing.
+        let src = "pub enum CcAlgo {\n    Dctcp(DctcpCc),\n}\n\nimpl CongestionControl for CcAlgo {\n}\n";
+        assert!(lint_one("crates/transport/src/cc.rs", src, Box::new(CcDocCite)).is_empty());
+    }
+
+    #[test]
+    fn cc_rule_is_scoped_to_transport() {
+        let src = "pub struct FooCc;\n\nimpl CongestionControl for FooCc {\n}\n";
+        assert!(lint_one("crates/net/src/x.rs", src, Box::new(CcDocCite)).is_empty());
     }
 
     #[test]

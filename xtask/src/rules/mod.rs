@@ -8,7 +8,8 @@
 //!   through telemetry).
 //! * [`safety`] — `no-unsafe`, `forbid-unsafe-attr`.
 //! * [`docs`] — provenance and taxonomy docs: `aqm-doc-cite`,
-//!   `fault-kind-doc`, `exhaustive-kind-tags`, `scenario-step-doc`.
+//!   `cc-doc-cite`, `fault-kind-doc`, `exhaustive-kind-tags`,
+//!   `scenario-step-doc`.
 //! * [`determinism`] — the byte-identity discipline: `no-float-time`,
 //!   `no-wallclock`, `no-hash-iter`, `no-thread-outside-runner`,
 //!   `no-ambient-entropy`, `no-raw-tick-arith`.
@@ -124,6 +125,11 @@ pub(crate) fn aqm_scope(p: &Path) -> bool {
         && p.components().any(|c| c.as_os_str() == "src")
 }
 
+/// Where congestion-control implementations live.
+pub(crate) fn transport_scope(p: &Path) -> bool {
+    p.starts_with("crates/transport") && p.components().any(|c| c.as_os_str() == "src")
+}
+
 // ---------------------------------------------------------------------------
 // Token pattern helpers
 // ---------------------------------------------------------------------------
@@ -212,6 +218,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(determinism::NoRawTickArith),
         Box::new(docs::ExhaustiveKindTags),
         Box::new(docs::ScenarioStepDoc),
+        Box::new(docs::CcDocCite),
         Box::new(UnusedAllow),
     ]
 }
@@ -309,11 +316,12 @@ mod tests {
             "no-raw-tick-arith",
             "exhaustive-kind-tags",
             "scenario-step-doc",
+            "cc-doc-cite",
             "unused-allow",
         ] {
             assert!(ids.contains(&d), "rule `{d}` missing");
         }
-        assert_eq!(rules.len(), 16);
+        assert_eq!(rules.len(), 17);
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Planted violation: a congestion controller whose docs cite nothing.
+
+/// A window law described nowhere in particular.
+pub struct UncitedCc {
+    cwnd: f64,
+}
+
+impl CongestionControl for UncitedCc {
+    fn on_ack(&mut self) {}
+}

@@ -1,0 +1,9 @@
+//! Clean equivalent: the doc cites the RFC section, above a derive.
+
+/// Cubic window growth per RFC 8312 (§4.1).
+#[derive(Debug, Clone)]
+pub struct CitedCc;
+
+impl CongestionControl for CitedCc {
+    fn on_ack(&mut self) {}
+}

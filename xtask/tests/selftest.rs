@@ -51,6 +51,7 @@ const FIXTURE_PATHS: &[(&str, &str)] = &[
     ("no-raw-tick-arith", "crates/net/src/fixture.rs"),
     ("exhaustive-kind-tags", "crates/core/src/error_fixture.rs"),
     ("scenario-step-doc", "crates/experiments/src/scenario/fixture.rs"),
+    ("cc-doc-cite", "crates/transport/src/fixture.rs"),
     ("unused-allow", "crates/net/src/fixture.rs"),
 ];
 
